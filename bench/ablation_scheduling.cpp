@@ -1,0 +1,157 @@
+//===- ablation_scheduling.cpp - Design-choice ablations -----------------------==//
+//
+// Ablations for the scheduler design choices DESIGN.md calls out:
+//
+//   1. priority heuristic — maximum distance to a leaf (paper §4.2) vs
+//      plain source order;
+//   2. structural hazard checking — resource-vector intersection (paper
+//      §4.3) vs latency-only issue;
+//   3. packing classes + temporal scheduling on the i860 (paper §4.5/4.6)
+//      vs treating every sub-operation as unrestricted.
+//
+// Costs are the scheduler's static per-block estimates weighted by
+// simulator-profiled block frequencies over the Livermore kernels, so the
+// comparison isolates the scheduling decision being ablated. Variants that
+// drop correctness-relevant checking (hazards off) are reported for cost
+// only and never simulated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Frontend.h"
+#include "regalloc/Allocator.h"
+#include "sched/ListScheduler.h"
+#include "select/Selector.h"
+#include "sim/Simulator.h"
+#include "strategy/FrameLowering.h"
+
+#include <cstdio>
+
+using namespace marion;
+
+namespace {
+
+/// Block execution frequencies from a normal (fully scheduled) build; the
+/// block structure is shared with the cost basis below.
+std::map<std::pair<std::string, int>, uint64_t>
+profileFrequencies(const std::string &Machine) {
+  DiagnosticEngine Diags;
+  driver::CompileOptions CompileOpts;
+  CompileOpts.Machine = Machine;
+  auto Compiled = driver::compileFile("livermore.mc", CompileOpts, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  std::map<std::pair<std::string, int>, uint64_t> Counts;
+  for (int K = 1; K <= 14; ++K) {
+    sim::SimResult Run = sim::runProgram(Compiled->Module, *Compiled->Target,
+                                         "k" + std::to_string(K));
+    if (!Run.Ok)
+      std::exit(1);
+    for (const auto &[Key, Count] : Run.BlockCounts)
+      Counts[Key] += Count;
+  }
+  return Counts;
+}
+
+/// The cost basis: selected + allocated + frame-finalized but UNSCHEDULED
+/// code, so each ablated scheduler variant starts from the same code
+/// thread rather than from an already-optimized order.
+target::MModule unscheduledModule(const std::string &Machine,
+                                  DiagnosticEngine &Diags) {
+  auto Target = driver::loadTarget(Machine, Diags);
+  auto Mod = frontend::compileFile("livermore.mc", Diags);
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  if (!MMod) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  for (target::MFunction &Fn : MMod->Functions) {
+    if (!regalloc::allocateFunction(Fn, *Target, Diags) ||
+        !strategy::finalizeFrame(Fn, *Target, Diags)) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      std::exit(1);
+    }
+  }
+  return std::move(*MMod);
+}
+
+/// Total estimated cycles over the Livermore kernels for one scheduler
+/// configuration, weighted by profiled block frequencies.
+uint64_t costWith(
+    const target::MModule &Basis, const target::TargetInfo &Target,
+    const std::map<std::pair<std::string, int>, uint64_t> &Counts,
+    const sched::SchedulerOptions &Opts) {
+  uint64_t Total = 0;
+  for (const target::MFunction &Fn : Basis.Functions)
+    for (const target::MBlock &Block : Fn.Blocks) {
+      auto It = Counts.find({Fn.Name, Block.Id});
+      if (It == Counts.end() || Block.Instrs.empty())
+        continue;
+      sched::BlockSchedule Sched =
+          sched::computeSchedule(Fn, Block, Target, Opts);
+      if (Sched.Deadlocked) {
+        std::fprintf(stderr, "variant deadlocked; skipping block\n");
+        continue;
+      }
+      Total += static_cast<uint64_t>(Sched.EstimatedCycles) * It->second;
+    }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Scheduling ablations (Livermore, static cost x profiled "
+              "frequency) ==\n\n");
+
+  bool Shape = true;
+  for (const char *Machine : {"r2000", "i860"}) {
+    DiagnosticEngine Diags;
+    auto Target = driver::loadTarget(Machine, Diags);
+    auto Counts = profileFrequencies(Machine);
+    target::MModule Basis = unscheduledModule(Machine, Diags);
+
+    sched::SchedulerOptions Base;
+    uint64_t Baseline = costWith(Basis, *Target, Counts, Base);
+
+    sched::SchedulerOptions SrcOrder = Base;
+    SrcOrder.Priority = sched::SchedulerOptions::Heuristic::SourceOrder;
+    uint64_t Naive = costWith(Basis, *Target, Counts, SrcOrder);
+
+    sched::SchedulerOptions NoHazard = Base;
+    NoHazard.CheckStructuralHazards = false;
+    uint64_t Optimistic = costWith(Basis, *Target, Counts, NoHazard);
+
+    std::printf("%s:\n", Machine);
+    std::printf("  max-distance heuristic (paper)     %10llu cycles\n",
+                static_cast<unsigned long long>(Baseline));
+    std::printf("  source-order heuristic             %10llu cycles "
+                "(%+.1f%%)\n",
+                static_cast<unsigned long long>(Naive),
+                100.0 * (static_cast<double>(Naive) / Baseline - 1.0));
+    std::printf("  hazard checking off (cost only)    %10llu cycles "
+                "(%+.1f%%, underestimates: the hardware would stall)\n",
+                static_cast<unsigned long long>(Optimistic),
+                100.0 * (static_cast<double>(Optimistic) / Baseline - 1.0));
+    Shape = Shape && Naive >= Baseline && Optimistic <= Baseline;
+
+    if (std::string(Machine) == "i860") {
+      sched::SchedulerOptions NoPack = Base;
+      NoPack.UsePacking = false;
+      uint64_t Unpacked = costWith(Basis, *Target, Counts, NoPack);
+      std::printf("  packing classes off (cost only)    %10llu cycles "
+                  "(%+.1f%%, would emit illegal long words)\n",
+                  static_cast<unsigned long long>(Unpacked),
+                  100.0 * (static_cast<double>(Unpacked) / Baseline - 1.0));
+      Shape = Shape && Unpacked <= Baseline;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("shape holds (max-distance <= source order; dropping checks "
+              "only ever shrinks the paper-model cost): %s\n",
+              Shape ? "yes" : "NO");
+  return Shape ? 0 : 1;
+}

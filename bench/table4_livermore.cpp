@@ -1,0 +1,130 @@
+//===- table4_livermore.cpp - Paper Table 4 reproduction -----------------------==//
+//
+// Table 4 of the paper: "Execution time and ratio of actual to estimated
+// execution time of Marion-generated R2000 code" for the first fourteen
+// Livermore Loops under all three strategies. The paper's estimates come
+// from each scheduler's basic block costs combined with profiled execution
+// frequencies; the actual times come from a real DECstation whose only
+// unmodeled effect is the cache ("cache misses were not considered").
+//
+// This harness reproduces the methodology exactly: the scheduler's
+// per-block EstimatedCycles x simulator-profiled block frequencies give the
+// estimate; the cycle-level simulator with the data cache enabled gives the
+// "actual". The reproduced shape: the ratio is >= 1 and consistent across
+// strategies for each loop (paper: "the ratio ... varies, but is consistent
+// across strategies for each loop").
+//
+// Also prints the paper's §5 strategy comparison: total cycles of IPS and
+// RASE relative to Postpass (paper: both produced code ~12% faster than
+// Postpass on a computation-intensive workload).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace marion;
+
+int main() {
+  const char *Machine = "r2000";
+  std::vector<strategy::StrategyKind> Strategies = {
+      strategy::StrategyKind::Postpass, strategy::StrategyKind::IPS,
+      strategy::StrategyKind::RASE};
+
+  std::map<int, std::map<int, uint64_t>> Actual;   // strategy -> kernel.
+  std::map<int, std::map<int, double>> Ratio;
+  std::map<int, double> Checksum;
+
+  for (size_t S = 0; S < Strategies.size(); ++S) {
+    DiagnosticEngine Diags;
+    driver::CompileOptions Opts;
+    Opts.Machine = Machine;
+    Opts.Strategy = Strategies[S];
+    auto Compiled = driver::compileFile("livermore.mc", Opts, Diags);
+    if (!Compiled) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    for (int K = 1; K <= 14; ++K) {
+      std::string Entry = "k" + std::to_string(K);
+      // "Actual": the machine with its cache — the effect the scheduler's
+      // estimate does not model.
+      sim::SimOptions HwOpts;
+      HwOpts.Cache.Enabled = true;
+      HwOpts.Cache.Lines = 1024;     // 16 KB direct-mapped data cache
+      HwOpts.Cache.LineBytes = 16;   // with a DRAM-refill penalty, a
+      HwOpts.Cache.MissPenalty = 8;  // DECstation-class memory system.
+      sim::SimResult Hw =
+          sim::runProgram(Compiled->Module, *Compiled->Target, Entry, HwOpts);
+      if (!Hw.Ok) {
+        std::fprintf(stderr, "%s: %s\n", Entry.c_str(), Hw.Error.c_str());
+        return 1;
+      }
+      uint64_t Estimated =
+          sim::SimResult::estimatedCycles(Compiled->Module, Hw);
+      Actual[S][K] = Hw.Cycles;
+      Ratio[S][K] = Estimated ? static_cast<double>(Hw.Cycles) / Estimated
+                              : 0.0;
+      if (S == 0)
+        Checksum[K] = Hw.DoubleResult;
+      else if (std::abs(Checksum[K] - Hw.DoubleResult) >
+               1e-9 * (1.0 + std::abs(Checksum[K]))) {
+        std::fprintf(stderr, "checksum mismatch on %s\n", Entry.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::printf("== Table 4: Livermore Loops on the R2000 ==\n");
+  std::printf("(cycles simulated with the cache model; ratio = actual / "
+              "scheduler estimate)\n\n");
+  std::printf("      ---------- cycles ----------   ------- ratio -------\n");
+  std::printf("ker    postp      ips     rase       postp    ips   rase\n");
+
+  double RatioSpreadMax = 0;
+  uint64_t Total[3] = {0, 0, 0};
+  for (int K = 1; K <= 14; ++K) {
+    std::printf("%3d %8llu %8llu %8llu       %5.2f  %5.2f  %5.2f\n", K,
+                static_cast<unsigned long long>(Actual[0][K]),
+                static_cast<unsigned long long>(Actual[1][K]),
+                static_cast<unsigned long long>(Actual[2][K]), Ratio[0][K],
+                Ratio[1][K], Ratio[2][K]);
+    for (int S = 0; S < 3; ++S)
+      Total[S] += Actual[S][K];
+    double Lo = std::min({Ratio[0][K], Ratio[1][K], Ratio[2][K]});
+    double Hi = std::max({Ratio[0][K], Ratio[1][K], Ratio[2][K]});
+    RatioSpreadMax = std::max(RatioSpreadMax, Hi - Lo);
+  }
+  std::printf("\ntotal cycles: postpass %llu, ips %llu, rase %llu\n",
+              static_cast<unsigned long long>(Total[0]),
+              static_cast<unsigned long long>(Total[1]),
+              static_cast<unsigned long long>(Total[2]));
+  double IpsGain = 100.0 * (1.0 - static_cast<double>(Total[1]) / Total[0]);
+  double RaseGain = 100.0 * (1.0 - static_cast<double>(Total[2]) / Total[0]);
+  std::printf("ips  vs postpass: %+.1f%% cycles (paper SS5: IPS code ~12%% "
+              "faster on a computation-intensive workload)\n",
+              -IpsGain);
+  std::printf("rase vs postpass: %+.1f%% cycles (paper SS5: RASE likewise "
+              "~12%% faster)\n",
+              -RaseGain);
+  std::printf("\npaper's Table 4 harmonic-mean ratios: 1.06 / 1.06 / 1.06 "
+              "(actual exceeds estimate, consistently across strategies)\n");
+  std::printf("max per-kernel ratio spread across strategies here: %.3f\n",
+              RatioSpreadMax);
+
+  bool Shape = true;
+  for (int K = 1; K <= 14; ++K)
+    for (int S = 0; S < 3; ++S)
+      if (Ratio[S][K] < 0.75)
+        Shape = false; // Estimates grossly above actual would be wrong.
+  Shape = Shape && RatioSpreadMax < 0.40;
+  std::printf("\nshape holds (ratios near/above 1 and consistent across "
+              "strategies per loop): %s\n",
+              Shape ? "yes" : "NO");
+  return Shape ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+//===- marionc.cpp - The Marion compiler driver --------------------------------==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+// A command-line compiler: MC source in, scheduled assembly (and optionally
+// a simulated run) out.
+//
+//   marionc file.mc [--machine M] [--strategy S] [--run [entry]]
+//           [--cycles] [--cache] [--quiet]
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+#include "target/TableDump.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace marion;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: marionc <file.mc> [options]\n"
+      "  --machine <toyp|r2000|m88000|i860>   target machine (default "
+      "r2000)\n"
+      "  --strategy <postpass|ips|rase>       code generation strategy\n"
+      "  --run [entry]                        simulate (entry defaults to "
+      "main)\n"
+      "  --cycles                             annotate assembly with issue "
+      "cycles\n"
+      "  --cache                              enable the data cache model\n"
+      "  --quiet                              suppress the assembly "
+      "listing\n"
+      "  --tables                             print the code generator's "
+      "tables and exit\n");
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string File;
+  driver::CompileOptions Opts;
+  bool Run = false, Cycles = false, Cache = false, Quiet = false;
+  bool Tables = false;
+  std::string Entry = "main";
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--machine" && I + 1 < argc) {
+      Opts.Machine = argv[++I];
+    } else if (Arg == "--strategy" && I + 1 < argc) {
+      auto Kind = strategy::strategyFromName(argv[++I]);
+      if (!Kind) {
+        std::fprintf(stderr, "unknown strategy '%s'\n", argv[I]);
+        return 2;
+      }
+      Opts.Strategy = *Kind;
+    } else if (Arg == "--run") {
+      Run = true;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        Entry = argv[++I];
+    } else if (Arg == "--cycles") {
+      Cycles = true;
+    } else if (Arg == "--cache") {
+      Cache = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--tables") {
+      Tables = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      File = Arg;
+    }
+  }
+  DiagnosticEngine Diags;
+  if (Tables) {
+    auto Target = driver::loadTarget(Opts.Machine, Diags);
+    if (!Target) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    std::printf("%s", target::dumpTables(*Target).c_str());
+    if (File.empty())
+      return 0;
+  }
+  if (File.empty()) {
+    usage();
+    return 2;
+  }
+
+  auto Compiled = driver::compileFile(File, Opts, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (!Diags.all().empty())
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+
+  if (!Quiet)
+    std::printf("%s", Compiled->assembly(Cycles).c_str());
+
+  if (Run) {
+    sim::SimOptions SimOpts;
+    SimOpts.Cache.Enabled = Cache;
+    sim::SimResult Result =
+        sim::runProgram(Compiled->Module, *Compiled->Target, Entry, SimOpts);
+    if (!Result.Ok) {
+      std::fprintf(stderr, "simulation failed: %s\n", Result.Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "# %s() = %lld (double %.9g) in %llu cycles, %llu "
+                 "instructions\n",
+                 Entry.c_str(), static_cast<long long>(Result.IntResult),
+                 Result.DoubleResult,
+                 static_cast<unsigned long long>(Result.Cycles),
+                 static_cast<unsigned long long>(Result.Instructions));
+    if (Cache)
+      std::fprintf(stderr, "# cache: %llu accesses, %llu misses\n",
+                   static_cast<unsigned long long>(Result.Cache.Accesses),
+                   static_cast<unsigned long long>(Result.Cache.Misses));
+  }
+  return 0;
+}

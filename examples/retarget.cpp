@@ -1,0 +1,172 @@
+//===- retarget.cpp - Retargeting Marion to a new machine ----------------------==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+// The paper's enabling claim: "given this enabling technology, we have
+// experimented with alternative architectures". This example writes a brand
+// new machine description as a string — a TOYP variant with a slower memory
+// system and a second ALU — builds a code generator from it at run time,
+// and compares the schedules and simulated cycle counts against stock TOYP
+// on the same program. No compiler source changes, just a description.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Frontend.h"
+#include "select/Selector.h"
+#include "sim/Simulator.h"
+#include "strategy/Strategy.h"
+#include "target/TargetBuilder.h"
+
+#include <cstdio>
+
+using namespace marion;
+
+namespace {
+
+/// A TOYP variant: loads take 6 cycles (a slow memory system) but the core
+/// has two ALUs (A1/A2) so independent integer work dual-issues.
+const char *VariantSource = R"(
+declare {
+  %reg r[0:7] (int);
+  %reg d[0:3] (double);
+  %equiv d[0] r[0];
+  %resource A1; A2; MEM; BR;
+  %def const16 [-32768:32767];
+  %def addr32 [-2147483648:2147483647] +address;
+  %label rlab [-32768:32767] +relative;
+  %label flab [-2147483648:2147483647];
+  %memory m[0:2147483647];
+}
+cwvm {
+  %general (int) r;
+  %general (double) d;
+  %allocable r[1:5], d[1:2];
+  %calleesave r[4:5];
+  %sp r[7] +down;
+  %fp r[6] +down;
+  %retaddr r[1];
+  %hard r[0] 0;
+  %arg (int) r[2] 1;
+  %arg (int) r[3] 2;
+  %arg (double) d[1] 1;
+  %result r[2] (int);
+  %result d[1] (double);
+}
+instr {
+  /* two ALUs: either may execute an integer op, so two independent ops
+     dual-issue; the scheduler discovers this from the resources alone */
+  %instr add r, r[0], #const16 (int) {$1 = $3;} [A1;] (1,1,0)
+  %instr add2 r, r[0], #const16 (int) {$1 = $3;} [A2;] (1,1,0)
+  %instr add r, r, #const16 (int) {$1 = $2 + $3;} [A1;] (1,1,0)
+  %instr add2 r, r, #const16 (int) {$1 = $2 + $3;} [A2;] (1,1,0)
+  %instr add r, r, r (int) {$1 = $2 + $3;} [A1;] (1,1,0)
+  %instr add2 r, r, r (int) {$1 = $2 + $3;} [A2;] (1,1,0)
+  %instr sub r, r, r (int) {$1 = $2 - $3;} [A1;] (1,1,0)
+  %instr sub2 r, r, r (int) {$1 = $2 - $3;} [A2;] (1,1,0)
+  %instr sll r, r, #const16 (int) {$1 = $2 << $3;} [A1;] (1,1,0)
+  %instr cmp r, r, r (int) {$1 = $2 :: $3;} [A1;] (1,1,0)
+  %instr la r, #addr32 (int) {$1 = $2;} [A1;] (1,1,0)
+  %instr la2 r, #addr32 (int) {$1 = $2;} [A2;] (1,1,0)
+  /* slow memory: 6-cycle loads */
+  %instr ld r, r, #const16 (int) {$1 = m[$2 + $3];} [A1, MEM;] (1,6,0)
+  %instr st r, r, #const16 (int) {m[$2 + $3] = $1;} [A1, MEM;] (1,1,0)
+  %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [BR;] (1,2,1)
+  %instr bne0 r, #rlab {if ($1 != 0) goto $2;} [BR;] (1,2,1)
+  %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [BR;] (1,2,1)
+  %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [BR;] (1,2,1)
+  %instr jmp #rlab {goto $1;} [BR;] (1,2,1)
+  %instr jsr #flab {call $1;} [BR;] (1,2,1)
+  %instr rts {ret;} [BR;] (1,2,1)
+  %instr nop {} [A1;] (1,1,0)
+  %move [s.movs] add r, r, r[0] {$1 = $2;} [A1;] (1,1,0)
+  %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+  %glue r, r {($1 != $2) ==> (($1 :: $2) != 0);}
+  %glue r, r {($1 < $2) ==> (($1 :: $2) < 0);}
+  %glue r, r {($1 >= $2) ==> (($1 :: $2) >= 0);}
+}
+)";
+
+const char *Program = R"(
+int a[64];
+int b[64];
+int main() {
+  int i; int s; int t;
+  s = 0; t = 0;
+  for (i = 0; i < 64; i = i + 1) { a[i] = i; b[i] = 64 - i; }
+  for (i = 0; i < 64; i = i + 1) {
+    s = s + a[i];
+    t = t + b[i];
+  }
+  return s + t;
+}
+)";
+
+struct Outcome {
+  bool Ok = false;
+  uint64_t Cycles = 0;
+  int64_t Result = 0;
+};
+
+Outcome runOn(std::shared_ptr<const target::TargetInfo> Target) {
+  Outcome Out;
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileSource(Program, "retarget", Diags);
+  if (!Mod)
+    return Out;
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  if (!MMod)
+    return Out;
+  if (!strategy::runStrategy(strategy::StrategyKind::Postpass, *MMod, *Target,
+                             Diags))
+    return Out;
+  sim::SimResult Run = sim::runProgram(*MMod, *Target);
+  Out.Ok = Run.Ok;
+  Out.Cycles = Run.Cycles;
+  Out.Result = Run.IntResult;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Retargeting Marion from a description string ==\n\n");
+
+  DiagnosticEngine Diags;
+  auto Stock = driver::loadTarget("toyp", Diags);
+  if (!Stock) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  auto Variant = target::TargetBuilder::buildFromSource(
+      VariantSource, "toyp2alu", Diags);
+  if (!Variant) {
+    std::fprintf(stderr, "variant description rejected:\n%s",
+                 Diags.str().c_str());
+    return 1;
+  }
+  std::printf("built a code generator for '%s': %zu instructions, %zu "
+              "resources\n\n",
+              Variant->name().c_str(), Variant->instructions().size(),
+              Variant->description().Resources.size());
+
+  Outcome StockRun = runOn(Stock);
+  Outcome VariantRun = runOn(
+      std::shared_ptr<const target::TargetInfo>(std::move(Variant)));
+
+  std::printf("machine      result  cycles\n");
+  std::printf("toyp         %6lld  %llu\n",
+              static_cast<long long>(StockRun.Result),
+              static_cast<unsigned long long>(StockRun.Cycles));
+  std::printf("toyp2alu     %6lld  %llu\n\n",
+              static_cast<long long>(VariantRun.Result),
+              static_cast<unsigned long long>(VariantRun.Cycles));
+
+  bool Agree = StockRun.Ok && VariantRun.Ok &&
+               StockRun.Result == VariantRun.Result;
+  std::printf("results agree: %s\n", Agree ? "yes" : "NO");
+  std::printf("(the dual-ALU variant trades a slow memory system for ILP; "
+              "the same compiler, driven only by the description, exploits "
+              "both)\n");
+  return Agree ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+//===- Compiler.cpp -------------------------------------------------------==//
+
+#include "driver/Compiler.h"
+
+#include "frontend/Frontend.h"
+#include "select/Selector.h"
+#include "target/TargetBuilder.h"
+
+#include <map>
+#include <mutex>
+
+using namespace marion;
+using namespace marion::driver;
+
+std::string Compilation::assembly(bool ShowCycles) const {
+  std::string Out;
+  for (const target::MFunction &Fn : Module.Functions)
+    Out += target::functionToString(*Target, Fn, ShowCycles);
+  return Out;
+}
+
+std::shared_ptr<const target::TargetInfo>
+driver::loadTarget(const std::string &Machine, DiagnosticEngine &Diags) {
+  static std::mutex CacheMutex;
+  static std::map<std::string, std::shared_ptr<const target::TargetInfo>>
+      Cache;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Machine);
+    if (It != Cache.end())
+      return It->second;
+  }
+  std::shared_ptr<const target::TargetInfo> Target =
+      target::TargetBuilder::loadMachine(Machine, Diags);
+  if (Target) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    Cache[Machine] = Target;
+  }
+  return Target;
+}
+
+std::optional<Compilation> driver::compileSource(std::string_view Source,
+                                                 const std::string &ModuleName,
+                                                 const CompileOptions &Opts,
+                                                 DiagnosticEngine &Diags) {
+  auto Target = loadTarget(Opts.Machine, Diags);
+  if (!Target)
+    return std::nullopt;
+
+  auto Mod = frontend::compileSource(Source, ModuleName, Diags);
+  if (!Mod)
+    return std::nullopt;
+
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  if (!MMod)
+    return std::nullopt;
+
+  Compilation Out;
+  Out.Target = Target;
+  Out.Module = std::move(*MMod);
+  if (!strategy::runStrategy(Opts.Strategy, Out.Module, *Target, Diags,
+                             Opts.Strat, &Out.Stats))
+    return std::nullopt;
+  return Out;
+}
+
+std::optional<Compilation> driver::compileFile(const std::string &Path,
+                                               const CompileOptions &Opts,
+                                               DiagnosticEngine &Diags) {
+  auto Target = loadTarget(Opts.Machine, Diags);
+  if (!Target)
+    return std::nullopt;
+  auto Mod = frontend::compileFile(Path, Diags);
+  if (!Mod)
+    return std::nullopt;
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  if (!MMod)
+    return std::nullopt;
+  Compilation Out;
+  Out.Target = Target;
+  Out.Module = std::move(*MMod);
+  if (!strategy::runStrategy(Opts.Strategy, Out.Module, *Target, Diags,
+                             Opts.Strat, &Out.Stats))
+    return std::nullopt;
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===- Compiler.h - End-to-end Marion compiler ------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end compiler pipeline: MC source → front end → glue
+/// transformations → instruction selection → code generation strategy
+/// (scheduling + register allocation) → scheduled machine code, ready for
+/// the assembly printer or the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_DRIVER_COMPILER_H
+#define MARION_DRIVER_COMPILER_H
+
+#include "strategy/Strategy.h"
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace marion {
+namespace driver {
+
+struct CompileOptions {
+  std::string Machine = "r2000";
+  strategy::StrategyKind Strategy = strategy::StrategyKind::Postpass;
+  strategy::StrategyOptions Strat;
+};
+
+/// A finished compilation: the target model plus generated code.
+struct Compilation {
+  std::shared_ptr<const target::TargetInfo> Target;
+  target::MModule Module;
+  strategy::StrategyStats Stats;
+
+  /// Renders the whole module as assembly; \p ShowCycles adds the
+  /// scheduler's cycle column.
+  std::string assembly(bool ShowCycles = false) const;
+};
+
+/// Loads (and caches per name) a bundled machine description.
+std::shared_ptr<const target::TargetInfo>
+loadTarget(const std::string &Machine, DiagnosticEngine &Diags);
+
+/// Compiles MC source text. Returns nullopt with diagnostics on error.
+std::optional<Compilation> compileSource(std::string_view Source,
+                                         const std::string &ModuleName,
+                                         const CompileOptions &Opts,
+                                         DiagnosticEngine &Diags);
+
+/// Compiles a .mc file (absolute or workloadDir()-relative).
+std::optional<Compilation> compileFile(const std::string &Path,
+                                       const CompileOptions &Opts,
+                                       DiagnosticEngine &Diags);
+
+} // namespace driver
+} // namespace marion
+
+#endif // MARION_DRIVER_COMPILER_H

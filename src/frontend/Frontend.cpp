@@ -1,0 +1,1278 @@
+//===- Frontend.cpp -------------------------------------------------------==//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Lexer.h"
+#include "support/Paths.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace marion;
+using namespace marion::frontend;
+using il::Node;
+using il::Opcode;
+
+namespace {
+
+/// How a named variable is stored.
+struct VarInfo {
+  enum class Kind { Temp, LocalArray, GlobalScalar, GlobalArray };
+  Kind K = Kind::Temp;
+  ValueType Elem = ValueType::Int;
+  int TempId = -1;     ///< Temp.
+  int FrameIndex = -1; ///< LocalArray.
+  std::string Global;  ///< GlobalScalar / GlobalArray.
+  unsigned Dim0 = 0, Dim1 = 0; ///< Array extents; Dim1 == 0 for 1-D.
+  bool IsArray() const { return K == Kind::LocalArray || K == Kind::GlobalArray; }
+};
+
+/// A parsed expression value: the IL node plus enough lvalue information to
+/// support assignment.
+struct Value {
+  Node *N = nullptr;
+  ValueType Type = ValueType::Int;
+  // Lvalue forms: a temp, or a memory address.
+  bool IsLValue = false;
+  bool LVIsTemp = false;
+  int LVTempId = -1;
+  Node *LVAddress = nullptr; ///< Address node for memory lvalues.
+
+  bool ok() const { return N != nullptr || IsLValue; }
+};
+
+struct FunctionSig {
+  ValueType Ret = ValueType::None;
+  std::vector<ValueType> Params;
+};
+
+class CompilerImpl {
+public:
+  CompilerImpl(std::string_view Source, std::string ModuleName,
+               DiagnosticEngine &Diags)
+      : Diags(Diags) {
+    Tokens = lexSource(Source, Diags);
+    Mod = std::make_unique<il::Module>();
+    Mod->Name = std::move(ModuleName);
+  }
+
+  std::unique_ptr<il::Module> run();
+
+private:
+  // Token helpers.
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t At = std::min(Index + Ahead, Tokens.size() - 1);
+    return Tokens[At];
+  }
+  Token consume() {
+    Token Tok = Tokens[Index];
+    if (Index + 1 < Tokens.size())
+      ++Index;
+    return Tok;
+  }
+  bool consumeIf(TokKind Kind) {
+    if (!peek().is(Kind))
+      return false;
+    consume();
+    return true;
+  }
+  bool expect(TokKind Kind, const char *Context) {
+    if (consumeIf(Kind))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + tokKindName(Kind) +
+                                " " + Context + ", found " +
+                                tokKindName(peek().Kind));
+    return false;
+  }
+
+  std::optional<ValueType> parseTypeKeyword();
+
+  // Declarations.
+  void parseTopLevel();
+  void parseGlobal(ValueType Type, const std::string &Name,
+                   SourceLocation Loc);
+  void parseFunction(ValueType Ret, const std::string &Name,
+                     SourceLocation Loc);
+
+  // Statements.
+  void parseBlock();
+  void parseStatement();
+  void parseLocalDecl(ValueType Type);
+  void parseIf();
+  void parseWhile();
+  void parseDoWhile();
+  void parseFor();
+
+  // Expressions.
+  Value parseExpression(); ///< Includes assignment.
+  Value parseBinary(int MinPrec);
+  Value parseUnary();
+  Value parsePrimary();
+  Value parseCall(const std::string &Name, SourceLocation Loc);
+
+  // Lowering helpers.
+  Node *rvalue(Value &V);
+  Node *makeCondition(Node *N, ValueType Type);
+  Node *convert(Node *N, ValueType From, ValueType To);
+  ValueType usualArith(ValueType A, ValueType B) const;
+  void emitAssign(Value &LHS, Node *RHS, ValueType RHSType,
+                  SourceLocation Loc);
+  void lowerCondBranch(Value Cond, il::BasicBlock *TrueB,
+                       il::BasicBlock *FalseB);
+
+  // Scope handling.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  VarInfo *lookup(const std::string &Name);
+  void declare(const std::string &Name, VarInfo Info, SourceLocation Loc);
+
+  Node *addrOfElement(const VarInfo &Var, SourceLocation Loc);
+  Node *floatConstant(ValueType Type, double Value);
+
+  il::BasicBlock *newBlock() { return Fn->addBlock(); }
+  void setBlock(il::BasicBlock *Block) { Cur = Block; }
+  void emitRoot(Node *N) { Cur->Roots.push_back(N); }
+  void emitJump(il::BasicBlock *Target);
+  void emitBranch(Node *Cond, il::BasicBlock *Target);
+  bool blockTerminated() const;
+
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+
+  std::unique_ptr<il::Module> Mod;
+  il::Function *Fn = nullptr;
+  il::BasicBlock *Cur = nullptr;
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+  std::map<std::string, FunctionSig> Sigs;
+  std::vector<il::BasicBlock *> BreakTargets;
+  std::vector<il::BasicBlock *> ContinueTargets;
+  std::map<std::pair<int, int64_t>, std::string> FloatPool;
+  int FloatPoolCounter = 0;
+};
+
+std::unique_ptr<il::Module> CompilerImpl::run() {
+  pushScope(); // Global scope.
+  while (!peek().is(TokKind::Eof))
+    parseTopLevel();
+  popScope();
+  if (Diags.hasErrors())
+    return nullptr;
+  return std::move(Mod);
+}
+
+std::optional<ValueType> CompilerImpl::parseTypeKeyword() {
+  switch (peek().Kind) {
+  case TokKind::KwInt:
+    consume();
+    return ValueType::Int;
+  case TokKind::KwFloat:
+    consume();
+    return ValueType::Float;
+  case TokKind::KwDouble:
+    consume();
+    return ValueType::Double;
+  case TokKind::KwVoid:
+    consume();
+    return ValueType::None;
+  default:
+    return std::nullopt;
+  }
+}
+
+void CompilerImpl::parseTopLevel() {
+  SourceLocation Loc = peek().Loc;
+  auto Type = parseTypeKeyword();
+  if (!Type) {
+    Diags.error(Loc, "expected a declaration at top level");
+    consume();
+    return;
+  }
+  if (!peek().is(TokKind::Ident)) {
+    Diags.error(peek().Loc, "expected a name in declaration");
+    consume();
+    return;
+  }
+  std::string Name = consume().Text;
+  if (peek().is(TokKind::LParen))
+    parseFunction(*Type, Name, Loc);
+  else
+    parseGlobal(*Type, Name, Loc);
+}
+
+void CompilerImpl::parseGlobal(ValueType Type, const std::string &Name,
+                               SourceLocation Loc) {
+  if (Type == ValueType::None) {
+    Diags.error(Loc, "global variables cannot be void");
+    Type = ValueType::Int;
+  }
+  il::GlobalVariable Global;
+  Global.Name = Name;
+  Global.ElementType = Type;
+  Global.Align = sizeOf(Type);
+
+  VarInfo Info;
+  Info.Elem = Type;
+  Info.Global = Name;
+
+  unsigned Dim0 = 0, Dim1 = 0;
+  if (consumeIf(TokKind::LBracket)) {
+    if (peek().is(TokKind::IntLit))
+      Dim0 = static_cast<unsigned>(consume().IntValue);
+    else
+      Diags.error(peek().Loc, "expected array size");
+    expect(TokKind::RBracket, "after array size");
+    if (consumeIf(TokKind::LBracket)) {
+      if (peek().is(TokKind::IntLit))
+        Dim1 = static_cast<unsigned>(consume().IntValue);
+      else
+        Diags.error(peek().Loc, "expected array size");
+      expect(TokKind::RBracket, "after array size");
+    }
+    Info.K = VarInfo::Kind::GlobalArray;
+    Info.Dim0 = Dim0;
+    Info.Dim1 = Dim1;
+    Global.SizeBytes = sizeOf(Type) * Dim0 * (Dim1 ? Dim1 : 1);
+  } else {
+    Info.K = VarInfo::Kind::GlobalScalar;
+    Global.SizeBytes = sizeOf(Type);
+  }
+
+  if (consumeIf(TokKind::Assign)) {
+    auto ParseNumber = [&]() -> double {
+      bool Neg = consumeIf(TokKind::Minus);
+      double V = 0;
+      if (peek().is(TokKind::IntLit))
+        V = static_cast<double>(consume().IntValue);
+      else if (peek().is(TokKind::FloatLit))
+        V = consume().FloatValue;
+      else
+        Diags.error(peek().Loc, "expected numeric initializer");
+      return Neg ? -V : V;
+    };
+    if (consumeIf(TokKind::LBrace)) {
+      while (!peek().is(TokKind::RBrace) && !peek().is(TokKind::Eof)) {
+        Global.Init.push_back(ParseNumber());
+        if (!consumeIf(TokKind::Comma))
+          break;
+      }
+      expect(TokKind::RBrace, "to close initializer list");
+    } else {
+      Global.Init.push_back(ParseNumber());
+    }
+  }
+  expect(TokKind::Semi, "after global declaration");
+
+  Mod->Globals.push_back(std::move(Global));
+  declare(Name, std::move(Info), Loc);
+}
+
+void CompilerImpl::parseFunction(ValueType Ret, const std::string &Name,
+                                 SourceLocation Loc) {
+  expect(TokKind::LParen, "after function name");
+
+  FunctionSig Sig;
+  Sig.Ret = Ret;
+  struct Param {
+    ValueType Type;
+    std::string Name;
+  };
+  std::vector<Param> Params;
+  if (!peek().is(TokKind::RParen)) {
+    for (;;) {
+      auto PType = parseTypeKeyword();
+      if (!PType || *PType == ValueType::None) {
+        Diags.error(peek().Loc, "expected parameter type");
+        break;
+      }
+      if (!peek().is(TokKind::Ident)) {
+        Diags.error(peek().Loc, "expected parameter name");
+        break;
+      }
+      Params.push_back({*PType, consume().Text});
+      Sig.Params.push_back(Params.back().Type);
+      if (!consumeIf(TokKind::Comma))
+        break;
+    }
+  }
+  expect(TokKind::RParen, "after parameters");
+
+  Sigs[Name] = Sig;
+
+  if (consumeIf(TokKind::Semi))
+    return; // Forward declaration only.
+
+  Fn = Mod->addFunction(Name, Ret);
+  Cur = Fn->addBlock();
+  pushScope();
+  for (const Param &P : Params) {
+    int TempId = Fn->addTemp(P.Name, P.Type);
+    Fn->ParamTemps.push_back(TempId);
+    VarInfo Info;
+    Info.K = VarInfo::Kind::Temp;
+    Info.Elem = P.Type;
+    Info.TempId = TempId;
+    declare(P.Name, std::move(Info), Loc);
+  }
+
+  if (!expect(TokKind::LBrace, "to begin function body"))
+    return;
+  parseBlock();
+  popScope();
+
+  // Guarantee a terminator: fall off the end returns 0 / nothing.
+  if (!blockTerminated()) {
+    Node *RetNode = Fn->makeNode(Opcode::Ret);
+    if (Ret != ValueType::None) {
+      Node *Zero = isFloatingPoint(Ret) ? floatConstant(Ret, 0)
+                                        : Fn->makeConst(Ret, 0);
+      RetNode->Kids.push_back(Zero);
+    }
+    emitRoot(RetNode);
+  }
+  Fn = nullptr;
+  Cur = nullptr;
+}
+
+bool CompilerImpl::blockTerminated() const {
+  if (Cur->Roots.empty())
+    return false;
+  Opcode Op = Cur->Roots.back()->Op;
+  return Op == Opcode::Jump || Op == Opcode::Ret;
+}
+
+void CompilerImpl::emitJump(il::BasicBlock *Target) {
+  if (blockTerminated())
+    return; // Unreachable.
+  Node *J = Fn->makeNode(Opcode::Jump);
+  J->TargetBlock = Target->Id;
+  emitRoot(J);
+}
+
+void CompilerImpl::emitBranch(Node *Cond, il::BasicBlock *Target) {
+  if (blockTerminated())
+    return;
+  Node *B = Fn->makeNode(Opcode::Br);
+  B->Kids.push_back(Cond);
+  B->TargetBlock = Target->Id;
+  emitRoot(B);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void CompilerImpl::parseBlock() {
+  pushScope();
+  while (!peek().is(TokKind::RBrace) && !peek().is(TokKind::Eof))
+    parseStatement();
+  expect(TokKind::RBrace, "to close block");
+  popScope();
+}
+
+void CompilerImpl::parseStatement() {
+  switch (peek().Kind) {
+  case TokKind::KwInt:
+  case TokKind::KwFloat:
+  case TokKind::KwDouble: {
+    ValueType Type = *parseTypeKeyword();
+    parseLocalDecl(Type);
+    return;
+  }
+  case TokKind::LBrace:
+    consume();
+    parseBlock();
+    return;
+  case TokKind::KwIf:
+    parseIf();
+    return;
+  case TokKind::KwWhile:
+    parseWhile();
+    return;
+  case TokKind::KwDo:
+    parseDoWhile();
+    return;
+  case TokKind::KwFor:
+    parseFor();
+    return;
+  case TokKind::KwReturn: {
+    consume();
+    Node *RetNode = Fn->makeNode(Opcode::Ret);
+    if (!peek().is(TokKind::Semi)) {
+      Value V = parseExpression();
+      Node *N = rvalue(V);
+      if (N)
+        RetNode->Kids.push_back(convert(N, V.Type, Fn->ReturnType));
+    }
+    expect(TokKind::Semi, "after return");
+    if (!blockTerminated())
+      emitRoot(RetNode);
+    setBlock(newBlock()); // Anything following is unreachable but valid.
+    return;
+  }
+  case TokKind::KwBreak:
+    consume();
+    expect(TokKind::Semi, "after break");
+    if (BreakTargets.empty())
+      Diags.error(peek().Loc, "break outside of a loop");
+    else
+      emitJump(BreakTargets.back());
+    setBlock(newBlock());
+    return;
+  case TokKind::KwContinue:
+    consume();
+    expect(TokKind::Semi, "after continue");
+    if (ContinueTargets.empty())
+      Diags.error(peek().Loc, "continue outside of a loop");
+    else
+      emitJump(ContinueTargets.back());
+    setBlock(newBlock());
+    return;
+  case TokKind::Semi:
+    consume();
+    return;
+  default: {
+    // Expression statement (assignment or call).
+    Value V = parseExpression();
+    (void)V;
+    expect(TokKind::Semi, "after expression statement");
+    return;
+  }
+  }
+}
+
+void CompilerImpl::parseLocalDecl(ValueType Type) {
+  for (;;) {
+    if (!peek().is(TokKind::Ident)) {
+      Diags.error(peek().Loc, "expected variable name");
+      break;
+    }
+    SourceLocation Loc = peek().Loc;
+    std::string Name = consume().Text;
+
+    if (consumeIf(TokKind::LBracket)) {
+      unsigned Dim0 = 0, Dim1 = 0;
+      if (peek().is(TokKind::IntLit))
+        Dim0 = static_cast<unsigned>(consume().IntValue);
+      else
+        Diags.error(peek().Loc, "expected array size");
+      expect(TokKind::RBracket, "after array size");
+      if (consumeIf(TokKind::LBracket)) {
+        if (peek().is(TokKind::IntLit))
+          Dim1 = static_cast<unsigned>(consume().IntValue);
+        else
+          Diags.error(peek().Loc, "expected array size");
+        expect(TokKind::RBracket, "after array size");
+      }
+      VarInfo Info;
+      Info.K = VarInfo::Kind::LocalArray;
+      Info.Elem = Type;
+      Info.Dim0 = Dim0;
+      Info.Dim1 = Dim1;
+      Info.FrameIndex = Fn->addFrameObject(
+          Name, sizeOf(Type) * Dim0 * (Dim1 ? Dim1 : 1), sizeOf(Type));
+      declare(Name, std::move(Info), Loc);
+    } else {
+      VarInfo Info;
+      Info.K = VarInfo::Kind::Temp;
+      Info.Elem = Type;
+      Info.TempId = Fn->addTemp(Name, Type);
+      int TempId = Info.TempId;
+      declare(Name, std::move(Info), Loc);
+      if (consumeIf(TokKind::Assign)) {
+        Value V = parseExpression();
+        Node *N = rvalue(V);
+        if (N) {
+          Node *Set = Fn->makeNode(Opcode::SetTemp);
+          Set->TempId = TempId;
+          Set->Kids.push_back(convert(N, V.Type, Type));
+          emitRoot(Set);
+        }
+      }
+    }
+    if (!consumeIf(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::Semi, "after declaration");
+}
+
+void CompilerImpl::parseIf() {
+  consume(); // if
+  expect(TokKind::LParen, "after 'if'");
+  Value Cond = parseExpression();
+  expect(TokKind::RParen, "after if condition");
+
+  il::BasicBlock *ThenB = newBlock();
+  il::BasicBlock *ElseB = nullptr;
+  lowerCondBranch(std::move(Cond), ThenB, nullptr);
+  il::BasicBlock *AfterCond = Cur;
+
+  setBlock(ThenB);
+  parseStatement();
+  il::BasicBlock *ThenEnd = Cur;
+
+  if (peek().is(TokKind::KwElse)) {
+    consume();
+    ElseB = newBlock();
+    setBlock(ElseB);
+    parseStatement();
+    il::BasicBlock *ElseEnd = Cur;
+    il::BasicBlock *EndB = newBlock();
+    // Wire: cond-false falls to ElseB? The layout is Then..., Else..., End.
+    // AfterCond must jump to ElseB when the branch is not taken.
+    setBlock(AfterCond);
+    emitJump(ElseB);
+    setBlock(ThenEnd);
+    emitJump(EndB);
+    setBlock(ElseEnd);
+    emitJump(EndB);
+    setBlock(EndB);
+  } else {
+    il::BasicBlock *EndB = newBlock();
+    setBlock(AfterCond);
+    emitJump(EndB);
+    setBlock(ThenEnd);
+    emitJump(EndB);
+    setBlock(EndB);
+  }
+}
+
+void CompilerImpl::parseWhile() {
+  consume(); // while
+  il::BasicBlock *HeaderB = newBlock();
+  emitJump(HeaderB);
+  setBlock(HeaderB);
+
+  expect(TokKind::LParen, "after 'while'");
+  Value Cond = parseExpression();
+  expect(TokKind::RParen, "after while condition");
+
+  il::BasicBlock *BodyB = newBlock();
+  lowerCondBranch(std::move(Cond), BodyB, nullptr);
+  il::BasicBlock *CondEnd = Cur;
+
+  il::BasicBlock *EndB = nullptr; // Created after the body for layout.
+  BreakTargets.push_back(nullptr);
+  ContinueTargets.push_back(HeaderB);
+  size_t BreakIndex = BreakTargets.size() - 1;
+
+  // We need the end block id before parsing the body for breaks; create it
+  // now even though its layout position is later.
+  EndB = newBlock();
+  BreakTargets[BreakIndex] = EndB;
+
+  setBlock(BodyB);
+  parseStatement();
+  emitJump(HeaderB);
+
+  setBlock(CondEnd);
+  emitJump(EndB);
+  setBlock(EndB);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+}
+
+void CompilerImpl::parseDoWhile() {
+  consume(); // do
+  il::BasicBlock *BodyB = newBlock();
+  il::BasicBlock *CondB = newBlock();
+  il::BasicBlock *EndB = newBlock();
+  emitJump(BodyB);
+
+  BreakTargets.push_back(EndB);
+  ContinueTargets.push_back(CondB);
+  setBlock(BodyB);
+  parseStatement();
+  emitJump(CondB);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+
+  if (!peek().is(TokKind::KwWhile)) {
+    Diags.error(peek().Loc, "expected 'while' after do body");
+    return;
+  }
+  consume();
+  expect(TokKind::LParen, "after 'while'");
+  setBlock(CondB);
+  Value Cond = parseExpression();
+  expect(TokKind::RParen, "after do-while condition");
+  expect(TokKind::Semi, "after do-while");
+  lowerCondBranch(std::move(Cond), BodyB, nullptr);
+  emitJump(EndB);
+  setBlock(EndB);
+}
+
+void CompilerImpl::parseFor() {
+  consume(); // for
+  expect(TokKind::LParen, "after 'for'");
+  if (!peek().is(TokKind::Semi))
+    (void)parseExpression();
+  expect(TokKind::Semi, "after for initializer");
+
+  il::BasicBlock *HeaderB = newBlock();
+  emitJump(HeaderB);
+  setBlock(HeaderB);
+
+  Value Cond;
+  bool HasCond = false;
+  if (!peek().is(TokKind::Semi)) {
+    Cond = parseExpression();
+    HasCond = true;
+  }
+  expect(TokKind::Semi, "after for condition");
+
+  // The step expression is parsed now but must execute after the body;
+  // remember its token range and re-parse it then (single-pass trick).
+  size_t StepStart = Index;
+  int Depth = 0;
+  while (!peek().is(TokKind::Eof)) {
+    if (peek().is(TokKind::LParen))
+      ++Depth;
+    if (peek().is(TokKind::RParen)) {
+      if (Depth == 0)
+        break;
+      --Depth;
+    }
+    consume();
+  }
+  size_t StepEnd = Index;
+  expect(TokKind::RParen, "after for step");
+
+  il::BasicBlock *BodyB = newBlock();
+  if (HasCond)
+    lowerCondBranch(std::move(Cond), BodyB, nullptr);
+  else
+    emitJump(BodyB);
+  il::BasicBlock *CondEnd = Cur;
+
+  il::BasicBlock *StepB = newBlock();
+  il::BasicBlock *EndB = newBlock();
+  BreakTargets.push_back(EndB);
+  ContinueTargets.push_back(StepB);
+
+  setBlock(BodyB);
+  parseStatement();
+  size_t AfterBody = Index;
+  emitJump(StepB);
+
+  setBlock(StepB);
+  if (StepEnd > StepStart) {
+    Index = StepStart;
+    (void)parseExpression();
+    Index = AfterBody;
+  }
+  emitJump(HeaderB);
+
+  setBlock(CondEnd);
+  emitJump(EndB);
+  setBlock(EndB);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+int precedenceOf(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Less:
+  case TokKind::LessEq:
+  case TokKind::Greater:
+  case TokKind::GreaterEq:
+    return 7;
+  case TokKind::EqEq:
+  case TokKind::BangEq:
+    return 6;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::PipePipe:
+    return 1;
+  default:
+    return -1;
+  }
+}
+
+Opcode opcodeForTok(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Star:
+    return Opcode::Mul;
+  case TokKind::Slash:
+    return Opcode::Div;
+  case TokKind::Percent:
+    return Opcode::Rem;
+  case TokKind::Plus:
+    return Opcode::Add;
+  case TokKind::Minus:
+    return Opcode::Sub;
+  case TokKind::Shl:
+    return Opcode::Shl;
+  case TokKind::Shr:
+    return Opcode::Shr;
+  case TokKind::Less:
+    return Opcode::Lt;
+  case TokKind::LessEq:
+    return Opcode::Le;
+  case TokKind::Greater:
+    return Opcode::Gt;
+  case TokKind::GreaterEq:
+    return Opcode::Ge;
+  case TokKind::EqEq:
+    return Opcode::Eq;
+  case TokKind::BangEq:
+    return Opcode::Ne;
+  case TokKind::Amp:
+    return Opcode::And;
+  case TokKind::Caret:
+    return Opcode::Xor;
+  case TokKind::Pipe:
+    return Opcode::Or;
+  default:
+    return Opcode::Add;
+  }
+}
+} // namespace
+
+Value CompilerImpl::parseExpression() {
+  Value LHS = parseBinary(0);
+  TokKind Kind = peek().Kind;
+  if (Kind == TokKind::Assign || Kind == TokKind::PlusAssign ||
+      Kind == TokKind::MinusAssign || Kind == TokKind::StarAssign ||
+      Kind == TokKind::SlashAssign) {
+    SourceLocation Loc = consume().Loc;
+    Value RHS = parseExpression(); // Right-associative.
+    Node *RHSNode = rvalue(RHS);
+    if (!LHS.IsLValue) {
+      Diags.error(Loc, "left side of assignment is not assignable");
+      return RHS;
+    }
+    if (Kind != TokKind::Assign) {
+      // Compound assignment: read, combine, write.
+      Value Read = LHS; // Copy retains lvalue info.
+      Node *Old = rvalue(Read);
+      ValueType CT = usualArith(LHS.Type, RHS.Type);
+      Opcode Op = Kind == TokKind::PlusAssign    ? Opcode::Add
+                  : Kind == TokKind::MinusAssign ? Opcode::Sub
+                  : Kind == TokKind::StarAssign  ? Opcode::Mul
+                                                 : Opcode::Div;
+      RHSNode = Fn->makeBinary(Op, CT, convert(Old, LHS.Type, CT),
+                               convert(RHSNode, RHS.Type, CT));
+      RHS.Type = CT;
+    }
+    emitAssign(LHS, RHSNode, RHS.Type, Loc);
+    // The value of an assignment is the assigned value (converted).
+    Value Result;
+    Result.N = convert(RHSNode, RHS.Type, LHS.Type);
+    Result.Type = LHS.Type;
+    return Result;
+  }
+  return LHS;
+}
+
+Value CompilerImpl::parseBinary(int MinPrec) {
+  Value LHS = parseUnary();
+  for (;;) {
+    TokKind Kind = peek().Kind;
+    int Prec = precedenceOf(Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return LHS;
+
+    if (Kind == TokKind::AmpAmp || Kind == TokKind::PipePipe) {
+      // Short-circuit: materialize a 0/1 temp via control flow.
+      consume();
+      bool IsAnd = Kind == TokKind::AmpAmp;
+      int ResultTemp = Fn->addTemp("sc", ValueType::Int);
+
+      il::BasicBlock *RhsB = newBlock();
+      il::BasicBlock *ShortB = newBlock();
+      il::BasicBlock *EndB = newBlock();
+
+      Node *LHSNode = rvalue(LHS);
+      if (IsAnd) {
+        emitBranch(makeCondition(LHSNode, LHS.Type), RhsB);
+        emitJump(ShortB);
+      } else {
+        emitBranch(makeCondition(LHSNode, LHS.Type), ShortB);
+        emitJump(RhsB);
+      }
+
+      setBlock(RhsB);
+      Value RHS = parseBinary(Prec + 1);
+      Node *RHSNode = rvalue(RHS);
+      Node *RHSBool = Fn->makeBinary(
+          Opcode::Ne, ValueType::Int, RHSNode,
+          isFloatingPoint(RHS.Type) ? floatConstant(RHS.Type, 0)
+                                    : Fn->makeConst(RHS.Type, 0));
+      Node *SetR = Fn->makeNode(Opcode::SetTemp);
+      SetR->TempId = ResultTemp;
+      SetR->Kids.push_back(RHSBool);
+      emitRoot(SetR);
+      emitJump(EndB);
+
+      setBlock(ShortB);
+      Node *SetS = Fn->makeNode(Opcode::SetTemp);
+      SetS->TempId = ResultTemp;
+      SetS->Kids.push_back(Fn->makeConst(ValueType::Int, IsAnd ? 0 : 1));
+      emitRoot(SetS);
+      emitJump(EndB);
+
+      setBlock(EndB);
+      Value Result;
+      Result.N = Fn->makeTemp(ResultTemp);
+      Result.Type = ValueType::Int;
+      LHS = Result;
+      continue;
+    }
+
+    consume();
+    Value RHS = parseBinary(Prec + 1);
+    Node *L = rvalue(LHS);
+    Node *R = rvalue(RHS);
+    Opcode Op = opcodeForTok(Kind);
+
+    bool IsComparison = Prec == 6 || Prec == 7;
+    bool IsIntOnly = Op == Opcode::Rem || Op == Opcode::And ||
+                     Op == Opcode::Or || Op == Opcode::Xor ||
+                     Op == Opcode::Shl || Op == Opcode::Shr;
+    ValueType CT =
+        IsIntOnly ? ValueType::Int : usualArith(LHS.Type, RHS.Type);
+    L = convert(L, LHS.Type, CT);
+    R = convert(R, RHS.Type, CT);
+
+    // Strength-reduce integer multiplication by a power of two: targets
+    // without an integer multiplier (TOYP) still index arrays.
+    if (Op == Opcode::Mul && CT == ValueType::Int) {
+      if (L->Op == Opcode::Const && R->Op != Opcode::Const)
+        std::swap(L, R);
+      if (R->Op == Opcode::Const && R->IntVal > 0 &&
+          (R->IntVal & (R->IntVal - 1)) == 0) {
+        int Shift = 0;
+        while ((int64_t(1) << Shift) < R->IntVal)
+          ++Shift;
+        Op = Opcode::Shl;
+        R = Fn->makeConst(ValueType::Int, Shift);
+      }
+    }
+    Value Result;
+    Result.N =
+        Fn->makeBinary(Op, IsComparison ? ValueType::Int : CT, L, R);
+    Result.Type = IsComparison ? ValueType::Int : CT;
+    LHS = Result;
+  }
+}
+
+Value CompilerImpl::parseUnary() {
+  SourceLocation Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokKind::Minus: {
+    consume();
+    if (peek().is(TokKind::FloatLit)) {
+      // Fold negated float literals so they pool as one constant.
+      double Lit = consume().FloatValue;
+      Value Result;
+      Result.N = floatConstant(ValueType::Double, -Lit);
+      Result.Type = ValueType::Double;
+      return Result;
+    }
+    Value V = parseUnary();
+    Node *N = rvalue(V);
+    Value Result;
+    Result.Type = V.Type;
+    if (N && N->Op == Opcode::Const) {
+      // Fold negation of literals.
+      if (isFloatingPoint(V.Type))
+        Result.N = Fn->makeFloatConst(V.Type, -N->FloatVal);
+      else
+        Result.N = Fn->makeConst(V.Type, -N->IntVal);
+    } else {
+      Result.N = Fn->makeUnary(Opcode::Neg, V.Type, N);
+    }
+    return Result;
+  }
+  case TokKind::Tilde: {
+    consume();
+    Value V = parseUnary();
+    Node *N = convert(rvalue(V), V.Type, ValueType::Int);
+    Value Result;
+    Result.N = Fn->makeUnary(Opcode::Not, ValueType::Int, N);
+    Result.Type = ValueType::Int;
+    return Result;
+  }
+  case TokKind::Bang: {
+    consume();
+    Value V = parseUnary();
+    Node *N = rvalue(V);
+    Value Result;
+    Result.N = Fn->makeBinary(Opcode::Eq, ValueType::Int, N,
+                              isFloatingPoint(V.Type)
+                                  ? floatConstant(V.Type, 0)
+                                  : Fn->makeConst(V.Type, 0));
+    Result.Type = ValueType::Int;
+    return Result;
+  }
+  case TokKind::LParen: {
+    // Cast or parenthesized expression.
+    if (peek(1).is(TokKind::KwInt) || peek(1).is(TokKind::KwFloat) ||
+        peek(1).is(TokKind::KwDouble)) {
+      consume();
+      ValueType To = *parseTypeKeyword();
+      expect(TokKind::RParen, "after cast type");
+      Value V = parseUnary();
+      Node *N = rvalue(V);
+      Value Result;
+      Result.N = convert(N, V.Type, To);
+      Result.Type = To;
+      return Result;
+    }
+    consume();
+    Value V = parseExpression();
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return V;
+  }
+  default:
+    (void)Loc;
+    return parsePrimary();
+  }
+}
+
+Value CompilerImpl::parsePrimary() {
+  SourceLocation Loc = peek().Loc;
+  Value Result;
+
+  if (peek().is(TokKind::IntLit)) {
+    Result.N = Fn->makeConst(ValueType::Int, consume().IntValue);
+    Result.Type = ValueType::Int;
+    return Result;
+  }
+  if (peek().is(TokKind::FloatLit)) {
+    double V = consume().FloatValue;
+    Result.N = floatConstant(ValueType::Double, V);
+    Result.Type = ValueType::Double;
+    return Result;
+  }
+  if (!peek().is(TokKind::Ident)) {
+    Diags.error(Loc, "expected expression, found " +
+                         std::string(tokKindName(peek().Kind)));
+    consume();
+    Result.N = Fn->makeConst(ValueType::Int, 0);
+    return Result;
+  }
+
+  std::string Name = consume().Text;
+  if (peek().is(TokKind::LParen))
+    return parseCall(Name, Loc);
+
+  VarInfo *Var = lookup(Name);
+  if (!Var) {
+    Diags.error(Loc, "use of undeclared identifier '" + Name + "'");
+    Result.N = Fn->makeConst(ValueType::Int, 0);
+    return Result;
+  }
+
+  if (Var->IsArray()) {
+    if (!peek().is(TokKind::LBracket)) {
+      Diags.error(Loc, "array '" + Name + "' needs a subscript");
+      Result.N = Fn->makeConst(ValueType::Int, 0);
+      return Result;
+    }
+    consume();
+    Value Index0 = parseExpression();
+    expect(TokKind::RBracket, "after subscript");
+    Node *Index = convert(rvalue(Index0), Index0.Type, ValueType::Int);
+
+    if (Var->Dim1) {
+      if (!expect(TokKind::LBracket, "for second subscript"))
+        return Result;
+      Value Index1 = parseExpression();
+      expect(TokKind::RBracket, "after subscript");
+      Node *Inner = convert(rvalue(Index1), Index1.Type, ValueType::Int);
+      // index = i * dim1 + j.
+      Node *Scaled = Fn->makeBinary(
+          Opcode::Mul, ValueType::Int, Index,
+          Fn->makeConst(ValueType::Int, static_cast<int64_t>(Var->Dim1)));
+      Index = Fn->makeBinary(Opcode::Add, ValueType::Int, Scaled, Inner);
+    }
+
+    // Byte offset = index << log2(elemsize); element sizes are 4 or 8.
+    unsigned Elem = sizeOf(Var->Elem);
+    int Shift = Elem == 8 ? 3 : 2;
+    Node *Offset = Fn->makeBinary(Opcode::Shl, ValueType::Int, Index,
+                                  Fn->makeConst(ValueType::Int, Shift));
+    Node *Base = addrOfElement(*Var, Loc);
+    Node *Addr = Fn->makeBinary(Opcode::Add, ValueType::Int, Base, Offset);
+
+    Result.Type = Var->Elem;
+    Result.IsLValue = true;
+    Result.LVIsTemp = false;
+    Result.LVAddress = Addr;
+    return Result;
+  }
+
+  switch (Var->K) {
+  case VarInfo::Kind::Temp:
+    Result.Type = Var->Elem;
+    Result.IsLValue = true;
+    Result.LVIsTemp = true;
+    Result.LVTempId = Var->TempId;
+    return Result;
+  case VarInfo::Kind::GlobalScalar: {
+    Node *Addr = Fn->makeNode(Opcode::AddrGlobal);
+    Addr->Type = ValueType::Int;
+    Addr->Symbol = Var->Global;
+    Result.Type = Var->Elem;
+    Result.IsLValue = true;
+    Result.LVIsTemp = false;
+    Result.LVAddress = Addr;
+    return Result;
+  }
+  default:
+    Diags.error(Loc, "invalid use of '" + Name + "'");
+    Result.N = Fn->makeConst(ValueType::Int, 0);
+    return Result;
+  }
+}
+
+Value CompilerImpl::parseCall(const std::string &Name, SourceLocation Loc) {
+  expect(TokKind::LParen, "in call");
+  std::vector<Value> Args;
+  if (!peek().is(TokKind::RParen)) {
+    for (;;) {
+      Args.push_back(parseExpression());
+      if (!consumeIf(TokKind::Comma))
+        break;
+    }
+  }
+  expect(TokKind::RParen, "after call arguments");
+
+  auto It = Sigs.find(Name);
+  if (It == Sigs.end()) {
+    Diags.error(Loc, "call to undeclared function '" + Name + "'");
+    Value Result;
+    Result.N = Fn->makeConst(ValueType::Int, 0);
+    return Result;
+  }
+  const FunctionSig &Sig = It->second;
+  if (Sig.Params.size() != Args.size())
+    Diags.error(Loc, "wrong number of arguments to '" + Name + "'");
+
+  Node *CallNode = Fn->makeNode(Opcode::Call);
+  CallNode->Symbol = Name;
+  CallNode->Type = Sig.Ret;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    Node *N = rvalue(Args[I]);
+    ValueType To =
+        I < Sig.Params.size() ? Sig.Params[I] : Args[I].Type;
+    CallNode->Kids.push_back(convert(N, Args[I].Type, To));
+  }
+
+  // Calls have side effects: always emit as a statement root; when the
+  // value is used, later references share the node (a multi-parent DAG
+  // node the selector pins to a pseudo-register).
+  emitRoot(CallNode);
+
+  Value Result;
+  Result.N = CallNode;
+  Result.Type = Sig.Ret;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering helpers
+//===----------------------------------------------------------------------===//
+
+Node *CompilerImpl::rvalue(Value &V) {
+  if (!V.IsLValue)
+    return V.N;
+  if (V.LVIsTemp)
+    return Fn->makeTemp(V.LVTempId);
+  Node *LoadNode = Fn->makeNode(Opcode::Load);
+  LoadNode->Type = V.Type;
+  LoadNode->Kids.push_back(V.LVAddress);
+  return LoadNode;
+}
+
+Node *CompilerImpl::convert(Node *N, ValueType From, ValueType To) {
+  if (!N || From == To || To == ValueType::None)
+    return N;
+  // Fold constant conversions.
+  if (N->Op == Opcode::Const) {
+    if (isFloatingPoint(To)) {
+      double V = isFloatingPoint(From) ? N->FloatVal
+                                       : static_cast<double>(N->IntVal);
+      return floatConstant(To, V);
+    }
+    int64_t V = isFloatingPoint(From) ? static_cast<int64_t>(N->FloatVal)
+                                      : N->IntVal;
+    return Fn->makeConst(To, V);
+  }
+  Node *Cvt = Fn->makeUnary(Opcode::Cvt, To, N);
+  Cvt->FromType = From;
+  return Cvt;
+}
+
+ValueType CompilerImpl::usualArith(ValueType A, ValueType B) const {
+  if (A == ValueType::Double || B == ValueType::Double)
+    return ValueType::Double;
+  if (A == ValueType::Float || B == ValueType::Float)
+    return ValueType::Float;
+  return ValueType::Int;
+}
+
+void CompilerImpl::emitAssign(Value &LHS, Node *RHS, ValueType RHSType,
+                              SourceLocation Loc) {
+  (void)Loc;
+  Node *Converted = convert(RHS, RHSType, LHS.Type);
+  if (LHS.LVIsTemp) {
+    Node *Set = Fn->makeNode(Opcode::SetTemp);
+    Set->TempId = LHS.LVTempId;
+    Set->Kids.push_back(Converted);
+    emitRoot(Set);
+    return;
+  }
+  Node *StoreNode = Fn->makeNode(Opcode::Store);
+  StoreNode->Type = LHS.Type;
+  StoreNode->Kids.push_back(LHS.LVAddress);
+  StoreNode->Kids.push_back(Converted);
+  emitRoot(StoreNode);
+}
+
+Node *CompilerImpl::makeCondition(Node *N, ValueType Type) {
+  // Comparisons are already conditions; anything else tests != 0.
+  switch (N->Op) {
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge:
+  case Opcode::Eq:
+  case Opcode::Ne:
+    return N;
+  default:
+    return Fn->makeBinary(Opcode::Ne, ValueType::Int, N,
+                          isFloatingPoint(Type) ? floatConstant(Type, 0)
+                                                : Fn->makeConst(Type, 0));
+  }
+}
+
+void CompilerImpl::lowerCondBranch(Value Cond, il::BasicBlock *TrueB,
+                                   il::BasicBlock *FalseB) {
+  Node *N = rvalue(Cond);
+  emitBranch(makeCondition(N, Cond.Type), TrueB);
+  if (FalseB)
+    emitJump(FalseB);
+}
+
+Node *CompilerImpl::addrOfElement(const VarInfo &Var, SourceLocation Loc) {
+  (void)Loc;
+  if (Var.K == VarInfo::Kind::LocalArray) {
+    Node *Addr = Fn->makeNode(Opcode::AddrLocal);
+    Addr->Type = ValueType::Int;
+    Addr->FrameIndex = Var.FrameIndex;
+    return Addr;
+  }
+  Node *Addr = Fn->makeNode(Opcode::AddrGlobal);
+  Addr->Type = ValueType::Int;
+  Addr->Symbol = Var.Global;
+  return Addr;
+}
+
+Node *CompilerImpl::floatConstant(ValueType Type, double Value) {
+  // Targets cannot encode floating literals as immediates; pool them as
+  // initialized globals and load through their address.
+  int64_t Bits;
+  static_assert(sizeof(double) == sizeof(int64_t));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  auto Key = std::make_pair(static_cast<int>(Type), Bits);
+  auto It = FloatPool.find(Key);
+  std::string Name;
+  if (It != FloatPool.end()) {
+    Name = It->second;
+  } else {
+    Name = "__fc" + std::to_string(FloatPoolCounter++);
+    FloatPool[Key] = Name;
+    il::GlobalVariable Global;
+    Global.Name = Name;
+    Global.ElementType = Type;
+    Global.SizeBytes = sizeOf(Type);
+    Global.Align = sizeOf(Type);
+    Global.Init.push_back(Value);
+    Mod->Globals.push_back(std::move(Global));
+  }
+  Node *Addr = Fn->makeNode(Opcode::AddrGlobal);
+  Addr->Type = ValueType::Int;
+  Addr->Symbol = Name;
+  Node *LoadNode = Fn->makeNode(Opcode::Load);
+  LoadNode->Type = Type;
+  LoadNode->Kids.push_back(Addr);
+  return LoadNode;
+}
+
+VarInfo *CompilerImpl::lookup(const std::string &Name) {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+void CompilerImpl::declare(const std::string &Name, VarInfo Info,
+                           SourceLocation Loc) {
+  if (!Scopes.back().emplace(Name, std::move(Info)).second)
+    Diags.error(Loc, "redefinition of '" + Name + "'");
+}
+
+} // namespace
+
+std::unique_ptr<il::Module>
+frontend::compileSource(std::string_view Source, std::string ModuleName,
+                        DiagnosticEngine &Diags) {
+  CompilerImpl Impl(Source, std::move(ModuleName), Diags);
+  auto Mod = Impl.run();
+  if (Mod)
+    for (std::unique_ptr<il::Function> &F : Mod->Functions)
+      F->recountRefs();
+  return Mod;
+}
+
+std::unique_ptr<il::Module> frontend::compileFile(const std::string &Path,
+                                                  DiagnosticEngine &Diags) {
+  std::string Source, Error;
+  std::string Full = Path;
+  if (!readFile(Full, Source, Error)) {
+    Full = workloadDir() + "/" + Path;
+    if (!readFile(Full, Source, Error)) {
+      Diags.error(SourceLocation(), Error);
+      return nullptr;
+    }
+  }
+  Diags.setFile(Path);
+  std::string Name = Path;
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  size_t DotPos = Name.find_last_of('.');
+  if (DotPos != std::string::npos)
+    Name = Name.substr(0, DotPos);
+  return compileSource(Source, Name, Diags);
+}

@@ -1,0 +1,46 @@
+//===- Frontend.h - MC front end -----------------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler front end: parses MC (the C subset standing in for the
+/// paper's lcc ANSI-C front end, DESIGN.md §5) and lowers it to the IL in a
+/// single pass.
+///
+/// MC supports: int/float/double scalars, one- and two-dimensional fixed
+/// arrays (globals and locals), functions with scalar parameters, full
+/// expressions with usual arithmetic conversions and short-circuit logic,
+/// if/else, while, do-while, for, break, continue and return. Scalars live
+/// in IL temps (register-resident, paper §2.1); arrays live in memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_FRONTEND_FRONTEND_H
+#define MARION_FRONTEND_FRONTEND_H
+
+#include "il/IL.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace marion {
+namespace frontend {
+
+/// Compiles one MC translation unit to an IL module. Returns nullptr and
+/// reports diagnostics on error.
+std::unique_ptr<il::Module> compileSource(std::string_view Source,
+                                          std::string ModuleName,
+                                          DiagnosticEngine &Diags);
+
+/// Convenience: reads and compiles workloadDir()-relative or absolute path.
+std::unique_ptr<il::Module> compileFile(const std::string &Path,
+                                        DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace marion
+
+#endif // MARION_FRONTEND_FRONTEND_H

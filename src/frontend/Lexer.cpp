@@ -1,0 +1,367 @@
+//===- Lexer.cpp ----------------------------------------------------------==//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace marion;
+using namespace marion::frontend;
+
+const char *frontend::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::FloatLit:
+    return "float literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::BangEq:
+    return "'!='";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  }
+  return "token";
+}
+
+std::vector<Token> frontend::lexSource(std::string_view Source,
+                                       DiagnosticEngine &Diags) {
+  static const std::map<std::string, TokKind> Keywords = {
+      {"int", TokKind::KwInt},         {"float", TokKind::KwFloat},
+      {"double", TokKind::KwDouble},   {"void", TokKind::KwVoid},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"for", TokKind::KwFor},
+      {"do", TokKind::KwDo},           {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+  };
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  uint32_t Line = 1, Column = 1;
+
+  auto Peek = [&](unsigned Ahead = 0) -> char {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  };
+  auto Advance = [&]() -> char {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  };
+  auto Push = [&](TokKind Kind, SourceLocation Loc) {
+    Token Tok;
+    Tok.Kind = Kind;
+    Tok.Loc = Loc;
+    Tokens.push_back(std::move(Tok));
+  };
+
+  for (;;) {
+    // Whitespace and comments.
+    for (;;) {
+      char C = Peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        Advance();
+        continue;
+      }
+      if (C == '/' && Peek(1) == '/') {
+        while (Peek() != '\n' && Peek() != '\0')
+          Advance();
+        continue;
+      }
+      if (C == '/' && Peek(1) == '*') {
+        SourceLocation Start(Line, Column);
+        Advance();
+        Advance();
+        while (!(Peek() == '*' && Peek(1) == '/')) {
+          if (Peek() == '\0') {
+            Diags.error(Start, "unterminated block comment");
+            break;
+          }
+          Advance();
+        }
+        if (Peek() == '*') {
+          Advance();
+          Advance();
+        }
+        continue;
+      }
+      break;
+    }
+
+    SourceLocation Loc(Line, Column);
+    char C = Peek();
+    if (C == '\0') {
+      Push(TokKind::Eof, Loc);
+      return Tokens;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      std::string Text;
+      bool IsFloat = false;
+      while (std::isdigit(static_cast<unsigned char>(Peek())))
+        Text += Advance();
+      if (Peek() == '.') {
+        IsFloat = true;
+        Text += Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek())))
+          Text += Advance();
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        IsFloat = true;
+        Text += Advance();
+        if (Peek() == '+' || Peek() == '-')
+          Text += Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek())))
+          Text += Advance();
+      }
+      Token Tok;
+      Tok.Kind = IsFloat ? TokKind::FloatLit : TokKind::IntLit;
+      Tok.Loc = Loc;
+      Tok.Text = Text;
+      if (IsFloat)
+        Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
+      else
+        Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (std::isalnum(static_cast<unsigned char>(Peek())) ||
+             Peek() == '_')
+        Text += Advance();
+      Token Tok;
+      Tok.Loc = Loc;
+      auto It = Keywords.find(Text);
+      if (It != Keywords.end()) {
+        Tok.Kind = It->second;
+      } else {
+        Tok.Kind = TokKind::Ident;
+        Tok.Text = std::move(Text);
+      }
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    Advance();
+    switch (C) {
+    case '(':
+      Push(TokKind::LParen, Loc);
+      break;
+    case ')':
+      Push(TokKind::RParen, Loc);
+      break;
+    case '{':
+      Push(TokKind::LBrace, Loc);
+      break;
+    case '}':
+      Push(TokKind::RBrace, Loc);
+      break;
+    case '[':
+      Push(TokKind::LBracket, Loc);
+      break;
+    case ']':
+      Push(TokKind::RBracket, Loc);
+      break;
+    case ';':
+      Push(TokKind::Semi, Loc);
+      break;
+    case ',':
+      Push(TokKind::Comma, Loc);
+      break;
+    case '~':
+      Push(TokKind::Tilde, Loc);
+      break;
+    case '^':
+      Push(TokKind::Caret, Loc);
+      break;
+    case '%':
+      Push(TokKind::Percent, Loc);
+      break;
+    case '+':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::PlusAssign, Loc);
+      } else {
+        Push(TokKind::Plus, Loc);
+      }
+      break;
+    case '-':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::MinusAssign, Loc);
+      } else {
+        Push(TokKind::Minus, Loc);
+      }
+      break;
+    case '*':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::StarAssign, Loc);
+      } else {
+        Push(TokKind::Star, Loc);
+      }
+      break;
+    case '/':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::SlashAssign, Loc);
+      } else {
+        Push(TokKind::Slash, Loc);
+      }
+      break;
+    case '=':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::EqEq, Loc);
+      } else {
+        Push(TokKind::Assign, Loc);
+      }
+      break;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::BangEq, Loc);
+      } else {
+        Push(TokKind::Bang, Loc);
+      }
+      break;
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::LessEq, Loc);
+      } else if (Peek() == '<') {
+        Advance();
+        Push(TokKind::Shl, Loc);
+      } else {
+        Push(TokKind::Less, Loc);
+      }
+      break;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        Push(TokKind::GreaterEq, Loc);
+      } else if (Peek() == '>') {
+        Advance();
+        Push(TokKind::Shr, Loc);
+      } else {
+        Push(TokKind::Greater, Loc);
+      }
+      break;
+    case '&':
+      if (Peek() == '&') {
+        Advance();
+        Push(TokKind::AmpAmp, Loc);
+      } else {
+        Push(TokKind::Amp, Loc);
+      }
+      break;
+    case '|':
+      if (Peek() == '|') {
+        Advance();
+        Push(TokKind::PipePipe, Loc);
+      } else {
+        Push(TokKind::Pipe, Loc);
+      }
+      break;
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      break;
+    }
+  }
+}

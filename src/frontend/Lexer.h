@@ -1,0 +1,99 @@
+//===- Lexer.h - MC front end lexer --------------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for MC, the C subset this reproduction compiles in place of ANSI C
+/// (the paper's front end is lcc; see DESIGN.md §5 for the substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_FRONTEND_LEXER_H
+#define MARION_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marion {
+namespace frontend {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit,
+  // Keywords.
+  KwInt,
+  KwFloat,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  EqEq,
+  BangEq,
+  Shl,
+  Shr,
+  AmpAmp,
+  PipePipe,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+};
+
+const char *tokKindName(TokKind Kind);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLocation Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Lexes a whole MC buffer into a token vector (parser wants lookahead).
+std::vector<Token> lexSource(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace marion
+
+#endif // MARION_FRONTEND_LEXER_H

@@ -1,0 +1,299 @@
+//===- IL.cpp -------------------------------------------------------------==//
+
+#include "il/IL.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace marion;
+using namespace marion::il;
+
+const char *il::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Reg:
+    return "reg";
+  case Opcode::Temp:
+    return "temp";
+  case Opcode::AddrGlobal:
+    return "addrg";
+  case Opcode::AddrLocal:
+    return "addrl";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::SetTemp:
+    return "settemp";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Lt:
+    return "lt";
+  case Opcode::Le:
+    return "le";
+  case Opcode::Gt:
+    return "gt";
+  case Opcode::Ge:
+    return "ge";
+  case Opcode::Eq:
+    return "eq";
+  case Opcode::Ne:
+    return "ne";
+  case Opcode::Cmp:
+    return "cmp";
+  case Opcode::Cvt:
+    return "cvt";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+bool il::isStatementOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::SetTemp:
+  case Opcode::Br:
+  case Opcode::Jump:
+  case Opcode::Call:
+  case Opcode::Ret:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static char typeSuffix(ValueType Type) {
+  switch (Type) {
+  case ValueType::None:
+    return 'v';
+  case ValueType::Int:
+    return 'i';
+  case ValueType::Float:
+    return 'f';
+  case ValueType::Double:
+    return 'd';
+  }
+  return '?';
+}
+
+std::string Node::str() const {
+  std::ostringstream Out;
+  Out << "(" << opcodeName(Op) << "." << typeSuffix(Type);
+  switch (Op) {
+  case Opcode::Const:
+    if (isFloatingPoint(Type))
+      Out << " " << FloatVal;
+    else
+      Out << " " << IntVal;
+    break;
+  case Opcode::Reg:
+    Out << " bank" << RegBank << "[" << RegIndex << "]";
+    break;
+  case Opcode::Temp:
+    Out << " t" << TempId;
+    break;
+  case Opcode::AddrGlobal:
+    Out << " " << Symbol;
+    if (IntVal)
+      Out << "+" << IntVal;
+    break;
+  case Opcode::AddrLocal:
+    Out << " fo" << FrameIndex;
+    if (IntVal)
+      Out << "+" << IntVal;
+    break;
+  case Opcode::SetTemp:
+    Out << " t" << TempId;
+    break;
+  case Opcode::Cvt:
+    Out << " from." << typeSuffix(FromType);
+    break;
+  case Opcode::Br:
+  case Opcode::Jump:
+    Out << " bb" << TargetBlock;
+    break;
+  case Opcode::Call:
+    Out << " " << Symbol;
+    break;
+  default:
+    break;
+  }
+  for (const Node *Kid : Kids)
+    Out << " " << Kid->str();
+  Out << ")";
+  return Out.str();
+}
+
+Node *Function::makeNode(Opcode Op) {
+  Arena.push_back(std::make_unique<Node>(Op));
+  return Arena.back().get();
+}
+
+Node *Function::makeConst(ValueType Type, int64_t Value) {
+  Node *N = makeNode(Opcode::Const);
+  N->Type = Type;
+  N->IntVal = Value;
+  return N;
+}
+
+Node *Function::makeFloatConst(ValueType Type, double Value) {
+  assert(isFloatingPoint(Type) && "float constant needs a float type");
+  Node *N = makeNode(Opcode::Const);
+  N->Type = Type;
+  N->FloatVal = Value;
+  return N;
+}
+
+Node *Function::makeTemp(int TempId) {
+  assert(TempId >= 0 && TempId < static_cast<int>(Temps.size()) &&
+         "unknown temp");
+  Node *N = makeNode(Opcode::Temp);
+  N->TempId = TempId;
+  N->Type = Temps[TempId].Type;
+  return N;
+}
+
+Node *Function::makeReg(int Bank, int Index) {
+  Node *N = makeNode(Opcode::Reg);
+  N->Type = ValueType::Int;
+  N->RegBank = Bank;
+  N->RegIndex = Index;
+  return N;
+}
+
+Node *Function::makeBinary(Opcode Op, ValueType Type, Node *Lhs, Node *Rhs) {
+  Node *N = makeNode(Op);
+  N->Type = Type;
+  N->Kids = {Lhs, Rhs};
+  return N;
+}
+
+Node *Function::makeUnary(Opcode Op, ValueType Type, Node *Kid) {
+  Node *N = makeNode(Op);
+  N->Type = Type;
+  N->Kids = {Kid};
+  return N;
+}
+
+int Function::addTemp(std::string Name, ValueType Type) {
+  Temps.push_back({std::move(Name), Type});
+  return static_cast<int>(Temps.size()) - 1;
+}
+
+int Function::addFrameObject(std::string Name, unsigned SizeBytes,
+                             unsigned Align) {
+  FrameObject Obj;
+  Obj.Name = std::move(Name);
+  Obj.SizeBytes = SizeBytes;
+  Obj.Align = Align;
+  FrameObjects.push_back(std::move(Obj));
+  return static_cast<int>(FrameObjects.size()) - 1;
+}
+
+BasicBlock *Function::addBlock() {
+  auto Block = std::make_unique<BasicBlock>();
+  Block->Id = static_cast<int>(Blocks.size());
+  Block->LabelName = ".L" + Name + "_" + std::to_string(Block->Id);
+  Blocks.push_back(std::move(Block));
+  return Blocks.back().get();
+}
+
+void Function::recountRefs() {
+  for (const std::unique_ptr<Node> &N : Arena)
+    N->RefCount = 0;
+  for (const std::unique_ptr<BasicBlock> &Block : Blocks)
+    for (Node *Root : Block->Roots) {
+      // Statement roots themselves have no parents; count kid references.
+      std::vector<Node *> Stack(Root->Kids.begin(), Root->Kids.end());
+      while (!Stack.empty()) {
+        Node *N = Stack.back();
+        Stack.pop_back();
+        ++N->RefCount;
+        // Only descend the first time we see a node through this root walk;
+        // shared nodes still accumulate one count per parent edge.
+        if (N->RefCount == 1)
+          for (Node *Kid : N->Kids)
+            Stack.push_back(Kid);
+      }
+    }
+}
+
+std::string Function::str() const {
+  std::ostringstream Out;
+  Out << "function " << Name << " : " << typeName(ReturnType) << "\n";
+  for (size_t I = 0; I < Temps.size(); ++I)
+    Out << "  temp t" << I << " " << Temps[I].Name << " : "
+        << typeName(Temps[I].Type) << "\n";
+  for (size_t I = 0; I < FrameObjects.size(); ++I)
+    Out << "  frame fo" << I << " " << FrameObjects[I].Name << " : "
+        << FrameObjects[I].SizeBytes << " bytes\n";
+  for (const std::unique_ptr<BasicBlock> &Block : Blocks) {
+    Out << "bb" << Block->Id << ":\n";
+    for (const Node *Root : Block->Roots)
+      Out << "  " << Root->str() << "\n";
+  }
+  return Out.str();
+}
+
+Function *Module::addFunction(std::string Name, ValueType ReturnType) {
+  auto F = std::make_unique<Function>();
+  F->Name = std::move(Name);
+  F->ReturnType = ReturnType;
+  Functions.push_back(std::move(F));
+  return Functions.back().get();
+}
+
+const GlobalVariable *Module::findGlobal(const std::string &Name) const {
+  for (const GlobalVariable &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  for (const std::unique_ptr<Function> &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+std::string Module::str() const {
+  std::ostringstream Out;
+  Out << "module " << Name << "\n";
+  for (const GlobalVariable &G : Globals)
+    Out << "global " << G.Name << " : " << typeName(G.ElementType) << " x "
+        << (G.SizeBytes / sizeOf(G.ElementType)) << "\n";
+  for (const std::unique_ptr<Function> &F : Functions)
+    Out << F->str();
+  return Out.str();
+}

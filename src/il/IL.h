@@ -1,0 +1,206 @@
+//===- IL.h - Marion intermediate language ------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target-independent intermediate language: directed acyclic graphs of
+/// typed low-level operators, organized into basic blocks (paper §2, the lcc
+/// IL). The front end produces it; glue transformations rewrite it; the
+/// instruction selector consumes it.
+///
+/// Scalar variables that may reside in registers are Temp nodes — the
+/// selector maps each to a pseudo-register, which is how user variables and
+/// local common subexpressions become register-allocatable (paper §2.1).
+/// Aggregates and address-taken objects live in the frame and are accessed
+/// through AddrLocal + Load/Store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_IL_IL_H
+#define MARION_IL_IL_H
+
+#include "support/SourceLocation.h"
+#include "support/ValueType.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace il {
+
+enum class Opcode {
+  // Leaves.
+  Const,      ///< Typed literal (IntVal / FloatVal).
+  Reg,        ///< Physical register reference (RegBank, RegIndex); used for
+              ///< the frame/stack pointers and calling-convention registers.
+  Temp,       ///< A front-end variable or temporary (TempId); becomes a
+              ///< pseudo-register during selection.
+  AddrGlobal, ///< Address of global Symbol (+ IntVal byte offset).
+  AddrLocal,  ///< Address of frame object FrameIndex (+ IntVal byte offset).
+  // Memory.
+  Load,  ///< kid(0) = address; value of Type.
+  Store, ///< kid(0) = address, kid(1) = value; statement root.
+  // Variable assignment.
+  SetTemp, ///< kid(0) = value; statement root assigning TempId.
+  // Binary arithmetic (kid(0), kid(1)).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Unary (kid(0)).
+  Neg,
+  Not, ///< Bitwise complement.
+  // Comparisons producing an int value (kid(0), kid(1)).
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  Cmp, ///< Generic three-way compare '::' (negative / zero / positive);
+       ///< introduced by glue transformations (paper Fig 3).
+  Cvt, ///< Type conversion from FromType to Type; kid(0).
+  // Control; statement roots.
+  Br,   ///< kid(0) = condition; branches to TargetBlock when nonzero.
+  Jump, ///< Unconditional branch to TargetBlock.
+  Call, ///< kids = arguments; Symbol = callee; value of Type (None if void).
+  Ret,  ///< kid(0) = value if present.
+};
+
+const char *opcodeName(Opcode Op);
+bool isStatementOpcode(Opcode Op);
+
+class Function;
+
+/// One IL node. Nodes are owned by their Function's arena; Kids are weak
+/// pointers within the same function. RefCount counts parents inside the
+/// node's block — a node with more than one parent is a local common
+/// subexpression that the selector forces into a register (paper §2.1).
+class Node {
+public:
+  Opcode Op;
+  ValueType Type = ValueType::None;
+  SourceLocation Loc;
+
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  std::string Symbol;
+  int TempId = -1;
+  int FrameIndex = -1;
+  int RegBank = -1;
+  int RegIndex = 0;
+  ValueType FromType = ValueType::None; ///< For Cvt.
+  int TargetBlock = -1;                 ///< For Br / Jump.
+
+  std::vector<Node *> Kids;
+  int RefCount = 0;
+
+  explicit Node(Opcode Op) : Op(Op) {}
+
+  Node *kid(unsigned I) const { return Kids[I]; }
+
+  bool isLeaf() const { return Kids.empty(); }
+  bool isStatement() const { return isStatementOpcode(Op); }
+
+  /// Renders the subtree, e.g. "(add.i (temp.i 3) (const.i 4))".
+  std::string str() const;
+};
+
+/// A frame-allocated object (array, address-taken scalar, spill slot).
+struct FrameObject {
+  std::string Name;
+  unsigned SizeBytes = 0;
+  unsigned Align = 4;
+  /// Filled by the selector's frame layout: byte offset from the frame
+  /// pointer (negative direction handled by the layout itself).
+  int Offset = 0;
+};
+
+/// A register-resident variable or temporary.
+struct TempInfo {
+  std::string Name;
+  ValueType Type = ValueType::Int;
+};
+
+/// A basic block: statement roots in execution order. The block falls
+/// through to the next block in the function unless it ends with Jump/Ret;
+/// a Br root branches to its target when taken and falls through otherwise.
+class BasicBlock {
+public:
+  int Id = -1;
+  std::string LabelName; ///< Assembly label, e.g. ".L3".
+  std::vector<Node *> Roots;
+};
+
+/// An IL function: arena of nodes, blocks, frame objects and temps.
+class Function {
+public:
+  std::string Name;
+  ValueType ReturnType = ValueType::None;
+  std::vector<int> ParamTemps; ///< Temp ids carrying scalar parameters.
+  std::vector<TempInfo> Temps;
+  std::vector<FrameObject> FrameObjects;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+
+  /// Allocates a node in this function's arena.
+  Node *makeNode(Opcode Op);
+
+  // Convenience factories.
+  Node *makeConst(ValueType Type, int64_t Value);
+  Node *makeFloatConst(ValueType Type, double Value);
+  Node *makeTemp(int TempId);
+  Node *makeReg(int Bank, int Index);
+  Node *makeBinary(Opcode Op, ValueType Type, Node *Lhs, Node *Rhs);
+  Node *makeUnary(Opcode Op, ValueType Type, Node *Kid);
+
+  int addTemp(std::string Name, ValueType Type);
+  int addFrameObject(std::string Name, unsigned SizeBytes, unsigned Align);
+  BasicBlock *addBlock();
+
+  /// Recomputes every node's RefCount from the current block structure.
+  void recountRefs();
+
+  /// Renders the whole function for tests and debugging.
+  std::string str() const;
+
+private:
+  std::vector<std::unique_ptr<Node>> Arena;
+};
+
+/// A compiled translation unit.
+struct GlobalVariable {
+  std::string Name;
+  unsigned SizeBytes = 0;
+  unsigned Align = 4;
+  ValueType ElementType = ValueType::Int;
+  /// Optional scalar initializers (element by element).
+  std::vector<double> Init;
+};
+
+class Module {
+public:
+  std::string Name;
+  std::vector<GlobalVariable> Globals;
+  std::vector<std::unique_ptr<Function>> Functions;
+
+  Function *addFunction(std::string Name, ValueType ReturnType);
+  const GlobalVariable *findGlobal(const std::string &Name) const;
+  Function *findFunction(const std::string &Name) const;
+
+  std::string str() const;
+};
+
+} // namespace il
+} // namespace marion
+
+#endif // MARION_IL_IL_H

@@ -1,0 +1,443 @@
+//===- Description.cpp ----------------------------------------------------==//
+
+#include "maril/Description.h"
+
+#include "support/ResourceSet.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace marion;
+using namespace marion::maril;
+
+bool RegisterBank::holdsType(ValueType Type) const {
+  return std::find(Types.begin(), Types.end(), Type) != Types.end();
+}
+
+std::string OperandSpec::str() const {
+  switch (Kind) {
+  case OperandKind::RegClass:
+    return Name;
+  case OperandKind::FixedReg:
+    return Name + "[" + std::to_string(FixedIndex) + "]";
+  case OperandKind::Imm:
+  case OperandKind::Label:
+    return "#" + Name;
+  }
+  return Name;
+}
+
+std::string InstrDesc::headStr() const {
+  std::string Out = Mnemonic;
+  for (size_t I = 0; I < Operands.size(); ++I) {
+    Out += I == 0 ? " " : ", ";
+    Out += Operands[I].str();
+  }
+  return Out;
+}
+
+const RegisterBank *
+MachineDescription::findBank(const std::string &Name) const {
+  for (const RegisterBank &Bank : Banks)
+    if (Bank.Name == Name)
+      return &Bank;
+  return nullptr;
+}
+
+const ResourceDecl *
+MachineDescription::findResource(const std::string &Name) const {
+  for (const ResourceDecl &Res : Resources)
+    if (Res.Name == Name)
+      return &Res;
+  return nullptr;
+}
+
+const ImmediateDef *
+MachineDescription::findImmediate(const std::string &Name) const {
+  for (const ImmediateDef &Def : Immediates)
+    if (Def.Name == Name)
+      return &Def;
+  return nullptr;
+}
+
+const MemoryDecl *
+MachineDescription::findMemory(const std::string &Name) const {
+  for (const MemoryDecl &Mem : Memories)
+    if (Mem.Name == Name)
+      return &Mem;
+  return nullptr;
+}
+
+const ClockDecl *
+MachineDescription::findClock(const std::string &Name) const {
+  for (const ClockDecl &Clock : Clocks)
+    if (Clock.Name == Name)
+      return &Clock;
+  return nullptr;
+}
+
+std::vector<const InstrDesc *>
+MachineDescription::findInstructions(const std::string &Mnemonic) const {
+  std::vector<const InstrDesc *> Found;
+  for (const InstrDesc &Instr : Instructions)
+    if (Instr.Mnemonic == Mnemonic)
+      Found.push_back(&Instr);
+  return Found;
+}
+
+bool MachineDescription::validate(DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  validateDeclare(Diags);
+  validateCwvm(Diags);
+  validateInstrs(Diags);
+  validateAuxAndGlue(Diags);
+  return Diags.errorCount() == Before;
+}
+
+bool MachineDescription::validateDeclare(DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+
+  // Assign ids and check name uniqueness across all declared entities.
+  std::unordered_set<std::string> Names;
+  auto CheckUnique = [&](const std::string &Name, SourceLocation Loc) {
+    if (!Names.insert(Name).second)
+      Diags.error(Loc, "redefinition of '" + Name + "'");
+  };
+
+  for (size_t I = 0; I < Clocks.size(); ++I) {
+    Clocks[I].Id = static_cast<int>(I);
+    CheckUnique(Clocks[I].Name, Clocks[I].Loc);
+  }
+
+  for (size_t I = 0; I < Banks.size(); ++I) {
+    RegisterBank &Bank = Banks[I];
+    Bank.Id = static_cast<int>(I);
+    CheckUnique(Bank.Name, Bank.Loc);
+    if (Bank.Types.empty()) {
+      Diags.error(Bank.Loc, "register bank '" + Bank.Name +
+                                "' declares no datatypes");
+      continue;
+    }
+    Bank.SizeBytes = 0;
+    for (ValueType Type : Bank.Types)
+      Bank.SizeBytes = std::max(Bank.SizeBytes, sizeOf(Type));
+    if (Bank.Hi < Bank.Lo)
+      Diags.error(Bank.Loc, "register bank '" + Bank.Name +
+                                "' has an empty index range");
+    if (!Bank.ClockName.empty()) {
+      const ClockDecl *Clock = findClock(Bank.ClockName);
+      if (!Clock)
+        Diags.error(Bank.Loc, "unknown clock '" + Bank.ClockName +
+                                  "' on register bank '" + Bank.Name + "'");
+      else
+        Bank.ClockId = Clock->Id;
+    }
+    if (Bank.IsTemporal && Bank.ClockName.empty())
+      Diags.error(Bank.Loc, "temporal register '" + Bank.Name +
+                                "' must be based on a clock");
+  }
+
+  for (size_t I = 0; I < Resources.size(); ++I) {
+    Resources[I].Index = static_cast<unsigned>(I);
+    CheckUnique(Resources[I].Name, Resources[I].Loc);
+  }
+  if (Resources.size() > ResourceSet::MaxResources)
+    Diags.error(Resources.back().Loc,
+                "too many resources (max " +
+                    std::to_string(ResourceSet::MaxResources) + ")");
+
+  for (const ImmediateDef &Def : Immediates) {
+    CheckUnique(Def.Name, Def.Loc);
+    if (Def.Hi < Def.Lo)
+      Diags.error(Def.Loc, "immediate range '" + Def.Name + "' is empty");
+  }
+  for (const MemoryDecl &Mem : Memories)
+    CheckUnique(Mem.Name, Mem.Loc);
+
+  for (EquivDecl &Equiv : Equivs) {
+    const RegisterBank *A = findBank(Equiv.BankA);
+    const RegisterBank *B = findBank(Equiv.BankB);
+    if (!A || !B) {
+      Diags.error(Equiv.Loc, "unknown register bank in %equiv");
+      continue;
+    }
+    Equiv.BankAId = A->Id;
+    Equiv.BankBId = B->Id;
+    if (A->SizeBytes < B->SizeBytes)
+      Diags.error(Equiv.Loc,
+                  "%equiv: '" + A->Name + "' registers must be at least as "
+                  "large as '" + B->Name + "' registers");
+    else if (B->SizeBytes == 0 || A->SizeBytes % B->SizeBytes != 0)
+      Diags.error(Equiv.Loc, "%equiv: register sizes are not commensurate");
+  }
+
+  return Diags.errorCount() == Before;
+}
+
+bool MachineDescription::validateCwvm(DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+
+  auto CheckBank = [&](const std::string &Bank,
+                       SourceLocation Loc) -> const RegisterBank * {
+    const RegisterBank *Found = findBank(Bank);
+    if (!Found)
+      Diags.error(Loc, "unknown register bank '" + Bank + "' in cwvm");
+    return Found;
+  };
+  auto CheckIndex = [&](const RegisterBank *Bank, int Index,
+                        SourceLocation Loc) {
+    if (Bank && (Index < Bank->Lo || Index > Bank->Hi))
+      Diags.error(Loc, "register index " + std::to_string(Index) +
+                           " out of range for bank '" + Bank->Name + "'");
+  };
+
+  for (const Cwvm::GeneralReg &Gen : Runtime.General)
+    CheckBank(Gen.Bank, Gen.Loc);
+  for (const Cwvm::BankRange &Range : Runtime.Allocable) {
+    const RegisterBank *Bank = CheckBank(Range.Bank, Range.Loc);
+    CheckIndex(Bank, Range.Lo, Range.Loc);
+    CheckIndex(Bank, Range.Hi, Range.Loc);
+  }
+  for (const Cwvm::BankRange &Range : Runtime.CalleeSave) {
+    const RegisterBank *Bank = CheckBank(Range.Bank, Range.Loc);
+    CheckIndex(Bank, Range.Lo, Range.Loc);
+    CheckIndex(Bank, Range.Hi, Range.Loc);
+  }
+
+  auto CheckFixed = [&](const Cwvm::FixedReg &Reg, const char *What,
+                        bool Required) {
+    if (!Reg.isValid()) {
+      if (Required)
+        Diags.error(SourceLocation(), std::string("cwvm does not declare a ") +
+                                          What + " register");
+      return;
+    }
+    const RegisterBank *Bank = CheckBank(Reg.Bank, Reg.Loc);
+    CheckIndex(Bank, Reg.Index, Reg.Loc);
+  };
+  // Marion requires stack and frame pointers (paper §3.2); the global data
+  // pointer and return address are optional.
+  CheckFixed(Runtime.StackPointer, "stack pointer", /*Required=*/true);
+  CheckFixed(Runtime.FramePointer, "frame pointer", /*Required=*/true);
+  CheckFixed(Runtime.GlobalPointer, "global pointer", /*Required=*/false);
+  CheckFixed(Runtime.ReturnAddress, "return address", /*Required=*/false);
+
+  for (const Cwvm::HardReg &Hard : Runtime.Hard) {
+    const RegisterBank *Bank = CheckBank(Hard.Bank, Hard.Loc);
+    CheckIndex(Bank, Hard.Index, Hard.Loc);
+  }
+  for (const Cwvm::ArgReg &Arg : Runtime.Args) {
+    const RegisterBank *Bank = CheckBank(Arg.Bank, Arg.Loc);
+    CheckIndex(Bank, Arg.Index, Arg.Loc);
+    if (Arg.Position < 1)
+      Diags.error(Arg.Loc, "argument positions are 1-based");
+  }
+  for (const Cwvm::ResultReg &Result : Runtime.Results) {
+    const RegisterBank *Bank = CheckBank(Result.Bank, Result.Loc);
+    CheckIndex(Bank, Result.Index, Result.Loc);
+  }
+
+  return Diags.errorCount() == Before;
+}
+
+bool MachineDescription::validateInstrs(DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  for (size_t I = 0; I < Instructions.size(); ++I) {
+    InstrDesc &Instr = Instructions[I];
+    Instr.Id = static_cast<int>(I);
+
+    for (OperandSpec &Op : Instr.Operands) {
+      switch (Op.Kind) {
+      case OperandKind::RegClass:
+      case OperandKind::FixedReg: {
+        const RegisterBank *Bank = findBank(Op.Name);
+        if (!Bank) {
+          Diags.error(Op.Loc, "unknown register bank '" + Op.Name +
+                                  "' in instruction '" + Instr.Mnemonic + "'");
+          break;
+        }
+        if (Op.Kind == OperandKind::FixedReg &&
+            (Op.FixedIndex < Bank->Lo || Op.FixedIndex > Bank->Hi))
+          Diags.error(Op.Loc, "register index out of range in '" +
+                                  Instr.Mnemonic + "'");
+        break;
+      }
+      case OperandKind::Imm:
+      case OperandKind::Label: {
+        const ImmediateDef *Def = findImmediate(Op.Name);
+        if (!Def) {
+          Diags.error(Op.Loc, "unknown immediate range '" + Op.Name +
+                                  "' in instruction '" + Instr.Mnemonic + "'");
+          break;
+        }
+        Op.Kind = Def->IsLabel ? OperandKind::Label : OperandKind::Imm;
+        break;
+      }
+      }
+    }
+
+    if (!Instr.ClockName.empty()) {
+      const ClockDecl *Clock = findClock(Instr.ClockName);
+      if (!Clock)
+        Diags.error(Instr.Loc, "unknown clock '" + Instr.ClockName +
+                                   "' on instruction '" + Instr.Mnemonic +
+                                   "'");
+      else
+        Instr.ClockId = Clock->Id;
+    }
+
+    for (const std::vector<std::string> &Cycle : Instr.ResourceUsage)
+      for (const std::string &Res : Cycle)
+        if (!findResource(Res))
+          Diags.error(Instr.Loc, "unknown resource '" + Res +
+                                     "' in instruction '" + Instr.Mnemonic +
+                                     "'");
+
+    if (Instr.Cost < 0 || Instr.Latency < 0)
+      Diags.error(Instr.Loc, "cost and latency must be non-negative in '" +
+                                 Instr.Mnemonic + "'");
+
+    validateInstrBody(Instr, Diags);
+  }
+  return Diags.errorCount() == Before;
+}
+
+bool MachineDescription::validateInstrBody(InstrDesc &Instr,
+                                           DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+
+  auto CheckExpr = [&](const Expr &Root) {
+    Root.visit([&](const Expr &Node) {
+      switch (Node.kind()) {
+      case ExprKind::Operand:
+        if (Node.operandIndex() == 0 ||
+            Node.operandIndex() > Instr.Operands.size())
+          Diags.error(Node.loc(),
+                      "operand reference $" +
+                          std::to_string(Node.operandIndex()) +
+                          " out of range in '" + Instr.Mnemonic + "'");
+        break;
+      case ExprKind::NamedReg: {
+        const RegisterBank *Bank = findBank(Node.regName());
+        if (!Bank || !Bank->IsTemporal)
+          Diags.error(Node.loc(), "'" + Node.regName() +
+                                      "' is not a temporal register (in '" +
+                                      Instr.Mnemonic + "')");
+        break;
+      }
+      case ExprKind::MemRef:
+        if (!findMemory(Node.memBank()))
+          Diags.error(Node.loc(), "unknown memory bank '" + Node.memBank() +
+                                      "' in '" + Instr.Mnemonic + "'");
+        break;
+      default:
+        break;
+      }
+    });
+  };
+
+  for (const Stmt &S : Instr.Body) {
+    switch (S.Kind) {
+    case StmtKind::Assign: {
+      CheckExpr(*S.Lhs);
+      CheckExpr(*S.Value);
+      // The destination must be a register operand, a temporal register or
+      // a memory reference (stores).
+      ExprKind LhsKind = S.Lhs->kind();
+      if (LhsKind == ExprKind::Operand) {
+        unsigned Index = S.Lhs->operandIndex();
+        if (Index >= 1 && Index <= Instr.Operands.size()) {
+          OperandKind Kind = Instr.Operands[Index - 1].Kind;
+          if (Kind != OperandKind::RegClass && Kind != OperandKind::FixedReg)
+            Diags.error(S.Lhs->loc(),
+                        "destination operand $" + std::to_string(Index) +
+                            " of '" + Instr.Mnemonic +
+                            "' must be a register");
+        }
+      } else if (LhsKind != ExprKind::NamedReg && LhsKind != ExprKind::MemRef) {
+        Diags.error(S.Lhs->loc(), "invalid assignment destination in '" +
+                                      Instr.Mnemonic + "'");
+      }
+      break;
+    }
+    case StmtKind::IfGoto:
+      CheckExpr(*S.Value);
+      [[fallthrough]];
+    case StmtKind::Goto:
+    case StmtKind::Call:
+      if (S.TargetOperand == 0 || S.TargetOperand > Instr.Operands.size())
+        Diags.error(S.Loc, "branch target operand out of range in '" +
+                               Instr.Mnemonic + "'");
+      break;
+    case StmtKind::Ret:
+      break;
+    }
+  }
+
+  return Diags.errorCount() == Before;
+}
+
+bool MachineDescription::validateAuxAndGlue(DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+
+  for (const AuxLatency &Aux : AuxLatencies) {
+    if (findInstructions(Aux.FirstMnemonic).empty())
+      Diags.error(Aux.Loc,
+                  "unknown instruction '" + Aux.FirstMnemonic + "' in %aux");
+    if (findInstructions(Aux.SecondMnemonic).empty())
+      Diags.error(Aux.Loc,
+                  "unknown instruction '" + Aux.SecondMnemonic + "' in %aux");
+    if ((Aux.CondFirstInstr != 1 && Aux.CondFirstInstr != 2) ||
+        (Aux.CondSecondInstr != 1 && Aux.CondSecondInstr != 2))
+      Diags.error(Aux.Loc, "%aux condition must reference instructions 1 "
+                           "and 2 of the pair");
+  }
+
+  for (const GlueTransform &Glue : GlueTransforms) {
+    if (!Glue.Pattern || !Glue.Replacement) {
+      Diags.error(Glue.Loc, "%glue requires a pattern and a replacement");
+      continue;
+    }
+    // Every metavariable used in the replacement must be bound by the
+    // pattern.
+    std::set<unsigned> Bound;
+    Glue.Pattern->visit([&](const Expr &Node) {
+      if (Node.kind() == ExprKind::Operand)
+        Bound.insert(Node.operandIndex());
+    });
+    Glue.Replacement->visit([&](const Expr &Node) {
+      if (Node.kind() == ExprKind::Operand && !Bound.count(Node.operandIndex()))
+        Diags.error(Node.loc(), "metavariable $" +
+                                    std::to_string(Node.operandIndex()) +
+                                    " in %glue replacement is not bound by "
+                                    "the pattern");
+    });
+  }
+
+  // Recompute class statistics now that instructions are final.
+  std::set<std::string> Elements;
+  std::set<std::vector<std::string>> ClassSets;
+  for (const InstrDesc &Instr : Instructions) {
+    if (Instr.ClassElements.empty())
+      continue;
+    std::vector<std::string> Sorted = Instr.ClassElements;
+    std::sort(Sorted.begin(), Sorted.end());
+    ClassSets.insert(Sorted);
+    Elements.insert(Sorted.begin(), Sorted.end());
+  }
+  Stats.ClassElements = static_cast<unsigned>(Elements.size());
+  Stats.Classes = static_cast<unsigned>(ClassSets.size());
+  Stats.Clocks = static_cast<unsigned>(Clocks.size());
+  Stats.AuxLatencies = static_cast<unsigned>(AuxLatencies.size());
+  Stats.GlueTransforms = static_cast<unsigned>(GlueTransforms.size());
+  Stats.InstrDirectives = static_cast<unsigned>(Instructions.size());
+  unsigned Funcs = 0;
+  for (const InstrDesc &Instr : Instructions)
+    if (!Instr.FuncEscape.empty())
+      ++Funcs;
+  Stats.FuncEscapes = Funcs;
+
+  return Diags.errorCount() == Before;
+}

@@ -1,0 +1,284 @@
+//===- Description.h - Validated Maril machine description --------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory form of a Maril machine description (paper §3): the three
+/// sections Declare, Cwvm and Instr, after parsing and validation. The code
+/// generator generator (target::TargetBuilder) lowers this into the selector
+/// patterns and scheduler tables of a TargetInfo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_MARIL_DESCRIPTION_H
+#define MARION_MARIL_DESCRIPTION_H
+
+#include "maril/Expr.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+#include "support/ValueType.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace maril {
+
+/// A %reg declaration: an array of registers (or a scalar temporal latch)
+/// with the datatypes that may reside in it. Register size is inferred from
+/// the largest type (paper §3.1).
+struct RegisterBank {
+  std::string Name;
+  int Lo = 0;
+  int Hi = 0;
+  bool IsScalar = false; ///< Declared without [lo:hi], e.g. temporal latches.
+  std::vector<ValueType> Types;
+  std::string ClockName;  ///< Clock this bank is based on ("" if none).
+  bool IsTemporal = false;
+  SourceLocation Loc;
+
+  // Filled by validate():
+  int Id = -1;
+  unsigned SizeBytes = 0;
+  int ClockId = -1;
+
+  int count() const { return Hi - Lo + 1; }
+  bool holdsType(ValueType Type) const;
+};
+
+/// A %equiv declaration: bank A overlays bank B starting at the given
+/// indices; the overlay ratio is sizeof(A regs) / sizeof(B regs).
+struct EquivDecl {
+  std::string BankA;
+  int IndexA = 0;
+  std::string BankB;
+  int IndexB = 0;
+  SourceLocation Loc;
+
+  int BankAId = -1, BankBId = -1; ///< Filled by validate().
+};
+
+/// A %resource declaration: a pipeline stage, bus or functional unit.
+struct ResourceDecl {
+  std::string Name;
+  SourceLocation Loc;
+  unsigned Index = 0; ///< Dense index used in ResourceSets.
+};
+
+/// A %def (immediate range) or %label (branch offset) declaration.
+struct ImmediateDef {
+  std::string Name;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  bool IsLabel = false;
+  std::vector<std::string> Flags; ///< "relative", "absolute", ...
+  SourceLocation Loc;
+
+  bool contains(int64_t Value) const { return Value >= Lo && Value <= Hi; }
+};
+
+/// A %memory declaration.
+struct MemoryDecl {
+  std::string Name;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  SourceLocation Loc;
+};
+
+/// A %clock declaration: tracks time in one explicitly advanced pipeline
+/// (paper §4.5).
+struct ClockDecl {
+  std::string Name;
+  SourceLocation Loc;
+  int Id = -1;
+};
+
+/// The Cwvm (Compiler Writer's Virtual Machine) section: the runtime model
+/// generated code must conform to (paper §3.2).
+struct Cwvm {
+  struct GeneralReg {
+    ValueType Type;
+    std::string Bank;
+    SourceLocation Loc;
+  };
+  struct BankRange {
+    std::string Bank;
+    int Lo = 0;
+    int Hi = 0;
+    SourceLocation Loc;
+  };
+  struct FixedReg {
+    std::string Bank;
+    int Index = -1;
+    SourceLocation Loc;
+    bool isValid() const { return Index >= 0; }
+  };
+  struct HardReg {
+    std::string Bank;
+    int Index = 0;
+    int64_t Value = 0;
+    SourceLocation Loc;
+  };
+  struct ArgReg {
+    ValueType Type;
+    std::string Bank;
+    int Index = 0;
+    int Position = 0; ///< 1-based argument position this register carries.
+    SourceLocation Loc;
+  };
+  struct ResultReg {
+    std::string Bank;
+    int Index = 0;
+    ValueType Type;
+    SourceLocation Loc;
+  };
+
+  std::vector<GeneralReg> General;
+  std::vector<BankRange> Allocable;
+  std::vector<BankRange> CalleeSave;
+  FixedReg StackPointer;
+  bool SpGrowsDown = true;
+  FixedReg FramePointer;
+  bool FpGrowsDown = true;
+  FixedReg GlobalPointer;
+  FixedReg ReturnAddress;
+  std::vector<HardReg> Hard;
+  std::vector<ArgReg> Args;
+  std::vector<ResultReg> Results;
+};
+
+/// Kind of one operand position of a machine instruction.
+enum class OperandKind {
+  RegClass, ///< any register of a bank, e.g. "r"
+  FixedReg, ///< a specific register, e.g. "r[0]"
+  Imm,      ///< an immediate of a %def range, e.g. "#const16"
+  Label,    ///< a branch target of a %label range, e.g. "#rlab"
+};
+
+/// One operand position of a %instr directive.
+struct OperandSpec {
+  OperandKind Kind = OperandKind::RegClass;
+  std::string Name;   ///< Bank / def / label name.
+  int FixedIndex = 0; ///< For FixedReg.
+  SourceLocation Loc;
+
+  std::string str() const;
+};
+
+/// One %instr / %move directive (paper §3.3): mnemonic, operands, optional
+/// type constraint and clock, semantic body, per-cycle resource usage, the
+/// (cost, latency, slots) triple and optional packing-class elements.
+struct InstrDesc {
+  std::string Mnemonic;
+  bool IsMove = false;        ///< Declared with %move.
+  std::string MoveLabel;      ///< Optional "[s.movs]" label for *func bodies.
+  std::string FuncEscape;     ///< Non-empty for "*name" escapes (paper §3.4).
+  std::vector<OperandSpec> Operands;
+  bool HasTypeConstraint = false;
+  ValueType TypeConstraint = ValueType::None;
+  std::string ClockName; ///< Clock this instruction affects ("" if none).
+  std::vector<Stmt> Body;
+  std::vector<std::vector<std::string>> ResourceUsage; ///< [cycle][resource]
+  int Cost = 1;
+  int Latency = 1;
+  int Slots = 0;
+  std::vector<std::string> ClassElements; ///< Long-instruction-word classes.
+  SourceLocation Loc;
+
+  // Filled by validate():
+  int Id = -1;
+  int ClockId = -1;
+
+  /// Renders the directive head, e.g. "add r, r, #const16".
+  std::string headStr() const;
+};
+
+/// A %aux directive: overrides the normal latency of the first instruction
+/// of a pair when the operand condition holds (paper §3.3, Fig 3).
+struct AuxLatency {
+  std::string FirstMnemonic;
+  std::string SecondMnemonic;
+  /// Condition "A.$i == B.$j": operand i of the pair's A-th instruction
+  /// equals operand j of the B-th (A, B in {1, 2}).
+  unsigned CondFirstInstr = 1;
+  unsigned CondFirstOperand = 1;
+  unsigned CondSecondInstr = 2;
+  unsigned CondSecondOperand = 1;
+  int Latency = 0;
+  SourceLocation Loc;
+};
+
+/// A %glue directive: a tree-to-tree IL transformation applied before code
+/// selection (paper §3.4). Operand references in the pattern are
+/// metavariables; the replacement may reuse them.
+struct GlueTransform {
+  bool HasTypeConstraint = false;
+  ValueType TypeConstraint = ValueType::None;
+  Expr::Ptr Pattern;
+  Expr::Ptr Replacement;
+  SourceLocation Loc;
+};
+
+/// Raw statistics gathered while parsing, for the Table 1 reproduction.
+struct DescriptionStats {
+  unsigned DeclareLines = 0;
+  unsigned CwvmLines = 0;
+  unsigned InstrLines = 0;
+  unsigned InstrDirectives = 0;
+  unsigned Clocks = 0;
+  unsigned ClassElements = 0; ///< Distinct long-instruction-word names.
+  unsigned Classes = 0;       ///< Distinct class sets over all instructions.
+  unsigned AuxLatencies = 0;
+  unsigned GlueTransforms = 0;
+  unsigned FuncEscapes = 0;
+};
+
+/// A complete machine description. Produced by the Parser; validate()
+/// resolves names, infers register sizes and reports semantic errors.
+class MachineDescription {
+public:
+  std::string Name; ///< Machine name (from the file name or %machine).
+
+  std::vector<RegisterBank> Banks;
+  std::vector<EquivDecl> Equivs;
+  std::vector<ResourceDecl> Resources;
+  std::vector<ImmediateDef> Immediates; ///< %def and %label together.
+  std::vector<MemoryDecl> Memories;
+  std::vector<ClockDecl> Clocks;
+  Cwvm Runtime;
+  std::vector<InstrDesc> Instructions;
+  std::vector<AuxLatency> AuxLatencies;
+  std::vector<GlueTransform> GlueTransforms;
+  DescriptionStats Stats;
+
+  /// Resolves cross references and checks semantic rules; returns false and
+  /// reports through \p Diags if the description is invalid.
+  bool validate(DiagnosticEngine &Diags);
+
+  // Lookup helpers (by name); return nullptr when absent.
+  const RegisterBank *findBank(const std::string &Name) const;
+  const ResourceDecl *findResource(const std::string &Name) const;
+  const ImmediateDef *findImmediate(const std::string &Name) const;
+  const MemoryDecl *findMemory(const std::string &Name) const;
+  const ClockDecl *findClock(const std::string &Name) const;
+
+  /// All instructions whose mnemonic is \p Mnemonic (mnemonics may be
+  /// overloaded across operand shapes, e.g. "add r,r,r" and "add r,r,#c").
+  std::vector<const InstrDesc *>
+  findInstructions(const std::string &Mnemonic) const;
+
+private:
+  bool validateDeclare(DiagnosticEngine &Diags);
+  bool validateCwvm(DiagnosticEngine &Diags);
+  bool validateInstrs(DiagnosticEngine &Diags);
+  bool validateInstrBody(InstrDesc &Instr, DiagnosticEngine &Diags);
+  bool validateAuxAndGlue(DiagnosticEngine &Diags);
+};
+
+} // namespace maril
+} // namespace marion
+
+#endif // MARION_MARIL_DESCRIPTION_H

@@ -1,0 +1,330 @@
+//===- Expr.cpp -----------------------------------------------------------==//
+
+#include "maril/Expr.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace marion;
+using namespace marion::maril;
+
+const char *maril::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::And:
+    return "&";
+  case BinaryOp::Or:
+    return "|";
+  case BinaryOp::Xor:
+    return "^";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Cmp:
+    return "::";
+  }
+  return "?";
+}
+
+const char *maril::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::BitNot:
+    return "~";
+  case UnaryOp::LogNot:
+    return "!";
+  }
+  return "?";
+}
+
+const char *maril::builtinFnSpelling(BuiltinFn Fn) {
+  switch (Fn) {
+  case BuiltinFn::High:
+    return "high";
+  case BuiltinFn::Low:
+    return "low";
+  case BuiltinFn::Eval:
+    return "eval";
+  }
+  return "?";
+}
+
+Expr::Ptr Expr::makeOperand(SourceLocation Loc, unsigned Index) {
+  Ptr E(new Expr(ExprKind::Operand, Loc));
+  E->OperandIdx = Index;
+  return E;
+}
+
+Expr::Ptr Expr::makeIntConst(SourceLocation Loc, int64_t Value) {
+  Ptr E(new Expr(ExprKind::IntConst, Loc));
+  E->IntVal = Value;
+  return E;
+}
+
+Expr::Ptr Expr::makeFloatConst(SourceLocation Loc, double Value) {
+  Ptr E(new Expr(ExprKind::FloatConst, Loc));
+  E->FloatVal = Value;
+  return E;
+}
+
+Expr::Ptr Expr::makeNamedReg(SourceLocation Loc, std::string Name) {
+  Ptr E(new Expr(ExprKind::NamedReg, Loc));
+  E->Name = std::move(Name);
+  return E;
+}
+
+Expr::Ptr Expr::makeMemRef(SourceLocation Loc, std::string Bank, Ptr Address) {
+  Ptr E(new Expr(ExprKind::MemRef, Loc));
+  E->Name = std::move(Bank);
+  E->Children.push_back(std::move(Address));
+  return E;
+}
+
+Expr::Ptr Expr::makeBinary(SourceLocation Loc, BinaryOp Op, Ptr Lhs, Ptr Rhs) {
+  Ptr E(new Expr(ExprKind::Binary, Loc));
+  E->BinOp = Op;
+  E->Children.push_back(std::move(Lhs));
+  E->Children.push_back(std::move(Rhs));
+  return E;
+}
+
+Expr::Ptr Expr::makeUnary(SourceLocation Loc, UnaryOp Op, Ptr Sub) {
+  Ptr E(new Expr(ExprKind::Unary, Loc));
+  E->UnOp = Op;
+  E->Children.push_back(std::move(Sub));
+  return E;
+}
+
+Expr::Ptr Expr::makeCast(SourceLocation Loc, ValueType Type, Ptr Sub) {
+  Ptr E(new Expr(ExprKind::Cast, Loc));
+  E->CastTy = Type;
+  E->Children.push_back(std::move(Sub));
+  return E;
+}
+
+Expr::Ptr Expr::makeBuiltin(SourceLocation Loc, BuiltinFn Fn,
+                            std::vector<Ptr> Args) {
+  Ptr E(new Expr(ExprKind::Builtin, Loc));
+  E->Fn = Fn;
+  E->Children = std::move(Args);
+  return E;
+}
+
+unsigned Expr::operandIndex() const {
+  assert(Kind == ExprKind::Operand && "not an operand reference");
+  return OperandIdx;
+}
+
+int64_t Expr::intValue() const {
+  assert(Kind == ExprKind::IntConst && "not an integer constant");
+  return IntVal;
+}
+
+double Expr::floatValue() const {
+  assert(Kind == ExprKind::FloatConst && "not a float constant");
+  return FloatVal;
+}
+
+const std::string &Expr::regName() const {
+  assert(Kind == ExprKind::NamedReg && "not a named register");
+  return Name;
+}
+
+const std::string &Expr::memBank() const {
+  assert(Kind == ExprKind::MemRef && "not a memory reference");
+  return Name;
+}
+
+const Expr &Expr::memAddress() const {
+  assert(Kind == ExprKind::MemRef && "not a memory reference");
+  return *Children[0];
+}
+
+BinaryOp Expr::binaryOp() const {
+  assert(Kind == ExprKind::Binary && "not a binary expression");
+  return BinOp;
+}
+
+const Expr &Expr::lhs() const {
+  assert(Kind == ExprKind::Binary && "not a binary expression");
+  return *Children[0];
+}
+
+const Expr &Expr::rhs() const {
+  assert(Kind == ExprKind::Binary && "not a binary expression");
+  return *Children[1];
+}
+
+UnaryOp Expr::unaryOp() const {
+  assert(Kind == ExprKind::Unary && "not a unary expression");
+  return UnOp;
+}
+
+const Expr &Expr::sub() const {
+  assert((Kind == ExprKind::Unary || Kind == ExprKind::Cast) &&
+         "node has no single operand");
+  return *Children[0];
+}
+
+ValueType Expr::castType() const {
+  assert(Kind == ExprKind::Cast && "not a cast");
+  return CastTy;
+}
+
+BuiltinFn Expr::builtinFn() const {
+  assert(Kind == ExprKind::Builtin && "not a builtin call");
+  return Fn;
+}
+
+const std::vector<Expr::Ptr> &Expr::builtinArgs() const {
+  assert(Kind == ExprKind::Builtin && "not a builtin call");
+  return Children;
+}
+
+Expr::Ptr Expr::clone() const {
+  Ptr E(new Expr(Kind, Loc));
+  E->OperandIdx = OperandIdx;
+  E->IntVal = IntVal;
+  E->FloatVal = FloatVal;
+  E->Name = Name;
+  E->BinOp = BinOp;
+  E->UnOp = UnOp;
+  E->Fn = Fn;
+  E->CastTy = CastTy;
+  for (const Ptr &Child : Children)
+    E->Children.push_back(Child->clone());
+  return E;
+}
+
+std::string Expr::str() const {
+  std::ostringstream Out;
+  switch (Kind) {
+  case ExprKind::Operand:
+    Out << "$" << OperandIdx;
+    break;
+  case ExprKind::IntConst:
+    Out << IntVal;
+    break;
+  case ExprKind::FloatConst:
+    Out << FloatVal;
+    break;
+  case ExprKind::NamedReg:
+    Out << Name;
+    break;
+  case ExprKind::MemRef:
+    Out << Name << "[" << Children[0]->str() << "]";
+    break;
+  case ExprKind::Binary:
+    Out << "(" << Children[0]->str() << " " << binaryOpSpelling(BinOp) << " "
+        << Children[1]->str() << ")";
+    break;
+  case ExprKind::Unary:
+    Out << unaryOpSpelling(UnOp) << Children[0]->str();
+    break;
+  case ExprKind::Cast:
+    Out << "(" << typeName(CastTy) << ")" << Children[0]->str();
+    break;
+  case ExprKind::Builtin: {
+    Out << builtinFnSpelling(Fn) << "(";
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (I)
+        Out << ", ";
+      Out << Children[I]->str();
+    }
+    Out << ")";
+    break;
+  }
+  }
+  return Out.str();
+}
+
+void Expr::visit(const std::function<void(const Expr &)> &Visit) const {
+  Visit(*this);
+  for (const Ptr &Child : Children)
+    Child->visit(Visit);
+}
+
+bool Expr::equals(const Expr &Other) const {
+  if (Kind != Other.Kind)
+    return false;
+  switch (Kind) {
+  case ExprKind::Operand:
+    return OperandIdx == Other.OperandIdx;
+  case ExprKind::IntConst:
+    return IntVal == Other.IntVal;
+  case ExprKind::FloatConst:
+    return FloatVal == Other.FloatVal;
+  case ExprKind::NamedReg:
+    return Name == Other.Name;
+  case ExprKind::MemRef:
+    return Name == Other.Name && Children[0]->equals(*Other.Children[0]);
+  case ExprKind::Binary:
+    return BinOp == Other.BinOp && Children[0]->equals(*Other.Children[0]) &&
+           Children[1]->equals(*Other.Children[1]);
+  case ExprKind::Unary:
+    return UnOp == Other.UnOp && Children[0]->equals(*Other.Children[0]);
+  case ExprKind::Cast:
+    return CastTy == Other.CastTy && Children[0]->equals(*Other.Children[0]);
+  case ExprKind::Builtin: {
+    if (Fn != Other.Fn || Children.size() != Other.Children.size())
+      return false;
+    for (size_t I = 0; I < Children.size(); ++I)
+      if (!Children[I]->equals(*Other.Children[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+Stmt Stmt::clone() const {
+  Stmt S;
+  S.Kind = Kind;
+  S.Loc = Loc;
+  if (Lhs)
+    S.Lhs = Lhs->clone();
+  if (Value)
+    S.Value = Value->clone();
+  S.TargetOperand = TargetOperand;
+  return S;
+}
+
+std::string Stmt::str() const {
+  switch (Kind) {
+  case StmtKind::Assign:
+    return Lhs->str() + " = " + Value->str() + ";";
+  case StmtKind::IfGoto:
+    return "if (" + Value->str() + ") goto $" + std::to_string(TargetOperand) +
+           ";";
+  case StmtKind::Goto:
+    return "goto $" + std::to_string(TargetOperand) + ";";
+  case StmtKind::Call:
+    return "call $" + std::to_string(TargetOperand) + ";";
+  case StmtKind::Ret:
+    return "ret;";
+  }
+  return ";";
+}

@@ -1,0 +1,164 @@
+//===- Expr.h - Maril semantic expressions ------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-assignment C expressions attached to %instr directives
+/// ("{$1 = $2 + $3;}", paper §3.3) and the pattern/replacement trees of
+/// %glue transformations. One representation serves three consumers: the
+/// code generator generator derives selector patterns from it, the code DAG
+/// builder derives def/use sets, and the simulator interprets it to execute
+/// generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_MARIL_EXPR_H
+#define MARION_MARIL_EXPR_H
+
+#include "support/SourceLocation.h"
+#include "support/ValueType.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace maril {
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  Cmp, ///< the generic compare '::' producing a three-way condition value
+};
+
+enum class UnaryOp { Neg, BitNot, LogNot };
+
+/// Built-in functions available in instruction expressions and glue
+/// transformations (paper §3.3): high/low split 32-bit immediates, eval
+/// folds constant expressions during glue rewriting.
+enum class BuiltinFn { High, Low, Eval };
+
+const char *binaryOpSpelling(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+const char *builtinFnSpelling(BuiltinFn Fn);
+
+enum class ExprKind {
+  Operand,    ///< $n — reference to instruction operand n (1-based); in glue
+              ///< transformations, metavariable n.
+  IntConst,   ///< integer literal
+  FloatConst, ///< floating literal
+  NamedReg,   ///< temporal register referenced by name (ml, a3, ...)
+  MemRef,     ///< m[e] — load when read, store when assigned
+  Binary,
+  Unary,
+  Cast,    ///< (double)e — type conversion
+  Builtin, ///< high(e), low(e), eval(e)
+};
+
+/// An immutable expression tree node. Built by the parser; cloned when glue
+/// transformations instantiate replacement templates.
+class Expr {
+public:
+  using Ptr = std::unique_ptr<Expr>;
+
+  ExprKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+
+  static Ptr makeOperand(SourceLocation Loc, unsigned Index);
+  static Ptr makeIntConst(SourceLocation Loc, int64_t Value);
+  static Ptr makeFloatConst(SourceLocation Loc, double Value);
+  static Ptr makeNamedReg(SourceLocation Loc, std::string Name);
+  static Ptr makeMemRef(SourceLocation Loc, std::string Bank, Ptr Address);
+  static Ptr makeBinary(SourceLocation Loc, BinaryOp Op, Ptr Lhs, Ptr Rhs);
+  static Ptr makeUnary(SourceLocation Loc, UnaryOp Op, Ptr Sub);
+  static Ptr makeCast(SourceLocation Loc, ValueType Type, Ptr Sub);
+  static Ptr makeBuiltin(SourceLocation Loc, BuiltinFn Fn,
+                         std::vector<Ptr> Args);
+
+  // Accessors; each asserts the node has the right kind.
+  unsigned operandIndex() const;
+  int64_t intValue() const;
+  double floatValue() const;
+  const std::string &regName() const;
+  const std::string &memBank() const;
+  const Expr &memAddress() const;
+  BinaryOp binaryOp() const;
+  const Expr &lhs() const;
+  const Expr &rhs() const;
+  UnaryOp unaryOp() const;
+  const Expr &sub() const;
+  ValueType castType() const;
+  BuiltinFn builtinFn() const;
+  const std::vector<Ptr> &builtinArgs() const;
+
+  /// Deep copy.
+  Ptr clone() const;
+
+  /// Renders the expression in Maril syntax, e.g. "m[$2 + $3]".
+  std::string str() const;
+
+  /// Calls \p Visit on this node and every descendant (pre-order).
+  void visit(const std::function<void(const Expr &)> &Visit) const;
+
+  /// Structural equality (ignores locations).
+  bool equals(const Expr &Other) const;
+
+private:
+  Expr(ExprKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+
+  ExprKind Kind;
+  SourceLocation Loc;
+  unsigned OperandIdx = 0;
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  std::string Name;
+  BinaryOp BinOp = BinaryOp::Add;
+  UnaryOp UnOp = UnaryOp::Neg;
+  BuiltinFn Fn = BuiltinFn::High;
+  ValueType CastTy = ValueType::Int;
+  std::vector<Ptr> Children;
+};
+
+enum class StmtKind {
+  Assign, ///< lhs = rhs  (lhs is Operand, NamedReg or MemRef)
+  IfGoto, ///< if (cond) goto $n
+  Goto,   ///< goto $n
+  Call,   ///< call $n
+  Ret,    ///< ret
+};
+
+/// One statement of an instruction's semantic body. Most instructions have
+/// exactly one; branches pair a condition with a target operand.
+struct Stmt {
+  StmtKind Kind = StmtKind::Assign;
+  SourceLocation Loc;
+  Expr::Ptr Lhs;      ///< Assign target.
+  Expr::Ptr Value;    ///< Assign RHS or IfGoto condition.
+  unsigned TargetOperand = 0; ///< $n for IfGoto/Goto/Call.
+
+  Stmt clone() const;
+  std::string str() const;
+};
+
+} // namespace maril
+} // namespace marion
+
+#endif // MARION_MARIL_EXPR_H

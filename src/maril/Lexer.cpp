@@ -1,0 +1,308 @@
+//===- Lexer.cpp ----------------------------------------------------------==//
+
+#include "maril/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace marion;
+using namespace marion::maril;
+
+const char *maril::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Directive:
+    return "directive";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::FloatLit:
+    return "float literal";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::ColonColon:
+    return "'::'";
+  case TokKind::Hash:
+    return "'#'";
+  case TokKind::Dollar:
+    return "'$'";
+  case TokKind::At:
+    return "'@'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::BangEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::Arrow:
+    return "'==>'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = location();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, SourceLocation Loc) const {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  return Tok;
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentChar(char C) {
+  // Maril mnemonics contain dots (fadd.d, st.d) and identifiers contain
+  // underscores (clk_m).
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  std::string Text;
+  bool IsFloat = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Text += advance();
+  // A '.' makes this a float only when followed by a digit; 'fadd.d' style
+  // identifiers never start with a digit so no ambiguity arises here.
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+        ((Sign == '+' || Sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      IsFloat = true;
+      Text += advance();
+      if (peek() == '+' || peek() == '-')
+        Text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+  }
+  Token Tok = makeToken(IsFloat ? TokKind::FloatLit : TokKind::IntLit, Loc);
+  Tok.Text = Text;
+  if (IsFloat)
+    Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
+  else
+    Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  return Tok;
+}
+
+Token Lexer::lexIdent(SourceLocation Loc) {
+  std::string Text;
+  while (isIdentChar(peek()))
+    Text += advance();
+  Token Tok = makeToken(TokKind::Ident, Loc);
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::lexDirective(SourceLocation Loc) {
+  std::string Text;
+  while (isIdentChar(peek()))
+    Text += advance();
+  Token Tok = makeToken(TokKind::Directive, Loc);
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLocation Loc = location();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokKind::Eof, Loc);
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (isIdentStart(C))
+    return lexIdent(Loc);
+
+  advance();
+  switch (C) {
+  case '{':
+    return makeToken(TokKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokKind::RBracket, Loc);
+  case '(':
+    return makeToken(TokKind::LParen, Loc);
+  case ')':
+    return makeToken(TokKind::RParen, Loc);
+  case ';':
+    return makeToken(TokKind::Semi, Loc);
+  case ',':
+    return makeToken(TokKind::Comma, Loc);
+  case '.':
+    return makeToken(TokKind::Dot, Loc);
+  case ':':
+    return makeToken(match(':') ? TokKind::ColonColon : TokKind::Colon, Loc);
+  case '#':
+    return makeToken(TokKind::Hash, Loc);
+  case '$':
+    return makeToken(TokKind::Dollar, Loc);
+  case '@':
+    return makeToken(TokKind::At, Loc);
+  case '+':
+    return makeToken(TokKind::Plus, Loc);
+  case '-':
+    return makeToken(TokKind::Minus, Loc);
+  case '*':
+    return makeToken(TokKind::Star, Loc);
+  case '/':
+    return makeToken(TokKind::Slash, Loc);
+  case '%':
+    if (isIdentStart(peek()))
+      return lexDirective(Loc);
+    return makeToken(TokKind::Percent, Loc);
+  case '&':
+    return makeToken(TokKind::Amp, Loc);
+  case '|':
+    return makeToken(TokKind::Pipe, Loc);
+  case '^':
+    return makeToken(TokKind::Caret, Loc);
+  case '~':
+    return makeToken(TokKind::Tilde, Loc);
+  case '!':
+    return makeToken(match('=') ? TokKind::BangEq : TokKind::Bang, Loc);
+  case '=':
+    if (match('=')) {
+      if (match('>'))
+        return makeToken(TokKind::Arrow, Loc);
+      return makeToken(TokKind::EqEq, Loc);
+    }
+    return makeToken(TokKind::Assign, Loc);
+  case '<':
+    if (match('='))
+      return makeToken(TokKind::LessEq, Loc);
+    if (match('<'))
+      return makeToken(TokKind::Shl, Loc);
+    return makeToken(TokKind::Less, Loc);
+  case '>':
+    if (match('='))
+      return makeToken(TokKind::GreaterEq, Loc);
+    if (match('>'))
+      return makeToken(TokKind::Shr, Loc);
+    return makeToken(TokKind::Greater, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}

@@ -1,0 +1,55 @@
+//===- Lexer.h - Maril lexer --------------------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for Maril. Supports C-style /* */ and // comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_MARIL_LEXER_H
+#define MARION_MARIL_LEXER_H
+
+#include "maril/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+
+namespace marion {
+namespace maril {
+
+/// Produces tokens from a Maril source buffer. The lexer never fails hard:
+/// unknown characters are reported through the DiagnosticEngine and skipped.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLocation location() const { return SourceLocation(Line, Column); }
+
+  Token makeToken(TokKind Kind, SourceLocation Loc) const;
+  Token lexNumber(SourceLocation Loc);
+  Token lexIdent(SourceLocation Loc);
+  Token lexDirective(SourceLocation Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace maril
+} // namespace marion
+
+#endif // MARION_MARIL_LEXER_H

@@ -1,0 +1,1033 @@
+//===- Parser.cpp ---------------------------------------------------------==//
+
+#include "maril/Parser.h"
+
+#include "maril/Lexer.h"
+
+#include <cassert>
+
+using namespace marion;
+using namespace marion::maril;
+
+Parser::Parser(std::string_view Source, DiagnosticEngine &Diags)
+    : Diags(Diags) {
+  Lexer Lex(Source, Diags);
+  for (;;) {
+    Token Tok = Lex.next();
+    bool AtEnd = Tok.is(TokKind::Eof);
+    Tokens.push_back(std::move(Tok));
+    if (AtEnd)
+      break;
+  }
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t At = Index + Ahead;
+  if (At >= Tokens.size())
+    At = Tokens.size() - 1; // The trailing Eof token.
+  return Tokens[At];
+}
+
+Token Parser::consume() {
+  Token Tok = Tokens[Index];
+  if (Index + 1 < Tokens.size())
+    ++Index;
+  return Tok;
+}
+
+bool Parser::consumeIf(TokKind Kind) {
+  if (!current().is(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind Kind, const char *Context) {
+  if (consumeIf(Kind))
+    return true;
+  error(std::string("expected ") + tokKindName(Kind) + " " + Context +
+        ", found " + tokKindName(current().Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Message) {
+  Diags.error(current().Loc, Message);
+}
+
+void Parser::synchronize() {
+  while (!current().is(TokKind::Eof) && !current().is(TokKind::Directive) &&
+         !current().is(TokKind::RBrace))
+    consume();
+}
+
+std::optional<MachineDescription>
+Parser::parseAndValidate(std::string_view Source, DiagnosticEngine &Diags,
+                         std::string MachineName) {
+  Parser P(Source, Diags);
+  MachineDescription Desc = P.parse();
+  if (!MachineName.empty())
+    Desc.Name = std::move(MachineName);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!Desc.validate(Diags))
+    return std::nullopt;
+  return Desc;
+}
+
+MachineDescription Parser::parse() {
+  MachineDescription Desc;
+  while (!current().is(TokKind::Eof)) {
+    if (current().is(TokKind::Ident) && current().Text == "declare") {
+      consume();
+      parseDeclareSection(Desc);
+      continue;
+    }
+    if (current().is(TokKind::Ident) && current().Text == "cwvm") {
+      consume();
+      parseCwvmSection(Desc);
+      continue;
+    }
+    if (current().is(TokKind::Ident) && current().Text == "instr") {
+      consume();
+      parseInstrSection(Desc);
+      continue;
+    }
+    if (current().isDirective("machine")) {
+      consume();
+      if (current().is(TokKind::Ident))
+        Desc.Name = consume().Text;
+      else
+        error("expected machine name after %machine");
+      consumeIf(TokKind::Semi);
+      continue;
+    }
+    error("expected 'declare', 'cwvm' or 'instr' section");
+    consume();
+  }
+  return Desc;
+}
+
+//===----------------------------------------------------------------------===//
+// Declare section
+//===----------------------------------------------------------------------===//
+
+void Parser::parseDeclareSection(MachineDescription &Desc) {
+  uint32_t OpenLine = current().Loc.Line;
+  if (!expect(TokKind::LBrace, "after 'declare'"))
+    return;
+  while (!current().is(TokKind::RBrace) && !current().is(TokKind::Eof)) {
+    if (!current().is(TokKind::Directive)) {
+      error("expected a %declaration in declare section");
+      synchronize();
+      continue;
+    }
+    const std::string &Name = current().Text;
+    if (Name == "reg")
+      parseRegDecl(Desc);
+    else if (Name == "equiv")
+      parseEquivDecl(Desc);
+    else if (Name == "resource")
+      parseResourceDecl(Desc);
+    else if (Name == "def")
+      parseImmediateDef(Desc, /*IsLabel=*/false);
+    else if (Name == "label")
+      parseImmediateDef(Desc, /*IsLabel=*/true);
+    else if (Name == "memory")
+      parseMemoryDecl(Desc);
+    else if (Name == "clock")
+      parseClockDecl(Desc);
+    else {
+      error("unknown declare directive '%" + Name + "'");
+      consume();
+      synchronize();
+    }
+  }
+  uint32_t CloseLine = current().Loc.Line;
+  expect(TokKind::RBrace, "to close declare section");
+  Desc.Stats.DeclareLines += CloseLine - OpenLine + 1;
+}
+
+void Parser::parseRegDecl(MachineDescription &Desc) {
+  RegisterBank Bank;
+  Bank.Loc = consume().Loc; // %reg
+  if (!current().is(TokKind::Ident)) {
+    error("expected register bank name after %reg");
+    synchronize();
+    return;
+  }
+  Bank.Name = consume().Text;
+
+  if (consumeIf(TokKind::LBracket)) {
+    auto Lo = parseSignedInt();
+    expect(TokKind::Colon, "in register index range");
+    auto Hi = parseSignedInt();
+    expect(TokKind::RBracket, "to close register index range");
+    Bank.Lo = static_cast<int>(Lo.value_or(0));
+    Bank.Hi = static_cast<int>(Hi.value_or(0));
+  } else {
+    Bank.IsScalar = true;
+    Bank.Lo = Bank.Hi = 0;
+  }
+
+  if (!expect(TokKind::LParen, "for register datatypes")) {
+    synchronize();
+    return;
+  }
+  for (;;) {
+    auto Type = parseTypeName();
+    if (!Type) {
+      error("expected a datatype name");
+      break;
+    }
+    Bank.Types.push_back(*Type);
+    if (!consumeIf(TokKind::Comma))
+      break;
+  }
+  if (consumeIf(TokKind::Semi)) {
+    // "(double; clk_m)" — the bank is based on a clock.
+    if (current().is(TokKind::Ident))
+      Bank.ClockName = consume().Text;
+    else
+      error("expected clock name after ';' in %reg datatypes");
+  }
+  expect(TokKind::RParen, "to close register datatypes");
+
+  for (const std::string &Flag : parseFlags()) {
+    if (Flag == "temporal")
+      Bank.IsTemporal = true;
+    else
+      Diags.warning(Bank.Loc, "ignoring unknown %reg flag '+" + Flag + "'");
+  }
+  expect(TokKind::Semi, "after %reg declaration");
+  Desc.Banks.push_back(std::move(Bank));
+}
+
+void Parser::parseEquivDecl(MachineDescription &Desc) {
+  EquivDecl Equiv;
+  Equiv.Loc = consume().Loc; // %equiv
+  auto ParseRef = [&](std::string &Bank, int &Index) {
+    if (!current().is(TokKind::Ident)) {
+      error("expected register reference in %equiv");
+      return false;
+    }
+    Bank = consume().Text;
+    if (consumeIf(TokKind::LBracket)) {
+      Index = static_cast<int>(parseSignedInt().value_or(0));
+      expect(TokKind::RBracket, "in %equiv register reference");
+    }
+    return true;
+  };
+  if (ParseRef(Equiv.BankA, Equiv.IndexA))
+    ParseRef(Equiv.BankB, Equiv.IndexB);
+  expect(TokKind::Semi, "after %equiv declaration");
+  Desc.Equivs.push_back(std::move(Equiv));
+}
+
+void Parser::parseResourceDecl(MachineDescription &Desc) {
+  consume(); // %resource
+  // The paper writes "%resource IF; ID; IE;IA;IW;" — names separated by ';'
+  // or ',', ending before the next directive or '}'.
+  for (;;) {
+    if (!current().is(TokKind::Ident)) {
+      error("expected resource name in %resource");
+      synchronize();
+      return;
+    }
+    ResourceDecl Res;
+    Res.Loc = current().Loc;
+    Res.Name = consume().Text;
+    Desc.Resources.push_back(std::move(Res));
+    if (!consumeIf(TokKind::Semi) && !consumeIf(TokKind::Comma)) {
+      error("expected ';' after resource name");
+      synchronize();
+      return;
+    }
+    if (!current().is(TokKind::Ident))
+      return; // Next directive or '}' follows the final separator.
+  }
+}
+
+void Parser::parseImmediateDef(MachineDescription &Desc, bool IsLabel) {
+  ImmediateDef Def;
+  Def.Loc = consume().Loc; // %def or %label
+  Def.IsLabel = IsLabel;
+  if (!current().is(TokKind::Ident)) {
+    error(IsLabel ? "expected name after %label" : "expected name after %def");
+    synchronize();
+    return;
+  }
+  Def.Name = consume().Text;
+  if (expect(TokKind::LBracket, "for immediate range")) {
+    Def.Lo = parseSignedInt().value_or(0);
+    expect(TokKind::Colon, "in immediate range");
+    Def.Hi = parseSignedInt().value_or(0);
+    expect(TokKind::RBracket, "to close immediate range");
+  }
+  Def.Flags = parseFlags();
+  expect(TokKind::Semi, "after immediate declaration");
+  Desc.Immediates.push_back(std::move(Def));
+}
+
+void Parser::parseMemoryDecl(MachineDescription &Desc) {
+  MemoryDecl Mem;
+  Mem.Loc = consume().Loc; // %memory
+  if (!current().is(TokKind::Ident)) {
+    error("expected name after %memory");
+    synchronize();
+    return;
+  }
+  Mem.Name = consume().Text;
+  if (expect(TokKind::LBracket, "for memory range")) {
+    Mem.Lo = parseSignedInt().value_or(0);
+    expect(TokKind::Colon, "in memory range");
+    Mem.Hi = parseSignedInt().value_or(0);
+    expect(TokKind::RBracket, "to close memory range");
+  }
+  expect(TokKind::Semi, "after %memory declaration");
+  Desc.Memories.push_back(std::move(Mem));
+}
+
+void Parser::parseClockDecl(MachineDescription &Desc) {
+  SourceLocation Loc = consume().Loc; // %clock
+  for (;;) {
+    if (!current().is(TokKind::Ident)) {
+      error("expected clock name after %clock");
+      synchronize();
+      return;
+    }
+    ClockDecl Clock;
+    Clock.Loc = Loc;
+    Clock.Name = consume().Text;
+    Desc.Clocks.push_back(std::move(Clock));
+    if (!consumeIf(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::Semi, "after %clock declaration");
+}
+
+//===----------------------------------------------------------------------===//
+// Cwvm section
+//===----------------------------------------------------------------------===//
+
+void Parser::parseCwvmSection(MachineDescription &Desc) {
+  uint32_t OpenLine = current().Loc.Line;
+  if (!expect(TokKind::LBrace, "after 'cwvm'"))
+    return;
+  while (!current().is(TokKind::RBrace) && !current().is(TokKind::Eof)) {
+    if (!current().is(TokKind::Directive)) {
+      error("expected a %declaration in cwvm section");
+      synchronize();
+      continue;
+    }
+    Token Tok = consume();
+    parseCwvmItem(Desc, Tok.Text, Tok.Loc);
+  }
+  uint32_t CloseLine = current().Loc.Line;
+  expect(TokKind::RBrace, "to close cwvm section");
+  Desc.Stats.CwvmLines += CloseLine - OpenLine + 1;
+}
+
+void Parser::parseCwvmItem(MachineDescription &Desc,
+                           const std::string &Directive, SourceLocation Loc) {
+  Cwvm &Rt = Desc.Runtime;
+
+  auto ParseBankIndex = [&](std::string &Bank, int &IndexOut) -> bool {
+    if (!current().is(TokKind::Ident)) {
+      error("expected register reference in %" + Directive);
+      return false;
+    }
+    Bank = consume().Text;
+    if (!expect(TokKind::LBracket, ("in %" + Directive).c_str()))
+      return false;
+    IndexOut = static_cast<int>(parseSignedInt().value_or(0));
+    expect(TokKind::RBracket, ("in %" + Directive).c_str());
+    return true;
+  };
+  auto ParseBankRangeList = [&](std::vector<Cwvm::BankRange> &Out) {
+    for (;;) {
+      Cwvm::BankRange Range;
+      Range.Loc = Loc;
+      if (!current().is(TokKind::Ident)) {
+        error("expected register range in %" + Directive);
+        break;
+      }
+      Range.Bank = consume().Text;
+      if (expect(TokKind::LBracket, ("in %" + Directive).c_str())) {
+        Range.Lo = static_cast<int>(parseSignedInt().value_or(0));
+        if (consumeIf(TokKind::Colon))
+          Range.Hi = static_cast<int>(parseSignedInt().value_or(0));
+        else
+          Range.Hi = Range.Lo;
+        expect(TokKind::RBracket, ("in %" + Directive).c_str());
+      }
+      Out.push_back(std::move(Range));
+      if (!consumeIf(TokKind::Comma))
+        break;
+    }
+  };
+
+  if (Directive == "general") {
+    Cwvm::GeneralReg Gen;
+    Gen.Loc = Loc;
+    expect(TokKind::LParen, "in %general");
+    auto Type = parseTypeName();
+    if (!Type)
+      error("expected datatype in %general");
+    Gen.Type = Type.value_or(ValueType::Int);
+    expect(TokKind::RParen, "in %general");
+    if (current().is(TokKind::Ident))
+      Gen.Bank = consume().Text;
+    else
+      error("expected register bank name in %general");
+    Rt.General.push_back(std::move(Gen));
+  } else if (Directive == "allocable") {
+    ParseBankRangeList(Rt.Allocable);
+  } else if (Directive == "calleesave") {
+    ParseBankRangeList(Rt.CalleeSave);
+  } else if (Directive == "sp" || Directive == "SP") {
+    Rt.StackPointer.Loc = Loc;
+    ParseBankIndex(Rt.StackPointer.Bank, Rt.StackPointer.Index);
+    for (const std::string &Flag : parseFlags())
+      if (Flag == "down")
+        Rt.SpGrowsDown = true;
+      else if (Flag == "up")
+        Rt.SpGrowsDown = false;
+  } else if (Directive == "fp") {
+    Rt.FramePointer.Loc = Loc;
+    ParseBankIndex(Rt.FramePointer.Bank, Rt.FramePointer.Index);
+    for (const std::string &Flag : parseFlags())
+      if (Flag == "down")
+        Rt.FpGrowsDown = true;
+      else if (Flag == "up")
+        Rt.FpGrowsDown = false;
+  } else if (Directive == "gp") {
+    Rt.GlobalPointer.Loc = Loc;
+    ParseBankIndex(Rt.GlobalPointer.Bank, Rt.GlobalPointer.Index);
+    (void)parseFlags();
+  } else if (Directive == "retaddr") {
+    Rt.ReturnAddress.Loc = Loc;
+    ParseBankIndex(Rt.ReturnAddress.Bank, Rt.ReturnAddress.Index);
+  } else if (Directive == "hard") {
+    Cwvm::HardReg Hard;
+    Hard.Loc = Loc;
+    if (ParseBankIndex(Hard.Bank, Hard.Index))
+      Hard.Value = parseSignedInt().value_or(0);
+    Rt.Hard.push_back(std::move(Hard));
+  } else if (Directive == "arg") {
+    Cwvm::ArgReg Arg;
+    Arg.Loc = Loc;
+    expect(TokKind::LParen, "in %arg");
+    auto Type = parseTypeName();
+    if (!Type)
+      error("expected datatype in %arg");
+    Arg.Type = Type.value_or(ValueType::Int);
+    expect(TokKind::RParen, "in %arg");
+    if (ParseBankIndex(Arg.Bank, Arg.Index))
+      Arg.Position = static_cast<int>(parseSignedInt().value_or(1));
+    Rt.Args.push_back(std::move(Arg));
+  } else if (Directive == "result") {
+    Cwvm::ResultReg Result;
+    Result.Loc = Loc;
+    Result.Type = ValueType::Int;
+    if (ParseBankIndex(Result.Bank, Result.Index)) {
+      expect(TokKind::LParen, "in %result");
+      auto Type = parseTypeName();
+      if (!Type)
+        error("expected datatype in %result");
+      Result.Type = Type.value_or(ValueType::Int);
+      expect(TokKind::RParen, "in %result");
+    }
+    Rt.Results.push_back(std::move(Result));
+  } else {
+    error("unknown cwvm directive '%" + Directive + "'");
+    synchronize();
+    return;
+  }
+  expect(TokKind::Semi, ("after %" + Directive).c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Instr section
+//===----------------------------------------------------------------------===//
+
+void Parser::parseInstrSection(MachineDescription &Desc) {
+  uint32_t OpenLine = current().Loc.Line;
+  if (!expect(TokKind::LBrace, "after 'instr'"))
+    return;
+  while (!current().is(TokKind::RBrace) && !current().is(TokKind::Eof)) {
+    if (!current().is(TokKind::Directive)) {
+      error("expected a %directive in instr section");
+      synchronize();
+      continue;
+    }
+    const std::string &Name = current().Text;
+    if (Name == "instr")
+      parseInstrDirective(Desc, /*IsMove=*/false);
+    else if (Name == "move")
+      parseInstrDirective(Desc, /*IsMove=*/true);
+    else if (Name == "aux")
+      parseAuxDirective(Desc);
+    else if (Name == "glue")
+      parseGlueDirective(Desc);
+    else {
+      error("unknown instr directive '%" + Name + "'");
+      consume();
+      synchronize();
+    }
+  }
+  uint32_t CloseLine = current().Loc.Line;
+  expect(TokKind::RBrace, "to close instr section");
+  Desc.Stats.InstrLines += CloseLine - OpenLine + 1;
+}
+
+void Parser::parseInstrDirective(MachineDescription &Desc, bool IsMove) {
+  InstrDesc Instr;
+  Instr.Loc = consume().Loc; // %instr or %move
+  Instr.IsMove = IsMove;
+
+  // Optional "[label]" naming this directive for *func bodies (Fig 3).
+  if (current().is(TokKind::LBracket) && peek(1).is(TokKind::Ident) &&
+      peek(2).is(TokKind::RBracket)) {
+    consume();
+    Instr.MoveLabel = consume().Text;
+    consume();
+  }
+
+  // "*name" declares a func escape (paper §3.4).
+  if (consumeIf(TokKind::Star)) {
+    if (!current().is(TokKind::Ident)) {
+      error("expected func escape name after '*'");
+      synchronize();
+      return;
+    }
+    Instr.FuncEscape = consume().Text;
+    Instr.Mnemonic = "*" + Instr.FuncEscape;
+  } else {
+    if (!current().is(TokKind::Ident)) {
+      error("expected instruction mnemonic");
+      synchronize();
+      return;
+    }
+    Instr.Mnemonic = consume().Text;
+  }
+
+  if (current().is(TokKind::Ident) || current().is(TokKind::Hash))
+    Instr.Operands = parseOperandList();
+
+  if (current().is(TokKind::LParen))
+    parseTypeConstraint(Instr);
+
+  if (current().is(TokKind::LBrace))
+    Instr.Body = parseBody();
+  else
+    error("expected '{' for instruction expression");
+
+  if (current().is(TokKind::LBracket))
+    Instr.ResourceUsage = parseResourceUsage();
+  else
+    error("expected '[' for instruction resource usage");
+
+  if (current().is(TokKind::LParen))
+    parseTriple(Instr);
+  else
+    error("expected '(cost,latency,slots)' triple");
+
+  if (current().is(TokKind::Less))
+    Instr.ClassElements = parseClassList();
+
+  consumeIf(TokKind::Semi);
+  Desc.Instructions.push_back(std::move(Instr));
+}
+
+std::vector<OperandSpec> Parser::parseOperandList() {
+  std::vector<OperandSpec> Operands;
+  for (;;) {
+    OperandSpec Op;
+    Op.Loc = current().Loc;
+    if (consumeIf(TokKind::Hash)) {
+      if (!current().is(TokKind::Ident)) {
+        error("expected immediate or label name after '#'");
+        break;
+      }
+      Op.Kind = OperandKind::Imm; // Corrected to Label during validation.
+      Op.Name = consume().Text;
+    } else if (current().is(TokKind::Ident)) {
+      Op.Name = consume().Text;
+      if (consumeIf(TokKind::LBracket)) {
+        Op.Kind = OperandKind::FixedReg;
+        Op.FixedIndex = static_cast<int>(parseSignedInt().value_or(0));
+        expect(TokKind::RBracket, "in fixed register operand");
+      } else {
+        Op.Kind = OperandKind::RegClass;
+      }
+    } else {
+      error("expected operand");
+      break;
+    }
+    Operands.push_back(std::move(Op));
+    if (!consumeIf(TokKind::Comma))
+      break;
+  }
+  return Operands;
+}
+
+bool Parser::parseTypeConstraint(InstrDesc &Instr) {
+  assert(current().is(TokKind::LParen));
+  consume();
+  auto Type = parseTypeName();
+  if (!Type) {
+    error("expected datatype in instruction type constraint");
+    synchronize();
+    return false;
+  }
+  Instr.HasTypeConstraint = true;
+  Instr.TypeConstraint = *Type;
+  if (consumeIf(TokKind::Semi)) {
+    if (current().is(TokKind::Ident))
+      Instr.ClockName = consume().Text;
+    else
+      error("expected clock name in instruction constraint");
+  }
+  expect(TokKind::RParen, "to close instruction type constraint");
+  return true;
+}
+
+std::vector<Stmt> Parser::parseBody() {
+  assert(current().is(TokKind::LBrace));
+  consume();
+  std::vector<Stmt> Body;
+  while (!current().is(TokKind::RBrace) && !current().is(TokKind::Eof))
+    Body.push_back(parseStmt());
+  expect(TokKind::RBrace, "to close instruction expression");
+  return Body;
+}
+
+unsigned Parser::parseOperandRef() {
+  if (!expect(TokKind::Dollar, "for operand reference"))
+    return 0;
+  if (!current().is(TokKind::IntLit)) {
+    error("expected operand number after '$'");
+    return 0;
+  }
+  return static_cast<unsigned>(consume().IntValue);
+}
+
+Stmt Parser::parseStmt() {
+  Stmt S;
+  S.Loc = current().Loc;
+
+  if (current().is(TokKind::Ident)) {
+    const std::string &Word = current().Text;
+    if (Word == "if") {
+      consume();
+      S.Kind = StmtKind::IfGoto;
+      expect(TokKind::LParen, "after 'if'");
+      S.Value = parseExpr();
+      expect(TokKind::RParen, "after if condition");
+      if (current().is(TokKind::Ident) && current().Text == "goto")
+        consume();
+      else
+        error("expected 'goto' in branch expression");
+      S.TargetOperand = parseOperandRef();
+      expect(TokKind::Semi, "after branch expression");
+      return S;
+    }
+    if (Word == "goto") {
+      consume();
+      S.Kind = StmtKind::Goto;
+      S.TargetOperand = parseOperandRef();
+      expect(TokKind::Semi, "after goto");
+      return S;
+    }
+    if (Word == "call") {
+      consume();
+      S.Kind = StmtKind::Call;
+      S.TargetOperand = parseOperandRef();
+      expect(TokKind::Semi, "after call");
+      return S;
+    }
+    if (Word == "ret") {
+      consume();
+      S.Kind = StmtKind::Ret;
+      expect(TokKind::Semi, "after ret");
+      return S;
+    }
+  }
+
+  // Assignment: lvalue '=' expr ';'
+  S.Kind = StmtKind::Assign;
+  S.Lhs = parseUnary(); // Operand, named register or m[...] reference.
+  expect(TokKind::Assign, "in instruction assignment");
+  S.Value = parseExpr();
+  expect(TokKind::Semi, "after instruction assignment");
+  return S;
+}
+
+std::vector<std::vector<std::string>> Parser::parseResourceUsage() {
+  assert(current().is(TokKind::LBracket));
+  consume();
+  std::vector<std::vector<std::string>> Usage;
+  // "[IF; ID; IE,F1; F2;]" — cycles separated by ';', resources within a
+  // cycle separated by ','; a trailing ';' is allowed; "[]" is valid.
+  while (!current().is(TokKind::RBracket) && !current().is(TokKind::Eof)) {
+    std::vector<std::string> Cycle;
+    for (;;) {
+      if (!current().is(TokKind::Ident)) {
+        error("expected resource name in resource usage");
+        synchronize();
+        return Usage;
+      }
+      Cycle.push_back(consume().Text);
+      if (!consumeIf(TokKind::Comma))
+        break;
+    }
+    Usage.push_back(std::move(Cycle));
+    if (!consumeIf(TokKind::Semi))
+      break;
+  }
+  expect(TokKind::RBracket, "to close resource usage");
+  return Usage;
+}
+
+bool Parser::parseTriple(InstrDesc &Instr) {
+  assert(current().is(TokKind::LParen));
+  consume();
+  Instr.Cost = static_cast<int>(parseSignedInt().value_or(1));
+  expect(TokKind::Comma, "in (cost,latency,slots)");
+  Instr.Latency = static_cast<int>(parseSignedInt().value_or(1));
+  expect(TokKind::Comma, "in (cost,latency,slots)");
+  Instr.Slots = static_cast<int>(parseSignedInt().value_or(0));
+  return expect(TokKind::RParen, "to close (cost,latency,slots)");
+}
+
+std::vector<std::string> Parser::parseClassList() {
+  assert(current().is(TokKind::Less));
+  consume();
+  std::vector<std::string> Elements;
+  for (;;) {
+    if (!current().is(TokKind::Ident)) {
+      error("expected class element name");
+      break;
+    }
+    Elements.push_back(consume().Text);
+    if (!consumeIf(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::Greater, "to close class element list");
+  return Elements;
+}
+
+void Parser::parseAuxDirective(MachineDescription &Desc) {
+  AuxLatency Aux;
+  Aux.Loc = consume().Loc; // %aux
+  if (current().is(TokKind::Ident))
+    Aux.FirstMnemonic = consume().Text;
+  else
+    error("expected instruction mnemonic in %aux");
+  expect(TokKind::Colon, "between %aux instruction pair");
+  if (current().is(TokKind::Ident))
+    Aux.SecondMnemonic = consume().Text;
+  else
+    error("expected second instruction mnemonic in %aux");
+
+  // Condition "(1.$1 == 2.$1)".
+  if (expect(TokKind::LParen, "for %aux condition")) {
+    Aux.CondFirstInstr =
+        static_cast<unsigned>(parseSignedInt().value_or(1));
+    expect(TokKind::Dot, "in %aux condition");
+    Aux.CondFirstOperand = parseOperandRef();
+    expect(TokKind::EqEq, "in %aux condition");
+    Aux.CondSecondInstr =
+        static_cast<unsigned>(parseSignedInt().value_or(2));
+    expect(TokKind::Dot, "in %aux condition");
+    Aux.CondSecondOperand = parseOperandRef();
+    expect(TokKind::RParen, "to close %aux condition");
+  }
+  if (expect(TokKind::LParen, "for %aux latency")) {
+    Aux.Latency = static_cast<int>(parseSignedInt().value_or(0));
+    expect(TokKind::RParen, "to close %aux latency");
+  }
+  consumeIf(TokKind::Semi);
+  Desc.AuxLatencies.push_back(std::move(Aux));
+}
+
+void Parser::parseGlueDirective(MachineDescription &Desc) {
+  GlueTransform Glue;
+  Glue.Loc = consume().Loc; // %glue
+
+  // Optional operand class list ("r, r") — parsed and discarded; glue
+  // metavariables match arbitrary subtrees before registers exist.
+  if (current().is(TokKind::Ident) &&
+      (peek(1).is(TokKind::Comma) || peek(1).is(TokKind::LBrace)))
+    (void)parseOperandList();
+
+  // Optional type constraint "(int)".
+  if (current().is(TokKind::LParen)) {
+    consume();
+    auto Type = parseTypeName();
+    if (!Type)
+      error("expected datatype in %glue type constraint");
+    else {
+      Glue.HasTypeConstraint = true;
+      Glue.TypeConstraint = *Type;
+    }
+    expect(TokKind::RParen, "to close %glue type constraint");
+  }
+
+  if (expect(TokKind::LBrace, "for %glue transformation")) {
+    Glue.Pattern = parseExpr();
+    expect(TokKind::Arrow, "between %glue pattern and replacement");
+    Glue.Replacement = parseExpr();
+    consumeIf(TokKind::Semi);
+    expect(TokKind::RBrace, "to close %glue transformation");
+  }
+  consumeIf(TokKind::Semi);
+  Desc.GlueTransforms.push_back(std::move(Glue));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared small pieces
+//===----------------------------------------------------------------------===//
+
+std::optional<int64_t> Parser::parseSignedInt() {
+  bool Negate = consumeIf(TokKind::Minus);
+  if (!current().is(TokKind::IntLit)) {
+    error("expected integer");
+    return std::nullopt;
+  }
+  int64_t Value = consume().IntValue;
+  return Negate ? -Value : Value;
+}
+
+std::vector<std::string> Parser::parseFlags() {
+  std::vector<std::string> Flags;
+  while (current().is(TokKind::Plus) && peek(1).is(TokKind::Ident)) {
+    consume();
+    Flags.push_back(consume().Text);
+  }
+  return Flags;
+}
+
+std::optional<ValueType> Parser::parseTypeName() {
+  if (!current().is(TokKind::Ident))
+    return std::nullopt;
+  auto Type = typeFromName(current().Text);
+  if (!Type)
+    return std::nullopt;
+  consume();
+  return Type;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr::Ptr Parser::parseStandaloneExpr() { return parseExpr(); }
+
+namespace {
+/// Binding power of a binary operator token; -1 when not a binary operator.
+int binaryPrecedence(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Less:
+  case TokKind::LessEq:
+  case TokKind::Greater:
+  case TokKind::GreaterEq:
+  case TokKind::ColonColon:
+    return 7;
+  case TokKind::EqEq:
+  case TokKind::BangEq:
+    return 6;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Pipe:
+    return 3;
+  default:
+    return -1;
+  }
+}
+
+BinaryOp binaryOpFor(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Star:
+    return BinaryOp::Mul;
+  case TokKind::Slash:
+    return BinaryOp::Div;
+  case TokKind::Percent:
+    return BinaryOp::Rem;
+  case TokKind::Plus:
+    return BinaryOp::Add;
+  case TokKind::Minus:
+    return BinaryOp::Sub;
+  case TokKind::Shl:
+    return BinaryOp::Shl;
+  case TokKind::Shr:
+    return BinaryOp::Shr;
+  case TokKind::Less:
+    return BinaryOp::Lt;
+  case TokKind::LessEq:
+    return BinaryOp::Le;
+  case TokKind::Greater:
+    return BinaryOp::Gt;
+  case TokKind::GreaterEq:
+    return BinaryOp::Ge;
+  case TokKind::ColonColon:
+    return BinaryOp::Cmp;
+  case TokKind::EqEq:
+    return BinaryOp::Eq;
+  case TokKind::BangEq:
+    return BinaryOp::Ne;
+  case TokKind::Amp:
+    return BinaryOp::And;
+  case TokKind::Caret:
+    return BinaryOp::Xor;
+  case TokKind::Pipe:
+    return BinaryOp::Or;
+  default:
+    return BinaryOp::Add;
+  }
+}
+} // namespace
+
+Expr::Ptr Parser::parseExpr() {
+  Expr::Ptr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  return parseBinaryRhs(0, std::move(Lhs));
+}
+
+Expr::Ptr Parser::parseBinaryRhs(int MinPrecedence, Expr::Ptr Lhs) {
+  for (;;) {
+    int Precedence = binaryPrecedence(current().Kind);
+    if (Precedence < MinPrecedence || Precedence < 0)
+      return Lhs;
+    Token OpTok = consume();
+    Expr::Ptr Rhs = parseUnary();
+    if (!Rhs)
+      return Lhs;
+    // All Maril binary operators are left-associative.
+    int NextPrecedence = binaryPrecedence(current().Kind);
+    if (NextPrecedence > Precedence)
+      Rhs = parseBinaryRhs(Precedence + 1, std::move(Rhs));
+    Lhs = Expr::makeBinary(OpTok.Loc, binaryOpFor(OpTok.Kind), std::move(Lhs),
+                           std::move(Rhs));
+  }
+}
+
+Expr::Ptr Parser::parseUnary() {
+  SourceLocation Loc = current().Loc;
+  if (consumeIf(TokKind::Minus)) {
+    // Fold "-literal" immediately so ranges and constants stay literal.
+    if (current().is(TokKind::IntLit))
+      return Expr::makeIntConst(Loc, -consume().IntValue);
+    if (current().is(TokKind::FloatLit))
+      return Expr::makeFloatConst(Loc, -consume().FloatValue);
+    Expr::Ptr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Expr::makeUnary(Loc, UnaryOp::Neg, std::move(Sub));
+  }
+  if (consumeIf(TokKind::Tilde)) {
+    Expr::Ptr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Expr::makeUnary(Loc, UnaryOp::BitNot, std::move(Sub));
+  }
+  if (consumeIf(TokKind::Bang)) {
+    Expr::Ptr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Expr::makeUnary(Loc, UnaryOp::LogNot, std::move(Sub));
+  }
+  return parsePrimary();
+}
+
+Expr::Ptr Parser::parsePrimary() {
+  SourceLocation Loc = current().Loc;
+
+  if (current().is(TokKind::Dollar)) {
+    unsigned Index = parseOperandRef();
+    return Expr::makeOperand(Loc, Index);
+  }
+  if (current().is(TokKind::IntLit))
+    return Expr::makeIntConst(Loc, consume().IntValue);
+  if (current().is(TokKind::FloatLit))
+    return Expr::makeFloatConst(Loc, consume().FloatValue);
+
+  if (current().is(TokKind::LParen)) {
+    // "(double)e" is a cast; "(e)" is grouping.
+    if (peek(1).is(TokKind::Ident) && typeFromName(peek(1).Text) &&
+        peek(2).is(TokKind::RParen)) {
+      consume();
+      ValueType Type = *typeFromName(consume().Text);
+      consume();
+      Expr::Ptr Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return Expr::makeCast(Loc, Type, std::move(Sub));
+    }
+    consume();
+    Expr::Ptr Inner = parseExpr();
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+
+  if (current().is(TokKind::Ident)) {
+    std::string Name = consume().Text;
+    if (current().is(TokKind::LBracket)) {
+      // Memory reference m[expr].
+      consume();
+      Expr::Ptr Address = parseExpr();
+      expect(TokKind::RBracket, "to close memory reference");
+      if (!Address)
+        return nullptr;
+      return Expr::makeMemRef(Loc, std::move(Name), std::move(Address));
+    }
+    if (current().is(TokKind::LParen)) {
+      // Builtin call high(...), low(...), eval(...).
+      BuiltinFn Fn;
+      if (Name == "high")
+        Fn = BuiltinFn::High;
+      else if (Name == "low")
+        Fn = BuiltinFn::Low;
+      else if (Name == "eval")
+        Fn = BuiltinFn::Eval;
+      else {
+        error("unknown builtin function '" + Name + "'");
+        Fn = BuiltinFn::Eval;
+      }
+      consume();
+      std::vector<Expr::Ptr> Args;
+      if (!current().is(TokKind::RParen)) {
+        for (;;) {
+          Expr::Ptr Arg = parseExpr();
+          if (!Arg)
+            break;
+          Args.push_back(std::move(Arg));
+          if (!consumeIf(TokKind::Comma))
+            break;
+        }
+      }
+      expect(TokKind::RParen, "to close builtin call");
+      return Expr::makeBuiltin(Loc, Fn, std::move(Args));
+    }
+    // Bare identifier: a temporal register reference.
+    return Expr::makeNamedReg(Loc, std::move(Name));
+  }
+
+  error("expected expression, found " +
+        std::string(tokKindName(current().Kind)));
+  consume();
+  return nullptr;
+}

@@ -1,0 +1,107 @@
+//===- Parser.h - Maril parser ------------------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for Maril machine descriptions. Produces a
+/// MachineDescription; call MachineDescription::validate() afterwards to
+/// resolve cross references (parseAndValidate does both).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_MARIL_PARSER_H
+#define MARION_MARIL_PARSER_H
+
+#include "maril/Description.h"
+#include "maril/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace marion {
+namespace maril {
+
+/// Parses one Maril source buffer.
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer. Returns the (possibly partial) description;
+  /// check Diags.hasErrors() for success.
+  MachineDescription parse();
+
+  /// Convenience: parse then validate. Returns nullopt on any error.
+  static std::optional<MachineDescription>
+  parseAndValidate(std::string_view Source, DiagnosticEngine &Diags,
+                   std::string MachineName = "");
+
+  /// Parses a standalone semantic expression (exposed for tests).
+  Expr::Ptr parseStandaloneExpr();
+
+private:
+  // Token stream management (all tokens are lexed up front for lookahead).
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool consumeIf(TokKind Kind);
+  /// Consumes a token of \p Kind or reports \p Context and returns false.
+  bool expect(TokKind Kind, const char *Context);
+  void error(const std::string &Message);
+  /// Skips tokens until the next directive, '}' or EOF (error recovery).
+  void synchronize();
+
+  // Sections.
+  void parseDeclareSection(MachineDescription &Desc);
+  void parseCwvmSection(MachineDescription &Desc);
+  void parseInstrSection(MachineDescription &Desc);
+
+  // Declare items.
+  void parseRegDecl(MachineDescription &Desc);
+  void parseEquivDecl(MachineDescription &Desc);
+  void parseResourceDecl(MachineDescription &Desc);
+  void parseImmediateDef(MachineDescription &Desc, bool IsLabel);
+  void parseMemoryDecl(MachineDescription &Desc);
+  void parseClockDecl(MachineDescription &Desc);
+
+  // Cwvm items.
+  void parseCwvmItem(MachineDescription &Desc, const std::string &Directive,
+                     SourceLocation Loc);
+
+  // Instr items.
+  void parseInstrDirective(MachineDescription &Desc, bool IsMove);
+  void parseAuxDirective(MachineDescription &Desc);
+  void parseGlueDirective(MachineDescription &Desc);
+  std::vector<OperandSpec> parseOperandList();
+  bool parseTypeConstraint(InstrDesc &Instr);
+  std::vector<Stmt> parseBody();
+  Stmt parseStmt();
+  std::vector<std::vector<std::string>> parseResourceUsage();
+  bool parseTriple(InstrDesc &Instr);
+  std::vector<std::string> parseClassList();
+
+  // Shared small pieces.
+  std::optional<int64_t> parseSignedInt();
+  std::vector<std::string> parseFlags();
+  std::optional<ValueType> parseTypeName();
+  unsigned parseOperandRef(); ///< '$' INT; returns 0 on error.
+
+  // Expressions (precedence climbing).
+  Expr::Ptr parseExpr();
+  Expr::Ptr parseBinaryRhs(int MinPrecedence, Expr::Ptr Lhs);
+  Expr::Ptr parseUnary();
+  Expr::Ptr parsePrimary();
+
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace maril
+} // namespace marion
+
+#endif // MARION_MARIL_PARSER_H

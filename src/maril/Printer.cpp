@@ -1,0 +1,164 @@
+//===- Printer.cpp --------------------------------------------------------==//
+
+#include "maril/Printer.h"
+
+#include <sstream>
+
+using namespace marion;
+using namespace marion::maril;
+
+namespace {
+
+std::string typeList(const std::vector<ValueType> &Types) {
+  std::string Out;
+  for (size_t I = 0; I < Types.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += typeName(Types[I]);
+  }
+  return Out;
+}
+
+void printDeclare(std::ostringstream &Out, const MachineDescription &Desc) {
+  Out << "declare {\n";
+  for (const ClockDecl &Clock : Desc.Clocks)
+    Out << "  %clock " << Clock.Name << ";\n";
+  for (const RegisterBank &Bank : Desc.Banks) {
+    Out << "  %reg " << Bank.Name;
+    if (!Bank.IsScalar)
+      Out << "[" << Bank.Lo << ":" << Bank.Hi << "]";
+    Out << " (" << typeList(Bank.Types);
+    if (!Bank.ClockName.empty())
+      Out << "; " << Bank.ClockName;
+    Out << ")";
+    if (Bank.IsTemporal)
+      Out << " +temporal";
+    Out << ";\n";
+  }
+  for (const EquivDecl &Equiv : Desc.Equivs)
+    Out << "  %equiv " << Equiv.BankA << "[" << Equiv.IndexA << "] "
+        << Equiv.BankB << "[" << Equiv.IndexB << "];\n";
+  if (!Desc.Resources.empty()) {
+    Out << "  %resource ";
+    for (size_t I = 0; I < Desc.Resources.size(); ++I)
+      Out << Desc.Resources[I].Name << "; ";
+    Out << "\n";
+  }
+  for (const ImmediateDef &Def : Desc.Immediates) {
+    Out << "  " << (Def.IsLabel ? "%label " : "%def ") << Def.Name << " ["
+        << Def.Lo << ":" << Def.Hi << "]";
+    for (const std::string &Flag : Def.Flags)
+      Out << " +" << Flag;
+    Out << ";\n";
+  }
+  for (const MemoryDecl &Mem : Desc.Memories)
+    Out << "  %memory " << Mem.Name << "[" << Mem.Lo << ":" << Mem.Hi
+        << "];\n";
+  Out << "}\n";
+}
+
+void printCwvm(std::ostringstream &Out, const MachineDescription &Desc) {
+  const Cwvm &Rt = Desc.Runtime;
+  Out << "cwvm {\n";
+  for (const Cwvm::GeneralReg &Gen : Rt.General)
+    Out << "  %general (" << typeName(Gen.Type) << ") " << Gen.Bank << ";\n";
+  auto Ranges = [&](const char *Name,
+                    const std::vector<Cwvm::BankRange> &List) {
+    if (List.empty())
+      return;
+    Out << "  %" << Name << " ";
+    for (size_t I = 0; I < List.size(); ++I) {
+      if (I)
+        Out << ", ";
+      Out << List[I].Bank << "[" << List[I].Lo << ":" << List[I].Hi << "]";
+    }
+    Out << ";\n";
+  };
+  Ranges("allocable", Rt.Allocable);
+  Ranges("calleesave", Rt.CalleeSave);
+  auto Fixed = [&](const char *Name, const Cwvm::FixedReg &Reg,
+                   const char *Suffix = "") {
+    if (Reg.isValid())
+      Out << "  %" << Name << " " << Reg.Bank << "[" << Reg.Index << "]"
+          << Suffix << ";\n";
+  };
+  Fixed("sp", Rt.StackPointer, Rt.SpGrowsDown ? " +down" : " +up");
+  Fixed("fp", Rt.FramePointer, Rt.FpGrowsDown ? " +down" : " +up");
+  Fixed("gp", Rt.GlobalPointer);
+  Fixed("retaddr", Rt.ReturnAddress);
+  for (const Cwvm::HardReg &Hard : Rt.Hard)
+    Out << "  %hard " << Hard.Bank << "[" << Hard.Index << "] " << Hard.Value
+        << ";\n";
+  for (const Cwvm::ArgReg &Arg : Rt.Args)
+    Out << "  %arg (" << typeName(Arg.Type) << ") " << Arg.Bank << "["
+        << Arg.Index << "] " << Arg.Position << ";\n";
+  for (const Cwvm::ResultReg &Result : Rt.Results)
+    Out << "  %result " << Result.Bank << "[" << Result.Index << "] ("
+        << typeName(Result.Type) << ");\n";
+  Out << "}\n";
+}
+
+} // namespace
+
+std::string maril::printInstr(const InstrDesc &Instr) {
+  std::ostringstream Out;
+  Out << (Instr.IsMove ? "%move " : "%instr ");
+  if (!Instr.MoveLabel.empty())
+    Out << "[" << Instr.MoveLabel << "] ";
+  if (!Instr.FuncEscape.empty())
+    Out << "*" << Instr.FuncEscape;
+  else
+    Out << Instr.Mnemonic;
+  for (size_t I = 0; I < Instr.Operands.size(); ++I)
+    Out << (I ? ", " : " ") << Instr.Operands[I].str();
+  if (Instr.HasTypeConstraint || !Instr.ClockName.empty()) {
+    Out << " (" << typeName(Instr.HasTypeConstraint ? Instr.TypeConstraint
+                                                    : ValueType::Int);
+    if (!Instr.ClockName.empty())
+      Out << "; " << Instr.ClockName;
+    Out << ")";
+  }
+  Out << " {";
+  for (const Stmt &S : Instr.Body)
+    Out << S.str();
+  Out << "} [";
+  for (size_t C = 0; C < Instr.ResourceUsage.size(); ++C) {
+    for (size_t R = 0; R < Instr.ResourceUsage[C].size(); ++R)
+      Out << (R ? "," : "") << Instr.ResourceUsage[C][R];
+    Out << "; ";
+  }
+  Out << "] (" << Instr.Cost << "," << Instr.Latency << "," << Instr.Slots
+      << ")";
+  if (!Instr.ClassElements.empty()) {
+    Out << " <";
+    for (size_t I = 0; I < Instr.ClassElements.size(); ++I)
+      Out << (I ? ", " : "") << Instr.ClassElements[I];
+    Out << ">";
+  }
+  return Out.str();
+}
+
+std::string maril::printDescription(const MachineDescription &Desc) {
+  std::ostringstream Out;
+  if (!Desc.Name.empty())
+    Out << "%machine " << Desc.Name << ";\n";
+  printDeclare(Out, Desc);
+  printCwvm(Out, Desc);
+  Out << "instr {\n";
+  for (const InstrDesc &Instr : Desc.Instructions)
+    Out << "  " << printInstr(Instr) << "\n";
+  for (const AuxLatency &Aux : Desc.AuxLatencies)
+    Out << "  %aux " << Aux.FirstMnemonic << " : " << Aux.SecondMnemonic
+        << " (" << Aux.CondFirstInstr << ".$" << Aux.CondFirstOperand
+        << " == " << Aux.CondSecondInstr << ".$" << Aux.CondSecondOperand
+        << ") (" << Aux.Latency << ")\n";
+  for (const GlueTransform &Glue : Desc.GlueTransforms) {
+    Out << "  %glue ";
+    if (Glue.HasTypeConstraint)
+      Out << "(" << typeName(Glue.TypeConstraint) << ") ";
+    Out << "{" << Glue.Pattern->str() << " ==> " << Glue.Replacement->str()
+        << ";}\n";
+  }
+  Out << "}\n";
+  return Out.str();
+}

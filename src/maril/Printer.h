@@ -1,0 +1,35 @@
+//===- Printer.h - Emit Maril text from a description ---------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a validated MachineDescription back to canonical Maril text.
+/// parse(print(parse(x))) is structurally identical to parse(x), which the
+/// round-trip tests rely on; the printer is also how generated or
+/// programmatically-edited descriptions (architecture experiments, paper
+/// §1: "we have experimented with alternative architectures") get saved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_MARIL_PRINTER_H
+#define MARION_MARIL_PRINTER_H
+
+#include "maril/Description.h"
+
+#include <string>
+
+namespace marion {
+namespace maril {
+
+/// Emits the whole description (declare, cwvm, instr sections).
+std::string printDescription(const MachineDescription &Desc);
+
+/// Emits one %instr / %move directive.
+std::string printInstr(const InstrDesc &Instr);
+
+} // namespace maril
+} // namespace marion
+
+#endif // MARION_MARIL_PRINTER_H

@@ -1,0 +1,91 @@
+//===- Token.h - Maril tokens -------------------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the Maril machine description language (paper §3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_MARIL_TOKEN_H
+#define MARION_MARIL_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace marion {
+namespace maril {
+
+enum class TokKind {
+  Eof,
+  Ident,     ///< add, r, const16, ...
+  Directive, ///< %reg, %instr, ... (spelling stored without the '%')
+  IntLit,
+  FloatLit,
+  // Grouping and separators.
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Dot, ///< standalone '.' (as in %aux conditions "1.$1"); dots inside
+       ///< identifiers such as fadd.d are part of the identifier
+  Colon,
+  ColonColon, ///< the generic-compare operator '::'
+  Hash,       ///< '#' prefixing immediate/label operand kinds
+  Dollar,     ///< '$' prefixing operand references
+  At,         ///< '@' (reserved)
+  // Operators appearing in semantic expressions and ranges. Declaration
+  // flags such as +relative, +temporal and +down are parsed as Plus followed
+  // by an identifier; the parser disambiguates by context.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Assign,  ///< '='
+  EqEq,    ///< '=='
+  BangEq,  ///< '!='
+  Less,    ///< '<'
+  LessEq,  ///< '<='
+  Greater, ///< '>'
+  GreaterEq,
+  Shl,   ///< '<<'
+  Shr,   ///< '>>'
+  Arrow, ///< '==>' in glue transformations
+};
+
+/// Renders a token kind for diagnostics, e.g. "'{'" or "identifier".
+const char *tokKindName(TokKind Kind);
+
+/// One lexed Maril token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLocation Loc;
+  std::string Text;    ///< Identifier / directive spelling; flag name for
+                       ///< PlusRelative (without the '+').
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isDirective(const char *Name) const {
+    return Kind == TokKind::Directive && Text == Name;
+  }
+};
+
+} // namespace maril
+} // namespace marion
+
+#endif // MARION_MARIL_TOKEN_H

@@ -1,0 +1,548 @@
+//===- Allocator.cpp ------------------------------------------------------==//
+
+#include "regalloc/Allocator.h"
+
+#include "regalloc/Liveness.h"
+#include "target/TargetInfo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace marion;
+using namespace marion::regalloc;
+using namespace marion::target;
+
+namespace {
+
+class AllocatorImpl {
+public:
+  AllocatorImpl(MFunction &Fn, const TargetInfo &Target,
+                DiagnosticEngine &Diags, const AllocatorOptions &Opts)
+      : Fn(Fn), Target(Target), Diags(Diags), Opts(Opts) {}
+
+  bool run(AllocationStats *Stats);
+
+private:
+  void buildInterference(const CFG &Cfg, const LivenessResult &Live);
+  void computeSpillCosts(const CFG &Cfg);
+  bool colorGraph(std::vector<int> &SpillList);
+  bool insertSpillCode(const std::vector<int> &SpillList);
+  void rewriteOperands();
+  void collectCalleeSaved();
+
+  /// Ordered candidate registers for a bank: caller-saved first so values
+  /// not live across calls avoid save/restore cost.
+  std::vector<PhysReg> orderedAllocable(int Bank) const;
+
+  MFunction &Fn;
+  const TargetInfo &Target;
+  DiagnosticEngine &Diags;
+  const AllocatorOptions &Opts;
+
+  // Per-round state.
+  std::vector<std::set<int>> Adj;             ///< pseudo -> pseudo edges.
+  std::vector<std::set<unsigned>> Precolored; ///< pseudo -> phys units.
+  std::vector<double> SpillCost;
+  std::vector<bool> NoSpill; ///< Spill-generated pseudos must color.
+  std::vector<unsigned> Occurrences;
+  std::vector<PhysReg> Assignment;
+
+  AllocationStats Totals;
+};
+
+std::vector<PhysReg> AllocatorImpl::orderedAllocable(int Bank) const {
+  const RuntimeModel &Rt = Target.runtime();
+  std::vector<PhysReg> CallerSaved, CalleeSaved;
+  if (Bank < 0 || Bank >= static_cast<int>(Rt.AllocablePerBank.size()))
+    return {};
+  for (PhysReg Reg : Rt.AllocablePerBank[Bank]) {
+    // A register aliasing any callee-saved register costs a save.
+    bool Saved = false;
+    for (PhysReg CS : Rt.CalleeSaved)
+      if (Target.registers().alias(Reg, CS))
+        Saved = true;
+    (Saved ? CalleeSaved : CallerSaved).push_back(Reg);
+  }
+  CallerSaved.insert(CallerSaved.end(), CalleeSaved.begin(),
+                     CalleeSaved.end());
+  return CallerSaved;
+}
+
+void AllocatorImpl::buildInterference(const CFG &Cfg,
+                                      const LivenessResult &Live) {
+  size_t NumPseudos = Fn.Pseudos.size();
+  Adj.assign(NumPseudos, {});
+  Precolored.assign(NumPseudos, {});
+  Occurrences.assign(NumPseudos, 0);
+  (void)Cfg;
+
+  auto AddEdge = [&](LiveKey A, LiveKey B) {
+    if (A == B)
+      return;
+    if (isPseudoKey(A) && isPseudoKey(B)) {
+      Adj[pseudoOf(A)].insert(pseudoOf(B));
+      Adj[pseudoOf(B)].insert(pseudoOf(A));
+    } else if (isPseudoKey(A)) {
+      Precolored[pseudoOf(A)].insert(unitOf(B));
+    } else if (isPseudoKey(B)) {
+      Precolored[pseudoOf(B)].insert(unitOf(A));
+    }
+  };
+
+  const char *DebugPseudoEnv = std::getenv("MARION_RA_TRACE_PSEUDO");
+  int DebugPseudo = DebugPseudoEnv ? std::atoi(DebugPseudoEnv) : -1;
+  for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+    std::set<LiveKey> Live_ = Live.LiveOut[B];
+    const std::vector<MInstr> &Instrs = Fn.Blocks[B].Instrs;
+    for (size_t I = Instrs.size(); I-- > 0;) {
+      const MInstr &MI = Instrs[I];
+      if (DebugPseudo >= 0) {
+        for (const MOperand &Op : MI.Ops)
+          if (Op.K == MOperand::Kind::Pseudo && Op.PseudoId == DebugPseudo) {
+            std::string Msg = "pseudo trace: block " + std::to_string(B) +
+                " instr " + std::to_string(I) + " live={";
+            for (LiveKey L : Live_)
+              Msg += (isPseudoKey(L) ? "%" + std::to_string(pseudoOf(L))
+                                     : "u" + std::to_string(unitOf(L))) + ",";
+            Msg += "}\n";
+            std::fputs(Msg.c_str(), stderr);
+          }
+      }
+      const TargetInstr &TI = Target.instr(MI.InstrId);
+      InstrDefsUses DU = defsUses(MI, Target, Fn.ReturnType);
+
+      for (const MOperand &Op : MI.Ops)
+        if (Op.K == MOperand::Kind::Pseudo)
+          ++Occurrences[Op.PseudoId];
+
+      // A register move does not make its source and destination
+      // interfere (Chaitin); all other defs interfere with live-out.
+      LiveKey MoveSrc = -1;
+      if (TI.IsMove && TI.Pat.Kind == PatternKind::Value &&
+          TI.Pat.Root.K == PatternNode::Kind::OperandRef) {
+        unsigned SrcIdx = TI.Pat.Root.OperandIndex;
+        if (SrcIdx >= 1 && SrcIdx <= MI.Ops.size()) {
+          std::vector<LiveKey> Keys;
+          keysOfOperand(MI.Ops[SrcIdx - 1], Target.registers(), Keys);
+          if (Keys.size() == 1)
+            MoveSrc = Keys[0];
+        }
+      }
+
+      for (LiveKey Def : DU.Defs) {
+        for (LiveKey L : Live_)
+          if (L != MoveSrc || Def != DU.Defs.front())
+            AddEdge(Def, L);
+        for (LiveKey Other : DU.Defs)
+          AddEdge(Def, Other);
+      }
+      for (LiveKey Def : DU.Defs)
+        Live_.erase(Def);
+      for (LiveKey Use : DU.Uses)
+        Live_.insert(Use);
+    }
+  }
+}
+
+void AllocatorImpl::computeSpillCosts(const CFG &Cfg) {
+  SpillCost.assign(Fn.Pseudos.size(), 0.0);
+  for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+    double Freq = std::pow(10.0, std::min<unsigned>(Cfg.LoopDepth[B], 4));
+    if (B < Opts.BlockSpillWeight.size())
+      Freq *= std::max(0.01, Opts.BlockSpillWeight[B]);
+    for (const MInstr &MI : Fn.Blocks[B].Instrs)
+      for (const MOperand &Op : MI.Ops)
+        if (Op.K == MOperand::Kind::Pseudo)
+          SpillCost[Op.PseudoId] += Freq;
+  }
+}
+
+bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
+  size_t NumPseudos = Fn.Pseudos.size();
+  Assignment.assign(NumPseudos, PhysReg());
+
+  // Active = pseudos that occur in code and need a color.
+  std::vector<bool> Removed(NumPseudos, false);
+  std::vector<int> Active;
+  for (size_t P = 0; P < NumPseudos; ++P) {
+    if (Occurrences[P] == 0) {
+      Removed[P] = true;
+      continue;
+    }
+    Active.push_back(static_cast<int>(P));
+  }
+
+  std::vector<unsigned> Degree(NumPseudos, 0);
+  for (int P : Active)
+    for (int Q : Adj[P])
+      if (!Removed[Q])
+        ++Degree[P];
+
+  auto ColorsOf = [&](int P) {
+    return orderedAllocable(Fn.Pseudos[P].Bank).size();
+  };
+
+  // Simplify: push low-degree nodes; when stuck, push the cheapest spill
+  // candidate optimistically (Briggs).
+  std::vector<int> Stack;
+  std::vector<bool> OnStack(NumPseudos, false);
+  size_t RemainingCount = Active.size();
+  while (RemainingCount > 0) {
+    int Picked = -1;
+    for (int P : Active)
+      if (!Removed[P] && !OnStack[P] && Degree[P] < ColorsOf(P)) {
+        Picked = P;
+        break;
+      }
+    if (Picked < 0) {
+      double Best = 0;
+      for (int P : Active) {
+        if (Removed[P] || OnStack[P])
+          continue;
+        double Cost = NoSpill[P] ? 1e18 : SpillCost[P] / (Degree[P] + 1.0);
+        if (Picked < 0 || Cost < Best) {
+          Picked = P;
+          Best = Cost;
+        }
+      }
+    }
+    assert(Picked >= 0 && "no pseudo to simplify");
+    OnStack[Picked] = true;
+    Stack.push_back(Picked);
+    --RemainingCount;
+    for (int Q : Adj[Picked])
+      if (!Removed[Q] && !OnStack[Q] && Degree[Q] > 0)
+        --Degree[Q];
+  }
+
+  // Select: pop and assign the first register whose units avoid every
+  // assigned neighbor and precolored unit.
+  const RegisterFile &Regs = Target.registers();
+  while (!Stack.empty()) {
+    int P = Stack.back();
+    Stack.pop_back();
+    std::set<unsigned> Forbidden = Precolored[P];
+    for (int Q : Adj[P])
+      if (Assignment[Q].isValid())
+        for (unsigned Unit : Regs.unitsOf(Assignment[Q]))
+          Forbidden.insert(Unit);
+
+    PhysReg Chosen;
+    for (PhysReg Candidate : orderedAllocable(Fn.Pseudos[P].Bank)) {
+      bool Ok = true;
+      for (unsigned Unit : Regs.unitsOf(Candidate))
+        if (Forbidden.count(Unit))
+          Ok = false;
+      if (Ok) {
+        Chosen = Candidate;
+        break;
+      }
+    }
+    if (Chosen.isValid()) {
+      Assignment[P] = Chosen;
+    } else {
+      if (orderedAllocable(Fn.Pseudos[P].Bank).empty()) {
+        Diags.error(SourceLocation(),
+                    "register bank '" +
+                        Target.description().Banks[Fn.Pseudos[P].Bank].Name +
+                        "' has no allocable registers");
+        return false;
+      }
+      if (NoSpill[P]) {
+        // A spill temporary failed to color: evict the cheapest colorable
+        // neighbor instead (its range will be split by the next round).
+        int Victim = -1;
+        double Best = 0;
+        for (int Q : Adj[P]) {
+          if (NoSpill[Q] || Occurrences[Q] == 0)
+            continue;
+          double Cost = SpillCost[Q];
+          if (Victim < 0 || Cost < Best) {
+            Victim = Q;
+            Best = Cost;
+          }
+        }
+        if (Victim < 0) {
+          std::string Units = " precoloredUnits={";
+          for (unsigned U : Precolored[P]) Units += std::to_string(U) + ",";
+          Units += "} adjPseudos={";
+          for (int Q : Adj[P]) Units += std::to_string(Q) + "(" +
+              (NoSpill[Q] ? "nospill" : "ok") + "),";
+          Units += "}";
+          std::string Detail = Units + " bank=" +
+              Target.description().Banks[Fn.Pseudos[P].Bank].Name +
+              " name=" + Fn.Pseudos[P].Name +
+              " precolored=" + std::to_string(Precolored[P].size()) +
+              " adj=" + std::to_string(Adj[P].size());
+          if (std::getenv("MARION_RA_DEBUG"))
+            std::fputs(functionToString(Target, Fn).c_str(), stderr);
+          Diags.error(SourceLocation(),
+                      "register allocation failed: spill temporary %" +
+                          std::to_string(P) + " in '" + Fn.Name +
+                          "' cannot be colored and has no spillable "
+                          "neighbors" + Detail);
+          return false;
+        }
+        SpillList.push_back(Victim);
+        continue;
+      }
+      if (std::getenv("MARION_RA_DEBUG")) {
+        std::string Msg = "spill %" + std::to_string(P) + " (" +
+            Fn.Pseudos[P].Name + ") bank=" +
+            Target.description().Banks[Fn.Pseudos[P].Bank].Name +
+            " precolored={";
+        for (unsigned U : Precolored[P]) Msg += std::to_string(U) + ",";
+        Msg += "} adj={";
+        for (int Q : Adj[P]) Msg += std::to_string(Q) + ",";
+        Msg += "}\n";
+        std::fputs(Msg.c_str(), stderr);
+      }
+      SpillList.push_back(P);
+    }
+  }
+  return true;
+}
+
+bool AllocatorImpl::insertSpillCode(const std::vector<int> &SpillList) {
+  std::map<int, int> SlotOffset;
+  for (int P : SpillList) {
+    const maril::RegisterBank &Bank =
+        Target.description().Banks[Fn.Pseudos[P].Bank];
+    unsigned Align = std::max(4u, Bank.SizeBytes);
+    Fn.FrameSize = (Fn.FrameSize + Align - 1) / Align * Align;
+    SlotOffset[P] = static_cast<int>(Fn.FrameSize);
+    Fn.FrameSize += Bank.SizeBytes;
+  }
+  Totals.SpilledPseudos += SpillList.size();
+
+  PhysReg Sp = Target.runtime().StackPointer;
+  auto BuildMemOps = [&](int InstrId, MOperand Value,
+                         int Offset) -> std::vector<MOperand> {
+    const TargetInstr &TI = Target.instr(InstrId);
+    std::vector<MOperand> Ops(TI.Desc->Operands.size());
+    // Shape verified by TargetInfo::findLoad/findStore: value register,
+    // base register, immediate displacement.
+    for (size_t I = 0; I < TI.Desc->Operands.size(); ++I) {
+      switch (TI.Desc->Operands[I].Kind) {
+      case maril::OperandKind::Imm:
+        Ops[I] = MOperand::imm(Offset);
+        break;
+      case maril::OperandKind::RegClass: {
+        const maril::RegisterBank *OpBank =
+            Target.description().findBank(TI.Desc->Operands[I].Name);
+        if (OpBank && OpBank->Id == Sp.Bank &&
+            static_cast<int>(I) != static_cast<int>(
+                (TI.Pat.Kind == PatternKind::Value ? TI.Pat.DestOperand
+                                                   : 0)) - 1 &&
+            !(TI.Pat.Kind == PatternKind::Store &&
+              TI.Pat.StoredValue.K == PatternNode::Kind::OperandRef &&
+              TI.Pat.StoredValue.OperandIndex == I + 1))
+          Ops[I] = MOperand::phys(Sp);
+        else
+          Ops[I] = Value;
+        break;
+      }
+      case maril::OperandKind::FixedReg: {
+        const maril::RegisterBank *OpBank =
+            Target.description().findBank(TI.Desc->Operands[I].Name);
+        Ops[I] = MOperand::phys(
+            PhysReg{OpBank ? OpBank->Id : -1, TI.Desc->Operands[I].FixedIndex});
+        break;
+      }
+      case maril::OperandKind::Label:
+        break;
+      }
+    }
+    return Ops;
+  };
+
+  for (MBlock &Block : Fn.Blocks) {
+    std::vector<MInstr> NewInstrs;
+    for (MInstr &MI : Block.Instrs) {
+      const TargetInstr &TI = Target.instr(MI.InstrId);
+      std::set<unsigned> DefSet(TI.DefOps.begin(), TI.DefOps.end());
+
+      // Half-register references to a spilled pseudo spill through the
+      // overlaid bank: the half value moves via the sub-bank's load/store
+      // at the half's slot offset (paper §3.4 *movd halves).
+      auto SubBankOf = [&](int Bank) -> int {
+        for (const maril::EquivDecl &Equiv : Target.description().Equivs)
+          if (Equiv.BankAId == Bank)
+            return Equiv.BankBId;
+        return -1;
+      };
+
+      // Loads before: one fresh pseudo per spilled use (per half for
+      // half-register uses).
+      std::map<std::pair<int, int>, int> LoadedAs; // (pseudo, subreg)
+      for (size_t OpIdx = 0; OpIdx < MI.Ops.size(); ++OpIdx) {
+        MOperand &Op = MI.Ops[OpIdx];
+        if (Op.K != MOperand::Kind::Pseudo || !SlotOffset.count(Op.PseudoId))
+          continue;
+        bool IsDef = DefSet.count(static_cast<unsigned>(OpIdx + 1));
+        if (IsDef)
+          continue;
+        int P = Op.PseudoId;
+        int Bank = Fn.Pseudos[P].Bank;
+        int Offset = SlotOffset[P];
+        if (Op.SubReg >= 0) {
+          int Sub = SubBankOf(Bank);
+          if (Sub >= 0) {
+            Bank = Sub;
+            Offset += Op.SubReg *
+                      static_cast<int>(
+                          Target.description().Banks[Sub].SizeBytes);
+          }
+        }
+        int Fresh;
+        auto Key = std::make_pair(P, Op.SubReg);
+        auto It = LoadedAs.find(Key);
+        if (It != LoadedAs.end()) {
+          Fresh = It->second;
+        } else {
+          Fresh = Fn.addPseudo(Bank, "sp" + std::to_string(P));
+          NoSpill.resize(Fn.Pseudos.size(), false);
+          NoSpill[Fresh] = true;
+          int LoadId = Target.findLoad(Bank);
+          if (LoadId < 0) {
+            Diags.error(SourceLocation(),
+                        "cannot spill: no load instruction for bank");
+            return false;
+          }
+          NewInstrs.push_back(MInstr(
+              LoadId, BuildMemOps(LoadId, MOperand::pseudo(Fresh), Offset)));
+          ++Totals.SpillLoads;
+          LoadedAs[Key] = Fresh;
+        }
+        Op.PseudoId = Fresh;
+        Op.SubReg = -1;
+      }
+
+      // Defs: write a fresh pseudo, store it after (per half for
+      // half-register defs).
+      std::vector<std::pair<int, int>> StoresAfter; // (pseudo, offset)
+      for (size_t OpIdx = 0; OpIdx < MI.Ops.size(); ++OpIdx) {
+        MOperand &Op = MI.Ops[OpIdx];
+        if (Op.K != MOperand::Kind::Pseudo || !SlotOffset.count(Op.PseudoId))
+          continue;
+        if (!DefSet.count(static_cast<unsigned>(OpIdx + 1)))
+          continue;
+        int P = Op.PseudoId;
+        int Bank = Fn.Pseudos[P].Bank;
+        int Offset = SlotOffset[P];
+        if (Op.SubReg >= 0) {
+          int Sub = SubBankOf(Bank);
+          if (Sub >= 0) {
+            Bank = Sub;
+            Offset += Op.SubReg *
+                      static_cast<int>(
+                          Target.description().Banks[Sub].SizeBytes);
+          }
+        }
+        int Fresh = Fn.addPseudo(Bank, "sd" + std::to_string(P));
+        NoSpill.resize(Fn.Pseudos.size(), false);
+        NoSpill[Fresh] = true;
+        Op.PseudoId = Fresh;
+        Op.SubReg = -1;
+        StoresAfter.push_back({Fresh, Offset});
+      }
+
+      NewInstrs.push_back(MI);
+      for (auto [Fresh, Offset] : StoresAfter) {
+        int Bank = Fn.Pseudos[Fresh].Bank;
+        int StoreId = Target.findStore(Bank);
+        if (StoreId < 0) {
+          Diags.error(SourceLocation(),
+                      "cannot spill: no store instruction for bank");
+          return false;
+        }
+        NewInstrs.push_back(MInstr(
+            StoreId,
+            BuildMemOps(StoreId, MOperand::pseudo(Fresh), Offset)));
+        ++Totals.SpillStores;
+      }
+    }
+    Block.Instrs = std::move(NewInstrs);
+  }
+  return true;
+}
+
+void AllocatorImpl::rewriteOperands() {
+  const RegisterFile &Regs = Target.registers();
+  for (MBlock &Block : Fn.Blocks)
+    for (MInstr &MI : Block.Instrs)
+      for (MOperand &Op : MI.Ops) {
+        if (Op.K != MOperand::Kind::Pseudo)
+          continue;
+        PhysReg Reg = Assignment[Op.PseudoId];
+        assert(Reg.isValid() && "unassigned pseudo after coloring");
+        if (Op.SubReg >= 0) {
+          auto Sub = Regs.subReg(Target.description(), Reg, Op.SubReg);
+          if (Sub) {
+            Op = MOperand::phys(*Sub);
+            continue;
+          }
+        }
+        int SubReg = Op.SubReg;
+        Op = MOperand::phys(Reg);
+        Op.SubReg = SubReg >= 0 ? SubReg : -1;
+      }
+}
+
+void AllocatorImpl::collectCalleeSaved() {
+  const RegisterFile &Regs = Target.registers();
+  std::set<PhysReg> Used;
+  for (PhysReg CS : Target.runtime().CalleeSaved) {
+    bool Touched = false;
+    for (size_t P = 0; P < Assignment.size(); ++P)
+      if (Assignment[P].isValid() && Occurrences[P] > 0 &&
+          Regs.alias(Assignment[P], CS))
+        Touched = true;
+    if (Touched)
+      Used.insert(CS);
+  }
+  Fn.UsedCalleeSaved.assign(Used.begin(), Used.end());
+}
+
+bool AllocatorImpl::run(AllocationStats *Stats) {
+  NoSpill.assign(Fn.Pseudos.size(), false);
+  for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    ++Totals.Rounds;
+    CFG Cfg = CFG::build(Fn, Target);
+    LivenessResult Live = LivenessResult::compute(Fn, Target, Cfg);
+    buildInterference(Cfg, Live);
+    computeSpillCosts(Cfg);
+
+    std::vector<int> SpillList;
+    if (!colorGraph(SpillList))
+      return false;
+    if (SpillList.empty()) {
+      rewriteOperands();
+      collectCalleeSaved();
+      Fn.IsAllocated = true;
+      if (Stats)
+        *Stats = Totals;
+      return true;
+    }
+    if (!insertSpillCode(SpillList))
+      return false;
+  }
+  Diags.error(SourceLocation(), "register allocation did not converge in '" +
+                                    Fn.Name + "'");
+  return false;
+}
+
+} // namespace
+
+bool regalloc::allocateFunction(MFunction &Fn, const TargetInfo &Target,
+                                DiagnosticEngine &Diags,
+                                const AllocatorOptions &Opts,
+                                AllocationStats *Stats) {
+  AllocatorImpl Impl(Fn, Target, Diags, Opts);
+  return Impl.run(Stats);
+}

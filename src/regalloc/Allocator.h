@@ -1,0 +1,59 @@
+//===- Allocator.h - Graph coloring register allocation --------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global register allocator (paper §2.2): graph coloring after Chaitin
+/// with Briggs-style optimistic coloring. Nodes are pseudo-registers, edges
+/// are interferences computed from the instruction order presented by the
+/// strategy; %equiv register pairs interfere through shared register units.
+/// Uncolored pseudos are spilled for their entire lifetime (Chaitin's
+/// approach — the paper notes lifetime splitting as an alternative) and the
+/// allocator reruns until everything colors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_REGALLOC_ALLOCATOR_H
+#define MARION_REGALLOC_ALLOCATOR_H
+
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <vector>
+
+namespace marion {
+namespace regalloc {
+
+struct AllocatorOptions {
+  /// RASE: per-block spill-cost multipliers derived from schedule cost
+  /// estimates (paper [BEH91b]); empty = uniform costs (Postpass/IPS).
+  std::vector<double> BlockSpillWeight;
+  /// Safety bound on spill-and-retry rounds.
+  unsigned MaxRounds = 16;
+};
+
+struct AllocationStats {
+  unsigned Rounds = 0;
+  unsigned SpilledPseudos = 0;
+  unsigned SpillLoads = 0;
+  unsigned SpillStores = 0;
+};
+
+/// Assigns physical registers to every pseudo of \p Fn in place, inserting
+/// spill code as needed (frame grows). On success Fn.IsAllocated is true
+/// and Fn.UsedCalleeSaved lists the callee-saved registers the prologue
+/// must preserve. Returns false with diagnostics when allocation is
+/// impossible (e.g. a bank without allocable registers).
+bool allocateFunction(target::MFunction &Fn,
+                      const target::TargetInfo &Target,
+                      DiagnosticEngine &Diags,
+                      const AllocatorOptions &Opts = {},
+                      AllocationStats *Stats = nullptr);
+
+} // namespace regalloc
+} // namespace marion
+
+#endif // MARION_REGALLOC_ALLOCATOR_H

@@ -1,0 +1,156 @@
+//===- Liveness.cpp -------------------------------------------------------==//
+
+#include "regalloc/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace marion;
+using namespace marion::regalloc;
+using namespace marion::target;
+
+CFG CFG::build(const MFunction &Fn, const TargetInfo &Target) {
+  CFG Cfg;
+  size_t N = Fn.Blocks.size();
+  Cfg.Succs.resize(N);
+  Cfg.Preds.resize(N);
+  Cfg.LoopDepth.assign(N, 0);
+
+  for (size_t B = 0; B < N; ++B) {
+    const MBlock &Block = Fn.Blocks[B];
+    bool FallsThrough = true;
+    for (const MInstr &MI : Block.Instrs) {
+      const TargetInstr &TI = Target.instr(MI.InstrId);
+      if (TI.IsBranch) {
+        for (const MOperand &Op : MI.Ops)
+          if (Op.K == MOperand::Kind::Label && Op.BlockId >= 0)
+            Cfg.Succs[B].push_back(Op.BlockId);
+        if (TI.Pat.Kind == target::PatternKind::Jump)
+          FallsThrough = false;
+      }
+      if (TI.IsRet)
+        FallsThrough = false;
+    }
+    if (FallsThrough && B + 1 < N)
+      Cfg.Succs[B].push_back(static_cast<int>(B + 1));
+    // Deduplicate.
+    std::sort(Cfg.Succs[B].begin(), Cfg.Succs[B].end());
+    Cfg.Succs[B].erase(
+        std::unique(Cfg.Succs[B].begin(), Cfg.Succs[B].end()),
+        Cfg.Succs[B].end());
+    for (int S : Cfg.Succs[B])
+      Cfg.Preds[S].push_back(static_cast<int>(B));
+  }
+
+  // Loop depth via dominators + natural loops (iterative dominator sets
+  // over block bitsets; functions are small).
+  std::vector<std::set<int>> Dom(N);
+  std::set<int> All;
+  for (size_t B = 0; B < N; ++B)
+    All.insert(static_cast<int>(B));
+  for (size_t B = 0; B < N; ++B)
+    Dom[B] = B == 0 ? std::set<int>{0} : All;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = 1; B < N; ++B) {
+      std::set<int> NewDom = All;
+      if (Cfg.Preds[B].empty())
+        NewDom = {static_cast<int>(B)};
+      else {
+        for (int P : Cfg.Preds[B]) {
+          std::set<int> Inter;
+          std::set_intersection(NewDom.begin(), NewDom.end(),
+                                Dom[P].begin(), Dom[P].end(),
+                                std::inserter(Inter, Inter.begin()));
+          NewDom = std::move(Inter);
+        }
+        NewDom.insert(static_cast<int>(B));
+      }
+      if (NewDom != Dom[B]) {
+        Dom[B] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+
+  // Back edge (u -> v) with v in Dom(u): natural loop = v plus all blocks
+  // reaching u without passing v.
+  for (size_t U = 0; U < N; ++U)
+    for (int V : Cfg.Succs[U])
+      if (Dom[U].count(V)) {
+        std::set<int> Loop = {V};
+        std::vector<int> Stack = {static_cast<int>(U)};
+        while (!Stack.empty()) {
+          int X = Stack.back();
+          Stack.pop_back();
+          if (!Loop.insert(X).second)
+            continue;
+          for (int P : Cfg.Preds[X])
+            Stack.push_back(P);
+        }
+        for (int X : Loop)
+          ++Cfg.LoopDepth[X];
+      }
+  return Cfg;
+}
+
+LivenessResult LivenessResult::compute(const MFunction &Fn,
+                                       const TargetInfo &Target,
+                                       const CFG &Cfg) {
+  size_t N = Fn.Blocks.size();
+  LivenessResult Live;
+  Live.LiveIn.resize(N);
+  Live.LiveOut.resize(N);
+
+  // Per-block gen (upward-exposed uses) and kill (defs).
+  std::vector<std::set<LiveKey>> Gen(N), Kill(N);
+  for (size_t B = 0; B < N; ++B) {
+    for (const MInstr &MI : Fn.Blocks[B].Instrs) {
+      InstrDefsUses DU = defsUses(MI, Target, Fn.ReturnType);
+      for (LiveKey Use : DU.Uses)
+        if (!Kill[B].count(Use))
+          Gen[B].insert(Use);
+      for (LiveKey Def : DU.Defs)
+        Kill[B].insert(Def);
+    }
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = N; BI-- > 0;) {
+      std::set<LiveKey> Out;
+      for (int S : Cfg.Succs[BI])
+        Out.insert(Live.LiveIn[S].begin(), Live.LiveIn[S].end());
+      std::set<LiveKey> In = Gen[BI];
+      for (LiveKey Key : Out)
+        if (!Kill[BI].count(Key))
+          In.insert(Key);
+      if (Out != Live.LiveOut[BI] || In != Live.LiveIn[BI]) {
+        Live.LiveOut[BI] = std::move(Out);
+        Live.LiveIn[BI] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return Live;
+}
+
+std::vector<bool> regalloc::computeLocalPseudos(const MFunction &Fn,
+                                                const TargetInfo &Target,
+                                                const CFG &Cfg,
+                                                const LivenessResult &Live) {
+  (void)Target;
+  (void)Cfg;
+  std::vector<bool> Local(Fn.Pseudos.size(), true);
+  for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+    for (LiveKey Key : Live.LiveIn[B])
+      if (isPseudoKey(Key))
+        Local[pseudoOf(Key)] = false;
+    for (LiveKey Key : Live.LiveOut[B])
+      if (isPseudoKey(Key))
+        Local[pseudoOf(Key)] = false;
+  }
+  return Local;
+}

@@ -1,0 +1,72 @@
+//===- Liveness.h - CFG and live-variable analysis -------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control flow and backward liveness over machine functions, the analysis
+/// substrate of the graph coloring allocator (paper §2.2). Liveness is
+/// computed over pseudo-registers and physical register units together so
+/// %equiv register pairs interfere correctly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_REGALLOC_LIVENESS_H
+#define MARION_REGALLOC_LIVENESS_H
+
+#include "target/DefUse.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace marion {
+namespace regalloc {
+
+// Liveness keys are the target library's dependence keys.
+using LiveKey = target::RegKey;
+using target::isPseudoKey;
+using target::keysOfOperand;
+using target::pseudoKey;
+using target::pseudoOf;
+using target::unitKey;
+using target::unitOf;
+using target::InstrDefsUses;
+using target::defsUses;
+
+/// Control flow graph over a machine function's blocks.
+struct CFG {
+  std::vector<std::vector<int>> Succs;
+  std::vector<std::vector<int>> Preds;
+  /// Static loop nesting depth per block (natural loops via back edges).
+  std::vector<unsigned> LoopDepth;
+
+  static CFG build(const target::MFunction &Fn,
+                   const target::TargetInfo &Target);
+};
+
+/// Live-in / live-out sets per block.
+struct LivenessResult {
+  std::vector<std::set<LiveKey>> LiveIn;
+  std::vector<std::set<LiveKey>> LiveOut;
+
+  static LivenessResult compute(const target::MFunction &Fn,
+                                const target::TargetInfo &Target,
+                                const CFG &Cfg);
+};
+
+/// Marks each pseudo as block-local or global (live in more than one block,
+/// paper §2.1's local vs global pseudo-registers). Returns a bool per
+/// pseudo: true = local.
+std::vector<bool> computeLocalPseudos(const target::MFunction &Fn,
+                                      const target::TargetInfo &Target,
+                                      const CFG &Cfg,
+                                      const LivenessResult &Live);
+
+} // namespace regalloc
+} // namespace marion
+
+#endif // MARION_REGALLOC_LIVENESS_H

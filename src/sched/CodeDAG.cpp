@@ -1,0 +1,369 @@
+//===- CodeDAG.cpp --------------------------------------------------------==//
+
+#include "sched/CodeDAG.h"
+
+#include "target/DefUse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace marion;
+using namespace marion::sched;
+using namespace marion::target;
+
+CodeDAG::CodeDAG(const MFunction &Fn, const MBlock &Block,
+                 const TargetInfo &Target, const CodeDAGOptions &Opts)
+    : Fn(Fn), Block(Block), Target(Target) {
+  Nodes.resize(Block.Instrs.size());
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Nodes[I].Index = static_cast<int>(I);
+  build(Opts);
+}
+
+int CodeDAG::addEdge(int From, int To, int Latency, int Type, bool Temporal,
+                     int Clock, bool Protection) {
+  assert(From != To && "self edge");
+  DagEdge E;
+  E.From = From;
+  E.To = To;
+  E.Latency = Latency;
+  E.Type = Type;
+  E.Temporal = Temporal;
+  E.Clock = Clock;
+  E.Protection = Protection;
+  Edges.push_back(E);
+  int Index = static_cast<int>(Edges.size()) - 1;
+  Nodes[From].Succs.push_back(Index);
+  Nodes[To].Preds.push_back(Index);
+  return Index;
+}
+
+void CodeDAG::build(const CodeDAGOptions &Opts) {
+  std::map<RegKey, int> LastDef;
+  std::map<RegKey, std::vector<int>> UsesSinceDef;
+  std::map<int, int> LastTemporalWrite; ///< temporal bank id -> node.
+  int LastStore = -1;
+  std::vector<int> LoadsSinceStore;
+  int LastControl = -1;
+  int LastCall = -1;
+
+  // Deduplicate edges between the same pair, keeping the max latency.
+  std::map<std::pair<int, int>, int> EdgeAt;
+  auto AddEdge = [&](int From, int To, int Latency, int Type, bool Temporal,
+                     int Clock) {
+    if (From == To || From < 0)
+      return;
+    auto Key = std::make_pair(From, To);
+    auto It = EdgeAt.find(Key);
+    if (It != EdgeAt.end()) {
+      DagEdge &E = Edges[It->second];
+      if (Latency > E.Latency)
+        E.Latency = Latency;
+      if (Temporal) {
+        E.Temporal = true;
+        E.Clock = Clock;
+        E.Type = 1;
+      }
+      return;
+    }
+    EdgeAt[Key] = addEdge(From, To, Latency, Type, Temporal, Clock);
+  };
+
+  for (size_t I = 0; I < Block.Instrs.size(); ++I) {
+    const MInstr &MI = Block.Instrs[I];
+    const TargetInstr &TI = Target.instr(MI.InstrId);
+    int Node = static_cast<int>(I);
+
+    // A call is a full ordering barrier (arguments, results and memory all
+    // pass through it). Argument-register moves additionally stay pinned to
+    // their call: scheduling other work between an argument move and the
+    // call would stretch a physical register's live range across it, which
+    // can make small register files unallocatable (DESIGN.md).
+    if (TI.IsCall) {
+      for (int J = 0; J < Node; ++J)
+        AddEdge(J, Node, 1, 2, false, -1);
+      std::set<RegKey> ArgKeys;
+      for (PhysReg Reg : MI.ImplicitUses)
+        for (unsigned Unit : Target.registers().unitsOf(Reg))
+          ArgKeys.insert(unitKey(Unit));
+      // Pinning applies to prepass scheduling only: after allocation every
+      // instruction may touch argument registers, and the anti/output
+      // edges already order them correctly.
+      if (Fn.IsAllocated)
+        ArgKeys.clear();
+      if (!ArgKeys.empty()) {
+        int RegionStart = std::max(LastCall, LastControl) + 1;
+        std::vector<int> ArgMoves;
+        for (int J = RegionStart; J < Node; ++J) {
+          InstrDefsUses JDU = defsUses(Block.Instrs[J], Target,
+                                       Fn.ReturnType);
+          bool DefsArg = false;
+          for (RegKey Key : JDU.Defs)
+            if (ArgKeys.count(Key))
+              DefsArg = true;
+          if (DefsArg)
+            ArgMoves.push_back(J);
+        }
+        for (int M : ArgMoves)
+          for (int J = RegionStart; J < Node; ++J) {
+            if (J == M)
+              continue;
+            if (std::find(ArgMoves.begin(), ArgMoves.end(), J) !=
+                ArgMoves.end())
+              continue;
+            AddEdge(J, M, 0, 2, false, -1);
+          }
+      }
+    } else if (LastCall >= 0) {
+      AddEdge(LastCall, Node, 1, 2, false, -1);
+    }
+
+    // Register uses (including implicit calling-convention reads): true
+    // dependence on the last definition.
+    InstrDefsUses DU = defsUses(MI, Target, Fn.ReturnType);
+    if (Opts.TrueEdges) {
+      for (RegKey Key : DU.Uses) {
+        auto It = LastDef.find(Key);
+        if (It != LastDef.end())
+          AddEdge(It->second, Node,
+                  Target.latencyBetween(Block.Instrs[It->second], MI), 1,
+                  false, -1);
+        UsesSinceDef[Key].push_back(Node);
+      }
+      // Temporal register reads (paper §4.6): a true dependence through a
+      // latch, marked with the latch's clock.
+      for (int Bank : TI.TemporalReads) {
+        auto It = LastTemporalWrite.find(Bank);
+        if (It != LastTemporalWrite.end()) {
+          int Clock = Target.description().Banks[Bank].ClockId;
+          AddEdge(It->second, Node,
+                  Target.instr(Block.Instrs[It->second].InstrId).latency(), 1,
+                  true, Clock);
+        }
+      }
+    }
+
+    // Register definitions: anti edges from intervening uses (type 3,
+    // label 0 — a reader may share the writer's cycle, reads happen before
+    // writes), output edges from the previous definition (type 3, label 1).
+    for (RegKey Key : DU.Defs) {
+      if (Opts.AntiEdges) {
+        for (int Use : UsesSinceDef[Key])
+          AddEdge(Use, Node, 0, 3, false, -1);
+        auto It = LastDef.find(Key);
+        if (It != LastDef.end())
+          AddEdge(It->second, Node, 1, 3, false, -1);
+      }
+      LastDef[Key] = Node;
+      UsesSinceDef[Key].clear();
+    }
+    for (int Bank : TI.TemporalWrites)
+      LastTemporalWrite[Bank] = Node;
+
+    // Memory ordering (type 2).
+    if (Opts.MemoryEdges) {
+      if (TI.ReadsMem) {
+        if (LastStore >= 0)
+          AddEdge(LastStore, Node, 1, 2, false, -1);
+        LoadsSinceStore.push_back(Node);
+      }
+      if (TI.WritesMem) {
+        if (LastStore >= 0)
+          AddEdge(LastStore, Node, 1, 2, false, -1);
+        for (int LoadNode : LoadsSinceStore)
+          AddEdge(LoadNode, Node, 0, 2, false, -1);
+        LoadsSinceStore.clear();
+        LastStore = Node;
+      }
+    }
+
+    // Control ordering: everything precedes a branch/return; control
+    // instructions stay in order.
+    if (TI.isControlFlow()) {
+      for (int J = 0; J < Node; ++J) {
+        const TargetInstr &PrevTI = Target.instr(Block.Instrs[J].InstrId);
+        AddEdge(J, Node, PrevTI.isControlFlow() ? 1 : 0, 2, false, -1);
+      }
+      LastControl = Node;
+    } else if (LastControl >= 0) {
+      AddEdge(LastControl, Node, 1, 2, false, -1);
+    }
+    if (TI.IsCall)
+      LastCall = Node;
+  }
+}
+
+void CodeDAG::computePriorities() {
+  // Longest path to a leaf over max(label, 1)-weighted edges, via DFS with
+  // memoization (protection edges can point backward in the code thread, so
+  // thread order is not necessarily topological).
+  std::vector<int> State(Nodes.size(), 0); // 0 unvisited, 1 open, 2 done.
+  std::function<int(int)> Visit = [&](int N) -> int {
+    if (State[N] == 2)
+      return Nodes[N].Priority;
+    assert(State[N] != 1 && "cycle in code DAG");
+    State[N] = 1;
+    const TargetInstr &TI = Target.instr(Block.Instrs[N].InstrId);
+    int Best = std::max(1, TI.latency());
+    for (int EdgeIdx : Nodes[N].Succs) {
+      const DagEdge &E = Edges[EdgeIdx];
+      Best = std::max(Best, std::max(E.Latency, 1) + Visit(E.To));
+    }
+    State[N] = 2;
+    Nodes[N].Priority = Best;
+    return Best;
+  };
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Visit(static_cast<int>(I));
+}
+
+bool CodeDAG::reaches(int Ancestor, int Node) const {
+  if (Ancestor == Node)
+    return true;
+  std::vector<int> Stack = {Ancestor};
+  std::set<int> Seen;
+  while (!Stack.empty()) {
+    int N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    for (int EdgeIdx : Nodes[N].Succs) {
+      int To = Edges[EdgeIdx].To;
+      if (To == Node)
+        return true;
+      Stack.push_back(To);
+    }
+  }
+  return false;
+}
+
+unsigned CodeDAG::protectTemporalSequences() {
+  // 1. Identify temporal sequences: connected components over temporal
+  //    edges (chained sequences merge, paper §4.6).
+  std::vector<int> Parent(Nodes.size());
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Parent[I] = static_cast<int>(I);
+  std::function<int(int)> Find = [&](int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  bool AnyTemporal = false;
+  for (const DagEdge &E : Edges) {
+    if (!E.Temporal)
+      continue;
+    AnyTemporal = true;
+    Parent[Find(E.From)] = Find(E.To);
+  }
+  if (!AnyTemporal)
+    return 0;
+
+  // Sequence membership (only nodes touching temporal edges).
+  std::map<int, std::vector<int>> Members; // root -> nodes in thread order.
+  std::set<int> InSequence;
+  for (const DagEdge &E : Edges)
+    if (E.Temporal) {
+      InSequence.insert(E.From);
+      InSequence.insert(E.To);
+    }
+  for (int N : InSequence)
+    Members[Find(N)].push_back(N);
+  int SeqId = 0;
+  std::map<int, int> RootToSeq;
+  for (auto &[Root, List] : Members) {
+    std::sort(List.begin(), List.end());
+    RootToSeq[Root] = SeqId;
+    for (int N : List)
+      Nodes[N].Sequence = SeqId;
+    ++SeqId;
+  }
+
+  // Per sequence: head (no incoming temporal edge), tail (last member) and
+  // the set of clocks it advances through.
+  struct SeqInfo {
+    int Head = -1;
+    int Tail = -1;
+    std::set<int> Clocks;
+  };
+  std::vector<SeqInfo> Seqs(SeqId);
+  for (auto &[Root, List] : Members) {
+    SeqInfo &Info = Seqs[RootToSeq[Root]];
+    Info.Tail = List.back();
+    for (int N : List) {
+      bool HasIncomingTemporal = false;
+      for (int EdgeIdx : Nodes[N].Preds)
+        if (Edges[EdgeIdx].Temporal)
+          HasIncomingTemporal = true;
+      if (!HasIncomingTemporal && Info.Head < 0)
+        Info.Head = N;
+    }
+    if (Info.Head < 0)
+      Info.Head = List.front();
+  }
+  for (const DagEdge &E : Edges)
+    if (E.Temporal)
+      Seqs[Nodes[E.From].Sequence].Clocks.insert(E.Clock);
+
+  // 2. For every alternate entry (y, x) into a sequence S (x in S but not
+  //    its head, y outside S), search backward from y; any instruction z
+  //    outside S that affects one of S's clocks must complete before S
+  //    starts: add a protection edge from z (or the tail of z's sequence)
+  //    to S's head (paper §4.6, Figure 6).
+  unsigned Added = 0;
+  size_t NumEdges = Edges.size(); // Protection edges are appended; do not
+                                  // treat them as alternate entries.
+  for (size_t EI = 0; EI < NumEdges; ++EI) {
+    DagEdge E = Edges[EI];
+    if (E.Temporal)
+      continue;
+    int X = E.To;
+    int S = Nodes[X].Sequence;
+    if (S < 0 || Seqs[S].Head == X)
+      continue;
+    if (Nodes[E.From].Sequence == S)
+      continue;
+    // Backward walk from the alternate entry's source.
+    std::vector<int> Stack = {E.From};
+    std::set<int> Seen;
+    while (!Stack.empty()) {
+      int Y = Stack.back();
+      Stack.pop_back();
+      if (!Seen.insert(Y).second)
+        continue;
+      if (Nodes[Y].Sequence != S) {
+        const TargetInstr &TI = Target.instr(Block.Instrs[Y].InstrId);
+        if (TI.AffectsClock >= 0 && Seqs[S].Clocks.count(TI.AffectsClock)) {
+          int From = Nodes[Y].Sequence >= 0 ? Seqs[Nodes[Y].Sequence].Tail : Y;
+          if (From != Seqs[S].Head && !reaches(Seqs[S].Head, From)) {
+            addEdge(From, Seqs[S].Head, 0, 2, false, -1, /*Protection=*/true);
+            ++Added;
+          }
+          continue; // The found instruction shields everything behind it.
+        }
+      }
+      for (int EdgeIdx : Nodes[Y].Preds)
+        Stack.push_back(Edges[EdgeIdx].From);
+    }
+  }
+  return Added;
+}
+
+std::string CodeDAG::str() const {
+  std::ostringstream Out;
+  for (const DagEdge &E : Edges) {
+    Out << E.From << " -> " << E.To << " (lat " << E.Latency << ", type "
+        << E.Type;
+    if (E.Temporal)
+      Out << ", temporal clk" << E.Clock;
+    if (E.Protection)
+      Out << ", protection";
+    Out << ")\n";
+  }
+  return Out.str();
+}

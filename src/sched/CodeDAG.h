@@ -1,0 +1,120 @@
+//===- CodeDAG.h - Dependence DAG over a basic block ----------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code DAG (paper §4.1): nodes are a basic block's instructions,
+/// directed labeled edges are dependences. An edge (x, y) with label i means
+/// y cannot be scheduled fewer than i cycles after x without a data hazard
+/// or a semantics violation. The DAG is threaded by the code thread — the
+/// block's original instruction order, which is a topological sort.
+///
+/// Edge types (paper §4.1):
+///   1 — true dependences (label = producer latency, %aux-adjusted);
+///   2 — memory ordering and control ordering;
+///   3 — anti-dependences and output dependences (register reuse).
+/// The strategy controls inclusion of each type; correctness of Marion's
+/// selected code requires all three (pseudo-registers are reused), so the
+/// knobs exist for experiments on DAG shape, not for production use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SCHED_CODEDAG_H
+#define MARION_SCHED_CODEDAG_H
+
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace sched {
+
+struct DagEdge {
+  int From = -1;
+  int To = -1;
+  int Latency = 0;
+  int Type = 1; ///< 1 true, 2 memory/control, 3 anti/output.
+  /// True dependence through a temporal register (paper §4.6); Clock is the
+  /// register's clock id.
+  bool Temporal = false;
+  int Clock = -1;
+  /// Added by the temporal-protection prepass, not by dependence analysis.
+  bool Protection = false;
+};
+
+struct DagNode {
+  int Index = -1; ///< Position in the code thread (original order).
+  std::vector<int> Succs; ///< Edge indices leaving this node.
+  std::vector<int> Preds; ///< Edge indices entering this node.
+  /// Maximum-distance-to-leaf priority (paper §4.2), filled by
+  /// computePriorities().
+  int Priority = 0;
+  /// Temporal sequence id (-1 when the node is in none); sequences are
+  /// maximal chains of temporal edges, used by the protection prepass.
+  int Sequence = -1;
+};
+
+/// Options controlling which edge types are built (for ablation).
+struct CodeDAGOptions {
+  bool TrueEdges = true;
+  bool MemoryEdges = true;
+  bool AntiEdges = true;
+};
+
+/// The dependence DAG for one basic block of machine code.
+class CodeDAG {
+public:
+  /// Builds the DAG for \p Block of \p Fn. The block's instruction order is
+  /// the code thread.
+  CodeDAG(const target::MFunction &Fn, const target::MBlock &Block,
+          const target::TargetInfo &Target,
+          const CodeDAGOptions &Opts = CodeDAGOptions());
+
+  const std::vector<DagNode> &nodes() const { return Nodes; }
+  const std::vector<DagEdge> &edges() const { return Edges; }
+  const target::MBlock &block() const { return Block; }
+  const target::TargetInfo &target() const { return Target; }
+
+  const DagEdge &edge(int Index) const { return Edges[Index]; }
+  const target::MInstr &instrOf(int NodeIndex) const {
+    return Block.Instrs[NodeIndex];
+  }
+
+  /// Adds an explicit edge (used by the temporal-protection prepass and by
+  /// tests constructing scenarios such as the paper's Figure 6).
+  int addEdge(int From, int To, int Latency, int Type, bool Temporal = false,
+              int Clock = -1, bool Protection = false);
+
+  /// Computes the maximum-distance-to-leaf priority of every node.
+  void computePriorities();
+
+  /// Runs the temporal-protection prepass (paper §4.6): identifies temporal
+  /// sequences, finds alternate entries, and adds protection edges so a
+  /// non-backtracking scheduler cannot deadlock. Returns the number of
+  /// protection edges added. O(n*e) worst case.
+  unsigned protectTemporalSequences();
+
+  /// True when \p Ancestor can reach \p Node along edges.
+  bool reaches(int Ancestor, int Node) const;
+
+  /// Debug rendering: one line per edge.
+  std::string str() const;
+
+private:
+  void build(const CodeDAGOptions &Opts);
+
+  const target::MFunction &Fn;
+  const target::MBlock &Block;
+  const target::TargetInfo &Target;
+  std::vector<DagNode> Nodes;
+  std::vector<DagEdge> Edges;
+};
+
+} // namespace sched
+} // namespace marion
+
+#endif // MARION_SCHED_CODEDAG_H

@@ -1,0 +1,562 @@
+//===- ListScheduler.cpp --------------------------------------------------==//
+
+#include "sched/ListScheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace marion;
+using namespace marion::sched;
+using namespace marion::target;
+
+namespace {
+
+/// Per-run scheduling state for one block.
+class BlockScheduler {
+public:
+  BlockScheduler(const MFunction &Fn, const MBlock &Block,
+                 const TargetInfo &Target, const SchedulerOptions &Opts)
+      : Fn(Fn), Block(Block), Target(Target), Opts(Opts),
+        Dag(Fn, Block, Target,
+            [&] {
+              CodeDAGOptions DagOpts;
+              DagOpts.AntiEdges = Opts.AntiEdges;
+              return DagOpts;
+            }()) {}
+
+  BlockSchedule run();
+
+private:
+  struct Bundle {
+    std::vector<int> Members;
+  };
+
+  bool isReady(int N, int Cycle) const {
+    return !Done[N] && PredsLeft[N] == 0 && ReadyCycle[N] <= Cycle;
+  }
+
+  /// Rule 1 closure: the set of nodes that must issue together with \p N
+  /// on this cycle (open temporal destinations of every clock the bundle
+  /// advances). Returns false when the closure cannot be completed.
+  bool computeBundle(int N, int Cycle, Bundle &Out) const;
+
+  /// Checks resources, packing classes and intra-bundle latencies.
+  bool bundleFits(const Bundle &B, int Cycle) const;
+
+  void scheduleBundle(const Bundle &B, int Cycle);
+
+  /// Liveness delta of scheduling \p N: +defs of new pseudos, -pseudo uses
+  /// that are final. Used in register-pressure mode.
+  int livenessDelta(int N) const;
+  bool underPressure() const;
+
+  const MFunction &Fn;
+  const MBlock &Block;
+  const TargetInfo &Target;
+  const SchedulerOptions &Opts;
+  CodeDAG Dag;
+
+  std::vector<bool> Done;
+  std::vector<int> PredsLeft;
+  std::vector<int> ReadyCycle;
+  std::vector<ResourceSet> Busy; ///< Composite resource timeline.
+  uint64_t CycleClassInter = ~uint64_t(0);
+  bool CycleHasClassInstr = false;
+
+  /// Open temporal edges per clock: source scheduled, destination not.
+  std::map<int, std::set<int>> OpenEdges; // clock -> edge indices.
+
+  // Register-pressure bookkeeping.
+  std::map<int, int> LiveByBank;
+  std::vector<int> RemainingUses;  ///< Per pseudo, unscheduled uses here.
+  std::vector<bool> PseudoLive;
+
+  std::vector<int> AssignedCycle;
+};
+
+bool BlockScheduler::computeBundle(int N, int Cycle, Bundle &Out) const {
+  // Rule 1 closure: an instruction affecting clock k may not be scheduled
+  // before an open destination, but may be packed with it — so every open
+  // destination of every clock the bundle advances joins the bundle.
+  std::set<int> Members = {N};
+  std::vector<int> Work = {N};
+  while (!Work.empty()) {
+    int M = Work.back();
+    Work.pop_back();
+    const TargetInstr &TI = Target.instr(Block.Instrs[M].InstrId);
+    if (TI.AffectsClock < 0 || !Opts.TemporalScheduling)
+      continue;
+    auto It = OpenEdges.find(TI.AffectsClock);
+    if (It == OpenEdges.end())
+      continue;
+    for (int EdgeIdx : It->second) {
+      int Dest = Dag.edge(EdgeIdx).To;
+      if (Members.insert(Dest).second)
+        Work.push_back(Dest);
+    }
+  }
+  Out.Members.assign(Members.begin(), Members.end());
+  // Validate: every member must be issueable this cycle. Unscheduled
+  // predecessors are allowed only when they are bundle members reached by
+  // zero-latency edges (e.g. the anti dependence between a launch reading
+  // a register and the packed write-back redefining it).
+  for (int M : Out.Members) {
+    if (Done[M] || ReadyCycle[M] > Cycle)
+      return false;
+    for (int EdgeIdx : Dag.nodes()[M].Preds) {
+      const DagEdge &E = Dag.edge(EdgeIdx);
+      if (Done[E.From]) {
+        if (Cycle - AssignedCycle[E.From] < E.Latency)
+          return false;
+        continue;
+      }
+      if (!Members.count(E.From) || E.Latency > 0)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool BlockScheduler::bundleFits(const Bundle &B, int Cycle) const {
+  // Structural hazards: the candidate's resource vector must not intersect
+  // the composite of currently executing instructions (paper §4.3), nor
+  // may bundle members collide with each other.
+  if (Opts.CheckStructuralHazards) {
+    std::vector<ResourceSet> Combined;
+    for (int M : B.Members) {
+      const TargetInstr &TI = Target.instr(Block.Instrs[M].InstrId);
+      for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
+        if (Combined.size() <= C)
+          Combined.resize(C + 1);
+        if (Combined[C].intersects(TI.ResourceVec[C]))
+          return false; // Members collide.
+        Combined[C] |= TI.ResourceVec[C];
+      }
+    }
+    for (size_t C = 0; C < Combined.size(); ++C) {
+      size_t At = Cycle + C;
+      if (At < Busy.size() && Busy[At].intersects(Combined[C]))
+        return false;
+    }
+  }
+
+  // Packing classes (paper §4.5): all class-restricted instructions issued
+  // on one cycle must share a long-instruction-word element.
+  if (Opts.UsePacking) {
+    uint64_t Inter = CycleClassInter;
+    bool Any = CycleHasClassInstr;
+    for (int M : B.Members) {
+      uint64_t Mask = Target.instr(Block.Instrs[M].InstrId).ClassMask;
+      if (Mask == 0)
+        continue;
+      Inter = Any ? (Inter & Mask) : Mask;
+      Any = true;
+      if (Inter == 0)
+        return false;
+    }
+  }
+  return true;
+}
+
+int BlockScheduler::livenessDelta(int N) const {
+  const MInstr &MI = Block.Instrs[N];
+  const TargetInstr &TI = Target.instr(MI.InstrId);
+  int Delta = 0;
+  for (unsigned OpIdx : TI.DefOps)
+    if (OpIdx >= 1 && OpIdx <= MI.Ops.size() &&
+        MI.Ops[OpIdx - 1].K == MOperand::Kind::Pseudo &&
+        !PseudoLive[MI.Ops[OpIdx - 1].PseudoId])
+      ++Delta;
+  for (unsigned OpIdx : TI.UseOps)
+    if (OpIdx >= 1 && OpIdx <= MI.Ops.size() &&
+        MI.Ops[OpIdx - 1].K == MOperand::Kind::Pseudo &&
+        RemainingUses[MI.Ops[OpIdx - 1].PseudoId] == 1)
+      --Delta;
+  return Delta;
+}
+
+bool BlockScheduler::underPressure() const {
+  if (Opts.RegisterLimit < 0 && !Opts.BankPressure)
+    return false;
+  for (const auto &[Bank, Count] : LiveByBank) {
+    int Limit = Opts.RegisterLimit;
+    if (Opts.BankPressure) {
+      const auto &Allocable = Target.runtime().AllocablePerBank;
+      if (Bank >= 0 && Bank < static_cast<int>(Allocable.size())) {
+        int BankLimit =
+            std::max(1, static_cast<int>(Allocable[Bank].size()) - 1);
+        Limit = Limit < 0 ? BankLimit : std::min(Limit, BankLimit);
+      }
+    }
+    if (Limit >= 0 && Count >= Limit)
+      return true;
+  }
+  return false;
+}
+
+void BlockScheduler::scheduleBundle(const Bundle &B, int Cycle) {
+  for (int M : B.Members) {
+    Done[M] = true;
+    AssignedCycle[M] = Cycle;
+    const MInstr &MI = Block.Instrs[M];
+    const TargetInstr &TI = Target.instr(MI.InstrId);
+
+    // Occupy resources.
+    for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
+      size_t At = Cycle + C;
+      if (Busy.size() <= At)
+        Busy.resize(At + 1);
+      Busy[At] |= TI.ResourceVec[C];
+    }
+    if (TI.ClassMask) {
+      CycleClassInter = CycleHasClassInstr ? (CycleClassInter & TI.ClassMask)
+                                           : TI.ClassMask;
+      CycleHasClassInstr = true;
+    }
+
+    // Release successors.
+    for (int EdgeIdx : Dag.nodes()[M].Succs) {
+      const DagEdge &E = Dag.edge(EdgeIdx);
+      ReadyCycle[E.To] = std::max(ReadyCycle[E.To], Cycle + E.Latency);
+      --PredsLeft[E.To];
+    }
+
+    // Temporal edge bookkeeping.
+    for (int EdgeIdx : Dag.nodes()[M].Preds) {
+      const DagEdge &E = Dag.edge(EdgeIdx);
+      if (E.Temporal)
+        OpenEdges[E.Clock].erase(EdgeIdx);
+    }
+    for (int EdgeIdx : Dag.nodes()[M].Succs) {
+      const DagEdge &E = Dag.edge(EdgeIdx);
+      if (E.Temporal && !Done[E.To])
+        OpenEdges[E.Clock].insert(EdgeIdx);
+    }
+
+    // Liveness.
+    for (unsigned OpIdx : TI.DefOps)
+      if (OpIdx >= 1 && OpIdx <= MI.Ops.size() &&
+          MI.Ops[OpIdx - 1].K == MOperand::Kind::Pseudo) {
+        int P = MI.Ops[OpIdx - 1].PseudoId;
+        if (!PseudoLive[P]) {
+          PseudoLive[P] = true;
+          ++LiveByBank[Fn.Pseudos[P].Bank];
+        }
+      }
+    for (unsigned OpIdx : TI.UseOps)
+      if (OpIdx >= 1 && OpIdx <= MI.Ops.size() &&
+          MI.Ops[OpIdx - 1].K == MOperand::Kind::Pseudo) {
+        int P = MI.Ops[OpIdx - 1].PseudoId;
+        if (RemainingUses[P] > 0 && --RemainingUses[P] == 0 &&
+            PseudoLive[P]) {
+          PseudoLive[P] = false;
+          --LiveByBank[Fn.Pseudos[P].Bank];
+        }
+      }
+  }
+}
+
+BlockSchedule BlockScheduler::run() {
+  BlockSchedule Result;
+  size_t N = Block.Instrs.size();
+  Result.Cycle.assign(N, 0);
+  if (N == 0)
+    return Result;
+
+  if (Opts.TemporalScheduling)
+    Dag.protectTemporalSequences();
+  Dag.computePriorities();
+
+  Done.assign(N, false);
+  PredsLeft.assign(N, 0);
+  ReadyCycle.assign(N, 0);
+  AssignedCycle.assign(N, 0);
+  for (const DagNode &Node : Dag.nodes())
+    PredsLeft[Node.Index] = static_cast<int>(Node.Preds.size());
+
+  RemainingUses.assign(Fn.Pseudos.size(), 0);
+  PseudoLive.assign(Fn.Pseudos.size(), false);
+  for (const MInstr &MI : Block.Instrs) {
+    const TargetInstr &TI = Target.instr(MI.InstrId);
+    for (unsigned OpIdx : TI.UseOps)
+      if (OpIdx >= 1 && OpIdx <= MI.Ops.size() &&
+          MI.Ops[OpIdx - 1].K == MOperand::Kind::Pseudo)
+        ++RemainingUses[MI.Ops[OpIdx - 1].PseudoId];
+  }
+
+  size_t Scheduled = 0;
+  int Cycle = 0;
+  int StallCycles = 0;
+  const int StallLimit = static_cast<int>(N) * 64 + 4096;
+
+  while (Scheduled < N) {
+    // Ready list, highest priority first (paper §4.2); ties resolve to the
+    // code thread order, keeping scheduling deterministic.
+    std::vector<int> Ready;
+    for (size_t I = 0; I < N; ++I)
+      if (isReady(static_cast<int>(I), Cycle))
+        Ready.push_back(static_cast<int>(I));
+
+    bool Pressure = underPressure();
+    std::stable_sort(Ready.begin(), Ready.end(), [&](int A, int B) {
+      if (Opts.Priority == SchedulerOptions::Heuristic::SourceOrder)
+        return A < B;
+      if (Pressure) {
+        // Goodman-Hsu: under pressure, prefer liveness-reducing candidates.
+        int DA = livenessDelta(A), DB = livenessDelta(B);
+        if (DA != DB)
+          return DA < DB;
+      }
+      const DagNode &NA = Dag.nodes()[A];
+      const DagNode &NB = Dag.nodes()[B];
+      if (NA.Priority != NB.Priority)
+        return NA.Priority > NB.Priority;
+      return A < B;
+    });
+
+    bool Progressed = false;
+    bool Retry = true;
+    while (Retry) {
+      Retry = false;
+      for (int Candidate : Ready) {
+        if (Done[Candidate] || !isReady(Candidate, Cycle))
+          continue;
+        Bundle B;
+        if (!computeBundle(Candidate, Cycle, B) || !bundleFits(B, Cycle))
+          continue;
+        scheduleBundle(B, Cycle);
+        Scheduled += B.Members.size();
+        Progressed = true;
+        Retry = true; // Try to pack more onto this cycle.
+        break;
+      }
+    }
+
+    if (!Progressed) {
+      ++Cycle;
+      ++StallCycles;
+      CycleClassInter = ~uint64_t(0);
+      CycleHasClassInstr = false;
+      if (StallCycles > StallLimit) {
+        if (std::getenv("MARION_SCHED_DEBUG")) {
+          for (size_t I = 0; I < N; ++I) {
+            if (Done[I])
+              continue;
+            std::string Msg = "unsched " + std::to_string(I) + " predsLeft=" +
+                              std::to_string(PredsLeft[I]) + " ready=" +
+                              std::to_string(ReadyCycle[I]);
+            Bundle B;
+            if (PredsLeft[I] == 0) {
+              bool BundleOk = computeBundle(static_cast<int>(I), Cycle, B);
+              Msg += BundleOk ? (" bundleOk fits=" +
+                                 std::to_string(bundleFits(B, Cycle)))
+                              : " bundleFail";
+            }
+            Msg += "\n";
+            std::fputs(Msg.c_str(), stderr);
+          }
+          for (const auto &[Clock, Edges] : OpenEdges)
+            for (int EI : Edges)
+              std::fprintf(stderr, "open clk%d edge %d->%d\n", Clock,
+                           Dag.edge(EI).From, Dag.edge(EI).To);
+        }
+        Result.Deadlocked = true;
+        return Result;
+      }
+    } else {
+      StallCycles = 0;
+    }
+  }
+
+  Result.Cycle = AssignedCycle;
+  Result.Order.resize(N);
+  for (size_t I = 0; I < N; ++I)
+    Result.Order[I] = static_cast<int>(I);
+  std::stable_sort(Result.Order.begin(), Result.Order.end(),
+                   [&](int A, int B) {
+                     if (AssignedCycle[A] != AssignedCycle[B])
+                       return AssignedCycle[A] < AssignedCycle[B];
+                     return A < B;
+                   });
+
+  // Block cost estimate: last issue cycle, plus one, plus the delay-slot
+  // nops the apply step will insert (paper §4.4: Marion always fills delay
+  // slots with nops).
+  int LastCycle = 0;
+  int Nops = 0;
+  for (size_t I = 0; I < N; ++I) {
+    LastCycle = std::max(LastCycle, AssignedCycle[I]);
+    int Slots = Target.instr(Block.Instrs[I].InstrId).slots();
+    Nops += Slots < 0 ? -Slots : Slots;
+  }
+  Result.EstimatedCycles = LastCycle + 1 + Nops;
+  return Result;
+}
+
+} // namespace
+
+BlockSchedule sched::computeSchedule(const MFunction &Fn, const MBlock &Block,
+                                     const TargetInfo &Target,
+                                     const SchedulerOptions &Opts) {
+  BlockScheduler Scheduler(Fn, Block, Target, Opts);
+  return Scheduler.run();
+}
+
+namespace {
+
+/// Orders one same-cycle issue group so the linear instruction stream reads
+/// correctly: a sub-operation reading a temporal latch must precede the
+/// sub-operation writing it on that cycle (all packed sub-operations
+/// advance their pipe simultaneously; sequentially, readers see the old
+/// latch values). Stable for instructions without temporal effects.
+void orderIssueGroup(std::vector<int> &Group, const MBlock &Block,
+                     const TargetInfo &Target) {
+  if (Group.size() < 2)
+    return;
+  size_t N = Group.size();
+  // reader -> writer edges per temporal bank.
+  std::vector<std::vector<size_t>> Succs(N);
+  std::vector<unsigned> InDeg(N, 0);
+  for (size_t A = 0; A < N; ++A) {
+    const TargetInstr &TA = Target.instr(Block.Instrs[Group[A]].InstrId);
+    if (TA.TemporalReads.empty())
+      continue;
+    for (size_t B = 0; B < N; ++B) {
+      if (A == B)
+        continue;
+      const TargetInstr &TB = Target.instr(Block.Instrs[Group[B]].InstrId);
+      for (int Bank : TA.TemporalReads)
+        if (std::find(TB.TemporalWrites.begin(), TB.TemporalWrites.end(),
+                      Bank) != TB.TemporalWrites.end()) {
+          Succs[A].push_back(B);
+          ++InDeg[B];
+          break;
+        }
+    }
+  }
+  // Stable Kahn topological sort (ties keep the original group order).
+  std::vector<int> Out;
+  std::vector<bool> Done(N, false);
+  while (Out.size() < N) {
+    bool Progress = false;
+    for (size_t I = 0; I < N; ++I) {
+      if (Done[I] || InDeg[I] != 0)
+        continue;
+      Done[I] = true;
+      Out.push_back(Group[I]);
+      for (size_t S : Succs[I])
+        --InDeg[S];
+      Progress = true;
+      break;
+    }
+    if (!Progress) {
+      // A cycle (chained pipes feeding each other) — keep original order;
+      // the simultaneous-advance semantics cannot be linearized, which the
+      // description author avoided by construction.
+      return;
+    }
+  }
+  Group = std::move(Out);
+}
+
+} // namespace
+
+void sched::applySchedule(MBlock &Block, const BlockSchedule &Sched,
+                          const TargetInfo &Target) {
+  std::vector<MInstr> NewInstrs;
+  NewInstrs.reserve(Block.Instrs.size());
+  int NopId = Target.findNop();
+  int CycleShift = 0;
+  // Emit cycle by cycle; within a cycle, latch readers precede writers.
+  size_t At = 0;
+  while (At < Sched.Order.size()) {
+    size_t End = At;
+    int Cycle = Sched.Cycle[Sched.Order[At]];
+    while (End < Sched.Order.size() && Sched.Cycle[Sched.Order[End]] == Cycle)
+      ++End;
+    std::vector<int> Group(Sched.Order.begin() + At,
+                           Sched.Order.begin() + End);
+    orderIssueGroup(Group, Block, Target);
+    for (int Index : Group) {
+      MInstr MI = Block.Instrs[Index];
+      MI.Cycle = Cycle + CycleShift;
+      const TargetInstr &TI = Target.instr(MI.InstrId);
+      int Slots = TI.slots();
+      int BranchCycle = MI.Cycle;
+      NewInstrs.push_back(std::move(MI));
+      if (Slots != 0 && NopId >= 0) {
+        int Count = Slots < 0 ? -Slots : Slots;
+        for (int I = 0; I < Count; ++I) {
+          MInstr Nop(NopId, {});
+          Nop.Cycle = BranchCycle + 1 + I;
+          NewInstrs.push_back(std::move(Nop));
+        }
+        CycleShift += Count;
+      }
+    }
+    At = End;
+  }
+  Block.Instrs = std::move(NewInstrs);
+  Block.EstimatedCycles = Sched.EstimatedCycles;
+}
+
+bool sched::scheduleFunction(MFunction &Fn, const TargetInfo &Target,
+                             DiagnosticEngine &Diags,
+                             const SchedulerOptions &Opts) {
+  for (MBlock &Block : Fn.Blocks) {
+    BlockSchedule Sched = computeSchedule(Fn, Block, Target, Opts);
+    if (Sched.Deadlocked) {
+      Diags.error(SourceLocation(),
+                  "scheduler deadlocked in block '" + Block.Label + "' of '" +
+                      Fn.Name + "' (temporal protection failed)");
+      return false;
+    }
+    applySchedule(Block, Sched, Target);
+  }
+  return true;
+}
+
+std::vector<std::string> sched::verifySchedule(const CodeDAG &Dag,
+                                               const BlockSchedule &Sched,
+                                               bool CheckResources) {
+  std::vector<std::string> Violations;
+  const TargetInfo &Target = Dag.target();
+
+  for (const DagEdge &E : Dag.edges()) {
+    int From = Sched.Cycle[E.From];
+    int To = Sched.Cycle[E.To];
+    bool Ok = To - From >= E.Latency;
+    // A zero-latency edge still forbids reversal of order across cycles.
+    if (E.Latency == 0 && To < From)
+      Ok = false;
+    if (!Ok)
+      Violations.push_back("edge " + std::to_string(E.From) + "->" +
+                           std::to_string(E.To) + " (lat " +
+                           std::to_string(E.Latency) + ") violated: cycles " +
+                           std::to_string(From) + " -> " +
+                           std::to_string(To));
+  }
+
+  if (CheckResources) {
+    std::vector<ResourceSet> Busy;
+    for (size_t I = 0; I < Sched.Cycle.size(); ++I) {
+      const TargetInstr &TI =
+          Target.instr(Dag.block().Instrs[I].InstrId);
+      for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
+        size_t At = Sched.Cycle[I] + C;
+        if (Busy.size() <= At)
+          Busy.resize(At + 1);
+        if (Busy[At].intersects(TI.ResourceVec[C]))
+          Violations.push_back("resource conflict at cycle " +
+                               std::to_string(At) + " involving node " +
+                               std::to_string(I));
+        Busy[At] |= TI.ResourceVec[C];
+      }
+    }
+  }
+  return Violations;
+}

@@ -1,0 +1,107 @@
+//===- ListScheduler.h - List instruction scheduling ----------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The list scheduler (paper §4.2-§4.6). Keeps a ready list over the code
+/// DAG, selects by the maximum-distance heuristic, rejects candidates that
+/// would cause structural hazards (resource-vector intersection against the
+/// composite of executing instructions), packs sub-operations into long
+/// instruction words under class restrictions, enforces the temporal
+/// scheduling Rule 1 for explicitly advanced pipelines, and fills branch
+/// delay slots with nops.
+///
+/// Goodman-Hsu style register-pressure limiting (the IPS strategy's first
+/// pass) is available through SchedulerOptions::RegisterLimit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SCHED_LISTSCHEDULER_H
+#define MARION_SCHED_LISTSCHEDULER_H
+
+#include "sched/CodeDAG.h"
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace sched {
+
+struct SchedulerOptions {
+  /// Reject candidates whose resource vector intersects the composite of
+  /// currently executing instructions (paper §4.3). Off = issue one
+  /// instruction per cycle with latency-only constraints (ablation).
+  bool CheckStructuralHazards = true;
+  /// Enforce packing class legality (paper §4.5). Meaningful only for
+  /// targets with class-restricted sub-operations (i860).
+  bool UsePacking = true;
+  /// Temporal scheduling: protection prepass + Rule 1 (paper §4.6). When
+  /// off, temporal edges are still honored as dependences but advancing
+  /// instructions are not barred — unsafe on EAP machines; ablation only.
+  bool TemporalScheduling = true;
+  /// When >= 0: Goodman-Hsu register-pressure mode — once the number of
+  /// live pseudo-registers in any bank reaches the limit, prefer candidates
+  /// that reduce liveness (the IPS first pass).
+  int RegisterLimit = -1;
+  /// Per-bank pressure mode (the IPS default): each bank's limit is its
+  /// own allocable register count less a spill-temporary reserve, instead
+  /// of one global number.
+  bool BankPressure = false;
+  /// Candidate priority.
+  enum class Heuristic {
+    MaxDistance, ///< Longest path to a leaf (paper §4.2).
+    SourceOrder, ///< Original code-thread order (ablation baseline).
+  };
+  Heuristic Priority = Heuristic::MaxDistance;
+  /// Include anti/output (type 3) edges when building the DAG; required
+  /// for correctness of Marion-selected code (pseudo reuse), exposed for
+  /// DAG-shape experiments.
+  bool AntiEdges = true;
+};
+
+/// A computed schedule for one block.
+struct BlockSchedule {
+  /// Node indices (into the original block order) in issue order.
+  std::vector<int> Order;
+  /// Issue cycle of each node (indexed like the original block order).
+  std::vector<int> Cycle;
+  /// Estimated execution cycles of the block, including delay-slot nops
+  /// (the per-block cost the paper's Table 4 "estimated" column sums).
+  int EstimatedCycles = 0;
+  bool Deadlocked = false;
+};
+
+/// Computes a schedule for \p Block without modifying it.
+BlockSchedule computeSchedule(const target::MFunction &Fn,
+                              const target::MBlock &Block,
+                              const target::TargetInfo &Target,
+                              const SchedulerOptions &Opts = {});
+
+/// Rewrites \p Block into \p Sched order, assigns cycles, and fills branch
+/// delay slots with nops (paper §4.4).
+void applySchedule(target::MBlock &Block, const BlockSchedule &Sched,
+                   const target::TargetInfo &Target);
+
+/// Schedules every block of \p Fn in place. Returns false (with
+/// diagnostics) if any block deadlocks — which the temporal protection
+/// prepass is designed to prevent.
+bool scheduleFunction(target::MFunction &Fn, const target::TargetInfo &Target,
+                      DiagnosticEngine &Diags,
+                      const SchedulerOptions &Opts = {});
+
+/// Independent schedule checker for tests: verifies that \p Sched respects
+/// every DAG edge and never oversubscribes a resource. Returns a list of
+/// violations (empty = valid).
+std::vector<std::string> verifySchedule(const CodeDAG &Dag,
+                                        const BlockSchedule &Sched,
+                                        bool CheckResources = true);
+
+} // namespace sched
+} // namespace marion
+
+#endif // MARION_SCHED_LISTSCHEDULER_H

@@ -1,0 +1,265 @@
+//===- GlueTransformer.cpp ------------------------------------------------==//
+
+#include "select/GlueTransformer.h"
+
+#include "target/OpcodeMapping.h"
+
+#include <map>
+
+using namespace marion;
+using namespace marion::select;
+using il::Node;
+using il::Opcode;
+using maril::Expr;
+using maril::ExprKind;
+using maril::GlueTransform;
+
+namespace {
+
+using Bindings = std::map<unsigned, Node *>;
+
+/// Matches \p Pattern against IL subtree \p N, collecting metavariable
+/// bindings. A metavariable bound twice must bind the same node.
+bool matchPattern(const Expr &Pattern, Node *N, Bindings &Bound) {
+  switch (Pattern.kind()) {
+  case ExprKind::Operand: {
+    auto [It, Inserted] = Bound.emplace(Pattern.operandIndex(), N);
+    return Inserted || It->second == N;
+  }
+  case ExprKind::IntConst:
+    return N->Op == Opcode::Const && !isFloatingPoint(N->Type) &&
+           N->IntVal == Pattern.intValue();
+  case ExprKind::FloatConst:
+    return N->Op == Opcode::Const && isFloatingPoint(N->Type) &&
+           N->FloatVal == Pattern.floatValue();
+  case ExprKind::Binary: {
+    if (N->Op != target::ilOpcodeForBinary(Pattern.binaryOp()) ||
+        N->Kids.size() != 2)
+      return false;
+    return matchPattern(Pattern.lhs(), N->kid(0), Bound) &&
+           matchPattern(Pattern.rhs(), N->kid(1), Bound);
+  }
+  case ExprKind::Unary: {
+    Opcode Want = Opcode::Neg;
+    switch (Pattern.unaryOp()) {
+    case maril::UnaryOp::Neg:
+      Want = Opcode::Neg;
+      break;
+    case maril::UnaryOp::BitNot:
+      Want = Opcode::Not;
+      break;
+    case maril::UnaryOp::LogNot:
+      // !x in a pattern matches (eq x 0).
+      if (N->Op != Opcode::Eq || N->Kids.size() != 2)
+        return false;
+      if (N->kid(1)->Op != Opcode::Const || N->kid(1)->IntVal != 0)
+        return false;
+      return matchPattern(Pattern.sub(), N->kid(0), Bound);
+    }
+    return N->Op == Want && N->Kids.size() == 1 &&
+           matchPattern(Pattern.sub(), N->kid(0), Bound);
+  }
+  case ExprKind::Cast:
+    return N->Op == Opcode::Cvt && N->Type == Pattern.castType() &&
+           matchPattern(Pattern.sub(), N->kid(0), Bound);
+  case ExprKind::MemRef:
+    return N->Op == Opcode::Load &&
+           matchPattern(Pattern.memAddress(), N->kid(0), Bound);
+  case ExprKind::NamedReg:
+  case ExprKind::Builtin:
+    return false; // Not meaningful in glue patterns.
+  }
+  return false;
+}
+
+/// Result type for an IL opcode instantiated over operands of \p KidType.
+ValueType resultTypeFor(Opcode Op, ValueType KidType) {
+  if (target::isComparisonOpcode(Op))
+    return ValueType::Int;
+  return KidType;
+}
+
+/// Instantiates \p Template in \p Fn. Nodes bound to metavariables are
+/// reused (shared); their pointers are appended to \p BoundRoots so the
+/// caller can continue rewriting inside them only.
+Node *instantiate(il::Function &Fn, const Expr &Template,
+                  const Bindings &Bound, ValueType ContextType,
+                  std::vector<Node *> &BoundRoots) {
+  switch (Template.kind()) {
+  case ExprKind::Operand: {
+    auto It = Bound.find(Template.operandIndex());
+    Node *N = It != Bound.end() ? It->second : nullptr;
+    if (N)
+      BoundRoots.push_back(N);
+    return N;
+  }
+  case ExprKind::IntConst:
+    return Fn.makeConst(ValueType::Int, Template.intValue());
+  case ExprKind::FloatConst:
+    return Fn.makeFloatConst(ValueType::Double, Template.floatValue());
+  case ExprKind::Binary: {
+    Node *L = instantiate(Fn, Template.lhs(), Bound, ContextType, BoundRoots);
+    Node *R = instantiate(Fn, Template.rhs(), Bound, ContextType, BoundRoots);
+    if (!L || !R)
+      return nullptr;
+    Opcode Op = target::ilOpcodeForBinary(Template.binaryOp());
+    // Derive the node type from the left operand (constants adopt it).
+    ValueType KidType = L->Op == Opcode::Const && R->Op != Opcode::Const
+                            ? R->Type
+                            : L->Type;
+    return Fn.makeBinary(Op, resultTypeFor(Op, KidType), L, R);
+  }
+  case ExprKind::Unary: {
+    Node *Sub =
+        instantiate(Fn, Template.sub(), Bound, ContextType, BoundRoots);
+    if (!Sub)
+      return nullptr;
+    switch (Template.unaryOp()) {
+    case maril::UnaryOp::Neg:
+      return Fn.makeUnary(Opcode::Neg, Sub->Type, Sub);
+    case maril::UnaryOp::BitNot:
+      return Fn.makeUnary(Opcode::Not, ValueType::Int, Sub);
+    case maril::UnaryOp::LogNot:
+      return Fn.makeBinary(Opcode::Eq, ValueType::Int, Sub,
+                           Fn.makeConst(Sub->Type, 0));
+    }
+    return nullptr;
+  }
+  case ExprKind::Cast: {
+    Node *Sub =
+        instantiate(Fn, Template.sub(), Bound, ContextType, BoundRoots);
+    if (!Sub)
+      return nullptr;
+    Node *Cvt = Fn.makeUnary(Opcode::Cvt, Template.castType(), Sub);
+    Cvt->FromType = Sub->Type;
+    return Cvt;
+  }
+  case ExprKind::MemRef: {
+    Node *Addr =
+        instantiate(Fn, Template.memAddress(), Bound, ContextType, BoundRoots);
+    if (!Addr)
+      return nullptr;
+    Node *LoadNode = Fn.makeNode(Opcode::Load);
+    LoadNode->Type = ContextType;
+    LoadNode->Kids.push_back(Addr);
+    return LoadNode;
+  }
+  case ExprKind::Builtin: {
+    // eval() folds a constant subexpression at rewrite time.
+    if (Template.builtinFn() == maril::BuiltinFn::Eval &&
+        Template.builtinArgs().size() == 1) {
+      Node *Sub = instantiate(Fn, *Template.builtinArgs()[0], Bound,
+                              ContextType, BoundRoots);
+      if (!Sub)
+        return nullptr;
+      // Fold what we can: unary minus / binary ops over constants.
+      if (Sub->Op == Opcode::Const)
+        return Sub;
+      if (Sub->Kids.size() == 2 && Sub->kid(0)->Op == Opcode::Const &&
+          Sub->kid(1)->Op == Opcode::Const &&
+          !isFloatingPoint(Sub->Type)) {
+        int64_t A = Sub->kid(0)->IntVal, B = Sub->kid(1)->IntVal;
+        int64_t V = 0;
+        switch (Sub->Op) {
+        case Opcode::Add:
+          V = A + B;
+          break;
+        case Opcode::Sub:
+          V = A - B;
+          break;
+        case Opcode::Mul:
+          V = A * B;
+          break;
+        default:
+          return Sub;
+        }
+        return Fn.makeConst(ValueType::Int, V);
+      }
+      return Sub;
+    }
+    return nullptr;
+  }
+  case ExprKind::NamedReg:
+    return nullptr;
+  }
+  return nullptr;
+}
+
+/// The type a glue constraint compares against: the node type, except for
+/// comparisons where the operand type is what discriminates (an Eq over
+/// doubles is "double glue").
+ValueType constraintTypeOf(const Node *N) {
+  if (target::isComparisonOpcode(N->Op) && !N->Kids.empty())
+    return N->kid(0)->Type;
+  return N->Type;
+}
+
+class Rewriter {
+public:
+  Rewriter(il::Function &Fn, const target::TargetInfo &Target)
+      : Fn(Fn), Glues(Target.description().GlueTransforms) {}
+
+  unsigned Applied = 0;
+
+  /// Rewrites the tree rooted at *Slot (a kid pointer), storing the
+  /// replacement back through the slot.
+  void rewriteSlot(Node **Slot) {
+    Node *N = *Slot;
+    for (const GlueTransform &Glue : Glues) {
+      if (Glue.HasTypeConstraint &&
+          constraintTypeOf(N) != Glue.TypeConstraint)
+        continue;
+      Bindings Bound;
+      if (!matchPattern(*Glue.Pattern, N, Bound))
+        continue;
+      std::vector<Node *> BoundRoots;
+      Node *Replacement = instantiate(Fn, *Glue.Replacement, Bound,
+                                      N->Type, BoundRoots);
+      if (!Replacement)
+        continue;
+      Replacement->RefCount = N->RefCount;
+      *Slot = Replacement;
+      ++Applied;
+      // Continue inside metavariable-bound subtrees only.
+      for (Node *Root : BoundRoots)
+        rewriteKids(Root);
+      return;
+    }
+    rewriteKids(N);
+  }
+
+  void rewriteKids(Node *N) {
+    for (size_t I = 0; I < N->Kids.size(); ++I)
+      rewriteSlot(&N->Kids[I]);
+  }
+
+private:
+  il::Function &Fn;
+  const std::vector<GlueTransform> &Glues;
+};
+
+} // namespace
+
+unsigned select::applyGlueTransforms(il::Function &Fn,
+                                     const target::TargetInfo &Target) {
+  Rewriter R(Fn, Target);
+  for (std::unique_ptr<il::BasicBlock> &Block : Fn.Blocks)
+    for (size_t I = 0; I < Block->Roots.size(); ++I) {
+      // Roots are statements; glue patterns are expressions, so rewrite the
+      // statement's kids (condition, value, address).
+      R.rewriteKids(Block->Roots[I]);
+    }
+  // A rewrite reached through one parent of a shared node leaves the other
+  // parent pointing at a separately rewritten copy; refresh the counts.
+  if (R.Applied)
+    Fn.recountRefs();
+  return R.Applied;
+}
+
+unsigned select::applyGlueTransforms(il::Module &Mod,
+                                     const target::TargetInfo &Target) {
+  unsigned Applied = 0;
+  for (std::unique_ptr<il::Function> &Fn : Mod.Functions)
+    Applied += applyGlueTransforms(*Fn, Target);
+  return Applied;
+}

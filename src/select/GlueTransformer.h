@@ -1,0 +1,42 @@
+//===- GlueTransformer.h - %glue IL rewriting -----------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies a target's %glue transformations to the IL prior to code
+/// selection (paper §3.4): tree-to-tree rewrites that complete the mapping
+/// between the target-independent IL and the machine's instruction set,
+/// e.g. expanding '==' into the generic compare '::' followed by a sign
+/// test (paper Fig 3).
+///
+/// Rewriting is a single top-down pass per tree. When a transformation
+/// fires, matching continues only inside the subtrees bound to the
+/// pattern's metavariables — never inside structure introduced by the
+/// replacement template — which guarantees termination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SELECT_GLUETRANSFORMER_H
+#define MARION_SELECT_GLUETRANSFORMER_H
+
+#include "il/IL.h"
+#include "target/TargetInfo.h"
+
+namespace marion {
+namespace select {
+
+/// Rewrites every tree of \p Fn in place according to the glue
+/// transformations of \p Target. Returns the number of rewrites applied.
+unsigned applyGlueTransforms(il::Function &Fn,
+                             const target::TargetInfo &Target);
+
+/// Rewrites all functions of \p Mod.
+unsigned applyGlueTransforms(il::Module &Mod,
+                             const target::TargetInfo &Target);
+
+} // namespace select
+} // namespace marion
+
+#endif // MARION_SELECT_GLUETRANSFORMER_H

@@ -1,0 +1,1044 @@
+//===- Selector.cpp -------------------------------------------------------==//
+
+#include "select/Selector.h"
+
+#include "select/GlueTransformer.h"
+#include "target/FuncEscape.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace marion;
+using namespace marion::select;
+using namespace marion::target;
+using il::Node;
+using il::Opcode;
+
+namespace {
+
+/// A value bound to a pattern operand during matching.
+struct Binding {
+  enum class Kind {
+    Subtree,  ///< A register-class operand bound to an IL subtree.
+    Immediate,///< An immediate operand bound to a constant value.
+    Address,  ///< An immediate operand bound to a symbol (+offset).
+    FixedReg, ///< A fixed-register operand (matched a hard value or Reg).
+  };
+  Kind K = Kind::Subtree;
+  Node *Tree = nullptr;
+  int64_t Imm = 0;
+  std::string Sym;
+  int64_t SymOffset = 0;
+};
+
+using Bindings = std::map<unsigned, Binding>;
+
+class FunctionSelector;
+
+/// EscapeContext implementation handing *func bodies the Marion-exported
+/// routines (paper §3.4).
+class SelectorEscapeContext : public EscapeContext {
+public:
+  SelectorEscapeContext(FunctionSelector &Sel, std::vector<MOperand> Ops)
+      : Sel(Sel), Ops(std::move(Ops)) {}
+
+  const std::vector<MOperand> &operands() const override { return Ops; }
+  const TargetInfo &target() const override;
+  void emit(int InstrId, std::vector<MOperand> Operands) override;
+  MOperand newPseudo(int Bank) override;
+  void error(const std::string &Message) override;
+
+private:
+  FunctionSelector &Sel;
+  std::vector<MOperand> Ops;
+};
+
+class FunctionSelector {
+public:
+  FunctionSelector(il::Function &Fn, const TargetInfo &Target,
+                   MFunction &Out, DiagnosticEngine &Diags)
+      : Fn(Fn), Target(Target), Out(Out), Diags(Diags) {}
+
+  bool run();
+
+  // Escape context services.
+  const TargetInfo &target() const { return Target; }
+  void emitRaw(MInstr Instr) { Buffer.push_back(std::move(Instr)); }
+  MOperand makePseudo(int Bank) {
+    return MOperand::pseudo(Out.addPseudo(Bank, ""));
+  }
+  void escapeError(const std::string &Message) {
+    Diags.error(SourceLocation(), Message);
+    Failed = true;
+  }
+
+private:
+  // Selection of roots.
+  void selectBlock(il::BasicBlock &Block);
+  void selectRoot(Node *Root);
+  void selectStore(Node *Root);
+  void selectBranch(Node *Root);
+  void selectJump(int TargetBlock);
+  void selectCall(Node *CallNode);
+  void selectRet(Node *Root);
+  void selectSetTemp(Node *Root);
+
+  // Value selection.
+  /// Materializes \p N into a register operand. \p DestHint, when a
+  /// register operand, asks the matched instruction to write there
+  /// directly. Returns nullopt on failure (diagnosed).
+  std::optional<MOperand> selectValue(Node *N, MOperand *DestHint = nullptr);
+  /// Tries the ordered pattern list; emits on success.
+  std::optional<MOperand> matchValue(Node *N, MOperand *DestHint);
+  bool tryMatch(const PatternNode &Pat, Node *N, Bindings &Bound);
+  /// Builds the operand vector for \p InstrId from bindings, materializing
+  /// subtree bindings bottom-up. Fills \p DestOp for the destination.
+  bool buildOperands(int InstrId, const Pattern &Pat, const Bindings &Bound,
+                     MOperand *DestHint, std::vector<MOperand> &Ops,
+                     MOperand &DestOp, MOperand *TargetOp);
+
+  // Helpers.
+  Node *canonicalAddress(Node *Addr);
+  Node *expandAddrLocal(Node *N);
+  int pseudoForTemp(int TempId);
+  int bankForType(ValueType Type);
+  bool emitCopy(MOperand Dest, MOperand Src, int Bank);
+  std::optional<MOperand> materializeBinding(const maril::OperandSpec &Spec,
+                                             const Binding &Bound);
+  void emitParamSetup();
+  MOperand blockLabel(int IlBlockId);
+
+  il::Function &Fn;
+  const TargetInfo &Target;
+  MFunction &Out;
+  DiagnosticEngine &Diags;
+
+  std::vector<MInstr> Buffer; ///< Instructions for the current block.
+  std::map<int, int> TempToPseudo;
+  std::map<Node *, MOperand> Pinned; ///< CSE: node -> materialized operand.
+  std::map<int, int> IlBlockToMBlock;
+  int ExitBlockId = -1; ///< MBlock holding the epilogue/ret.
+  bool Failed = false;
+};
+
+const TargetInfo &SelectorEscapeContext::target() const {
+  return Sel.target();
+}
+void SelectorEscapeContext::emit(int InstrId, std::vector<MOperand> Ops) {
+  Sel.emitRaw(MInstr(InstrId, std::move(Ops)));
+}
+MOperand SelectorEscapeContext::newPseudo(int Bank) {
+  return Sel.makePseudo(Bank);
+}
+void SelectorEscapeContext::error(const std::string &Message) {
+  Sel.escapeError(Message);
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+bool FunctionSelector::run() {
+  Out.Name = Fn.Name;
+  Out.ReturnType = Fn.ReturnType;
+
+  // Frame layout: objects packed from offset 0 upward; the stack pointer is
+  // the frame base at run time (see DESIGN.md: sp-relative addressing, the
+  // frame pointer register is reserved but unused by generated code).
+  unsigned Offset = 0;
+  for (il::FrameObject &Obj : Fn.FrameObjects) {
+    Offset = (Offset + Obj.Align - 1) / Obj.Align * Obj.Align;
+    Obj.Offset = static_cast<int>(Offset);
+    Offset += Obj.SizeBytes;
+  }
+  Out.FrameSize = (Offset + 7) / 8 * 8;
+
+  // One MBlock per IL block, plus a shared exit block for the epilogue.
+  for (std::unique_ptr<il::BasicBlock> &Block : Fn.Blocks) {
+    MBlock &MB = Out.addBlock(Block->LabelName);
+    IlBlockToMBlock[Block->Id] = MB.Id;
+  }
+  MBlock &Exit = Out.addBlock(".L" + Fn.Name + "_exit");
+  ExitBlockId = Exit.Id;
+
+  for (std::unique_ptr<il::BasicBlock> &Block : Fn.Blocks) {
+    Buffer.clear();
+    if (Block->Id == 0)
+      emitParamSetup();
+    selectBlock(*Block);
+    Out.Blocks[IlBlockToMBlock[Block->Id]].Instrs = std::move(Buffer);
+    Buffer = {};
+    if (Failed)
+      return false;
+  }
+
+  // The exit block gets the return instruction; the frame finalizer later
+  // inserts the epilogue before it.
+  Buffer.clear();
+  int RetId = Target.findRet();
+  if (RetId < 0) {
+    Diags.error(SourceLocation(),
+                "target has no return instruction ('ret' semantics)");
+    return false;
+  }
+  std::vector<MOperand> RetOps;
+  for (const maril::OperandSpec &Spec : Target.instr(RetId).Desc->Operands) {
+    // Return instructions on the bundled targets are operand-free; be
+    // defensive about fixed registers anyway.
+    if (Spec.Kind == maril::OperandKind::FixedReg) {
+      const maril::RegisterBank *Bank =
+          Target.description().findBank(Spec.Name);
+      RetOps.push_back(
+          MOperand::phys(PhysReg{Bank ? Bank->Id : -1, Spec.FixedIndex}));
+    }
+  }
+  emitRaw(MInstr(RetId, std::move(RetOps)));
+  Out.Blocks[ExitBlockId].Instrs = std::move(Buffer);
+  Buffer = {};
+
+  // Non-leaf functions save and restore the return address around the
+  // body now, before register allocation, so the %retaddr register is
+  // dead (and allocatable, paper Fig 2 allocates r[1:5] on TOYP) between
+  // the save and the restore. The stack adjustment itself is inserted
+  // after allocation by the frame finalizer.
+  if (Out.HasCalls && !Failed) {
+    PhysReg Ra = Target.runtime().ReturnAddress;
+    if (!Ra.isValid()) {
+      Diags.error(SourceLocation(),
+                  "function '" + Fn.Name +
+                      "' makes calls but the target declares no %retaddr");
+      return false;
+    }
+    const maril::RegisterBank &RaBank =
+        Target.description().Banks[Ra.Bank];
+    unsigned Align = RaBank.SizeBytes;
+    Out.FrameSize = (Out.FrameSize + Align - 1) / Align * Align;
+    int Slot = static_cast<int>(Out.FrameSize);
+    Out.FrameSize += RaBank.SizeBytes;
+    Out.RetAddrSlot = Slot;
+
+    int StoreId = Target.findStore(Ra.Bank);
+    int LoadId = Target.findLoad(Ra.Bank);
+    if (StoreId < 0 || LoadId < 0) {
+      Diags.error(SourceLocation(),
+                  "target cannot save/restore the return address");
+      return false;
+    }
+    PhysReg Sp = Target.runtime().StackPointer;
+    auto MemOps = [&](int InstrId) {
+      const TargetInstr &TI = Target.instr(InstrId);
+      std::vector<MOperand> Ops(TI.Desc->Operands.size());
+      int ValueIdx = -1;
+      if (TI.Pat.Kind == PatternKind::Value)
+        ValueIdx = static_cast<int>(TI.Pat.DestOperand) - 1;
+      else if (TI.Pat.StoredValue.K == PatternNode::Kind::OperandRef)
+        ValueIdx = static_cast<int>(TI.Pat.StoredValue.OperandIndex) - 1;
+      for (size_t I = 0; I < Ops.size(); ++I) {
+        switch (TI.Desc->Operands[I].Kind) {
+        case maril::OperandKind::Imm:
+          Ops[I] = MOperand::imm(Slot);
+          break;
+        case maril::OperandKind::RegClass:
+          Ops[I] = static_cast<int>(I) == ValueIdx ? MOperand::phys(Ra)
+                                                   : MOperand::phys(Sp);
+          break;
+        case maril::OperandKind::FixedReg: {
+          const maril::RegisterBank *Bank =
+              Target.description().findBank(TI.Desc->Operands[I].Name);
+          Ops[I] = MOperand::phys(
+              PhysReg{Bank ? Bank->Id : -1, TI.Desc->Operands[I].FixedIndex});
+          break;
+        }
+        case maril::OperandKind::Label:
+          break;
+        }
+      }
+      return Ops;
+    };
+    MBlock &Entry = Out.Blocks.front();
+    Entry.Instrs.insert(Entry.Instrs.begin(), MInstr(StoreId, MemOps(StoreId)));
+    MBlock &Exit = Out.Blocks[ExitBlockId];
+    Exit.Instrs.insert(Exit.Instrs.end() - 1, MInstr(LoadId, MemOps(LoadId)));
+  }
+
+  return !Failed;
+}
+
+void FunctionSelector::emitParamSetup() {
+  // Bind incoming scalar parameters (Cwvm %arg registers) to their temps'
+  // pseudo-registers. Positions are per-type (paper §3.2, TOYP Fig 2);
+  // on machines where integer and double argument registers overlay each
+  // other (TOYP: "either two integer parameters or one double"), mixed
+  // signatures that collide are diagnosed.
+  std::map<ValueType, int> PositionByType;
+  std::set<unsigned> UsedUnits;
+  for (int TempId : Fn.ParamTemps) {
+    ValueType Type = Fn.Temps[TempId].Type;
+    int Position = ++PositionByType[Type];
+    auto ArgReg = Target.runtime().argReg(Type, Position);
+    if (!ArgReg) {
+      Diags.error(SourceLocation(),
+                  "no argument register for parameter " +
+                      std::to_string(Position) + " of type " +
+                      typeName(Type) + " in '" + Fn.Name +
+                      "' (stack parameters are not modeled)");
+      Failed = true;
+      return;
+    }
+    for (unsigned Unit : Target.registers().unitsOf(*ArgReg))
+      if (!UsedUnits.insert(Unit).second) {
+        Diags.error(SourceLocation(),
+                    "argument registers of '" + Fn.Name +
+                        "' overlap: " + Target.regName(*ArgReg) +
+                        " is already carrying another parameter (this "
+                        "machine passes either integers or a double, not "
+                        "both)");
+        Failed = true;
+        return;
+      }
+    int Pseudo = pseudoForTemp(TempId);
+    emitCopy(MOperand::pseudo(Pseudo), MOperand::phys(*ArgReg),
+             bankForType(Type));
+  }
+}
+
+void FunctionSelector::selectBlock(il::BasicBlock &Block) {
+  for (Node *Root : Block.Roots) {
+    if (Failed)
+      return;
+    selectRoot(Root);
+  }
+}
+
+void FunctionSelector::selectRoot(Node *Root) {
+  switch (Root->Op) {
+  case Opcode::Store:
+    selectStore(Root);
+    return;
+  case Opcode::SetTemp:
+    selectSetTemp(Root);
+    return;
+  case Opcode::Br:
+    selectBranch(Root);
+    return;
+  case Opcode::Jump:
+    selectJump(Root->TargetBlock);
+    return;
+  case Opcode::Call:
+    selectCall(Root);
+    return;
+  case Opcode::Ret:
+    selectRet(Root);
+    return;
+  default:
+    Diags.error(Root->Loc, std::string("cannot select statement root '") +
+                               il::opcodeName(Root->Op) + "'");
+    Failed = true;
+    return;
+  }
+}
+
+void FunctionSelector::selectSetTemp(Node *Root) {
+  MOperand Dest = MOperand::pseudo(pseudoForTemp(Root->TempId));
+  Node *ValueNode = Root->kid(0);
+
+  // When the RHS is itself an already-register value, copy; otherwise ask
+  // the matched instruction to write the temp's pseudo directly.
+  std::optional<MOperand> Src = selectValue(ValueNode, &Dest);
+  if (!Src)
+    return;
+  if (!Src->sameRegAs(Dest))
+    emitCopy(Dest, *Src, bankForType(Fn.Temps[Root->TempId].Type));
+}
+
+MOperand FunctionSelector::blockLabel(int IlBlockId) {
+  auto It = IlBlockToMBlock.find(IlBlockId);
+  assert(It != IlBlockToMBlock.end() && "branch to unknown block");
+  return MOperand::label(It->second);
+}
+
+void FunctionSelector::selectJump(int TargetBlock) {
+  int JumpId = Target.findJump();
+  if (JumpId < 0) {
+    Diags.error(SourceLocation(), "target has no unconditional jump");
+    Failed = true;
+    return;
+  }
+  const TargetInstr &Instr = Target.instr(JumpId);
+  std::vector<MOperand> Ops(Instr.Desc->Operands.size());
+  Ops[Instr.Pat.TargetOperand - 1] = blockLabel(TargetBlock);
+  emitRaw(MInstr(JumpId, std::move(Ops)));
+}
+
+void FunctionSelector::selectStore(Node *Root) {
+  Node *Addr = canonicalAddress(Root->kid(0));
+  Node *Value = Root->kid(1);
+
+  for (int InstrId : Target.matchOrder()) {
+    const TargetInstr &Instr = Target.instr(InstrId);
+    if (Instr.Pat.Kind != PatternKind::Store)
+      continue;
+    if (Instr.Desc->HasTypeConstraint &&
+        Instr.Desc->TypeConstraint != Root->Type)
+      continue;
+    // The value pattern carries the expected stored type when derivable.
+    if (Instr.Pat.StoredValue.K == PatternNode::Kind::OperandRef &&
+        Instr.Pat.StoredValue.ExpectedType != ValueType::None &&
+        Instr.Pat.StoredValue.ExpectedType != Root->Type)
+      continue;
+
+    Bindings Bound;
+    size_t Mark = Buffer.size();
+    if (!tryMatch(Instr.Pat.Address, Addr, Bound) ||
+        !tryMatch(Instr.Pat.StoredValue, Value, Bound))
+      continue;
+    std::vector<MOperand> Ops;
+    MOperand DestOp;
+    if (!buildOperands(InstrId, Instr.Pat, Bound, nullptr, Ops, DestOp,
+                       nullptr)) {
+      Buffer.resize(Mark);
+      continue;
+    }
+    emitRaw(MInstr(InstrId, std::move(Ops)));
+    return;
+  }
+  Diags.error(Root->Loc, "no store instruction matches " + Root->str() +
+                             " on " + Target.name());
+  Failed = true;
+}
+
+void FunctionSelector::selectBranch(Node *Root) {
+  Node *Cond = Root->kid(0);
+  for (int InstrId : Target.matchOrder()) {
+    const TargetInstr &Instr = Target.instr(InstrId);
+    if (Instr.Pat.Kind != PatternKind::Branch)
+      continue;
+    if (Instr.Desc->HasTypeConstraint && !Cond->Kids.empty() &&
+        Instr.Desc->TypeConstraint != Cond->kid(0)->Type)
+      continue;
+    Bindings Bound;
+    size_t Mark = Buffer.size();
+    if (!tryMatch(Instr.Pat.Root, Cond, Bound))
+      continue;
+    std::vector<MOperand> Ops;
+    MOperand DestOp;
+    MOperand TargetOp = blockLabel(Root->TargetBlock);
+    if (!buildOperands(InstrId, Instr.Pat, Bound, nullptr, Ops, DestOp,
+                       &TargetOp)) {
+      Buffer.resize(Mark);
+      continue;
+    }
+    emitRaw(MInstr(InstrId, std::move(Ops)));
+    return;
+  }
+  Diags.error(Root->Loc, "no branch instruction matches " + Root->str() +
+                             " on " + Target.name());
+  Failed = true;
+}
+
+void FunctionSelector::selectCall(Node *CallNode) {
+  // Already selected through an earlier reference? (A call node is both a
+  // statement root and possibly a kid of a later expression.)
+  if (Pinned.count(CallNode))
+    return;
+
+  // Evaluate arguments, then move them into the Cwvm argument registers.
+  struct PendingArg {
+    MOperand Value;
+    PhysReg Reg;
+    int Bank;
+  };
+  std::vector<PendingArg> Args;
+  std::map<ValueType, int> PositionByType;
+  std::set<unsigned> UsedUnits;
+  for (Node *Arg : CallNode->Kids) {
+    ValueType Type = Arg->Type;
+    int Position = ++PositionByType[Type];
+    auto ArgReg = Target.runtime().argReg(Type, Position);
+    if (!ArgReg) {
+      Diags.error(CallNode->Loc,
+                  "no argument register for argument " +
+                      std::to_string(Position) + " of type " +
+                      typeName(Type) + " in call to '" + CallNode->Symbol +
+                      "' (stack arguments are not modeled)");
+      Failed = true;
+      return;
+    }
+    for (unsigned Unit : Target.registers().unitsOf(*ArgReg))
+      if (!UsedUnits.insert(Unit).second) {
+        Diags.error(CallNode->Loc,
+                    "argument registers overlap in call to '" +
+                        CallNode->Symbol + "' (this machine passes either "
+                        "integers or a double, not both)");
+        Failed = true;
+        return;
+      }
+    auto Value = selectValue(Arg);
+    if (!Value)
+      return;
+    Args.push_back({*Value, *ArgReg, bankForType(Type)});
+  }
+  // All argument values are computed before any argument register is
+  // written (an argument expression may itself contain a call).
+  for (const PendingArg &Arg : Args)
+    emitCopy(MOperand::phys(Arg.Reg), Arg.Value, Arg.Bank);
+
+  int CallId = Target.findCall();
+  if (CallId < 0) {
+    Diags.error(CallNode->Loc, "target has no call instruction");
+    Failed = true;
+    return;
+  }
+  const TargetInstr &Instr = Target.instr(CallId);
+  std::vector<MOperand> Ops(Instr.Desc->Operands.size());
+  Ops[Instr.Pat.TargetOperand - 1] = MOperand::symbol(CallNode->Symbol);
+  MInstr CallMI(CallId, std::move(Ops));
+  for (const PendingArg &Arg : Args)
+    CallMI.ImplicitUses.push_back(Arg.Reg);
+  emitRaw(std::move(CallMI));
+  Out.HasCalls = true;
+
+  // Capture the result into a pseudo immediately (the result register is
+  // caller-saved and the next call would clobber it).
+  if (CallNode->Type != ValueType::None && CallNode->RefCount > 0) {
+    auto ResultReg = Target.runtime().resultReg(CallNode->Type);
+    if (!ResultReg) {
+      Diags.error(CallNode->Loc, "no result register for type " +
+                                     std::string(typeName(CallNode->Type)));
+      Failed = true;
+      return;
+    }
+    int Bank = bankForType(CallNode->Type);
+    MOperand Result = makePseudo(Bank);
+    emitCopy(Result, MOperand::phys(*ResultReg), Bank);
+    Pinned[CallNode] = Result;
+  } else {
+    Pinned[CallNode] = MOperand::imm(0); // Mark handled.
+  }
+}
+
+void FunctionSelector::selectRet(Node *Root) {
+  if (!Root->Kids.empty() && Fn.ReturnType != ValueType::None) {
+    auto Value = selectValue(Root->kid(0));
+    if (!Value)
+      return;
+    auto ResultReg = Target.runtime().resultReg(Fn.ReturnType);
+    if (!ResultReg) {
+      Diags.error(Root->Loc, "no result register for type " +
+                                 std::string(typeName(Fn.ReturnType)));
+      Failed = true;
+      return;
+    }
+    emitCopy(MOperand::phys(*ResultReg), *Value, bankForType(Fn.ReturnType));
+  }
+  // Jump to the shared exit block holding the epilogue and return.
+  int JumpId = Target.findJump();
+  if (JumpId < 0) {
+    Diags.error(Root->Loc, "target has no unconditional jump for return");
+    Failed = true;
+    return;
+  }
+  const TargetInstr &Instr = Target.instr(JumpId);
+  std::vector<MOperand> Ops(Instr.Desc->Operands.size());
+  Ops[Instr.Pat.TargetOperand - 1] = MOperand::label(ExitBlockId);
+  emitRaw(MInstr(JumpId, std::move(Ops)));
+}
+
+//===----------------------------------------------------------------------===//
+// Value selection
+//===----------------------------------------------------------------------===//
+
+int FunctionSelector::pseudoForTemp(int TempId) {
+  auto It = TempToPseudo.find(TempId);
+  if (It != TempToPseudo.end())
+    return It->second;
+  const il::TempInfo &Temp = Fn.Temps[TempId];
+  int Pseudo = Out.addPseudo(bankForType(Temp.Type), Temp.Name, TempId);
+  TempToPseudo[TempId] = Pseudo;
+  return Pseudo;
+}
+
+int FunctionSelector::bankForType(ValueType Type) {
+  int Bank = Target.generalBankFor(Type);
+  if (Bank < 0) {
+    Diags.error(SourceLocation(), std::string("target ") + Target.name() +
+                                      " has no general registers for type " +
+                                      typeName(Type));
+    Failed = true;
+    return 0;
+  }
+  return Bank;
+}
+
+bool FunctionSelector::emitCopy(MOperand Dest, MOperand Src, int Bank) {
+  if (Dest.sameRegAs(Src))
+    return true;
+  int MoveId = Target.findMove(Bank);
+  if (MoveId >= 0) {
+    const TargetInstr &Instr = Target.instr(MoveId);
+    const Pattern &Pat = Instr.Pat;
+    std::vector<MOperand> Ops(Instr.Desc->Operands.size());
+    // Dest at Pat.DestOperand, source at the root operand ref; fixed
+    // registers filled from their specs.
+    for (size_t I = 0; I < Instr.Desc->Operands.size(); ++I) {
+      const maril::OperandSpec &Spec = Instr.Desc->Operands[I];
+      if (Spec.Kind == maril::OperandKind::FixedReg) {
+        const maril::RegisterBank *BankDecl =
+            Target.description().findBank(Spec.Name);
+        Ops[I] = MOperand::phys(
+            PhysReg{BankDecl ? BankDecl->Id : -1, Spec.FixedIndex});
+      }
+    }
+    Ops[Pat.DestOperand - 1] = Dest;
+    assert(Pat.Root.K == PatternNode::Kind::OperandRef &&
+           "move pattern must be $d = $s");
+    Ops[Pat.Root.OperandIndex - 1] = Src;
+    emitRaw(MInstr(MoveId, std::move(Ops)));
+    return true;
+  }
+
+  // No plain move: look for a *func escape move for this bank (e.g. *movd).
+  for (const TargetInstr &Instr : Target.instructions()) {
+    if (!Instr.IsFuncEscape || !Instr.IsMove)
+      continue;
+    if (Instr.Desc->Operands.size() != 2 ||
+        Instr.Desc->Operands[0].Kind != maril::OperandKind::RegClass)
+      continue;
+    const maril::RegisterBank *BankDecl =
+        Target.description().findBank(Instr.Desc->Operands[0].Name);
+    if (!BankDecl || BankDecl->Id != Bank)
+      continue;
+    const EscapeFn *Escape =
+        EscapeRegistry::instance().find(Target.name(), Instr.Desc->FuncEscape);
+    if (!Escape) {
+      Diags.error(SourceLocation(), "no escape body registered for '*" +
+                                        Instr.Desc->FuncEscape + "'");
+      Failed = true;
+      return false;
+    }
+    SelectorEscapeContext Ctx(*this, {Dest, Src});
+    (*Escape)(Ctx);
+    return !Failed;
+  }
+
+  Diags.error(SourceLocation(),
+              "target " + Target.name() +
+                  " has no move instruction for register bank " +
+                  Target.description().Banks[Bank].Name);
+  Failed = true;
+  return false;
+}
+
+Node *FunctionSelector::expandAddrLocal(Node *N) {
+  // AddrLocal(fo) + IntVal -> Add(Reg(sp), Const(offset)). Generated code
+  // addresses the frame sp-relative (DESIGN.md).
+  const il::FrameObject &Obj = Fn.FrameObjects[N->FrameIndex];
+  PhysReg Sp = Target.runtime().StackPointer;
+  Node *Base = Fn.makeReg(Sp.Bank, Sp.Index);
+  Node *Off = Fn.makeConst(ValueType::Int, Obj.Offset + N->IntVal);
+  return Fn.makeBinary(Opcode::Add, ValueType::Int, Base, Off);
+}
+
+Node *FunctionSelector::canonicalAddress(Node *Addr) {
+  if (Addr->Op == Opcode::AddrLocal)
+    Addr = expandAddrLocal(Addr);
+
+  // Put addresses into (base + displacement) shape so base+disp load/store
+  // patterns match: commute a constant to the right, wrap bare addresses
+  // with "+ 0", and reassociate (base + (x + c)) when profitable is left to
+  // the patterns themselves.
+  if (Addr->Op == Opcode::Add) {
+    Node *L = Addr->kid(0);
+    Node *R = Addr->kid(1);
+    if (L->Op == Opcode::AddrLocal || R->Op == Opcode::AddrLocal) {
+      // Expand nested frame addresses then retry.
+      Node *NewL = L->Op == Opcode::AddrLocal ? expandAddrLocal(L) : L;
+      Node *NewR = R->Op == Opcode::AddrLocal ? expandAddrLocal(R) : R;
+      Addr = Fn.makeBinary(Opcode::Add, ValueType::Int, NewL, NewR);
+      L = Addr->kid(0);
+      R = Addr->kid(1);
+    }
+    if (L->Op == Opcode::Const && R->Op != Opcode::Const) {
+      Addr = Fn.makeBinary(Opcode::Add, ValueType::Int, R, L);
+      L = Addr->kid(0);
+      R = Addr->kid(1);
+    }
+    // Base + index with no constant part: compute the sum into a register
+    // and use a zero displacement.
+    if (R->Op != Opcode::Const)
+      Addr = Fn.makeBinary(Opcode::Add, ValueType::Int, Addr,
+                           Fn.makeConst(ValueType::Int, 0));
+    return Addr;
+  }
+  // Bare register/array-address/symbol: base + 0.
+  return Fn.makeBinary(Opcode::Add, ValueType::Int, Addr,
+                       Fn.makeConst(ValueType::Int, 0));
+}
+
+std::optional<MOperand> FunctionSelector::selectValue(Node *N,
+                                                      MOperand *DestHint) {
+  // CSE: a node already materialized is reused (paper §2.1: IL nodes with
+  // more than one parent are forced into a register).
+  auto Pin = Pinned.find(N);
+  if (Pin != Pinned.end())
+    return Pin->second;
+
+  std::optional<MOperand> Result;
+  switch (N->Op) {
+  case Opcode::Temp:
+    Result = MOperand::pseudo(pseudoForTemp(N->TempId));
+    break;
+  case Opcode::Reg:
+    Result = MOperand::phys(PhysReg{N->RegBank, N->RegIndex});
+    break;
+  case Opcode::Const: {
+    // A constant equal to a hardwired register's value can use it directly
+    // (r0 on the bundled machines).
+    if (!isFloatingPoint(N->Type)) {
+      for (const RuntimeModel::HardReg &Hard : Target.runtime().HardRegs) {
+        if (Hard.Value == N->IntVal) {
+          Result = MOperand::phys(Hard.Reg);
+          break;
+        }
+      }
+    }
+    if (!Result)
+      Result = matchValue(N, DestHint);
+    break;
+  }
+  case Opcode::Call: {
+    selectCall(N);
+    if (Failed)
+      return std::nullopt;
+    auto It = Pinned.find(N);
+    if (It == Pinned.end() || !It->second.isReg()) {
+      Diags.error(N->Loc, "value of void call used");
+      Failed = true;
+      return std::nullopt;
+    }
+    return It->second;
+  }
+  case Opcode::AddrLocal:
+    return selectValue(expandAddrLocal(N), DestHint);
+  default:
+    Result = matchValue(N, DestHint);
+    break;
+  }
+
+  if (!Result)
+    return std::nullopt;
+  // Pin local common subexpressions to their register — but never to a
+  // caller-provided destination, whose value the caller may overwrite.
+  if (N->RefCount > 1 && Result->isReg() && !DestHint)
+    Pinned[N] = *Result;
+  return Result;
+}
+
+std::optional<MOperand> FunctionSelector::matchValue(Node *N,
+                                                     MOperand *DestHint) {
+  for (int InstrId : Target.matchOrder()) {
+    const TargetInstr &Instr = Target.instr(InstrId);
+    const Pattern &Pat = Instr.Pat;
+    if (Pat.Kind != PatternKind::Value)
+      continue;
+
+    // Root type filter.
+    if (Pat.Root.K == PatternNode::Kind::ILOp) {
+      if (Pat.Root.ExpectedType != ValueType::None &&
+          Pat.Root.ExpectedType != N->Type)
+        continue;
+    } else {
+      // OperandRef / Builtin / IntConst roots only match atoms, which
+      // prevents the matcher from recursing into itself (li/la forms).
+      if (N->Op != Opcode::Const && N->Op != Opcode::AddrGlobal)
+        continue;
+      // The destination bank must be able to hold the value's type.
+      if (Pat.DestOperand >= 1 && Pat.DestOperand <= Instr.Desc->Operands.size()) {
+        const maril::OperandSpec &DestSpec =
+            Instr.Desc->Operands[Pat.DestOperand - 1];
+        const maril::RegisterBank *Bank =
+            Target.description().findBank(DestSpec.Name);
+        if (Bank && !Bank->holdsType(N->Type == ValueType::None
+                                         ? ValueType::Int
+                                         : N->Type))
+          continue;
+      }
+    }
+
+    Bindings Bound;
+    size_t Mark = Buffer.size();
+    if (!tryMatch(Pat.Root, N, Bound))
+      continue;
+    std::vector<MOperand> Ops;
+    MOperand DestOp;
+    if (!buildOperands(InstrId, Pat, Bound, DestHint, Ops, DestOp, nullptr)) {
+      Buffer.resize(Mark);
+      continue;
+    }
+    if (Instr.IsFuncEscape) {
+      // Expand through the registered escape body (paper §3.4).
+      const EscapeFn *Escape = EscapeRegistry::instance().find(
+          Target.name(), Instr.Desc->FuncEscape);
+      if (!Escape) {
+        Diags.error(N->Loc, "no escape body registered for '*" +
+                                Instr.Desc->FuncEscape + "'");
+        Failed = true;
+        return std::nullopt;
+      }
+      SelectorEscapeContext Ctx(*this, std::move(Ops));
+      (*Escape)(Ctx);
+      if (Failed)
+        return std::nullopt;
+      return DestOp;
+    }
+    emitRaw(MInstr(InstrId, std::move(Ops)));
+    return DestOp;
+  }
+
+  Diags.error(N->Loc, "no instruction matches " + N->str() + " on " +
+                          Target.name());
+  Failed = true;
+  return std::nullopt;
+}
+
+bool FunctionSelector::tryMatch(const PatternNode &Pat, Node *N,
+                                Bindings &Bound) {
+  switch (Pat.K) {
+  case PatternNode::Kind::ILOp: {
+    // Loads/stores carried canonical addresses at the root; nested loads
+    // canonicalize here.
+    if (Pat.Op == Opcode::Load) {
+      if (N->Op != Opcode::Load)
+        return false;
+      if (Pat.ExpectedType != ValueType::None && N->Type != Pat.ExpectedType)
+        return false;
+      Node *Addr = canonicalAddress(N->kid(0));
+      return Pat.Kids.size() == 1 && tryMatch(Pat.Kids[0], Addr, Bound);
+    }
+    if (N->Op != Pat.Op || N->Kids.size() != Pat.Kids.size())
+      return false;
+    if (Pat.Op == Opcode::Cvt) {
+      if (Pat.ExpectedType != ValueType::None && N->Type != Pat.ExpectedType)
+        return false;
+    }
+    for (size_t I = 0; I < Pat.Kids.size(); ++I)
+      if (!tryMatch(Pat.Kids[I], N->kid(I), Bound))
+        return false;
+    return true;
+  }
+  case PatternNode::Kind::IntConst:
+    return N->Op == Opcode::Const && !isFloatingPoint(N->Type) &&
+           N->IntVal == Pat.Const;
+  case PatternNode::Kind::OperandRef:
+  case PatternNode::Kind::Builtin: {
+    // Legality depends on the operand's spec; defer the heavy work to
+    // materialization but verify matchability here so the matcher can
+    // fall through to the next pattern (paper §2.1).
+    // The spec lives on the instruction; the caller knows it — encode the
+    // check through Bound and validate in buildOperands? No: failing in
+    // buildOperands would emit partial code. Validate here using the
+    // binding record only; buildOperands re-reads the spec.
+    Binding B;
+    B.K = Binding::Kind::Subtree;
+    B.Tree = N;
+    auto [It, Inserted] = Bound.emplace(Pat.OperandIndex, B);
+    if (!Inserted)
+      return It->second.Tree == N;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::optional<MOperand>
+FunctionSelector::materializeBinding(const maril::OperandSpec &Spec,
+                                     const Binding &Bound) {
+  Node *N = Bound.Tree;
+  switch (Spec.Kind) {
+  case maril::OperandKind::Imm: {
+    const maril::ImmediateDef *Def =
+        Target.description().findImmediate(Spec.Name);
+    if (!Def)
+      return std::nullopt;
+    if (N->Op == Opcode::Const && !isFloatingPoint(N->Type)) {
+      if (!Def->contains(N->IntVal))
+        return std::nullopt;
+      return MOperand::imm(N->IntVal);
+    }
+    if (N->Op == Opcode::AddrGlobal) {
+      // Relocatable addresses match +address immediates (paper §3.1).
+      bool TakesAddress = false;
+      for (const std::string &Flag : Def->Flags)
+        if (Flag == "address")
+          TakesAddress = true;
+      if (!TakesAddress)
+        return std::nullopt;
+      return MOperand::symbol(N->Symbol, N->IntVal);
+    }
+    return std::nullopt;
+  }
+  case maril::OperandKind::Label:
+    return std::nullopt; // Labels bind through branch targets only.
+  case maril::OperandKind::FixedReg: {
+    const maril::RegisterBank *Bank = Target.description().findBank(Spec.Name);
+    if (!Bank)
+      return std::nullopt;
+    PhysReg Reg{Bank->Id, Spec.FixedIndex};
+    if (N->Op == Opcode::Reg && N->RegBank == Reg.Bank &&
+        N->RegIndex == Reg.Index)
+      return MOperand::phys(Reg);
+    if (N->Op == Opcode::Const && !isFloatingPoint(N->Type)) {
+      auto Hard = Target.runtime().hardValue(Reg);
+      if (Hard && *Hard == N->IntVal)
+        return MOperand::phys(Reg);
+    }
+    return std::nullopt;
+  }
+  case maril::OperandKind::RegClass: {
+    const maril::RegisterBank *Bank = Target.description().findBank(Spec.Name);
+    if (!Bank)
+      return std::nullopt;
+    ValueType Type = N->Type == ValueType::None ? ValueType::Int : N->Type;
+    if (!Bank->holdsType(Type))
+      return std::nullopt;
+    // Recursively materialize the subtree into a register.
+    auto Sub = selectValue(N);
+    if (!Sub)
+      return std::nullopt;
+    // A physical/hard register from another bank cannot satisfy this
+    // operand.
+    if (Sub->K == MOperand::Kind::Phys && Sub->Phys.Bank != Bank->Id)
+      return std::nullopt;
+    if (Sub->K == MOperand::Kind::Pseudo &&
+        Out.Pseudos[Sub->PseudoId].Bank != Bank->Id)
+      return std::nullopt;
+    return Sub;
+  }
+  }
+  return std::nullopt;
+}
+
+bool FunctionSelector::buildOperands(int InstrId, const Pattern &Pat,
+                                     const Bindings &Bound,
+                                     MOperand *DestHint,
+                                     std::vector<MOperand> &Ops,
+                                     MOperand &DestOp, MOperand *TargetOp) {
+  const TargetInstr &Instr = Target.instr(InstrId);
+  const std::vector<maril::OperandSpec> &Specs = Instr.Desc->Operands;
+  Ops.assign(Specs.size(), MOperand());
+  std::vector<bool> Filled(Specs.size(), false);
+
+  // Two passes: first the cheap, retryable operand kinds (immediates and
+  // fixed registers, whose range/value checks are how the matcher falls
+  // through to the next pattern), then register-class operands, whose
+  // materialization recurses and emits code.
+  for (const auto &[Index, Bind] : Bound) {
+    if (Index == 0 || Index > Specs.size())
+      return false;
+    if (Specs[Index - 1].Kind == maril::OperandKind::RegClass)
+      continue;
+    auto Op = materializeBinding(Specs[Index - 1], Bind);
+    if (!Op)
+      return false;
+    Ops[Index - 1] = *Op;
+    Filled[Index - 1] = true;
+  }
+  for (const auto &[Index, Bind] : Bound) {
+    if (Specs[Index - 1].Kind != maril::OperandKind::RegClass)
+      continue;
+    auto Op = materializeBinding(Specs[Index - 1], Bind);
+    if (!Op)
+      return false;
+    Ops[Index - 1] = *Op;
+    Filled[Index - 1] = true;
+  }
+
+  // High/low wrapping of the bound constant.
+  std::function<void(const PatternNode &)> WrapBuiltins =
+      [&](const PatternNode &PN) {
+        if (PN.K == PatternNode::Kind::Builtin && PN.OperandIndex >= 1 &&
+            PN.OperandIndex <= Ops.size() &&
+            Ops[PN.OperandIndex - 1].K == MOperand::Kind::Imm) {
+          int64_t V = Ops[PN.OperandIndex - 1].Imm;
+          Ops[PN.OperandIndex - 1] = MOperand::imm(
+              PN.Fn == maril::BuiltinFn::High ? ((V >> 16) & 0xffff)
+                                              : (V & 0xffff));
+        }
+        for (const PatternNode &Kid : PN.Kids)
+          WrapBuiltins(Kid);
+      };
+  WrapBuiltins(Pat.Root);
+
+  // Fill fixed registers and the destination / target operands.
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const maril::OperandSpec &Spec = Specs[I];
+    bool IsDest = Pat.Kind == PatternKind::Value && Pat.DestOperand == I + 1;
+    bool IsTarget = Pat.TargetOperand == I + 1 && TargetOp;
+    if (IsTarget) {
+      Ops[I] = *TargetOp;
+      continue;
+    }
+    if (IsDest) {
+      const maril::RegisterBank *Bank =
+          Target.description().findBank(Spec.Name);
+      if (Spec.Kind == maril::OperandKind::FixedReg) {
+        DestOp = MOperand::phys(PhysReg{Bank ? Bank->Id : -1, Spec.FixedIndex});
+      } else if (DestHint && DestHint->isReg() &&
+                 (DestHint->K != MOperand::Kind::Pseudo ||
+                  (Bank && Out.Pseudos[DestHint->PseudoId].Bank == Bank->Id))) {
+        DestOp = *DestHint;
+      } else {
+        DestOp = makePseudo(Bank ? Bank->Id : 0);
+      }
+      Ops[I] = DestOp;
+      continue;
+    }
+    if (Filled[I])
+      continue; // Already bound.
+    if (Spec.Kind == maril::OperandKind::FixedReg) {
+      const maril::RegisterBank *Bank =
+          Target.description().findBank(Spec.Name);
+      Ops[I] = MOperand::phys(PhysReg{Bank ? Bank->Id : -1, Spec.FixedIndex});
+      continue;
+    }
+    // Operand neither bound nor fixed nor dest: unmatched — reject.
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool select::selectFunction(il::Function &Fn, const TargetInfo &Target,
+                            MModule &MMod, DiagnosticEngine &Diags,
+                            const SelectorOptions &Opts) {
+  if (Opts.RunGlue)
+    applyGlueTransforms(Fn, Target);
+  MMod.Functions.emplace_back();
+  FunctionSelector Selector(Fn, Target, MMod.Functions.back(), Diags);
+  return Selector.run();
+}
+
+std::optional<MModule> select::selectModule(il::Module &Mod,
+                                            const TargetInfo &Target,
+                                            DiagnosticEngine &Diags,
+                                            const SelectorOptions &Opts) {
+  registerStandardEscapes();
+  MModule Out;
+  Out.Name = Mod.Name;
+  for (const il::GlobalVariable &G : Mod.Globals) {
+    MGlobal MG;
+    MG.Name = G.Name;
+    MG.SizeBytes = G.SizeBytes;
+    MG.Align = G.Align;
+    MG.Init = G.Init;
+    MG.ElementType = G.ElementType;
+    Out.Globals.push_back(std::move(MG));
+  }
+  for (std::unique_ptr<il::Function> &Fn : Mod.Functions)
+    if (!selectFunction(*Fn, Target, Out, Diags, Opts))
+      return std::nullopt;
+  return Out;
+}

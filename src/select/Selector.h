@@ -1,0 +1,60 @@
+//===- Selector.h - Instruction selection ---------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction selection (paper §2.1): a recursive-descent brute-force tree
+/// pattern matcher over the ordered pattern list derived from the machine
+/// description. The matcher examines patterns in description order,
+/// selecting the first that matches and then matching the subtrees; if a
+/// subtree cannot be matched it proceeds to the next pattern. Code is
+/// emitted by a left-to-right bottom-up walk.
+///
+/// Pseudo-registers are created for all expression temporaries; user
+/// variables and local common subexpressions (multi-parent DAG nodes) are
+/// also given pseudo-registers. Calls, returns and parameter binding follow
+/// the description's Cwvm runtime model. *func escapes expand through the
+/// EscapeRegistry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SELECT_SELECTOR_H
+#define MARION_SELECT_SELECTOR_H
+
+#include "il/IL.h"
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <optional>
+
+namespace marion {
+namespace select {
+
+/// Options controlling selection.
+struct SelectorOptions {
+  /// Apply %glue transformations before matching (on by default; off is
+  /// used by tests that pre-transform).
+  bool RunGlue = true;
+};
+
+/// Selects instructions for \p Mod against \p Target. Returns the machine
+/// module with all register operands as pseudo-registers (physical ones
+/// only where the calling convention demands). Returns nullopt and reports
+/// diagnostics when some IL construct cannot be matched.
+std::optional<target::MModule>
+selectModule(il::Module &Mod, const target::TargetInfo &Target,
+             DiagnosticEngine &Diags, const SelectorOptions &Opts = {});
+
+/// Selects a single function (exposed for tests); \p MMod receives the
+/// result as its last function.
+bool selectFunction(il::Function &Fn, const target::TargetInfo &Target,
+                    target::MModule &MMod, DiagnosticEngine &Diags,
+                    const SelectorOptions &Opts = {});
+
+} // namespace select
+} // namespace marion
+
+#endif // MARION_SELECT_SELECTOR_H

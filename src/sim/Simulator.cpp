@@ -1,0 +1,865 @@
+//===- Simulator.cpp ------------------------------------------------------==//
+
+#include "sim/Simulator.h"
+
+#include "maril/Expr.h"
+#include "target/DefUse.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace marion;
+using namespace marion::sim;
+using namespace marion::target;
+using maril::Expr;
+using maril::ExprKind;
+using maril::Stmt;
+using maril::StmtKind;
+
+namespace {
+
+/// A dynamically typed value flowing through semantic expressions.
+struct SimValue {
+  enum class Kind { Int, Float, Double } K = Kind::Int;
+  int64_t I = 0;
+  double D = 0;
+
+  static SimValue ofInt(int64_t V) {
+    SimValue Out;
+    Out.K = Kind::Int;
+    // 32-bit targets: keep integer values in 32-bit signed range.
+    Out.I = static_cast<int32_t>(V);
+    return Out;
+  }
+  static SimValue ofDouble(double V) {
+    SimValue Out;
+    Out.K = Kind::Double;
+    Out.D = V;
+    return Out;
+  }
+  static SimValue ofFloat(double V) {
+    SimValue Out;
+    Out.K = Kind::Float;
+    Out.D = static_cast<float>(V);
+    return Out;
+  }
+
+  bool isFloating() const { return K != Kind::Int; }
+  double asDouble() const { return isFloating() ? D : static_cast<double>(I); }
+  int64_t asInt() const {
+    return isFloating() ? static_cast<int64_t>(D) : I;
+  }
+  bool nonZero() const { return isFloating() ? D != 0 : I != 0; }
+};
+
+class Machine {
+public:
+  Machine(const MModule &Mod, const TargetInfo &Target,
+          const SimOptions &Opts)
+      : Mod(Mod), Target(Target), Opts(Opts) {
+    Memory.assign(Opts.MemoryBytes, 0);
+    Units.assign(Target.registers().numUnits(), 0);
+    UnitReadyCycle.assign(Units.size(), 0);
+    UnitWriter.assign(Units.size(), nullptr);
+    UnitWriteIssue.assign(Units.size(), 0);
+    layoutGlobals();
+  }
+
+  SimResult run(const std::string &Entry);
+
+private:
+  struct Frame {
+    const MFunction *Fn = nullptr;
+    int Block = 0;
+    size_t Instr = 0;
+  };
+
+  // Register file over units (raw 32- or 64-bit words; unit width is the
+  // underlying bank's register size).
+  uint64_t readUnitsRaw(PhysReg Reg) const;
+  void writeUnitsRaw(PhysReg Reg, uint64_t Raw);
+  SimValue readReg(PhysReg Reg) const;
+  void writeReg(PhysReg Reg, SimValue Value);
+  ValueType bankType(int Bank) const {
+    const maril::RegisterBank &B = Target.description().Banks[Bank];
+    return B.Types.size() == 1 ? B.Types[0] : ValueType::Int;
+  }
+
+  // Memory.
+  bool memCheck(int64_t Addr, unsigned Width);
+  uint64_t memRead(int64_t Addr, unsigned Width);
+  void memWrite(int64_t Addr, uint64_t Raw, unsigned Width);
+
+  void layoutGlobals();
+
+  // Execution.
+  bool step(Frame &F, std::vector<Frame> &Stack, bool &Finished);
+  SimValue evalExpr(const Expr &E, const MInstr &MI, ValueType MemType);
+  SimValue operandValue(const MOperand &Op);
+  unsigned accessWidth(const TargetInstr &TI, const Stmt &S) const;
+
+  // Timing.
+  void timeInstr(const MInstr &MI, const TargetInstr &TI, bool MemAccess,
+                 int64_t MemAddr, unsigned MemWidth);
+  void timeBranchTaken(const TargetInstr &TI);
+
+  const MModule &Mod;
+  const TargetInfo &Target;
+  SimOptions Opts;
+
+  std::vector<uint8_t> Memory;
+  std::vector<uint64_t> Units;
+  std::map<std::string, int64_t> GlobalAddr;
+  int64_t GlobalTop = 0x1000;
+
+  // Call/return tokens.
+  struct ReturnPoint {
+    int Block;
+    size_t Instr;
+    const MFunction *Fn;
+  };
+  std::vector<ReturnPoint> ReturnPoints;
+
+  // Timing state.
+  uint64_t CurrentCycle = 0;
+  std::vector<uint64_t> UnitReadyCycle;
+  std::vector<const MInstr *> UnitWriter; ///< Producing instruction.
+  std::vector<uint64_t> UnitWriteIssue;   ///< Its issue cycle.
+  std::map<int, uint64_t> TemporalReady; ///< temporal bank -> ready cycle.
+  std::vector<ResourceSet> Busy; ///< Ring-free absolute resource timeline.
+  uint64_t BusyBase = 0;
+  uint64_t MemReadyCycle = 0;
+
+  // Cache.
+  std::vector<int64_t> CacheTags;
+  CacheStats CacheCounters;
+
+  SimResult Result;
+  std::string RunError;
+};
+
+void Machine::layoutGlobals() {
+  for (const MGlobal &G : Mod.Globals) {
+    unsigned Align = std::max(4u, G.Align);
+    GlobalTop = (GlobalTop + Align - 1) / Align * Align;
+    GlobalAddr[G.Name] = GlobalTop;
+    // Initializers.
+    unsigned Elem = sizeOf(G.ElementType);
+    for (size_t I = 0; I < G.Init.size(); ++I) {
+      int64_t Addr = GlobalTop + static_cast<int64_t>(I * Elem);
+      if (Addr + Elem > static_cast<int64_t>(Memory.size()))
+        break;
+      uint64_t Raw = 0;
+      if (G.ElementType == ValueType::Double) {
+        double V = G.Init[I];
+        std::memcpy(&Raw, &V, 8);
+      } else if (G.ElementType == ValueType::Float) {
+        float V = static_cast<float>(G.Init[I]);
+        std::memcpy(&Raw, &V, 4);
+      } else {
+        Raw = static_cast<uint64_t>(static_cast<int64_t>(G.Init[I]));
+      }
+      std::memcpy(&Memory[Addr], &Raw, Elem);
+    }
+    GlobalTop += G.SizeBytes ? G.SizeBytes : 4;
+  }
+}
+
+uint64_t Machine::readUnitsRaw(PhysReg Reg) const {
+  const std::vector<unsigned> &U = Target.registers().unitsOf(Reg);
+  if (U.size() == 1)
+    return Units[U[0]];
+  // Multi-unit register: unit 0 is the low word.
+  uint64_t Raw = 0;
+  for (size_t I = 0; I < U.size() && I < 2; ++I)
+    Raw |= (Units[U[I]] & 0xffffffffull) << (32 * I);
+  return Raw;
+}
+
+void Machine::writeUnitsRaw(PhysReg Reg, uint64_t Raw) {
+  const std::vector<unsigned> &U = Target.registers().unitsOf(Reg);
+  if (U.size() == 1) {
+    Units[U[0]] = Raw;
+    return;
+  }
+  for (size_t I = 0; I < U.size() && I < 2; ++I)
+    Units[U[I]] = (Raw >> (32 * I)) & 0xffffffffull;
+}
+
+SimValue Machine::readReg(PhysReg Reg) const {
+  uint64_t Raw = readUnitsRaw(Reg);
+  switch (bankType(Reg.Bank)) {
+  case ValueType::Double: {
+    double V;
+    std::memcpy(&V, &Raw, 8);
+    return SimValue::ofDouble(V);
+  }
+  case ValueType::Float: {
+    float V;
+    uint32_t Bits = static_cast<uint32_t>(Raw);
+    std::memcpy(&V, &Bits, 4);
+    return SimValue::ofFloat(V);
+  }
+  default:
+    return SimValue::ofInt(static_cast<int32_t>(Raw));
+  }
+}
+
+void Machine::writeReg(PhysReg Reg, SimValue Value) {
+  // Hardwired registers ignore writes (r0 on the bundled machines).
+  if (Target.runtime().hardValue(Reg))
+    return;
+  uint64_t Raw = 0;
+  switch (bankType(Reg.Bank)) {
+  case ValueType::Double: {
+    double V = Value.asDouble();
+    std::memcpy(&Raw, &V, 8);
+    break;
+  }
+  case ValueType::Float: {
+    float V = static_cast<float>(Value.asDouble());
+    uint32_t Bits;
+    std::memcpy(&Bits, &V, 4);
+    Raw = Bits;
+    break;
+  }
+  default:
+    Raw = static_cast<uint64_t>(Value.asInt()) & 0xffffffffull;
+    break;
+  }
+  writeUnitsRaw(Reg, Raw);
+}
+
+bool Machine::memCheck(int64_t Addr, unsigned Width) {
+  if (Addr < 0 || Addr + Width > static_cast<int64_t>(Memory.size())) {
+    RunError = "memory access out of bounds at address " +
+               std::to_string(Addr);
+    return false;
+  }
+  return true;
+}
+
+uint64_t Machine::memRead(int64_t Addr, unsigned Width) {
+  if (!memCheck(Addr, Width))
+    return 0;
+  uint64_t Raw = 0;
+  std::memcpy(&Raw, &Memory[Addr], Width);
+  return Raw;
+}
+
+void Machine::memWrite(int64_t Addr, uint64_t Raw, unsigned Width) {
+  if (!memCheck(Addr, Width))
+    return;
+  if (std::getenv("MARION_SIM_TRACE"))
+    std::fprintf(stderr, "wr addr=%lld w=%u raw=%016llx\n",
+                 (long long)Addr, Width, (unsigned long long)Raw);
+  std::memcpy(&Memory[Addr], &Raw, Width);
+}
+
+SimValue Machine::operandValue(const MOperand &Op) {
+  switch (Op.K) {
+  case MOperand::Kind::Phys: {
+    PhysReg Reg = Op.Phys;
+    if (Op.SubReg >= 0) {
+      auto Sub =
+          Target.registers().subReg(Target.description(), Reg, Op.SubReg);
+      if (Sub)
+        Reg = *Sub;
+    }
+    auto Hard = Target.runtime().hardValue(Reg);
+    if (Hard)
+      return SimValue::ofInt(*Hard);
+    return readReg(Reg);
+  }
+  case MOperand::Kind::Imm:
+    return SimValue::ofInt(Op.Imm);
+  case MOperand::Kind::Symbol: {
+    auto It = GlobalAddr.find(Op.Sym);
+    if (It == GlobalAddr.end()) {
+      RunError = "reference to unknown symbol '" + Op.Sym + "'";
+      return SimValue::ofInt(0);
+    }
+    return SimValue::ofInt(It->second + Op.Offset);
+  }
+  case MOperand::Kind::Label:
+    return SimValue::ofInt(Op.BlockId);
+  case MOperand::Kind::Pseudo:
+    RunError = "simulator executed unallocated code (pseudo-register)";
+    return SimValue::ofInt(0);
+  }
+  return SimValue::ofInt(0);
+}
+
+unsigned Machine::accessWidth(const TargetInstr &TI, const Stmt &S) const {
+  if (TI.Desc->HasTypeConstraint)
+    return std::max(4u, sizeOf(TI.Desc->TypeConstraint));
+  // Fall back to the bank size of the moved register operand.
+  auto WidthOfOperand = [&](const Expr &E) -> unsigned {
+    if (E.kind() != ExprKind::Operand)
+      return 0;
+    unsigned Index = E.operandIndex();
+    if (Index < 1 || Index > TI.Desc->Operands.size())
+      return 0;
+    const maril::OperandSpec &Spec = TI.Desc->Operands[Index - 1];
+    if (Spec.Kind != maril::OperandKind::RegClass &&
+        Spec.Kind != maril::OperandKind::FixedReg)
+      return 0;
+    const maril::RegisterBank *Bank =
+        Target.description().findBank(Spec.Name);
+    return Bank ? Bank->SizeBytes : 0;
+  };
+  unsigned Width = 0;
+  if (S.Lhs)
+    Width = WidthOfOperand(*S.Lhs);
+  if (!Width && S.Value)
+    Width = WidthOfOperand(*S.Value);
+  return Width ? Width : 4;
+}
+
+SimValue Machine::evalExpr(const Expr &E, const MInstr &MI,
+                           ValueType MemType) {
+  switch (E.kind()) {
+  case ExprKind::Operand: {
+    unsigned Index = E.operandIndex();
+    if (Index < 1 || Index > MI.Ops.size()) {
+      RunError = "operand reference out of range";
+      return SimValue::ofInt(0);
+    }
+    return operandValue(MI.Ops[Index - 1]);
+  }
+  case ExprKind::IntConst:
+    return SimValue::ofInt(E.intValue());
+  case ExprKind::FloatConst:
+    return SimValue::ofDouble(E.floatValue());
+  case ExprKind::NamedReg: {
+    const maril::RegisterBank *Bank =
+        Target.description().findBank(E.regName());
+    if (!Bank) {
+      RunError = "unknown temporal register";
+      return SimValue::ofInt(0);
+    }
+    return readReg(PhysReg{Bank->Id, 0});
+  }
+  case ExprKind::MemRef: {
+    SimValue Addr = evalExpr(E.memAddress(), MI, ValueType::Int);
+    unsigned Width = std::max(4u, sizeOf(MemType));
+    uint64_t Raw = memRead(Addr.asInt(), Width);
+    if (MemType == ValueType::Double) {
+      double V;
+      std::memcpy(&V, &Raw, 8);
+      return SimValue::ofDouble(V);
+    }
+    if (MemType == ValueType::Float) {
+      float V;
+      uint32_t Bits = static_cast<uint32_t>(Raw);
+      std::memcpy(&V, &Bits, 4);
+      return SimValue::ofFloat(V);
+    }
+    return SimValue::ofInt(static_cast<int32_t>(Raw));
+  }
+  case ExprKind::Binary: {
+    SimValue L = evalExpr(E.lhs(), MI, MemType);
+    SimValue R = evalExpr(E.rhs(), MI, MemType);
+    using maril::BinaryOp;
+    BinaryOp Op = E.binaryOp();
+    bool Floating = L.isFloating() || R.isFloating();
+    if (Floating) {
+      double A = L.asDouble(), B = R.asDouble();
+      switch (Op) {
+      case BinaryOp::Add:
+        return SimValue::ofDouble(A + B);
+      case BinaryOp::Sub:
+        return SimValue::ofDouble(A - B);
+      case BinaryOp::Mul:
+        return SimValue::ofDouble(A * B);
+      case BinaryOp::Div:
+        return SimValue::ofDouble(B != 0 ? A / B : 0);
+      case BinaryOp::Lt:
+        return SimValue::ofInt(A < B);
+      case BinaryOp::Le:
+        return SimValue::ofInt(A <= B);
+      case BinaryOp::Gt:
+        return SimValue::ofInt(A > B);
+      case BinaryOp::Ge:
+        return SimValue::ofInt(A >= B);
+      case BinaryOp::Eq:
+        return SimValue::ofInt(A == B);
+      case BinaryOp::Ne:
+        return SimValue::ofInt(A != B);
+      case BinaryOp::Cmp:
+        return SimValue::ofInt(A < B ? -1 : (A > B ? 1 : 0));
+      default:
+        RunError = "integer operator applied to floating values";
+        return SimValue::ofInt(0);
+      }
+    }
+    int64_t A = L.asInt(), B = R.asInt();
+    switch (Op) {
+    case BinaryOp::Add:
+      return SimValue::ofInt(A + B);
+    case BinaryOp::Sub:
+      return SimValue::ofInt(A - B);
+    case BinaryOp::Mul:
+      return SimValue::ofInt(A * B);
+    case BinaryOp::Div:
+      return SimValue::ofInt(B != 0 ? A / B : 0);
+    case BinaryOp::Rem:
+      return SimValue::ofInt(B != 0 ? A % B : 0);
+    case BinaryOp::And:
+      return SimValue::ofInt(A & B);
+    case BinaryOp::Or:
+      return SimValue::ofInt(A | B);
+    case BinaryOp::Xor:
+      return SimValue::ofInt(A ^ B);
+    case BinaryOp::Shl:
+      return SimValue::ofInt(A << (B & 31));
+    case BinaryOp::Shr:
+      return SimValue::ofInt(A >> (B & 31));
+    case BinaryOp::Lt:
+      return SimValue::ofInt(A < B);
+    case BinaryOp::Le:
+      return SimValue::ofInt(A <= B);
+    case BinaryOp::Gt:
+      return SimValue::ofInt(A > B);
+    case BinaryOp::Ge:
+      return SimValue::ofInt(A >= B);
+    case BinaryOp::Eq:
+      return SimValue::ofInt(A == B);
+    case BinaryOp::Ne:
+      return SimValue::ofInt(A != B);
+    case BinaryOp::Cmp:
+      return SimValue::ofInt(A < B ? -1 : (A > B ? 1 : 0));
+    }
+    return SimValue::ofInt(0);
+  }
+  case ExprKind::Unary: {
+    SimValue V = evalExpr(E.sub(), MI, MemType);
+    switch (E.unaryOp()) {
+    case maril::UnaryOp::Neg:
+      return V.isFloating() ? SimValue::ofDouble(-V.asDouble())
+                            : SimValue::ofInt(-V.asInt());
+    case maril::UnaryOp::BitNot:
+      return SimValue::ofInt(~V.asInt());
+    case maril::UnaryOp::LogNot:
+      return SimValue::ofInt(!V.nonZero());
+    }
+    return V;
+  }
+  case ExprKind::Cast: {
+    SimValue V = evalExpr(E.sub(), MI, MemType);
+    switch (E.castType()) {
+    case ValueType::Int:
+      return SimValue::ofInt(V.asInt());
+    case ValueType::Float:
+      return SimValue::ofFloat(V.asDouble());
+    case ValueType::Double:
+      return SimValue::ofDouble(V.asDouble());
+    case ValueType::None:
+      return V;
+    }
+    return V;
+  }
+  case ExprKind::Builtin: {
+    if (E.builtinArgs().empty())
+      return SimValue::ofInt(0);
+    SimValue V = evalExpr(*E.builtinArgs()[0], MI, MemType);
+    switch (E.builtinFn()) {
+    case maril::BuiltinFn::High:
+      return SimValue::ofInt((V.asInt() >> 16) & 0xffff);
+    case maril::BuiltinFn::Low:
+      return SimValue::ofInt(V.asInt() & 0xffff);
+    case maril::BuiltinFn::Eval:
+      return V;
+    }
+    return V;
+  }
+  }
+  return SimValue::ofInt(0);
+}
+
+void Machine::timeBranchTaken(const TargetInstr &TI) {
+  int Slots = TI.slots();
+  if (Slots < 0)
+    Slots = -Slots;
+  uint64_t Delay = std::max<uint64_t>(1 + Slots, 1);
+  CurrentCycle += Delay;
+}
+
+void Machine::timeInstr(const MInstr &MI, const TargetInstr &TI,
+                        bool MemAccess, int64_t MemAddr, unsigned MemWidth) {
+  if (!Opts.Timing)
+    return;
+
+  // Earliest issue: in order, after operand readiness (aux latencies apply
+  // per consumer).
+  uint64_t Issue = CurrentCycle;
+  InstrDefsUses DU = defsUses(MI, Target, ValueType::None);
+  for (RegKey Key : DU.Uses) {
+    if (isPseudoKey(Key))
+      continue; // Allocated code has no pseudo keys except via units.
+    unsigned Unit = unitOf(Key);
+    if (Unit < UnitReadyCycle.size()) {
+      uint64_t Ready = UnitReadyCycle[Unit];
+      // %aux overrides: the producer's latency can depend on this consumer
+      // (paper §3.3, e.g. fadd.d feeding st.d).
+      if (UnitWriter[Unit])
+        Ready = std::max(Ready,
+                         UnitWriteIssue[Unit] +
+                             static_cast<uint64_t>(std::max(
+                                 1, Target.latencyBetween(*UnitWriter[Unit],
+                                                          MI))));
+      Issue = std::max(Issue, Ready);
+    }
+  }
+  for (int Bank : TI.TemporalReads) {
+    auto It = TemporalReady.find(Bank);
+    if (It != TemporalReady.end())
+      Issue = std::max(Issue, It->second);
+  }
+  if (TI.ReadsMem || TI.WritesMem)
+    Issue = std::max(Issue, MemReadyCycle);
+
+  // Structural hazards against in-flight instructions.
+  auto Fits = [&](uint64_t At) {
+    for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
+      uint64_t Abs = At + C;
+      if (Abs < BusyBase)
+        continue;
+      size_t Index = static_cast<size_t>(Abs - BusyBase);
+      if (Index < Busy.size() && Busy[Index].intersects(TI.ResourceVec[C]))
+        return false;
+    }
+    return true;
+  };
+  while (!Fits(Issue))
+    ++Issue;
+  for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
+    uint64_t Abs = Issue + C;
+    if (Abs < BusyBase)
+      continue;
+    size_t Index = static_cast<size_t>(Abs - BusyBase);
+    if (Busy.size() <= Index)
+      Busy.resize(Index + 1);
+    Busy[Index] |= TI.ResourceVec[C];
+  }
+  // Trim the timeline occasionally.
+  if (Issue > BusyBase + 512) {
+    size_t Drop = static_cast<size_t>(Issue - BusyBase) - 256;
+    if (Drop < Busy.size())
+      Busy.erase(Busy.begin(), Busy.begin() + Drop);
+    else
+      Busy.clear();
+    BusyBase += Drop;
+  }
+
+  // Results ready after the instruction's latency.
+  uint64_t Latency = static_cast<uint64_t>(std::max(TI.latency(), 1));
+  uint64_t Ready = Issue + Latency;
+
+  // Cache model: a miss delays the result and holds the memory port.
+  if (MemAccess && Opts.Cache.Enabled) {
+    ++CacheCounters.Accesses;
+    unsigned LineBytes = std::max(4u, Opts.Cache.LineBytes);
+    int64_t Line = MemAddr / LineBytes;
+    size_t Index =
+        static_cast<size_t>(Line % std::max(1u, Opts.Cache.Lines));
+    if (CacheTags.size() != Opts.Cache.Lines)
+      CacheTags.assign(Opts.Cache.Lines, -1);
+    if (CacheTags[Index] != Line) {
+      ++CacheCounters.Misses;
+      CacheTags[Index] = Line;
+      Ready += Opts.Cache.MissPenalty;
+      MemReadyCycle = std::max(MemReadyCycle, Ready);
+    }
+    (void)MemWidth;
+  }
+
+  for (RegKey Key : DU.Defs) {
+    if (isPseudoKey(Key))
+      continue;
+    unsigned Unit = unitOf(Key);
+    if (Unit < UnitReadyCycle.size()) {
+      UnitReadyCycle[Unit] = Ready;
+      UnitWriter[Unit] = &MI;
+      UnitWriteIssue[Unit] = Issue;
+    }
+  }
+  for (int Bank : TI.TemporalWrites)
+    TemporalReady[Bank] = Ready;
+
+  CurrentCycle = Issue; // Later instructions may share this cycle.
+}
+
+bool Machine::step(Frame &F, std::vector<Frame> &Stack, bool &Finished) {
+  const MFunction &Fn = *F.Fn;
+  // Fallthrough past the last instruction of a block.
+  while (F.Instr >= Fn.Blocks[F.Block].Instrs.size()) {
+    if (F.Block + 1 >= static_cast<int>(Fn.Blocks.size())) {
+      RunError = "fell off the end of function '" + Fn.Name + "'";
+      return false;
+    }
+    ++F.Block;
+    F.Instr = 0;
+    ++Result.BlockCounts[{Fn.Name, F.Block}];
+  }
+
+  const MInstr &MI = Fn.Blocks[F.Block].Instrs[F.Instr];
+  const TargetInstr &TI = Target.instr(MI.InstrId);
+  ++Result.Instructions;
+  if (TI.Desc->Mnemonic == "nop")
+    ++Result.Nops;
+
+  // Evaluate (reads) then commit (writes) per statement; within one issue
+  // group the scheduled order preserves the code thread, so sequential
+  // interpretation is exact (see header comment).
+  int64_t MemAddr = 0;
+  unsigned MemWidth = 0;
+  bool MemAccess = false;
+  int NextBlock = -1;
+  bool DoRet = false;
+  bool DoCall = false;
+  std::string CallTarget;
+
+  for (const Stmt &S : TI.Desc->Body) {
+    switch (S.Kind) {
+    case StmtKind::Assign: {
+      ValueType MemType = ValueType::Int;
+      unsigned Width = accessWidth(TI, S);
+      if (Width == 8)
+        MemType = ValueType::Double;
+      else if (TI.Desc->HasTypeConstraint)
+        MemType = TI.Desc->TypeConstraint;
+
+      if (S.Lhs->kind() == ExprKind::MemRef) {
+        SimValue Addr = evalExpr(S.Lhs->memAddress(), MI, ValueType::Int);
+        SimValue V = evalExpr(*S.Value, MI, MemType);
+        uint64_t Raw = 0;
+        if (Width == 8) {
+          double D = V.asDouble();
+          std::memcpy(&Raw, &D, 8);
+        } else if (MemType == ValueType::Float) {
+          float FV = static_cast<float>(V.asDouble());
+          uint32_t Bits;
+          std::memcpy(&Bits, &FV, 4);
+          Raw = Bits;
+        } else {
+          Raw = static_cast<uint64_t>(V.asInt()) & 0xffffffffull;
+        }
+        memWrite(Addr.asInt(), Raw, Width);
+        MemAddr = Addr.asInt();
+        MemWidth = Width;
+        MemAccess = true;
+        break;
+      }
+      // Loads record their address for the cache model.
+      bool IsLoad = false;
+      S.Value->visit([&](const Expr &Node) {
+        if (Node.kind() == ExprKind::MemRef)
+          IsLoad = true;
+      });
+      if (IsLoad) {
+        // Evaluate the (single) memory address for stats; evalExpr will
+        // re-evaluate inside the full expression.
+        const Expr *Mem = nullptr;
+        S.Value->visit([&](const Expr &Node) {
+          if (!Mem && Node.kind() == ExprKind::MemRef)
+            Mem = &Node;
+        });
+        if (Mem) {
+          MemAddr = evalExpr(Mem->memAddress(), MI, ValueType::Int).asInt();
+          MemWidth = accessWidth(TI, S);
+          MemAccess = true;
+        }
+      }
+      SimValue V = evalExpr(*S.Value, MI, MemType);
+      if (S.Lhs->kind() == ExprKind::Operand) {
+        unsigned Index = S.Lhs->operandIndex();
+        if (Index >= 1 && Index <= MI.Ops.size()) {
+          const MOperand &Op = MI.Ops[Index - 1];
+          if (Op.K == MOperand::Kind::Phys) {
+            PhysReg Reg = Op.Phys;
+            if (Op.SubReg >= 0) {
+              auto Sub = Target.registers().subReg(Target.description(),
+                                                   Reg, Op.SubReg);
+              if (Sub)
+                Reg = *Sub;
+            }
+            writeReg(Reg, V);
+          } else {
+            RunError = "write to non-physical operand";
+          }
+        }
+      } else if (S.Lhs->kind() == ExprKind::NamedReg) {
+        const maril::RegisterBank *Bank =
+            Target.description().findBank(S.Lhs->regName());
+        if (Bank)
+          writeReg(PhysReg{Bank->Id, 0}, V);
+      }
+      break;
+    }
+    case StmtKind::IfGoto: {
+      SimValue Cond = evalExpr(*S.Value, MI, ValueType::Int);
+      if (Cond.nonZero()) {
+        SimValue T = operandValue(MI.Ops[S.TargetOperand - 1]);
+        NextBlock = static_cast<int>(T.asInt());
+      }
+      break;
+    }
+    case StmtKind::Goto: {
+      SimValue T = operandValue(MI.Ops[S.TargetOperand - 1]);
+      NextBlock = static_cast<int>(T.asInt());
+      break;
+    }
+    case StmtKind::Call: {
+      DoCall = true;
+      const MOperand &Op = MI.Ops[S.TargetOperand - 1];
+      CallTarget = Op.Sym;
+      break;
+    }
+    case StmtKind::Ret:
+      DoRet = true;
+      break;
+    }
+    if (!RunError.empty())
+      return false;
+  }
+
+  timeInstr(MI, TI, MemAccess, MemAddr, MemWidth);
+
+  ++F.Instr;
+
+  if (NextBlock >= 0) {
+    if (NextBlock >= static_cast<int>(Fn.Blocks.size())) {
+      RunError = "branch to invalid block";
+      return false;
+    }
+    if (Opts.Timing)
+      timeBranchTaken(TI);
+    F.Block = NextBlock;
+    F.Instr = 0;
+    ++Result.BlockCounts[{Fn.Name, F.Block}];
+    return true;
+  }
+
+  if (DoCall) {
+    const MFunction *Callee = Mod.findFunction(CallTarget);
+    if (!Callee) {
+      RunError = "call to unknown function '" + CallTarget + "'";
+      return false;
+    }
+    // Record the return point and hand its token to %retaddr.
+    PhysReg Ra = Target.runtime().ReturnAddress;
+    ReturnPoints.push_back({F.Block, F.Instr, F.Fn});
+    if (Ra.isValid())
+      writeReg(Ra, SimValue::ofInt(
+                       static_cast<int64_t>(ReturnPoints.size() - 1)));
+    if (Opts.Timing)
+      timeBranchTaken(TI);
+    Stack.push_back(F);
+    F.Fn = Callee;
+    F.Block = 0;
+    F.Instr = 0;
+    ++Result.BlockCounts[{Callee->Name, 0}];
+    if (Stack.size() > 10000) {
+      RunError = "call stack overflow";
+      return false;
+    }
+    return true;
+  }
+
+  if (DoRet) {
+    PhysReg Ra = Target.runtime().ReturnAddress;
+    if (Stack.empty()) {
+      Finished = true;
+      return true;
+    }
+    int64_t Token = Ra.isValid() ? readReg(Ra).asInt() : -1;
+    if (Token < 0 ||
+        Token >= static_cast<int64_t>(ReturnPoints.size())) {
+      RunError = "return with corrupted return address";
+      return false;
+    }
+    const ReturnPoint &RP = ReturnPoints[Token];
+    if (Opts.Timing)
+      timeBranchTaken(TI);
+    F.Fn = RP.Fn;
+    F.Block = RP.Block;
+    F.Instr = RP.Instr;
+    Stack.pop_back();
+    return true;
+  }
+
+  return true;
+}
+
+SimResult Machine::run(const std::string &Entry) {
+  const MFunction *Main = Mod.findFunction(Entry);
+  if (!Main) {
+    Result.Error = "entry function '" + Entry + "' not found";
+    return Result;
+  }
+  if (!Main->IsAllocated) {
+    Result.Error = "module is not register-allocated";
+    return Result;
+  }
+
+  // Initial stack pointer near the top of memory.
+  PhysReg Sp = Target.runtime().StackPointer;
+  int64_t SpInit = static_cast<int64_t>(Memory.size()) - 64;
+  writeReg(Sp, SimValue::ofInt(SpInit));
+
+  Frame F;
+  F.Fn = Main;
+  F.Block = 0;
+  F.Instr = 0;
+  ++Result.BlockCounts[{Main->Name, 0}];
+  std::vector<Frame> Stack;
+
+  bool Finished = false;
+  while (!Finished) {
+    if (Result.Instructions >= Opts.MaxInstructions) {
+      Result.Error = "instruction budget exceeded (runaway program?)";
+      return Result;
+    }
+    if (!step(F, Stack, Finished)) {
+      Result.Error = RunError.empty() ? "execution fault" : RunError;
+      return Result;
+    }
+  }
+
+  // Read the result registers.
+  auto IntReg = Target.runtime().resultReg(ValueType::Int);
+  if (IntReg)
+    Result.IntResult = readReg(*IntReg).asInt();
+  auto DblReg = Target.runtime().resultReg(ValueType::Double);
+  if (DblReg)
+    Result.DoubleResult = readReg(*DblReg).asDouble();
+
+  Result.Cycles = CurrentCycle + 1;
+  Result.Cache = CacheCounters;
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace
+
+uint64_t SimResult::estimatedCycles(const MModule &Mod,
+                                    const SimResult &Profile) {
+  uint64_t Total = 0;
+  for (const MFunction &Fn : Mod.Functions)
+    for (const MBlock &Block : Fn.Blocks) {
+      auto It = Profile.BlockCounts.find({Fn.Name, Block.Id});
+      if (It != Profile.BlockCounts.end())
+        Total += static_cast<uint64_t>(Block.EstimatedCycles) * It->second;
+    }
+  return Total;
+}
+
+SimResult sim::runProgram(const MModule &Mod, const TargetInfo &Target,
+                          const std::string &Entry, const SimOptions &Opts) {
+  Machine M(Mod, Target, Opts);
+  return M.run(Entry);
+}

@@ -1,0 +1,166 @@
+//===- FrameLowering.cpp --------------------------------------------------==//
+
+#include "strategy/FrameLowering.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace marion;
+using namespace marion::strategy;
+using namespace marion::target;
+
+namespace {
+
+/// Builds the operand vector of a load/store found via TargetInfo::findLoad
+/// or findStore: value register, stack-pointer base, immediate offset.
+std::vector<MOperand> memOps(const TargetInfo &Target, int InstrId,
+                             MOperand Value, int Offset) {
+  const TargetInstr &TI = Target.instr(InstrId);
+  PhysReg Sp = Target.runtime().StackPointer;
+  std::vector<MOperand> Ops(TI.Desc->Operands.size());
+
+  // Identify the value operand: the pattern destination (loads) or the
+  // stored-value operand (stores); every other register-class operand in
+  // the stack pointer's bank is the base.
+  int ValueIdx = -1;
+  if (TI.Pat.Kind == PatternKind::Value)
+    ValueIdx = static_cast<int>(TI.Pat.DestOperand) - 1;
+  else if (TI.Pat.StoredValue.K == PatternNode::Kind::OperandRef)
+    ValueIdx = static_cast<int>(TI.Pat.StoredValue.OperandIndex) - 1;
+
+  for (size_t I = 0; I < TI.Desc->Operands.size(); ++I) {
+    const maril::OperandSpec &Spec = TI.Desc->Operands[I];
+    switch (Spec.Kind) {
+    case maril::OperandKind::Imm:
+      Ops[I] = MOperand::imm(Offset);
+      break;
+    case maril::OperandKind::RegClass:
+      Ops[I] = static_cast<int>(I) == ValueIdx ? Value : MOperand::phys(Sp);
+      break;
+    case maril::OperandKind::FixedReg: {
+      const maril::RegisterBank *Bank =
+          Target.description().findBank(Spec.Name);
+      Ops[I] =
+          MOperand::phys(PhysReg{Bank ? Bank->Id : -1, Spec.FixedIndex});
+      break;
+    }
+    case maril::OperandKind::Label:
+      break;
+    }
+  }
+  return Ops;
+}
+
+/// Builds an add-immediate: Dest = Src + Imm.
+std::vector<MOperand> addImmOps(const TargetInfo &Target, int InstrId,
+                                PhysReg Dest, PhysReg Src, int64_t Imm) {
+  const TargetInstr &TI = Target.instr(InstrId);
+  std::vector<MOperand> Ops(TI.Desc->Operands.size());
+  unsigned DestIdx = TI.Pat.DestOperand;
+  unsigned SrcIdx = TI.Pat.Root.Kids[0].OperandIndex;
+  unsigned ImmIdx = TI.Pat.Root.Kids[1].OperandIndex;
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    if (I + 1 == DestIdx)
+      Ops[I] = MOperand::phys(Dest);
+    else if (I + 1 == SrcIdx)
+      Ops[I] = MOperand::phys(Src);
+    else if (I + 1 == ImmIdx)
+      Ops[I] = MOperand::imm(Imm);
+    else if (TI.Desc->Operands[I].Kind == maril::OperandKind::FixedReg) {
+      const maril::RegisterBank *Bank =
+          Target.description().findBank(TI.Desc->Operands[I].Name);
+      Ops[I] =
+          MOperand::phys(PhysReg{Bank ? Bank->Id : -1,
+                                 TI.Desc->Operands[I].FixedIndex});
+    }
+  }
+  return Ops;
+}
+
+} // namespace
+
+bool strategy::finalizeFrame(MFunction &Fn, const TargetInfo &Target,
+                             DiagnosticEngine &Diags) {
+  assert(Fn.IsAllocated && "finalize after register allocation");
+  const RuntimeModel &Rt = Target.runtime();
+  PhysReg Sp = Rt.StackPointer;
+  PhysReg Ra = Rt.ReturnAddress;
+
+  (void)Ra;
+  // Save slots appended after locals, spills and the return-address slot
+  // (the selector already reserved and filled that one).
+  unsigned Offset = Fn.FrameSize;
+  std::vector<std::pair<PhysReg, int>> SaveSlots;
+  for (PhysReg Reg : Fn.UsedCalleeSaved) {
+    const maril::RegisterBank &Bank = Target.description().Banks[Reg.Bank];
+    Offset = (Offset + Bank.SizeBytes - 1) / Bank.SizeBytes * Bank.SizeBytes;
+    SaveSlots.push_back({Reg, static_cast<int>(Offset)});
+    Offset += Bank.SizeBytes;
+  }
+  unsigned TotalFrame = (Offset + 7) / 8 * 8;
+  Fn.FrameSize = TotalFrame;
+  if (TotalFrame == 0)
+    return true;
+
+  int AddImm = Target.findAddImm(Sp.Bank);
+  if (AddImm < 0) {
+    Diags.error(SourceLocation(),
+                "target has no add-immediate for stack adjustment");
+    return false;
+  }
+  if (!Target.immediateFits(
+          AddImm, Target.instr(AddImm).Pat.Root.Kids[1].OperandIndex,
+          -static_cast<int64_t>(TotalFrame))) {
+    Diags.error(SourceLocation(), "frame of '" + Fn.Name +
+                                      "' too large for the stack-adjust "
+                                      "immediate");
+    return false;
+  }
+
+  auto StoreOf = [&](PhysReg Reg) { return Target.findStore(Reg.Bank); };
+  auto LoadOf = [&](PhysReg Reg) { return Target.findLoad(Reg.Bank); };
+
+  // Prologue.
+  std::vector<MInstr> Prologue;
+  Prologue.push_back(
+      MInstr(AddImm, addImmOps(Target, AddImm, Sp, Sp,
+                               -static_cast<int64_t>(TotalFrame))));
+  for (auto &[Reg, Slot] : SaveSlots) {
+    int StoreId = StoreOf(Reg);
+    if (StoreId < 0) {
+      Diags.error(SourceLocation(),
+                  "no store instruction to save callee-saved register");
+      return false;
+    }
+    Prologue.push_back(
+        MInstr(StoreId, memOps(Target, StoreId, MOperand::phys(Reg), Slot)));
+  }
+  MBlock &Entry = Fn.Blocks.front();
+  Entry.Instrs.insert(Entry.Instrs.begin(), Prologue.begin(), Prologue.end());
+
+  // Epilogue before every return.
+  for (MBlock &Block : Fn.Blocks) {
+    for (size_t I = 0; I < Block.Instrs.size(); ++I) {
+      if (!Target.instr(Block.Instrs[I].InstrId).IsRet)
+        continue;
+      std::vector<MInstr> Epilogue;
+      for (auto &[Reg, Slot] : SaveSlots) {
+        int LoadId = LoadOf(Reg);
+        if (LoadId < 0) {
+          Diags.error(SourceLocation(),
+                      "no load instruction to restore callee-saved register");
+          return false;
+        }
+        Epilogue.push_back(MInstr(
+            LoadId, memOps(Target, LoadId, MOperand::phys(Reg), Slot)));
+      }
+      Epilogue.push_back(
+          MInstr(AddImm, addImmOps(Target, AddImm, Sp, Sp,
+                                   static_cast<int64_t>(TotalFrame))));
+      Block.Instrs.insert(Block.Instrs.begin() + I, Epilogue.begin(),
+                          Epilogue.end());
+      I += Epilogue.size();
+    }
+  }
+  return true;
+}

@@ -1,0 +1,37 @@
+//===- FrameLowering.h - Prologue/epilogue insertion -----------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts the function prologue and epilogue after register allocation,
+/// when the frame size (locals + spills) and the used callee-saved register
+/// set are final: stack-pointer adjustment, return-address save for
+/// non-leaf functions, callee-saved saves/restores (Cwvm runtime model,
+/// paper §3.2). The inserted instructions participate in the strategy's
+/// final scheduling pass like any others.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_STRATEGY_FRAMELOWERING_H
+#define MARION_STRATEGY_FRAMELOWERING_H
+
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+namespace marion {
+namespace strategy {
+
+/// Finalizes \p Fn's frame: grows it with save slots, emits the prologue at
+/// the entry block head and the epilogue before every return instruction.
+/// Requires Fn.IsAllocated. Returns false with diagnostics when the target
+/// lacks the needed instructions (sp add-immediate, load/store).
+bool finalizeFrame(target::MFunction &Fn, const target::TargetInfo &Target,
+                   DiagnosticEngine &Diags);
+
+} // namespace strategy
+} // namespace marion
+
+#endif // MARION_STRATEGY_FRAMELOWERING_H

@@ -1,0 +1,83 @@
+//===- Strategy.h - Code generation strategies ------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generation strategies (paper §2): a strategy directs the
+/// invocation of, and level of communication between, instruction
+/// scheduling and global register allocation. The scheduler, allocator,
+/// code DAG builder and scheduling support are strategy- and target-
+/// independent; the strategy is thin wiring, which is what lets strategies
+/// be replaced quickly (IPS took one expert person-week in the paper).
+///
+///  * Postpass [Gibbons & Muchnick 86] — allocate, then schedule.
+///  * IPS (Integrated Prepass Scheduling) [Goodman & Hsu 88] — schedule
+///    under a local register-use limit, allocate, schedule again.
+///  * RASE (Register Allocation with Schedule Estimates) [BEH91b] — run the
+///    scheduler to gather per-block schedule cost estimates, allocate with
+///    those estimates steering spill costs, then do final scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_STRATEGY_STRATEGY_H
+#define MARION_STRATEGY_STRATEGY_H
+
+#include "regalloc/Allocator.h"
+#include "sched/ListScheduler.h"
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <optional>
+#include <string>
+
+namespace marion {
+namespace strategy {
+
+enum class StrategyKind { Postpass, IPS, RASE };
+
+const char *strategyName(StrategyKind Kind);
+std::optional<StrategyKind> strategyFromName(const std::string &Name);
+
+struct StrategyOptions {
+  sched::SchedulerOptions Sched;
+  regalloc::AllocatorOptions Alloc;
+  /// IPS: limit on local register use during the prepass schedule; -1
+  /// derives one from the target's allocable set.
+  int IpsRegisterLimit = -1;
+  /// RASE: register limit used when probing a block's schedule sensitivity;
+  /// -1 derives one from the target's allocable set.
+  int RaseProbeLimit = -1;
+};
+
+struct StrategyStats {
+  unsigned SchedulerPasses = 0;
+  unsigned SpilledPseudos = 0;
+  unsigned AllocatorRounds = 0;
+  /// Sum of per-block estimated cycles after the final schedule — the
+  /// scheduler-computed cost the paper's Table 4 compares against measured
+  /// execution.
+  long EstimatedCycles = 0;
+  /// Scheduling work proxy: total (instructions × passes) scheduled.
+  long ScheduledInstrs = 0;
+};
+
+/// Runs \p Kind on the selected (pseudo-register) function \p Fn: after
+/// success, Fn is scheduled, allocated and frame-finalized machine code.
+bool runStrategy(StrategyKind Kind, target::MFunction &Fn,
+                 const target::TargetInfo &Target, DiagnosticEngine &Diags,
+                 const StrategyOptions &Opts = {},
+                 StrategyStats *Stats = nullptr);
+
+/// Runs \p Kind on every function of \p Mod, accumulating stats.
+bool runStrategy(StrategyKind Kind, target::MModule &Mod,
+                 const target::TargetInfo &Target, DiagnosticEngine &Diags,
+                 const StrategyOptions &Opts = {},
+                 StrategyStats *Stats = nullptr);
+
+} // namespace strategy
+} // namespace marion
+
+#endif // MARION_STRATEGY_STRATEGY_H

@@ -1,0 +1,55 @@
+//===- Diagnostics.cpp ----------------------------------------------------==//
+
+#include "support/Diagnostics.h"
+
+using namespace marion;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (!File.empty())
+    Out += File + ":";
+  if (Loc.isValid())
+    Out += Loc.str() + ":";
+  if (!Out.empty())
+    Out += " ";
+  switch (Kind) {
+  case DiagKind::Error:
+    Out += "error: ";
+    break;
+  case DiagKind::Warning:
+    Out += "warning: ";
+    break;
+  case DiagKind::Note:
+    Out += "note: ";
+    break;
+  }
+  Out += Message;
+  return Out;
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, CurrentFile, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, CurrentFile, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, CurrentFile, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

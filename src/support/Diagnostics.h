@@ -1,0 +1,68 @@
+//===- Diagnostics.h - Error and warning collection -------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Library code never prints or exits; it reports
+/// through a DiagnosticEngine and callers decide what to do. Messages follow
+/// the conventional compiler style: lowercase first word, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_DIAGNOSTICS_H
+#define MARION_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace marion {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  std::string File;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "file:line:col: error: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics for one compilation. Cheap to construct; pass by
+/// reference into every phase that can fail on user input.
+class DiagnosticEngine {
+public:
+  /// Sets the file name prefixed to subsequently reported diagnostics.
+  void setFile(std::string Name) { CurrentFile = std::move(Name); }
+  const std::string &file() const { return CurrentFile; }
+
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics rendered one per line; empty string when clean.
+  std::string str() const;
+
+  /// Drops accumulated diagnostics (the file name is kept).
+  void clear();
+
+private:
+  std::string CurrentFile;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace marion
+
+#endif // MARION_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,42 @@
+//===- Paths.cpp ----------------------------------------------------------==//
+
+#include "support/Paths.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace marion;
+
+#ifndef MARION_SOURCE_ROOT
+#define MARION_SOURCE_ROOT "."
+#endif
+
+static std::string dirFromEnv(const char *Var, const char *Fallback) {
+  if (const char *Env = std::getenv(Var))
+    return Env;
+  return std::string(MARION_SOURCE_ROOT) + "/" + Fallback;
+}
+
+std::string marion::machineDir() {
+  return dirFromEnv("MARION_MACHINE_DIR", "machines");
+}
+
+std::string marion::workloadDir() {
+  return dirFromEnv("MARION_WORKLOAD_DIR", "workloads");
+}
+
+std::string marion::sourceRootDir() { return MARION_SOURCE_ROOT; }
+
+bool marion::readFile(const std::string &Path, std::string &Contents,
+                      std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Contents = Buffer.str();
+  return true;
+}

@@ -1,0 +1,38 @@
+//===- Paths.h - Locating bundled data files ---------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for tests, examples and benchmarks to find the bundled machine
+/// descriptions (machines/*.maril) and workloads (workloads/*.mc) regardless
+/// of the working directory the binary runs from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_PATHS_H
+#define MARION_SUPPORT_PATHS_H
+
+#include <string>
+
+namespace marion {
+
+/// Directory containing the bundled .maril machine descriptions. Honors the
+/// MARION_MACHINE_DIR environment variable, falling back to the source tree
+/// location baked in at configure time.
+std::string machineDir();
+
+/// Directory containing the bundled .mc workloads. Honors MARION_WORKLOAD_DIR.
+std::string workloadDir();
+
+/// Root of the source tree (for the Table 2 source-size census).
+std::string sourceRootDir();
+
+/// Reads an entire file; returns false (and sets \p Error) on failure.
+bool readFile(const std::string &Path, std::string &Contents,
+              std::string &Error);
+
+} // namespace marion
+
+#endif // MARION_SUPPORT_PATHS_H

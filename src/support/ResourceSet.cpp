@@ -1,0 +1,28 @@
+//===- ResourceSet.cpp ----------------------------------------------------==//
+
+#include "support/ResourceSet.h"
+
+using namespace marion;
+
+unsigned ResourceSet::count() const {
+  unsigned N = 0;
+  for (unsigned I = 0; I < MaxResources; ++I)
+    if (test(I))
+      ++N;
+  return N;
+}
+
+std::string ResourceSet::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (unsigned I = 0; I < MaxResources; ++I) {
+    if (!test(I))
+      continue;
+    if (!First)
+      Out += ",";
+    Out += std::to_string(I);
+    First = false;
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- ResourceSet.h - Fixed-width resource bitsets --------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-width bitset over processor resources (pipeline stages, buses,
+/// functional units). One element of an instruction's resource vector is a
+/// ResourceSet holding everything the instruction needs on one cycle; the
+/// scheduler detects structural hazards by intersecting these (paper §4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_RESOURCESET_H
+#define MARION_SUPPORT_RESOURCESET_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace marion {
+
+/// Set of processor resources, identified by small dense indices assigned at
+/// machine-description processing time.
+class ResourceSet {
+public:
+  /// Maximum number of distinct resources a machine description may declare.
+  /// The i860 model (the richest in the paper) uses well under half of this.
+  static constexpr unsigned MaxResources = 192;
+
+  ResourceSet() = default;
+
+  void set(unsigned Index) {
+    assert(Index < MaxResources && "resource index out of range");
+    Words[Index / 64] |= uint64_t(1) << (Index % 64);
+  }
+
+  bool test(unsigned Index) const {
+    assert(Index < MaxResources && "resource index out of range");
+    return (Words[Index / 64] >> (Index % 64)) & 1;
+  }
+
+  bool empty() const {
+    return Words[0] == 0 && Words[1] == 0 && Words[2] == 0;
+  }
+
+  unsigned count() const;
+
+  /// True if the two sets share any resource: a structural hazard.
+  bool intersects(const ResourceSet &Other) const {
+    return (Words[0] & Other.Words[0]) || (Words[1] & Other.Words[1]) ||
+           (Words[2] & Other.Words[2]);
+  }
+
+  ResourceSet &operator|=(const ResourceSet &Other) {
+    Words[0] |= Other.Words[0];
+    Words[1] |= Other.Words[1];
+    Words[2] |= Other.Words[2];
+    return *this;
+  }
+
+  friend bool operator==(const ResourceSet &A, const ResourceSet &B) {
+    return A.Words[0] == B.Words[0] && A.Words[1] == B.Words[1] &&
+           A.Words[2] == B.Words[2];
+  }
+
+  /// Debug rendering as a list of set indices, e.g. "{0,3,17}".
+  std::string str() const;
+
+private:
+  uint64_t Words[3] = {0, 0, 0};
+};
+
+} // namespace marion
+
+#endif // MARION_SUPPORT_RESOURCESET_H

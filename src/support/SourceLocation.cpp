@@ -1,0 +1,11 @@
+//===- SourceLocation.cpp -------------------------------------------------==//
+
+#include "support/SourceLocation.h"
+
+using namespace marion;
+
+std::string SourceLocation::str() const {
+  if (!isValid())
+    return "?";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}

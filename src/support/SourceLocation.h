@@ -1,0 +1,42 @@
+//===- SourceLocation.h - Source positions for diagnostics ------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations shared by the Maril parser and
+/// the front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_SOURCELOCATION_H
+#define MARION_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace marion {
+
+/// A position within a source buffer. Lines and columns are 1-based; a
+/// default-constructed location (line 0) is "unknown".
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLocation() = default;
+  SourceLocation(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:column", or "?" when unknown.
+  std::string str() const;
+
+  friend bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace marion
+
+#endif // MARION_SUPPORT_SOURCELOCATION_H

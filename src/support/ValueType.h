@@ -1,0 +1,80 @@
+//===- ValueType.h - Scalar value types ---------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar types shared by Maril (register datatypes, %instr type
+/// constraints), the IL (typed operators) and the simulator. Maril supports
+/// the signed C native types (paper §3.1); this reproduction models the
+/// subset the paper's machines and workloads exercise: int, float, double.
+/// All modeled targets are 32-bit, so addresses are ints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_VALUETYPE_H
+#define MARION_SUPPORT_VALUETYPE_H
+
+#include <optional>
+#include <string>
+
+namespace marion {
+
+/// A scalar machine value type.
+enum class ValueType {
+  None,   ///< No value (stores, branches).
+  Int,    ///< 32-bit signed integer; also addresses on the 32-bit targets.
+  Float,  ///< 32-bit IEEE float.
+  Double, ///< 64-bit IEEE double.
+};
+
+/// Size of \p Type in bytes (None has size 0).
+inline unsigned sizeOf(ValueType Type) {
+  switch (Type) {
+  case ValueType::None:
+    return 0;
+  case ValueType::Int:
+  case ValueType::Float:
+    return 4;
+  case ValueType::Double:
+    return 8;
+  }
+  return 0;
+}
+
+inline bool isFloatingPoint(ValueType Type) {
+  return Type == ValueType::Float || Type == ValueType::Double;
+}
+
+/// Renders the type using its C spelling ("int", "float", "double", "void").
+inline const char *typeName(ValueType Type) {
+  switch (Type) {
+  case ValueType::None:
+    return "void";
+  case ValueType::Int:
+    return "int";
+  case ValueType::Float:
+    return "float";
+  case ValueType::Double:
+    return "double";
+  }
+  return "void";
+}
+
+/// Parses a C type spelling; empty optional for unknown names.
+inline std::optional<ValueType> typeFromName(const std::string &Name) {
+  if (Name == "int")
+    return ValueType::Int;
+  if (Name == "float")
+    return ValueType::Float;
+  if (Name == "double")
+    return ValueType::Double;
+  if (Name == "void")
+    return ValueType::None;
+  return std::nullopt;
+}
+
+} // namespace marion
+
+#endif // MARION_SUPPORT_VALUETYPE_H

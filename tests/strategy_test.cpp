@@ -1,0 +1,136 @@
+//===- strategy_test.cpp - Code generation strategies unit tests -------------==//
+
+#include "strategy/FrameLowering.h"
+#include "strategy/Strategy.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::strategy;
+using namespace marion::target;
+
+namespace {
+
+TEST(StrategyNames, RoundTrip) {
+  for (StrategyKind Kind :
+       {StrategyKind::Postpass, StrategyKind::IPS, StrategyKind::RASE}) {
+    auto Parsed = strategyFromName(strategyName(Kind));
+    ASSERT_TRUE(Parsed);
+    EXPECT_EQ(*Parsed, Kind);
+  }
+  EXPECT_FALSE(strategyFromName("bogus"));
+}
+
+TEST(Strategies, AllThreeProduceSameResults) {
+  const char *Src =
+      "double x[64];\n"
+      "double f(int n) { int i; double s; s = 0.0;"
+      " for (i = 0; i < n; i = i + 1) { x[i] = (double)i * 0.5;"
+      "   s = s + x[i] * x[i]; } return s; }\n"
+      "int main() { if (f(32) > 0.0) return (int)f(32); return -1; }";
+  int64_t Post =
+      test::runInt(Src, "r2000", StrategyKind::Postpass);
+  int64_t Ips = test::runInt(Src, "r2000", StrategyKind::IPS);
+  int64_t Rase = test::runInt(Src, "r2000", StrategyKind::RASE);
+  EXPECT_EQ(Post, Ips);
+  EXPECT_EQ(Post, Rase);
+  EXPECT_GT(Post, 0);
+}
+
+TEST(Strategies, SchedulerPassCounts) {
+  // Postpass schedules once; IPS twice; RASE gathers two estimates per
+  // block plus the final pass (paper §2, Table 3's cost ordering).
+  const char *Src = "int f(int a) { return a * 1 + 2; }";
+  auto Post = test::compile(Src, "r2000", StrategyKind::Postpass);
+  auto Ips = test::compile(Src, "r2000", StrategyKind::IPS);
+  auto Rase = test::compile(Src, "r2000", StrategyKind::RASE);
+  ASSERT_TRUE(Post && Ips && Rase);
+  EXPECT_EQ(Post->Stats.SchedulerPasses, 1u);
+  EXPECT_EQ(Ips->Stats.SchedulerPasses, 2u);
+  EXPECT_GT(Rase->Stats.SchedulerPasses, Ips->Stats.SchedulerPasses);
+  EXPECT_LT(Post->Stats.ScheduledInstrs, Ips->Stats.ScheduledInstrs);
+}
+
+TEST(Strategies, EstimatedCyclesRecorded) {
+  auto C = test::compile("int f(int a) { return a + 2; }", "r2000",
+                         StrategyKind::Postpass);
+  ASSERT_TRUE(C);
+  EXPECT_GT(C->Stats.EstimatedCycles, 0);
+  for (const MBlock &Block : C->Module.Functions[0].Blocks)
+    if (!Block.Instrs.empty()) {
+      EXPECT_GT(Block.EstimatedCycles, 0);
+    }
+}
+
+TEST(FrameLoweringTest, LeafWithoutFrameGetsNoPrologue) {
+  auto C = test::compile("int f(int a) { return a + 1; }", "r2000");
+  ASSERT_TRUE(C);
+  const MFunction &Fn = *C->Module.findFunction("f");
+  EXPECT_EQ(Fn.FrameSize, 0u);
+  // No stack adjustment anywhere.
+  for (const MBlock &Block : Fn.Blocks)
+    for (const MInstr &MI : Block.Instrs)
+      for (const MOperand &Op : MI.Ops)
+        if (Op.K == MOperand::Kind::Phys) {
+          EXPECT_FALSE(Op.Phys == C->Target->runtime().StackPointer &&
+                       C->Target->instr(MI.InstrId).DefOps.size() == 1 &&
+                       C->Target->instr(MI.InstrId).mnemonic() == "addiu");
+        }
+}
+
+TEST(FrameLoweringTest, NonLeafSavesReturnAddress) {
+  const char *Src = "int g(int x) { return x; }"
+                    "int f(int a) { return g(a) + g(a + 1); }"
+                    "int main() { return f(5); }";
+  auto C = test::compile(Src, "toyp");
+  ASSERT_TRUE(C);
+  const MFunction &Fn = *C->Module.findFunction("f");
+  EXPECT_TRUE(Fn.HasCalls);
+  EXPECT_GE(Fn.RetAddrSlot, 0);
+  EXPECT_GT(Fn.FrameSize, 0u);
+  // And it runs correctly end to end (nested returns work).
+  EXPECT_EQ(test::runInt(Src, "toyp"), 11);
+}
+
+TEST(FrameLoweringTest, CalleeSavedRestoredAcrossCalls) {
+  const char *Src =
+      "int g(int x) { return x * 1; }"
+      "int f(int a) { int k1; int k2; k1 = a + 1; k2 = a + 2;"
+      "  return g(a) + k1 * 1 + k2 * 1; }"
+      "int main() { return f(10); }";
+  for (const char *Machine : {"r2000", "m88000", "i860"})
+    EXPECT_EQ(test::runInt(Src, Machine), 10 + 11 + 12) << Machine;
+}
+
+TEST(Strategies, IpsLimitHonored) {
+  // Very small explicit prepass limit still compiles and runs.
+  const char *Src =
+      "int main() { int i; int s; s = 0;"
+      " for (i = 0; i < 20; i = i + 1) s = s + i * 1; return s; }";
+  DiagnosticEngine Diags;
+  driver::CompileOptions Opts;
+  Opts.Machine = "r2000";
+  Opts.Strategy = StrategyKind::IPS;
+  Opts.Strat.IpsRegisterLimit = 2;
+  auto C = driver::compileSource(Src, "t", Opts, Diags);
+  ASSERT_TRUE(C) << Diags.str();
+  EXPECT_EQ(sim::runProgram(C->Module, *C->Target).IntResult, 190);
+}
+
+TEST(Strategies, FinalCodeHasNoPseudos) {
+  for (StrategyKind Kind :
+       {StrategyKind::Postpass, StrategyKind::IPS, StrategyKind::RASE}) {
+    auto C = test::compile(
+        "double f(double a, double b) { return a * b + a; }", "i860", Kind);
+    ASSERT_TRUE(C);
+    for (const MFunction &Fn : C->Module.Functions)
+      for (const MBlock &Block : Fn.Blocks)
+        for (const MInstr &MI : Block.Instrs)
+          for (const MOperand &Op : MI.Ops)
+            EXPECT_NE(Op.K, MOperand::Kind::Pseudo);
+  }
+}
+
+} // namespace

@@ -1,0 +1,303 @@
+//===- target_test.cpp - Code generator generator unit tests ----------------==//
+
+#include "target/TargetBuilder.h"
+#include "target/DefUse.h"
+#include "target/TableDump.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace marion;
+using namespace marion::target;
+
+namespace {
+
+TEST(TargetBuilder, ToypInstructionTables) {
+  auto Target = test::machine("toyp");
+  ASSERT_TRUE(Target);
+  // Ordered match list covers the selectable instructions only.
+  for (int Id : Target->matchOrder()) {
+    const TargetInstr &Instr = Target->instr(Id);
+    EXPECT_FALSE(Instr.IsMove && Instr.Desc->FuncEscape.empty());
+  }
+  EXPECT_GE(Target->matchOrder().size(), 15u);
+}
+
+TEST(TargetBuilder, PatternDerivation) {
+  auto Target = test::machine("toyp");
+  int Add = Target->findByMnemonic("add");
+  ASSERT_GE(Add, 0);
+  // First 'add' is the load-immediate form "add r, r[0], #const16".
+  const Pattern &Pat = Target->instr(Add).Pat;
+  EXPECT_EQ(Pat.Kind, PatternKind::Value);
+  EXPECT_EQ(Pat.DestOperand, 1u);
+  EXPECT_EQ(Pat.Root.K, PatternNode::Kind::OperandRef);
+  EXPECT_EQ(Pat.Root.OperandIndex, 3u);
+
+  int Ld = Target->findByMnemonic("ld");
+  ASSERT_GE(Ld, 0);
+  const Pattern &LdPat = Target->instr(Ld).Pat;
+  EXPECT_EQ(LdPat.Root.K, PatternNode::Kind::ILOp);
+  EXPECT_EQ(LdPat.Root.Op, il::Opcode::Load);
+  EXPECT_EQ(LdPat.Root.str(), "(load.i (add $2 $3))");
+
+  int St = Target->findByMnemonic("st");
+  ASSERT_GE(St, 0);
+  EXPECT_EQ(Target->instr(St).Pat.Kind, PatternKind::Store);
+
+  int Beq = Target->findByMnemonic("beq0");
+  ASSERT_GE(Beq, 0);
+  const Pattern &BeqPat = Target->instr(Beq).Pat;
+  EXPECT_EQ(BeqPat.Kind, PatternKind::Branch);
+  EXPECT_EQ(BeqPat.TargetOperand, 2u);
+}
+
+TEST(TargetBuilder, DefUseDerivation) {
+  auto Target = test::machine("toyp");
+  int Ld = Target->findByMnemonic("ld");
+  const TargetInstr &LdInstr = Target->instr(Ld);
+  EXPECT_EQ(LdInstr.DefOps, (std::vector<unsigned>{1}));
+  EXPECT_EQ(LdInstr.UseOps, (std::vector<unsigned>{2}));
+  EXPECT_TRUE(LdInstr.ReadsMem);
+  EXPECT_FALSE(LdInstr.WritesMem);
+
+  int St = Target->findByMnemonic("st");
+  const TargetInstr &StInstr = Target->instr(St);
+  EXPECT_TRUE(StInstr.DefOps.empty());
+  EXPECT_TRUE(StInstr.WritesMem);
+  // Both the stored value and the base register are uses.
+  EXPECT_EQ(StInstr.UseOps, (std::vector<unsigned>{1, 2}));
+
+  int Jsr = Target->findByMnemonic("jsr");
+  EXPECT_TRUE(Target->instr(Jsr).IsCall);
+  int Rts = Target->findByMnemonic("rts");
+  EXPECT_TRUE(Target->instr(Rts).IsRet);
+}
+
+TEST(TargetBuilder, ResourceVectors) {
+  auto Target = test::machine("toyp");
+  int Fadd = Target->findByMnemonic("fadd.d");
+  ASSERT_GE(Fadd, 0);
+  const TargetInstr &Instr = Target->instr(Fadd);
+  ASSERT_EQ(Instr.ResourceVec.size(), 10u);
+  // Cycle 2 (0-based) holds both ID and F1 (paper Fig 3's description).
+  EXPECT_EQ(Instr.ResourceVec[2].count(), 2u);
+  EXPECT_EQ(Instr.latency(), 6);
+}
+
+TEST(TargetBuilder, StructuralQueryCaches) {
+  auto Target = test::machine("toyp");
+  const maril::RegisterBank *R = Target->description().findBank("r");
+  const maril::RegisterBank *D = Target->description().findBank("d");
+  ASSERT_TRUE(R && D);
+  EXPECT_GE(Target->findMove(R->Id), 0);
+  EXPECT_GE(Target->findLoad(R->Id), 0);
+  EXPECT_GE(Target->findStore(R->Id), 0);
+  EXPECT_GE(Target->findAddImm(R->Id), 0);
+  EXPECT_GE(Target->findLoadImm(R->Id), 0);
+  EXPECT_GE(Target->findLoad(D->Id), 0);
+  EXPECT_GE(Target->findStore(D->Id), 0);
+  // The d bank has no plain move: the *movd escape handles copies.
+  EXPECT_LT(Target->findMove(D->Id), 0);
+  EXPECT_GE(Target->findNop(), 0);
+  EXPECT_GE(Target->findCall(), 0);
+  EXPECT_GE(Target->findRet(), 0);
+  EXPECT_GE(Target->findJump(), 0);
+}
+
+TEST(TargetBuilder, AuxLatencyResolution) {
+  auto Target = test::machine("toyp");
+  ASSERT_FALSE(Target->auxLatencies().empty());
+  const ResolvedAux &Aux = Target->auxLatencies()[0];
+  EXPECT_EQ(Target->instr(Aux.FirstInstrId).mnemonic(), "fadd.d");
+  EXPECT_EQ(Target->instr(Aux.SecondInstrId).mnemonic(), "st.d");
+  EXPECT_EQ(Aux.Latency, 7);
+
+  // latencyBetween applies the override only when the operands match.
+  MInstr Fadd(Aux.FirstInstrId,
+              {MOperand::pseudo(1), MOperand::pseudo(2), MOperand::pseudo(3)});
+  MInstr StSame(Aux.SecondInstrId,
+                {MOperand::pseudo(1), MOperand::pseudo(4), MOperand::imm(0)});
+  MInstr StOther(Aux.SecondInstrId,
+                 {MOperand::pseudo(9), MOperand::pseudo(4), MOperand::imm(0)});
+  EXPECT_EQ(Target->latencyBetween(Fadd, StSame), 7);
+  EXPECT_EQ(Target->latencyBetween(Fadd, StOther), 6);
+}
+
+TEST(RegisterFileTest, EquivAliasing) {
+  auto Target = test::machine("toyp");
+  const RegisterFile &Regs = Target->registers();
+  // d[1] overlays r[2], r[3].
+  PhysReg D1{Target->description().findBank("d")->Id, 1};
+  PhysReg R2{Target->description().findBank("r")->Id, 2};
+  PhysReg R3{Target->description().findBank("r")->Id, 3};
+  PhysReg R4{Target->description().findBank("r")->Id, 4};
+  EXPECT_TRUE(Regs.alias(D1, R2));
+  EXPECT_TRUE(Regs.alias(D1, R3));
+  EXPECT_FALSE(Regs.alias(D1, R4));
+  EXPECT_EQ(Regs.unitsOf(D1).size(), 2u);
+
+  auto Sub0 = Regs.subReg(Target->description(), D1, 0);
+  auto Sub1 = Regs.subReg(Target->description(), D1, 1);
+  ASSERT_TRUE(Sub0 && Sub1);
+  EXPECT_TRUE(*Sub0 == R2);
+  EXPECT_TRUE(*Sub1 == R3);
+  // Integer registers overlay nothing.
+  EXPECT_FALSE(Regs.subReg(Target->description(), R2, 0));
+}
+
+TEST(RegisterFileTest, R2000DoubleOverFloatPairs) {
+  auto Target = test::machine("r2000");
+  const maril::MachineDescription &Desc = Target->description();
+  PhysReg D6{Desc.findBank("d")->Id, 6};
+  PhysReg F12{Desc.findBank("f")->Id, 12};
+  PhysReg F13{Desc.findBank("f")->Id, 13};
+  PhysReg F14{Desc.findBank("f")->Id, 14};
+  EXPECT_TRUE(Target->registers().alias(D6, F12));
+  EXPECT_TRUE(Target->registers().alias(D6, F13));
+  EXPECT_FALSE(Target->registers().alias(D6, F14));
+  // r and f are disjoint register files on the R2000.
+  PhysReg R4{Desc.findBank("r")->Id, 4};
+  EXPECT_FALSE(Target->registers().alias(R4, F12));
+}
+
+TEST(RuntimeModelTest, ToypConvention) {
+  auto Target = test::machine("toyp");
+  const RuntimeModel &Rt = Target->runtime();
+  EXPECT_EQ(Rt.StackPointer.Index, 7);
+  EXPECT_EQ(Rt.ReturnAddress.Index, 1);
+  EXPECT_EQ(Rt.hardValue(PhysReg{Rt.StackPointer.Bank, 0}), 0);
+  EXPECT_TRUE(Rt.argReg(ValueType::Int, 1).has_value());
+  EXPECT_TRUE(Rt.argReg(ValueType::Int, 2).has_value());
+  EXPECT_FALSE(Rt.argReg(ValueType::Int, 3).has_value());
+  EXPECT_TRUE(Rt.argReg(ValueType::Double, 1).has_value());
+  EXPECT_TRUE(Rt.resultReg(ValueType::Int).has_value());
+  EXPECT_TRUE(Rt.resultReg(ValueType::Double).has_value());
+  EXPECT_TRUE(Rt.isCalleeSaved(PhysReg{Rt.StackPointer.Bank, 4}));
+  EXPECT_FALSE(Rt.isCalleeSaved(PhysReg{Rt.StackPointer.Bank, 2}));
+}
+
+TEST(TargetBuilder, I860ClassMasks) {
+  auto Target = test::machine("i860");
+  int M1 = Target->findByMnemonic("m1.d");
+  int A1 = Target->findByMnemonic("a1.d");
+  int Fwbm = Target->findByMnemonic("fwbm.d");
+  int Fwba = Target->findByMnemonic("fwba.d");
+  int Addu = Target->findByMnemonic("addu");
+  ASSERT_GE(M1, 0);
+  ASSERT_GE(A1, 0);
+  // Multiplier and adder sub-ops pack (dual-operation words).
+  EXPECT_NE(Target->instr(M1).ClassMask & Target->instr(A1).ClassMask, 0u);
+  // Both write-backs share only the m12apm word.
+  EXPECT_NE(Target->instr(Fwbm).ClassMask & Target->instr(Fwba).ClassMask,
+            0u);
+  // Integer instructions carry no packing restriction.
+  EXPECT_EQ(Target->instr(Addu).ClassMask, 0u);
+  // Sub-operations are not in the ordered match list (temporal registers).
+  for (int Id : Target->matchOrder())
+    EXPECT_TRUE(Target->instr(Id).TemporalWrites.empty() &&
+                Target->instr(Id).TemporalReads.empty());
+}
+
+TEST(TargetBuilder, I860TemporalInfo) {
+  auto Target = test::machine("i860");
+  int M2 = Target->findByMnemonic("m2.d");
+  ASSERT_GE(M2, 0);
+  const TargetInstr &Instr = Target->instr(M2);
+  EXPECT_GE(Instr.AffectsClock, 0);
+  EXPECT_EQ(Instr.TemporalReads.size(), 1u);  // mr1
+  EXPECT_EQ(Instr.TemporalWrites.size(), 1u); // mr2
+  // The chain launch reads a multiplier latch and an adder latch.
+  int Mapm = Target->findByMnemonic("mapm.d");
+  ASSERT_GE(Mapm, 0);
+  EXPECT_EQ(Target->instr(Mapm).TemporalReads.size(), 2u);
+}
+
+TEST(TargetBuilder, ImmediateFits) {
+  auto Target = test::machine("toyp");
+  int AddImm = Target->findAddImm(Target->description().findBank("r")->Id);
+  ASSERT_GE(AddImm, 0);
+  EXPECT_TRUE(Target->immediateFits(AddImm, 3, 32767));
+  EXPECT_TRUE(Target->immediateFits(AddImm, 3, -32768));
+  EXPECT_FALSE(Target->immediateFits(AddImm, 3, 32768));
+  EXPECT_FALSE(Target->immediateFits(AddImm, 1, 0)); // Not an immediate.
+}
+
+TEST(DefUseTest, CallUsesRecordedArgsOnly) {
+  auto Target = test::machine("toyp");
+  int Jsr = Target->findCall();
+  MInstr Call(Jsr, {MOperand::symbol("f")});
+  InstrDefsUses Bare = defsUses(Call, *Target, ValueType::None);
+  // No recorded args: no argument-register uses.
+  EXPECT_TRUE(Bare.Uses.empty());
+  EXPECT_FALSE(Bare.Defs.empty()); // Caller-saved clobbers.
+
+  Call.ImplicitUses.push_back(*Target->runtime().argReg(ValueType::Int, 1));
+  InstrDefsUses WithArg = defsUses(Call, *Target, ValueType::None);
+  EXPECT_EQ(WithArg.Uses.size(), 1u);
+}
+
+TEST(DefUseTest, RetUsesResultAndReturnAddress) {
+  auto Target = test::machine("toyp");
+  int Rts = Target->findRet();
+  MInstr Ret(Rts, {});
+  InstrDefsUses DU = defsUses(Ret, *Target, ValueType::Int);
+  // r2 (result) + r1 (return address).
+  EXPECT_EQ(DU.Uses.size(), 2u);
+  InstrDefsUses DUv = defsUses(Ret, *Target, ValueType::None);
+  EXPECT_EQ(DUv.Uses.size(), 1u);
+}
+
+TEST(DefUseTest, HardRegisterCarriesNoDataflow) {
+  auto Target = test::machine("toyp");
+  // "add r, r, r[0]" (the move): r0 is hardwired, so only the real source
+  // register is a use.
+  int Mov = Target->findByMoveLabel("s.movs");
+  ASSERT_GE(Mov, 0);
+  int RBank = Target->description().findBank("r")->Id;
+  MInstr MI(Mov, {MOperand::phys(PhysReg{RBank, 2}),
+                  MOperand::phys(PhysReg{RBank, 3}),
+                  MOperand::phys(PhysReg{RBank, 0})});
+  InstrDefsUses DU = defsUses(MI, *Target, ValueType::None);
+  EXPECT_EQ(DU.Uses.size(), 1u);
+  EXPECT_EQ(DU.Defs.size(), 1u);
+}
+
+TEST(DefUseTest, SubRegTouchesOneUnit) {
+  auto Target = test::machine("toyp");
+  int Mov = Target->findByMoveLabel("s.movs");
+  int DBank = Target->description().findBank("d")->Id;
+  MOperand Half = MOperand::phys(PhysReg{DBank, 1});
+  Half.SubReg = 1;
+  int RBank = Target->description().findBank("r")->Id;
+  MInstr MI(Mov, {Half, MOperand::phys(PhysReg{RBank, 4}),
+                  MOperand::phys(PhysReg{RBank, 0})});
+  InstrDefsUses DU = defsUses(MI, *Target, ValueType::None);
+  ASSERT_EQ(DU.Defs.size(), 1u);
+  // d1's unit 1 is r3's unit.
+  std::vector<RegKey> R3Keys;
+  keysOfOperand(MOperand::phys(PhysReg{RBank, 3}), Target->registers(),
+                R3Keys);
+  EXPECT_EQ(DU.Defs[0], R3Keys[0]);
+}
+
+TEST(TableDump, RendersEveryTable) {
+  auto Target = test::machine("i860");
+  std::string Tables = dumpTables(*Target);
+  // Register file and runtime model.
+  EXPECT_NE(Tables.find("bank d: 16 x 8 bytes"), std::string::npos);
+  EXPECT_NE(Tables.find("temporal latch, clock clk_m"), std::string::npos);
+  EXPECT_NE(Tables.find("retaddr r1"), std::string::npos);
+  // Patterns, def/use, resources, classes.
+  EXPECT_NE(Tables.find("pattern (value)"), std::string::npos);
+  EXPECT_NE(Tables.find("pattern (branch)"), std::string::npos);
+  EXPECT_NE(Tables.find("expands via *fmul.d"), std::string::npos);
+  EXPECT_NE(Tables.find("classes { m12apm"), std::string::npos);
+  EXPECT_NE(Tables.find("latches( r:mr1 w:mr2 )"), std::string::npos);
+  // Aux latencies.
+  EXPECT_NE(Tables.find("auxiliary latencies:"), std::string::npos);
+  EXPECT_NE(Tables.find("fwbm.d -> fst.d"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Build and run the Table 3 compile-time bench; BENCH_compile_time.json is
+# written to the repository root (bucketed vs linear selector dispatch,
+# target build time, and the postpass/IPS/RASE compile-time shape).
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target table3_compile_time >/dev/null
+exec build/bench/table3_compile_time

@@ -13,6 +13,10 @@
 // time replaces DECstation seconds; the scheduling-work column is the
 // deterministic proxy (instructions x scheduler passes).
 //
+// Alongside the table, the run measures the selector's pattern dispatch in
+// both modes — opcode-bucketed (the default) and linear match-order scan
+// (the baseline) — and writes everything to BENCH_compile_time.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
@@ -20,6 +24,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 using namespace marion;
@@ -60,6 +65,43 @@ Cell compileSuite(const std::string &Machine,
   return Out;
 }
 
+/// Selector dispatch measurement over the suite in one mode.
+struct SelectCell {
+  target::SelectionCounters::Snapshot Counters;
+  double Millis = 0;           ///< Full compile wall time (postpass).
+  double TargetBuildMicros = 0;
+};
+
+SelectCell measureSelection(const std::string &Machine, bool UseBuckets,
+                            int Repeat) {
+  SelectCell Out;
+  auto Start = std::chrono::steady_clock::now();
+  for (int R = 0; R < Repeat; ++R)
+    for (const char *File : Suite) {
+      DiagnosticEngine Diags;
+      driver::CompileOptions Opts;
+      Opts.Machine = Machine;
+      Opts.UseBuckets = UseBuckets;
+      auto Compiled = driver::compileFile(File, Opts, Diags);
+      if (!Compiled) {
+        std::fprintf(stderr, "compile failed (%s, %s):\n%s", File,
+                     Machine.c_str(), Diags.str().c_str());
+        std::exit(1);
+      }
+      if (R == 0) {
+        Out.Counters.NodesMatched += Compiled->Select.NodesMatched;
+        Out.Counters.PatternsProbed += Compiled->Select.PatternsProbed;
+        Out.Counters.BucketProbes += Compiled->Select.BucketProbes;
+        Out.Counters.LinearProbes += Compiled->Select.LinearProbes;
+        Out.TargetBuildMicros = Compiled->TargetBuildMicros;
+      }
+    }
+  auto End = std::chrono::steady_clock::now();
+  Out.Millis =
+      std::chrono::duration<double, std::milli>(End - Start).count() / Repeat;
+  return Out;
+}
+
 double frontEndMillis(int Repeat) {
   auto Start = std::chrono::steady_clock::now();
   for (int R = 0; R < Repeat; ++R)
@@ -86,12 +128,16 @@ int main() {
   }
 
   std::printf("== Table 3: compile time over the program suite ==\n\n");
+  double FrontMs = frontEndMillis(Repeat);
   std::printf("front end: %.1f ms (paper: 31 s on a DECstation 5000)\n\n",
-              frontEndMillis(Repeat));
+              FrontMs);
   std::printf("%-8s %-10s %12s %16s %14s\n", "target", "strategy",
               "time (ms)", "vs postpass", "sched work");
 
+  std::string Json = "{\n  \"front_end_ms\": " + std::to_string(FrontMs) +
+                     ",\n  \"machines\": {";
   bool Shape = true;
+  bool FirstMachine = true;
   for (const char *Machine : {"r2000", "i860"}) {
     Cell Post = compileSuite(Machine, strategy::StrategyKind::Postpass,
                              Repeat);
@@ -105,6 +151,51 @@ int main() {
     Print("ips", Ips);
     Print("rase", Rase);
     Shape = Shape && Post.Work < Ips.Work && Ips.Work < Rase.Work;
+
+    SelectCell Bucketed = measureSelection(Machine, /*UseBuckets=*/true,
+                                           Repeat);
+    SelectCell Linear = measureSelection(Machine, /*UseBuckets=*/false,
+                                         Repeat);
+    std::printf("%-8s dispatch: bucketed %.2f probes/node (hit rate %.2f), "
+                "linear %.2f probes/node; target build %.0f us\n",
+                Machine, Bucketed.Counters.probesPerNode(),
+                Bucketed.Counters.bucketHitRate(),
+                Linear.Counters.probesPerNode(), Bucketed.TargetBuildMicros);
+
+    auto StrategyJson = [](const Cell &C) {
+      return "{\"ms\": " + std::to_string(C.Millis) +
+             ", \"sched_work\": " + std::to_string(C.Work) + "}";
+    };
+    auto SelectJson = [](const SelectCell &S) {
+      return "{\"nodes\": " + std::to_string(S.Counters.NodesMatched) +
+             ", \"patterns_probed\": " +
+             std::to_string(S.Counters.PatternsProbed) +
+             ", \"probes_per_node\": " +
+             std::to_string(S.Counters.probesPerNode()) +
+             ", \"bucket_hit_rate\": " +
+             std::to_string(S.Counters.bucketHitRate()) +
+             ", \"compile_ms\": " + std::to_string(S.Millis) + "}";
+    };
+    Json += std::string(FirstMachine ? "" : ",") + "\n    \"" + Machine +
+            "\": {\n      \"postpass\": " + StrategyJson(Post) +
+            ",\n      \"ips\": " + StrategyJson(Ips) +
+            ",\n      \"rase\": " + StrategyJson(Rase) +
+            ",\n      \"select_bucketed\": " + SelectJson(Bucketed) +
+            ",\n      \"select_linear\": " + SelectJson(Linear) +
+            ",\n      \"target_build_us\": " +
+            std::to_string(Bucketed.TargetBuildMicros) + "\n    }";
+    FirstMachine = false;
+  }
+  Json += "\n  },\n  \"shape_holds\": " + std::string(Shape ? "true" : "false") +
+          "\n}\n";
+
+  const char *JsonPath = "BENCH_compile_time.json";
+  if (std::FILE *F = std::fopen(JsonPath, "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::printf("\nwrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", JsonPath);
   }
 
   std::printf("\npaper (user seconds, R2000 back end): postpass 989, "

@@ -35,7 +35,11 @@ static void usage() {
       "  --quiet                              suppress the assembly "
       "listing\n"
       "  --tables                             print the code generator's "
-      "tables and exit\n");
+      "tables and exit\n"
+      "  --select-stats                       print selector dispatch "
+      "counters\n"
+      "  --linear                             linear pattern scan instead "
+      "of bucketed dispatch\n");
 }
 
 int main(int argc, char **argv) {
@@ -46,7 +50,7 @@ int main(int argc, char **argv) {
   std::string File;
   driver::CompileOptions Opts;
   bool Run = false, Cycles = false, Cache = false, Quiet = false;
-  bool Tables = false;
+  bool Tables = false, SelectStats = false;
   std::string Entry = "main";
 
   for (int I = 1; I < argc; ++I) {
@@ -72,6 +76,10 @@ int main(int argc, char **argv) {
       Quiet = true;
     } else if (Arg == "--tables") {
       Tables = true;
+    } else if (Arg == "--select-stats") {
+      SelectStats = true;
+    } else if (Arg == "--linear") {
+      Opts.UseBuckets = false;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -109,6 +117,16 @@ int main(int argc, char **argv) {
 
   if (!Quiet)
     std::printf("%s", Compiled->assembly(Cycles).c_str());
+
+  if (SelectStats)
+    std::fprintf(stderr,
+                 "# select: %llu nodes, %llu probes (%.2f/node), bucket hit "
+                 "rate %.2f, target build %.0f us\n",
+                 static_cast<unsigned long long>(Compiled->Select.NodesMatched),
+                 static_cast<unsigned long long>(
+                     Compiled->Select.PatternsProbed),
+                 Compiled->Select.probesPerNode(),
+                 Compiled->Select.bucketHitRate(), Compiled->TargetBuildMicros);
 
   if (Run) {
     sim::SimOptions SimOpts;

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 verify (ROADMAP.md): configure, build, run the full test suite.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure -j "$(nproc)"

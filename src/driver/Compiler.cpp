@@ -39,48 +39,50 @@ driver::loadTarget(const std::string &Machine, DiagnosticEngine &Diags) {
   return Target;
 }
 
-std::optional<Compilation> driver::compileSource(std::string_view Source,
-                                                 const std::string &ModuleName,
-                                                 const CompileOptions &Opts,
-                                                 DiagnosticEngine &Diags) {
-  auto Target = loadTarget(Opts.Machine, Diags);
+namespace {
+
+std::optional<Compilation> compileModule(il::Module &Mod,
+                                         const CompileOptions &Opts,
+                                         DiagnosticEngine &Diags) {
+  auto Target = driver::loadTarget(Opts.Machine, Diags);
   if (!Target)
     return std::nullopt;
 
-  auto Mod = frontend::compileSource(Source, ModuleName, Diags);
-  if (!Mod)
-    return std::nullopt;
-
-  auto MMod = select::selectModule(*Mod, *Target, Diags);
+  select::SelectorOptions SelOpts;
+  SelOpts.UseBuckets = Opts.UseBuckets;
+  target::SelectionCounters::Snapshot Before = Target->counters().snapshot();
+  auto MMod = select::selectModule(Mod, *Target, Diags, SelOpts);
   if (!MMod)
     return std::nullopt;
 
   Compilation Out;
   Out.Target = Target;
   Out.Module = std::move(*MMod);
+  Out.Select = Target->counters().snapshot() - Before;
+  Out.TargetBuildMicros = Target->buildMicros();
   if (!strategy::runStrategy(Opts.Strategy, Out.Module, *Target, Diags,
                              Opts.Strat, &Out.Stats))
     return std::nullopt;
   return Out;
 }
 
+} // namespace
+
+std::optional<Compilation> driver::compileSource(std::string_view Source,
+                                                 const std::string &ModuleName,
+                                                 const CompileOptions &Opts,
+                                                 DiagnosticEngine &Diags) {
+  auto Mod = frontend::compileSource(Source, ModuleName, Diags);
+  if (!Mod)
+    return std::nullopt;
+  return compileModule(*Mod, Opts, Diags);
+}
+
 std::optional<Compilation> driver::compileFile(const std::string &Path,
                                                const CompileOptions &Opts,
                                                DiagnosticEngine &Diags) {
-  auto Target = loadTarget(Opts.Machine, Diags);
-  if (!Target)
-    return std::nullopt;
   auto Mod = frontend::compileFile(Path, Diags);
   if (!Mod)
     return std::nullopt;
-  auto MMod = select::selectModule(*Mod, *Target, Diags);
-  if (!MMod)
-    return std::nullopt;
-  Compilation Out;
-  Out.Target = Target;
-  Out.Module = std::move(*MMod);
-  if (!strategy::runStrategy(Opts.Strategy, Out.Module, *Target, Diags,
-                             Opts.Strat, &Out.Stats))
-    return std::nullopt;
-  return Out;
+  return compileModule(*Mod, Opts, Diags);
 }

@@ -31,6 +31,9 @@ struct CompileOptions {
   std::string Machine = "r2000";
   strategy::StrategyKind Strategy = strategy::StrategyKind::Postpass;
   strategy::StrategyOptions Strat;
+  /// Selector pattern dispatch: opcode buckets (default) vs. the full
+  /// linear match order (baseline for compile-time measurements).
+  bool UseBuckets = true;
 };
 
 /// A finished compilation: the target model plus generated code.
@@ -38,6 +41,12 @@ struct Compilation {
   std::shared_ptr<const target::TargetInfo> Target;
   target::MModule Module;
   strategy::StrategyStats Stats;
+  /// Selector dispatch counters for this compilation alone (the target's
+  /// process-wide counters, differenced across the selection phase).
+  target::SelectionCounters::Snapshot Select;
+  /// Microseconds TargetBuilder spent deriving this machine's tables
+  /// (once per process; repeated compilations hit the loadTarget cache).
+  double TargetBuildMicros = 0;
 
   /// Renders the whole module as assembly; \p ShowCycles adds the
   /// scheduler's cycle column.

@@ -2,6 +2,8 @@
 
 #include "sched/ListScheduler.h"
 
+#include "target/DefUse.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -132,14 +134,14 @@ bool BlockScheduler::bundleFits(const Bundle &B, int Cycle) const {
       for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
         if (Combined.size() <= C)
           Combined.resize(C + 1);
-        if (Combined[C].intersects(TI.ResourceVec[C]))
+        if (Combined[C].conflictsWith(TI.ResourceVec[C]))
           return false; // Members collide.
         Combined[C] |= TI.ResourceVec[C];
       }
     }
     for (size_t C = 0; C < Combined.size(); ++C) {
       size_t At = Cycle + C;
-      if (At < Busy.size() && Busy[At].intersects(Combined[C]))
+      if (At < Busy.size() && Busy[At].conflictsWith(Combined[C]))
         return false;
     }
   }
@@ -412,30 +414,47 @@ namespace {
 /// correctly: a sub-operation reading a temporal latch must precede the
 /// sub-operation writing it on that cycle (all packed sub-operations
 /// advance their pipe simultaneously; sequentially, readers see the old
-/// latch values). Stable for instructions without temporal effects.
+/// latch values), and likewise a reader of an ordinary register must
+/// precede a same-cycle redefinition of it (the anti edges' zero latency
+/// assumes reads happen before writes within a cycle). Stable for
+/// unconstrained instructions.
 void orderIssueGroup(std::vector<int> &Group, const MBlock &Block,
-                     const TargetInfo &Target) {
+                     const TargetInfo &Target, ValueType FnReturnType) {
   if (Group.size() < 2)
     return;
   size_t N = Group.size();
-  // reader -> writer edges per temporal bank.
+  // reader -> writer edges, per temporal bank and per register key.
   std::vector<std::vector<size_t>> Succs(N);
   std::vector<unsigned> InDeg(N, 0);
+  std::vector<InstrDefsUses> DU(N);
+  for (size_t A = 0; A < N; ++A)
+    DU[A] = defsUses(Block.Instrs[Group[A]], Target, FnReturnType);
   for (size_t A = 0; A < N; ++A) {
     const TargetInstr &TA = Target.instr(Block.Instrs[Group[A]].InstrId);
-    if (TA.TemporalReads.empty())
+    if (TA.TemporalReads.empty() && DU[A].Uses.empty())
       continue;
     for (size_t B = 0; B < N; ++B) {
       if (A == B)
         continue;
       const TargetInstr &TB = Target.instr(Block.Instrs[Group[B]].InstrId);
+      bool Edge = false;
       for (int Bank : TA.TemporalReads)
         if (std::find(TB.TemporalWrites.begin(), TB.TemporalWrites.end(),
                       Bank) != TB.TemporalWrites.end()) {
-          Succs[A].push_back(B);
-          ++InDeg[B];
+          Edge = true;
           break;
         }
+      if (!Edge)
+        for (RegKey Key : DU[A].Uses)
+          if (std::find(DU[B].Defs.begin(), DU[B].Defs.end(), Key) !=
+              DU[B].Defs.end()) {
+            Edge = true;
+            break;
+          }
+      if (Edge) {
+        Succs[A].push_back(B);
+        ++InDeg[B];
+      }
     }
   }
   // Stable Kahn topological sort (ties keep the original group order).
@@ -466,7 +485,7 @@ void orderIssueGroup(std::vector<int> &Group, const MBlock &Block,
 } // namespace
 
 void sched::applySchedule(MBlock &Block, const BlockSchedule &Sched,
-                          const TargetInfo &Target) {
+                          const TargetInfo &Target, ValueType FnReturnType) {
   std::vector<MInstr> NewInstrs;
   NewInstrs.reserve(Block.Instrs.size());
   int NopId = Target.findNop();
@@ -480,7 +499,7 @@ void sched::applySchedule(MBlock &Block, const BlockSchedule &Sched,
       ++End;
     std::vector<int> Group(Sched.Order.begin() + At,
                            Sched.Order.begin() + End);
-    orderIssueGroup(Group, Block, Target);
+    orderIssueGroup(Group, Block, Target, FnReturnType);
     for (int Index : Group) {
       MInstr MI = Block.Instrs[Index];
       MI.Cycle = Cycle + CycleShift;
@@ -515,7 +534,7 @@ bool sched::scheduleFunction(MFunction &Fn, const TargetInfo &Target,
                       Fn.Name + "' (temporal protection failed)");
       return false;
     }
-    applySchedule(Block, Sched, Target);
+    applySchedule(Block, Sched, Target, Fn.ReturnType);
   }
   return true;
 }
@@ -550,7 +569,7 @@ std::vector<std::string> sched::verifySchedule(const CodeDAG &Dag,
         size_t At = Sched.Cycle[I] + C;
         if (Busy.size() <= At)
           Busy.resize(At + 1);
-        if (Busy[At].intersects(TI.ResourceVec[C]))
+        if (Busy[At].conflictsWith(TI.ResourceVec[C]))
           Violations.push_back("resource conflict at cycle " +
                                std::to_string(At) + " involving node " +
                                std::to_string(I));

@@ -83,9 +83,12 @@ BlockSchedule computeSchedule(const target::MFunction &Fn,
                               const SchedulerOptions &Opts = {});
 
 /// Rewrites \p Block into \p Sched order, assigns cycles, and fills branch
-/// delay slots with nops (paper §4.4).
+/// delay slots with nops (paper §4.4). \p FnReturnType is the enclosing
+/// function's return type (a return's implicit result-register use depends
+/// on it when ordering same-cycle issue groups).
 void applySchedule(target::MBlock &Block, const BlockSchedule &Sched,
-                   const target::TargetInfo &Target);
+                   const target::TargetInfo &Target,
+                   ValueType FnReturnType = ValueType::None);
 
 /// Schedules every block of \p Fn in place. Returns false (with
 /// diagnostics) if any block deadlocks — which the temporal protection

@@ -58,8 +58,9 @@ private:
 class FunctionSelector {
 public:
   FunctionSelector(il::Function &Fn, const TargetInfo &Target,
-                   MFunction &Out, DiagnosticEngine &Diags)
-      : Fn(Fn), Target(Target), Out(Out), Diags(Diags) {}
+                   MFunction &Out, DiagnosticEngine &Diags,
+                   const SelectorOptions &Opts = {})
+      : Fn(Fn), Target(Target), Out(Out), Diags(Diags), Opts(Opts) {}
 
   bool run();
 
@@ -100,6 +101,19 @@ private:
                      MOperand &DestOp, MOperand *TargetOp);
 
   // Helpers.
+  /// The candidate pattern list for one dispatch: an opcode bucket when
+  /// bucketed dispatch is on (counting the dispatch), the full match order
+  /// otherwise. Buckets keep match-order ordering, so selection results
+  /// are identical either way.
+  const std::vector<int> &candidates(const std::vector<int> &Bucket) const {
+    SelectionCounters &C = Target.counters();
+    if (Opts.UseBuckets) {
+      C.BucketProbes.fetch_add(1, std::memory_order_relaxed);
+      return Bucket;
+    }
+    C.LinearProbes.fetch_add(1, std::memory_order_relaxed);
+    return Target.matchOrder();
+  }
   Node *canonicalAddress(Node *Addr);
   Node *expandAddrLocal(Node *N);
   int pseudoForTemp(int TempId);
@@ -114,6 +128,7 @@ private:
   const TargetInfo &Target;
   MFunction &Out;
   DiagnosticEngine &Diags;
+  SelectorOptions Opts;
 
   std::vector<MInstr> Buffer; ///< Instructions for the current block.
   std::map<int, int> TempToPseudo;
@@ -376,7 +391,10 @@ void FunctionSelector::selectStore(Node *Root) {
   Node *Addr = canonicalAddress(Root->kid(0));
   Node *Value = Root->kid(1);
 
-  for (int InstrId : Target.matchOrder()) {
+  SelectionCounters &Counters = Target.counters();
+  Counters.NodesMatched.fetch_add(1, std::memory_order_relaxed);
+  for (int InstrId : candidates(Target.storePatterns())) {
+    Counters.PatternsProbed.fetch_add(1, std::memory_order_relaxed);
     const TargetInstr &Instr = Target.instr(InstrId);
     if (Instr.Pat.Kind != PatternKind::Store)
       continue;
@@ -411,7 +429,10 @@ void FunctionSelector::selectStore(Node *Root) {
 
 void FunctionSelector::selectBranch(Node *Root) {
   Node *Cond = Root->kid(0);
-  for (int InstrId : Target.matchOrder()) {
+  SelectionCounters &Counters = Target.counters();
+  Counters.NodesMatched.fetch_add(1, std::memory_order_relaxed);
+  for (int InstrId : candidates(Target.branchBucket(Cond->Op))) {
+    Counters.PatternsProbed.fetch_add(1, std::memory_order_relaxed);
     const TargetInstr &Instr = Target.instr(InstrId);
     if (Instr.Pat.Kind != PatternKind::Branch)
       continue;
@@ -738,7 +759,15 @@ std::optional<MOperand> FunctionSelector::selectValue(Node *N,
 
 std::optional<MOperand> FunctionSelector::matchValue(Node *N,
                                                      MOperand *DestHint) {
-  for (int InstrId : Target.matchOrder()) {
+  // Atoms are served by the atom pattern list (OperandRef / Builtin /
+  // IntConst roots match only atoms; ILOp roots never carry the Const or
+  // AddrGlobal opcode), everything else by its root opcode's bucket.
+  bool IsAtom = N->Op == Opcode::Const || N->Op == Opcode::AddrGlobal;
+  SelectionCounters &Counters = Target.counters();
+  Counters.NodesMatched.fetch_add(1, std::memory_order_relaxed);
+  for (int InstrId : candidates(IsAtom ? Target.atomValuePatterns()
+                                       : Target.valueBucket(N->Op))) {
+    Counters.PatternsProbed.fetch_add(1, std::memory_order_relaxed);
     const TargetInstr &Instr = Target.instr(InstrId);
     const Pattern &Pat = Instr.Pat;
     if (Pat.Kind != PatternKind::Value)
@@ -1017,7 +1046,7 @@ bool select::selectFunction(il::Function &Fn, const TargetInfo &Target,
   if (Opts.RunGlue)
     applyGlueTransforms(Fn, Target);
   MMod.Functions.emplace_back();
-  FunctionSelector Selector(Fn, Target, MMod.Functions.back(), Diags);
+  FunctionSelector Selector(Fn, Target, MMod.Functions.back(), Diags, Opts);
   return Selector.run();
 }
 

@@ -38,6 +38,11 @@ struct SelectorOptions {
   /// Apply %glue transformations before matching (on by default; off is
   /// used by tests that pre-transform).
   bool RunGlue = true;
+  /// Dispatch pattern matching through the opcode-bucketed index instead
+  /// of linearly scanning the full match order. Selection is identical
+  /// either way (buckets preserve match order within each candidate set);
+  /// off is the baseline for compile-time measurements.
+  bool UseBuckets = true;
 };
 
 /// Selects instructions for \p Mod against \p Target. Returns the machine

@@ -2,14 +2,14 @@
 
 #include "support/ResourceSet.h"
 
+#include <bit>
+
 using namespace marion;
 
 unsigned ResourceSet::count() const {
-  unsigned N = 0;
-  for (unsigned I = 0; I < MaxResources; ++I)
-    if (test(I))
-      ++N;
-  return N;
+  return static_cast<unsigned>(std::popcount(Words[0]) +
+                               std::popcount(Words[1]) +
+                               std::popcount(Words[2]));
 }
 
 std::string ResourceSet::str() const {

@@ -53,6 +53,12 @@ public:
            (Words[2] & Other.Words[2]);
   }
 
+  /// Synonym for intersects() in scheduler-facing code, where the question
+  /// being asked is "would these two instructions conflict on a resource".
+  bool conflictsWith(const ResourceSet &Other) const {
+    return intersects(Other);
+  }
+
   ResourceSet &operator|=(const ResourceSet &Other) {
     Words[0] |= Other.Words[0];
     Words[1] |= Other.Words[1];

@@ -1,0 +1,92 @@
+//===- DefUse.cpp ---------------------------------------------------------==//
+
+#include "target/DefUse.h"
+
+#include <algorithm>
+
+using namespace marion;
+using namespace marion::target;
+
+void target::keysOfOperand(const MOperand &Op, const RegisterFile &Regs,
+                           std::vector<RegKey> &Keys) {
+  switch (Op.K) {
+  case MOperand::Kind::Pseudo:
+    Keys.push_back(pseudoKey(Op.PseudoId));
+    return;
+  case MOperand::Kind::Phys: {
+    const std::vector<unsigned> &Units = Regs.unitsOf(Op.Phys);
+    if (Op.SubReg >= 0) {
+      if (Op.SubReg < static_cast<int>(Units.size()))
+        Keys.push_back(unitKey(Units[Op.SubReg]));
+      return;
+    }
+    for (unsigned Unit : Units)
+      Keys.push_back(unitKey(Unit));
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+namespace {
+
+void appendUnique(std::vector<RegKey> &Keys, RegKey Key) {
+  if (std::find(Keys.begin(), Keys.end(), Key) == Keys.end())
+    Keys.push_back(Key);
+}
+
+/// Keys of \p Op with hardwired registers dropped (they carry no dataflow).
+void appendOperandKeys(const MOperand &Op, const TargetInfo &Target,
+                       std::vector<RegKey> &Keys) {
+  if (Op.K == MOperand::Kind::Phys && Target.runtime().hardValue(Op.Phys))
+    return;
+  std::vector<RegKey> Tmp;
+  keysOfOperand(Op, Target.registers(), Tmp);
+  for (RegKey Key : Tmp)
+    appendUnique(Keys, Key);
+}
+
+void appendRegUnits(PhysReg Reg, const TargetInfo &Target,
+                    std::vector<RegKey> &Keys) {
+  for (unsigned Unit : Target.registers().unitsOf(Reg))
+    appendUnique(Keys, unitKey(Unit));
+}
+
+} // namespace
+
+InstrDefsUses target::defsUses(const MInstr &MI, const TargetInfo &Target,
+                               ValueType FnReturnType) {
+  InstrDefsUses Out;
+  if (MI.InstrId < 0)
+    return Out;
+  const TargetInstr &TI = Target.instr(MI.InstrId);
+
+  for (unsigned OpIdx : TI.DefOps)
+    if (OpIdx >= 1 && OpIdx <= MI.Ops.size())
+      appendOperandKeys(MI.Ops[OpIdx - 1], Target, Out.Defs);
+  for (unsigned OpIdx : TI.UseOps)
+    if (OpIdx >= 1 && OpIdx <= MI.Ops.size())
+      appendOperandKeys(MI.Ops[OpIdx - 1], Target, Out.Uses);
+
+  for (PhysReg Reg : MI.ImplicitUses)
+    appendRegUnits(Reg, Target, Out.Uses);
+
+  if (TI.IsCall) {
+    // A call clobbers every caller-saved allocable unit and the return
+    // address register (precomputed at target-build time).
+    for (RegKey Key : Target.callClobberKeys())
+      appendUnique(Out.Defs, Key);
+  }
+
+  if (TI.IsRet) {
+    if (FnReturnType != ValueType::None)
+      if (auto Result = Target.runtime().resultReg(FnReturnType))
+        appendRegUnits(*Result, Target, Out.Uses);
+    PhysReg Ra = Target.runtime().ReturnAddress;
+    if (Ra.isValid())
+      appendRegUnits(Ra, Target, Out.Uses);
+  }
+
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- DefUse.h - Instruction def/use key extraction --------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dataflow keys over machine code: pseudo-registers and physical storage
+/// units share one integer key space so liveness, interference and the code
+/// DAG treat %equiv register pairs correctly (paper §2.2). The per-opcode
+/// def/use operand sets are precomputed in TargetInfo (DefOps/UseOps);
+/// defsUses() instantiates them for a concrete instruction, adding the
+/// calling-convention effects of calls and returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TARGET_DEFUSE_H
+#define MARION_TARGET_DEFUSE_H
+
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <vector>
+
+namespace marion {
+namespace target {
+
+/// A dataflow key: a pseudo-register or a physical storage unit. Negative
+/// values are never produced, so -1 is a safe sentinel.
+using RegKey = int;
+
+inline RegKey pseudoKey(int Pseudo) { return Pseudo * 2; }
+inline RegKey unitKey(unsigned Unit) { return static_cast<int>(Unit) * 2 + 1; }
+inline bool isPseudoKey(RegKey Key) { return Key >= 0 && Key % 2 == 0; }
+inline int pseudoOf(RegKey Key) { return Key / 2; }
+inline unsigned unitOf(RegKey Key) { return static_cast<unsigned>(Key / 2); }
+
+/// Appends the dataflow keys of one operand: the pseudo's key, or the
+/// physical register's storage units (a SubReg selector narrows to that one
+/// word). Non-register operands contribute nothing; hardwired registers are
+/// NOT filtered here (defsUses does that with the runtime model in hand).
+void keysOfOperand(const MOperand &Op, const RegisterFile &Regs,
+                   std::vector<RegKey> &Keys);
+
+/// The registers one instruction defines and uses.
+struct InstrDefsUses {
+  std::vector<RegKey> Defs;
+  std::vector<RegKey> Uses;
+};
+
+/// Computes defs/uses of \p MI: the precomputed DefOps/UseOps operand sets,
+/// implicit uses (call argument registers), call clobbers (caller-saved
+/// units + return address), and return-value/return-address uses of returns
+/// (\p FnReturnType selects the result register). Hardwired registers carry
+/// no dataflow and are dropped.
+InstrDefsUses defsUses(const MInstr &MI, const TargetInfo &Target,
+                       ValueType FnReturnType);
+
+} // namespace target
+} // namespace marion
+
+#endif // MARION_TARGET_DEFUSE_H

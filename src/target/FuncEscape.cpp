@@ -1,0 +1,120 @@
+//===- FuncEscape.cpp -----------------------------------------------------==//
+
+#include "target/FuncEscape.h"
+
+#include "target/TargetInfo.h"
+
+#include <mutex>
+
+using namespace marion;
+using namespace marion::target;
+
+EscapeRegistry &EscapeRegistry::instance() {
+  static EscapeRegistry Registry;
+  return Registry;
+}
+
+void EscapeRegistry::add(const std::string &Machine, const std::string &Name,
+                         EscapeFn Fn) {
+  Fns[{Machine, Name}] = std::move(Fn);
+}
+
+const EscapeFn *EscapeRegistry::find(const std::string &Machine,
+                                     const std::string &Name) const {
+  auto It = Fns.find({Machine, Name});
+  return It == Fns.end() ? nullptr : &It->second;
+}
+
+namespace {
+
+/// Expands a double move into two single moves through the overlaid bank:
+/// each half of the destination/source pair gets a SubReg selector and one
+/// copy of the machine's [s.movs] move (extra fixed-register operands of the
+/// move, like TOYP's r[0], are filled from its operand specs).
+void emitDoubleMove(EscapeContext &Ctx) {
+  const TargetInfo &T = Ctx.target();
+  int MoveId = T.findByMoveLabel("s.movs");
+  if (MoveId < 0) {
+    Ctx.error("movd escape: machine has no [s.movs] move");
+    return;
+  }
+  const TargetInstr &Move = T.instr(MoveId);
+  const std::vector<MOperand> &Ops = Ctx.operands();
+  if (Ops.size() < 2) {
+    Ctx.error("movd escape: expected destination and source operands");
+    return;
+  }
+  unsigned SrcOperand = Move.Pat.Root.K == PatternNode::Kind::OperandRef
+                            ? Move.Pat.Root.OperandIndex
+                            : 0;
+  for (int Word = 0; Word < 2; ++Word) {
+    std::vector<MOperand> Out;
+    for (unsigned I = 1; I <= Move.Desc->Operands.size(); ++I) {
+      if (I == Move.Pat.DestOperand || I == SrcOperand) {
+        MOperand Half = Ops[I == Move.Pat.DestOperand ? 0 : 1];
+        Half.SubReg = Word;
+        Out.push_back(std::move(Half));
+        continue;
+      }
+      const maril::OperandSpec &Spec = Move.Desc->Operands[I - 1];
+      const maril::RegisterBank *Bank =
+          Spec.Kind == maril::OperandKind::FixedReg
+              ? T.description().findBank(Spec.Name)
+              : nullptr;
+      if (!Bank) {
+        Ctx.error("movd escape: cannot fill operand " + std::to_string(I) +
+                  " of " + Move.mnemonic());
+        return;
+      }
+      Out.push_back(MOperand::phys(PhysReg{Bank->Id, Spec.FixedIndex}));
+    }
+    Ctx.emit(MoveId, std::move(Out));
+  }
+}
+
+/// An escape expanding into an explicitly-advanced pipeline: the first stage
+/// takes both sources, the middle stages move the latches forward, and the
+/// write-back stage drains the last latch into the destination (i860, paper
+/// §4.4).
+EscapeFn temporalSequence(std::string Stage1, std::string Stage2,
+                          std::string Stage3, std::string WriteBack) {
+  return [Stage1, Stage2, Stage3, WriteBack](EscapeContext &Ctx) {
+    const TargetInfo &T = Ctx.target();
+    int S1 = T.findByMnemonic(Stage1);
+    int S2 = T.findByMnemonic(Stage2);
+    int S3 = T.findByMnemonic(Stage3);
+    int Wb = T.findByMnemonic(WriteBack);
+    if (S1 < 0 || S2 < 0 || S3 < 0 || Wb < 0) {
+      Ctx.error("pipeline escape: machine is missing " + Stage1 + "/" +
+                Stage2 + "/" + Stage3 + "/" + WriteBack);
+      return;
+    }
+    const std::vector<MOperand> &Ops = Ctx.operands();
+    if (Ops.size() != 3) {
+      Ctx.error("pipeline escape: expected destination and two sources");
+      return;
+    }
+    Ctx.emit(S1, {Ops[1], Ops[2]});
+    Ctx.emit(S2, {});
+    Ctx.emit(S3, {});
+    Ctx.emit(Wb, {Ops[0]});
+  };
+}
+
+} // namespace
+
+void target::registerStandardEscapes() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    EscapeRegistry &R = EscapeRegistry::instance();
+    R.add("toyp", "movd", emitDoubleMove);
+    R.add("m88000", "movd", emitDoubleMove);
+
+    R.add("i860", "fmul.d", temporalSequence("m1.d", "m2.d", "m3.d", "fwbm.d"));
+    R.add("i860", "fadd.d", temporalSequence("a1.d", "a2.d", "a3.d", "fwba.d"));
+    R.add("i860", "fsub.d", temporalSequence("s1.d", "a2.d", "a3.d", "fwba.d"));
+    R.add("i860", "fmul.s", temporalSequence("m1.s", "m2.s", "m3.s", "fwbm.s"));
+    R.add("i860", "fadd.s", temporalSequence("a1.s", "a2.s", "a3.s", "fwba.s"));
+    R.add("i860", "fsub.s", temporalSequence("s1.s", "a2.s", "a3.s", "fwba.s"));
+  });
+}

@@ -1,0 +1,71 @@
+//===- FuncEscape.h - Selector escape functions -------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maril "*name" function escapes (paper §3.4): instructions whose expansion
+/// is too irregular for patterns call back into compiler-writer C++ code.
+/// The escape receives the matched operands and the Marion-exported services
+/// (emit, fresh pseudo, error) through an EscapeContext. The standard
+/// library covers the shipped machines: double moves synthesized from the
+/// single move (TOYP, M88000) and the explicitly-advanced floating-point
+/// pipelines of the i860.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TARGET_FUNCESCAPE_H
+#define MARION_TARGET_FUNCESCAPE_H
+
+#include "target/MInstr.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace target {
+
+class TargetInfo;
+
+/// Services the selector exposes to an escape body.
+class EscapeContext {
+public:
+  virtual ~EscapeContext() = default;
+
+  /// The matched operands: destination first, then sources (the order of
+  /// the escape instruction's operand list).
+  virtual const std::vector<MOperand> &operands() const = 0;
+  virtual const TargetInfo &target() const = 0;
+  /// Appends one instruction to the selection buffer.
+  virtual void emit(int InstrId, std::vector<MOperand> Operands) = 0;
+  /// Allocates a fresh pseudo-register in \p Bank.
+  virtual MOperand newPseudo(int Bank) = 0;
+  /// Reports a selection failure.
+  virtual void error(const std::string &Message) = 0;
+};
+
+using EscapeFn = std::function<void(EscapeContext &)>;
+
+/// Escapes keyed by (machine name, escape name).
+class EscapeRegistry {
+public:
+  static EscapeRegistry &instance();
+
+  void add(const std::string &Machine, const std::string &Name, EscapeFn Fn);
+  const EscapeFn *find(const std::string &Machine,
+                       const std::string &Name) const;
+
+private:
+  std::map<std::pair<std::string, std::string>, EscapeFn> Fns;
+};
+
+/// Registers the escapes of the shipped machine descriptions. Idempotent.
+void registerStandardEscapes();
+
+} // namespace target
+} // namespace marion
+
+#endif // MARION_TARGET_FUNCESCAPE_H

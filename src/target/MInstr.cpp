@@ -1,0 +1,85 @@
+//===- MInstr.cpp ---------------------------------------------------------==//
+
+#include "target/MInstr.h"
+
+#include "target/TargetInfo.h"
+
+using namespace marion;
+using namespace marion::target;
+
+std::string target::operandToString(const TargetInfo &Target,
+                                    const MFunction &Fn, const MOperand &Op) {
+  std::string Out;
+  switch (Op.K) {
+  case MOperand::Kind::None:
+    Out = "<none>";
+    break;
+  case MOperand::Kind::Phys:
+    Out = Target.regName(Op.Phys);
+    break;
+  case MOperand::Kind::Pseudo: {
+    Out = "%" + std::to_string(Op.PseudoId);
+    if (Op.PseudoId >= 0 &&
+        Op.PseudoId < static_cast<int>(Fn.Pseudos.size()) &&
+        !Fn.Pseudos[Op.PseudoId].Name.empty())
+      Out += "." + Fn.Pseudos[Op.PseudoId].Name;
+    break;
+  }
+  case MOperand::Kind::Imm:
+    Out = std::to_string(Op.Imm);
+    break;
+  case MOperand::Kind::Symbol:
+    Out = Op.Sym;
+    if (Op.Offset > 0)
+      Out += "+" + std::to_string(Op.Offset);
+    else if (Op.Offset < 0)
+      Out += std::to_string(Op.Offset);
+    break;
+  case MOperand::Kind::Label:
+    if (Op.BlockId >= 0 && Op.BlockId < static_cast<int>(Fn.Blocks.size()))
+      Out = Fn.Blocks[Op.BlockId].Label;
+    else
+      Out = "<block" + std::to_string(Op.BlockId) + ">";
+    break;
+  }
+  if (Op.SubReg >= 0 && Op.isReg())
+    Out += ":" + std::to_string(Op.SubReg);
+  return Out;
+}
+
+std::string target::instrToString(const TargetInfo &Target,
+                                  const MFunction &Fn, const MInstr &MI) {
+  std::string Out;
+  if (MI.InstrId >= 0 &&
+      MI.InstrId < static_cast<int>(Target.instructions().size()))
+    Out += Target.instr(MI.InstrId).mnemonic();
+  else
+    Out += "<instr" + std::to_string(MI.InstrId) + ">";
+  for (size_t I = 0; I < MI.Ops.size(); ++I) {
+    Out += I == 0 ? " " : ", ";
+    Out += operandToString(Target, Fn, MI.Ops[I]);
+  }
+  return Out;
+}
+
+std::string target::functionToString(const TargetInfo &Target,
+                                     const MFunction &Fn, bool ShowCycles) {
+  std::string Out = Fn.Name + ":\n";
+  for (const MBlock &Block : Fn.Blocks) {
+    if (!Block.Label.empty())
+      Out += Block.Label + ":\n";
+    for (const MInstr &MI : Block.Instrs) {
+      Out += "  ";
+      if (ShowCycles) {
+        std::string Cycle =
+            MI.Cycle >= 0 ? std::to_string(MI.Cycle) : std::string("-");
+        if (Cycle.size() < 3)
+          Cycle.insert(0, 3 - Cycle.size(), ' ');
+        Out += "[" + Cycle + "] ";
+      }
+      Out += instrToString(Target, Fn, MI);
+      Out += "\n";
+    }
+  }
+  return Out;
+}

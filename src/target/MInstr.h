@@ -1,0 +1,220 @@
+//===- MInstr.h - Machine code IR ---------------------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-level program representation produced by the instruction
+/// selector and consumed by the scheduler, register allocator, assembly
+/// printer and simulator. An MInstr is an index into the TargetInfo
+/// instruction table plus an operand vector; register operands are
+/// pseudo-registers until allocation assigns physical ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TARGET_MINSTR_H
+#define MARION_TARGET_MINSTR_H
+
+#include "support/ValueType.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace target {
+
+class TargetInfo;
+
+/// A physical register: bank id (maril::RegisterBank::Id) plus index.
+struct PhysReg {
+  int Bank = -1;
+  int Index = 0;
+
+  bool isValid() const { return Bank >= 0; }
+
+  friend bool operator==(const PhysReg &A, const PhysReg &B) {
+    return A.Bank == B.Bank && A.Index == B.Index;
+  }
+  friend bool operator!=(const PhysReg &A, const PhysReg &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const PhysReg &A, const PhysReg &B) {
+    return A.Bank != B.Bank ? A.Bank < B.Bank : A.Index < B.Index;
+  }
+};
+
+/// One operand of a machine instruction.
+struct MOperand {
+  enum class Kind { None, Phys, Pseudo, Imm, Symbol, Label };
+
+  Kind K = Kind::None;
+  PhysReg Phys;
+  int PseudoId = -1;
+  int64_t Imm = 0;
+  std::string Sym;
+  int64_t Offset = 0; ///< Byte offset added to Sym.
+  int BlockId = -1;   ///< For Label operands: MBlock id.
+  /// Sub-register selector for %equiv overlays: -1 = the whole register,
+  /// otherwise the 0-based word of the overlaying register (0 = low).
+  int SubReg = -1;
+
+  static MOperand phys(PhysReg Reg) {
+    MOperand Op;
+    Op.K = Kind::Phys;
+    Op.Phys = Reg;
+    return Op;
+  }
+  static MOperand pseudo(int Id) {
+    MOperand Op;
+    Op.K = Kind::Pseudo;
+    Op.PseudoId = Id;
+    return Op;
+  }
+  static MOperand imm(int64_t Value) {
+    MOperand Op;
+    Op.K = Kind::Imm;
+    Op.Imm = Value;
+    return Op;
+  }
+  static MOperand symbol(std::string Name, int64_t Offset = 0) {
+    MOperand Op;
+    Op.K = Kind::Symbol;
+    Op.Sym = std::move(Name);
+    Op.Offset = Offset;
+    return Op;
+  }
+  static MOperand label(int BlockId) {
+    MOperand Op;
+    Op.K = Kind::Label;
+    Op.BlockId = BlockId;
+    return Op;
+  }
+
+  bool isReg() const { return K == Kind::Phys || K == Kind::Pseudo; }
+
+  /// True when both operands name the same register (same pseudo or same
+  /// physical register, including the sub-register selector).
+  bool sameRegAs(const MOperand &Other) const {
+    if (K != Other.K || SubReg != Other.SubReg)
+      return false;
+    if (K == Kind::Phys)
+      return Phys == Other.Phys;
+    if (K == Kind::Pseudo)
+      return PseudoId == Other.PseudoId;
+    return false;
+  }
+};
+
+/// One machine instruction: a TargetInfo instruction id plus operands.
+struct MInstr {
+  int InstrId = -1;
+  std::vector<MOperand> Ops;
+  /// Physical registers read implicitly (calling-convention argument
+  /// registers of a call).
+  std::vector<PhysReg> ImplicitUses;
+  /// Issue cycle within the block, assigned by the scheduler (-1 before).
+  int Cycle = -1;
+
+  MInstr() = default;
+  MInstr(int InstrId, std::vector<MOperand> Ops)
+      : InstrId(InstrId), Ops(std::move(Ops)) {}
+};
+
+/// A pseudo-register: bank, optional source-level name, optional IL temp.
+struct PseudoInfo {
+  int Bank = 0;
+  std::string Name;
+  int TempId = -1;
+};
+
+/// A machine basic block.
+struct MBlock {
+  int Id = -1;
+  std::string Label;
+  std::vector<MInstr> Instrs;
+  /// Estimated execution cycles, filled by the scheduler.
+  int EstimatedCycles = 0;
+};
+
+/// A machine function.
+struct MFunction {
+  std::string Name;
+  ValueType ReturnType = ValueType::None;
+  std::vector<MBlock> Blocks;
+  std::vector<PseudoInfo> Pseudos;
+  unsigned FrameSize = 0;
+  int RetAddrSlot = -1;
+  bool HasCalls = false;
+  /// True after register allocation replaced every pseudo operand.
+  bool IsAllocated = false;
+  /// Callee-saved registers the allocator assigned (frame finalizer saves
+  /// and restores them).
+  std::vector<PhysReg> UsedCalleeSaved;
+
+  MBlock &addBlock(std::string Label) {
+    MBlock Block;
+    Block.Id = static_cast<int>(Blocks.size());
+    Block.Label = std::move(Label);
+    Blocks.push_back(std::move(Block));
+    return Blocks.back();
+  }
+
+  int addPseudo(int Bank, std::string Name, int TempId = -1) {
+    PseudoInfo P;
+    P.Bank = Bank;
+    P.Name = std::move(Name);
+    P.TempId = TempId;
+    Pseudos.push_back(std::move(P));
+    return static_cast<int>(Pseudos.size()) - 1;
+  }
+
+  size_t instrCount() const {
+    size_t N = 0;
+    for (const MBlock &Block : Blocks)
+      N += Block.Instrs.size();
+    return N;
+  }
+};
+
+/// A module-level data object (copied from il::GlobalVariable).
+struct MGlobal {
+  std::string Name;
+  unsigned SizeBytes = 0;
+  unsigned Align = 4;
+  ValueType ElementType = ValueType::Int;
+  std::vector<double> Init;
+};
+
+/// A compiled machine module.
+struct MModule {
+  std::string Name;
+  std::vector<MGlobal> Globals;
+  std::vector<MFunction> Functions;
+
+  const MFunction *findFunction(const std::string &Name) const {
+    for (const MFunction &Fn : Functions)
+      if (Fn.Name == Name)
+        return &Fn;
+    return nullptr;
+  }
+};
+
+/// Renders one operand ("%3.sum", "r7", "42", "g+8", ".L2", "d1:0").
+std::string operandToString(const TargetInfo &Target, const MFunction &Fn,
+                            const MOperand &Op);
+
+/// Renders one instruction ("st r1, r7, 8").
+std::string instrToString(const TargetInfo &Target, const MFunction &Fn,
+                          const MInstr &MI);
+
+/// Renders a function as assembly; \p ShowCycles prefixes each instruction
+/// with the scheduler's issue cycle.
+std::string functionToString(const TargetInfo &Target, const MFunction &Fn,
+                             bool ShowCycles = false);
+
+} // namespace target
+} // namespace marion
+
+#endif // MARION_TARGET_MINSTR_H

@@ -1,0 +1,60 @@
+//===- OpcodeMapping.cpp --------------------------------------------------==//
+
+#include "target/OpcodeMapping.h"
+
+using namespace marion;
+
+il::Opcode target::ilOpcodeForBinary(maril::BinaryOp Op) {
+  switch (Op) {
+  case maril::BinaryOp::Add:
+    return il::Opcode::Add;
+  case maril::BinaryOp::Sub:
+    return il::Opcode::Sub;
+  case maril::BinaryOp::Mul:
+    return il::Opcode::Mul;
+  case maril::BinaryOp::Div:
+    return il::Opcode::Div;
+  case maril::BinaryOp::Rem:
+    return il::Opcode::Rem;
+  case maril::BinaryOp::And:
+    return il::Opcode::And;
+  case maril::BinaryOp::Or:
+    return il::Opcode::Or;
+  case maril::BinaryOp::Xor:
+    return il::Opcode::Xor;
+  case maril::BinaryOp::Shl:
+    return il::Opcode::Shl;
+  case maril::BinaryOp::Shr:
+    return il::Opcode::Shr;
+  case maril::BinaryOp::Lt:
+    return il::Opcode::Lt;
+  case maril::BinaryOp::Le:
+    return il::Opcode::Le;
+  case maril::BinaryOp::Gt:
+    return il::Opcode::Gt;
+  case maril::BinaryOp::Ge:
+    return il::Opcode::Ge;
+  case maril::BinaryOp::Eq:
+    return il::Opcode::Eq;
+  case maril::BinaryOp::Ne:
+    return il::Opcode::Ne;
+  case maril::BinaryOp::Cmp:
+    return il::Opcode::Cmp;
+  }
+  return il::Opcode::Add;
+}
+
+bool target::isComparisonOpcode(il::Opcode Op) {
+  switch (Op) {
+  case il::Opcode::Lt:
+  case il::Opcode::Le:
+  case il::Opcode::Gt:
+  case il::Opcode::Ge:
+  case il::Opcode::Eq:
+  case il::Opcode::Ne:
+  case il::Opcode::Cmp:
+    return true;
+  default:
+    return false;
+  }
+}

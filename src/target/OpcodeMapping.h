@@ -1,0 +1,34 @@
+//===- OpcodeMapping.h - Maril operator to IL opcode mapping ------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correspondence between Maril expression operators (%instr bodies and
+/// %glue patterns) and IL opcodes. The code generator generator and the glue
+/// transformer share it so patterns derived from descriptions match the
+/// trees the front end builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TARGET_OPCODEMAPPING_H
+#define MARION_TARGET_OPCODEMAPPING_H
+
+#include "il/IL.h"
+#include "maril/Expr.h"
+
+namespace marion {
+namespace target {
+
+/// The IL opcode computing the Maril binary operator \p Op.
+il::Opcode ilOpcodeForBinary(maril::BinaryOp Op);
+
+/// True for the comparison operators (Lt..Ne and the generic compare '::'),
+/// whose result is always an int condition value.
+bool isComparisonOpcode(il::Opcode Op);
+
+} // namespace target
+} // namespace marion
+
+#endif // MARION_TARGET_OPCODEMAPPING_H

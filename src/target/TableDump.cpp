@@ -1,0 +1,200 @@
+//===- TableDump.cpp ------------------------------------------------------==//
+
+#include "target/TableDump.h"
+
+#include "target/TargetInfo.h"
+
+using namespace marion;
+using namespace marion::target;
+
+namespace {
+
+std::string joinBankNames(const maril::MachineDescription &Desc,
+                          const std::vector<int> &Banks) {
+  std::string Out;
+  for (size_t I = 0; I < Banks.size(); ++I) {
+    if (I)
+      Out += ",";
+    if (Banks[I] >= 0 && Banks[I] < static_cast<int>(Desc.Banks.size()))
+      Out += Desc.Banks[Banks[I]].Name;
+  }
+  return Out;
+}
+
+const char *patternKindName(PatternKind Kind) {
+  switch (Kind) {
+  case PatternKind::None:
+    return "none";
+  case PatternKind::Value:
+    return "value";
+  case PatternKind::Store:
+    return "store";
+  case PatternKind::Branch:
+    return "branch";
+  case PatternKind::Jump:
+    return "jump";
+  case PatternKind::Call:
+    return "call";
+  case PatternKind::Ret:
+    return "ret";
+  case PatternKind::Nop:
+    return "nop";
+  }
+  return "?";
+}
+
+void dumpRegisters(const TargetInfo &Target, std::string &Out) {
+  const maril::MachineDescription &Desc = Target.description();
+  Out += "registers (" + std::to_string(Target.registers().numUnits()) +
+         " storage units):\n";
+  for (const maril::RegisterBank &Bank : Desc.Banks) {
+    Out += "  bank " + Bank.Name + ": ";
+    if (Bank.IsTemporal) {
+      Out += "temporal latch, clock " + Bank.ClockName;
+    } else if (Bank.IsScalar) {
+      Out += "scalar, " + std::to_string(Bank.SizeBytes) + " bytes";
+    } else {
+      Out += std::to_string(Bank.count()) + " x " +
+             std::to_string(Bank.SizeBytes) + " bytes";
+    }
+    Out += "\n";
+  }
+  for (const maril::EquivDecl &Eq : Desc.Equivs)
+    Out += "  equiv " + Eq.BankA + "[" + std::to_string(Eq.IndexA) + "] = " +
+           Eq.BankB + "[" + std::to_string(Eq.IndexB) + "]\n";
+}
+
+void dumpRuntime(const TargetInfo &Target, std::string &Out) {
+  const RuntimeModel &Rt = Target.runtime();
+  Out += "runtime model:\n";
+  if (Rt.StackPointer.isValid())
+    Out += "  sp " + Target.regName(Rt.StackPointer) + "\n";
+  if (Rt.FramePointer.isValid())
+    Out += "  fp " + Target.regName(Rt.FramePointer) + "\n";
+  if (Rt.GlobalPointer.isValid())
+    Out += "  gp " + Target.regName(Rt.GlobalPointer) + "\n";
+  if (Rt.ReturnAddress.isValid())
+    Out += "  retaddr " + Target.regName(Rt.ReturnAddress) + "\n";
+  for (const RuntimeModel::HardReg &Hard : Rt.HardRegs)
+    Out += "  hard " + Target.regName(Hard.Reg) + " = " +
+           std::to_string(Hard.Value) + "\n";
+  for (const RuntimeModel::ArgReg &Arg : Rt.Args)
+    Out += "  arg " + std::to_string(Arg.Position) + " (" +
+           typeName(Arg.Type) + ") " + Target.regName(Arg.Reg) + "\n";
+  for (const RuntimeModel::ResultReg &Res : Rt.Results)
+    Out += "  result (" + std::string(typeName(Res.Type)) + ") " +
+           Target.regName(Res.Reg) + "\n";
+}
+
+void dumpInstr(const TargetInfo &Target, const TargetInstr &TI,
+               std::string &Out) {
+  Out += "  [" + std::to_string(TI.Id) + "] " + TI.Desc->headStr() + "\n";
+
+  const Pattern &Pat = TI.Pat;
+  switch (Pat.Kind) {
+  case PatternKind::Value:
+    Out += "      pattern (value) $" + std::to_string(Pat.DestOperand) +
+           " = " + Pat.Root.str() + "\n";
+    break;
+  case PatternKind::Store:
+    Out += "      pattern (store) m[" + Pat.Address.str() + "] = " +
+           Pat.StoredValue.str() + "\n";
+    break;
+  case PatternKind::Branch:
+    Out += "      pattern (branch) if " + Pat.Root.str() + " goto $" +
+           std::to_string(Pat.TargetOperand) + "\n";
+    break;
+  default:
+    Out += "      pattern (" + std::string(patternKindName(Pat.Kind)) + ")\n";
+    break;
+  }
+  if (TI.IsFuncEscape)
+    Out += "      expands via *" + TI.Desc->FuncEscape + "\n";
+
+  Out += "      cost " + std::to_string(TI.cost()) + ", latency " +
+         std::to_string(TI.latency()) + ", slots " +
+         std::to_string(TI.slots()) + "\n";
+  if (!TI.ResourceVec.empty()) {
+    Out += "      resources[" + std::to_string(TI.ResourceVec.size()) + "]";
+    for (const ResourceSet &Cycle : TI.ResourceVec)
+      Out += " " + std::to_string(Cycle.count());
+    Out += "\n";
+  }
+  if (!TI.Desc->ClassElements.empty()) {
+    Out += "      classes { ";
+    for (size_t I = 0; I < TI.Desc->ClassElements.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += TI.Desc->ClassElements[I];
+    }
+    Out += " }\n";
+  }
+  if (!TI.TemporalReads.empty() || !TI.TemporalWrites.empty())
+    Out += "      latches( r:" +
+           joinBankNames(Target.description(), TI.TemporalReads) +
+           " w:" + joinBankNames(Target.description(), TI.TemporalWrites) +
+           " )\n";
+}
+
+void dumpBuckets(const TargetInfo &Target, std::string &Out) {
+  Out += "pattern index (" + std::to_string(Target.matchOrder().size()) +
+         " patterns in match order):\n";
+  size_t NumOpcodes = static_cast<size_t>(il::Opcode::Ret) + 1;
+  for (size_t I = 0; I < NumOpcodes; ++I) {
+    il::Opcode Op = static_cast<il::Opcode>(I);
+    const std::vector<int> &Bucket = Target.valueBucket(Op);
+    if (Bucket.empty())
+      continue;
+    Out += "  value " + std::string(il::opcodeName(Op)) + ":";
+    for (int Id : Bucket)
+      Out += " " + Target.instr(Id).mnemonic();
+    Out += "\n";
+  }
+  if (!Target.atomValuePatterns().empty()) {
+    Out += "  value atoms:";
+    for (int Id : Target.atomValuePatterns())
+      Out += " " + Target.instr(Id).mnemonic();
+    Out += "\n";
+  }
+  if (!Target.storePatterns().empty()) {
+    Out += "  stores:";
+    for (int Id : Target.storePatterns())
+      Out += " " + Target.instr(Id).mnemonic();
+    Out += "\n";
+  }
+  for (size_t I = 0; I < NumOpcodes; ++I) {
+    il::Opcode Op = static_cast<il::Opcode>(I);
+    const std::vector<int> &Bucket = Target.branchBucket(Op);
+    if (Bucket.empty())
+      continue;
+    Out += "  branch " + std::string(il::opcodeName(Op)) + ":";
+    for (int Id : Bucket)
+      Out += " " + Target.instr(Id).mnemonic();
+    Out += "\n";
+  }
+}
+
+} // namespace
+
+std::string target::dumpTables(const TargetInfo &Target) {
+  std::string Out = "machine " + Target.name() + "\n";
+  dumpRegisters(Target, Out);
+  dumpRuntime(Target, Out);
+
+  Out += "instructions:\n";
+  for (const TargetInstr &TI : Target.instructions())
+    dumpInstr(Target, TI, Out);
+
+  dumpBuckets(Target, Out);
+
+  if (!Target.auxLatencies().empty()) {
+    Out += "auxiliary latencies:\n";
+    for (const ResolvedAux &Aux : Target.auxLatencies())
+      Out += "  " + Target.instr(Aux.FirstInstrId).mnemonic() + " -> " +
+             Target.instr(Aux.SecondInstrId).mnemonic() + " (op " +
+             std::to_string(Aux.CondFirstOperand) + " == op " +
+             std::to_string(Aux.CondSecondOperand) +
+             "): " + std::to_string(Aux.Latency) + "\n";
+  }
+  return Out;
+}

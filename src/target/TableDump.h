@@ -1,0 +1,31 @@
+//===- TableDump.h - Human-readable target table dump -------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders everything the code generator generator derived — register file,
+/// runtime model, per-instruction patterns and scheduler attributes, the
+/// opcode-bucketed pattern index and the auxiliary latency table — so a
+/// machine description author can inspect what Marion built.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TARGET_TABLEDUMP_H
+#define MARION_TARGET_TABLEDUMP_H
+
+#include <string>
+
+namespace marion {
+namespace target {
+
+class TargetInfo;
+
+/// Renders the derived tables of \p Target.
+std::string dumpTables(const TargetInfo &Target);
+
+} // namespace target
+} // namespace marion
+
+#endif // MARION_TARGET_TABLEDUMP_H

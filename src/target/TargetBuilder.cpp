@@ -1,0 +1,677 @@
+//===- TargetBuilder.cpp --------------------------------------------------==//
+
+#include "target/TargetBuilder.h"
+
+#include "maril/Parser.h"
+#include "support/Paths.h"
+#include "target/DefUse.h"
+#include "target/OpcodeMapping.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+using namespace marion;
+using namespace marion::target;
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const TargetInfo>
+TargetBuilder::loadMachine(const std::string &Machine,
+                           DiagnosticEngine &Diags) {
+  std::string Path = machineDir() + "/" + Machine + ".maril";
+  std::string Source, Error;
+  if (!readFile(Path, Source, Error)) {
+    Diags.error(SourceLocation(), "cannot load machine '" + Machine +
+                                      "': " + Error);
+    return nullptr;
+  }
+  Diags.setFile(Path);
+  return buildFromSource(Source, Machine, Diags);
+}
+
+std::shared_ptr<const TargetInfo>
+TargetBuilder::buildFromSource(std::string_view Source,
+                               const std::string &MachineName,
+                               DiagnosticEngine &Diags) {
+  auto Desc = maril::Parser::parseAndValidate(Source, Diags, MachineName);
+  if (!Desc)
+    return nullptr;
+  return build(std::move(*Desc), Diags);
+}
+
+std::shared_ptr<const TargetInfo>
+TargetBuilder::build(maril::MachineDescription Desc, DiagnosticEngine &Diags) {
+  auto Start = std::chrono::steady_clock::now();
+  auto Info = std::make_shared<TargetInfo>();
+  Info->Description = std::move(Desc);
+  TargetBuilder Builder(*Info, Diags);
+  if (!Builder.run())
+    return nullptr;
+  auto End = std::chrono::steady_clock::now();
+  Info->BuildMicros =
+      std::chrono::duration<double, std::micro>(End - Start).count();
+  return Info;
+}
+
+bool TargetBuilder::run() {
+  buildRegisterFile();
+  if (!buildRuntimeModel())
+    return false;
+  if (!buildInstructions())
+    return false;
+  buildIndexes();
+  if (!buildAuxLatencies())
+    return false;
+  buildCallClobbers();
+  return !Diags.hasErrors();
+}
+
+//===----------------------------------------------------------------------===//
+// Register file
+//===----------------------------------------------------------------------===//
+
+int TargetBuilder::bankIdOf(const std::string &Name) const {
+  const maril::RegisterBank *Bank = Info.Description.findBank(Name);
+  return Bank ? Bank->Id : -1;
+}
+
+void TargetBuilder::buildRegisterFile() {
+  const maril::MachineDescription &D = Info.Description;
+  RegisterFile &RF = Info.Regs;
+  RF.Units.assign(D.Banks.size(), {});
+
+  // Which banks overlay another (the BankA side of a %equiv)?
+  std::vector<const maril::EquivDecl *> Overlay(D.Banks.size(), nullptr);
+  for (const maril::EquivDecl &Eq : D.Equivs)
+    if (Eq.BankAId >= 0 && Eq.BankBId >= 0)
+      Overlay[Eq.BankAId] = &Eq;
+
+  // Base banks first: one storage unit per register (the simulator keeps a
+  // whole raw value per unit, so scalar temporal latches also get one).
+  unsigned Next = 0;
+  for (const maril::RegisterBank &Bank : D.Banks) {
+    if (Bank.Hi < 0)
+      continue;
+    RF.Units[Bank.Id].resize(Bank.Hi + 1);
+    if (Overlay[Bank.Id])
+      continue;
+    for (int I = std::max(0, Bank.Lo); I <= Bank.Hi; ++I)
+      RF.Units[Bank.Id][I] = {Next++};
+  }
+
+  // Overlay banks share the base bank's units, low word first; registers
+  // that extend past the base range get fresh units.
+  for (const maril::RegisterBank &Bank : D.Banks) {
+    const maril::EquivDecl *Eq = Overlay[Bank.Id];
+    if (!Eq || Bank.Hi < 0)
+      continue;
+    const maril::RegisterBank &Base = D.Banks[Eq->BankBId];
+    unsigned Ratio =
+        Base.SizeBytes ? std::max(1u, Bank.SizeBytes / Base.SizeBytes) : 1;
+    for (int I = std::max(0, Bank.Lo); I <= Bank.Hi; ++I) {
+      std::vector<unsigned> Units;
+      int From = Eq->IndexB + (I - Eq->IndexA) * static_cast<int>(Ratio);
+      for (unsigned Word = 0; Word < Ratio; ++Word) {
+        int Idx = From + static_cast<int>(Word);
+        if (Idx >= Base.Lo && Idx <= Base.Hi &&
+            !RF.Units[Base.Id][Idx].empty())
+          for (unsigned Unit : RF.Units[Base.Id][Idx])
+            Units.push_back(Unit);
+        else
+          Units.push_back(Next++);
+      }
+      RF.Units[Bank.Id][I] = std::move(Units);
+    }
+  }
+  RF.NumUnits = Next;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime model
+//===----------------------------------------------------------------------===//
+
+PhysReg TargetBuilder::resolveFixed(const maril::Cwvm::FixedReg &Fixed) const {
+  if (!Fixed.isValid())
+    return PhysReg{};
+  int Bank = bankIdOf(Fixed.Bank);
+  return Bank < 0 ? PhysReg{} : PhysReg{Bank, Fixed.Index};
+}
+
+bool TargetBuilder::buildRuntimeModel() {
+  const maril::Cwvm &C = Info.Description.Runtime;
+  RuntimeModel &Rt = Info.Runtime;
+
+  Rt.StackPointer = resolveFixed(C.StackPointer);
+  Rt.FramePointer = resolveFixed(C.FramePointer);
+  Rt.GlobalPointer = resolveFixed(C.GlobalPointer);
+  Rt.ReturnAddress = resolveFixed(C.ReturnAddress);
+
+  for (const maril::Cwvm::HardReg &H : C.Hard) {
+    int Bank = bankIdOf(H.Bank);
+    if (Bank >= 0)
+      Rt.HardRegs.push_back({PhysReg{Bank, H.Index}, H.Value});
+  }
+  for (const maril::Cwvm::ArgReg &A : C.Args) {
+    int Bank = bankIdOf(A.Bank);
+    if (Bank >= 0)
+      Rt.Args.push_back({A.Type, A.Position, PhysReg{Bank, A.Index}});
+  }
+  for (const maril::Cwvm::ResultReg &R : C.Results) {
+    int Bank = bankIdOf(R.Bank);
+    if (Bank >= 0)
+      Rt.Results.push_back({R.Type, PhysReg{Bank, R.Index}});
+  }
+
+  Rt.AllocablePerBank.assign(Info.Description.Banks.size(), {});
+  for (const maril::Cwvm::BankRange &Range : C.Allocable) {
+    int Bank = bankIdOf(Range.Bank);
+    if (Bank < 0)
+      continue;
+    for (int I = Range.Lo; I <= Range.Hi; ++I)
+      Rt.AllocablePerBank[Bank].push_back(PhysReg{Bank, I});
+  }
+  for (const maril::Cwvm::BankRange &Range : C.CalleeSave) {
+    int Bank = bankIdOf(Range.Bank);
+    if (Bank < 0)
+      continue;
+    for (int I = Range.Lo; I <= Range.Hi; ++I)
+      Rt.CalleeSaved.push_back(PhysReg{Bank, I});
+  }
+
+  Info.GeneralBankByType.assign(4, -1);
+  for (const maril::Cwvm::GeneralReg &G : C.General) {
+    size_t Index = static_cast<size_t>(G.Type);
+    if (Index < Info.GeneralBankByType.size())
+      Info.GeneralBankByType[Index] = bankIdOf(G.Bank);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern derivation
+//===----------------------------------------------------------------------===//
+
+ValueType TargetBuilder::specType(const maril::InstrDesc &Desc,
+                                  unsigned OperandIndex) {
+  if (OperandIndex < 1 || OperandIndex > Desc.Operands.size())
+    return ValueType::None;
+  const maril::OperandSpec &Spec = Desc.Operands[OperandIndex - 1];
+  if (Spec.Kind != maril::OperandKind::RegClass &&
+      Spec.Kind != maril::OperandKind::FixedReg)
+    return ValueType::None;
+  const maril::RegisterBank *Bank = Info.Description.findBank(Spec.Name);
+  if (Bank && Bank->Types.size() == 1)
+    return Bank->Types[0];
+  return ValueType::None;
+}
+
+PatternNode TargetBuilder::convertExpr(const maril::Expr &E,
+                                       const maril::InstrDesc &Desc) {
+  PatternNode Node;
+  switch (E.kind()) {
+  case maril::ExprKind::Operand:
+    Node.K = PatternNode::Kind::OperandRef;
+    Node.OperandIndex = E.operandIndex();
+    Node.ExpectedType = specType(Desc, Node.OperandIndex);
+    return Node;
+  case maril::ExprKind::IntConst:
+    Node.K = PatternNode::Kind::IntConst;
+    Node.Const = E.intValue();
+    return Node;
+  case maril::ExprKind::FloatConst:
+    Node.K = PatternNode::Kind::IntConst;
+    Node.Const = static_cast<int64_t>(E.floatValue());
+    return Node;
+  case maril::ExprKind::MemRef:
+    Node.K = PatternNode::Kind::ILOp;
+    Node.Op = il::Opcode::Load;
+    if (Desc.HasTypeConstraint)
+      Node.ExpectedType = Desc.TypeConstraint;
+    Node.Kids.push_back(convertExpr(E.memAddress(), Desc));
+    return Node;
+  case maril::ExprKind::Binary:
+    Node.K = PatternNode::Kind::ILOp;
+    Node.Op = ilOpcodeForBinary(E.binaryOp());
+    Node.Kids.push_back(convertExpr(E.lhs(), Desc));
+    Node.Kids.push_back(convertExpr(E.rhs(), Desc));
+    return Node;
+  case maril::ExprKind::Unary:
+    Node.K = PatternNode::Kind::ILOp;
+    switch (E.unaryOp()) {
+    case maril::UnaryOp::Neg:
+      Node.Op = il::Opcode::Neg;
+      Node.Kids.push_back(convertExpr(E.sub(), Desc));
+      return Node;
+    case maril::UnaryOp::BitNot:
+      Node.Op = il::Opcode::Not;
+      Node.Kids.push_back(convertExpr(E.sub(), Desc));
+      return Node;
+    case maril::UnaryOp::LogNot: {
+      // !e is the front end's (e == 0).
+      Node.Op = il::Opcode::Eq;
+      Node.Kids.push_back(convertExpr(E.sub(), Desc));
+      PatternNode Zero;
+      Zero.K = PatternNode::Kind::IntConst;
+      Zero.Const = 0;
+      Node.Kids.push_back(std::move(Zero));
+      return Node;
+    }
+    }
+    return Node;
+  case maril::ExprKind::Cast:
+    Node.K = PatternNode::Kind::ILOp;
+    Node.Op = il::Opcode::Cvt;
+    Node.ExpectedType = E.castType();
+    Node.Kids.push_back(convertExpr(E.sub(), Desc));
+    return Node;
+  case maril::ExprKind::Builtin: {
+    const std::vector<maril::Expr::Ptr> &Args = E.builtinArgs();
+    if (Args.size() == 1 && Args[0]->kind() == maril::ExprKind::Operand) {
+      Node.K = PatternNode::Kind::Builtin;
+      Node.Fn = E.builtinFn();
+      Node.OperandIndex = Args[0]->operandIndex();
+      return Node;
+    }
+    // Non-operand builtin arguments do not occur in instruction bodies;
+    // produce an unmatchable node.
+    Node.K = PatternNode::Kind::IntConst;
+    Node.Const = -1;
+    return Node;
+  }
+  case maril::ExprKind::NamedReg:
+    // Unreachable: temporal bodies are given PatternKind::None before
+    // conversion. Produce an unmatchable node defensively.
+    Node.K = PatternNode::Kind::IntConst;
+    Node.Const = -1;
+    return Node;
+  }
+  return Node;
+}
+
+namespace {
+
+/// True when any expression of the body references a temporal latch by name.
+bool bodyUsesNamedRegs(const maril::InstrDesc &Desc) {
+  bool Found = false;
+  auto Check = [&Found](const maril::Expr &E) {
+    if (E.kind() == maril::ExprKind::NamedReg)
+      Found = true;
+  };
+  for (const maril::Stmt &S : Desc.Body) {
+    if (S.Lhs)
+      S.Lhs->visit(Check);
+    if (S.Value)
+      S.Value->visit(Check);
+  }
+  return Found;
+}
+
+} // namespace
+
+void TargetBuilder::derivePattern(TargetInstr &TI) {
+  const maril::InstrDesc &Desc = *TI.Desc;
+  Pattern &Pat = TI.Pat;
+
+  if (Desc.Body.empty()) {
+    Pat.Kind = PatternKind::Nop;
+    return;
+  }
+  if (bodyUsesNamedRegs(Desc)) {
+    Pat.Kind = PatternKind::None; // Temporal sub-operation.
+    return;
+  }
+
+  const maril::Stmt &S = Desc.Body.front();
+  switch (S.Kind) {
+  case maril::StmtKind::Assign:
+    if (S.Lhs->kind() == maril::ExprKind::Operand) {
+      Pat.Kind = PatternKind::Value;
+      Pat.DestOperand = S.Lhs->operandIndex();
+      Pat.Root = convertExpr(*S.Value, Desc);
+      if (Pat.Root.K == PatternNode::Kind::ILOp &&
+          Pat.Root.ExpectedType == ValueType::None && Desc.HasTypeConstraint)
+        Pat.Root.ExpectedType = Desc.TypeConstraint;
+    } else if (S.Lhs->kind() == maril::ExprKind::MemRef) {
+      Pat.Kind = PatternKind::Store;
+      Pat.Address = convertExpr(S.Lhs->memAddress(), Desc);
+      Pat.StoredValue = convertExpr(*S.Value, Desc);
+    }
+    return;
+  case maril::StmtKind::IfGoto:
+    Pat.Kind = PatternKind::Branch;
+    Pat.Root = convertExpr(*S.Value, Desc);
+    Pat.TargetOperand = S.TargetOperand;
+    return;
+  case maril::StmtKind::Goto:
+    Pat.Kind = PatternKind::Jump;
+    Pat.TargetOperand = S.TargetOperand;
+    return;
+  case maril::StmtKind::Call:
+    Pat.Kind = PatternKind::Call;
+    Pat.TargetOperand = S.TargetOperand;
+    return;
+  case maril::StmtKind::Ret:
+    Pat.Kind = PatternKind::Ret;
+    return;
+  }
+}
+
+void TargetBuilder::deriveDefsUses(TargetInstr &TI) {
+  const maril::InstrDesc &Desc = *TI.Desc;
+  const maril::MachineDescription &D = Info.Description;
+
+  auto isRegOperand = [&](unsigned Index) {
+    if (Index < 1 || Index > Desc.Operands.size())
+      return false;
+    maril::OperandKind Kind = Desc.Operands[Index - 1].Kind;
+    return Kind == maril::OperandKind::RegClass ||
+           Kind == maril::OperandKind::FixedReg;
+  };
+  auto addUnique = [](std::vector<unsigned> &Set, unsigned Value) {
+    if (std::find(Set.begin(), Set.end(), Value) == Set.end())
+      Set.push_back(Value);
+  };
+  auto addBank = [&](std::vector<int> &Set, const std::string &Name) {
+    const maril::RegisterBank *Bank = D.findBank(Name);
+    if (Bank &&
+        std::find(Set.begin(), Set.end(), Bank->Id) == Set.end())
+      Set.push_back(Bank->Id);
+  };
+  auto collectUses = [&](const maril::Expr &E) {
+    E.visit([&](const maril::Expr &Sub) {
+      switch (Sub.kind()) {
+      case maril::ExprKind::Operand:
+        if (isRegOperand(Sub.operandIndex()))
+          addUnique(TI.UseOps, Sub.operandIndex());
+        break;
+      case maril::ExprKind::MemRef:
+        TI.ReadsMem = true;
+        break;
+      case maril::ExprKind::NamedReg:
+        addBank(TI.TemporalReads, Sub.regName());
+        break;
+      default:
+        break;
+      }
+    });
+  };
+
+  for (const maril::Stmt &S : Desc.Body) {
+    switch (S.Kind) {
+    case maril::StmtKind::IfGoto:
+      TI.IsBranch = true;
+      break;
+    case maril::StmtKind::Goto:
+      // The CFG builder gathers label successors from any IsBranch
+      // instruction; unconditional jumps must carry it too (Pat.Kind
+      // distinguishes the no-fall-through case).
+      TI.IsJump = true;
+      TI.IsBranch = true;
+      break;
+    case maril::StmtKind::Call:
+      TI.IsCall = true;
+      break;
+    case maril::StmtKind::Ret:
+      TI.IsRet = true;
+      break;
+    case maril::StmtKind::Assign:
+      break;
+    }
+    if (S.Lhs) {
+      switch (S.Lhs->kind()) {
+      case maril::ExprKind::Operand:
+        if (isRegOperand(S.Lhs->operandIndex()))
+          addUnique(TI.DefOps, S.Lhs->operandIndex());
+        break;
+      case maril::ExprKind::MemRef:
+        TI.WritesMem = true;
+        collectUses(S.Lhs->memAddress());
+        break;
+      case maril::ExprKind::NamedReg:
+        addBank(TI.TemporalWrites, S.Lhs->regName());
+        break;
+      default:
+        break;
+      }
+    }
+    if (S.Value)
+      collectUses(*S.Value);
+  }
+  std::sort(TI.DefOps.begin(), TI.DefOps.end());
+  std::sort(TI.UseOps.begin(), TI.UseOps.end());
+}
+
+void TargetBuilder::deriveInstr(TargetInstr &TI) {
+  const maril::InstrDesc &Desc = *TI.Desc;
+  TI.IsMove = Desc.IsMove;
+  TI.IsFuncEscape = !Desc.FuncEscape.empty();
+  TI.AffectsClock = Desc.ClockId;
+
+  derivePattern(TI);
+  deriveDefsUses(TI);
+
+  TI.ResourceVec.reserve(Desc.ResourceUsage.size());
+  for (const std::vector<std::string> &Cycle : Desc.ResourceUsage) {
+    ResourceSet Set;
+    for (const std::string &Name : Cycle)
+      if (const maril::ResourceDecl *Res = Info.Description.findResource(Name))
+        Set.set(Res->Index);
+    TI.ResourceVec.push_back(Set);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction table, match order and buckets
+//===----------------------------------------------------------------------===//
+
+bool TargetBuilder::buildInstructions() {
+  maril::MachineDescription &D = Info.Description;
+
+  // Machine-wide packing-class element bits, in order of first appearance.
+  std::vector<std::string> ClassNames;
+  auto classBit = [&](const std::string &Name) -> uint64_t {
+    for (size_t I = 0; I < ClassNames.size(); ++I)
+      if (ClassNames[I] == Name)
+        return I < 64 ? (uint64_t(1) << I) : 0;
+    ClassNames.push_back(Name);
+    size_t I = ClassNames.size() - 1;
+    return I < 64 ? (uint64_t(1) << I) : 0;
+  };
+
+  Info.Instrs.resize(D.Instructions.size());
+  for (size_t I = 0; I < D.Instructions.size(); ++I) {
+    TargetInstr &TI = Info.Instrs[I];
+    TI.Id = static_cast<int>(I);
+    TI.Desc = &D.Instructions[I];
+    deriveInstr(TI);
+    for (const std::string &Element : TI.Desc->ClassElements)
+      TI.ClassMask |= classBit(Element);
+  }
+  return true;
+}
+
+void TargetBuilder::buildIndexes() {
+  // The match order: selectable instructions in description order, minus
+  // plain moves (they would match any atom and recurse through emitCopy)
+  // and temporal sub-operations (reachable only through escapes).
+  for (const TargetInstr &TI : Info.Instrs) {
+    if (TI.Pat.Kind == PatternKind::None)
+      continue;
+    if (TI.IsMove && TI.Desc->FuncEscape.empty())
+      continue;
+    if (!TI.TemporalReads.empty() || !TI.TemporalWrites.empty())
+      continue;
+    Info.MatchOrder.push_back(TI.Id);
+  }
+
+  // Opcode buckets partition the match order; order inside each bucket is
+  // match order, so bucketed dispatch selects exactly what the linear scan
+  // selects (ILOp-rooted patterns only match nodes of their root opcode,
+  // atom-rooted value patterns only match Const/AddrGlobal nodes).
+  size_t NumOpcodes = static_cast<size_t>(il::Opcode::Ret) + 1;
+  Info.ValueBuckets.assign(NumOpcodes, {});
+  Info.BranchBuckets.assign(NumOpcodes, {});
+  for (int Id : Info.MatchOrder) {
+    const Pattern &Pat = Info.Instrs[Id].Pat;
+    switch (Pat.Kind) {
+    case PatternKind::Value:
+      if (Pat.Root.K == PatternNode::Kind::ILOp)
+        Info.ValueBuckets[static_cast<size_t>(Pat.Root.Op)].push_back(Id);
+      else
+        Info.AtomValues.push_back(Id);
+      break;
+    case PatternKind::Store:
+      Info.Stores.push_back(Id);
+      break;
+    case PatternKind::Branch:
+      if (Pat.Root.K == PatternNode::Kind::ILOp) {
+        Info.BranchBuckets[static_cast<size_t>(Pat.Root.Op)].push_back(Id);
+      } else {
+        // A non-operator condition root could match any condition node;
+        // appending to every bucket here preserves the global order.
+        for (std::vector<int> &Bucket : Info.BranchBuckets)
+          Bucket.push_back(Id);
+      }
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Cached singleton queries.
+  size_t NumBanks = Info.Description.Banks.size();
+  Info.MoveByBank.assign(NumBanks, -1);
+  Info.LoadByBank.assign(NumBanks, -1);
+  Info.StoreByBank.assign(NumBanks, -1);
+  Info.AddImmByBank.assign(NumBanks, -1);
+  Info.LoadImmByBank.assign(NumBanks, -1);
+
+  auto specIs = [&](const TargetInstr &TI, unsigned Index,
+                    maril::OperandKind Kind) {
+    return Index >= 1 && Index <= TI.Desc->Operands.size() &&
+           TI.Desc->Operands[Index - 1].Kind == Kind;
+  };
+  auto specBank = [&](const TargetInstr &TI, unsigned Index) -> int {
+    if (!specIs(TI, Index, maril::OperandKind::RegClass))
+      return -1;
+    return bankIdOf(TI.Desc->Operands[Index - 1].Name);
+  };
+  auto destBank = [&](const TargetInstr &TI) -> int {
+    return TI.Pat.Kind == PatternKind::Value ? specBank(TI, TI.Pat.DestOperand)
+                                             : -1;
+  };
+  // (reg + imm) shape shared by base+displacement addresses and
+  // add-immediate patterns.
+  auto isRegImmAdd = [&](const PatternNode &Node) {
+    return Node.K == PatternNode::Kind::ILOp && Node.Op == il::Opcode::Add &&
+           Node.Kids.size() == 2 &&
+           Node.Kids[0].K == PatternNode::Kind::OperandRef &&
+           Node.Kids[1].K == PatternNode::Kind::OperandRef;
+  };
+  auto cache = [](std::vector<int> &Table, int Bank, int Id) {
+    if (Bank >= 0 && Bank < static_cast<int>(Table.size()) &&
+        Table[Bank] < 0)
+      Table[Bank] = Id;
+  };
+
+  for (const TargetInstr &TI : Info.Instrs) {
+    const Pattern &Pat = TI.Pat;
+    if (Pat.Kind == PatternKind::Value) {
+      int Dest = destBank(TI);
+      if (TI.IsMove && !TI.IsFuncEscape &&
+          Pat.Root.K == PatternNode::Kind::OperandRef)
+        cache(Info.MoveByBank, Dest, TI.Id);
+      if (!TI.IsMove && Pat.Root.K == PatternNode::Kind::OperandRef &&
+          specIs(TI, Pat.Root.OperandIndex, maril::OperandKind::Imm))
+        cache(Info.LoadImmByBank, Dest, TI.Id);
+      if (Pat.Root.K == PatternNode::Kind::ILOp &&
+          Pat.Root.Op == il::Opcode::Load && Pat.Root.Kids.size() == 1 &&
+          isRegImmAdd(Pat.Root.Kids[0]) &&
+          specBank(TI, Pat.Root.Kids[0].Kids[0].OperandIndex) >= 0 &&
+          specIs(TI, Pat.Root.Kids[0].Kids[1].OperandIndex,
+                 maril::OperandKind::Imm))
+        cache(Info.LoadByBank, Dest, TI.Id);
+      if (isRegImmAdd(Pat.Root) && !TI.IsMove &&
+          specBank(TI, Pat.Root.Kids[0].OperandIndex) == Dest &&
+          specIs(TI, Pat.Root.Kids[1].OperandIndex, maril::OperandKind::Imm))
+        cache(Info.AddImmByBank, Dest, TI.Id);
+    } else if (Pat.Kind == PatternKind::Store) {
+      if (Pat.StoredValue.K == PatternNode::Kind::OperandRef &&
+          isRegImmAdd(Pat.Address) &&
+          specIs(TI, Pat.Address.Kids[1].OperandIndex,
+                 maril::OperandKind::Imm))
+        cache(Info.StoreByBank, specBank(TI, Pat.StoredValue.OperandIndex),
+              TI.Id);
+    } else if (Pat.Kind == PatternKind::Jump) {
+      if (Info.JumpId < 0)
+        Info.JumpId = TI.Id;
+    } else if (Pat.Kind == PatternKind::Call) {
+      if (Info.CallId < 0)
+        Info.CallId = TI.Id;
+    } else if (Pat.Kind == PatternKind::Ret) {
+      if (Info.RetId < 0)
+        Info.RetId = TI.Id;
+    } else if (Pat.Kind == PatternKind::Nop) {
+      if (Info.NopId < 0)
+        Info.NopId = TI.Id;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Auxiliary latencies and call clobbers
+//===----------------------------------------------------------------------===//
+
+bool TargetBuilder::buildAuxLatencies() {
+  Info.AuxByProducer.assign(Info.Instrs.size(), {});
+  for (const maril::AuxLatency &Aux : Info.Description.AuxLatencies) {
+    ResolvedAux Resolved;
+    Resolved.FirstInstrId = Info.findByMnemonic(Aux.FirstMnemonic);
+    Resolved.SecondInstrId = Info.findByMnemonic(Aux.SecondMnemonic);
+    if (Resolved.FirstInstrId < 0 || Resolved.SecondInstrId < 0) {
+      Diags.warning(Aux.Loc, "auxiliary latency references unknown "
+                             "instruction '" +
+                                 (Resolved.FirstInstrId < 0
+                                      ? Aux.FirstMnemonic
+                                      : Aux.SecondMnemonic) +
+                                 "'");
+      continue;
+    }
+    // The condition "A.$i == B.$j" names the pair's instructions by
+    // position; normalize to (producer operand, consumer operand).
+    if (Aux.CondFirstInstr == 1) {
+      Resolved.CondFirstOperand = Aux.CondFirstOperand;
+      Resolved.CondSecondOperand = Aux.CondSecondOperand;
+    } else {
+      Resolved.CondFirstOperand = Aux.CondSecondOperand;
+      Resolved.CondSecondOperand = Aux.CondFirstOperand;
+    }
+    Resolved.Latency = Aux.Latency;
+    Info.AuxByProducer[Resolved.FirstInstrId].push_back(
+        static_cast<int>(Info.Auxes.size()));
+    Info.Auxes.push_back(Resolved);
+  }
+  return true;
+}
+
+void TargetBuilder::buildCallClobbers() {
+  std::set<unsigned> SavedUnits;
+  for (PhysReg Reg : Info.Runtime.CalleeSaved)
+    for (unsigned Unit : Info.Regs.unitsOf(Reg))
+      SavedUnits.insert(Unit);
+
+  std::set<int> Keys;
+  for (const std::vector<PhysReg> &Bank : Info.Runtime.AllocablePerBank)
+    for (PhysReg Reg : Bank)
+      for (unsigned Unit : Info.Regs.unitsOf(Reg))
+        if (!SavedUnits.count(Unit))
+          Keys.insert(unitKey(Unit));
+  if (Info.Runtime.ReturnAddress.isValid())
+    for (unsigned Unit : Info.Regs.unitsOf(Info.Runtime.ReturnAddress))
+      Keys.insert(unitKey(Unit));
+
+  Info.CallClobbers.assign(Keys.begin(), Keys.end());
+}

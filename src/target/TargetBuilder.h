@@ -1,0 +1,77 @@
+//===- TargetBuilder.h - The code generator generator -------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generator generator (paper §2): lowers a validated Maril
+/// machine description once into the immutable TargetInfo tables — selector
+/// patterns bucketed by root IL opcode, per-cycle resource bitsets, the
+/// flattened auxiliary-latency table, the register file as storage units,
+/// the resolved runtime model and the cached singleton queries. Everything
+/// per-function phases touch afterwards is a table probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TARGET_TARGETBUILDER_H
+#define MARION_TARGET_TARGETBUILDER_H
+
+#include "support/Diagnostics.h"
+#include "target/TargetInfo.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace marion {
+namespace target {
+
+class TargetBuilder {
+public:
+  /// Loads machines/<name>.maril, parses, validates and lowers it.
+  /// Returns nullptr (and diagnostics) on any error.
+  static std::shared_ptr<const TargetInfo>
+  loadMachine(const std::string &Machine, DiagnosticEngine &Diags);
+
+  /// Parses, validates and lowers a description held in a string.
+  static std::shared_ptr<const TargetInfo>
+  buildFromSource(std::string_view Source, const std::string &MachineName,
+                  DiagnosticEngine &Diags);
+
+  /// Lowers an already-validated description.
+  static std::shared_ptr<const TargetInfo>
+  build(maril::MachineDescription Desc, DiagnosticEngine &Diags);
+
+private:
+  TargetBuilder(TargetInfo &Info, DiagnosticEngine &Diags)
+      : Info(Info), Diags(Diags) {}
+
+  bool run();
+
+  void buildRegisterFile();
+  bool buildRuntimeModel();
+  bool buildInstructions();
+  void buildIndexes();
+  bool buildAuxLatencies();
+  void buildCallClobbers();
+
+  // Per-instruction derivation.
+  void deriveInstr(TargetInstr &TI);
+  void derivePattern(TargetInstr &TI);
+  void deriveDefsUses(TargetInstr &TI);
+  PatternNode convertExpr(const maril::Expr &E, const maril::InstrDesc &Desc);
+  /// The type the spec's register bank holds, when unambiguous.
+  ValueType specType(const maril::InstrDesc &Desc, unsigned OperandIndex);
+
+  int bankIdOf(const std::string &Name) const;
+  PhysReg resolveFixed(const maril::Cwvm::FixedReg &Fixed) const;
+
+  TargetInfo &Info;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace target
+} // namespace marion
+
+#endif // MARION_TARGET_TARGETBUILDER_H

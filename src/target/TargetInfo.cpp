@@ -1,0 +1,210 @@
+//===- TargetInfo.cpp -----------------------------------------------------==//
+
+#include "target/TargetInfo.h"
+
+using namespace marion;
+using namespace marion::target;
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *typeSuffix(ValueType Type) {
+  switch (Type) {
+  case ValueType::Int:
+    return ".i";
+  case ValueType::Float:
+    return ".f";
+  case ValueType::Double:
+    return ".d";
+  case ValueType::None:
+    break;
+  }
+  return "";
+}
+
+} // namespace
+
+std::string PatternNode::str() const {
+  switch (K) {
+  case Kind::OperandRef:
+    return "$" + std::to_string(OperandIndex);
+  case Kind::IntConst:
+    return std::to_string(Const);
+  case Kind::Builtin:
+    return std::string("(") + maril::builtinFnSpelling(Fn) + " $" +
+           std::to_string(OperandIndex) + ")";
+  case Kind::ILOp: {
+    std::string Out = "(";
+    Out += il::opcodeName(Op);
+    Out += typeSuffix(ExpectedType);
+    for (const PatternNode &Kid : Kids) {
+      Out += " ";
+      Out += Kid.str();
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Register file
+//===----------------------------------------------------------------------===//
+
+const std::vector<unsigned> &RegisterFile::unitsOf(PhysReg Reg) const {
+  if (Reg.Bank < 0 || Reg.Bank >= static_cast<int>(Units.size()))
+    return Empty;
+  const std::vector<std::vector<unsigned>> &Bank = Units[Reg.Bank];
+  if (Reg.Index < 0 || Reg.Index >= static_cast<int>(Bank.size()))
+    return Empty;
+  return Bank[Reg.Index];
+}
+
+bool RegisterFile::alias(PhysReg A, PhysReg B) const {
+  for (unsigned UA : unitsOf(A))
+    for (unsigned UB : unitsOf(B))
+      if (UA == UB)
+        return true;
+  return false;
+}
+
+std::optional<PhysReg>
+RegisterFile::subReg(const maril::MachineDescription &Desc, PhysReg Reg,
+                     unsigned SubIdx) const {
+  for (const maril::EquivDecl &Eq : Desc.Equivs) {
+    if (Eq.BankAId != Reg.Bank || Eq.BankBId < 0)
+      continue;
+    const maril::RegisterBank &A = Desc.Banks[Eq.BankAId];
+    const maril::RegisterBank &B = Desc.Banks[Eq.BankBId];
+    if (B.SizeBytes == 0 || A.SizeBytes <= B.SizeBytes)
+      continue;
+    unsigned Ratio = A.SizeBytes / B.SizeBytes;
+    if (SubIdx >= Ratio)
+      return std::nullopt;
+    int Base = Eq.IndexB + (Reg.Index - Eq.IndexA) * static_cast<int>(Ratio);
+    int Index = Base + static_cast<int>(SubIdx);
+    if (Index < B.Lo || Index > B.Hi)
+      return std::nullopt;
+    return PhysReg{Eq.BankBId, Index};
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime model
+//===----------------------------------------------------------------------===//
+
+std::optional<PhysReg> RuntimeModel::argReg(ValueType Type,
+                                            int Position) const {
+  for (const ArgReg &Arg : Args)
+    if (Arg.Type == Type && Arg.Position == Position)
+      return Arg.Reg;
+  return std::nullopt;
+}
+
+std::optional<PhysReg> RuntimeModel::resultReg(ValueType Type) const {
+  for (const ResultReg &Res : Results)
+    if (Res.Type == Type)
+      return Res.Reg;
+  return std::nullopt;
+}
+
+std::optional<int64_t> RuntimeModel::hardValue(PhysReg Reg) const {
+  for (const HardReg &Hard : HardRegs)
+    if (Hard.Reg == Reg)
+      return Hard.Value;
+  return std::nullopt;
+}
+
+bool RuntimeModel::isCalleeSaved(PhysReg Reg) const {
+  for (PhysReg Saved : CalleeSaved)
+    if (Saved == Reg)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// TargetInfo queries
+//===----------------------------------------------------------------------===//
+
+const std::vector<int> &TargetInfo::valueBucket(il::Opcode Op) const {
+  size_t Index = static_cast<size_t>(Op);
+  return Index < ValueBuckets.size() ? ValueBuckets[Index] : EmptyBucket;
+}
+
+const std::vector<int> &TargetInfo::branchBucket(il::Opcode Op) const {
+  size_t Index = static_cast<size_t>(Op);
+  return Index < BranchBuckets.size() ? BranchBuckets[Index] : EmptyBucket;
+}
+
+int TargetInfo::findByMnemonic(const std::string &Mnemonic) const {
+  for (const TargetInstr &Instr : Instrs)
+    if (Instr.Desc->Mnemonic == Mnemonic)
+      return Instr.Id;
+  return -1;
+}
+
+int TargetInfo::findByMoveLabel(const std::string &Label) const {
+  for (const TargetInstr &Instr : Instrs)
+    if (Instr.Desc->MoveLabel == Label)
+      return Instr.Id;
+  return -1;
+}
+
+int TargetInfo::generalBankFor(ValueType Type) const {
+  size_t Index = static_cast<size_t>(Type);
+  return Index < GeneralBankByType.size() ? GeneralBankByType[Index] : -1;
+}
+
+bool TargetInfo::immediateFits(int InstrId, unsigned OpIdx,
+                               int64_t Value) const {
+  if (InstrId < 0 || InstrId >= static_cast<int>(Instrs.size()))
+    return false;
+  const maril::InstrDesc &Desc = *Instrs[InstrId].Desc;
+  if (OpIdx < 1 || OpIdx > Desc.Operands.size())
+    return false;
+  const maril::OperandSpec &Spec = Desc.Operands[OpIdx - 1];
+  if (Spec.Kind != maril::OperandKind::Imm &&
+      Spec.Kind != maril::OperandKind::Label)
+    return false;
+  const maril::ImmediateDef *Def = Description.findImmediate(Spec.Name);
+  return Def && Def->contains(Value);
+}
+
+int TargetInfo::latencyBetween(const MInstr &Producer,
+                               const MInstr &Consumer) const {
+  int Latency = Producer.InstrId >= 0 &&
+                        Producer.InstrId < static_cast<int>(Instrs.size())
+                    ? Instrs[Producer.InstrId].latency()
+                    : 1;
+  if (Producer.InstrId < 0 ||
+      Producer.InstrId >= static_cast<int>(AuxByProducer.size()))
+    return Latency;
+  for (int AuxIdx : AuxByProducer[Producer.InstrId]) {
+    const ResolvedAux &Aux = Auxes[AuxIdx];
+    if (Aux.SecondInstrId != Consumer.InstrId)
+      continue;
+    if (Aux.CondFirstOperand < 1 ||
+        Aux.CondFirstOperand > Producer.Ops.size() ||
+        Aux.CondSecondOperand < 1 ||
+        Aux.CondSecondOperand > Consumer.Ops.size())
+      continue;
+    if (Producer.Ops[Aux.CondFirstOperand - 1].sameRegAs(
+            Consumer.Ops[Aux.CondSecondOperand - 1]))
+      return Aux.Latency;
+  }
+  return Latency;
+}
+
+std::string TargetInfo::regName(PhysReg Reg) const {
+  if (Reg.Bank < 0 || Reg.Bank >= static_cast<int>(Description.Banks.size()))
+    return "?";
+  const maril::RegisterBank &Bank = Description.Banks[Reg.Bank];
+  if (Bank.IsScalar)
+    return Bank.Name;
+  return Bank.Name + std::to_string(Reg.Index);
+}

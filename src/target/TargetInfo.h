@@ -1,0 +1,383 @@
+//===- TargetInfo.h - Precomputed target tables -------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output of the code generator generator: an immutable bundle of
+/// selector patterns, scheduler tables and runtime-model lookups derived
+/// once per machine description (paper §2). Everything the per-function
+/// phases consult is precomputed here so the hot paths are table probes:
+///
+///  - patterns are indexed by root IL opcode (bucketed dispatch) on top of
+///    the paper's ordered match list;
+///  - resource usage is a vector of word-wide bitsets (support/ResourceSet);
+///  - auxiliary latencies are flattened into a per-producer table;
+///  - the singleton queries the selector, frame lowering and allocator
+///    repeat per function (moves, loads, stores, add-immediate, jump, call,
+///    return, nop, general banks) are resolved at build time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_TARGET_TARGETINFO_H
+#define MARION_TARGET_TARGETINFO_H
+
+#include "il/IL.h"
+#include "maril/Description.h"
+#include "support/ResourceSet.h"
+#include "target/MInstr.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace target {
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+/// What an instruction's semantic body computes, which decides how the
+/// selector may use it.
+enum class PatternKind {
+  None,   ///< Not selectable by pattern (temporal sub-operations).
+  Value,  ///< $d = expr — produces a register value.
+  Store,  ///< m[addr] = value.
+  Branch, ///< if (cond) goto $t.
+  Jump,   ///< goto $t.
+  Call,   ///< call $t.
+  Ret,    ///< ret.
+  Nop,    ///< Empty body.
+};
+
+/// One node of a selector pattern tree, derived from the instruction's
+/// semantic expression (paper §2.1).
+struct PatternNode {
+  enum class Kind {
+    ILOp,       ///< An IL operator; Kids are the sub-patterns.
+    IntConst,   ///< A specific integer constant.
+    OperandRef, ///< $n — binds the IL subtree to instruction operand n.
+    Builtin,    ///< high($n) / low($n) wrapping of a bound constant.
+  };
+
+  Kind K = Kind::ILOp;
+  il::Opcode Op = il::Opcode::Const;        ///< For ILOp.
+  ValueType ExpectedType = ValueType::None; ///< Root / Load / Cvt type filter.
+  std::vector<PatternNode> Kids;
+  unsigned OperandIndex = 0; ///< For OperandRef / Builtin (1-based).
+  int64_t Const = 0;         ///< For IntConst.
+  maril::BuiltinFn Fn = maril::BuiltinFn::High; ///< For Builtin.
+
+  /// Renders the pattern, e.g. "(load.i (add $2 $3))".
+  std::string str() const;
+};
+
+/// The derived pattern of one instruction.
+struct Pattern {
+  PatternKind Kind = PatternKind::None;
+  /// Value/Branch pattern tree (the RHS expression or branch condition).
+  PatternNode Root;
+  /// Store patterns: the address expression and the stored value.
+  PatternNode Address;
+  PatternNode StoredValue;
+  unsigned DestOperand = 0;   ///< 1-based destination operand (Value).
+  unsigned TargetOperand = 0; ///< 1-based label operand (Branch/Jump/Call).
+};
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+/// Everything derived about one machine instruction. Desc points into the
+/// owning TargetInfo's MachineDescription.
+struct TargetInstr {
+  int Id = -1;
+  const maril::InstrDesc *Desc = nullptr;
+  Pattern Pat;
+
+  bool IsMove = false;
+  bool IsFuncEscape = false;
+  bool IsCall = false;
+  bool IsRet = false;
+  bool IsBranch = false;
+  bool IsJump = false;
+
+  /// 1-based operand indices the body defines / uses (register operands
+  /// only; immediates and labels carry no dataflow).
+  std::vector<unsigned> DefOps;
+  std::vector<unsigned> UseOps;
+  bool ReadsMem = false;
+  bool WritesMem = false;
+
+  /// Per-cycle resource usage as word-wide bitsets (paper §4.3).
+  std::vector<ResourceSet> ResourceVec;
+  /// Long-instruction-word packing classes as a bitmask over the machine's
+  /// distinct class elements; two instructions pack iff the masks intersect
+  /// (paper §4.5). Zero = unrestricted.
+  uint64_t ClassMask = 0;
+  /// Clock this instruction advances (explicitly advanced pipelines), -1 if
+  /// none.
+  int AffectsClock = -1;
+  /// Temporal register banks (latches) the body reads / writes.
+  std::vector<int> TemporalReads;
+  std::vector<int> TemporalWrites;
+
+  const std::string &mnemonic() const { return Desc->Mnemonic; }
+  int latency() const { return Desc->Latency; }
+  int cost() const { return Desc->Cost; }
+  /// Negative slots mean |slots| delay slots the scheduler must fill with
+  /// nops when it cannot find useful work.
+  int slots() const { return Desc->Slots; }
+  bool isControlFlow() const {
+    return IsCall || IsRet || IsBranch || IsJump;
+  }
+};
+
+/// A resolved %aux directive: the mnemonics bound to instruction ids, the
+/// operand condition kept as 1-based indices into the producer/consumer
+/// operand vectors.
+struct ResolvedAux {
+  int FirstInstrId = -1;
+  int SecondInstrId = -1;
+  unsigned CondFirstOperand = 1;  ///< Operand of the first (producer) instr.
+  unsigned CondSecondOperand = 1; ///< Operand of the second (consumer).
+  int Latency = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Register file
+//===----------------------------------------------------------------------===//
+
+/// The flattened register file: every architectural register is a set of
+/// storage units, and %equiv overlays share units, which is how register
+/// pairs interfere (paper §2.2).
+class RegisterFile {
+public:
+  unsigned numUnits() const { return NumUnits; }
+
+  /// Storage units of \p Reg, low word first. Empty for unknown registers.
+  const std::vector<unsigned> &unitsOf(PhysReg Reg) const;
+
+  /// True when the two registers share any storage unit.
+  bool alias(PhysReg A, PhysReg B) const;
+
+  /// The \p SubIdx-th word of \p Reg as a register of the overlaid bank
+  /// (d1 word 0 = r2 on TOYP). Empty when \p Reg overlays nothing.
+  std::optional<PhysReg> subReg(const maril::MachineDescription &Desc,
+                                PhysReg Reg, unsigned SubIdx) const;
+
+private:
+  friend class TargetBuilder;
+  unsigned NumUnits = 0;
+  /// Units[Bank][Index - Lo] = storage units of that register.
+  std::vector<std::vector<std::vector<unsigned>>> Units;
+  std::vector<unsigned> Empty;
+};
+
+//===----------------------------------------------------------------------===//
+// Runtime model
+//===----------------------------------------------------------------------===//
+
+/// The Cwvm runtime model with every bank/register name resolved.
+class RuntimeModel {
+public:
+  struct HardReg {
+    PhysReg Reg;
+    int64_t Value = 0;
+  };
+  struct ArgReg {
+    ValueType Type = ValueType::Int;
+    int Position = 0;
+    PhysReg Reg;
+  };
+  struct ResultReg {
+    ValueType Type = ValueType::Int;
+    PhysReg Reg;
+  };
+
+  PhysReg StackPointer;
+  PhysReg FramePointer;
+  PhysReg GlobalPointer;
+  PhysReg ReturnAddress;
+  std::vector<HardReg> HardRegs;
+  std::vector<PhysReg> CalleeSaved;
+  /// Allocable registers grouped by bank id (index = bank id).
+  std::vector<std::vector<PhysReg>> AllocablePerBank;
+  std::vector<ArgReg> Args;
+  std::vector<ResultReg> Results;
+
+  /// The register carrying argument \p Position (1-based) of \p Type.
+  std::optional<PhysReg> argReg(ValueType Type, int Position) const;
+  /// The register carrying a result of \p Type.
+  std::optional<PhysReg> resultReg(ValueType Type) const;
+  /// The hardwired value of \p Reg (r0 = 0), if any.
+  std::optional<int64_t> hardValue(PhysReg Reg) const;
+  bool isCalleeSaved(PhysReg Reg) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Selection profiling
+//===----------------------------------------------------------------------===//
+
+/// Lightweight counters over the selector's pattern dispatch, kept on the
+/// (shared, immutable) TargetInfo so every consumer of a cached target
+/// contributes to the same tally. Snapshot/subtract to scope a measurement.
+struct SelectionCounters {
+  std::atomic<uint64_t> NodesMatched{0};  ///< DAG nodes driven through match.
+  std::atomic<uint64_t> PatternsProbed{0}; ///< Patterns examined in total.
+  std::atomic<uint64_t> BucketProbes{0};  ///< Nodes served from a bucket.
+  std::atomic<uint64_t> LinearProbes{0};  ///< Nodes served by linear scan.
+
+  struct Snapshot {
+    uint64_t NodesMatched = 0;
+    uint64_t PatternsProbed = 0;
+    uint64_t BucketProbes = 0;
+    uint64_t LinearProbes = 0;
+
+    Snapshot operator-(const Snapshot &Other) const {
+      return {NodesMatched - Other.NodesMatched,
+              PatternsProbed - Other.PatternsProbed,
+              BucketProbes - Other.BucketProbes,
+              LinearProbes - Other.LinearProbes};
+    }
+    /// Mean patterns examined per DAG node.
+    double probesPerNode() const {
+      return NodesMatched ? double(PatternsProbed) / double(NodesMatched) : 0;
+    }
+    /// Fraction of nodes dispatched through a bucket.
+    double bucketHitRate() const {
+      uint64_t Total = BucketProbes + LinearProbes;
+      return Total ? double(BucketProbes) / double(Total) : 0;
+    }
+  };
+
+  Snapshot snapshot() const {
+    return {NodesMatched.load(), PatternsProbed.load(), BucketProbes.load(),
+            LinearProbes.load()};
+  }
+  void reset() {
+    NodesMatched = 0;
+    PatternsProbed = 0;
+    BucketProbes = 0;
+    LinearProbes = 0;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// TargetInfo
+//===----------------------------------------------------------------------===//
+
+/// The immutable target model. Built once per machine by TargetBuilder and
+/// shared (driver::loadTarget caches per name).
+class TargetInfo {
+public:
+  const std::string &name() const { return Description.Name; }
+  const maril::MachineDescription &description() const { return Description; }
+
+  const std::vector<TargetInstr> &instructions() const { return Instrs; }
+  const TargetInstr &instr(int Id) const { return Instrs[Id]; }
+
+  /// The paper's ordered pattern list: selectable instructions in
+  /// description order. The bucketed indexes below partition exactly this
+  /// list; linear scans over it remain the documented fallback and define
+  /// the tie order inside each bucket.
+  const std::vector<int> &matchOrder() const { return MatchOrder; }
+
+  /// Value patterns whose root is the IL operator \p Op, in match order.
+  const std::vector<int> &valueBucket(il::Opcode Op) const;
+  /// Value patterns with atom roots ($n / high($n) / literal), probed for
+  /// Const and AddrGlobal nodes only.
+  const std::vector<int> &atomValuePatterns() const { return AtomValues; }
+  /// Store patterns in match order.
+  const std::vector<int> &storePatterns() const { return Stores; }
+  /// Branch patterns whose condition root is \p Op, in match order.
+  const std::vector<int> &branchBucket(il::Opcode Op) const;
+
+  /// First instruction with the given mnemonic / %move label; -1 if none.
+  int findByMnemonic(const std::string &Mnemonic) const;
+  int findByMoveLabel(const std::string &Label) const;
+
+  // Cached singleton queries, resolved at build time. All return an
+  // instruction id or -1.
+  int findMove(int Bank) const { return cached(MoveByBank, Bank); }
+  int findLoad(int Bank) const { return cached(LoadByBank, Bank); }
+  int findStore(int Bank) const { return cached(StoreByBank, Bank); }
+  int findAddImm(int Bank) const { return cached(AddImmByBank, Bank); }
+  int findLoadImm(int Bank) const { return cached(LoadImmByBank, Bank); }
+  int findJump() const { return JumpId; }
+  int findCall() const { return CallId; }
+  int findRet() const { return RetId; }
+  int findNop() const { return NopId; }
+
+  /// The %general bank for \p Type, -1 if none.
+  int generalBankFor(ValueType Type) const;
+
+  /// True when operand \p OpIdx (1-based) of \p InstrId is an immediate
+  /// whose declared range contains \p Value.
+  bool immediateFits(int InstrId, unsigned OpIdx, int64_t Value) const;
+
+  /// Latency from \p Producer to \p Consumer: the producer's normal latency
+  /// unless a resolved %aux pair with a holding operand condition overrides
+  /// it (paper §3.3).
+  int latencyBetween(const MInstr &Producer, const MInstr &Consumer) const;
+
+  const std::vector<ResolvedAux> &auxLatencies() const { return Auxes; }
+
+  const RegisterFile &registers() const { return Regs; }
+  const RuntimeModel &runtime() const { return Runtime; }
+
+  /// Renders a register name ("r7", "mr1" for scalar latches).
+  std::string regName(PhysReg Reg) const;
+
+  /// Unit keys clobbered by a call (caller-saved allocable units plus the
+  /// return-address register), precomputed for DefUse.
+  const std::vector<int> &callClobberKeys() const { return CallClobbers; }
+
+  /// Microseconds TargetBuilder spent lowering the description.
+  double buildMicros() const { return BuildMicros; }
+
+  SelectionCounters &counters() const { return Counters; }
+
+private:
+  friend class TargetBuilder;
+
+  maril::MachineDescription Description;
+  std::vector<TargetInstr> Instrs;
+  std::vector<int> MatchOrder;
+
+  // Opcode-bucketed pattern indexes (vectors indexed by il::Opcode).
+  std::vector<std::vector<int>> ValueBuckets;
+  std::vector<int> AtomValues;
+  std::vector<int> Stores;
+  std::vector<std::vector<int>> BranchBuckets;
+  std::vector<int> EmptyBucket;
+
+  std::vector<int> MoveByBank, LoadByBank, StoreByBank, AddImmByBank,
+      LoadImmByBank;
+  int JumpId = -1, CallId = -1, RetId = -1, NopId = -1;
+  std::vector<int> GeneralBankByType; ///< Indexed by ValueType.
+
+  std::vector<ResolvedAux> Auxes;
+  /// Auxes grouped by producer id for O(1) latencyBetween dispatch.
+  std::vector<std::vector<int>> AuxByProducer;
+
+  RegisterFile Regs;
+  RuntimeModel Runtime;
+  std::vector<int> CallClobbers;
+  double BuildMicros = 0;
+  mutable SelectionCounters Counters;
+
+  static int cached(const std::vector<int> &Table, int Bank) {
+    return Bank >= 0 && Bank < static_cast<int>(Table.size()) ? Table[Bank]
+                                                              : -1;
+  }
+};
+
+} // namespace target
+} // namespace marion
+
+#endif // MARION_TARGET_TARGETINFO_H

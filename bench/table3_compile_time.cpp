@@ -22,9 +22,11 @@
 #include "driver/Compiler.h"
 #include "frontend/Frontend.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace marion;
@@ -37,10 +39,14 @@ const char *Suite[] = {"livermore.mc", "suite_matmul.mc", "suite_queens.mc",
 struct Cell {
   double Millis = 0;
   long Work = 0;
+  /// Per-pass milliseconds over the suite (pipeline order), from the
+  /// PassManager's instrumentation.
+  std::vector<std::pair<std::string, double>> PassMs;
 };
 
 Cell compileSuite(const std::string &Machine,
-                  strategy::StrategyKind Strategy, int Repeat) {
+                  strategy::StrategyKind Strategy, int Repeat,
+                  unsigned Jobs = 1) {
   Cell Out;
   auto Start = std::chrono::steady_clock::now();
   for (int R = 0; R < Repeat; ++R)
@@ -49,6 +55,7 @@ Cell compileSuite(const std::string &Machine,
       driver::CompileOptions Opts;
       Opts.Machine = Machine;
       Opts.Strategy = Strategy;
+      Opts.Jobs = Jobs;
       auto Compiled = driver::compileFile(File, Opts, Diags);
       if (!Compiled) {
         std::fprintf(stderr, "compile failed (%s, %s, %s):\n%s",
@@ -57,6 +64,13 @@ Cell compileSuite(const std::string &Machine,
         std::exit(1);
       }
       Out.Work += Compiled->Stats.ScheduledInstrs;
+      if (R == 0) {
+        if (Out.PassMs.empty())
+          for (const pipeline::PassStats &PS : Compiled->Passes)
+            Out.PassMs.emplace_back(PS.Name, 0.0);
+        for (size_t I = 0; I < Compiled->Passes.size(); ++I)
+          Out.PassMs[I].second += Compiled->Passes[I].Micros / 1000.0;
+      }
     }
   auto End = std::chrono::steady_clock::now();
   Out.Millis =
@@ -152,6 +166,18 @@ int main() {
     Print("rase", Rase);
     Shape = Shape && Post.Work < Ips.Work && Ips.Work < Rase.Work;
 
+    // Per-pass breakdown (RASE: the longest pipeline) and thread scaling:
+    // the same suite drained through the pipeline by one worker per core.
+    std::printf("%-8s passes (rase):", Machine);
+    for (const auto &[Name, Ms] : Rase.PassMs)
+      std::printf(" %s %.1f", Name.c_str(), Ms);
+    std::printf(" (ms over suite)\n");
+    unsigned Jobs = std::max(2u, std::thread::hardware_concurrency());
+    Cell Par = compileSuite(Machine, strategy::StrategyKind::RASE, Repeat,
+                            Jobs);
+    std::printf("%-8s rase -j%-2u %12.1f %15.2fx speedup over serial\n",
+                Machine, Jobs, Par.Millis, Rase.Millis / Par.Millis);
+
     SelectCell Bucketed = measureSelection(Machine, /*UseBuckets=*/true,
                                            Repeat);
     SelectCell Linear = measureSelection(Machine, /*UseBuckets=*/false,
@@ -176,11 +202,24 @@ int main() {
              std::to_string(S.Counters.bucketHitRate()) +
              ", \"compile_ms\": " + std::to_string(S.Millis) + "}";
     };
+    auto PassJson = [](const Cell &C) {
+      std::string Out = "{";
+      for (size_t I = 0; I < C.PassMs.size(); ++I)
+        Out += std::string(I ? ", " : "") + "\"" + C.PassMs[I].first +
+               "\": " + std::to_string(C.PassMs[I].second);
+      return Out + "}";
+    };
     Json += std::string(FirstMachine ? "" : ",") + "\n    \"" + Machine +
             "\": {\n      \"postpass\": " + StrategyJson(Post) +
             ",\n      \"ips\": " + StrategyJson(Ips) +
             ",\n      \"rase\": " + StrategyJson(Rase) +
-            ",\n      \"select_bucketed\": " + SelectJson(Bucketed) +
+            ",\n      \"passes_ms\": {\"postpass\": " + PassJson(Post) +
+            ", \"ips\": " + PassJson(Ips) + ", \"rase\": " + PassJson(Rase) +
+            "}" + ",\n      \"parallel\": {\"jobs\": " + std::to_string(Jobs) +
+            ", \"serial_ms\": " + std::to_string(Rase.Millis) +
+            ", \"parallel_ms\": " + std::to_string(Par.Millis) +
+            ", \"speedup\": " + std::to_string(Rase.Millis / Par.Millis) +
+            "}" + ",\n      \"select_bucketed\": " + SelectJson(Bucketed) +
             ",\n      \"select_linear\": " + SelectJson(Linear) +
             ",\n      \"target_build_us\": " +
             std::to_string(Bucketed.TargetBuildMicros) + "\n    }";

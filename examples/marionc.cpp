@@ -11,10 +11,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
+#include "pipeline/Passes.h"
 #include "sim/Simulator.h"
 #include "target/TableDump.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -39,7 +41,13 @@ static void usage() {
       "  --select-stats                       print selector dispatch "
       "counters\n"
       "  --linear                             linear pattern scan instead "
-      "of bucketed dispatch\n");
+      "of bucketed dispatch\n"
+      "  -j<N>                                compile functions on N "
+      "worker threads (-j = all cores)\n"
+      "  --time-passes                        print the per-pass time and "
+      "counter breakdown\n"
+      "  --dump-after=<pass|all>              dump each function after the "
+      "named pass (repeatable)\n");
 }
 
 int main(int argc, char **argv) {
@@ -50,7 +58,7 @@ int main(int argc, char **argv) {
   std::string File;
   driver::CompileOptions Opts;
   bool Run = false, Cycles = false, Cache = false, Quiet = false;
-  bool Tables = false, SelectStats = false;
+  bool Tables = false, SelectStats = false, TimePasses = false;
   std::string Entry = "main";
 
   for (int I = 1; I < argc; ++I) {
@@ -80,6 +88,40 @@ int main(int argc, char **argv) {
       SelectStats = true;
     } else if (Arg == "--linear") {
       Opts.UseBuckets = false;
+    } else if (Arg == "--time-passes") {
+      TimePasses = true;
+    } else if (Arg.rfind("--dump-after=", 0) == 0) {
+      // Comma-separated and repeatable; names checked against the registry.
+      std::string List = Arg.substr(std::strlen("--dump-after="));
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        std::string Name = List.substr(
+            Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+        if (!Name.empty()) {
+          bool Known = Name == "all";
+          for (const std::string &P : pipeline::registeredPassNames())
+            Known = Known || P == Name;
+          if (!Known) {
+            std::fprintf(stderr, "unknown pass '%s' in --dump-after; "
+                                 "known passes:",
+                         Name.c_str());
+            for (const std::string &P : pipeline::registeredPassNames())
+              std::fprintf(stderr, " %s", P.c_str());
+            std::fprintf(stderr, "\n");
+            return 2;
+          }
+          Opts.DumpAfter.push_back(Name);
+        }
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    } else if (Arg.rfind("-j", 0) == 0 && Arg != "-j" &&
+               Arg.find_first_not_of("0123456789", 2) == std::string::npos) {
+      Opts.Jobs = static_cast<unsigned>(std::atoi(Arg.c_str() + 2));
+    } else if (Arg == "-j") {
+      Opts.Jobs = 0; // One worker per hardware thread.
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -115,8 +157,30 @@ int main(int argc, char **argv) {
   if (!Diags.all().empty())
     std::fprintf(stderr, "%s", Diags.str().c_str());
 
+  if (!Compiled->Dumps.empty())
+    std::fprintf(stderr, "%s", Compiled->Dumps.c_str());
+
   if (!Quiet)
     std::printf("%s", Compiled->assembly(Cycles).c_str());
+
+  if (TimePasses) {
+    double Sum = 0;
+    for (const pipeline::PassStats &PS : Compiled->Passes)
+      Sum += PS.Micros;
+    std::fprintf(stderr, "# %-14s %6s %12s %6s %10s\n", "pass", "runs",
+                 "time (ms)", "%sum", "instrs");
+    for (const pipeline::PassStats &PS : Compiled->Passes)
+      std::fprintf(stderr, "# %-14s %6llu %12.3f %5.1f%% %10llu\n",
+                   PS.Name.c_str(), static_cast<unsigned long long>(PS.Runs),
+                   PS.Micros / 1000.0, Sum > 0 ? 100.0 * PS.Micros / Sum : 0,
+                   static_cast<unsigned long long>(PS.InstrsAfter));
+    std::fprintf(stderr,
+                 "# pass sum %.3f ms, backend wall %.3f ms (sum/wall %.2f)\n",
+                 Sum / 1000.0, Compiled->BackendMillis,
+                 Compiled->BackendMillis > 0
+                     ? (Sum / 1000.0) / Compiled->BackendMillis
+                     : 0);
+  }
 
   if (SelectStats)
     std::fprintf(stderr,

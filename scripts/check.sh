@@ -1,7 +1,22 @@
 #!/bin/sh
 # Tier-1 verify (ROADMAP.md): configure, build, run the full test suite.
+#
+#   scripts/check.sh          regular build into build/
+#   scripts/check.sh --asan   ASan+UBSan build into build-asan/ (slower;
+#                             catches races in the parallel pipeline's
+#                             per-function state and any UB in the tables)
 set -eu
 cd "$(dirname "$0")/.."
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build && ctest --output-on-failure -j "$(nproc)"
+
+BUILD=build
+if [ "${1:-}" = "--asan" ]; then
+  BUILD=build-asan
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+else
+  cmake -B "$BUILD" -S .
+fi
+cmake --build "$BUILD" -j "$(nproc)"
+cd "$BUILD" && ctest --output-on-failure -j "$(nproc)"

@@ -3,11 +3,16 @@
 #include "driver/Compiler.h"
 
 #include "frontend/Frontend.h"
+#include "pipeline/Passes.h"
 #include "select/Selector.h"
+#include "target/FuncEscape.h"
 #include "target/TargetBuilder.h"
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
+#include <thread>
 
 using namespace marion;
 using namespace marion::driver;
@@ -41,27 +46,100 @@ driver::loadTarget(const std::string &Machine, DiagnosticEngine &Diags) {
 
 namespace {
 
+/// Worker threads for \p FunctionCount functions under option \p Jobs
+/// (0 = one per hardware thread; never more workers than functions).
+unsigned effectiveJobs(unsigned Jobs, size_t FunctionCount) {
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<size_t>(Jobs, std::max<size_t>(1, FunctionCount)));
+}
+
 std::optional<Compilation> compileModule(il::Module &Mod,
                                          const CompileOptions &Opts,
                                          DiagnosticEngine &Diags) {
   auto Target = driver::loadTarget(Opts.Machine, Diags);
   if (!Target)
     return std::nullopt;
-
-  select::SelectorOptions SelOpts;
-  SelOpts.UseBuckets = Opts.UseBuckets;
-  target::SelectionCounters::Snapshot Before = Target->counters().snapshot();
-  auto MMod = select::selectModule(Mod, *Target, Diags, SelOpts);
-  if (!MMod)
-    return std::nullopt;
+  // The escape table is filled exactly once per process (call_once) and is
+  // read-only afterwards, so workers can expand *func escapes freely.
+  target::registerStandardEscapes();
 
   Compilation Out;
   Out.Target = Target;
-  Out.Module = std::move(*MMod);
+  Out.Module.Name = Mod.Name;
+  select::lowerGlobals(Mod, Out.Module);
+  const size_t N = Mod.Functions.size();
+  Out.Module.Functions.resize(N);
+
+  // Per-function state: each worker owns one slot, one diagnostic engine
+  // and one stats block — nothing below is shared mutable state. The
+  // reduce after the join restores source order, which is what makes -jN
+  // output bit-identical to the serial path.
+  std::vector<DiagnosticEngine> FnDiags(N);
+  std::vector<pipeline::FunctionState> States(N);
+  std::vector<char> Ok(N, 1);
+  for (size_t I = 0; I < N; ++I) {
+    FnDiags[I].setFile(Diags.file());
+    pipeline::FunctionState &FS = States[I];
+    FS.ILFn = Mod.Functions[I].get();
+    FS.MF = &Out.Module.Functions[I];
+    FS.Target = Target.get();
+    FS.Diags = &FnDiags[I];
+    FS.Strat = Opts.Strat;
+    FS.Select.UseBuckets = Opts.UseBuckets;
+  }
+
+  pipeline::PipelineOptions PO;
+  PO.DumpAfter = Opts.DumpAfter;
+  const std::vector<pipeline::Pass> Sequence =
+      pipeline::fullPipeline(Opts.Strategy);
+
+  target::SelectionCounters::Snapshot Before = Target->counters().snapshot();
+  auto Start = std::chrono::steady_clock::now();
+
+  pipeline::PassManager Merged(Sequence, PO);
+  const unsigned Jobs = effectiveJobs(Opts.Jobs, N);
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Ok[I] = Merged.run(States[I]) ? 1 : 0;
+  } else {
+    // Each worker drains the shared index with its own PassManager; the
+    // per-worker timers are reduced into Merged after the join.
+    std::vector<pipeline::PassManager> Workers(Jobs,
+                                               pipeline::PassManager(Sequence,
+                                                                     PO));
+    std::atomic<size_t> Next{0};
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs);
+    for (unsigned W = 0; W < Jobs; ++W)
+      Pool.emplace_back([&, W] {
+        for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+          Ok[I] = Workers[W].run(States[I]) ? 1 : 0;
+      });
+    for (std::thread &T : Pool)
+      T.join();
+    for (const pipeline::PassManager &W : Workers)
+      Merged.mergeStats(W);
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  Out.BackendMillis =
+      std::chrono::duration<double, std::milli>(End - Start).count();
   Out.Select = Target->counters().snapshot() - Before;
   Out.TargetBuildMicros = Target->buildMicros();
-  if (!strategy::runStrategy(Opts.Strategy, Out.Module, *Target, Diags,
-                             Opts.Strat, &Out.Stats))
+  Out.Passes = Merged.stats();
+
+  // Reduce in module source order: diagnostics, stats and dumps all come
+  // out exactly as a serial left-to-right compile would emit them.
+  bool AllOk = true;
+  for (size_t I = 0; I < N; ++I) {
+    Diags.merge(FnDiags[I].take());
+    Out.Stats += States[I].Stats;
+    Out.Dumps += States[I].Dumps;
+    AllOk = AllOk && Ok[I];
+  }
+  if (!AllOk)
     return std::nullopt;
   return Out;
 }

@@ -15,6 +15,7 @@
 #ifndef MARION_DRIVER_COMPILER_H
 #define MARION_DRIVER_COMPILER_H
 
+#include "pipeline/PassManager.h"
 #include "strategy/Strategy.h"
 #include "support/Diagnostics.h"
 #include "target/MInstr.h"
@@ -23,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace marion {
 namespace driver {
@@ -34,6 +36,14 @@ struct CompileOptions {
   /// Selector pattern dispatch: opcode buckets (default) vs. the full
   /// linear match order (baseline for compile-time measurements).
   bool UseBuckets = true;
+  /// Worker threads draining the module's functions through the pipeline
+  /// (marionc -jN). 1 = serial; 0 = one per hardware thread. Assembly,
+  /// diagnostics and stats are bit-identical to the serial path regardless.
+  unsigned Jobs = 1;
+  /// Pass names after which each function is dumped into
+  /// Compilation::Dumps ("all" = after every pass); see
+  /// pipeline::registeredPassNames().
+  std::vector<std::string> DumpAfter;
 };
 
 /// A finished compilation: the target model plus generated code.
@@ -47,6 +57,15 @@ struct Compilation {
   /// Microseconds TargetBuilder spent deriving this machine's tables
   /// (once per process; repeated compilations hit the loadTarget cache).
   double TargetBuildMicros = 0;
+  /// Per-pass instrumentation, reduced over all functions (and, under -j,
+  /// over all workers): the --time-passes breakdown.
+  std::vector<pipeline::PassStats> Passes;
+  /// Wall-clock time of the whole backend phase (glue through final
+  /// schedule, all functions). Serially the per-pass sum approaches this;
+  /// in parallel the sum exceeds it by roughly the speedup factor.
+  double BackendMillis = 0;
+  /// --dump-after output for every function, in module source order.
+  std::string Dumps;
 
   /// Renders the whole module as assembly; \p ShowCycles adds the
   /// scheduler's cycle column.

@@ -1,0 +1,87 @@
+//===- PassManager.cpp ----------------------------------------------------==//
+
+#include "pipeline/PassManager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace marion;
+using namespace marion::pipeline;
+
+PassManager::PassManager(std::vector<Pass> P, PipelineOptions O)
+    : Passes(std::move(P)), Opts(std::move(O)) {
+  Stats.resize(Passes.size());
+  for (size_t I = 0; I < Passes.size(); ++I)
+    Stats[I].Name = Passes[I].Name;
+}
+
+bool PassManager::wantsDump(const std::string &PassName) const {
+  for (const std::string &Want : Opts.DumpAfter)
+    if (Want == "all" || Want == PassName)
+      return true;
+  return false;
+}
+
+static uint64_t instrCountOf(const FunctionState &FS) {
+  if (!FS.MF)
+    return 0;
+  uint64_t N = 0;
+  for (const target::MBlock &Block : FS.MF->Blocks)
+    N += Block.Instrs.size();
+  return N;
+}
+
+/// Renders the function after a pass: IL text until selection has produced
+/// machine code, assembly (with cycles, once scheduled) afterwards.
+static std::string renderDump(const std::string &PassName,
+                              const FunctionState &FS) {
+  std::string Out = "*** dump after " + PassName + " ***\n";
+  if (FS.MF && !FS.MF->Blocks.empty())
+    Out += target::functionToString(*FS.Target, *FS.MF, /*ShowCycles=*/true);
+  else if (FS.ILFn)
+    Out += FS.ILFn->str();
+  return Out;
+}
+
+bool PassManager::run(FunctionState &FS) {
+  for (size_t I = 0; I < Passes.size(); ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    bool Ok = Passes[I].Run(FS);
+    auto End = std::chrono::steady_clock::now();
+    PassStats &PS = Stats[I];
+    ++PS.Runs;
+    PS.Micros +=
+        std::chrono::duration<double, std::micro>(End - Start).count();
+    PS.InstrsAfter += instrCountOf(FS);
+    if (!Ok)
+      return false;
+    if (wantsDump(Passes[I].Name))
+      FS.Dumps += renderDump(Passes[I].Name, FS);
+  }
+  return true;
+}
+
+std::vector<std::string> PassManager::passNames() const {
+  std::vector<std::string> Out;
+  Out.reserve(Passes.size());
+  for (const Pass &P : Passes)
+    Out.push_back(P.Name);
+  return Out;
+}
+
+void PassManager::mergeStats(const PassManager &Other) {
+  assert(Other.Stats.size() == Stats.size() && "pass sequences differ");
+  for (size_t I = 0; I < Stats.size(); ++I) {
+    Stats[I].Runs += Other.Stats[I].Runs;
+    Stats[I].Micros += Other.Stats[I].Micros;
+    Stats[I].InstrsAfter += Other.Stats[I].InstrsAfter;
+  }
+}
+
+double PassManager::totalMicros() const {
+  double Sum = 0;
+  for (const PassStats &PS : Stats)
+    Sum += PS.Micros;
+  return Sum;
+}

@@ -1,0 +1,114 @@
+//===- PassManager.h - Instrumented function pass pipeline -----------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit, instrumented pass pipeline over per-function compilation
+/// state. The paper's thesis (§2, §6) is that code generation strategies
+/// are thin wiring over strategy-independent components; the PassManager
+/// makes that wiring a first-class, observable object: named function-level
+/// passes with per-pass wall-clock timers, per-pass counters and dump-after
+/// hooks, composed into declarative sequences (Passes.h).
+///
+/// A PassManager carries no shared mutable state beyond its own timers, so
+/// the parallel driver gives each worker thread its own manager over the
+/// same pass sequence and reduces the timers after the pool joins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_PIPELINE_PASSMANAGER_H
+#define MARION_PIPELINE_PASSMANAGER_H
+
+#include "il/IL.h"
+#include "select/Selector.h"
+#include "strategy/Strategy.h"
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace pipeline {
+
+/// Everything one function's trip through the pipeline reads or produces.
+/// One FunctionState per function, owned by the driver; workers never share
+/// one, which is what keeps parallel compilation race-free by construction.
+struct FunctionState {
+  /// The IL function (consumed by glue/select); null when the pipeline
+  /// starts from already-selected machine code (strategy-only sequences).
+  il::Function *ILFn = nullptr;
+  /// The machine function slot the passes fill and transform. Owned by the
+  /// caller: the driver preallocates Module.Functions and points each
+  /// worker at its slot, so source order survives parallel compilation.
+  target::MFunction *MF = nullptr;
+  const target::TargetInfo *Target = nullptr;
+  /// Per-function engine; the driver merges them in source order.
+  DiagnosticEngine *Diags = nullptr;
+  strategy::StrategyOptions Strat;
+  select::SelectorOptions Select;
+  /// Per-function strategy statistics, reduced after the pool joins (never
+  /// a shared counter during compilation).
+  strategy::StrategyStats Stats;
+  /// rase-probe → allocate hand-off: per-block spill-cost multipliers.
+  std::vector<double> BlockSpillWeight;
+  /// Rendered --dump-after output, merged by the driver in source order.
+  std::string Dumps;
+};
+
+/// A named function-level pass. Passes read their knobs from the
+/// FunctionState (StrategyOptions / SelectorOptions), so the primitives
+/// themselves are context-free and shareable between strategies.
+struct Pass {
+  std::string Name;
+  std::function<bool(FunctionState &)> Run;
+};
+
+/// Per-pass instrumentation accumulated by a PassManager.
+struct PassStats {
+  std::string Name;
+  uint64_t Runs = 0;         ///< Functions this pass processed.
+  double Micros = 0;         ///< Wall-clock time spent in the pass.
+  uint64_t InstrsAfter = 0;  ///< Machine instructions present after it ran.
+};
+
+struct PipelineOptions {
+  /// Pass names after which each function is rendered into
+  /// FunctionState::Dumps; the single entry "all" dumps after every pass.
+  std::vector<std::string> DumpAfter;
+};
+
+class PassManager {
+public:
+  explicit PassManager(std::vector<Pass> Passes, PipelineOptions Opts = {});
+
+  /// Runs every pass over \p FS in order; stops at the first failure.
+  bool run(FunctionState &FS);
+
+  const std::vector<PassStats> &stats() const { return Stats; }
+  std::vector<std::string> passNames() const;
+
+  /// Folds \p Other's timers and counters into this manager's (same pass
+  /// sequence required) — the reduce step after a parallel compile joins.
+  void mergeStats(const PassManager &Other);
+
+  /// Sum of all per-pass timers.
+  double totalMicros() const;
+
+private:
+  bool wantsDump(const std::string &PassName) const;
+
+  std::vector<Pass> Passes;
+  PipelineOptions Opts;
+  std::vector<PassStats> Stats;
+};
+
+} // namespace pipeline
+} // namespace marion
+
+#endif // MARION_PIPELINE_PASSMANAGER_H

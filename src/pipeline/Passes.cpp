@@ -1,0 +1,230 @@
+//===- Passes.cpp ---------------------------------------------------------==//
+
+#include "pipeline/Passes.h"
+
+#include "regalloc/Allocator.h"
+#include "sched/CodeDAG.h"
+#include "sched/ListScheduler.h"
+#include "select/GlueTransformer.h"
+#include "select/Selector.h"
+#include "strategy/FrameLowering.h"
+
+#include <algorithm>
+
+using namespace marion;
+using namespace marion::pipeline;
+using namespace marion::target;
+
+namespace {
+
+/// Smallest allocable register count over the banks the function uses; the
+/// RASE probe limit derives from it.
+int minAllocableCount(const MFunction &Fn, const TargetInfo &Target) {
+  int Min = -1;
+  std::vector<bool> BankUsed(Target.description().Banks.size(), false);
+  for (const PseudoInfo &P : Fn.Pseudos)
+    if (P.Bank >= 0)
+      BankUsed[P.Bank] = true;
+  const RuntimeModel &Rt = Target.runtime();
+  for (size_t B = 0; B < BankUsed.size(); ++B) {
+    if (!BankUsed[B] || B >= Rt.AllocablePerBank.size())
+      continue;
+    int Count = static_cast<int>(Rt.AllocablePerBank[B].size());
+    if (Count == 0)
+      continue;
+    Min = Min < 0 ? Count : std::min(Min, Count);
+  }
+  return Min;
+}
+
+bool runScheduler(FunctionState &FS, const sched::SchedulerOptions &SO) {
+  if (!sched::scheduleFunction(*FS.MF, *FS.Target, *FS.Diags, SO))
+    return false;
+  ++FS.Stats.SchedulerPasses;
+  FS.Stats.ScheduledInstrs += FS.MF->instrCount();
+  return true;
+}
+
+/// The final scheduling pass is always unlimited (post-allocation).
+sched::SchedulerOptions finalSchedOptions(const FunctionState &FS) {
+  sched::SchedulerOptions SO = FS.Strat.Sched;
+  SO.RegisterLimit = -1;
+  return SO;
+}
+
+} // namespace
+
+Pass pipeline::createGluePass() {
+  return {"glue", [](FunctionState &FS) {
+            select::applyGlueTransforms(*FS.ILFn, *FS.Target);
+            return true;
+          }};
+}
+
+Pass pipeline::createSelectPass() {
+  return {"select", [](FunctionState &FS) {
+            select::SelectorOptions SO = FS.Select;
+            SO.RunGlue = false; // The glue pass already ran.
+            return select::selectFunctionInto(*FS.ILFn, *FS.Target, *FS.MF,
+                                              *FS.Diags, SO);
+          }};
+}
+
+Pass pipeline::createBuildDagPass() {
+  return {"build-dag", [](FunctionState &FS) {
+            for (const MBlock &Block : FS.MF->Blocks) {
+              if (Block.Instrs.empty())
+                continue;
+              sched::CodeDAG Dag(*FS.MF, Block, *FS.Target);
+              FS.Stats.DagNodes += static_cast<long>(Dag.nodes().size());
+              FS.Stats.DagEdges += static_cast<long>(Dag.edges().size());
+            }
+            return true;
+          }};
+}
+
+Pass pipeline::createPrepassSchedPass() {
+  return {"prepass-sched", [](FunctionState &FS) {
+            sched::SchedulerOptions Prepass = FS.Strat.Sched;
+            Prepass.RegisterLimit = FS.Strat.IpsRegisterLimit;
+            if (Prepass.RegisterLimit < 0)
+              Prepass.BankPressure = true; // Limit = each bank's allocable count.
+            return runScheduler(FS, Prepass);
+          }};
+}
+
+Pass pipeline::createRaseProbePass() {
+  return {"rase-probe", [](FunctionState &FS) {
+            MFunction &Fn = *FS.MF;
+            int Probe = FS.Strat.RaseProbeLimit;
+            if (Probe < 0) {
+              int Min = minAllocableCount(Fn, *FS.Target);
+              Probe = std::max(2, Min / 2);
+            }
+            FS.BlockSpillWeight.assign(Fn.Blocks.size(), 1.0);
+            for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+              sched::SchedulerOptions Free = FS.Strat.Sched;
+              Free.RegisterLimit = -1;
+              sched::BlockSchedule Unlimited =
+                  sched::computeSchedule(Fn, Fn.Blocks[B], *FS.Target, Free);
+              sched::SchedulerOptions Tight = FS.Strat.Sched;
+              Tight.RegisterLimit = Probe;
+              sched::BlockSchedule Limited =
+                  sched::computeSchedule(Fn, Fn.Blocks[B], *FS.Target, Tight);
+              FS.Stats.SchedulerPasses += 2;
+              FS.Stats.ScheduledInstrs += 2 * Fn.Blocks[B].Instrs.size();
+              if (Unlimited.Deadlocked || Limited.Deadlocked) {
+                FS.Diags->error(SourceLocation(),
+                                "RASE estimate pass deadlocked in '" +
+                                    Fn.Name + "'");
+                return false;
+              }
+              // Blocks whose schedule suffers under register scarcity make
+              // spilling there more expensive.
+              double U = std::max(1, Unlimited.EstimatedCycles);
+              double L = std::max(1, Limited.EstimatedCycles);
+              FS.BlockSpillWeight[B] = std::max(1.0, L / U);
+            }
+            return true;
+          }};
+}
+
+Pass pipeline::createAllocatePass() {
+  return {"allocate", [](FunctionState &FS) {
+            regalloc::AllocatorOptions AO = FS.Strat.Alloc;
+            if (!FS.BlockSpillWeight.empty())
+              AO.BlockSpillWeight = FS.BlockSpillWeight;
+            regalloc::AllocationStats AS;
+            if (!regalloc::allocateFunction(*FS.MF, *FS.Target, *FS.Diags, AO,
+                                            &AS))
+              return false;
+            FS.Stats.SpilledPseudos += AS.SpilledPseudos;
+            FS.Stats.AllocatorRounds += AS.Rounds;
+            return true;
+          }};
+}
+
+Pass pipeline::createFrameLowerPass() {
+  return {"frame-lower", [](FunctionState &FS) {
+            return strategy::finalizeFrame(*FS.MF, *FS.Target, *FS.Diags);
+          }};
+}
+
+Pass pipeline::createPostpassSchedPass() {
+  return {"postpass-sched", [](FunctionState &FS) {
+            if (!runScheduler(FS, finalSchedOptions(FS)))
+              return false;
+            for (const MBlock &Block : FS.MF->Blocks)
+              FS.Stats.EstimatedCycles += Block.EstimatedCycles;
+            return true;
+          }};
+}
+
+namespace {
+
+using PassFactory = Pass (*)();
+
+/// The registry, in canonical pipeline order.
+constexpr struct {
+  const char *Name;
+  PassFactory Make;
+} Registry[] = {
+    {"glue", pipeline::createGluePass},
+    {"select", pipeline::createSelectPass},
+    {"build-dag", pipeline::createBuildDagPass},
+    {"prepass-sched", pipeline::createPrepassSchedPass},
+    {"rase-probe", pipeline::createRaseProbePass},
+    {"allocate", pipeline::createAllocatePass},
+    {"frame-lower", pipeline::createFrameLowerPass},
+    {"postpass-sched", pipeline::createPostpassSchedPass},
+};
+
+} // namespace
+
+std::vector<std::string> pipeline::registeredPassNames() {
+  std::vector<std::string> Out;
+  for (const auto &Entry : Registry)
+    Out.push_back(Entry.Name);
+  return Out;
+}
+
+std::optional<Pass> pipeline::createPassByName(const std::string &Name) {
+  for (const auto &Entry : Registry)
+    if (Name == Entry.Name)
+      return Entry.Make();
+  return std::nullopt;
+}
+
+std::vector<Pass> pipeline::strategyPasses(strategy::StrategyKind Kind) {
+  std::vector<Pass> Seq;
+  Seq.push_back(createBuildDagPass());
+  switch (Kind) {
+  case strategy::StrategyKind::Postpass:
+    // Allocate, then schedule [Gibbons & Muchnick 86].
+    break;
+  case strategy::StrategyKind::IPS:
+    // Schedule under a register-use limit, allocate, schedule again
+    // [Goodman & Hsu 88].
+    Seq.push_back(createPrepassSchedPass());
+    break;
+  case strategy::StrategyKind::RASE:
+    // Probe schedule sensitivity to register scarcity, allocate with the
+    // resulting spill weights, then do final scheduling [BEH91b].
+    Seq.push_back(createRaseProbePass());
+    break;
+  }
+  Seq.push_back(createAllocatePass());
+  Seq.push_back(createFrameLowerPass());
+  Seq.push_back(createPostpassSchedPass());
+  return Seq;
+}
+
+std::vector<Pass> pipeline::fullPipeline(strategy::StrategyKind Kind) {
+  std::vector<Pass> Seq;
+  Seq.push_back(createGluePass());
+  Seq.push_back(createSelectPass());
+  std::vector<Pass> Rest = strategyPasses(Kind);
+  for (Pass &P : Rest)
+    Seq.push_back(std::move(P));
+  return Seq;
+}

@@ -1,0 +1,69 @@
+//===- Passes.h - Shared pass primitives and strategy sequences ------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass primitives every strategy is wired from, plus the declarative
+/// sequences themselves. A strategy (paper §2) differs from the others only
+/// in which primitives it includes and in what order:
+///
+///   postpass:  glue select build-dag             allocate frame-lower postpass-sched
+///   ips:       glue select build-dag prepass-sched allocate frame-lower postpass-sched
+///   rase:      glue select build-dag rase-probe  allocate frame-lower postpass-sched
+///
+/// The registry maps pass names to factories so tools (--dump-after
+/// validation, DESIGN.md §9) can enumerate the vocabulary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_PIPELINE_PASSES_H
+#define MARION_PIPELINE_PASSES_H
+
+#include "pipeline/PassManager.h"
+
+#include <optional>
+
+namespace marion {
+namespace pipeline {
+
+/// "glue": applies the target's %glue IL rewrites (paper §3.4).
+Pass createGluePass();
+/// "select": instruction selection into the function's MF slot.
+Pass createSelectPass();
+/// "build-dag": builds each block's code DAG once, recording DAG shape
+/// counters (nodes/edges) into the function's stats — the pipeline's
+/// observability probe for paper §4.1 structures.
+Pass createBuildDagPass();
+/// "prepass-sched": IPS first pass — scheduling under a register-use limit
+/// (Goodman & Hsu 88).
+Pass createPrepassSchedPass();
+/// "rase-probe": RASE schedule-cost estimates with and without register
+/// scarcity; writes per-block spill weights for the allocator [BEH91b].
+Pass createRaseProbePass();
+/// "allocate": global register allocation (spill weights honored if the
+/// rase-probe pass left any).
+Pass createAllocatePass();
+/// "frame-lower": prologue/epilogue insertion once the frame is final.
+Pass createFrameLowerPass();
+/// "postpass-sched": the final, unlimited scheduling pass; also records
+/// the per-block estimated-cycle totals (paper Table 4).
+Pass createPostpassSchedPass();
+
+/// Names of every registered pass primitive, in canonical pipeline order.
+std::vector<std::string> registeredPassNames();
+/// Instantiates a primitive by registry name; nullopt for unknown names.
+std::optional<Pass> createPassByName(const std::string &Name);
+
+/// The post-selection wiring of \p Kind as a pass sequence (what
+/// strategy::runStrategy executes over already-selected machine code).
+std::vector<Pass> strategyPasses(strategy::StrategyKind Kind);
+
+/// The full per-function pipeline: glue → select → strategyPasses(Kind).
+std::vector<Pass> fullPipeline(strategy::StrategyKind Kind);
+
+} // namespace pipeline
+} // namespace marion
+
+#endif // MARION_PIPELINE_PASSES_H

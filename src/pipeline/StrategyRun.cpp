@@ -1,0 +1,38 @@
+//===- StrategyRun.cpp - runStrategy as a declarative pass sequence -------==//
+//
+// strategy::runStrategy, reimplemented over the pipeline: the strategy's
+// wiring is pipeline::strategyPasses(Kind), executed by a PassManager.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Passes.h"
+
+using namespace marion;
+using namespace marion::pipeline;
+
+bool strategy::runStrategy(StrategyKind Kind, target::MFunction &Fn,
+                           const target::TargetInfo &Target,
+                           DiagnosticEngine &Diags,
+                           const StrategyOptions &Opts, StrategyStats *Stats) {
+  PassManager PM(strategyPasses(Kind));
+  FunctionState FS;
+  FS.MF = &Fn;
+  FS.Target = &Target;
+  FS.Diags = &Diags;
+  FS.Strat = Opts;
+  if (!PM.run(FS))
+    return false;
+  if (Stats)
+    *Stats += FS.Stats;
+  return true;
+}
+
+bool strategy::runStrategy(StrategyKind Kind, target::MModule &Mod,
+                           const target::TargetInfo &Target,
+                           DiagnosticEngine &Diags,
+                           const StrategyOptions &Opts, StrategyStats *Stats) {
+  for (target::MFunction &Fn : Mod.Functions)
+    if (!runStrategy(Kind, Fn, Target, Diags, Opts, Stats))
+      return false;
+  return true;
+}

@@ -1040,14 +1040,32 @@ bool FunctionSelector::buildOperands(int InstrId, const Pattern &Pat,
 
 } // namespace
 
+bool select::selectFunctionInto(il::Function &Fn, const TargetInfo &Target,
+                                MFunction &Out, DiagnosticEngine &Diags,
+                                const SelectorOptions &Opts) {
+  if (Opts.RunGlue)
+    applyGlueTransforms(Fn, Target);
+  FunctionSelector Selector(Fn, Target, Out, Diags, Opts);
+  return Selector.run();
+}
+
 bool select::selectFunction(il::Function &Fn, const TargetInfo &Target,
                             MModule &MMod, DiagnosticEngine &Diags,
                             const SelectorOptions &Opts) {
-  if (Opts.RunGlue)
-    applyGlueTransforms(Fn, Target);
   MMod.Functions.emplace_back();
-  FunctionSelector Selector(Fn, Target, MMod.Functions.back(), Diags, Opts);
-  return Selector.run();
+  return selectFunctionInto(Fn, Target, MMod.Functions.back(), Diags, Opts);
+}
+
+void select::lowerGlobals(const il::Module &Mod, MModule &MMod) {
+  for (const il::GlobalVariable &G : Mod.Globals) {
+    MGlobal MG;
+    MG.Name = G.Name;
+    MG.SizeBytes = G.SizeBytes;
+    MG.Align = G.Align;
+    MG.Init = G.Init;
+    MG.ElementType = G.ElementType;
+    MMod.Globals.push_back(std::move(MG));
+  }
 }
 
 std::optional<MModule> select::selectModule(il::Module &Mod,
@@ -1057,15 +1075,7 @@ std::optional<MModule> select::selectModule(il::Module &Mod,
   registerStandardEscapes();
   MModule Out;
   Out.Name = Mod.Name;
-  for (const il::GlobalVariable &G : Mod.Globals) {
-    MGlobal MG;
-    MG.Name = G.Name;
-    MG.SizeBytes = G.SizeBytes;
-    MG.Align = G.Align;
-    MG.Init = G.Init;
-    MG.ElementType = G.ElementType;
-    Out.Globals.push_back(std::move(MG));
-  }
+  lowerGlobals(Mod, Out);
   for (std::unique_ptr<il::Function> &Fn : Mod.Functions)
     if (!selectFunction(*Fn, Target, Out, Diags, Opts))
       return std::nullopt;

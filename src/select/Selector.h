@@ -59,6 +59,18 @@ bool selectFunction(il::Function &Fn, const target::TargetInfo &Target,
                     target::MModule &MMod, DiagnosticEngine &Diags,
                     const SelectorOptions &Opts = {});
 
+/// Selects a single function into a caller-owned slot \p Out. The pipeline
+/// driver preallocates one MFunction per IL function and points workers at
+/// their slots, so a parallel compile preserves module source order without
+/// appending under a lock.
+bool selectFunctionInto(il::Function &Fn, const target::TargetInfo &Target,
+                        target::MFunction &Out, DiagnosticEngine &Diags,
+                        const SelectorOptions &Opts = {});
+
+/// Lowers \p Mod's global variables into \p MMod (shared by selectModule
+/// and the pipeline driver, which selects functions individually).
+void lowerGlobals(const il::Module &Mod, target::MModule &MMod);
+
 } // namespace select
 } // namespace marion
 

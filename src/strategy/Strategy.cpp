@@ -1,14 +1,16 @@
 //===- Strategy.cpp -------------------------------------------------------==//
+//
+// Only the strategy naming lives here. The strategies themselves are
+// declarative pass sequences over the shared pass primitives — see
+// src/pipeline/Passes.cpp (strategyPasses) and StrategyRun.cpp, which
+// defines strategy::runStrategy in terms of the instrumented PassManager.
+//
+//===----------------------------------------------------------------------===//
 
 #include "strategy/Strategy.h"
 
-#include "strategy/FrameLowering.h"
-
-#include <algorithm>
-
 using namespace marion;
 using namespace marion::strategy;
-using namespace marion::target;
 
 const char *strategy::strategyName(StrategyKind Kind) {
   switch (Kind) {
@@ -31,152 +33,4 @@ strategy::strategyFromName(const std::string &Name) {
   if (Name == "rase" || Name == "RASE")
     return StrategyKind::RASE;
   return std::nullopt;
-}
-
-namespace {
-
-/// Smallest allocable register count over the banks the function uses; the
-/// RASE probe limit derives from it.
-int minAllocableCount(const MFunction &Fn, const TargetInfo &Target) {
-  int Min = -1;
-  std::vector<bool> BankUsed(Target.description().Banks.size(), false);
-  for (const PseudoInfo &P : Fn.Pseudos)
-    if (P.Bank >= 0)
-      BankUsed[P.Bank] = true;
-  const RuntimeModel &Rt = Target.runtime();
-  for (size_t B = 0; B < BankUsed.size(); ++B) {
-    if (!BankUsed[B] || B >= Rt.AllocablePerBank.size())
-      continue;
-    int Count = static_cast<int>(Rt.AllocablePerBank[B].size());
-    if (Count == 0)
-      continue;
-    Min = Min < 0 ? Count : std::min(Min, Count);
-  }
-  return Min;
-}
-
-bool schedulePass(MFunction &Fn, const TargetInfo &Target,
-                  DiagnosticEngine &Diags, const sched::SchedulerOptions &SO,
-                  StrategyStats *Stats) {
-  if (!sched::scheduleFunction(Fn, Target, Diags, SO))
-    return false;
-  if (Stats) {
-    ++Stats->SchedulerPasses;
-    Stats->ScheduledInstrs += Fn.instrCount();
-  }
-  return true;
-}
-
-void recordFinalEstimate(const MFunction &Fn, StrategyStats *Stats) {
-  if (!Stats)
-    return;
-  for (const MBlock &Block : Fn.Blocks)
-    Stats->EstimatedCycles += Block.EstimatedCycles;
-}
-
-bool allocatePass(MFunction &Fn, const TargetInfo &Target,
-                  DiagnosticEngine &Diags,
-                  const regalloc::AllocatorOptions &AO,
-                  StrategyStats *Stats) {
-  regalloc::AllocationStats AS;
-  if (!regalloc::allocateFunction(Fn, Target, Diags, AO, &AS))
-    return false;
-  if (Stats) {
-    Stats->SpilledPseudos += AS.SpilledPseudos;
-    Stats->AllocatorRounds += AS.Rounds;
-  }
-  return true;
-}
-
-} // namespace
-
-bool strategy::runStrategy(StrategyKind Kind, MFunction &Fn,
-                           const TargetInfo &Target, DiagnosticEngine &Diags,
-                           const StrategyOptions &Opts, StrategyStats *Stats) {
-  sched::SchedulerOptions FinalSched = Opts.Sched;
-  FinalSched.RegisterLimit = -1; // Post-allocation passes are unlimited.
-
-  switch (Kind) {
-  case StrategyKind::Postpass: {
-    // Global register allocation followed by instruction scheduling
-    // [Gibbons & Muchnick 86].
-    if (!allocatePass(Fn, Target, Diags, Opts.Alloc, Stats))
-      return false;
-    if (!finalizeFrame(Fn, Target, Diags))
-      return false;
-    if (!schedulePass(Fn, Target, Diags, FinalSched, Stats))
-      return false;
-    break;
-  }
-  case StrategyKind::IPS: {
-    // Schedule with a limit on local register use, allocate, schedule
-    // again [Goodman & Hsu 88].
-    sched::SchedulerOptions Prepass = Opts.Sched;
-    Prepass.RegisterLimit = Opts.IpsRegisterLimit;
-    if (Prepass.RegisterLimit < 0)
-      Prepass.BankPressure = true; // Limit = each bank's allocable count.
-    if (!schedulePass(Fn, Target, Diags, Prepass, Stats))
-      return false;
-    if (!allocatePass(Fn, Target, Diags, Opts.Alloc, Stats))
-      return false;
-    if (!finalizeFrame(Fn, Target, Diags))
-      return false;
-    if (!schedulePass(Fn, Target, Diags, FinalSched, Stats))
-      return false;
-    break;
-  }
-  case StrategyKind::RASE: {
-    // Gather per-block schedule cost estimates with and without register
-    // scarcity; the ratio steers the allocator's spill costs [BEH91b].
-    int Probe = Opts.RaseProbeLimit;
-    if (Probe < 0) {
-      int Min = minAllocableCount(Fn, Target);
-      Probe = std::max(2, Min / 2);
-    }
-    regalloc::AllocatorOptions Alloc = Opts.Alloc;
-    Alloc.BlockSpillWeight.assign(Fn.Blocks.size(), 1.0);
-    for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
-      sched::SchedulerOptions Free = Opts.Sched;
-      Free.RegisterLimit = -1;
-      sched::BlockSchedule Unlimited =
-          sched::computeSchedule(Fn, Fn.Blocks[B], Target, Free);
-      sched::SchedulerOptions Tight = Opts.Sched;
-      Tight.RegisterLimit = Probe;
-      sched::BlockSchedule Limited =
-          sched::computeSchedule(Fn, Fn.Blocks[B], Target, Tight);
-      if (Stats) {
-        Stats->SchedulerPasses += 2;
-        Stats->ScheduledInstrs += 2 * Fn.Blocks[B].Instrs.size();
-      }
-      if (Unlimited.Deadlocked || Limited.Deadlocked) {
-        Diags.error(SourceLocation(),
-                    "RASE estimate pass deadlocked in '" + Fn.Name + "'");
-        return false;
-      }
-      // Blocks whose schedule suffers under register scarcity make
-      // spilling there more expensive.
-      double U = std::max(1, Unlimited.EstimatedCycles);
-      double L = std::max(1, Limited.EstimatedCycles);
-      Alloc.BlockSpillWeight[B] = std::max(1.0, L / U);
-    }
-    if (!allocatePass(Fn, Target, Diags, Alloc, Stats))
-      return false;
-    if (!finalizeFrame(Fn, Target, Diags))
-      return false;
-    if (!schedulePass(Fn, Target, Diags, FinalSched, Stats))
-      return false;
-    break;
-  }
-  }
-  recordFinalEstimate(Fn, Stats);
-  return true;
-}
-
-bool strategy::runStrategy(StrategyKind Kind, MModule &Mod,
-                           const TargetInfo &Target, DiagnosticEngine &Diags,
-                           const StrategyOptions &Opts, StrategyStats *Stats) {
-  for (MFunction &Fn : Mod.Functions)
-    if (!runStrategy(Kind, Fn, Target, Diags, Opts, Stats))
-      return false;
-  return true;
 }

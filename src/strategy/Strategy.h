@@ -62,10 +62,30 @@ struct StrategyStats {
   long EstimatedCycles = 0;
   /// Scheduling work proxy: total (instructions × passes) scheduled.
   long ScheduledInstrs = 0;
+  /// Code DAG shape after selection (the build-dag pipeline pass).
+  long DagNodes = 0;
+  long DagEdges = 0;
+
+  /// Every field is a sum, so per-function stats reduced after a parallel
+  /// compile joins equal the serial accumulation exactly.
+  StrategyStats &operator+=(const StrategyStats &O) {
+    SchedulerPasses += O.SchedulerPasses;
+    SpilledPseudos += O.SpilledPseudos;
+    AllocatorRounds += O.AllocatorRounds;
+    EstimatedCycles += O.EstimatedCycles;
+    ScheduledInstrs += O.ScheduledInstrs;
+    DagNodes += O.DagNodes;
+    DagEdges += O.DagEdges;
+    return *this;
+  }
+  bool operator==(const StrategyStats &O) const = default;
 };
 
 /// Runs \p Kind on the selected (pseudo-register) function \p Fn: after
 /// success, Fn is scheduled, allocated and frame-finalized machine code.
+/// Implemented (in marion_pipeline) as the declarative pass sequence
+/// pipeline::strategyPasses(Kind) run through an instrumented PassManager —
+/// the strategy really is thin wiring (paper §2).
 bool runStrategy(StrategyKind Kind, target::MFunction &Fn,
                  const target::TargetInfo &Target, DiagnosticEngine &Diags,
                  const StrategyOptions &Opts = {},

@@ -53,3 +53,18 @@ void DiagnosticEngine::clear() {
   Diags.clear();
   NumErrors = 0;
 }
+
+std::vector<Diagnostic> DiagnosticEngine::take() {
+  std::vector<Diagnostic> Out = std::move(Diags);
+  Diags.clear();
+  NumErrors = 0;
+  return Out;
+}
+
+void DiagnosticEngine::merge(std::vector<Diagnostic> Taken) {
+  for (Diagnostic &D : Taken) {
+    if (D.Kind == DiagKind::Error)
+      ++NumErrors;
+    Diags.push_back(std::move(D));
+  }
+}

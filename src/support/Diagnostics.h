@@ -57,6 +57,19 @@ public:
   /// Drops accumulated diagnostics (the file name is kept).
   void clear();
 
+  /// Moves out the accumulated diagnostics, leaving the engine clean (the
+  /// file name is kept). Each Diagnostic carries its own file prefix, so
+  /// the result stays renderable after the engine is gone — this is how
+  /// per-function engines hand their output to the module's engine under
+  /// parallel compilation.
+  std::vector<Diagnostic> take();
+
+  /// Appends \p Taken (from another engine's take()) verbatim: file
+  /// prefixes are preserved and the error count is recomputed, so merging
+  /// per-function engines in source order reproduces the serial transcript
+  /// bit for bit.
+  void merge(std::vector<Diagnostic> Taken);
+
 private:
   std::string CurrentFile;
   std::vector<Diagnostic> Diags;

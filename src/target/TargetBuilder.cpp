@@ -28,8 +28,14 @@ TargetBuilder::loadMachine(const std::string &Machine,
                                       "': " + Error);
     return nullptr;
   }
+  // Prefix description diagnostics with the .maril path, but restore the
+  // caller's file afterwards: whether this load was served from the
+  // driver's cache must not change later diagnostics' prefixes.
+  std::string PrevFile = Diags.file();
   Diags.setFile(Path);
-  return buildFromSource(Source, Machine, Diags);
+  auto Result = buildFromSource(Source, Machine, Diags);
+  Diags.setFile(PrevFile);
+  return Result;
 }
 
 std::shared_ptr<const TargetInfo>

@@ -1,0 +1,260 @@
+//===- pipeline_test.cpp - Pass pipeline and parallel compilation tests ------==//
+//
+// The pipeline contract: (a) parallel per-function compilation (-jN) is
+// bit-identical to the serial path — assembly, diagnostics and stats — for
+// every machine × strategy over the bundled workloads; (b) the pass
+// sequences the PassManager reports match the paper's strategy definitions
+// (§2): IPS runs the scheduler twice, RASE probes then reschedules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Passes.h"
+#include "support/Diagnostics.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace marion;
+using namespace marion::strategy;
+
+namespace {
+
+//===--------------------------------------------------------------------===//
+// DiagnosticEngine take()/merge(): the parallel-safety primitive.
+//===--------------------------------------------------------------------===//
+
+TEST(DiagnosticsMerge, TakePreservesFilePrefixAndClears) {
+  DiagnosticEngine E;
+  E.setFile("a.mc");
+  E.error(SourceLocation(), "boom");
+  E.warning(SourceLocation(), "hmm");
+  auto Taken = E.take();
+  ASSERT_EQ(Taken.size(), 2u);
+  EXPECT_EQ(Taken[0].File, "a.mc");
+  EXPECT_FALSE(E.hasErrors());
+  EXPECT_TRUE(E.all().empty());
+  EXPECT_EQ(E.file(), "a.mc"); // The file name survives take().
+}
+
+TEST(DiagnosticsMerge, MergeInSourceOrderReproducesSerialTranscript) {
+  // Serial reference: one engine sees both functions' diagnostics in order.
+  DiagnosticEngine Serial;
+  Serial.setFile("m.mc");
+  Serial.error(SourceLocation(), "first function broke");
+  Serial.warning(SourceLocation(), "second function is odd");
+  Serial.error(SourceLocation(), "second function broke");
+
+  // Parallel: per-function engines, merged in source order.
+  DiagnosticEngine F0, F1, Merged;
+  F0.setFile("m.mc");
+  F1.setFile("m.mc");
+  Merged.setFile("m.mc");
+  F0.error(SourceLocation(), "first function broke");
+  F1.warning(SourceLocation(), "second function is odd");
+  F1.error(SourceLocation(), "second function broke");
+  Merged.merge(F0.take());
+  Merged.merge(F1.take());
+
+  EXPECT_EQ(Merged.str(), Serial.str());
+  EXPECT_EQ(Merged.errorCount(), Serial.errorCount());
+}
+
+//===--------------------------------------------------------------------===//
+// Parallel (-j4) == serial, bit for bit, over the bundled workloads.
+//===--------------------------------------------------------------------===//
+
+struct Combo {
+  const char *Machine;
+  StrategyKind Strategy;
+};
+
+std::vector<Combo> allCombos() {
+  std::vector<Combo> Out;
+  for (const char *Machine : {"toyp", "r2000", "m88000", "i860"})
+    for (StrategyKind Kind :
+         {StrategyKind::Postpass, StrategyKind::IPS, StrategyKind::RASE})
+      Out.push_back({Machine, Kind});
+  return Out;
+}
+
+std::string comboName(const ::testing::TestParamInfo<Combo> &Info) {
+  return std::string(Info.param.Machine) + "_" +
+         strategyName(Info.param.Strategy);
+}
+
+class ParallelBitIdentical : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ParallelBitIdentical, WorkloadsMatchSerial) {
+  Combo C = GetParam();
+  for (const char *File : {"livermore.mc", "suite_matmul.mc",
+                           "suite_queens.mc", "suite_poly.mc"}) {
+    driver::CompileOptions Serial;
+    Serial.Machine = C.Machine;
+    Serial.Strategy = C.Strategy;
+    driver::CompileOptions Parallel = Serial;
+    Parallel.Jobs = 4;
+
+    DiagnosticEngine SerialDiags, ParallelDiags;
+    auto S = driver::compileFile(File, Serial, SerialDiags);
+    auto P = driver::compileFile(File, Parallel, ParallelDiags);
+
+    // Success or failure, the two paths must tell the same story.
+    EXPECT_EQ(bool(S), bool(P)) << File << " on " << C.Machine;
+    EXPECT_EQ(SerialDiags.str(), ParallelDiags.str())
+        << File << " on " << C.Machine;
+    if (!S || !P)
+      continue;
+    EXPECT_EQ(S->assembly(/*ShowCycles=*/true), P->assembly(true))
+        << File << " on " << C.Machine << "/" << strategyName(C.Strategy);
+    EXPECT_TRUE(S->Stats == P->Stats)
+        << File << ": parallel stats diverge from serial";
+    EXPECT_EQ(S->Select.NodesMatched, P->Select.NodesMatched);
+    EXPECT_EQ(S->Select.PatternsProbed, P->Select.PatternsProbed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ParallelBitIdentical,
+                         ::testing::ValuesIn(allCombos()), comboName);
+
+//===--------------------------------------------------------------------===//
+// Pass sequences match the paper's strategy definitions (§2).
+//===--------------------------------------------------------------------===//
+
+std::vector<std::string> pipelineNames(StrategyKind Kind) {
+  std::vector<std::string> Out;
+  for (const pipeline::Pass &P : pipeline::fullPipeline(Kind))
+    Out.push_back(P.Name);
+  return Out;
+}
+
+TEST(PassSequences, PostpassAllocatesThenSchedulesOnce) {
+  EXPECT_EQ(pipelineNames(StrategyKind::Postpass),
+            (std::vector<std::string>{"glue", "select", "build-dag",
+                                      "allocate", "frame-lower",
+                                      "postpass-sched"}));
+}
+
+TEST(PassSequences, IpsRunsTheSchedulerTwice) {
+  EXPECT_EQ(pipelineNames(StrategyKind::IPS),
+            (std::vector<std::string>{"glue", "select", "build-dag",
+                                      "prepass-sched", "allocate",
+                                      "frame-lower", "postpass-sched"}));
+}
+
+TEST(PassSequences, RaseProbesThenReschedules) {
+  // The probe precedes allocation (its spill weights feed the allocator);
+  // the final schedule follows frame lowering.
+  EXPECT_EQ(pipelineNames(StrategyKind::RASE),
+            (std::vector<std::string>{"glue", "select", "build-dag",
+                                      "rase-probe", "allocate", "frame-lower",
+                                      "postpass-sched"}));
+}
+
+TEST(PassSequences, EveryPassNameIsRegistered) {
+  auto Names = pipeline::registeredPassNames();
+  for (StrategyKind Kind :
+       {StrategyKind::Postpass, StrategyKind::IPS, StrategyKind::RASE})
+    for (const std::string &P : pipelineNames(Kind))
+      EXPECT_NE(std::find(Names.begin(), Names.end(), P), Names.end()) << P;
+  for (const std::string &N : Names)
+    EXPECT_TRUE(pipeline::createPassByName(N)) << N;
+  EXPECT_FALSE(pipeline::createPassByName("no-such-pass"));
+}
+
+TEST(PassSequences, ReportedTimingsMatchDefinitions) {
+  // Compile a three-function module per strategy and inspect the per-pass
+  // report: every pass ran once per function, and the scheduler-pass stats
+  // show IPS scheduling twice and RASE probing twice per block plus once.
+  const char *Src = "int a(int x) { return x + 1; }"
+                    "int b(int x) { return x * 3; }"
+                    "int main() { return a(1) + b(2); }";
+  for (StrategyKind Kind :
+       {StrategyKind::Postpass, StrategyKind::IPS, StrategyKind::RASE}) {
+    DiagnosticEngine Diags;
+    driver::CompileOptions Opts;
+    Opts.Strategy = Kind;
+    auto C = driver::compileSource(Src, "t", Opts, Diags);
+    ASSERT_TRUE(C) << Diags.str();
+    ASSERT_EQ(C->Passes.size(), pipelineNames(Kind).size());
+    for (size_t I = 0; I < C->Passes.size(); ++I) {
+      EXPECT_EQ(C->Passes[I].Name, pipelineNames(Kind)[I]);
+      EXPECT_EQ(C->Passes[I].Runs, 3u) << C->Passes[I].Name;
+      EXPECT_GE(C->Passes[I].Micros, 0.0);
+    }
+    // build-dag recorded the module's DAG shape.
+    EXPECT_GT(C->Stats.DagNodes, 0);
+    EXPECT_GE(C->Stats.DagEdges, 0);
+  }
+}
+
+TEST(PassSequences, SerialPassSumApproachesBackendWall) {
+  // The acceptance bar: serially, the per-pass breakdown accounts for the
+  // backend wall time (no hidden unattributed phases).
+  DiagnosticEngine Diags;
+  driver::CompileOptions Opts;
+  Opts.Machine = "i860";
+  Opts.Strategy = StrategyKind::RASE; // The longest pipeline.
+  auto C = driver::compileFile("livermore.mc", Opts, Diags);
+  ASSERT_TRUE(C) << Diags.str();
+  double SumMs = 0;
+  for (const pipeline::PassStats &PS : C->Passes)
+    SumMs += PS.Micros / 1000.0;
+  EXPECT_GT(SumMs, 0.0);
+  EXPECT_LE(SumMs, C->BackendMillis * 1.10);
+  EXPECT_GE(SumMs, C->BackendMillis * 0.50);
+}
+
+//===--------------------------------------------------------------------===//
+// Dump-after hooks come out in module source order, even under -j.
+//===--------------------------------------------------------------------===//
+
+TEST(DumpAfter, FunctionsAppearInSourceOrder) {
+  const char *Src = "int zebra(int x) { return x + 1; }"
+                    "int apple(int x) { return x + 2; }"
+                    "int main() { return zebra(1) + apple(2); }";
+  for (unsigned Jobs : {1u, 4u}) {
+    DiagnosticEngine Diags;
+    driver::CompileOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.DumpAfter = {"select"};
+    auto C = driver::compileSource(Src, "t", Opts, Diags);
+    ASSERT_TRUE(C) << Diags.str();
+    size_t Z = C->Dumps.find("zebra:");
+    size_t A = C->Dumps.find("apple:");
+    size_t M = C->Dumps.find("main:");
+    ASSERT_NE(Z, std::string::npos);
+    ASSERT_NE(A, std::string::npos);
+    ASSERT_NE(M, std::string::npos);
+    EXPECT_LT(Z, A);
+    EXPECT_LT(A, M);
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Per-function diagnostics merge deterministically when the backend fails.
+//===--------------------------------------------------------------------===//
+
+TEST(ParallelDiagnostics, BackendErrorsIdenticalSerialAndParallel) {
+  // TOYP has no integer divide (paper Fig 3): selection fails per function,
+  // so a module with several failing functions exercises the merge path.
+  const char *Src = "int a(int x) { return x / 3; }"
+                    "int b(int x) { return x / 5; }"
+                    "int c(int x) { return x + 1; }";
+  DiagnosticEngine SerialDiags, ParallelDiags;
+  driver::CompileOptions Serial;
+  Serial.Machine = "toyp";
+  driver::CompileOptions Parallel = Serial;
+  Parallel.Jobs = 4;
+  auto S = driver::compileSource(Src, "t", Serial, SerialDiags);
+  auto P = driver::compileSource(Src, "t", Parallel, ParallelDiags);
+  EXPECT_FALSE(S);
+  EXPECT_FALSE(P);
+  EXPECT_FALSE(SerialDiags.str().empty());
+  EXPECT_EQ(SerialDiags.str(), ParallelDiags.str());
+  EXPECT_EQ(SerialDiags.errorCount(), ParallelDiags.errorCount());
+}
+
+} // namespace

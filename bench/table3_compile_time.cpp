@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/CompileCache.h"
 #include "driver/Compiler.h"
 #include "frontend/Frontend.h"
 
@@ -113,6 +114,40 @@ SelectCell measureSelection(const std::string &Machine, bool UseBuckets,
   auto End = std::chrono::steady_clock::now();
   Out.Millis =
       std::chrono::duration<double, std::milli>(End - Start).count() / Repeat;
+  return Out;
+}
+
+/// The strategy sweep the compile cache exists for (ISSUE/ROADMAP): all
+/// three strategies over all four machines over the suite, through one
+/// shared cache. One cold pass populates it; the warm pass replays the
+/// identical sweep against it.
+struct SweepCell {
+  double Millis = 0;
+  cache::CompileCache::Snapshot Stats;
+};
+
+SweepCell strategySweep(cache::CompileCache &Cache) {
+  SweepCell Out;
+  cache::CompileCache::Snapshot Before = Cache.snapshot();
+  auto Start = std::chrono::steady_clock::now();
+  for (const char *Machine : {"toyp", "r2000", "m88000", "i860"})
+    for (strategy::StrategyKind Strategy :
+         {strategy::StrategyKind::Postpass, strategy::StrategyKind::IPS,
+          strategy::StrategyKind::RASE})
+      for (const char *File : Suite) {
+        DiagnosticEngine Diags;
+        driver::CompileOptions Opts;
+        Opts.Machine = Machine;
+        Opts.Strategy = Strategy;
+        Opts.Cache = &Cache;
+        // TOYP rejects integer division (paper Fig 3), so livermore fails
+        // there by design; failed compiles still exercise the cache (their
+        // selectable functions are reused) and fail identically warm.
+        driver::compileFile(File, Opts, Diags);
+      }
+  auto End = std::chrono::steady_clock::now();
+  Out.Millis = std::chrono::duration<double, std::milli>(End - Start).count();
+  Out.Stats = Cache.snapshot() - Before;
   return Out;
 }
 
@@ -225,7 +260,28 @@ int main() {
             std::to_string(Bucketed.TargetBuildMicros) + "\n    }";
     FirstMachine = false;
   }
-  Json += "\n  },\n  \"shape_holds\": " + std::string(Shape ? "true" : "false") +
+  // Cold-vs-warm strategy sweep through the compile cache (DESIGN.md §10).
+  cache::CompileCache Cache;
+  SweepCell Cold = strategySweep(Cache);
+  SweepCell Warm = strategySweep(Cache);
+  double Speedup = Warm.Millis > 0 ? Cold.Millis / Warm.Millis : 0;
+  std::printf("\ncache sweep (3 strategies x 4 machines x suite): cold "
+              "%.1f ms, warm %.1f ms, %.2fx; warm hit rate %.2f "
+              "(%llu/%llu lookups, %llu evictions)\n",
+              Cold.Millis, Warm.Millis, Speedup, Warm.Stats.hitRate(),
+              static_cast<unsigned long long>(Warm.Stats.Hits),
+              static_cast<unsigned long long>(Warm.Stats.lookups()),
+              static_cast<unsigned long long>(Warm.Stats.Evictions));
+
+  Json += "\n  },\n  \"cache_sweep\": {\"cold_ms\": " +
+          std::to_string(Cold.Millis) +
+          ", \"warm_ms\": " + std::to_string(Warm.Millis) +
+          ", \"speedup\": " + std::to_string(Speedup) +
+          ", \"warm_hit_rate\": " + std::to_string(Warm.Stats.hitRate()) +
+          ", \"warm_lookups\": " + std::to_string(Warm.Stats.lookups()) +
+          ", \"cold_inserts\": " + std::to_string(Cold.Stats.Inserts) +
+          ", \"bytes\": " + std::to_string(Warm.Stats.BytesUsed) + "}" +
+          ",\n  \"shape_holds\": " + std::string(Shape ? "true" : "false") +
           "\n}\n";
 
   const char *JsonPath = "BENCH_compile_time.json";

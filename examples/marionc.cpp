@@ -6,10 +6,11 @@
 // a simulated run) out.
 //
 //   marionc file.mc [--machine M] [--strategy S] [--run [entry]]
-//           [--cycles] [--cache] [--quiet]
+//           [--cycles] [--cache] [--cache-dir D] [--sim-cache] [--quiet]
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/CompileCache.h"
 #include "driver/Compiler.h"
 #include "pipeline/Passes.h"
 #include "sim/Simulator.h"
@@ -18,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace marion;
@@ -33,7 +35,14 @@ static void usage() {
       "main)\n"
       "  --cycles                             annotate assembly with issue "
       "cycles\n"
-      "  --cache                              enable the data cache model\n"
+      "  --cache                              enable the compile cache "
+      "(content-addressed MIR reuse)\n"
+      "  --cache-dir=<dir>                    persistent compile-cache "
+      "directory (implies --cache)\n"
+      "  --cache-stats                        print compile-cache counters "
+      "(implies --cache)\n"
+      "  --sim-cache                          enable the simulator's data "
+      "cache model\n"
       "  --quiet                              suppress the assembly "
       "listing\n"
       "  --tables                             print the code generator's "
@@ -57,8 +66,10 @@ int main(int argc, char **argv) {
   }
   std::string File;
   driver::CompileOptions Opts;
-  bool Run = false, Cycles = false, Cache = false, Quiet = false;
+  bool Run = false, Cycles = false, SimCache = false, Quiet = false;
   bool Tables = false, SelectStats = false, TimePasses = false;
+  bool UseCompileCache = false, CacheStats = false;
+  std::string CacheDir;
   std::string Entry = "main";
 
   for (int I = 1; I < argc; ++I) {
@@ -79,7 +90,15 @@ int main(int argc, char **argv) {
     } else if (Arg == "--cycles") {
       Cycles = true;
     } else if (Arg == "--cache") {
-      Cache = true;
+      UseCompileCache = true;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      CacheDir = Arg.substr(std::strlen("--cache-dir="));
+      UseCompileCache = true;
+    } else if (Arg == "--cache-stats") {
+      CacheStats = true;
+      UseCompileCache = true;
+    } else if (Arg == "--sim-cache") {
+      SimCache = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--tables") {
@@ -149,6 +168,14 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  std::unique_ptr<cache::CompileCache> CompileCache;
+  if (UseCompileCache) {
+    cache::CacheConfig Config;
+    Config.Dir = CacheDir;
+    CompileCache = std::make_unique<cache::CompileCache>(Config);
+    Opts.Cache = CompileCache.get();
+  }
+
   auto Compiled = driver::compileFile(File, Opts, Diags);
   if (!Compiled) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
@@ -166,14 +193,21 @@ int main(int argc, char **argv) {
   if (TimePasses) {
     double Sum = 0;
     for (const pipeline::PassStats &PS : Compiled->Passes)
-      Sum += PS.Micros;
+      Sum += PS.Micros + PS.CachedMicros;
     std::fprintf(stderr, "# %-14s %6s %12s %6s %10s\n", "pass", "runs",
                  "time (ms)", "%sum", "instrs");
-    for (const pipeline::PassStats &PS : Compiled->Passes)
+    for (const pipeline::PassStats &PS : Compiled->Passes) {
       std::fprintf(stderr, "# %-14s %6llu %12.3f %5.1f%% %10llu\n",
                    PS.Name.c_str(), static_cast<unsigned long long>(PS.Runs),
                    PS.Micros / 1000.0, Sum > 0 ? 100.0 * PS.Micros / Sum : 0,
                    static_cast<unsigned long long>(PS.InstrsAfter));
+      if (PS.CachedRuns)
+        std::fprintf(stderr, "# %-14s %6llu %12.3f %5.1f%% %10s\n",
+                     (PS.Name + "(cached)").c_str(),
+                     static_cast<unsigned long long>(PS.CachedRuns),
+                     PS.CachedMicros / 1000.0,
+                     Sum > 0 ? 100.0 * PS.CachedMicros / Sum : 0, "-");
+    }
     std::fprintf(stderr,
                  "# pass sum %.3f ms, backend wall %.3f ms (sum/wall %.2f)\n",
                  Sum / 1000.0, Compiled->BackendMillis,
@@ -181,6 +215,10 @@ int main(int argc, char **argv) {
                      ? (Sum / 1000.0) / Compiled->BackendMillis
                      : 0);
   }
+
+  if (CacheStats && CompileCache)
+    std::fprintf(stderr, "# compile-cache: %s\n",
+                 cache::formatSnapshot(CompileCache->snapshot()).c_str());
 
   if (SelectStats)
     std::fprintf(stderr,
@@ -194,7 +232,7 @@ int main(int argc, char **argv) {
 
   if (Run) {
     sim::SimOptions SimOpts;
-    SimOpts.Cache.Enabled = Cache;
+    SimOpts.Cache.Enabled = SimCache;
     sim::SimResult Result =
         sim::runProgram(Compiled->Module, *Compiled->Target, Entry, SimOpts);
     if (!Result.Ok) {
@@ -208,7 +246,7 @@ int main(int argc, char **argv) {
                  Result.DoubleResult,
                  static_cast<unsigned long long>(Result.Cycles),
                  static_cast<unsigned long long>(Result.Instructions));
-    if (Cache)
+    if (SimCache)
       std::fprintf(stderr, "# cache: %llu accesses, %llu misses\n",
                    static_cast<unsigned long long>(Result.Cache.Accesses),
                    static_cast<unsigned long long>(Result.Cache.Misses));

@@ -5,6 +5,10 @@
 #   scripts/check.sh --asan   ASan+UBSan build into build-asan/ (slower;
 #                             catches races in the parallel pipeline's
 #                             per-function state and any UB in the tables)
+#   scripts/check.sh --cache  build, then run the workload suite twice
+#                             through marionc against one --cache-dir:
+#                             the second pass must be bit-identical to the
+#                             first and must hit the warm cache.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,6 +19,70 @@ if [ "${1:-}" = "--asan" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+elif [ "${1:-}" = "--cache" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target marionc
+
+  MARIONC="$BUILD/examples/marionc"
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+
+  # Two passes over the full sweep sharing one on-disk cache: the first
+  # populates it (cold), the second must be served from it (warm) and
+  # produce byte-identical assembly and diagnostics. Failed compiles
+  # (e.g. TOYP has no integer divide, so livermore is rejected) must
+  # fail identically on both passes.
+  for PASS in cold warm; do
+    for M in toyp r2000 m88000 i860; do
+      for S in postpass ips rase; do
+        for F in workloads/*.mc; do
+          OUT="$WORK/$PASS.$M.$S.$(basename "$F" .mc)"
+          if "$MARIONC" "$F" --machine "$M" --strategy "$S" \
+            --cache-dir="$WORK/cache" --cache-stats \
+            >"$OUT.stdout" 2>"$OUT.stderr"; then
+            echo ok >"$OUT.status"
+          else
+            echo fail >"$OUT.status"
+          fi
+          grep -v '^# compile-cache:' "$OUT.stderr" >"$OUT.diag" || true
+        done
+      done
+    done
+    echo "cache $PASS pass done"
+  done
+
+  STATUS=0
+  for COLD in "$WORK"/cold.*.stdout "$WORK"/cold.*.diag \
+    "$WORK"/cold.*.status; do
+    WARMF="$WORK/warm.${COLD#"$WORK"/cold.}"
+    if ! cmp -s "$COLD" "$WARMF"; then
+      echo "FAIL: warm output differs from cold: $(basename "$COLD")" >&2
+      diff "$COLD" "$WARMF" >&2 || true
+      STATUS=1
+    fi
+  done
+
+  # Every warm-pass lookup of a compile that succeeds must be a hit: the
+  # cold pass inserted it, so each such invocation reports rate 1.00.
+  # Failed compiles (e.g. TOYP has no integer divide, so it rejects
+  # livermore) never populate the cache and are only held to the
+  # identical-output check above.
+  WARMOK=0
+  BADRATE=0
+  for ST in "$WORK"/warm.*.status; do
+    [ "$(cat "$ST")" = ok ] || continue
+    WARMOK=$((WARMOK + 1))
+    ERR="${ST%.status}.stderr"
+    grep -q '^# compile-cache:.*rate 1\.00' "$ERR" ||
+      BADRATE=$((BADRATE + 1))
+  done
+  echo "warm successful invocations: $WARMOK, with hit rate < 1.00: $BADRATE"
+  if [ "$WARMOK" -eq 0 ] || [ "$BADRATE" -ne 0 ]; then
+    echo "FAIL: warm pass was not fully served from the cache" >&2
+    STATUS=1
+  fi
+  [ "$STATUS" -eq 0 ] && echo "cache check OK"
+  exit "$STATUS"
 else
   cmake -B "$BUILD" -S .
 fi

@@ -1,0 +1,108 @@
+//===- CacheKey.h - Content-addressed compilation cache keys -------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache keys for the content-addressed compilation cache (DESIGN.md §10).
+/// A key folds together everything a cached artifact depends on:
+///
+///   - a canonical structural fingerprint of the IL function (post-order
+///     over the code thread; operator/type/constant/leaf identity; DAG
+///     back-references by discovery index — never pointer values),
+///   - the machine name and the TargetInfo table fingerprint (so editing a
+///     .maril description invalidates every entry derived from it),
+///   - the relevant pipeline options (selector options for selected-MIR
+///     entries; additionally the strategy kind and its scheduler/allocator
+///     options for final-MIR entries),
+///   - kCacheSchemaVersion, bumped whenever the serialized MIR format or
+///     the fingerprint derivation changes, so stale on-disk caches
+///     auto-invalidate instead of deserializing garbage.
+///
+/// Two stages share one store: SelectedMIR entries are strategy-independent
+/// (the select pass is pure per function over a const TargetInfo — the whole
+/// point of reusing selection across a Postpass/IPS/RASE sweep), FinalMIR
+/// entries additionally key on the strategy and hold a finished function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_CACHE_CACHEKEY_H
+#define MARION_CACHE_CACHEKEY_H
+
+#include "il/IL.h"
+#include "select/Selector.h"
+#include "strategy/Strategy.h"
+#include "target/TargetInfo.h"
+
+#include <cstdint>
+#include <string>
+
+namespace marion {
+namespace cache {
+
+/// Bump on any change to the MIR wire format, the fingerprint derivation,
+/// or the meaning of any keyed option. Baked into every key digest and
+/// every serialized blob header.
+constexpr uint32_t kCacheSchemaVersion = 1;
+
+/// What a cached blob holds.
+enum class CacheStage : uint8_t {
+  SelectedMIR = 1, ///< Post-selection pseudo-register machine code.
+  FinalMIR = 2,    ///< Scheduled + allocated + frame-lowered function,
+                   ///< with its strategy stats and diagnostics.
+};
+
+/// A fully-derived cache key. Field-exact equality is the cache contract;
+/// the 128-bit digest (lo/hi) names the entry in memory and on disk.
+struct CacheKey {
+  CacheStage Stage = CacheStage::SelectedMIR;
+  std::string Machine;
+  uint64_t ILHash = 0;
+  uint64_t TargetFP = 0;
+  uint64_t OptionsFP = 0;
+
+  bool operator==(const CacheKey &) const = default;
+
+  /// 128-bit digest over every field plus kCacheSchemaVersion.
+  uint64_t lo() const;
+  uint64_t hi() const;
+  /// 32 lowercase hex characters (hi then lo): the on-disk file stem and
+  /// the in-memory map key.
+  std::string hex() const;
+};
+
+/// Canonical structural hash of an IL function: blocks and statement roots
+/// in code-thread order, DAG sharing encoded as back-references by first-
+/// visit index. Depends only on semantic content — two parses of the same
+/// source hash identically; no pointer or container-order dependence.
+uint64_t fingerprintFunction(const il::Function &Fn);
+
+/// Hash of the selector options that can affect the selected MIR or how it
+/// was produced (dispatch mode included: a key describes the exact
+/// configuration, not just the result).
+uint64_t fingerprintSelectorOptions(const select::SelectorOptions &Opts);
+
+/// Hash of a strategy's complete knob set: kind, scheduler options,
+/// allocator options, IPS/RASE limits.
+uint64_t fingerprintStrategyOptions(strategy::StrategyKind Kind,
+                                    const strategy::StrategyOptions &Opts);
+
+/// Key for the strategy-independent selected-MIR tier. \p Fn must be in the
+/// state the select pass will consume (post-glue in the pipeline).
+CacheKey selectedMirKey(const il::Function &Fn,
+                        const target::TargetInfo &Target,
+                        const select::SelectorOptions &SelOpts);
+
+/// Key for the final-MIR tier. \p Fn must be in the state the pipeline will
+/// consume (pre-glue: the glue pass is part of what the key covers, via the
+/// target fingerprint).
+CacheKey finalMirKey(const il::Function &Fn, const target::TargetInfo &Target,
+                     const select::SelectorOptions &SelOpts,
+                     strategy::StrategyKind Kind,
+                     const strategy::StrategyOptions &StratOpts);
+
+} // namespace cache
+} // namespace marion
+
+#endif // MARION_CACHE_CACHEKEY_H

@@ -1,0 +1,188 @@
+//===- CompileCache.cpp - Sharded content-addressed cache -----------------==//
+
+#include "cache/CompileCache.h"
+
+#include "cache/MIRCodec.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+using namespace marion;
+using namespace marion::cache;
+
+CompileCache::CompileCache(CacheConfig Config) : Config(std::move(Config)) {
+  if (this->Config.Shards == 0)
+    this->Config.Shards = 1;
+  ShardsVec.reserve(this->Config.Shards);
+  for (unsigned I = 0; I < this->Config.Shards; ++I)
+    ShardsVec.push_back(std::make_unique<Shard>());
+  if (!this->Config.Dir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(this->Config.Dir, EC);
+    // A failed create leaves the disk tier effectively read-only misses;
+    // the memory tier still works, so compilation proceeds regardless.
+  }
+}
+
+CompileCache::Shard &CompileCache::shardFor(const CacheKey &Key) {
+  return *ShardsVec[Key.lo() % ShardsVec.size()];
+}
+
+std::string CompileCache::diskPath(const std::string &Hex) const {
+  return Config.Dir + "/" + Hex + ".mmir";
+}
+
+std::string CompileCache::readDisk(const std::string &Hex) const {
+  if (Config.Dir.empty())
+    return {};
+  std::ifstream In(diskPath(Hex), std::ios::binary);
+  if (!In)
+    return {};
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void CompileCache::writeDisk(const std::string &Hex,
+                             const std::string &Blob) const {
+  if (Config.Dir.empty())
+    return;
+  // Unique temporary name per writer, then an atomic rename: concurrent
+  // processes sharing the directory only ever observe complete files.
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string Tmp = diskPath(Hex) + ".tmp" +
+                    std::to_string(TmpCounter.fetch_add(1)) + "." +
+                    std::to_string(static_cast<unsigned long long>(
+                        reinterpret_cast<uintptr_t>(&Blob) & 0xFFFF));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(Blob.data(), static_cast<std::streamsize>(Blob.size()));
+    if (!Out) {
+      Out.close();
+      std::remove(Tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(Tmp.c_str(), diskPath(Hex).c_str()) != 0)
+    std::remove(Tmp.c_str());
+}
+
+std::string CompileCache::lookup(const CacheKey &Key) {
+  const std::string Hex = Key.hex();
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Index.find(Hex);
+    if (It != S.Index.end()) {
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      if (validateHeader(It->second->Blob, Key)) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return It->second->Blob;
+      }
+      // Header mismatch can only mean digest collision or in-memory
+      // corruption; drop the entry and fall through to a miss.
+      S.Bytes -= It->second->Blob.size();
+      BytesUsed.fetch_sub(It->second->Blob.size(), std::memory_order_relaxed);
+      S.Lru.erase(It->second);
+      S.Index.erase(It);
+    }
+  }
+
+  // Disk tier (outside the shard lock: file IO must not serialize workers).
+  std::string Blob = readDisk(Hex);
+  if (!Blob.empty() && validateHeader(Blob, Key)) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    DiskHits.fetch_add(1, std::memory_order_relaxed);
+    // Promote into memory so repeat lookups skip the file system.
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    if (!S.Index.count(Hex)) {
+      S.Lru.push_front(Shard::Entry{Hex, Blob});
+      S.Index[Hex] = S.Lru.begin();
+      S.Bytes += Blob.size();
+      BytesUsed.fetch_add(Blob.size(), std::memory_order_relaxed);
+    }
+    return Blob;
+  }
+
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return {};
+}
+
+void CompileCache::insert(const CacheKey &Key, std::string Blob) {
+  const std::string Hex = Key.hex();
+  const size_t Budget = Config.ByteBudget / ShardsVec.size();
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Index.find(Hex);
+    if (It != S.Index.end()) {
+      // Deterministic pipelines re-produce identical blobs; keep the first.
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    } else {
+      S.Bytes += Blob.size();
+      BytesUsed.fetch_add(Blob.size(), std::memory_order_relaxed);
+      S.Lru.push_front(Shard::Entry{Hex, Blob});
+      S.Index[Hex] = S.Lru.begin();
+      Inserts.fetch_add(1, std::memory_order_relaxed);
+      // Evict LRU past budget, but never the entry just inserted.
+      while (S.Bytes > Budget && S.Lru.size() > 1) {
+        Shard::Entry &Victim = S.Lru.back();
+        S.Bytes -= Victim.Blob.size();
+        BytesUsed.fetch_sub(Victim.Blob.size(), std::memory_order_relaxed);
+        S.Index.erase(Victim.Hex);
+        S.Lru.pop_back();
+        Evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  writeDisk(Hex, Blob);
+}
+
+void CompileCache::invalidate(const CacheKey &Key) {
+  const std::string Hex = Key.hex();
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Index.find(Hex);
+    if (It != S.Index.end()) {
+      S.Bytes -= It->second->Blob.size();
+      BytesUsed.fetch_sub(It->second->Blob.size(), std::memory_order_relaxed);
+      S.Lru.erase(It->second);
+      S.Index.erase(It);
+    }
+  }
+  if (!Config.Dir.empty())
+    std::remove(diskPath(Hex).c_str());
+  // The lookup that surfaced the bad blob counted a hit; the caller could
+  // not use it, so account it as the miss it really was.
+  Hits.fetch_sub(1, std::memory_order_relaxed);
+  Misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+CompileCache::Snapshot CompileCache::snapshot() const {
+  Snapshot S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.DiskHits = DiskHits.load(std::memory_order_relaxed);
+  S.Inserts = Inserts.load(std::memory_order_relaxed);
+  S.Evictions = Evictions.load(std::memory_order_relaxed);
+  S.BytesUsed = BytesUsed.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::string cache::formatSnapshot(const CompileCache::Snapshot &S) {
+  std::ostringstream Out;
+  Out << "lookups " << S.lookups() << ", hits " << S.Hits << " (rate ";
+  char Rate[16];
+  std::snprintf(Rate, sizeof(Rate), "%.2f", S.hitRate());
+  Out << Rate << "), misses " << S.Misses << ", inserts " << S.Inserts
+      << ", evictions " << S.Evictions << ", disk hits " << S.DiskHits
+      << ", bytes " << S.BytesUsed;
+  return Out.str();
+}

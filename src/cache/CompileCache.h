@@ -1,0 +1,141 @@
+//===- CompileCache.h - Sharded content-addressed cache -----------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-addressed compilation cache (DESIGN.md §10): a sharded
+/// in-memory LRU store of serialized MIR blobs keyed by 128-bit CacheKey
+/// digests, with an optional on-disk persistent tier. The store never
+/// inspects payloads beyond validating the self-describing header at lookup
+/// time — encoding and decoding live in MIRCodec; callers that fail to
+/// decode a blob the header accepted call invalidate() so the entry is
+/// dropped and the accounting stays an honest miss.
+///
+/// Concurrency: keys are striped over N shards by digest; each shard has
+/// its own mutex, so -jN workers hitting different functions rarely
+/// contend. Counters are atomics, readable at any time.
+///
+/// Disk tier: one file per key (<dir>/<32-hex>.mmir), written to a unique
+/// temporary name and renamed into place, so concurrent processes sharing a
+/// cache directory see only complete files. Unreadable, truncated or
+/// mismatched files are silent misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_CACHE_COMPILECACHE_H
+#define MARION_CACHE_COMPILECACHE_H
+
+#include "cache/CacheKey.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace cache {
+
+struct CacheConfig {
+  /// Total in-memory budget across all shards; least-recently-used entries
+  /// are evicted past it. Entries larger than a shard's slice are still
+  /// admitted alone (the shard holds just that entry).
+  size_t ByteBudget = 64u << 20;
+  /// Mutex stripes. Keys map to shards by digest, so the distribution is
+  /// uniform whatever the workload.
+  unsigned Shards = 16;
+  /// Persistent tier directory; empty disables the disk tier.
+  std::string Dir;
+};
+
+class CompileCache {
+public:
+  /// Point-in-time counter snapshot. operator- gives per-phase deltas
+  /// (e.g. the warm half of a cold/warm sweep).
+  struct Snapshot {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t DiskHits = 0; ///< Subset of Hits served by promotion from disk.
+    uint64_t Inserts = 0;
+    uint64_t Evictions = 0;
+    uint64_t BytesUsed = 0;
+
+    uint64_t lookups() const { return Hits + Misses; }
+    double hitRate() const {
+      return lookups() ? static_cast<double>(Hits) / lookups() : 0.0;
+    }
+    Snapshot operator-(const Snapshot &Base) const {
+      Snapshot D = *this;
+      D.Hits -= Base.Hits;
+      D.Misses -= Base.Misses;
+      D.DiskHits -= Base.DiskHits;
+      D.Inserts -= Base.Inserts;
+      D.Evictions -= Base.Evictions;
+      return D;
+    }
+  };
+
+  explicit CompileCache(CacheConfig Config = {});
+
+  /// Returns the blob for \p Key, or an empty string on miss. Memory tier
+  /// first, then disk (a disk hit is promoted into memory). The blob's
+  /// header is validated against \p Key before a hit is counted.
+  std::string lookup(const CacheKey &Key);
+
+  /// Stores \p Blob under \p Key in memory (LRU-evicting past budget) and,
+  /// when the disk tier is enabled, on disk via atomic rename.
+  void insert(const CacheKey &Key, std::string Blob);
+
+  /// Drops \p Key everywhere after a caller-side decode failure on a blob
+  /// lookup() returned: the hit is re-counted as a miss, the memory entry
+  /// is erased, and the disk file is unlinked. Keeps the corruption
+  /// contract honest — a corrupt entry behaves exactly like an absent one.
+  void invalidate(const CacheKey &Key);
+
+  Snapshot snapshot() const;
+  const CacheConfig &config() const { return Config; }
+
+private:
+  struct Shard {
+    std::mutex Mutex;
+    /// Front = most recently used.
+    struct Entry {
+      std::string Hex;
+      std::string Blob;
+    };
+    std::list<Entry> Lru;
+    std::map<std::string, std::list<Entry>::iterator> Index;
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const CacheKey &Key);
+  std::string diskPath(const std::string &Hex) const;
+  std::string readDisk(const std::string &Hex) const;
+  void writeDisk(const std::string &Hex, const std::string &Blob) const;
+
+  CacheConfig Config;
+  std::vector<std::unique_ptr<Shard>> ShardsVec;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> DiskHits{0};
+  std::atomic<uint64_t> Inserts{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> BytesUsed{0};
+};
+
+/// Renders a stats snapshot as the one-line report marionc --cache-stats
+/// prints, e.g.
+///   "lookups 24, hits 18 (rate 0.75), misses 6, inserts 6, evictions 0,
+///    disk hits 2, bytes 10240".
+std::string formatSnapshot(const CompileCache::Snapshot &S);
+
+} // namespace cache
+} // namespace marion
+
+#endif // MARION_CACHE_COMPILECACHE_H

@@ -1,0 +1,189 @@
+//===- Fingerprint.cpp - IL, option and key fingerprints ------------------==//
+
+#include "cache/CacheKey.h"
+
+#include "support/Hash.h"
+
+#include <map>
+
+using namespace marion;
+using namespace marion::cache;
+
+namespace {
+
+/// Walks one function's IL DAGs in code-thread order, emitting a canonical
+/// byte stream into a hasher. Shared nodes (local common subexpressions,
+/// multi-parent call nodes) are emitted once and thereafter referenced by
+/// their first-visit index, so the stream encodes the DAG shape itself —
+/// two structurally identical functions produce identical streams no matter
+/// where their arenas were allocated.
+class FunctionHasher {
+public:
+  explicit FunctionHasher(Fnv1a &H) : H(H) {}
+
+  void run(const il::Function &Fn) {
+    H.str(Fn.Name);
+    H.u8(static_cast<uint8_t>(Fn.ReturnType));
+    H.u64(Fn.ParamTemps.size());
+    for (int T : Fn.ParamTemps)
+      H.i64(T);
+    H.u64(Fn.Temps.size());
+    for (const il::TempInfo &T : Fn.Temps) {
+      H.str(T.Name);
+      H.u8(static_cast<uint8_t>(T.Type));
+    }
+    H.u64(Fn.FrameObjects.size());
+    for (const il::FrameObject &O : Fn.FrameObjects) {
+      H.str(O.Name);
+      H.u32(O.SizeBytes);
+      H.u32(O.Align);
+      H.i64(O.Offset);
+    }
+    H.u64(Fn.Blocks.size());
+    for (const auto &Block : Fn.Blocks) {
+      H.i64(Block->Id);
+      H.str(Block->LabelName);
+      H.u64(Block->Roots.size());
+      for (const il::Node *Root : Block->Roots)
+        node(Root);
+    }
+  }
+
+private:
+  void node(const il::Node *N) {
+    auto It = Seen.find(N);
+    if (It != Seen.end()) {
+      // Back-reference: the DAG sharing itself is part of the content
+      // (a multi-parent node is a CSE the selector pins to a register).
+      H.u8(0xBB);
+      H.u32(It->second);
+      return;
+    }
+    Seen.emplace(N, static_cast<unsigned>(Seen.size()));
+    H.u8(0xAA);
+    H.u8(static_cast<uint8_t>(N->Op));
+    H.u8(static_cast<uint8_t>(N->Type));
+    H.u8(static_cast<uint8_t>(N->FromType));
+    H.i64(N->IntVal);
+    H.f64(N->FloatVal);
+    H.str(N->Symbol);
+    H.i64(N->TempId);
+    H.i64(N->FrameIndex);
+    H.i64(N->RegBank);
+    H.i64(N->RegIndex);
+    H.i64(N->TargetBlock);
+    H.u64(N->Kids.size());
+    for (const il::Node *Kid : N->Kids)
+      node(Kid);
+  }
+
+  Fnv1a &H;
+  /// First-visit indices. Ordered map over pointers is fine here: it is
+  /// only ever probed per node, never iterated, so pointer order cannot
+  /// leak into the stream.
+  std::map<const il::Node *, unsigned> Seen;
+};
+
+void hashSchedOptions(Fnv1a &H, const sched::SchedulerOptions &S) {
+  H.u8(S.CheckStructuralHazards);
+  H.u8(S.UsePacking);
+  H.u8(S.TemporalScheduling);
+  H.i64(S.RegisterLimit);
+  H.u8(S.BankPressure);
+  H.u8(static_cast<uint8_t>(S.Priority));
+  H.u8(S.AntiEdges);
+}
+
+void hashKeyFields(Fnv1a &H, const CacheKey &Key) {
+  H.u32(kCacheSchemaVersion);
+  H.u8(static_cast<uint8_t>(Key.Stage));
+  H.str(Key.Machine);
+  H.u64(Key.ILHash);
+  H.u64(Key.TargetFP);
+  H.u64(Key.OptionsFP);
+}
+
+} // namespace
+
+uint64_t cache::fingerprintFunction(const il::Function &Fn) {
+  Fnv1a H;
+  FunctionHasher(H).run(Fn);
+  return H.digest();
+}
+
+uint64_t
+cache::fingerprintSelectorOptions(const select::SelectorOptions &Opts) {
+  Fnv1a H;
+  H.u8(Opts.RunGlue);
+  H.u8(Opts.UseBuckets);
+  return H.digest();
+}
+
+uint64_t
+cache::fingerprintStrategyOptions(strategy::StrategyKind Kind,
+                                  const strategy::StrategyOptions &Opts) {
+  Fnv1a H;
+  H.u8(static_cast<uint8_t>(Kind));
+  hashSchedOptions(H, Opts.Sched);
+  H.u64(Opts.Alloc.MaxRounds);
+  // BlockSpillWeight is a per-function RASE hand-off, never a user knob at
+  // compile start; it is always empty when keys are derived.
+  H.u64(Opts.Alloc.BlockSpillWeight.size());
+  for (double W : Opts.Alloc.BlockSpillWeight)
+    H.f64(W);
+  H.i64(Opts.IpsRegisterLimit);
+  H.i64(Opts.RaseProbeLimit);
+  return H.digest();
+}
+
+uint64_t CacheKey::lo() const {
+  Fnv1a H(Fnv1a::kDefaultBasis);
+  hashKeyFields(H, *this);
+  return H.digest();
+}
+
+uint64_t CacheKey::hi() const {
+  Fnv1a H(Fnv1a::kAltBasis);
+  hashKeyFields(H, *this);
+  return H.digest();
+}
+
+std::string CacheKey::hex() const {
+  static const char Digits[] = "0123456789abcdef";
+  uint64_t Parts[2] = {hi(), lo()};
+  std::string Out;
+  Out.reserve(32);
+  for (uint64_t Part : Parts)
+    for (int Shift = 60; Shift >= 0; Shift -= 4)
+      Out.push_back(Digits[(Part >> Shift) & 0xF]);
+  return Out;
+}
+
+CacheKey cache::selectedMirKey(const il::Function &Fn,
+                               const target::TargetInfo &Target,
+                               const select::SelectorOptions &SelOpts) {
+  CacheKey Key;
+  Key.Stage = CacheStage::SelectedMIR;
+  Key.Machine = Target.name();
+  Key.ILHash = fingerprintFunction(Fn);
+  Key.TargetFP = Target.fingerprint();
+  Key.OptionsFP = fingerprintSelectorOptions(SelOpts);
+  return Key;
+}
+
+CacheKey cache::finalMirKey(const il::Function &Fn,
+                            const target::TargetInfo &Target,
+                            const select::SelectorOptions &SelOpts,
+                            strategy::StrategyKind Kind,
+                            const strategy::StrategyOptions &StratOpts) {
+  CacheKey Key;
+  Key.Stage = CacheStage::FinalMIR;
+  Key.Machine = Target.name();
+  Key.ILHash = fingerprintFunction(Fn);
+  Key.TargetFP = Target.fingerprint();
+  Fnv1a H;
+  H.u64(fingerprintSelectorOptions(SelOpts));
+  H.u64(fingerprintStrategyOptions(Kind, StratOpts));
+  Key.OptionsFP = H.digest();
+  return Key;
+}

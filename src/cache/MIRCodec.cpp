@@ -1,0 +1,369 @@
+//===- MIRCodec.cpp - Compact MIR serialization ---------------------------==//
+
+#include "cache/MIRCodec.h"
+
+#include <cstring>
+
+using namespace marion;
+using namespace marion::cache;
+using namespace marion::target;
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'M', 'C', '1'};
+
+/// Little-endian fixed-width append-only writer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+/// Bounds-checked reader over an untrusted blob. Every accessor returns
+/// false on underrun; once Failed is set all further reads fail too, so
+/// callers can read a whole record and check once.
+class ByteReader {
+public:
+  explicit ByteReader(const std::string &Blob) : Data(Blob) {}
+
+  bool u8(uint8_t &V) {
+    if (!need(1))
+      return false;
+    V = static_cast<uint8_t>(Data[Pos++]);
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (!need(4))
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos++])) << (8 * I);
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (!need(8))
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Data[Pos++])) << (8 * I);
+    return true;
+  }
+  bool i32(int32_t &V) {
+    uint32_t U;
+    if (!u32(U))
+      return false;
+    V = static_cast<int32_t>(U);
+    return true;
+  }
+  bool i64(int64_t &V) {
+    uint64_t U;
+    if (!u64(U))
+      return false;
+    V = static_cast<int64_t>(U);
+    return true;
+  }
+  bool f64(double &V) {
+    uint64_t Bits;
+    if (!u64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t Len;
+    if (!u32(Len) || !need(Len))
+      return false;
+    S.assign(Data, Pos, Len);
+    Pos += Len;
+    return true;
+  }
+  /// Reads a count and sanity-caps it against the bytes remaining, so a
+  /// corrupt length can't drive a multi-gigabyte reserve.
+  bool count(uint32_t &N, size_t MinElemBytes) {
+    if (!u32(N))
+      return false;
+    return MinElemBytes == 0 || N <= (Data.size() - Pos) / MinElemBytes;
+  }
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return !Failed && Pos == Data.size(); }
+
+private:
+  bool need(size_t N) {
+    if (Failed || Data.size() - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string &Data;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+void writeOperand(ByteWriter &W, const MOperand &Op) {
+  W.u8(static_cast<uint8_t>(Op.K));
+  W.i32(Op.Phys.Bank);
+  W.i32(Op.Phys.Index);
+  W.i32(Op.PseudoId);
+  W.i64(Op.Imm);
+  W.str(Op.Sym);
+  W.i64(Op.Offset);
+  W.i32(Op.BlockId);
+  W.i32(Op.SubReg);
+}
+
+bool readOperand(ByteReader &R, MOperand &Op) {
+  uint8_t Kind;
+  if (!R.u8(Kind))
+    return false;
+  if (Kind > static_cast<uint8_t>(MOperand::Kind::Label))
+    return false;
+  Op.K = static_cast<MOperand::Kind>(Kind);
+  return R.i32(Op.Phys.Bank) && R.i32(Op.Phys.Index) && R.i32(Op.PseudoId) &&
+         R.i64(Op.Imm) && R.str(Op.Sym) && R.i64(Op.Offset) &&
+         R.i32(Op.BlockId) && R.i32(Op.SubReg);
+}
+
+void writeFunction(ByteWriter &W, const MFunction &Fn) {
+  W.str(Fn.Name);
+  W.u8(static_cast<uint8_t>(Fn.ReturnType));
+  W.u32(Fn.FrameSize);
+  W.i32(Fn.RetAddrSlot);
+  W.u8(Fn.HasCalls);
+  W.u8(Fn.IsAllocated);
+  W.u32(static_cast<uint32_t>(Fn.UsedCalleeSaved.size()));
+  for (const PhysReg &Reg : Fn.UsedCalleeSaved) {
+    W.i32(Reg.Bank);
+    W.i32(Reg.Index);
+  }
+  W.u32(static_cast<uint32_t>(Fn.Pseudos.size()));
+  for (const PseudoInfo &P : Fn.Pseudos) {
+    W.i32(P.Bank);
+    W.str(P.Name);
+    W.i32(P.TempId);
+  }
+  W.u32(static_cast<uint32_t>(Fn.Blocks.size()));
+  for (const MBlock &Block : Fn.Blocks) {
+    W.i32(Block.Id);
+    W.str(Block.Label);
+    W.i32(Block.EstimatedCycles);
+    W.u32(static_cast<uint32_t>(Block.Instrs.size()));
+    for (const MInstr &MI : Block.Instrs) {
+      W.i32(MI.InstrId);
+      W.i32(MI.Cycle);
+      W.u32(static_cast<uint32_t>(MI.Ops.size()));
+      for (const MOperand &Op : MI.Ops)
+        writeOperand(W, Op);
+      W.u32(static_cast<uint32_t>(MI.ImplicitUses.size()));
+      for (const PhysReg &Reg : MI.ImplicitUses) {
+        W.i32(Reg.Bank);
+        W.i32(Reg.Index);
+      }
+    }
+  }
+}
+
+bool readFunction(ByteReader &R, MFunction &Fn) {
+  uint8_t RetTy, HasCalls, IsAllocated;
+  if (!R.str(Fn.Name) || !R.u8(RetTy) || !R.u32(Fn.FrameSize) ||
+      !R.i32(Fn.RetAddrSlot) || !R.u8(HasCalls) || !R.u8(IsAllocated))
+    return false;
+  if (RetTy > static_cast<uint8_t>(ValueType::Double))
+    return false;
+  Fn.ReturnType = static_cast<ValueType>(RetTy);
+  Fn.HasCalls = HasCalls != 0;
+  Fn.IsAllocated = IsAllocated != 0;
+
+  uint32_t N;
+  if (!R.count(N, 8))
+    return false;
+  Fn.UsedCalleeSaved.resize(N);
+  for (PhysReg &Reg : Fn.UsedCalleeSaved)
+    if (!R.i32(Reg.Bank) || !R.i32(Reg.Index))
+      return false;
+
+  if (!R.count(N, 12))
+    return false;
+  Fn.Pseudos.resize(N);
+  for (PseudoInfo &P : Fn.Pseudos)
+    if (!R.i32(P.Bank) || !R.str(P.Name) || !R.i32(P.TempId))
+      return false;
+
+  if (!R.count(N, 16))
+    return false;
+  Fn.Blocks.resize(N);
+  for (MBlock &Block : Fn.Blocks) {
+    uint32_t NumInstrs;
+    if (!R.i32(Block.Id) || !R.str(Block.Label) ||
+        !R.i32(Block.EstimatedCycles) || !R.count(NumInstrs, 12))
+      return false;
+    Block.Instrs.resize(NumInstrs);
+    for (MInstr &MI : Block.Instrs) {
+      uint32_t NumOps, NumImp;
+      if (!R.i32(MI.InstrId) || !R.i32(MI.Cycle) || !R.count(NumOps, 38))
+        return false;
+      MI.Ops.resize(NumOps);
+      for (MOperand &Op : MI.Ops)
+        if (!readOperand(R, Op))
+          return false;
+      if (!R.count(NumImp, 8))
+        return false;
+      MI.ImplicitUses.resize(NumImp);
+      for (PhysReg &Reg : MI.ImplicitUses)
+        if (!R.i32(Reg.Bank) || !R.i32(Reg.Index))
+          return false;
+    }
+  }
+  return R.ok();
+}
+
+void writeHeader(ByteWriter &W, const CacheKey &Key) {
+  for (char C : kMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(kCacheSchemaVersion);
+  W.u8(static_cast<uint8_t>(Key.Stage));
+  W.u64(Key.ILHash);
+  W.u64(Key.TargetFP);
+  W.u64(Key.OptionsFP);
+  W.str(Key.Machine);
+}
+
+bool readAndCheckHeader(ByteReader &R, const CacheKey &Key) {
+  uint8_t Magic[4];
+  for (uint8_t &B : Magic)
+    if (!R.u8(B))
+      return false;
+  if (std::memcmp(Magic, kMagic, 4) != 0)
+    return false;
+  uint32_t Schema;
+  uint8_t Stage;
+  uint64_t ILHash, TargetFP, OptionsFP;
+  std::string Machine;
+  if (!R.u32(Schema) || !R.u8(Stage) || !R.u64(ILHash) || !R.u64(TargetFP) ||
+      !R.u64(OptionsFP) || !R.str(Machine))
+    return false;
+  return Schema == kCacheSchemaVersion &&
+         Stage == static_cast<uint8_t>(Key.Stage) && ILHash == Key.ILHash &&
+         TargetFP == Key.TargetFP && OptionsFP == Key.OptionsFP &&
+         Machine == Key.Machine;
+}
+
+void writeExtras(ByteWriter &W, const FinalExtras &Extras) {
+  const strategy::StrategyStats &S = Extras.Stats;
+  W.u32(S.SchedulerPasses);
+  W.u32(S.SpilledPseudos);
+  W.u32(S.AllocatorRounds);
+  W.i64(S.EstimatedCycles);
+  W.i64(S.ScheduledInstrs);
+  W.i64(S.DagNodes);
+  W.i64(S.DagEdges);
+  W.u32(static_cast<uint32_t>(Extras.Diags.size()));
+  for (const StoredDiagnostic &D : Extras.Diags) {
+    W.u8(static_cast<uint8_t>(D.Kind));
+    W.u32(D.Loc.Line);
+    W.u32(D.Loc.Column);
+    W.str(D.Message);
+  }
+}
+
+bool readExtras(ByteReader &R, FinalExtras &Extras) {
+  strategy::StrategyStats &S = Extras.Stats;
+  uint32_t Passes, Spilled, Rounds;
+  int64_t EstCycles, SchedInstrs, DagNodes, DagEdges;
+  if (!R.u32(Passes) || !R.u32(Spilled) || !R.u32(Rounds) ||
+      !R.i64(EstCycles) || !R.i64(SchedInstrs) || !R.i64(DagNodes) ||
+      !R.i64(DagEdges))
+    return false;
+  S.SchedulerPasses = Passes;
+  S.SpilledPseudos = Spilled;
+  S.AllocatorRounds = Rounds;
+  S.EstimatedCycles = EstCycles;
+  S.ScheduledInstrs = SchedInstrs;
+  S.DagNodes = DagNodes;
+  S.DagEdges = DagEdges;
+
+  uint32_t NumDiags;
+  if (!R.count(NumDiags, 13))
+    return false;
+  Extras.Diags.resize(NumDiags);
+  for (StoredDiagnostic &D : Extras.Diags) {
+    uint8_t Kind;
+    if (!R.u8(Kind) || Kind > static_cast<uint8_t>(DiagKind::Note) ||
+        !R.u32(D.Loc.Line) || !R.u32(D.Loc.Column) || !R.str(D.Message))
+      return false;
+    D.Kind = static_cast<DiagKind>(Kind);
+  }
+  return R.ok();
+}
+
+} // namespace
+
+std::string cache::serializeFunction(const MFunction &Fn) {
+  ByteWriter W;
+  writeFunction(W, Fn);
+  return W.take();
+}
+
+bool cache::deserializeFunction(const std::string &Blob, MFunction &Fn) {
+  ByteReader R(Blob);
+  return readFunction(R, Fn) && R.atEnd();
+}
+
+std::string cache::encodeSelected(const CacheKey &Key, const MFunction &Fn) {
+  ByteWriter W;
+  writeHeader(W, Key);
+  writeFunction(W, Fn);
+  return W.take();
+}
+
+std::string cache::encodeFinal(const CacheKey &Key, const MFunction &Fn,
+                               const FinalExtras &Extras) {
+  ByteWriter W;
+  writeHeader(W, Key);
+  writeFunction(W, Fn);
+  writeExtras(W, Extras);
+  return W.take();
+}
+
+bool cache::decodeSelected(const std::string &Blob, const CacheKey &Key,
+                           MFunction &Fn) {
+  ByteReader R(Blob);
+  return readAndCheckHeader(R, Key) && readFunction(R, Fn) && R.atEnd();
+}
+
+bool cache::decodeFinal(const std::string &Blob, const CacheKey &Key,
+                        MFunction &Fn, FinalExtras &Extras) {
+  ByteReader R(Blob);
+  return readAndCheckHeader(R, Key) && readFunction(R, Fn) &&
+         readExtras(R, Extras) && R.atEnd();
+}
+
+bool cache::validateHeader(const std::string &Blob, const CacheKey &Key) {
+  ByteReader R(Blob);
+  return readAndCheckHeader(R, Key);
+}

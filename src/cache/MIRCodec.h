@@ -1,0 +1,81 @@
+//===- MIRCodec.h - Compact MIR serialization ---------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format for cached compilation artifacts (DESIGN.md §10): a
+/// self-describing header (magic, schema version, the full cache key) and a
+/// compact little-endian encoding of an MFunction — instructions, operands,
+/// pseudo-register table, block structure. Decoding is fully bounds-checked
+/// and never trusts the input: any truncated, corrupt or schema-mismatched
+/// blob decodes to failure, which the cache treats as a miss, never as an
+/// error.
+///
+/// Two payloads share the format:
+///   - SelectedMIR: just the post-selection MFunction.
+///   - FinalMIR: the finished MFunction plus its StrategyStats and the
+///     per-function diagnostics (kind/location/message, without the file
+///     name — replay stamps the current file prefix, so a cached entry
+///     reused from a differently-named file still reports correctly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_CACHE_MIRCODEC_H
+#define MARION_CACHE_MIRCODEC_H
+
+#include "cache/CacheKey.h"
+#include "strategy/Strategy.h"
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace cache {
+
+/// A diagnostic stripped of its file prefix, as stored in FinalMIR blobs.
+struct StoredDiagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  bool operator==(const StoredDiagnostic &) const = default;
+};
+
+/// The extra payload a FinalMIR entry carries beyond the function itself.
+struct FinalExtras {
+  strategy::StrategyStats Stats;
+  std::vector<StoredDiagnostic> Diags;
+};
+
+/// Serializes \p Fn alone (no header). Exposed for round-trip tests.
+std::string serializeFunction(const target::MFunction &Fn);
+
+/// Deserializes a serializeFunction() payload. Returns false (leaving \p Fn
+/// unspecified) on any malformed input.
+bool deserializeFunction(const std::string &Blob, target::MFunction &Fn);
+
+/// Full blob encoders: header (magic + schema + \p Key) then the payload.
+std::string encodeSelected(const CacheKey &Key, const target::MFunction &Fn);
+std::string encodeFinal(const CacheKey &Key, const target::MFunction &Fn,
+                        const FinalExtras &Extras);
+
+/// Full blob decoders: verify the header matches \p Key, then decode.
+/// Return false on any mismatch or malformed payload.
+bool decodeSelected(const std::string &Blob, const CacheKey &Key,
+                    target::MFunction &Fn);
+bool decodeFinal(const std::string &Blob, const CacheKey &Key,
+                 target::MFunction &Fn, FinalExtras &Extras);
+
+/// Cheap header-only validation (magic, schema, key digest): what the store
+/// runs at lookup time before counting a hit.
+bool validateHeader(const std::string &Blob, const CacheKey &Key);
+
+} // namespace cache
+} // namespace marion
+
+#endif // MARION_CACHE_MIRCODEC_H

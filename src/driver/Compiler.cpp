@@ -2,6 +2,9 @@
 
 #include "driver/Compiler.h"
 
+#include "cache/CacheKey.h"
+#include "cache/CompileCache.h"
+#include "cache/MIRCodec.h"
 #include "frontend/Frontend.h"
 #include "pipeline/Passes.h"
 #include "select/Selector.h"
@@ -88,12 +91,63 @@ std::optional<Compilation> compileModule(il::Module &Mod,
     FS.Diags = &FnDiags[I];
     FS.Strat = Opts.Strat;
     FS.Select.UseBuckets = Opts.UseBuckets;
+    FS.Cache = Opts.Cache;
   }
 
   pipeline::PipelineOptions PO;
   PO.DumpAfter = Opts.DumpAfter;
   const std::vector<pipeline::Pass> Sequence =
       pipeline::fullPipeline(Opts.Strategy);
+
+  // Final-MIR cache tier: when the strategy and every option match a prior
+  // compilation of an identical function, the whole per-function backend is
+  // skipped and the finished function (with its stats and diagnostics) is
+  // installed. The key is derived from the pre-glue IL, before any pass
+  // mutates it. Disabled under --dump-after: skipped passes would change
+  // the dump transcript.
+  const bool UseFinalTier = Opts.Cache && Opts.DumpAfter.empty();
+  auto compileOne = [&](pipeline::PassManager &PM, size_t I) -> bool {
+    pipeline::FunctionState &FS = States[I];
+    if (!UseFinalTier)
+      return PM.run(FS);
+    cache::CacheKey Key = cache::finalMirKey(*FS.ILFn, *Target, FS.Select,
+                                             Opts.Strategy, FS.Strat);
+    std::string Blob = Opts.Cache->lookup(Key);
+    if (!Blob.empty()) {
+      target::MFunction Cached;
+      cache::FinalExtras Extras;
+      if (cache::decodeFinal(Blob, Key, Cached, Extras)) {
+        *FS.MF = std::move(Cached);
+        FS.Stats = Extras.Stats;
+        // Replay stored diagnostics through the per-function engine so the
+        // current file prefix is stamped — a cached function reused from a
+        // differently-named source file still reports against that file.
+        for (const cache::StoredDiagnostic &D : Extras.Diags) {
+          switch (D.Kind) {
+          case DiagKind::Error:
+            FS.Diags->error(D.Loc, D.Message);
+            break;
+          case DiagKind::Warning:
+            FS.Diags->warning(D.Loc, D.Message);
+            break;
+          case DiagKind::Note:
+            FS.Diags->note(D.Loc, D.Message);
+            break;
+          }
+        }
+        return true;
+      }
+      Opts.Cache->invalidate(Key);
+    }
+    if (!PM.run(FS))
+      return false;
+    cache::FinalExtras Extras;
+    Extras.Stats = FS.Stats;
+    for (const Diagnostic &D : FS.Diags->all())
+      Extras.Diags.push_back(cache::StoredDiagnostic{D.Kind, D.Loc, D.Message});
+    Opts.Cache->insert(Key, cache::encodeFinal(Key, *FS.MF, Extras));
+    return true;
+  };
 
   target::SelectionCounters::Snapshot Before = Target->counters().snapshot();
   auto Start = std::chrono::steady_clock::now();
@@ -102,7 +156,7 @@ std::optional<Compilation> compileModule(il::Module &Mod,
   const unsigned Jobs = effectiveJobs(Opts.Jobs, N);
   if (Jobs <= 1) {
     for (size_t I = 0; I < N; ++I)
-      Ok[I] = Merged.run(States[I]) ? 1 : 0;
+      Ok[I] = compileOne(Merged, I) ? 1 : 0;
   } else {
     // Each worker drains the shared index with its own PassManager; the
     // per-worker timers are reduced into Merged after the join.
@@ -115,7 +169,7 @@ std::optional<Compilation> compileModule(il::Module &Mod,
     for (unsigned W = 0; W < Jobs; ++W)
       Pool.emplace_back([&, W] {
         for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
-          Ok[I] = Workers[W].run(States[I]) ? 1 : 0;
+          Ok[I] = compileOne(Workers[W], I) ? 1 : 0;
       });
     for (std::thread &T : Pool)
       T.join();

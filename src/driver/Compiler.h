@@ -27,6 +27,10 @@
 #include <vector>
 
 namespace marion {
+namespace cache {
+class CompileCache;
+} // namespace cache
+
 namespace driver {
 
 struct CompileOptions {
@@ -44,6 +48,13 @@ struct CompileOptions {
   /// Compilation::Dumps ("all" = after every pass); see
   /// pipeline::registeredPassNames().
   std::vector<std::string> DumpAfter;
+  /// The compile cache (DESIGN.md §10), or null for no caching. Two tiers
+  /// are consulted: the select pass reuses strategy-independent selected
+  /// MIR, and the driver reuses whole finished functions when the strategy
+  /// and every option match (skipped when DumpAfter is set, since skipped
+  /// passes would change the dump transcript). The store is internally
+  /// synchronized; one cache may serve many compilations and -jN workers.
+  cache::CompileCache *Cache = nullptr;
 };
 
 /// A finished compilation: the target model plus generated code.

@@ -46,13 +46,20 @@ static std::string renderDump(const std::string &PassName,
 
 bool PassManager::run(FunctionState &FS) {
   for (size_t I = 0; I < Passes.size(); ++I) {
+    FS.CacheHit = false;
     auto Start = std::chrono::steady_clock::now();
     bool Ok = Passes[I].Run(FS);
     auto End = std::chrono::steady_clock::now();
     PassStats &PS = Stats[I];
-    ++PS.Runs;
-    PS.Micros +=
+    double Micros =
         std::chrono::duration<double, std::micro>(End - Start).count();
+    if (FS.CacheHit) {
+      ++PS.CachedRuns;
+      PS.CachedMicros += Micros;
+    } else {
+      ++PS.Runs;
+      PS.Micros += Micros;
+    }
     PS.InstrsAfter += instrCountOf(FS);
     if (!Ok)
       return false;
@@ -76,12 +83,14 @@ void PassManager::mergeStats(const PassManager &Other) {
     Stats[I].Runs += Other.Stats[I].Runs;
     Stats[I].Micros += Other.Stats[I].Micros;
     Stats[I].InstrsAfter += Other.Stats[I].InstrsAfter;
+    Stats[I].CachedRuns += Other.Stats[I].CachedRuns;
+    Stats[I].CachedMicros += Other.Stats[I].CachedMicros;
   }
 }
 
 double PassManager::totalMicros() const {
   double Sum = 0;
   for (const PassStats &PS : Stats)
-    Sum += PS.Micros;
+    Sum += PS.Micros + PS.CachedMicros;
   return Sum;
 }

@@ -34,6 +34,10 @@
 #include <vector>
 
 namespace marion {
+namespace cache {
+class CompileCache;
+} // namespace cache
+
 namespace pipeline {
 
 /// Everything one function's trip through the pipeline reads or produces.
@@ -59,6 +63,14 @@ struct FunctionState {
   std::vector<double> BlockSpillWeight;
   /// Rendered --dump-after output, merged by the driver in source order.
   std::string Dumps;
+  /// The compile cache (DESIGN.md §10), or null when caching is off. The
+  /// select pass consults it; the store is internally synchronized, so
+  /// sharing one pointer across -jN workers is safe.
+  cache::CompileCache *Cache = nullptr;
+  /// Set by a pass that satisfied its run from the cache; the PassManager
+  /// reads and resets it to attribute the run to the pass's cached bucket
+  /// ("select(cached)" under --time-passes).
+  bool CacheHit = false;
 };
 
 /// A named function-level pass. Passes read their knobs from the
@@ -72,9 +84,14 @@ struct Pass {
 /// Per-pass instrumentation accumulated by a PassManager.
 struct PassStats {
   std::string Name;
-  uint64_t Runs = 0;         ///< Functions this pass processed.
+  uint64_t Runs = 0;         ///< Functions this pass processed in full.
   double Micros = 0;         ///< Wall-clock time spent in the pass.
   uint64_t InstrsAfter = 0;  ///< Machine instructions present after it ran.
+  /// Runs satisfied from the compile cache and the time they took
+  /// (lookup + deserialize) — reported separately as "<pass>(cached)" so
+  /// cache effectiveness is visible in --time-passes.
+  uint64_t CachedRuns = 0;
+  double CachedMicros = 0;
 };
 
 struct PipelineOptions {

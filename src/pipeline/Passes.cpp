@@ -2,6 +2,9 @@
 
 #include "pipeline/Passes.h"
 
+#include "cache/CacheKey.h"
+#include "cache/CompileCache.h"
+#include "cache/MIRCodec.h"
 #include "regalloc/Allocator.h"
 #include "sched/CodeDAG.h"
 #include "sched/ListScheduler.h"
@@ -65,8 +68,33 @@ Pass pipeline::createSelectPass() {
   return {"select", [](FunctionState &FS) {
             select::SelectorOptions SO = FS.Select;
             SO.RunGlue = false; // The glue pass already ran.
-            return select::selectFunctionInto(*FS.ILFn, *FS.Target, *FS.MF,
-                                              *FS.Diags, SO);
+            if (!FS.Cache)
+              return select::selectFunctionInto(*FS.ILFn, *FS.Target, *FS.MF,
+                                                *FS.Diags, SO);
+            // Content-addressed reuse (DESIGN.md §10): the key is derived
+            // from the post-glue IL, so it captures exactly what selection
+            // would consume. Selection is deterministic over an immutable
+            // TargetInfo, which is what makes installing a cached artifact
+            // bit-identical to re-selecting.
+            cache::CacheKey Key =
+                cache::selectedMirKey(*FS.ILFn, *FS.Target, SO);
+            std::string Blob = FS.Cache->lookup(Key);
+            if (!Blob.empty()) {
+              target::MFunction Cached;
+              if (cache::decodeSelected(Blob, Key, Cached)) {
+                *FS.MF = std::move(Cached);
+                FS.CacheHit = true;
+                return true;
+              }
+              // Header passed but the payload did not decode: drop the
+              // entry so the accounting reads as the miss it really was.
+              FS.Cache->invalidate(Key);
+            }
+            if (!select::selectFunctionInto(*FS.ILFn, *FS.Target, *FS.MF,
+                                            *FS.Diags, SO))
+              return false;
+            FS.Cache->insert(Key, cache::encodeSelected(Key, *FS.MF));
+            return true;
           }};
 }
 

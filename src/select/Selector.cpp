@@ -132,7 +132,11 @@ private:
 
   std::vector<MInstr> Buffer; ///< Instructions for the current block.
   std::map<int, int> TempToPseudo;
-  std::map<Node *, MOperand> Pinned; ///< CSE: node -> materialized operand.
+  // CSE: node -> materialized operand. Keyed by pointer, but only ever
+  // probed for a specific node — never iterated — so selection order (and
+  // with it the emitted MIR and the compile-cache fingerprint) does not
+  // depend on allocation addresses.
+  std::map<Node *, MOperand> Pinned;
   std::map<int, int> IlBlockToMBlock;
   int ExitBlockId = -1; ///< MBlock holding the epilogue/ret.
   bool Failed = false;

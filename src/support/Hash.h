@@ -1,0 +1,71 @@
+//===- Hash.h - Streaming structural hashing ----------------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming FNV-1a hasher used for content fingerprints: IL
+/// function hashes, target table fingerprints and compile-cache keys
+/// (DESIGN.md §10). Everything fed to it must come from deterministic
+/// iteration order — never from pointer values or unordered containers —
+/// so that the same semantic content always produces the same digest,
+/// across runs and across processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_HASH_H
+#define MARION_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace marion {
+
+/// Streaming 64-bit FNV-1a. Two independent streams (different offset
+/// bases) give the 128-bit cache-key digests their collision resistance.
+class Fnv1a {
+public:
+  static constexpr uint64_t kDefaultBasis = 1469598103934665603ull;
+  static constexpr uint64_t kAltBasis = 1099511628211ull * 31 + 7;
+
+  explicit Fnv1a(uint64_t Basis = kDefaultBasis) : State(Basis) {}
+
+  void bytes(const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    uint64_t H = State;
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ull;
+    }
+    State = H;
+  }
+
+  void u8(uint8_t V) { bytes(&V, 1); }
+  void u32(uint32_t V) { bytes(&V, 4); }
+  void u64(uint64_t V) { bytes(&V, 8); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    // Hash the bit pattern: -0.0 != 0.0 here, which is what we want for
+    // "identical constants produce identical code".
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(std::string_view S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  uint64_t digest() const { return State; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace marion
+
+#endif // MARION_SUPPORT_HASH_H

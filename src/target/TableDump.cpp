@@ -176,7 +176,8 @@ void dumpBuckets(const TargetInfo &Target, std::string &Out) {
 
 } // namespace
 
-std::string target::dumpTables(const TargetInfo &Target) {
+std::string target::dumpTables(const TargetInfo &Target,
+                               bool IncludeFingerprint) {
   std::string Out = "machine " + Target.name() + "\n";
   dumpRegisters(Target, Out);
   dumpRuntime(Target, Out);
@@ -195,6 +196,15 @@ std::string target::dumpTables(const TargetInfo &Target) {
              std::to_string(Aux.CondFirstOperand) + " == op " +
              std::to_string(Aux.CondSecondOperand) +
              "): " + std::to_string(Aux.Latency) + "\n";
+  }
+
+  if (IncludeFingerprint) {
+    static const char Digits[] = "0123456789abcdef";
+    uint64_t FP = Target.fingerprint();
+    Out += "fingerprint 0x";
+    for (int Shift = 60; Shift >= 0; Shift -= 4)
+      Out += Digits[(FP >> Shift) & 0xF];
+    Out += "\n";
   }
   return Out;
 }

@@ -22,8 +22,11 @@ namespace target {
 
 class TargetInfo;
 
-/// Renders the derived tables of \p Target.
-std::string dumpTables(const TargetInfo &Target);
+/// Renders the derived tables of \p Target. \p IncludeFingerprint appends
+/// the table fingerprint line; TargetBuilder turns it off while computing
+/// that fingerprint from this very rendering.
+std::string dumpTables(const TargetInfo &Target,
+                       bool IncludeFingerprint = true);
 
 } // namespace target
 } // namespace marion

@@ -3,9 +3,12 @@
 #include "target/TargetBuilder.h"
 
 #include "maril/Parser.h"
+#include "maril/Printer.h"
+#include "support/Hash.h"
 #include "support/Paths.h"
 #include "target/DefUse.h"
 #include "target/OpcodeMapping.h"
+#include "target/TableDump.h"
 
 #include <algorithm>
 #include <chrono>
@@ -56,6 +59,16 @@ TargetBuilder::build(maril::MachineDescription Desc, DiagnosticEngine &Diags) {
   TargetBuilder Builder(*Info, Diags);
   if (!Builder.run())
     return nullptr;
+  // Table fingerprint for compile-cache invalidation (DESIGN.md §10): the
+  // canonical description rendering covers everything parsed (including
+  // immediate ranges and glue rules the derived-table dump does not print),
+  // and the table dump covers every lowering decision on top of it.
+  {
+    Fnv1a H;
+    H.str(maril::printDescription(Info->Description));
+    H.str(dumpTables(*Info, /*IncludeFingerprint=*/false));
+    Info->TableFP = H.digest();
+  }
   auto End = std::chrono::steady_clock::now();
   Info->BuildMicros =
       std::chrono::duration<double, std::micro>(End - Start).count();

@@ -340,6 +340,14 @@ public:
   /// Microseconds TargetBuilder spent lowering the description.
   double buildMicros() const { return BuildMicros; }
 
+  /// Content fingerprint of the lowered tables: a hash over the canonical
+  /// rendering of the machine description and of every derived table
+  /// (patterns, buckets, latencies, resources, runtime model). Editing a
+  /// .maril description changes it, which is what invalidates compile-cache
+  /// entries keyed on this machine (DESIGN.md §10); TableDump prints it so
+  /// staleness is observable per machine.
+  uint64_t fingerprint() const { return TableFP; }
+
   SelectionCounters &counters() const { return Counters; }
 
 private:
@@ -369,6 +377,7 @@ private:
   RuntimeModel Runtime;
   std::vector<int> CallClobbers;
   double BuildMicros = 0;
+  uint64_t TableFP = 0;
   mutable SelectionCounters Counters;
 
   static int cached(const std::vector<int> &Table, int Bank) {

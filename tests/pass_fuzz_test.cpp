@@ -1,0 +1,140 @@
+//===- pass_fuzz_test.cpp - Random legal pass sequences with caching ---------==//
+//
+// A smoke fuzzer over the pass registry (ROADMAP): build ~50 random legal
+// pipelines via pipeline::createPassByName — select always precedes
+// allocation, frame lowering and the final schedule always follow — run
+// them with the compile cache enabled, and assert that the schedule checker
+// accepts every final block and that the simulator agrees with a reference
+// compilation. Exercises pass-order robustness (repeated build-dag /
+// prepass-sched / rase-probe in any order) and select-tier cache reuse
+// across differently-shaped pipelines, since every sequence starts from
+// identical post-glue IL.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+#include "frontend/Frontend.h"
+#include "pipeline/Passes.h"
+#include "sched/CodeDAG.h"
+#include "sched/ListScheduler.h"
+#include "select/Selector.h"
+#include "sim/Simulator.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace marion;
+
+namespace {
+
+// A workload with loops, doubles, globals and calls, so every pass has
+// real work; the result is deterministic for simulator agreement.
+const char *kFuzzSource =
+    "int count;\n"
+    "double acc[8];\n"
+    "double step(double v, int i) { count = count + 1;"
+    "  acc[i] = v * 0.5 + 1.0; return acc[i]; }\n"
+    "int f(int n) { int i; double v; v = 16.0;"
+    "  for (i = 0; i < n; i = i + 1) { v = step(v, i - (i / 8) * 8); }"
+    "  if (v > 2.0) return count + 1; return count; }\n"
+    "int main() { count = 0; return f(12) * 3 - 1; }";
+
+/// A random legal sequence: the fixed prologue and epilogue with 0–4 draws
+/// from the reorderable middle passes in between.
+std::vector<std::string> randomSequence(std::minstd_rand &Rng) {
+  static const char *Middle[] = {"build-dag", "prepass-sched", "rase-probe"};
+  std::vector<std::string> Names = {"glue", "select"};
+  unsigned Extra = Rng() % 5;
+  for (unsigned I = 0; I < Extra; ++I)
+    Names.push_back(Middle[Rng() % 3]);
+  Names.push_back("allocate");
+  Names.push_back("frame-lower");
+  Names.push_back("postpass-sched");
+  return Names;
+}
+
+/// Re-derives a DAG per block and checks the recorded cycles against it
+/// (the integration-test checker).
+void expectSchedulesVerify(const driver::Compilation &Ref,
+                           const target::MModule &Mod,
+                           const std::string &Label) {
+  for (const target::MFunction &Fn : Mod.Functions)
+    for (const target::MBlock &Block : Fn.Blocks) {
+      if (Block.Instrs.empty())
+        continue;
+      sched::CodeDAG Dag(Fn, Block, *Ref.Target);
+      sched::BlockSchedule Sched;
+      Sched.Cycle.resize(Block.Instrs.size());
+      for (size_t I = 0; I < Block.Instrs.size(); ++I)
+        Sched.Cycle[I] = std::max(0, Block.Instrs[I].Cycle);
+      auto Violations =
+          sched::verifySchedule(Dag, Sched, /*CheckResources=*/false);
+      EXPECT_TRUE(Violations.empty())
+          << Label << " block " << Block.Label << ":\n"
+          << (Violations.empty() ? "" : Violations.front());
+    }
+}
+
+TEST(PassFuzz, RandomLegalSequencesAgreeWithReferenceUnderCaching) {
+  // Reference: the stock Postpass pipeline, uncached.
+  auto Ref = test::compile(kFuzzSource, "r2000");
+  ASSERT_TRUE(Ref);
+  sim::SimResult RefRun = sim::runProgram(Ref->Module, *Ref->Target);
+  ASSERT_TRUE(RefRun.Ok) << RefRun.Error;
+
+  auto Target = test::machine("r2000");
+  ASSERT_TRUE(Target);
+  cache::CompileCache Cache; // Shared across all fuzz iterations.
+
+  std::minstd_rand Rng(0xBEE5);
+  for (unsigned Iter = 0; Iter < 50; ++Iter) {
+    std::vector<std::string> Names = randomSequence(Rng);
+    std::string Label = "seq" + std::to_string(Iter) + ":";
+    std::vector<pipeline::Pass> Seq;
+    for (const std::string &Name : Names) {
+      Label += " " + Name;
+      auto P = pipeline::createPassByName(Name);
+      ASSERT_TRUE(P) << Name;
+      Seq.push_back(std::move(*P));
+    }
+
+    // Fresh IL per iteration: passes mutate it in place.
+    DiagnosticEngine Diags;
+    auto Mod = frontend::compileSource(kFuzzSource, "fuzz", Diags);
+    ASSERT_TRUE(Mod) << Diags.str();
+    target::MModule MMod;
+    MMod.Name = Mod->Name;
+    select::lowerGlobals(*Mod, MMod);
+    MMod.Functions.resize(Mod->Functions.size());
+
+    pipeline::PassManager PM(Seq);
+    bool Ok = true;
+    std::vector<DiagnosticEngine> FnDiags(Mod->Functions.size());
+    for (size_t I = 0; I < Mod->Functions.size(); ++I) {
+      pipeline::FunctionState FS;
+      FS.ILFn = Mod->Functions[I].get();
+      FS.MF = &MMod.Functions[I];
+      FS.Target = Target.get();
+      FS.Diags = &FnDiags[I];
+      FS.Cache = &Cache;
+      Ok = PM.run(FS) && Ok;
+    }
+    ASSERT_TRUE(Ok) << Label;
+
+    expectSchedulesVerify(*Ref, MMod, Label);
+    sim::SimResult Run = sim::runProgram(MMod, *Target);
+    ASSERT_TRUE(Run.Ok) << Label << ": " << Run.Error;
+    EXPECT_EQ(Run.IntResult, RefRun.IntResult) << Label;
+  }
+
+  // Iterations 2..50 start from identical post-glue IL, so the select tier
+  // must have served nearly all of them.
+  auto S = Cache.snapshot();
+  EXPECT_GT(S.Hits, S.Misses) << cache::formatSnapshot(S);
+}
+
+} // namespace

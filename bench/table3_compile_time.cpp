@@ -58,7 +58,7 @@ Cell compileSuite(const std::string &Machine,
       Opts.Strategy = Strategy;
       Opts.Jobs = Jobs;
       auto Compiled = driver::compileFile(File, Opts, Diags);
-      if (!Compiled) {
+      if (!Compiled || !Compiled->FailedFunctions.empty()) {
         std::fprintf(stderr, "compile failed (%s, %s, %s):\n%s",
                      File, Machine.c_str(),
                      strategy::strategyName(Strategy), Diags.str().c_str());
@@ -98,7 +98,7 @@ SelectCell measureSelection(const std::string &Machine, bool UseBuckets,
       Opts.Machine = Machine;
       Opts.UseBuckets = UseBuckets;
       auto Compiled = driver::compileFile(File, Opts, Diags);
-      if (!Compiled) {
+      if (!Compiled || !Compiled->FailedFunctions.empty()) {
         std::fprintf(stderr, "compile failed (%s, %s):\n%s", File,
                      Machine.c_str(), Diags.str().c_str());
         std::exit(1);

@@ -3,16 +3,23 @@
 // Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
 //
 // A command-line compiler: MC source in, scheduled assembly (and optionally
-// a simulated run) out.
+// a simulated run) out. Accepts one or many input files; with --shards=N a
+// multi-file workload is partitioned across fault-isolated child marionc
+// processes and the results are merged in source order, bit-identical to a
+// serial run when nothing fails (DESIGN.md §11).
 //
-//   marionc file.mc [--machine M] [--strategy S] [--run [entry]]
-//           [--cycles] [--cache] [--cache-dir D] [--sim-cache] [--quiet]
+//   marionc file.mc... [--machine M] [--strategy S] [--run [entry]]
+//           [--cycles] [--cache] [--cache-dir D] [--shards N] [...]
 //
 //===----------------------------------------------------------------------===//
 
 #include "cache/CompileCache.h"
 #include "driver/Compiler.h"
+#include "driver/ExitCodes.h"
+#include "frontend/Frontend.h"
+#include "pipeline/FaultInjection.h"
 #include "pipeline/Passes.h"
+#include "shard/ShardDriver.h"
 #include "sim/Simulator.h"
 #include "target/TableDump.h"
 
@@ -21,18 +28,20 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 using namespace marion;
+using driver::worseExit;
 
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: marionc <file.mc> [options]\n"
+      "usage: marionc <file.mc>... [options]\n"
       "  --machine <toyp|r2000|m88000|i860>   target machine (default "
       "r2000)\n"
       "  --strategy <postpass|ips|rase>       code generation strategy\n"
       "  --run [entry]                        simulate (entry defaults to "
-      "main)\n"
+      "main; single file only)\n"
       "  --cycles                             annotate assembly with issue "
       "cycles\n"
       "  --cache                              enable the compile cache "
@@ -56,21 +65,133 @@ static void usage() {
       "  --time-passes                        print the per-pass time and "
       "counter breakdown\n"
       "  --dump-after=<pass|all>              dump each function after the "
-      "named pass (repeatable)\n");
+      "named pass (repeatable)\n"
+      "  --shards=<N>                         partition the input files "
+      "across N fault-isolated\n"
+      "                                       child processes; output is "
+      "merged in source order\n"
+      "  --timeout=<sec>                      per-shard-worker wall-clock "
+      "limit (default 120, 0 = off)\n"
+      "  --retries=<N>                        re-spawn a crashed/hung/"
+      "internal-error worker N times,\n"
+      "                                       serial and cache-disabled "
+      "(default 1)\n"
+      "  --backoff-ms=<N>                     backoff before the k-th retry "
+      "is k*N ms (default 100)\n"
+      "  --inject-fault=<pass>:<kind>[:<nth>[:<shard>]]\n"
+      "                                       deterministic fault injection "
+      "for testing recovery;\n"
+      "                                       kinds: error, crash, hang, "
+      "corrupt-cache\n"
+      "  --worker-out=<file>                  internal: shard-worker mode; "
+      "write framed results\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  diagnosed compile failure (affected functions emitted as "
+      "stubs)\n"
+      "  2  usage error\n"
+      "  3  internal error or shard worker crash\n"
+      "  4  shard worker timeout\n");
 }
 
-int main(int argc, char **argv) {
+namespace {
+
+/// Compiles one input file end to end, capturing exactly what the process
+/// would print: the serial loop prints the result directly and the worker
+/// mode frames the very same struct through the wire format — which is
+/// what makes --shards output bit-identical to a serial run.
+shard::FileResult compileOneFile(const std::string &Path, int Index,
+                                 const driver::CompileOptions &Opts,
+                                 bool Cycles, std::FILE *WireOut,
+                                 std::optional<driver::Compilation> *Keep) {
+  shard::FileResult R;
+  R.Path = Path;
+  R.Index = Index;
+  R.Started = true;
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileFile(Path, Diags);
+  if (Mod)
+    for (const auto &Fn : Mod->Functions)
+      R.Functions.push_back(Fn->Name);
+  // The manifest is flushed before the backend runs, so a crashed worker
+  // still tells the parent exactly which functions were lost.
+  if (WireOut)
+    shard::writeRecordBegin(WireOut, R);
+  if (!Mod) {
+    R.DiagText = Diags.str();
+  } else if (auto C = driver::compileModule(*Mod, Opts, Diags)) {
+    R.DiagText = Diags.str() + C->Dumps;
+    R.FailedFunctions = C->FailedFunctions;
+    R.Ok = C->allCompiled() && !Diags.hasErrors();
+    R.Assembly = C->assembly(Cycles);
+    R.Stats = C->Stats;
+    R.Select = C->Select;
+    R.Passes = C->Passes;
+    R.BackendMillis = C->BackendMillis;
+    if (Keep)
+      *Keep = std::move(*C);
+  } else {
+    R.DiagText = Diags.str();
+  }
+  R.Complete = true;
+  if (WireOut)
+    shard::writeRecordEnd(WireOut, R);
+  return R;
+}
+
+void printTimePasses(const std::vector<pipeline::PassStats> &Passes,
+                     double BackendMillis) {
+  double Sum = 0;
+  for (const pipeline::PassStats &PS : Passes)
+    Sum += PS.Micros + PS.CachedMicros;
+  std::fprintf(stderr, "# %-14s %6s %12s %6s %10s\n", "pass", "runs",
+               "time (ms)", "%sum", "instrs");
+  for (const pipeline::PassStats &PS : Passes) {
+    std::fprintf(stderr, "# %-14s %6llu %12.3f %5.1f%% %10llu\n",
+                 PS.Name.c_str(), static_cast<unsigned long long>(PS.Runs),
+                 PS.Micros / 1000.0, Sum > 0 ? 100.0 * PS.Micros / Sum : 0,
+                 static_cast<unsigned long long>(PS.InstrsAfter));
+    if (PS.CachedRuns)
+      std::fprintf(stderr, "# %-14s %6llu %12.3f %5.1f%% %10s\n",
+                   (PS.Name + "(cached)").c_str(),
+                   static_cast<unsigned long long>(PS.CachedRuns),
+                   PS.CachedMicros / 1000.0,
+                   Sum > 0 ? 100.0 * PS.CachedMicros / Sum : 0, "-");
+  }
+  std::fprintf(stderr,
+               "# pass sum %.3f ms, backend wall %.3f ms (sum/wall %.2f)\n",
+               Sum / 1000.0, BackendMillis,
+               BackendMillis > 0 ? (Sum / 1000.0) / BackendMillis : 0);
+}
+
+void printSelectStats(const target::SelectionCounters::Snapshot &Select,
+                      double TargetBuildMicros) {
+  std::fprintf(stderr,
+               "# select: %llu nodes, %llu probes (%.2f/node), bucket hit "
+               "rate %.2f, target build %.0f us\n",
+               static_cast<unsigned long long>(Select.NodesMatched),
+               static_cast<unsigned long long>(Select.PatternsProbed),
+               Select.probesPerNode(), Select.bucketHitRate(),
+               TargetBuildMicros);
+}
+
+int realMain(int argc, char **argv) {
   if (argc < 2) {
     usage();
-    return 2;
+    return driver::ExitUsage;
   }
-  std::string File;
+  std::vector<std::string> Files;
   driver::CompileOptions Opts;
   bool Run = false, Cycles = false, SimCache = false, Quiet = false;
   bool Tables = false, SelectStats = false, TimePasses = false;
   bool UseCompileCache = false, CacheStats = false;
   std::string CacheDir;
   std::string Entry = "main";
+  unsigned Shards = 0;
+  double TimeoutSec = 120.0;
+  unsigned Retries = 1, BackoffMs = 100;
+  std::string WorkerOut, FaultText;
+  std::optional<pipeline::FaultSpec> Fault;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -80,7 +201,7 @@ int main(int argc, char **argv) {
       auto Kind = strategy::strategyFromName(argv[++I]);
       if (!Kind) {
         std::fprintf(stderr, "unknown strategy '%s'\n", argv[I]);
-        return 2;
+        return driver::ExitUsage;
       }
       Opts.Strategy = *Kind;
     } else if (Arg == "--run") {
@@ -109,6 +230,32 @@ int main(int argc, char **argv) {
       Opts.UseBuckets = false;
     } else if (Arg == "--time-passes") {
       TimePasses = true;
+    } else if (Arg.rfind("--shards=", 0) == 0) {
+      Shards = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--shards=")));
+      if (Shards == 0) {
+        std::fprintf(stderr, "bad --shards value '%s'\n", Arg.c_str());
+        return driver::ExitUsage;
+      }
+    } else if (Arg.rfind("--timeout=", 0) == 0) {
+      TimeoutSec = std::atof(Arg.c_str() + std::strlen("--timeout="));
+    } else if (Arg.rfind("--retries=", 0) == 0) {
+      Retries = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--retries=")));
+    } else if (Arg.rfind("--backoff-ms=", 0) == 0) {
+      BackoffMs = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--backoff-ms=")));
+    } else if (Arg.rfind("--inject-fault=", 0) == 0) {
+      FaultText = Arg.substr(std::strlen("--inject-fault="));
+      std::string Error;
+      Fault = pipeline::parseFaultSpec(FaultText, Error);
+      if (!Fault) {
+        std::fprintf(stderr, "bad --inject-fault spec '%s': %s\n",
+                     FaultText.c_str(), Error.c_str());
+        return driver::ExitUsage;
+      }
+    } else if (Arg.rfind("--worker-out=", 0) == 0) {
+      WorkerOut = Arg.substr(std::strlen("--worker-out="));
     } else if (Arg.rfind("--dump-after=", 0) == 0) {
       // Comma-separated and repeatable; names checked against the registry.
       std::string List = Arg.substr(std::strlen("--dump-after="));
@@ -128,7 +275,7 @@ int main(int argc, char **argv) {
             for (const std::string &P : pipeline::registeredPassNames())
               std::fprintf(stderr, " %s", P.c_str());
             std::fprintf(stderr, "\n");
-            return 2;
+            return driver::ExitUsage;
           }
           Opts.DumpAfter.push_back(Name);
         }
@@ -143,13 +290,13 @@ int main(int argc, char **argv) {
       Opts.Jobs = 0; // One worker per hardware thread.
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
-      return 0;
+      return driver::ExitSuccess;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       usage();
-      return 2;
+      return driver::ExitUsage;
     } else {
-      File = Arg;
+      Files.push_back(Arg);
     }
   }
   DiagnosticEngine Diags;
@@ -157,16 +304,71 @@ int main(int argc, char **argv) {
     auto Target = driver::loadTarget(Opts.Machine, Diags);
     if (!Target) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
-      return 1;
+      return driver::ExitCompileFail;
     }
     std::printf("%s", target::dumpTables(*Target).c_str());
-    if (File.empty())
-      return 0;
+    if (Files.empty())
+      return driver::ExitSuccess;
   }
-  if (File.empty()) {
+  if (Files.empty()) {
     usage();
-    return 2;
+    return driver::ExitUsage;
   }
+  if (Run && (Files.size() > 1 || Shards > 0)) {
+    std::fprintf(stderr,
+                 "--run requires a single input file and no --shards\n");
+    return driver::ExitUsage;
+  }
+
+  //===--- Sharded parent: partition, spawn, supervise, merge. ------------===//
+  if (Shards > 0 && WorkerOut.empty()) {
+    shard::ShardOptions SO;
+    SO.Shards = Shards;
+    SO.TimeoutSec = TimeoutSec;
+    SO.Retries = Retries;
+    SO.BackoffMs = BackoffMs;
+    SO.ExePath = argv[0];
+    if (Fault) {
+      // The fault is delivered to exactly one worker; the parent never
+      // arms its own injector in shard mode.
+      SO.FaultArg = FaultText;
+      SO.FaultShard = Fault->Shard;
+    }
+    SO.WorkerArgs = {"--machine", Opts.Machine, "--strategy",
+                     strategy::strategyName(Opts.Strategy)};
+    if (Cycles)
+      SO.WorkerArgs.push_back("--cycles");
+    if (!Opts.UseBuckets)
+      SO.WorkerArgs.push_back("--linear");
+    for (const std::string &Name : Opts.DumpAfter)
+      SO.WorkerArgs.push_back("--dump-after=" + Name);
+    // Retries drop the cache and -j below: serial and cache-disabled, to
+    // dodge nondeterministic corruption.
+    SO.RetryArgs = SO.WorkerArgs;
+    if (!CacheDir.empty())
+      SO.WorkerArgs.push_back("--cache-dir=" + CacheDir);
+    else if (UseCompileCache)
+      SO.WorkerArgs.push_back("--cache");
+    if (Opts.Jobs == 0)
+      SO.WorkerArgs.push_back("-j");
+    else if (Opts.Jobs > 1)
+      SO.WorkerArgs.push_back("-j" + std::to_string(Opts.Jobs));
+
+    shard::ShardOutcome Outcome;
+    shard::runShardedCompile(Files, SO, Outcome);
+    std::fprintf(stderr, "%s", Outcome.DiagText.c_str());
+    if (!Quiet)
+      std::printf("%s", Outcome.Assembly.c_str());
+    if (TimePasses)
+      printTimePasses(Outcome.Passes, Outcome.BackendMillis);
+    if (SelectStats)
+      printSelectStats(Outcome.Select, 0);
+    return Outcome.ExitCode;
+  }
+
+  //===--- Worker / serial loop. ------------------------------------------===//
+  if (Fault)
+    pipeline::armFaultInjector(*Fault, CacheDir);
 
   std::unique_ptr<cache::CompileCache> CompileCache;
   if (UseCompileCache) {
@@ -176,68 +378,71 @@ int main(int argc, char **argv) {
     Opts.Cache = CompileCache.get();
   }
 
-  auto Compiled = driver::compileFile(File, Opts, Diags);
-  if (!Compiled) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
-  if (!Diags.all().empty())
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-
-  if (!Compiled->Dumps.empty())
-    std::fprintf(stderr, "%s", Compiled->Dumps.c_str());
-
-  if (!Quiet)
-    std::printf("%s", Compiled->assembly(Cycles).c_str());
-
-  if (TimePasses) {
-    double Sum = 0;
-    for (const pipeline::PassStats &PS : Compiled->Passes)
-      Sum += PS.Micros + PS.CachedMicros;
-    std::fprintf(stderr, "# %-14s %6s %12s %6s %10s\n", "pass", "runs",
-                 "time (ms)", "%sum", "instrs");
-    for (const pipeline::PassStats &PS : Compiled->Passes) {
-      std::fprintf(stderr, "# %-14s %6llu %12.3f %5.1f%% %10llu\n",
-                   PS.Name.c_str(), static_cast<unsigned long long>(PS.Runs),
-                   PS.Micros / 1000.0, Sum > 0 ? 100.0 * PS.Micros / Sum : 0,
-                   static_cast<unsigned long long>(PS.InstrsAfter));
-      if (PS.CachedRuns)
-        std::fprintf(stderr, "# %-14s %6llu %12.3f %5.1f%% %10s\n",
-                     (PS.Name + "(cached)").c_str(),
-                     static_cast<unsigned long long>(PS.CachedRuns),
-                     PS.CachedMicros / 1000.0,
-                     Sum > 0 ? 100.0 * PS.CachedMicros / Sum : 0, "-");
+  std::FILE *WireOut = nullptr;
+  if (!WorkerOut.empty()) {
+    WireOut = std::fopen(WorkerOut.c_str(), "wb");
+    if (!WireOut) {
+      std::fprintf(stderr, "cannot open --worker-out file '%s'\n",
+                   WorkerOut.c_str());
+      return driver::ExitInternal;
     }
-    std::fprintf(stderr,
-                 "# pass sum %.3f ms, backend wall %.3f ms (sum/wall %.2f)\n",
-                 Sum / 1000.0, Compiled->BackendMillis,
-                 Compiled->BackendMillis > 0
-                     ? (Sum / 1000.0) / Compiled->BackendMillis
-                     : 0);
   }
 
+  int Exit = driver::ExitSuccess;
+  strategy::StrategyStats AggStats;
+  target::SelectionCounters::Snapshot AggSelect;
+  std::vector<pipeline::PassStats> AggPasses;
+  double AggBackendMillis = 0, TargetBuildMicros = 0;
+  std::optional<driver::Compilation> RunCompilation;
+  for (size_t I = 0; I < Files.size(); ++I) {
+    shard::FileResult R =
+        compileOneFile(Files[I], static_cast<int>(I), Opts, Cycles, WireOut,
+                       Run ? &RunCompilation : nullptr);
+    if (!R.Ok)
+      Exit = worseExit(Exit, driver::ExitCompileFail);
+    if (!WireOut) {
+      std::fprintf(stderr, "%s", R.DiagText.c_str());
+      if (!Quiet)
+        std::printf("%s", R.Assembly.c_str());
+    }
+    AggStats += R.Stats;
+    AggSelect.NodesMatched += R.Select.NodesMatched;
+    AggSelect.PatternsProbed += R.Select.PatternsProbed;
+    AggSelect.BucketProbes += R.Select.BucketProbes;
+    AggSelect.LinearProbes += R.Select.LinearProbes;
+    pipeline::mergePassStatsByName(AggPasses, R.Passes);
+    AggBackendMillis += R.BackendMillis;
+  }
+  if (WireOut) {
+    std::fclose(WireOut);
+    return Exit;
+  }
+
+  if (TimePasses)
+    printTimePasses(AggPasses, AggBackendMillis);
   if (CacheStats && CompileCache)
     std::fprintf(stderr, "# compile-cache: %s\n",
                  cache::formatSnapshot(CompileCache->snapshot()).c_str());
+  if (SelectStats) {
+    // The target is built once per process; report the build cost through
+    // a fresh load (served from the driver's target cache).
+    DiagnosticEngine TDiags;
+    if (auto Target = driver::loadTarget(Opts.Machine, TDiags))
+      TargetBuildMicros = Target->buildMicros();
+    printSelectStats(AggSelect, TargetBuildMicros);
+  }
 
-  if (SelectStats)
-    std::fprintf(stderr,
-                 "# select: %llu nodes, %llu probes (%.2f/node), bucket hit "
-                 "rate %.2f, target build %.0f us\n",
-                 static_cast<unsigned long long>(Compiled->Select.NodesMatched),
-                 static_cast<unsigned long long>(
-                     Compiled->Select.PatternsProbed),
-                 Compiled->Select.probesPerNode(),
-                 Compiled->Select.bucketHitRate(), Compiled->TargetBuildMicros);
-
-  if (Run) {
+  if (Run && Exit == driver::ExitSuccess) {
+    if (!RunCompilation)
+      return driver::ExitCompileFail;
     sim::SimOptions SimOpts;
     SimOpts.Cache.Enabled = SimCache;
-    sim::SimResult Result =
-        sim::runProgram(Compiled->Module, *Compiled->Target, Entry, SimOpts);
+    sim::SimResult Result = sim::runProgram(RunCompilation->Module,
+                                            *RunCompilation->Target, Entry,
+                                            SimOpts);
     if (!Result.Ok) {
       std::fprintf(stderr, "simulation failed: %s\n", Result.Error.c_str());
-      return 1;
+      return driver::ExitCompileFail;
     }
     std::fprintf(stderr,
                  "# %s() = %lld (double %.9g) in %llu cycles, %llu "
@@ -251,5 +456,18 @@ int main(int argc, char **argv) {
                    static_cast<unsigned long long>(Result.Cache.Accesses),
                    static_cast<unsigned long long>(Result.Cache.Misses));
   }
-  return 0;
+  return Exit;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  try {
+    return realMain(argc, argv);
+  } catch (const std::exception &E) {
+    // A CompileError outside pass context, bad_alloc, etc.: the documented
+    // internal-error exit code, never a silent crash.
+    std::fprintf(stderr, "marionc: internal error: %s\n", E.what());
+    return driver::ExitInternal;
+  }
 }

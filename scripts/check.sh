@@ -4,13 +4,104 @@
 #   scripts/check.sh          regular build into build/
 #   scripts/check.sh --asan   ASan+UBSan build into build-asan/ (slower;
 #                             catches races in the parallel pipeline's
-#                             per-function state and any UB in the tables)
+#                             per-function state and any UB in the tables),
+#                             then runs the fault matrix against that build
 #   scripts/check.sh --cache  build, then run the workload suite twice
 #                             through marionc against one --cache-dir:
 #                             the second pass must be bit-identical to the
 #                             first and must hit the warm cache.
+#   scripts/check.sh --faults build marionc, then drive the documented
+#                             exit-code contract and recovery paths with
+#                             --inject-fault (DESIGN.md §11).
 set -eu
 cd "$(dirname "$0")/.."
+
+# Exit-code and recovery matrix for the marionc binary at $1. Exercises
+# every documented exit code (0..4), shard-vs-serial bit-identity, and
+# corrupt-cache recovery. Safe under sanitizers: injected aborts are real
+# process deaths the shard driver must contain.
+run_fault_matrix() {
+  MARIONC=$1
+  WORK=$(mktemp -d)
+  STATUS=0
+  SWEEP="workloads/livermore.mc workloads/suite_matmul.mc \
+workloads/suite_poly.mc workloads/suite_queens.mc"
+
+  expect_exit() {
+    WANT=$1
+    NAME=$2
+    shift 2
+    set +e
+    # shellcheck disable=SC2086
+    "$MARIONC" "$@" >"$WORK/$NAME.out" 2>"$WORK/$NAME.err"
+    GOT=$?
+    set -e
+    if [ "$GOT" -ne "$WANT" ]; then
+      echo "FAIL: $NAME: expected exit $WANT, got $GOT" >&2
+      cat "$WORK/$NAME.err" >&2
+      STATUS=1
+    else
+      echo "ok: $NAME (exit $GOT)"
+    fi
+  }
+
+  expect_exit 2 usage-no-args
+  expect_exit 2 usage-bad-flag --no-such-flag
+  expect_exit 2 usage-bad-fault workloads/suite_matmul.mc \
+    --inject-fault=nope:error
+  expect_exit 2 usage-run-multifile workloads/suite_matmul.mc \
+    workloads/suite_queens.mc --run
+  expect_exit 0 clean-compile workloads/suite_matmul.mc --quiet
+  expect_exit 1 diagnosed-failure workloads/livermore.mc --machine toyp \
+    --quiet
+  expect_exit 1 injected-error workloads/suite_matmul.mc \
+    --inject-fault=postpass-sched:error --quiet
+  grep -q "emitted as a diagnosed stub" "$WORK/injected-error.err" || {
+    echo "FAIL: injected-error did not report a stub" >&2
+    STATUS=1
+  }
+  # shellcheck disable=SC2086
+  expect_exit 3 shard-crash $SWEEP --shards=4 --retries=0 \
+    --inject-fault=postpass-sched:crash:1:1 --quiet
+  grep -q "shard 1 worker crashed" "$WORK/shard-crash.err" || {
+    echo "FAIL: shard-crash did not name the dead shard" >&2
+    STATUS=1
+  }
+  # shellcheck disable=SC2086
+  expect_exit 4 shard-hang $SWEEP --shards=4 --retries=0 --timeout=1 \
+    --inject-fault=postpass-sched:hang --quiet
+
+  # No faults: a 4-shard sweep must be bit-identical to the serial run.
+  # shellcheck disable=SC2086
+  expect_exit 0 serial-sweep $SWEEP
+  # shellcheck disable=SC2086
+  expect_exit 0 shard-sweep $SWEEP --shards=4
+  if ! cmp -s "$WORK/serial-sweep.out" "$WORK/shard-sweep.out" ||
+    ! cmp -s "$WORK/serial-sweep.err" "$WORK/shard-sweep.err"; then
+    echo "FAIL: sharded sweep differs from serial" >&2
+    STATUS=1
+  else
+    echo "ok: sharded sweep bit-identical to serial"
+  fi
+
+  # Cache corruption mid-sweep degrades to a miss, never to wrong output.
+  # shellcheck disable=SC2086
+  expect_exit 0 cache-cold $SWEEP --shards=4 --cache-dir="$WORK/cache"
+  # shellcheck disable=SC2086
+  expect_exit 0 cache-corrupt $SWEEP --shards=4 --cache-dir="$WORK/cache" \
+    --inject-fault=select:corrupt-cache
+  # shellcheck disable=SC2086
+  expect_exit 0 cache-warm $SWEEP --shards=4 --cache-dir="$WORK/cache"
+  for N in cache-corrupt cache-warm; do
+    if ! cmp -s "$WORK/cache-cold.out" "$WORK/$N.out"; then
+      echo "FAIL: $N output differs from the cold sweep" >&2
+      STATUS=1
+    fi
+  done
+  [ "$STATUS" -eq 0 ] && echo "fault matrix OK"
+  rm -rf "$WORK"
+  return "$STATUS"
+}
 
 BUILD=build
 if [ "${1:-}" = "--asan" ]; then
@@ -19,6 +110,11 @@ if [ "${1:-}" = "--asan" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+elif [ "${1:-}" = "--faults" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target marionc
+  run_fault_matrix "$BUILD/examples/marionc"
+  exit $?
 elif [ "${1:-}" = "--cache" ]; then
   cmake -B "$BUILD" -S .
   cmake --build "$BUILD" -j "$(nproc)" --target marionc
@@ -88,3 +184,7 @@ else
 fi
 cmake --build "$BUILD" -j "$(nproc)"
 cd "$BUILD" && ctest --output-on-failure -j "$(nproc)"
+if [ "${1:-}" = "--asan" ]; then
+  cd ..
+  run_fault_matrix "$BUILD/examples/marionc"
+fi

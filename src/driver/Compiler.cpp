@@ -58,9 +58,11 @@ unsigned effectiveJobs(unsigned Jobs, size_t FunctionCount) {
       std::min<size_t>(Jobs, std::max<size_t>(1, FunctionCount)));
 }
 
-std::optional<Compilation> compileModule(il::Module &Mod,
-                                         const CompileOptions &Opts,
-                                         DiagnosticEngine &Diags) {
+} // namespace
+
+std::optional<Compilation> driver::compileModule(il::Module &Mod,
+                                                 const CompileOptions &Opts,
+                                                 DiagnosticEngine &Diags) {
   auto Target = driver::loadTarget(Opts.Machine, Diags);
   if (!Target)
     return std::nullopt;
@@ -185,20 +187,30 @@ std::optional<Compilation> compileModule(il::Module &Mod,
   Out.Passes = Merged.stats();
 
   // Reduce in module source order: diagnostics, stats and dumps all come
-  // out exactly as a serial left-to-right compile would emit them.
-  bool AllOk = true;
+  // out exactly as a serial left-to-right compile would emit them. Failed
+  // functions degrade gracefully: each is replaced by a diagnosed stub and
+  // listed in FailedFunctions, instead of sinking the whole module.
   for (size_t I = 0; I < N; ++I) {
+    const std::string &Name = Mod.Functions[I]->Name;
+    if (!Ok[I]) {
+      if (!FnDiags[I].hasErrors())
+        FnDiags[I].error(SourceLocation(),
+                         "function '" + Name +
+                             "' failed to compile (no diagnostic reported)");
+      FnDiags[I].note(SourceLocation(),
+                      "function '" + Name + "' emitted as a diagnosed stub");
+      target::MFunction Stub;
+      Stub.Name = Name;
+      Stub.IsStub = true;
+      Out.Module.Functions[I] = std::move(Stub);
+      Out.FailedFunctions.push_back(Name);
+    }
     Diags.merge(FnDiags[I].take());
     Out.Stats += States[I].Stats;
     Out.Dumps += States[I].Dumps;
-    AllOk = AllOk && Ok[I];
   }
-  if (!AllOk)
-    return std::nullopt;
   return Out;
 }
-
-} // namespace
 
 std::optional<Compilation> driver::compileSource(std::string_view Source,
                                                  const std::string &ModuleName,

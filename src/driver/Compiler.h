@@ -77,6 +77,15 @@ struct Compilation {
   double BackendMillis = 0;
   /// --dump-after output for every function, in module source order.
   std::string Dumps;
+  /// Functions that failed to compile, in module source order. Each was
+  /// diagnosed through the module's DiagnosticEngine and emitted into
+  /// Module.Functions as a labelled stub (MFunction::IsStub), so one bad
+  /// function no longer kills the rest of the module — the graceful-
+  /// degradation half of DESIGN.md §11.
+  std::vector<std::string> FailedFunctions;
+
+  /// True when every function compiled (the old success criterion).
+  bool allCompiled() const { return FailedFunctions.empty(); }
 
   /// Renders the whole module as assembly; \p ShowCycles adds the
   /// scheduler's cycle column.
@@ -87,7 +96,18 @@ struct Compilation {
 std::shared_ptr<const target::TargetInfo>
 loadTarget(const std::string &Machine, DiagnosticEngine &Diags);
 
-/// Compiles MC source text. Returns nullopt with diagnostics on error.
+/// Compiles an already-parsed IL module (the shard worker's entry point:
+/// it runs the front end itself so it can report the function manifest
+/// before the backend starts). Returns nullopt only when the target fails
+/// to load; per-function backend failures are recovered as diagnosed stubs
+/// and listed in Compilation::FailedFunctions.
+std::optional<Compilation> compileModule(il::Module &Mod,
+                                         const CompileOptions &Opts,
+                                         DiagnosticEngine &Diags);
+
+/// Compiles MC source text. Returns nullopt with diagnostics when the
+/// front end or target fails; per-function backend failures are recovered
+/// (see compileModule).
 std::optional<Compilation> compileSource(std::string_view Source,
                                          const std::string &ModuleName,
                                          const CompileOptions &Opts,

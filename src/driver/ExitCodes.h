@@ -1,0 +1,58 @@
+//===- ExitCodes.h - marionc process exit-code discipline --------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exit-code contract of marionc and its shard workers. Scripts (and
+/// the shard driver itself, classifying worker outcomes) branch on these,
+/// so they are part of the public interface and documented in --help.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_DRIVER_EXITCODES_H
+#define MARION_DRIVER_EXITCODES_H
+
+namespace marion {
+namespace driver {
+
+enum ExitCode : int {
+  /// Everything compiled (and, with --run, simulated) clean.
+  ExitSuccess = 0,
+  /// Diagnosed compile failure: diagnostics were reported and affected
+  /// functions were emitted as stubs; the rest of the output is valid.
+  ExitCompileFail = 1,
+  /// Command-line usage error; nothing was compiled.
+  ExitUsage = 2,
+  /// Internal error: an unexpected exception escaped, or (sharded) a
+  /// worker died on a signal and retries were exhausted.
+  ExitInternal = 3,
+  /// A shard worker exceeded its --timeout wall clock and retries were
+  /// exhausted.
+  ExitTimeout = 4,
+};
+
+/// Combines two outcome codes, keeping the more severe. Severity order
+/// (most severe first): internal(3), timeout(4), compile failure(1),
+/// success(0). Usage errors never reach a merge.
+inline int worseExit(int A, int B) {
+  auto Rank = [](int Code) {
+    switch (Code) {
+    case ExitInternal:
+      return 3;
+    case ExitTimeout:
+      return 2;
+    case ExitCompileFail:
+      return 1;
+    default:
+      return 0;
+    }
+  };
+  return Rank(A) >= Rank(B) ? A : B;
+}
+
+} // namespace driver
+} // namespace marion
+
+#endif // MARION_DRIVER_EXITCODES_H

@@ -1,0 +1,189 @@
+//===- FaultInjection.cpp -------------------------------------------------==//
+
+#include "pipeline/FaultInjection.h"
+
+#include "pipeline/Passes.h"
+#include "support/Recovery.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+using namespace marion;
+using namespace marion::pipeline;
+
+namespace {
+
+/// The process-global injector. Armed at most once per process (marionc
+/// arms it from the command line before any compilation starts); the run
+/// counter is atomic so the trigger fires exactly once under -jN.
+struct Injector {
+  std::mutex Mutex;
+  bool Armed = false;
+  FaultSpec Spec;
+  std::string CacheDir;
+  std::atomic<uint64_t> Runs{0};
+  std::atomic<bool> Fired{false};
+};
+
+Injector &injector() {
+  static Injector I;
+  return I;
+}
+
+const char *kindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::Error:
+    return "error";
+  case FaultKind::Crash:
+    return "crash";
+  case FaultKind::Hang:
+    return "hang";
+  case FaultKind::CorruptCache:
+    return "corrupt-cache";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> kindFromName(const std::string &Name) {
+  for (FaultKind Kind : {FaultKind::Error, FaultKind::Crash, FaultKind::Hang,
+                         FaultKind::CorruptCache})
+    if (Name == kindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
+/// Scribbles over every on-disk cache entry, keeping the files in place:
+/// the header check must treat each as a silent miss, never as poison.
+void corruptCacheDir(const std::string &Dir) {
+  if (Dir.empty())
+    return;
+  std::error_code EC;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC)) {
+    if (Entry.path().extension() != ".mmir")
+      continue;
+    std::error_code SizeEC;
+    auto Size = std::filesystem::file_size(Entry.path(), SizeEC);
+    if (SizeEC)
+      continue;
+    std::ofstream Out(Entry.path(),
+                      std::ios::binary | std::ios::in | std::ios::out);
+    if (!Out)
+      continue;
+    std::string Garbage(std::min<uintmax_t>(Size, 64), '\xff');
+    Out.write(Garbage.data(), static_cast<std::streamsize>(Garbage.size()));
+  }
+}
+
+} // namespace
+
+std::optional<FaultSpec> pipeline::parseFaultSpec(const std::string &Text,
+                                                  std::string &Error) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Colon = Text.find(':', Pos);
+    Parts.push_back(Text.substr(
+        Pos, Colon == std::string::npos ? std::string::npos : Colon - Pos));
+    if (Colon == std::string::npos)
+      break;
+    Pos = Colon + 1;
+  }
+  if (Parts.size() < 2 || Parts.size() > 4) {
+    Error = "expected <pass>:<kind>[:<nth>[:<shard>]]";
+    return std::nullopt;
+  }
+  FaultSpec Spec;
+  Spec.Pass = Parts[0];
+  bool Known = false;
+  for (const std::string &Name : registeredPassNames())
+    Known = Known || Name == Spec.Pass;
+  if (!Known) {
+    Error = "unknown pass '" + Spec.Pass + "'";
+    return std::nullopt;
+  }
+  auto Kind = kindFromName(Parts[1]);
+  if (!Kind) {
+    Error = "unknown fault kind '" + Parts[1] +
+            "' (expected error|crash|hang|corrupt-cache)";
+    return std::nullopt;
+  }
+  Spec.Kind = *Kind;
+  if (Parts.size() >= 3) {
+    char *End = nullptr;
+    unsigned long Nth = std::strtoul(Parts[2].c_str(), &End, 10);
+    if (Parts[2].empty() || *End != '\0' || Nth == 0) {
+      Error = "bad <nth> '" + Parts[2] + "' (positive integer)";
+      return std::nullopt;
+    }
+    Spec.Nth = Nth;
+  }
+  if (Parts.size() == 4) {
+    char *End = nullptr;
+    unsigned long Shard = std::strtoul(Parts[3].c_str(), &End, 10);
+    if (Parts[3].empty() || *End != '\0') {
+      Error = "bad <shard> '" + Parts[3] + "' (non-negative integer)";
+      return std::nullopt;
+    }
+    Spec.Shard = static_cast<int>(Shard);
+  }
+  return Spec;
+}
+
+std::string pipeline::formatFaultSpec(const FaultSpec &Spec) {
+  return Spec.Pass + ":" + kindName(Spec.Kind) + ":" +
+         std::to_string(Spec.Nth) + ":" + std::to_string(Spec.Shard);
+}
+
+void pipeline::armFaultInjector(const FaultSpec &Spec, std::string CacheDir) {
+  Injector &I = injector();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  I.Spec = Spec;
+  I.CacheDir = std::move(CacheDir);
+  I.Runs.store(0);
+  I.Fired.store(false);
+  I.Armed = true;
+}
+
+void pipeline::clearFaultInjector() {
+  Injector &I = injector();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  I.Armed = false;
+  I.Runs.store(0);
+  I.Fired.store(false);
+}
+
+void pipeline::maybeInjectFault(const std::string &PassName) {
+  Injector &I = injector();
+  if (!I.Armed || I.Fired.load(std::memory_order_relaxed))
+    return;
+  // Armed specs are immutable until cleared, so reading Spec without the
+  // mutex is safe; only the run counter needs atomicity.
+  if (PassName != I.Spec.Pass)
+    return;
+  if (I.Runs.fetch_add(1) + 1 != I.Spec.Nth)
+    return;
+  I.Fired.store(true);
+  switch (I.Spec.Kind) {
+  case FaultKind::Error:
+    detail::throwCompileError("injected fault (" + formatFaultSpec(I.Spec) +
+                                  ")",
+                              __FILE__, __LINE__);
+  case FaultKind::Crash:
+    // A deterministic stand-in for a segfault/assert in the worker: die on
+    // a signal without unwinding, so no result frame is completed.
+    std::fflush(nullptr);
+    std::abort();
+  case FaultKind::Hang:
+    for (;;)
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+  case FaultKind::CorruptCache:
+    corruptCacheDir(I.CacheDir);
+    return;
+  }
+}

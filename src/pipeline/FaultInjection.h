@@ -1,0 +1,73 @@
+//===- FaultInjection.h - Deterministic fault-injection harness ----*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection threaded through the PassManager, so every
+/// recovery path in the sharded driver and the per-function recovery layer
+/// is testable in CI without flaky timing:
+///
+///   --inject-fault=<pass>:<kind>[:<nth>[:<shard>]]
+///
+/// fires once, immediately before the <nth> (1-based, default 1) execution
+/// of the named pass in this process. Kinds:
+///
+///   error          throw CompileError — exercises the recoverable
+///                  diagnostic path (stub emission, exit code 1)
+///   crash          std::abort() — exercises worker crash isolation
+///   hang           sleep forever — exercises the worker wall-clock timeout
+///   corrupt-cache  scribble over every on-disk --cache-dir entry, then
+///                  continue — exercises the corrupt-entry-is-a-miss
+///                  contract across processes
+///
+/// The optional <shard> field selects which shard's worker receives the
+/// spec under --shards=N (default shard 0); it is ignored in non-sharded
+/// runs. The injector is process-global (armed once from the command line)
+/// and counts runs with an atomic, so it fires exactly once even under -jN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_PIPELINE_FAULTINJECTION_H
+#define MARION_PIPELINE_FAULTINJECTION_H
+
+#include <optional>
+#include <string>
+
+namespace marion {
+namespace pipeline {
+
+enum class FaultKind { Error, Crash, Hang, CorruptCache };
+
+struct FaultSpec {
+  std::string Pass;   ///< Registered pass name the fault is attached to.
+  FaultKind Kind = FaultKind::Error;
+  uint64_t Nth = 1;   ///< Fire before the Nth run of the pass (1-based).
+  int Shard = 0;      ///< Shard whose worker is armed under --shards=N.
+};
+
+/// Parses "<pass>:<kind>[:<nth>[:<shard>]]". Returns nullopt and fills
+/// \p Error on malformed text or an unregistered pass name.
+std::optional<FaultSpec> parseFaultSpec(const std::string &Text,
+                                        std::string &Error);
+
+/// Renders \p Spec back into the --inject-fault argument form.
+std::string formatFaultSpec(const FaultSpec &Spec);
+
+/// Arms the process-global injector. \p CacheDir is the --cache-dir the
+/// corrupt-cache kind scribbles over (may be empty for other kinds).
+void armFaultInjector(const FaultSpec &Spec, std::string CacheDir);
+
+/// Disarms the injector (tests arm/disarm around each scenario).
+void clearFaultInjector();
+
+/// Called by the PassManager before each pass run. Counts runs of the armed
+/// pass; on the Nth it triggers the fault (may throw CompileError, abort,
+/// or never return). No-op when disarmed or for other passes.
+void maybeInjectFault(const std::string &PassName);
+
+} // namespace pipeline
+} // namespace marion
+
+#endif // MARION_PIPELINE_FAULTINJECTION_H

@@ -2,6 +2,9 @@
 
 #include "pipeline/PassManager.h"
 
+#include "pipeline/FaultInjection.h"
+#include "support/Recovery.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -44,11 +47,35 @@ static std::string renderDump(const std::string &PassName,
   return Out;
 }
 
+/// The function name for recovery diagnostics, from whichever side of
+/// selection the pipeline currently is on.
+static std::string functionNameOf(const FunctionState &FS) {
+  if (FS.MF && !FS.MF->Name.empty())
+    return FS.MF->Name;
+  if (FS.ILFn)
+    return FS.ILFn->Name;
+  return "?";
+}
+
 bool PassManager::run(FunctionState &FS) {
   for (size_t I = 0; I < Passes.size(); ++I) {
     FS.CacheHit = false;
     auto Start = std::chrono::steady_clock::now();
-    bool Ok = Passes[I].Run(FS);
+    // The pass boundary is the recovery point: a MARION_CHECK violation
+    // (or injected fault) anywhere below surfaces here as a structured
+    // diagnostic instead of an abort, and the driver stubs out just this
+    // function while the rest of the module keeps compiling.
+    bool Ok;
+    try {
+      maybeInjectFault(Passes[I].Name);
+      Ok = Passes[I].Run(FS);
+    } catch (const CompileError &E) {
+      FS.Diags->error(E.location(),
+                      "internal error in pass '" + Passes[I].Name +
+                          "' compiling '" + functionNameOf(FS) +
+                          "': " + E.message() + " [" + E.checkSite() + "]");
+      Ok = false;
+    }
     auto End = std::chrono::steady_clock::now();
     PassStats &PS = Stats[I];
     double Micros =
@@ -85,6 +112,27 @@ void PassManager::mergeStats(const PassManager &Other) {
     Stats[I].InstrsAfter += Other.Stats[I].InstrsAfter;
     Stats[I].CachedRuns += Other.Stats[I].CachedRuns;
     Stats[I].CachedMicros += Other.Stats[I].CachedMicros;
+  }
+}
+
+void pipeline::mergePassStatsByName(std::vector<PassStats> &Into,
+                                    const std::vector<PassStats> &From) {
+  for (const PassStats &PS : From) {
+    PassStats *Found = nullptr;
+    for (PassStats &Have : Into)
+      if (Have.Name == PS.Name) {
+        Found = &Have;
+        break;
+      }
+    if (!Found) {
+      Into.push_back(PS);
+      continue;
+    }
+    Found->Runs += PS.Runs;
+    Found->Micros += PS.Micros;
+    Found->InstrsAfter += PS.InstrsAfter;
+    Found->CachedRuns += PS.CachedRuns;
+    Found->CachedMicros += PS.CachedMicros;
   }
 }
 

@@ -125,6 +125,12 @@ private:
   std::vector<PassStats> Stats;
 };
 
+/// Folds \p From into \p Into by pass name, appending names \p Into has not
+/// seen — the cross-file (and, in the shard driver, cross-process) reduce
+/// behind the aggregate --time-passes report.
+void mergePassStatsByName(std::vector<PassStats> &Into,
+                          const std::vector<PassStats> &From);
+
 } // namespace pipeline
 } // namespace marion
 

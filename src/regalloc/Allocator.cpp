@@ -3,6 +3,7 @@
 #include "regalloc/Allocator.h"
 
 #include "regalloc/Liveness.h"
+#include "support/Recovery.h"
 #include "target/TargetInfo.h"
 
 #include <algorithm>
@@ -211,7 +212,12 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
         }
       }
     }
-    assert(Picked >= 0 && "no pseudo to simplify");
+    // A degenerate interference graph (every remaining pseudo removed or
+    // on-stack yet RemainingCount > 0) is reachable through pathological
+    // descriptions, so recover instead of aborting the process.
+    MARION_CHECK(Picked >= 0,
+                 "register allocator found no pseudo to simplify in '" +
+                     Fn.Name + "'");
     OnStack[Picked] = true;
     Stack.push_back(Picked);
     --RemainingCount;
@@ -480,7 +486,10 @@ void AllocatorImpl::rewriteOperands() {
         if (Op.K != MOperand::Kind::Pseudo)
           continue;
         PhysReg Reg = Assignment[Op.PseudoId];
-        assert(Reg.isValid() && "unassigned pseudo after coloring");
+        MARION_CHECK(Reg.isValid(),
+                     "pseudo %" + std::to_string(Op.PseudoId) +
+                         " left unassigned after coloring in '" + Fn.Name +
+                         "'");
         if (Op.SubReg >= 0) {
           auto Sub = Regs.subReg(Target.description(), Reg, Op.SubReg);
           if (Sub) {

@@ -2,6 +2,7 @@
 
 #include "sched/CodeDAG.h"
 
+#include "support/Recovery.h"
 #include "target/DefUse.h"
 
 #include <algorithm>
@@ -205,7 +206,11 @@ void CodeDAG::computePriorities() {
   std::function<int(int)> Visit = [&](int N) -> int {
     if (State[N] == 2)
       return Nodes[N].Priority;
-    assert(State[N] != 1 && "cycle in code DAG");
+    // Protection edges derived from a bad description can close a cycle;
+    // that is user-reachable, so recover rather than assert.
+    MARION_CHECK(State[N] != 1,
+                 "cycle in code DAG of block '" + Block.Label + "' in '" +
+                     Fn.Name + "'");
     State[N] = 1;
     const TargetInstr &TI = Target.instr(Block.Instrs[N].InstrId);
     int Best = std::max(1, TI.latency());

@@ -3,6 +3,7 @@
 #include "select/Selector.h"
 
 #include "select/GlueTransformer.h"
+#include "support/Recovery.h"
 #include "target/FuncEscape.h"
 
 #include <cassert>
@@ -374,7 +375,12 @@ void FunctionSelector::selectSetTemp(Node *Root) {
 
 MOperand FunctionSelector::blockLabel(int IlBlockId) {
   auto It = IlBlockToMBlock.find(IlBlockId);
-  assert(It != IlBlockToMBlock.end() && "branch to unknown block");
+  // Reachable through a malformed or glue-mangled CFG, so recoverable
+  // rather than an assert: the pass boundary turns this into a diagnostic
+  // and the function becomes a stub.
+  MARION_CHECK(It != IlBlockToMBlock.end(),
+               "branch to unknown block b" + std::to_string(IlBlockId) +
+                   " in '" + Fn.Name + "'");
   return MOperand::label(It->second);
 }
 

@@ -1,0 +1,314 @@
+//===- ShardDriver.cpp ----------------------------------------------------==//
+
+#include "shard/ShardDriver.h"
+
+#include "driver/ExitCodes.h"
+#include "support/Paths.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace marion;
+using namespace marion::shard;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// How one worker attempt ended, classified from waitpid status plus the
+/// driver's own timeout bookkeeping.
+enum class AttemptClass { Ok, CompileFail, Crash, Timeout, Internal };
+
+struct Attempt {
+  std::string OutPath;
+  bool TimedOut = false;
+  int WaitStatus = 0;
+  AttemptClass Class = AttemptClass::Internal;
+  std::vector<FileResult> Records; ///< Parsed after the attempt finished.
+};
+
+struct ShardState {
+  unsigned Index = 0;
+  size_t FirstFile = 0, LastFile = 0; ///< [FirstFile, LastFile) globals.
+  std::vector<Attempt> Attempts;
+  // Live-process bookkeeping.
+  pid_t Pid = -1;
+  Clock::time_point Deadline;
+  bool HasDeadline = false;
+  bool PendingRespawn = false;
+  Clock::time_point RespawnAt;
+  bool Settled = false;
+};
+
+std::string workerExe(const ShardOptions &Opts) {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    return Buf;
+  }
+  return Opts.ExePath;
+}
+
+AttemptClass classify(const Attempt &A) {
+  if (A.TimedOut)
+    return AttemptClass::Timeout;
+  if (WIFSIGNALED(A.WaitStatus))
+    return AttemptClass::Crash;
+  if (WIFEXITED(A.WaitStatus)) {
+    switch (WEXITSTATUS(A.WaitStatus)) {
+    case driver::ExitSuccess:
+      return AttemptClass::Ok;
+    case driver::ExitCompileFail:
+      return AttemptClass::CompileFail;
+    default: // Usage, internal, exec failure (127), anything unexpected.
+      return AttemptClass::Internal;
+    }
+  }
+  return AttemptClass::Internal;
+}
+
+bool retryable(AttemptClass Class) {
+  return Class == AttemptClass::Crash || Class == AttemptClass::Timeout ||
+         Class == AttemptClass::Internal;
+}
+
+/// Human-readable cause for the merge-step diagnostics.
+std::string describe(const Attempt &A, double TimeoutSec) {
+  switch (A.Class) {
+  case AttemptClass::Timeout: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "timed out after %gs", TimeoutSec);
+    return Buf;
+  }
+  case AttemptClass::Crash:
+    return "crashed (signal " + std::to_string(WTERMSIG(A.WaitStatus)) + ")";
+  case AttemptClass::Internal:
+    if (WIFEXITED(A.WaitStatus))
+      return "exited with internal error (code " +
+             std::to_string(WEXITSTATUS(A.WaitStatus)) + ")";
+    return "failed to run";
+  case AttemptClass::Ok:
+  case AttemptClass::CompileFail:
+    return "finished"; // Not used for failure reports.
+  }
+  return "?";
+}
+
+pid_t spawnWorker(const std::string &Exe,
+                  const std::vector<std::string> &Files, ShardState &S,
+                  const ShardOptions &Opts, const std::string &OutPath) {
+  const bool Retry = !S.Attempts.empty();
+  std::vector<std::string> Args;
+  Args.push_back(Exe);
+  for (size_t I = S.FirstFile; I < S.LastFile; ++I)
+    Args.push_back(Files[I]);
+  Args.push_back("--worker-out=" + OutPath);
+  const std::vector<std::string> &Fwd = Retry ? Opts.RetryArgs
+                                              : Opts.WorkerArgs;
+  Args.insert(Args.end(), Fwd.begin(), Fwd.end());
+  if (!Opts.FaultArg.empty() && static_cast<int>(S.Index) == Opts.FaultShard)
+    Args.push_back("--inject-fault=" + Opts.FaultArg);
+
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 1);
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid == 0) {
+    ::execv(Exe.c_str(), Argv.data());
+    ::_exit(127);
+  }
+  return Pid;
+}
+
+} // namespace
+
+bool shard::runShardedCompile(const std::vector<std::string> &Files,
+                              const ShardOptions &Opts,
+                              ShardOutcome &Outcome) {
+  using driver::worseExit;
+  const size_t NFiles = Files.size();
+  const unsigned NShards = static_cast<unsigned>(
+      std::min<size_t>(std::max(1u, Opts.Shards), std::max<size_t>(1, NFiles)));
+  const std::string Exe = workerExe(Opts);
+  if (Exe.empty()) {
+    Outcome.DiagText += "error: cannot locate the marionc binary to spawn "
+                        "shard workers\n";
+    Outcome.ExitCode = driver::ExitInternal;
+    return false;
+  }
+
+  // Scratch directory for the worker result files.
+  char DirTemplate[] = "/tmp/marion-shard-XXXXXX";
+  const char *TmpDir = ::mkdtemp(DirTemplate);
+  if (!TmpDir) {
+    Outcome.DiagText += "error: cannot create shard scratch directory\n";
+    Outcome.ExitCode = driver::ExitInternal;
+    return false;
+  }
+
+  // Contiguous partition: shard i owns files [i*N/S, (i+1)*N/S), so the
+  // concatenation of shard outputs in shard order is global source order.
+  std::vector<ShardState> Shards(NShards);
+  for (unsigned I = 0; I < NShards; ++I) {
+    Shards[I].Index = I;
+    Shards[I].FirstFile = NFiles * I / NShards;
+    Shards[I].LastFile = NFiles * (I + 1) / NShards;
+  }
+
+  auto launch = [&](ShardState &S) {
+    std::string OutPath = std::string(TmpDir) + "/shard" +
+                          std::to_string(S.Index) + ".attempt" +
+                          std::to_string(S.Attempts.size()) + ".out";
+    S.Attempts.push_back(Attempt{OutPath, false, 0, AttemptClass::Internal,
+                                 {}});
+    S.Pid = spawnWorker(Exe, Files, S, Opts, OutPath);
+    S.HasDeadline = Opts.TimeoutSec > 0;
+    if (S.HasDeadline)
+      S.Deadline = Clock::now() + std::chrono::microseconds(static_cast<long>(
+                                      Opts.TimeoutSec * 1e6));
+    S.PendingRespawn = false;
+  };
+
+  for (ShardState &S : Shards)
+    launch(S);
+
+  // Supervision loop: reap finished workers, kill hung ones at their
+  // deadline, and launch backoff-delayed retries, until every shard has
+  // either a terminal attempt or exhausted its retries.
+  auto finishAttempt = [&](ShardState &S) {
+    Attempt &A = S.Attempts.back();
+    A.Class = classify(A);
+    S.Pid = -1;
+    if (retryable(A.Class) && S.Attempts.size() <= Opts.Retries) {
+      S.PendingRespawn = true;
+      S.RespawnAt = Clock::now() + std::chrono::milliseconds(
+                                       Opts.BackoffMs *
+                                       static_cast<unsigned>(S.Attempts.size()));
+      ++Outcome.Respawns;
+    } else {
+      S.Settled = true;
+    }
+  };
+
+  for (;;) {
+    bool AnyLive = false;
+    for (ShardState &S : Shards) {
+      if (S.Settled)
+        continue;
+      if (S.PendingRespawn) {
+        if (Clock::now() >= S.RespawnAt)
+          launch(S);
+        AnyLive = true;
+        continue;
+      }
+      AnyLive = true;
+      int Status = 0;
+      pid_t Got = ::waitpid(S.Pid, &Status, WNOHANG);
+      if (Got == S.Pid) {
+        S.Attempts.back().WaitStatus = Status;
+        finishAttempt(S);
+        continue;
+      }
+      if (Got < 0) { // Lost the child unexpectedly: classify as internal.
+        S.Attempts.back().WaitStatus = 126 << 8;
+        finishAttempt(S);
+        continue;
+      }
+      if (S.HasDeadline && Clock::now() >= S.Deadline) {
+        S.Attempts.back().TimedOut = true;
+        ::kill(S.Pid, SIGKILL);
+        ::waitpid(S.Pid, &Status, 0);
+        S.Attempts.back().WaitStatus = Status;
+        finishAttempt(S);
+      }
+    }
+    if (!AnyLive)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Parse every attempt's result stream (tolerant of truncation).
+  for (ShardState &S : Shards)
+    for (Attempt &A : S.Attempts) {
+      std::string Text, Error;
+      if (readFile(A.OutPath, Text, Error))
+        A.Records = parseWorkerOutput(Text);
+    }
+
+  // Merge in global source order. For each file, the first attempt with a
+  // complete record wins (a file that compiled before a later crash is
+  // salvaged); files with no complete record are reported failed, with the
+  // function manifest from any partial record.
+  for (const ShardState &S : Shards) {
+    for (size_t F = S.FirstFile; F < S.LastFile; ++F) {
+      const int Local = static_cast<int>(F - S.FirstFile);
+      const FileResult *Best = nullptr;
+      const FileResult *Partial = nullptr;
+      for (const Attempt &A : S.Attempts) {
+        for (const FileResult &R : A.Records) {
+          if (R.Index != Local)
+            continue;
+          if (R.Complete && !Best)
+            Best = &R;
+          else if (!R.Complete)
+            Partial = &R;
+        }
+        if (Best)
+          break;
+      }
+      if (Best) {
+        Outcome.Assembly += Best->Assembly;
+        Outcome.DiagText += Best->DiagText;
+        Outcome.Stats += Best->Stats;
+        Outcome.Select.NodesMatched += Best->Select.NodesMatched;
+        Outcome.Select.PatternsProbed += Best->Select.PatternsProbed;
+        Outcome.Select.BucketProbes += Best->Select.BucketProbes;
+        Outcome.Select.LinearProbes += Best->Select.LinearProbes;
+        pipeline::mergePassStatsByName(Outcome.Passes, Best->Passes);
+        Outcome.BackendMillis += Best->BackendMillis;
+        if (!Best->Ok) {
+          ++Outcome.FailedFiles;
+          Outcome.ExitCode =
+              worseExit(Outcome.ExitCode, driver::ExitCompileFail);
+        }
+        continue;
+      }
+      // No usable record: the worker died on or before this file.
+      const Attempt &Last = S.Attempts.back();
+      const std::string &Path = Files[F];
+      Outcome.DiagText +=
+          Path + ": error: shard " + std::to_string(S.Index) + " worker " +
+          describe(Last, Opts.TimeoutSec) +
+          (Partial ? " while compiling this file"
+                   : " before finishing this file") +
+          " (after " + std::to_string(S.Attempts.size()) + " attempt" +
+          (S.Attempts.size() == 1 ? "" : "s") + ")\n";
+      if (Partial)
+        for (const std::string &Fn : Partial->Functions)
+          Outcome.DiagText +=
+              Path + ": note: function '" + Fn + "' not compiled\n";
+      ++Outcome.FailedFiles;
+      Outcome.ExitCode = worseExit(Outcome.ExitCode,
+                                   Last.Class == AttemptClass::Timeout
+                                       ? driver::ExitTimeout
+                                       : driver::ExitInternal);
+    }
+  }
+
+  std::error_code EC;
+  std::filesystem::remove_all(TmpDir, EC);
+  return true;
+}

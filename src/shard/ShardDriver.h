@@ -1,0 +1,87 @@
+//===- ShardDriver.h - Fault-tolerant multi-process shard driver --*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-process half of sharded module compilation (DESIGN.md §11):
+/// `marionc --shards=N` partitions a multi-file workload into N contiguous
+/// shards, each compiled by a child `marionc --worker-out=…` process, and
+/// reassembles assembly, diagnostics and stats in global source order —
+/// bit-identical to a serial multi-file run when nothing fails.
+///
+/// Built fault-tolerant from day one (machine-description backends fail in
+/// long-tail, per-function ways):
+///
+///  * wall-clock timeout — a hung worker is SIGKILLed and classified;
+///  * bounded retry with backoff — a worker that crashed, timed out or
+///    reported an internal error is re-spawned once, serial (-j1) and with
+///    the compile cache disabled, to dodge nondeterministic corruption;
+///  * crash isolation — a worker that dies marks only its shard's
+///    remaining functions failed (the incremental wire format preserves
+///    the function manifest and every finished file), while all other
+///    shards merge normally.
+///
+/// Shards share compiled artifacts through the existing atomic-rename
+/// --cache-dir tier (PR 3), which is already process-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SHARD_SHARDDRIVER_H
+#define MARION_SHARD_SHARDDRIVER_H
+
+#include "shard/WireFormat.h"
+
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace shard {
+
+struct ShardOptions {
+  /// Worker process count (clamped to the file count).
+  unsigned Shards = 1;
+  /// Per-attempt wall-clock limit in seconds; 0 disables the timeout.
+  double TimeoutSec = 120.0;
+  /// Re-spawn attempts after a crash, timeout or internal error (diagnosed
+  /// compile failures are deterministic and never retried).
+  unsigned Retries = 1;
+  /// Backoff before the k-th retry: BackoffMs * k milliseconds.
+  unsigned BackoffMs = 100;
+  /// The marionc binary to exec for workers (argv[0]; /proc/self/exe is
+  /// preferred when readable).
+  std::string ExePath;
+  /// Flags forwarded to first-attempt workers (machine, strategy, cache,
+  /// -j, --cycles, ...).
+  std::vector<std::string> WorkerArgs;
+  /// Flags for retry attempts: same, minus cache flags and -j (serial).
+  std::vector<std::string> RetryArgs;
+  /// --inject-fault spec forwarded to exactly one shard (empty = none).
+  std::string FaultArg;
+  int FaultShard = 0;
+};
+
+/// The merged result of a sharded sweep, ready for marionc to print.
+struct ShardOutcome {
+  int ExitCode = 0; ///< driver::ExitCode, worst across shards (worseExit).
+  std::string Assembly; ///< Merged stdout payload, global source order.
+  std::string DiagText; ///< Merged stderr payload, global source order.
+  strategy::StrategyStats Stats;
+  target::SelectionCounters::Snapshot Select;
+  std::vector<pipeline::PassStats> Passes;
+  double BackendMillis = 0; ///< Summed worker backend wall clock.
+  unsigned FailedFiles = 0; ///< Files with no usable result or Ok = false.
+  unsigned Respawns = 0;    ///< Retry attempts actually launched.
+};
+
+/// Compiles \p Files across worker processes per \p Opts. Returns false
+/// only when workers could not be spawned at all (Outcome.DiagText then
+/// explains); every other failure mode is folded into the outcome.
+bool runShardedCompile(const std::vector<std::string> &Files,
+                       const ShardOptions &Opts, ShardOutcome &Outcome);
+
+} // namespace shard
+} // namespace marion
+
+#endif // MARION_SHARD_SHARDDRIVER_H

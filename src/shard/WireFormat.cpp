@@ -1,0 +1,183 @@
+//===- WireFormat.cpp -----------------------------------------------------==//
+
+#include "shard/WireFormat.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace marion;
+using namespace marion::shard;
+
+namespace {
+
+void writeBlob(std::FILE *Out, const char *Tag, const std::string &Blob) {
+  std::fprintf(Out, "%%%s %zu\n", Tag, Blob.size());
+  std::fwrite(Blob.data(), 1, Blob.size(), Out);
+  std::fputc('\n', Out);
+}
+
+} // namespace
+
+void shard::writeRecordBegin(std::FILE *Out, const FileResult &R) {
+  std::fprintf(Out, "%%BEGIN %d %s\n", R.Index, R.Path.c_str());
+  std::fprintf(Out, "%%FUNCS %zu\n", R.Functions.size());
+  for (const std::string &Name : R.Functions)
+    std::fprintf(Out, "%s\n", Name.c_str());
+  std::fflush(Out);
+}
+
+void shard::writeRecordEnd(std::FILE *Out, const FileResult &R) {
+  std::fprintf(Out, "%%RESULT %s %zu\n", R.Ok ? "ok" : "fail",
+               R.FailedFunctions.size());
+  for (const std::string &Name : R.FailedFunctions)
+    std::fprintf(Out, "%s\n", Name.c_str());
+  writeBlob(Out, "ASM", R.Assembly);
+  writeBlob(Out, "DIAG", R.DiagText);
+  std::fprintf(Out, "%%STATS %u %u %u %ld %ld %ld %ld %.17g\n",
+               R.Stats.SchedulerPasses, R.Stats.SpilledPseudos,
+               R.Stats.AllocatorRounds, R.Stats.EstimatedCycles,
+               R.Stats.ScheduledInstrs, R.Stats.DagNodes, R.Stats.DagEdges,
+               R.BackendMillis);
+  std::fprintf(Out, "%%SELECT %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                    "\n",
+               R.Select.NodesMatched, R.Select.PatternsProbed,
+               R.Select.BucketProbes, R.Select.LinearProbes);
+  std::fprintf(Out, "%%PASSES %zu\n", R.Passes.size());
+  for (const pipeline::PassStats &PS : R.Passes)
+    std::fprintf(Out, "%s %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 " %.17g\n",
+                 PS.Name.c_str(), PS.Runs, PS.Micros, PS.InstrsAfter,
+                 PS.CachedRuns, PS.CachedMicros);
+  std::fprintf(Out, "%%END %d\n", R.Index);
+  std::fflush(Out);
+}
+
+namespace {
+
+/// Cursor over the worker stream; every getter fails soft (returns false)
+/// so a truncated stream yields a partial final record, never a parse
+/// abort.
+struct Cursor {
+  const std::string &Text;
+  size_t Pos = 0;
+
+  bool atEnd() const { return Pos >= Text.size(); }
+
+  /// Reads one '\n'-terminated line (without the newline). A final
+  /// unterminated line counts as truncation and fails.
+  bool line(std::string &Out) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      return false;
+    Out = Text.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    return true;
+  }
+
+  /// Reads exactly \p N raw bytes plus the trailing newline.
+  bool blob(size_t N, std::string &Out) {
+    if (Pos + N + 1 > Text.size())
+      return false;
+    Out = Text.substr(Pos, N);
+    Pos += N + 1;
+    return true;
+  }
+};
+
+bool parseRecordBody(Cursor &C, FileResult &R) {
+  std::string Line;
+  // %FUNCS
+  if (!C.line(Line) || Line.rfind("%FUNCS ", 0) != 0)
+    return false;
+  size_t NFuncs = std::strtoull(Line.c_str() + 7, nullptr, 10);
+  for (size_t I = 0; I < NFuncs; ++I) {
+    if (!C.line(Line))
+      return false;
+    R.Functions.push_back(Line);
+  }
+  // %RESULT
+  if (!C.line(Line) || Line.rfind("%RESULT ", 0) != 0)
+    return false;
+  {
+    char Status[8] = {0};
+    size_t NFailed = 0;
+    if (std::sscanf(Line.c_str(), "%%RESULT %7s %zu", Status, &NFailed) != 2)
+      return false;
+    R.Ok = std::strcmp(Status, "ok") == 0;
+    for (size_t I = 0; I < NFailed; ++I) {
+      if (!C.line(Line))
+        return false;
+      R.FailedFunctions.push_back(Line);
+    }
+  }
+  // %ASM / %DIAG
+  for (auto *Slot : {&R.Assembly, &R.DiagText}) {
+    if (!C.line(Line))
+      return false;
+    const char *Tag = Slot == &R.Assembly ? "%ASM " : "%DIAG ";
+    if (Line.rfind(Tag, 0) != 0)
+      return false;
+    size_t N = std::strtoull(Line.c_str() + std::strlen(Tag), nullptr, 10);
+    if (!C.blob(N, *Slot))
+      return false;
+  }
+  // %STATS
+  if (!C.line(Line) ||
+      std::sscanf(Line.c_str(), "%%STATS %u %u %u %ld %ld %ld %ld %lg",
+                  &R.Stats.SchedulerPasses, &R.Stats.SpilledPseudos,
+                  &R.Stats.AllocatorRounds, &R.Stats.EstimatedCycles,
+                  &R.Stats.ScheduledInstrs, &R.Stats.DagNodes,
+                  &R.Stats.DagEdges, &R.BackendMillis) != 8)
+    return false;
+  // %SELECT
+  if (!C.line(Line) ||
+      std::sscanf(Line.c_str(),
+                  "%%SELECT %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64,
+                  &R.Select.NodesMatched, &R.Select.PatternsProbed,
+                  &R.Select.BucketProbes, &R.Select.LinearProbes) != 4)
+    return false;
+  // %PASSES
+  if (!C.line(Line) || Line.rfind("%PASSES ", 0) != 0)
+    return false;
+  size_t NPasses = std::strtoull(Line.c_str() + 8, nullptr, 10);
+  for (size_t I = 0; I < NPasses; ++I) {
+    if (!C.line(Line))
+      return false;
+    pipeline::PassStats PS;
+    char Name[128] = {0};
+    if (std::sscanf(Line.c_str(),
+                    "%127s %" SCNu64 " %lg %" SCNu64 " %" SCNu64 " %lg", Name,
+                    &PS.Runs, &PS.Micros, &PS.InstrsAfter, &PS.CachedRuns,
+                    &PS.CachedMicros) != 6)
+      return false;
+    PS.Name = Name;
+    R.Passes.push_back(std::move(PS));
+  }
+  // %END
+  if (!C.line(Line) || Line.rfind("%END ", 0) != 0)
+    return false;
+  R.Complete = true;
+  return true;
+}
+
+} // namespace
+
+std::vector<FileResult> shard::parseWorkerOutput(const std::string &Text) {
+  std::vector<FileResult> Out;
+  Cursor C{Text};
+  std::string Line;
+  while (!C.atEnd()) {
+    if (!C.line(Line))
+      break;
+    if (Line.rfind("%BEGIN ", 0) != 0)
+      continue; // Resynchronize past stray output.
+    FileResult R;
+    char *End = nullptr;
+    R.Index = static_cast<int>(std::strtol(Line.c_str() + 7, &End, 10));
+    if (End && *End == ' ')
+      R.Path = End + 1;
+    R.Started = true;
+    parseRecordBody(C, R); // Partial body = crashed mid-file; keep R as-is.
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}

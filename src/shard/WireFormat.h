@@ -1,0 +1,78 @@
+//===- WireFormat.h - Shard worker result framing ----------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed, crash-tolerant result stream a shard worker writes and the
+/// parent driver parses (DESIGN.md §11). One record per input file:
+///
+///   %BEGIN <local-index> <path>          after the front end parsed
+///   %FUNCS <n>  +  n name lines          the function manifest
+///   %RESULT ok|fail <nfailed> + names    after the backend finished
+///   %ASM <bytes> + raw payload           the file's assembly segment
+///   %DIAG <bytes> + raw payload          the file's stderr segment
+///   %STATS / %SELECT / %PASSES           deterministic counters + timers
+///   %END <local-index>                   record complete
+///
+/// The worker flushes after %FUNCS and after %END, so when it crashes or
+/// is killed mid-file the parent still knows (a) which files completed,
+/// (b) which file it died in, and (c) that file's function manifest — which
+/// is what lets the merge step report exactly the affected functions.
+/// Blob payloads are length-prefixed, never escaped, so diagnostics and
+/// assembly survive byte-for-byte and the merged output stays bit-identical
+/// to a serial run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SHARD_WIREFORMAT_H
+#define MARION_SHARD_WIREFORMAT_H
+
+#include "pipeline/PassManager.h"
+#include "strategy/Strategy.h"
+#include "target/TargetInfo.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace shard {
+
+/// One input file's compilation outcome — produced identically by the
+/// serial loop (printed directly) and by a worker (framed through a result
+/// file), which is what makes shard-vs-serial output bit-identical.
+struct FileResult {
+  std::string Path;
+  int Index = -1; ///< Worker-local index (parent maps to global order).
+  bool Started = false;  ///< %BEGIN seen (front end ran).
+  bool Complete = false; ///< %END seen (record is trustworthy).
+  bool Ok = false;
+  std::vector<std::string> Functions;       ///< Manifest from the front end.
+  std::vector<std::string> FailedFunctions; ///< Diagnosed stubs.
+  std::string Assembly;
+  std::string DiagText; ///< Diagnostics + --dump-after output, verbatim.
+  strategy::StrategyStats Stats;
+  target::SelectionCounters::Snapshot Select;
+  std::vector<pipeline::PassStats> Passes;
+  double BackendMillis = 0;
+};
+
+/// Writes the %BEGIN/%FUNCS prologue for \p R (Path, Index, Functions) and
+/// flushes, so the manifest survives a later crash.
+void writeRecordBegin(std::FILE *Out, const FileResult &R);
+
+/// Writes the rest of \p R's record (%RESULT through %END) and flushes.
+void writeRecordEnd(std::FILE *Out, const FileResult &R);
+
+/// Parses a worker output stream. Tolerates truncation anywhere: complete
+/// records come back with Complete = true; a trailing partial record (the
+/// file the worker died in) comes back with Started = true, Complete =
+/// false, and whatever manifest was flushed.
+std::vector<FileResult> parseWorkerOutput(const std::string &Text);
+
+} // namespace shard
+} // namespace marion
+
+#endif // MARION_SHARD_WIREFORMAT_H

@@ -1,0 +1,98 @@
+//===- Recovery.h - Recoverable internal-invariant checks --------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error recovery for user-reachable invariants. A machine-description
+/// backend fails in long-tail, per-function ways: an unmatched construct,
+/// a degenerate interference graph, a malformed DAG. Those paths used to be
+/// `assert`s, which turn one bad function into a dead compiler — fatal for
+/// the batch sweeps the system exists to serve.
+///
+/// MARION_CHECK replaces `assert` on paths user input can reach. On
+/// violation it throws CompileError, which the PassManager catches at the
+/// pass boundary and converts into a structured diagnostic; the driver then
+/// emits the function as a diagnosed stub and keeps compiling the rest of
+/// the module. A CompileError that escapes outside pass context (tools
+/// calling components directly) surfaces as a normal exception whose
+/// message carries the check site.
+///
+/// `assert` remains the right tool for true internal invariants that no
+/// input — however malformed — should be able to trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_RECOVERY_H
+#define MARION_SUPPORT_RECOVERY_H
+
+#include "support/SourceLocation.h"
+
+#include <exception>
+#include <string>
+
+namespace marion {
+
+/// A recoverable compilation failure: an internal consistency check on a
+/// user-reachable path did not hold. Carries the check site (compiler
+/// source file:line) and, when the caller has one, the user source
+/// location the failure is attributable to.
+class CompileError : public std::exception {
+public:
+  CompileError(std::string Message, const char *CheckFile, unsigned CheckLine,
+               SourceLocation Loc = {})
+      : Message(std::move(Message)), Loc(Loc), CheckFile(CheckFile),
+        CheckLine(CheckLine) {
+    Rendered = this->Message + " [" + checkSite() + "]";
+  }
+
+  const char *what() const noexcept override { return Rendered.c_str(); }
+  const std::string &message() const { return Message; }
+  SourceLocation location() const { return Loc; }
+
+  /// "Selector.cpp:377" — the compiler source position of the failed check.
+  std::string checkSite() const {
+    std::string File = CheckFile ? CheckFile : "?";
+    size_t Slash = File.find_last_of('/');
+    if (Slash != std::string::npos)
+      File = File.substr(Slash + 1);
+    return File + ":" + std::to_string(CheckLine);
+  }
+
+private:
+  std::string Message;
+  std::string Rendered;
+  SourceLocation Loc;
+  const char *CheckFile;
+  unsigned CheckLine;
+};
+
+namespace detail {
+[[noreturn]] inline void throwCompileError(std::string Message,
+                                           const char *File, unsigned Line,
+                                           SourceLocation Loc = {}) {
+  throw CompileError(std::move(Message), File, Line, Loc);
+}
+} // namespace detail
+
+/// Recoverable invariant check: reports a structured diagnostic (via the
+/// nearest pass boundary) instead of aborting. Use on any path a malformed
+/// module, description or workload can reach.
+#define MARION_CHECK(Cond, Message)                                            \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::marion::detail::throwCompileError((Message), __FILE__, __LINE__);      \
+  } while (false)
+
+/// MARION_CHECK with a user source location for the diagnostic.
+#define MARION_CHECK_LOC(Cond, Loc, Message)                                   \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::marion::detail::throwCompileError((Message), __FILE__, __LINE__,       \
+                                          (Loc));                              \
+  } while (false)
+
+} // namespace marion
+
+#endif // MARION_SUPPORT_RECOVERY_H

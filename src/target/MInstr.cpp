@@ -64,6 +64,9 @@ std::string target::instrToString(const TargetInfo &Target,
 
 std::string target::functionToString(const TargetInfo &Target,
                                      const MFunction &Fn, bool ShowCycles) {
+  if (Fn.IsStub)
+    return Fn.Name + ":\n  # compilation failed; emitted as stub (see "
+                     "diagnostics)\n";
   std::string Out = Fn.Name + ":\n";
   for (const MBlock &Block : Fn.Blocks) {
     if (!Block.Label.empty())

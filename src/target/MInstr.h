@@ -149,6 +149,10 @@ struct MFunction {
   bool HasCalls = false;
   /// True after register allocation replaced every pseudo operand.
   bool IsAllocated = false;
+  /// True for a diagnosed stub: the function failed to compile and was
+  /// emitted as a labelled placeholder so the rest of the module survives
+  /// (DESIGN.md §11). Stubs have no blocks and are never cached.
+  bool IsStub = false;
   /// Callee-saved registers the allocator assigned (frame finalizer saves
   /// and restores them).
   std::vector<PhysReg> UsedCalleeSaved;

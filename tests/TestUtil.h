@@ -38,6 +38,8 @@ compile(const std::string &Source, const std::string &Machine,
   Opts.Strategy = Strategy;
   auto C = driver::compileSource(Source, "test", Opts, Diags);
   EXPECT_TRUE(C) << Diags.str();
+  if (C)
+    EXPECT_TRUE(C->FailedFunctions.empty()) << Diags.str();
   return C;
 }
 

@@ -283,7 +283,7 @@ Result compileWorkload(const char *File, const Combo &C,
   DiagnosticEngine Diags;
   auto Compiled = driver::compileFile(File, Opts, Diags);
   Result R;
-  R.Ok = bool(Compiled);
+  R.Ok = Compiled && Compiled->FailedFunctions.empty();
   R.Diags = Diags.str();
   if (Compiled) {
     R.Assembly = Compiled->assembly(/*ShowCycles=*/true);

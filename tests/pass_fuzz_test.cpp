@@ -13,7 +13,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "cache/CompileCache.h"
+#include "driver/Compiler.h"
 #include "frontend/Frontend.h"
+#include "pipeline/FaultInjection.h"
 #include "pipeline/Passes.h"
 #include "sched/CodeDAG.h"
 #include "sched/ListScheduler.h"
@@ -135,6 +137,46 @@ TEST(PassFuzz, RandomLegalSequencesAgreeWithReferenceUnderCaching) {
   // must have served nearly all of them.
   auto S = Cache.snapshot();
   EXPECT_GT(S.Hits, S.Misses) << cache::formatSnapshot(S);
+}
+
+/// The strategy whose standard pipeline actually runs \p Pass.
+strategy::StrategyKind strategyRunning(const std::string &Pass) {
+  if (Pass == "prepass-sched")
+    return strategy::StrategyKind::IPS;
+  if (Pass == "rase-probe")
+    return strategy::StrategyKind::RASE;
+  return strategy::StrategyKind::Postpass;
+}
+
+TEST(PassFuzz, InjectedErrorInEveryPassDegradesGracefully) {
+  // Arm a deterministic error in each registered pass in turn: the driver
+  // must come back with a partial Compilation (never abort or throw), the
+  // hit function stubbed and diagnosed, and the remaining functions intact.
+  for (const std::string &Pass : pipeline::registeredPassNames()) {
+    std::string Error;
+    auto Spec = pipeline::parseFaultSpec(Pass + ":error", Error);
+    ASSERT_TRUE(Spec) << Pass << ": " << Error;
+    pipeline::armFaultInjector(*Spec, "");
+
+    DiagnosticEngine Diags;
+    driver::CompileOptions Opts;
+    Opts.Strategy = strategyRunning(Pass);
+    auto C = driver::compileSource(kFuzzSource, "fault", Opts, Diags);
+    pipeline::clearFaultInjector();
+
+    ASSERT_TRUE(C) << Pass;
+    // Nth defaults to 1: exactly the first function through the pass fails.
+    EXPECT_EQ(C->FailedFunctions.size(), 1u) << Pass << "\n" << Diags.str();
+    EXPECT_NE(Diags.str().find("injected"), std::string::npos) << Pass;
+    EXPECT_NE(Diags.str().find(Pass), std::string::npos) << Pass;
+    // The other functions still produced real code and the module renders.
+    std::string Asm = C->assembly();
+    EXPECT_NE(Asm.find("compilation failed"), std::string::npos) << Pass;
+    unsigned Stubs = 0;
+    for (const target::MFunction &Fn : C->Module.Functions)
+      Stubs += Fn.IsStub ? 1 : 0;
+    EXPECT_EQ(Stubs, 1u) << Pass;
+  }
 }
 
 } // namespace

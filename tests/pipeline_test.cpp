@@ -250,11 +250,20 @@ TEST(ParallelDiagnostics, BackendErrorsIdenticalSerialAndParallel) {
   Parallel.Jobs = 4;
   auto S = driver::compileSource(Src, "t", Serial, SerialDiags);
   auto P = driver::compileSource(Src, "t", Parallel, ParallelDiags);
-  EXPECT_FALSE(S);
-  EXPECT_FALSE(P);
+  // Failures now degrade gracefully: a partial Compilation comes back with
+  // the failing functions listed and emitted as stubs.
+  ASSERT_TRUE(S);
+  ASSERT_TRUE(P);
+  EXPECT_EQ(S->FailedFunctions, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(P->FailedFunctions, S->FailedFunctions);
   EXPECT_FALSE(SerialDiags.str().empty());
   EXPECT_EQ(SerialDiags.str(), ParallelDiags.str());
   EXPECT_EQ(SerialDiags.errorCount(), ParallelDiags.errorCount());
+  // The module still renders: stubs for a/b, real code for c.
+  std::string Asm = S->assembly();
+  EXPECT_NE(Asm.find("compilation failed"), std::string::npos);
+  EXPECT_NE(Asm.find("c:"), std::string::npos);
+  EXPECT_EQ(S->assembly(), P->assembly());
 }
 
 } // namespace

@@ -1,9 +1,16 @@
 #!/bin/sh
-# Build and run the Table 3 compile-time bench; BENCH_compile_time.json is
-# written to the repository root (bucketed vs linear selector dispatch,
-# target build time, and the postpass/IPS/RASE compile-time shape).
+# Build and run the JSON-emitting benches. Both artifacts are written to
+# the repository root through the shared obs::Registry exporter
+# (DESIGN.md §12), so they carry the same schema-versioned
+# metrics/timing shape as `marionc --stats-json`:
+#   BENCH_compile_time.json      - Table 3 compile-time shape, selector
+#                                  dispatch, -jN scaling, cache sweep
+#   BENCH_schedule_quality.json  - per machine x strategy simulated
+#                                  cycles with stall attribution totals
 set -eu
 cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target table3_compile_time >/dev/null
-exec build/bench/table3_compile_time
+cmake --build build -j "$(nproc)" --target table3_compile_time \
+  schedule_quality >/dev/null
+build/bench/table3_compile_time
+build/bench/schedule_quality

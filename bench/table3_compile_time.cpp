@@ -22,6 +22,7 @@
 #include "cache/CompileCache.h"
 #include "driver/Compiler.h"
 #include "frontend/Frontend.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <chrono>
@@ -183,10 +184,18 @@ int main() {
   std::printf("%-8s %-10s %12s %16s %14s\n", "target", "strategy",
               "time (ms)", "vs postpass", "sched work");
 
-  std::string Json = "{\n  \"front_end_ms\": " + std::to_string(FrontMs) +
-                     ",\n  \"machines\": {";
+  // All numbers land in the shared observability registry (DESIGN.md §12)
+  // so BENCH_compile_time.json carries the same schema-versioned shape as
+  // marionc --stats-json: deterministic counts under "metrics", wall
+  // clocks under "timing".
+  obs::Registry Reg;
+  Reg.setHeader("machine", "r2000,i860");
+  Reg.setHeader("strategy", "postpass,ips,rase");
+  Reg.setHeader("flags_fingerprint",
+                obs::flagsFingerprint("table3|repeat=" +
+                                      std::to_string(Repeat)));
+  Reg.setFloat("front_end.millis", FrontMs);
   bool Shape = true;
-  bool FirstMachine = true;
   for (const char *Machine : {"r2000", "i860"}) {
     Cell Post = compileSuite(Machine, strategy::StrategyKind::Postpass,
                              Repeat);
@@ -223,42 +232,34 @@ int main() {
                 Bucketed.Counters.bucketHitRate(),
                 Linear.Counters.probesPerNode(), Bucketed.TargetBuildMicros);
 
-    auto StrategyJson = [](const Cell &C) {
-      return "{\"ms\": " + std::to_string(C.Millis) +
-             ", \"sched_work\": " + std::to_string(C.Work) + "}";
+    const std::string M = Machine;
+    auto registerStrategy = [&](const char *Name, const Cell &C) {
+      Reg.setFloat(M + "." + Name + ".millis", C.Millis);
+      Reg.set(M + "." + Name + ".sched_work", C.Work);
+      for (const auto &[Pass, Ms] : C.PassMs)
+        Reg.setFloat(M + "." + Name + ".pass." + Pass + ".millis", Ms);
     };
-    auto SelectJson = [](const SelectCell &S) {
-      return "{\"nodes\": " + std::to_string(S.Counters.NodesMatched) +
-             ", \"patterns_probed\": " +
-             std::to_string(S.Counters.PatternsProbed) +
-             ", \"probes_per_node\": " +
-             std::to_string(S.Counters.probesPerNode()) +
-             ", \"bucket_hit_rate\": " +
-             std::to_string(S.Counters.bucketHitRate()) +
-             ", \"compile_ms\": " + std::to_string(S.Millis) + "}";
+    registerStrategy("postpass", Post);
+    registerStrategy("ips", Ips);
+    registerStrategy("rase", Rase);
+    auto registerSelect = [&](const char *Mode, const SelectCell &S) {
+      const std::string P = M + ".select." + Mode;
+      Reg.set(P + ".nodes", static_cast<int64_t>(S.Counters.NodesMatched),
+              obs::Section::Timing);
+      Reg.set(P + ".patterns_probed",
+              static_cast<int64_t>(S.Counters.PatternsProbed),
+              obs::Section::Timing);
+      Reg.setFloat(P + ".probes_per_node", S.Counters.probesPerNode());
+      Reg.setFloat(P + ".bucket_hit_rate", S.Counters.bucketHitRate());
+      Reg.setFloat(P + ".compile_millis", S.Millis);
     };
-    auto PassJson = [](const Cell &C) {
-      std::string Out = "{";
-      for (size_t I = 0; I < C.PassMs.size(); ++I)
-        Out += std::string(I ? ", " : "") + "\"" + C.PassMs[I].first +
-               "\": " + std::to_string(C.PassMs[I].second);
-      return Out + "}";
-    };
-    Json += std::string(FirstMachine ? "" : ",") + "\n    \"" + Machine +
-            "\": {\n      \"postpass\": " + StrategyJson(Post) +
-            ",\n      \"ips\": " + StrategyJson(Ips) +
-            ",\n      \"rase\": " + StrategyJson(Rase) +
-            ",\n      \"passes_ms\": {\"postpass\": " + PassJson(Post) +
-            ", \"ips\": " + PassJson(Ips) + ", \"rase\": " + PassJson(Rase) +
-            "}" + ",\n      \"parallel\": {\"jobs\": " + std::to_string(Jobs) +
-            ", \"serial_ms\": " + std::to_string(Rase.Millis) +
-            ", \"parallel_ms\": " + std::to_string(Par.Millis) +
-            ", \"speedup\": " + std::to_string(Rase.Millis / Par.Millis) +
-            "}" + ",\n      \"select_bucketed\": " + SelectJson(Bucketed) +
-            ",\n      \"select_linear\": " + SelectJson(Linear) +
-            ",\n      \"target_build_us\": " +
-            std::to_string(Bucketed.TargetBuildMicros) + "\n    }";
-    FirstMachine = false;
+    registerSelect("bucketed", Bucketed);
+    registerSelect("linear", Linear);
+    Reg.set(M + ".parallel.jobs", Jobs, obs::Section::Timing);
+    Reg.setFloat(M + ".parallel.serial_millis", Rase.Millis);
+    Reg.setFloat(M + ".parallel.parallel_millis", Par.Millis);
+    Reg.setFloat(M + ".parallel.speedup", Rase.Millis / Par.Millis);
+    Reg.setFloat(M + ".target_build_micros", Bucketed.TargetBuildMicros);
   }
   // Cold-vs-warm strategy sweep through the compile cache (DESIGN.md §10).
   cache::CompileCache Cache;
@@ -273,20 +274,22 @@ int main() {
               static_cast<unsigned long long>(Warm.Stats.lookups()),
               static_cast<unsigned long long>(Warm.Stats.Evictions));
 
-  Json += "\n  },\n  \"cache_sweep\": {\"cold_ms\": " +
-          std::to_string(Cold.Millis) +
-          ", \"warm_ms\": " + std::to_string(Warm.Millis) +
-          ", \"speedup\": " + std::to_string(Speedup) +
-          ", \"warm_hit_rate\": " + std::to_string(Warm.Stats.hitRate()) +
-          ", \"warm_lookups\": " + std::to_string(Warm.Stats.lookups()) +
-          ", \"cold_inserts\": " + std::to_string(Cold.Stats.Inserts) +
-          ", \"bytes\": " + std::to_string(Warm.Stats.BytesUsed) + "}" +
-          ",\n  \"shape_holds\": " + std::string(Shape ? "true" : "false") +
-          "\n}\n";
+  Reg.setFloat("cache_sweep.cold_millis", Cold.Millis);
+  Reg.setFloat("cache_sweep.warm_millis", Warm.Millis);
+  Reg.setFloat("cache_sweep.speedup", Speedup);
+  Reg.setFloat("cache_sweep.warm_hit_rate", Warm.Stats.hitRate());
+  Reg.set("cache_sweep.warm_lookups",
+          static_cast<int64_t>(Warm.Stats.lookups()), obs::Section::Timing);
+  Reg.set("cache_sweep.cold_inserts",
+          static_cast<int64_t>(Cold.Stats.Inserts), obs::Section::Timing);
+  Reg.set("cache_sweep.bytes_used",
+          static_cast<int64_t>(Warm.Stats.BytesUsed), obs::Section::Timing);
+  Reg.set("shape_holds", Shape ? 1 : 0);
 
   const char *JsonPath = "BENCH_compile_time.json";
   if (std::FILE *F = std::fopen(JsonPath, "w")) {
-    std::fputs(Json.c_str(), F);
+    std::string Json = Reg.exportJson("table3_compile_time");
+    std::fwrite(Json.data(), 1, Json.size(), F);
     std::fclose(F);
     std::printf("\nwrote %s\n", JsonPath);
   } else {

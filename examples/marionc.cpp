@@ -17,6 +17,9 @@
 #include "driver/Compiler.h"
 #include "driver/ExitCodes.h"
 #include "frontend/Frontend.h"
+#include "obs/Metrics.h"
+#include "obs/StallReport.h"
+#include "obs/Trace.h"
 #include "pipeline/FaultInjection.h"
 #include "pipeline/Passes.h"
 #include "shard/ShardDriver.h"
@@ -78,6 +81,16 @@ static void usage() {
       "(default 1)\n"
       "  --backoff-ms=<N>                     backoff before the k-th retry "
       "is k*N ms (default 100)\n"
+      "  --trace=<file>                       write a Chrome-trace-event "
+      "(Perfetto-loadable) JSON\n"
+      "                                       timeline of phases, passes, "
+      "cache probes and shards\n"
+      "  --stats-json=<file>                  export the metrics registry "
+      "as schema-versioned JSON\n"
+      "  --sim-profile                        simulate each compiled file "
+      "(entry main) and report\n"
+      "                                       per-instruction stall "
+      "attribution\n"
       "  --inject-fault=<pass>:<kind>[:<nth>[:<shard>]]\n"
       "                                       deterministic fault injection "
       "for testing recovery;\n"
@@ -96,47 +109,218 @@ static void usage() {
 
 namespace {
 
+/// Per-file work beyond the compile proper, threaded through both the
+/// serial loop and the worker mode.
+struct FileJobOptions {
+  bool Cycles = false;
+  bool SimProfile = false; ///< Simulate + stall-attribute after compiling.
+  bool SimCache = false;   ///< Simulator data-cache model for the above.
+  bool TraceWire = false;  ///< Drain a per-file %TRACE fragment (workers).
+};
+
 /// Compiles one input file end to end, capturing exactly what the process
 /// would print: the serial loop prints the result directly and the worker
 /// mode frames the very same struct through the wire format — which is
-/// what makes --shards output bit-identical to a serial run.
+/// what makes --shards output bit-identical to a serial run. The
+/// --sim-profile report rides in DiagText for the same reason.
 shard::FileResult compileOneFile(const std::string &Path, int Index,
                                  const driver::CompileOptions &Opts,
-                                 bool Cycles, std::FILE *WireOut,
+                                 const FileJobOptions &JO, std::FILE *WireOut,
                                  std::optional<driver::Compilation> *Keep) {
   shard::FileResult R;
   R.Path = Path;
   R.Index = Index;
   R.Started = true;
-  DiagnosticEngine Diags;
-  auto Mod = frontend::compileFile(Path, Diags);
-  if (Mod)
-    for (const auto &Fn : Mod->Functions)
-      R.Functions.push_back(Fn->Name);
-  // The manifest is flushed before the backend runs, so a crashed worker
-  // still tells the parent exactly which functions were lost.
-  if (WireOut)
-    shard::writeRecordBegin(WireOut, R);
-  if (!Mod) {
-    R.DiagText = Diags.str();
-  } else if (auto C = driver::compileModule(*Mod, Opts, Diags)) {
-    R.DiagText = Diags.str() + C->Dumps;
-    R.FailedFunctions = C->FailedFunctions;
-    R.Ok = C->allCompiled() && !Diags.hasErrors();
-    R.Assembly = C->assembly(Cycles);
-    R.Stats = C->Stats;
-    R.Select = C->Select;
-    R.Passes = C->Passes;
-    R.BackendMillis = C->BackendMillis;
-    if (Keep)
-      *Keep = std::move(*C);
-  } else {
-    R.DiagText = Diags.str();
+  cache::CompileCache::Snapshot CacheBefore;
+  if (Opts.Cache)
+    CacheBefore = Opts.Cache->snapshot();
+  {
+    obs::TraceSpan FileSpan("file",
+                            obs::traceEnabled() ? Path : std::string());
+    DiagnosticEngine Diags;
+    std::unique_ptr<il::Module> Mod;
+    {
+      obs::TraceSpan Parse("phase", "parse",
+                           obs::traceEnabled()
+                               ? "{\"file\":\"" + obs::jsonEscape(Path) + "\"}"
+                               : std::string());
+      Mod = frontend::compileFile(Path, Diags);
+    }
+    if (Mod)
+      for (const auto &Fn : Mod->Functions)
+        R.Functions.push_back(Fn->Name);
+    // The manifest is flushed before the backend runs, so a crashed worker
+    // still tells the parent exactly which functions were lost.
+    if (WireOut)
+      shard::writeRecordBegin(WireOut, R);
+    if (!Mod) {
+      R.DiagText = Diags.str();
+    } else if (auto C = driver::compileModule(*Mod, Opts, Diags)) {
+      R.DiagText = Diags.str() + C->Dumps;
+      R.FailedFunctions = C->FailedFunctions;
+      R.Ok = C->allCompiled() && !Diags.hasErrors();
+      R.Assembly = C->assembly(JO.Cycles);
+      R.Stats = C->Stats;
+      R.Select = C->Select;
+      R.Passes = C->Passes;
+      R.BackendMillis = C->BackendMillis;
+      if (JO.SimProfile && R.Ok && C->Module.findFunction("main")) {
+        sim::SimOptions SimOpts;
+        SimOpts.Profile = true;
+        SimOpts.Cache.Enabled = JO.SimCache;
+        obs::TraceSpan SimSpan("sim", "simulate",
+                               obs::traceEnabled()
+                                   ? "{\"file\":\"" + obs::jsonEscape(Path) +
+                                         "\"}"
+                                   : std::string());
+        sim::SimResult SR =
+            sim::runProgram(C->Module, *C->Target, "main", SimOpts);
+        if (SR.Ok) {
+          R.Sim.addRun(SR);
+          R.DiagText +=
+              obs::renderStallReport(C->Module, *C->Target, SR, Path);
+        } else {
+          R.DiagText += "# sim profile: " + Path + ": " + SR.Error + "\n";
+        }
+      }
+      if (Keep)
+        *Keep = std::move(*C);
+    } else {
+      R.DiagText = Diags.str();
+    }
   }
+  if (Opts.Cache)
+    R.Cache = Opts.Cache->snapshot() - CacheBefore;
+  // A worker ships its events home per file, so a later crash loses only
+  // the file it died in; the serial path drains once at exit instead.
+  if (JO.TraceWire)
+    R.TraceFragment =
+        obs::serializeFragment(obs::TraceCollector::instance().drain());
   R.Complete = true;
   if (WireOut)
     shard::writeRecordEnd(WireOut, R);
   return R;
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+/// Drains this process's collector (pid 0, the supervisor/serial driver)
+/// and writes the merged Chrome trace; \p WorkerFragments carry each
+/// shard's events under pid = shard index + 1.
+bool writeTraceFile(const std::string &Path,
+                    std::vector<obs::TraceFragment> WorkerFragments) {
+  std::vector<obs::TraceFragment> All;
+  All.push_back(obs::TraceFragment{
+      0, "marionc",
+      obs::serializeFragment(obs::TraceCollector::instance().drain())});
+  for (obs::TraceFragment &F : WorkerFragments)
+    All.push_back(std::move(F));
+  return writeTextFile(Path, obs::assembleTraceJson(All));
+}
+
+/// The canonical option string behind the stats "flags_fingerprint"
+/// header: only options that change generated code. Execution shape
+/// (-j/--shards/--cache) is deliberately excluded — the export must be
+/// bit-identical across serial, -jN and warm-cache runs of one workload.
+std::string semanticFlags(const driver::CompileOptions &Opts, bool Cycles) {
+  std::string S = Opts.Machine;
+  S += '|';
+  S += strategy::strategyName(Opts.Strategy);
+  if (!Opts.UseBuckets)
+    S += "|linear";
+  if (Cycles)
+    S += "|cycles";
+  for (const std::string &D : Opts.DumpAfter)
+    S += "|dump:" + D;
+  return S;
+}
+
+/// Populates and writes the --stats-json document (DESIGN.md §12). One
+/// function serves the serial and sharded paths so the schema cannot
+/// drift between them. \p CacheSnap and \p Sharded are optional inputs.
+bool exportStatsJson(const std::string &Path,
+                     const driver::CompileOptions &Opts, bool Cycles,
+                     size_t FilesTotal, unsigned FilesFailed,
+                     unsigned FunctionsFailed,
+                     const strategy::StrategyStats &Stats,
+                     const shard::SimTotals &Sim,
+                     const target::SelectionCounters::Snapshot &Select,
+                     const std::vector<pipeline::PassStats> &Passes,
+                     const cache::CompileCache::Snapshot *CacheSnap,
+                     double BackendMillis,
+                     const shard::ShardOutcome *Sharded, unsigned Shards) {
+  obs::Registry Reg;
+  Reg.setHeader("machine", Opts.Machine);
+  Reg.setHeader("strategy", strategy::strategyName(Opts.Strategy));
+  Reg.setHeader("flags_fingerprint",
+                obs::flagsFingerprint(semanticFlags(Opts, Cycles)));
+
+  // Deterministic results (the "metrics" object).
+  Reg.set("files.total", static_cast<int64_t>(FilesTotal));
+  Reg.set("files.failed", FilesFailed);
+  Reg.set("functions.failed", FunctionsFailed);
+  Reg.set("strategy.scheduler_passes", Stats.SchedulerPasses);
+  Reg.set("strategy.spilled_pseudos", Stats.SpilledPseudos);
+  Reg.set("strategy.allocator_rounds", Stats.AllocatorRounds);
+  Reg.set("strategy.estimated_cycles", Stats.EstimatedCycles);
+  Reg.set("strategy.scheduled_instrs", Stats.ScheduledInstrs);
+  Reg.set("strategy.dag_nodes", Stats.DagNodes);
+  Reg.set("strategy.dag_edges", Stats.DagEdges);
+  if (Sim.Runs) {
+    Reg.set("sim.runs", static_cast<int64_t>(Sim.Runs));
+    Reg.set("sim.cycles", static_cast<int64_t>(Sim.Cycles));
+    Reg.set("sim.instructions", static_cast<int64_t>(Sim.Instructions));
+    Reg.set("sim.issue_cycles", static_cast<int64_t>(Sim.IssueCycles));
+    Reg.set("sim.nops", static_cast<int64_t>(Sim.Nops));
+    Reg.set("sim.nop_cycles", static_cast<int64_t>(Sim.NopCycles));
+    Reg.set("stall.branch", static_cast<int64_t>(Sim.Stalls.Branch));
+    Reg.set("stall.interlock", static_cast<int64_t>(Sim.Stalls.Interlock));
+    Reg.set("stall.memory", static_cast<int64_t>(Sim.Stalls.Memory));
+    Reg.set("stall.resource", static_cast<int64_t>(Sim.Stalls.Resource));
+    Reg.set("stall.total", static_cast<int64_t>(Sim.Stalls.total()));
+  }
+
+  // Execution-configuration-dependent counters (the "timing" object).
+  Reg.set("select.nodes_matched", static_cast<int64_t>(Select.NodesMatched),
+          obs::Section::Timing);
+  Reg.set("select.patterns_probed",
+          static_cast<int64_t>(Select.PatternsProbed), obs::Section::Timing);
+  Reg.set("select.bucket_probes", static_cast<int64_t>(Select.BucketProbes),
+          obs::Section::Timing);
+  Reg.set("select.linear_probes", static_cast<int64_t>(Select.LinearProbes),
+          obs::Section::Timing);
+  pipeline::registerPassMetrics(Reg, Passes);
+  if (CacheSnap) {
+    Reg.set("cache.hits", static_cast<int64_t>(CacheSnap->Hits),
+            obs::Section::Timing);
+    Reg.set("cache.misses", static_cast<int64_t>(CacheSnap->Misses),
+            obs::Section::Timing);
+    Reg.set("cache.disk_hits", static_cast<int64_t>(CacheSnap->DiskHits),
+            obs::Section::Timing);
+    Reg.set("cache.inserts", static_cast<int64_t>(CacheSnap->Inserts),
+            obs::Section::Timing);
+    Reg.set("cache.evictions", static_cast<int64_t>(CacheSnap->Evictions),
+            obs::Section::Timing);
+    Reg.set("cache.bytes_used", static_cast<int64_t>(CacheSnap->BytesUsed),
+            obs::Section::Timing);
+  }
+  Reg.setFloat("backend.wall_millis", BackendMillis);
+  if (Sharded) {
+    Reg.set("shard.shards", Shards, obs::Section::Timing);
+    Reg.set("shard.respawns", Sharded->Respawns, obs::Section::Timing);
+    Reg.set("shard.crashes", Sharded->Crashes, obs::Section::Timing);
+    Reg.set("shard.timeouts", Sharded->Timeouts, obs::Section::Timing);
+  }
+  return writeTextFile(Path, Reg.exportJson());
 }
 
 void printTimePasses(const std::vector<pipeline::PassStats> &Passes,
@@ -192,6 +376,8 @@ int realMain(int argc, char **argv) {
   unsigned Retries = 1, BackoffMs = 100;
   std::string WorkerOut, FaultText;
   std::optional<pipeline::FaultSpec> Fault;
+  bool SimProfile = false, TraceWire = false;
+  std::string TracePath, StatsPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -220,6 +406,16 @@ int realMain(int argc, char **argv) {
       UseCompileCache = true;
     } else if (Arg == "--sim-cache") {
       SimCache = true;
+    } else if (Arg == "--sim-profile") {
+      SimProfile = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(std::strlen("--trace="));
+    } else if (Arg == "--trace-wire") {
+      // Internal (shard workers): record events and ship them home in
+      // per-file %TRACE fragments instead of writing a file.
+      TraceWire = true;
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      StatsPath = Arg.substr(std::strlen("--stats-json="));
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--tables") {
@@ -299,6 +495,9 @@ int realMain(int argc, char **argv) {
       Files.push_back(Arg);
     }
   }
+  if (!TracePath.empty() || TraceWire)
+    obs::TraceCollector::instance().enable();
+
   DiagnosticEngine Diags;
   if (Tables) {
     auto Target = driver::loadTarget(Opts.Machine, Diags);
@@ -342,6 +541,12 @@ int realMain(int argc, char **argv) {
       SO.WorkerArgs.push_back("--linear");
     for (const std::string &Name : Opts.DumpAfter)
       SO.WorkerArgs.push_back("--dump-after=" + Name);
+    if (SimProfile)
+      SO.WorkerArgs.push_back("--sim-profile");
+    if (SimCache)
+      SO.WorkerArgs.push_back("--sim-cache");
+    if (!TracePath.empty())
+      SO.WorkerArgs.push_back("--trace-wire");
     // Retries drop the cache and -j below: serial and cache-disabled, to
     // dodge nondeterministic corruption.
     SO.RetryArgs = SO.WorkerArgs;
@@ -363,6 +568,17 @@ int realMain(int argc, char **argv) {
       printTimePasses(Outcome.Passes, Outcome.BackendMillis);
     if (SelectStats)
       printSelectStats(Outcome.Select, 0);
+    // Artifacts are written even when shards failed: a fault-injected or
+    // crashed run still leaves a valid (partial) trace and stats file.
+    if (!TracePath.empty())
+      writeTraceFile(TracePath, std::move(Outcome.TraceFragments));
+    if (!StatsPath.empty())
+      exportStatsJson(StatsPath, Opts, Cycles, Files.size(),
+                      Outcome.FailedFiles, Outcome.FailedFunctions,
+                      Outcome.Stats, Outcome.Sim, Outcome.Select,
+                      Outcome.Passes,
+                      UseCompileCache ? &Outcome.CacheSum : nullptr,
+                      Outcome.BackendMillis, &Outcome, Shards);
     return Outcome.ExitCode;
   }
 
@@ -388,18 +604,28 @@ int realMain(int argc, char **argv) {
     }
   }
 
+  FileJobOptions JO;
+  JO.Cycles = Cycles;
+  JO.SimProfile = SimProfile;
+  JO.SimCache = SimCache;
+  JO.TraceWire = TraceWire;
+
   int Exit = driver::ExitSuccess;
   strategy::StrategyStats AggStats;
   target::SelectionCounters::Snapshot AggSelect;
   std::vector<pipeline::PassStats> AggPasses;
+  shard::SimTotals AggSim;
+  unsigned FailedFiles = 0, FailedFuncs = 0;
   double AggBackendMillis = 0, TargetBuildMicros = 0;
   std::optional<driver::Compilation> RunCompilation;
   for (size_t I = 0; I < Files.size(); ++I) {
     shard::FileResult R =
-        compileOneFile(Files[I], static_cast<int>(I), Opts, Cycles, WireOut,
+        compileOneFile(Files[I], static_cast<int>(I), Opts, JO, WireOut,
                        Run ? &RunCompilation : nullptr);
-    if (!R.Ok)
+    if (!R.Ok) {
       Exit = worseExit(Exit, driver::ExitCompileFail);
+      ++FailedFiles;
+    }
     if (!WireOut) {
       std::fprintf(stderr, "%s", R.DiagText.c_str());
       if (!Quiet)
@@ -411,6 +637,8 @@ int realMain(int argc, char **argv) {
     AggSelect.BucketProbes += R.Select.BucketProbes;
     AggSelect.LinearProbes += R.Select.LinearProbes;
     pipeline::mergePassStatsByName(AggPasses, R.Passes);
+    AggSim += R.Sim;
+    FailedFuncs += static_cast<unsigned>(R.FailedFunctions.size());
     AggBackendMillis += R.BackendMillis;
   }
   if (WireOut) {
@@ -430,6 +658,18 @@ int realMain(int argc, char **argv) {
     if (auto Target = driver::loadTarget(Opts.Machine, TDiags))
       TargetBuildMicros = Target->buildMicros();
     printSelectStats(AggSelect, TargetBuildMicros);
+  }
+
+  if (!TracePath.empty())
+    writeTraceFile(TracePath, {});
+  if (!StatsPath.empty()) {
+    cache::CompileCache::Snapshot Snap;
+    if (CompileCache)
+      Snap = CompileCache->snapshot();
+    exportStatsJson(StatsPath, Opts, Cycles, Files.size(), FailedFiles,
+                    FailedFuncs, AggStats, AggSim, AggSelect, AggPasses,
+                    CompileCache ? &Snap : nullptr, AggBackendMillis, nullptr,
+                    0);
   }
 
   if (Run && Exit == driver::ExitSuccess) {

@@ -13,6 +13,10 @@
 #   scripts/check.sh --faults build marionc, then drive the documented
 #                             exit-code contract and recovery paths with
 #                             --inject-fault (DESIGN.md §11).
+#   scripts/check.sh --obs    build marionc, then run a traced,
+#                             stats-exported shard compile (clean and
+#                             fault-injected) and validate both JSON
+#                             artifacts (DESIGN.md §12).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -103,6 +107,93 @@ workloads/suite_poly.mc workloads/suite_queens.mc"
   return "$STATUS"
 }
 
+# Observability surface (DESIGN.md §12) for the marionc binary at $1: a
+# traced, stats-exported, sharded, cached, sim-profiled sweep must exit 0
+# and emit a Perfetto-loadable trace (spans from the supervisor and both
+# worker pids) plus a schema-versioned stats document; a fault-injected
+# run must still emit valid (partial) artifacts.
+run_obs_check() {
+  MARIONC=$1
+  WORK=$(mktemp -d)
+  STATUS=0
+  SWEEP="workloads/livermore.mc workloads/suite_matmul.mc \
+workloads/suite_poly.mc workloads/suite_queens.mc"
+
+  json_valid() {
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool "$1" >/dev/null 2>&1
+    else
+      # Minimal structural fallback: non-empty, braces close.
+      [ -s "$1" ] && grep -q '^{' "$1" && grep -q '^}' "$1"
+    fi
+  }
+
+  require() {
+    if ! grep -q "$2" "$1"; then
+      echo "FAIL: $(basename "$1") is missing $2" >&2
+      STATUS=1
+    fi
+  }
+
+  # shellcheck disable=SC2086
+  if ! "$MARIONC" $SWEEP --machine i860 --shards=2 -j2 --cache \
+    --trace="$WORK/t.json" --stats-json="$WORK/s.json" --sim-profile \
+    --quiet >"$WORK/obs.out" 2>"$WORK/obs.err"; then
+    echo "FAIL: observability sweep did not exit 0" >&2
+    cat "$WORK/obs.err" >&2
+    STATUS=1
+  fi
+  for F in t.json s.json; do
+    if json_valid "$WORK/$F"; then
+      echo "ok: $F is valid JSON"
+    else
+      echo "FAIL: $F is not valid JSON" >&2
+      STATUS=1
+    fi
+  done
+  # Trace schema: spans from the supervisor (pid 0) and both workers.
+  require "$WORK/t.json" '"traceEvents"'
+  require "$WORK/t.json" '"pid":0,'
+  require "$WORK/t.json" '"pid":1,'
+  require "$WORK/t.json" '"pid":2,'
+  require "$WORK/t.json" '"cat":"pass"'
+  # Stats schema: header + both sections + sim/stall metrics from
+  # --sim-profile and shard/cache timing counters.
+  require "$WORK/s.json" '"schema_version": 1'
+  require "$WORK/s.json" '"flags_fingerprint": "'
+  require "$WORK/s.json" '"metrics": {'
+  require "$WORK/s.json" '"timing": {'
+  require "$WORK/s.json" '"sim.cycles"'
+  require "$WORK/s.json" '"stall.total"'
+  require "$WORK/s.json" '"cache.hits"'
+  require "$WORK/s.json" '"shard.shards"'
+  grep -q 'stall cycles' "$WORK/obs.err" || {
+    echo "FAIL: --sim-profile printed no stall report" >&2
+    STATUS=1
+  }
+
+  # A crashed worker costs its fragment, never the artifacts: both files
+  # must still be written and valid.
+  # shellcheck disable=SC2086
+  "$MARIONC" $SWEEP --machine i860 --shards=2 --retries=0 \
+    --inject-fault=postpass-sched:crash:1:1 \
+    --trace="$WORK/tf.json" --stats-json="$WORK/sf.json" --quiet \
+    >"$WORK/fault.out" 2>"$WORK/fault.err" || true
+  for F in tf.json sf.json; do
+    if json_valid "$WORK/$F"; then
+      echo "ok: $F valid after injected crash"
+    else
+      echo "FAIL: $F invalid after injected crash" >&2
+      STATUS=1
+    fi
+  done
+  require "$WORK/sf.json" '"schema_version": 1'
+
+  [ "$STATUS" -eq 0 ] && echo "obs check OK"
+  rm -rf "$WORK"
+  return "$STATUS"
+}
+
 BUILD=build
 if [ "${1:-}" = "--asan" ]; then
   BUILD=build-asan
@@ -114,6 +205,11 @@ elif [ "${1:-}" = "--faults" ]; then
   cmake -B "$BUILD" -S .
   cmake --build "$BUILD" -j "$(nproc)" --target marionc
   run_fault_matrix "$BUILD/examples/marionc"
+  exit $?
+elif [ "${1:-}" = "--obs" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target marionc
+  run_obs_check "$BUILD/examples/marionc"
   exit $?
 elif [ "${1:-}" = "--cache" ]; then
   cmake -B "$BUILD" -S .
@@ -187,4 +283,5 @@ cd "$BUILD" && ctest --output-on-failure -j "$(nproc)"
 if [ "${1:-}" = "--asan" ]; then
   cd ..
   run_fault_matrix "$BUILD/examples/marionc"
+  run_obs_check "$BUILD/examples/marionc"
 fi

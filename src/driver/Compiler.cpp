@@ -6,6 +6,7 @@
 #include "cache/CompileCache.h"
 #include "cache/MIRCodec.h"
 #include "frontend/Frontend.h"
+#include "obs/Trace.h"
 #include "pipeline/Passes.h"
 #include "select/Selector.h"
 #include "target/FuncEscape.h"
@@ -38,6 +39,10 @@ driver::loadTarget(const std::string &Machine, DiagnosticEngine &Diags) {
     if (It != Cache.end())
       return It->second;
   }
+  obs::TraceSpan Span("phase", "target-build",
+                      obs::traceEnabled()
+                          ? "{\"machine\":\"" + obs::jsonEscape(Machine) + "\"}"
+                          : std::string());
   std::shared_ptr<const target::TargetInfo> Target =
       target::TargetBuilder::loadMachine(Machine, Diags);
   if (Target) {
@@ -112,9 +117,23 @@ std::optional<Compilation> driver::compileModule(il::Module &Mod,
     pipeline::FunctionState &FS = States[I];
     if (!UseFinalTier)
       return PM.run(FS);
-    cache::CacheKey Key = cache::finalMirKey(*FS.ILFn, *Target, FS.Select,
-                                             Opts.Strategy, FS.Strat);
-    std::string Blob = Opts.Cache->lookup(Key);
+    const bool Traced = obs::traceEnabled();
+    cache::CacheKey Key;
+    std::string Blob;
+    {
+      obs::TraceSpan Probe("phase", Traced ? "cache-probe" : std::string(),
+                           Traced ? "{\"fn\":\"" +
+                                        obs::jsonEscape(FS.ILFn->Name) + "\"}"
+                                  : std::string());
+      Key = cache::finalMirKey(*FS.ILFn, *Target, FS.Select, Opts.Strategy,
+                               FS.Strat);
+      Blob = Opts.Cache->lookup(Key);
+    }
+    if (Traced)
+      obs::traceInstant("cache",
+                        Blob.empty() ? "cache-miss" : "cache-hit",
+                        "{\"tier\":\"final-mir\",\"fn\":\"" +
+                            obs::jsonEscape(FS.ILFn->Name) + "\"}");
     if (!Blob.empty()) {
       target::MFunction Cached;
       cache::FinalExtras Extras;
@@ -216,7 +235,15 @@ std::optional<Compilation> driver::compileSource(std::string_view Source,
                                                  const std::string &ModuleName,
                                                  const CompileOptions &Opts,
                                                  DiagnosticEngine &Diags) {
-  auto Mod = frontend::compileSource(Source, ModuleName, Diags);
+  std::unique_ptr<il::Module> Mod;
+  {
+    obs::TraceSpan Span("phase", "parse",
+                        obs::traceEnabled() ? "{\"module\":\"" +
+                                                  obs::jsonEscape(ModuleName) +
+                                                  "\"}"
+                                            : std::string());
+    Mod = frontend::compileSource(Source, ModuleName, Diags);
+  }
   if (!Mod)
     return std::nullopt;
   return compileModule(*Mod, Opts, Diags);
@@ -225,7 +252,14 @@ std::optional<Compilation> driver::compileSource(std::string_view Source,
 std::optional<Compilation> driver::compileFile(const std::string &Path,
                                                const CompileOptions &Opts,
                                                DiagnosticEngine &Diags) {
-  auto Mod = frontend::compileFile(Path, Diags);
+  std::unique_ptr<il::Module> Mod;
+  {
+    obs::TraceSpan Span("phase", "parse",
+                        obs::traceEnabled()
+                            ? "{\"file\":\"" + obs::jsonEscape(Path) + "\"}"
+                            : std::string());
+    Mod = frontend::compileFile(Path, Diags);
+  }
   if (!Mod)
     return std::nullopt;
   return compileModule(*Mod, Opts, Diags);

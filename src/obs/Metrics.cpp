@@ -1,0 +1,79 @@
+//===- Metrics.cpp --------------------------------------------------------==//
+
+#include "obs/Metrics.h"
+
+#include "obs/Trace.h"
+#include "support/Hash.h"
+
+#include <cstdio>
+
+using namespace marion;
+using namespace marion::obs;
+
+void Registry::set(const std::string &Name, int64_t V, Section S) {
+  Value &Slot = Values[Name];
+  Slot.IsFloat = false;
+  Slot.I = V;
+  Slot.S = S;
+}
+
+void Registry::add(const std::string &Name, int64_t Delta, Section S) {
+  Value &Slot = Values[Name];
+  Slot.IsFloat = false;
+  Slot.I += Delta;
+  Slot.S = S;
+}
+
+void Registry::setFloat(const std::string &Name, double V, Section S) {
+  Value &Slot = Values[Name];
+  Slot.IsFloat = true;
+  Slot.F = V;
+  Slot.S = S;
+}
+
+void Registry::setHeader(const std::string &Key, std::string V) {
+  Headers[Key] = std::move(V);
+}
+
+std::string Registry::exportJson(const std::string &Tool) const {
+  std::string Out = "{\n  \"schema_version\": " +
+                    std::to_string(kStatsSchemaVersion) +
+                    ",\n  \"tool\": \"" + jsonEscape(Tool) + "\"";
+  for (const auto &[Key, Val] : Headers)
+    Out += ",\n  \"" + jsonEscape(Key) + "\": \"" + jsonEscape(Val) + "\"";
+
+  auto renderSection = [&](const char *Name, Section S) {
+    Out += ",\n  \"";
+    Out += Name;
+    Out += "\": {";
+    bool First = true;
+    for (const auto &[Key, Val] : Values) {
+      if (Val.S != S)
+        continue;
+      Out += First ? "\n" : ",\n";
+      Out += "    \"" + jsonEscape(Key) + "\": ";
+      if (Val.IsFloat) {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "%.3f", Val.F);
+        Out += Buf;
+      } else {
+        Out += std::to_string(Val.I);
+      }
+      First = false;
+    }
+    Out += First ? "}" : "\n  }";
+  };
+  renderSection("metrics", Section::Metrics);
+  renderSection("timing", Section::Timing);
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string obs::flagsFingerprint(const std::string &Flags) {
+  Fnv1a H;
+  H.str(Flags);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H.digest()));
+  return Buf;
+}

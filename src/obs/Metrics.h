@@ -1,0 +1,100 @@
+//===- Metrics.h - Named-metric registry with JSON export ----------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer (DESIGN.md §12): a registry
+/// of named counters/gauges/timers that the existing ad-hoc instrumentation
+/// structs (PassStats, SelectionCounters, cache snapshots, shard
+/// retry/crash counters, simulator stall attribution) register into, and
+/// one JSON exporter behind both `marionc --stats-json=<file>` and the
+/// `BENCH_*.json` benches.
+///
+/// The exported document is schema-versioned and split into two objects:
+///
+///   - `"metrics"`  — values that are deterministic for a given (input,
+///     machine, strategy) regardless of execution configuration: file and
+///     function counts, strategy stats (replayed from the final-MIR cache,
+///     so warm-cache invariant), simulator cycle/stall results.
+///   - `"timing"`   — everything that legitimately varies between serial,
+///     -jN and warm-cache runs: wall clocks, per-pass timer rows, selector
+///     probe counters, cache hit/miss counters, shard supervision counters.
+///
+/// tests/obs_test.cpp asserts `"metrics"` is bit-identical across those
+/// configurations with `"timing"` masked; put a value in the right bucket.
+/// Keys render sorted, so equal registries export equal bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_OBS_METRICS_H
+#define MARION_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace marion {
+namespace obs {
+
+/// Current --stats-json schema. Bump when renaming keys or restructuring
+/// the document; additive keys don't require a bump.
+constexpr int kStatsSchemaVersion = 1;
+
+/// Which top-level object a metric renders into (see file comment).
+enum class Section {
+  Metrics, ///< Deterministic across serial / -jN / warm-cache runs.
+  Timing,  ///< Execution-configuration-dependent.
+};
+
+/// A registry of named scalar metrics plus identifying header fields.
+/// Dotted names give the flat key space hierarchy: "pass.select.runs",
+/// "cache.hits", "shard.retries", "stall.resource".
+class Registry {
+public:
+  /// Sets (or overwrites) an integer counter/gauge.
+  void set(const std::string &Name, int64_t Value,
+           Section S = Section::Metrics);
+
+  /// Adds to an integer counter, creating it at zero.
+  void add(const std::string &Name, int64_t Delta,
+           Section S = Section::Metrics);
+
+  /// Sets a floating-point value. Timers (microseconds) belong in
+  /// Section::Timing; ratios derived from deterministic counts may use
+  /// Section::Metrics.
+  void setFloat(const std::string &Name, double Value,
+                Section S = Section::Timing);
+
+  /// Sets a header identity field ("machine", "strategy",
+  /// "flags_fingerprint", ...), rendered as a top-level string.
+  void setHeader(const std::string &Key, std::string Value);
+
+  /// Renders the full schema-versioned document:
+  /// `{"schema_version":N,"tool":"...",<sorted headers>,
+  ///   "metrics":{...},"timing":{...}}`, pretty-printed one key per line.
+  std::string exportJson(const std::string &Tool = "marionc") const;
+
+  bool empty() const { return Values.empty() && Headers.empty(); }
+
+private:
+  struct Value {
+    bool IsFloat = false;
+    int64_t I = 0;
+    double F = 0;
+    Section S = Section::Metrics;
+  };
+  std::map<std::string, Value> Values;
+  std::map<std::string, std::string> Headers;
+};
+
+/// FNV-1a fingerprint of a flag string, rendered as 16 hex digits — the
+/// "flags_fingerprint" header that keys stats files to the exact option
+/// set that produced them.
+std::string flagsFingerprint(const std::string &Flags);
+
+} // namespace obs
+} // namespace marion
+
+#endif // MARION_OBS_METRICS_H

@@ -1,0 +1,111 @@
+//===- StallReport.cpp ----------------------------------------------------==//
+
+#include "obs/StallReport.h"
+
+#include "obs/Metrics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace marion;
+using namespace marion::obs;
+using sim::SimResult;
+using sim::StallSite;
+using sim::StallSiteKey;
+
+namespace {
+
+const target::MInstr *findInstr(const target::MModule &Mod,
+                                const StallSiteKey &Key,
+                                const target::MFunction *&FnOut) {
+  const target::MFunction *Fn = Mod.findFunction(std::get<0>(Key));
+  if (!Fn)
+    return nullptr;
+  int Block = std::get<1>(Key);
+  size_t Index = std::get<2>(Key);
+  if (Block < 0 || Block >= static_cast<int>(Fn->Blocks.size()))
+    return nullptr;
+  const target::MBlock &B = Fn->Blocks[Block];
+  if (Index >= B.Instrs.size())
+    return nullptr;
+  FnOut = Fn;
+  return &B.Instrs[Index];
+}
+
+} // namespace
+
+std::string obs::renderStallReport(const target::MModule &Mod,
+                                   const target::TargetInfo &Target,
+                                   const SimResult &R,
+                                   const std::string &Label,
+                                   unsigned TopN) {
+  std::ostringstream Out;
+  uint64_t StallTotal = R.Stalls.total();
+  Out << "=== sim profile: " << Label << " ===\n";
+  Out << "cycles " << R.Cycles << "  instructions " << R.Instructions
+      << "  issue-cycles " << R.IssueCycles << "  nops " << R.Nops
+      << " (" << R.NopCycles << " cycles)\n";
+  Out << "stall cycles " << StallTotal << " = cycles - issue-cycles ("
+      << R.Cycles - R.IssueCycles << ")"
+      << (StallTotal == R.Cycles - R.IssueCycles ? "" : "  [MISMATCH]")
+      << "\n";
+  Out << "  branch-delay " << R.Stalls.Branch << "  interlock "
+      << R.Stalls.Interlock << "  memory " << R.Stalls.Memory
+      << "  resource " << R.Stalls.Resource << "\n";
+
+  // Rank sites by attributed stall cycles; ties break on the (fn, block,
+  // instr) key so the report is deterministic.
+  std::vector<const std::pair<const StallSiteKey, StallSite> *> Ranked;
+  Ranked.reserve(R.StallSites.size());
+  for (const auto &Entry : R.StallSites)
+    Ranked.push_back(&Entry);
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const auto *A, const auto *B) {
+              uint64_t TA = A->second.Stalls.total();
+              uint64_t TB = B->second.Stalls.total();
+              return TA != TB ? TA > TB : A->first < B->first;
+            });
+  if (Ranked.size() > TopN)
+    Ranked.resize(TopN);
+
+  if (!Ranked.empty())
+    Out << "top " << Ranked.size() << " stall sites:\n";
+  for (const auto *Entry : Ranked) {
+    const StallSiteKey &Key = Entry->first;
+    const StallSite &Site = Entry->second;
+    const target::MFunction *Fn = nullptr;
+    const target::MInstr *MI = findInstr(Mod, Key, Fn);
+    char Head[96];
+    std::snprintf(Head, sizeof(Head), "  %8llu  ",
+                  static_cast<unsigned long long>(Site.Stalls.total()));
+    Out << Head << std::get<0>(Key) << ":" << std::get<1>(Key) << ":"
+        << std::get<2>(Key) << "  "
+        << (MI ? target::instrToString(Target, *Fn, *MI) : "<gone>");
+    bool First = true;
+    for (const auto &[What, Cycles] : Site.Details) {
+      Out << (First ? "   [" : ", ") << What << "=" << Cycles;
+      First = false;
+    }
+    if (!First)
+      Out << "]";
+    Out << "\n";
+  }
+  return Out.str();
+}
+
+void obs::registerSimMetrics(Registry &Reg, const SimResult &R) {
+  Reg.add("sim.runs", 1);
+  Reg.add("sim.cycles", static_cast<int64_t>(R.Cycles));
+  Reg.add("sim.instructions", static_cast<int64_t>(R.Instructions));
+  Reg.add("sim.issue_cycles", static_cast<int64_t>(R.IssueCycles));
+  Reg.add("sim.nops", static_cast<int64_t>(R.Nops));
+  Reg.add("sim.nop_cycles", static_cast<int64_t>(R.NopCycles));
+  Reg.add("stall.branch", static_cast<int64_t>(R.Stalls.Branch));
+  Reg.add("stall.interlock", static_cast<int64_t>(R.Stalls.Interlock));
+  Reg.add("stall.memory", static_cast<int64_t>(R.Stalls.Memory));
+  Reg.add("stall.resource", static_cast<int64_t>(R.Stalls.Resource));
+  Reg.add("stall.total", static_cast<int64_t>(R.Stalls.total()));
+}

@@ -1,0 +1,53 @@
+//===- StallReport.h - --sim-profile hot-spot reports --------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the simulator's per-static-instruction stall attribution
+/// (SimResult::StallSites, collected under SimOptions::Profile) as the
+/// `marionc --sim-profile` report: a cycle-accounting header whose
+/// attributed stalls reconcile with the simulator's total cycle count,
+/// followed by the top-N static instructions by stall cycles with their
+/// cause breakdown — this is what explains where Postpass/IPS/RASE
+/// schedules differ on each machine (paper Table 4 / Fig. 7). Also
+/// registers the same numbers into an obs::Registry for --stats-json.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_OBS_STALLREPORT_H
+#define MARION_OBS_STALLREPORT_H
+
+#include "sim/Simulator.h"
+
+#include <string>
+
+namespace marion {
+namespace target {
+struct MModule;
+class TargetInfo;
+} // namespace target
+
+namespace obs {
+
+class Registry;
+
+/// Renders the --sim-profile report for one simulated run. \p Mod and
+/// \p Target resolve the static sites back to instruction text; \p Label
+/// names the run (usually the input file).
+std::string renderStallReport(const target::MModule &Mod,
+                              const target::TargetInfo &Target,
+                              const sim::SimResult &Result,
+                              const std::string &Label,
+                              unsigned TopN = 10);
+
+/// Registers a run's cycle/stall totals as "sim.*" / "stall.*" metrics
+/// (Section::Metrics — simulation results are execution-config
+/// deterministic). Adds, so multi-file totals accumulate.
+void registerSimMetrics(Registry &Reg, const sim::SimResult &Result);
+
+} // namespace obs
+} // namespace marion
+
+#endif // MARION_OBS_STALLREPORT_H

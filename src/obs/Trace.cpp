@@ -1,0 +1,240 @@
+//===- Trace.cpp ----------------------------------------------------------==//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+using namespace marion;
+using namespace marion::obs;
+
+double obs::wallMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+//===----------------------------------------------------------------------===//
+// Collector
+//===----------------------------------------------------------------------===//
+
+struct TraceCollector::Buffer {
+  uint32_t Tid = 0;
+  std::vector<TraceEvent> Events;
+};
+
+namespace {
+
+/// Registry of every thread's buffer. Buffers are shared_ptrs so a drain
+/// can walk them safely even after a recording thread has exited.
+struct BufferRegistry {
+  std::mutex Mutex;
+  std::vector<std::shared_ptr<TraceCollector::Buffer>> Buffers;
+  uint32_t NextTid = 1;
+};
+
+BufferRegistry &registry() {
+  static BufferRegistry R;
+  return R;
+}
+
+} // namespace
+
+TraceCollector &TraceCollector::instance() {
+  static TraceCollector C;
+  return C;
+}
+
+TraceCollector::Buffer &TraceCollector::localBuffer() {
+  thread_local std::shared_ptr<Buffer> Local = [] {
+    auto B = std::make_shared<Buffer>();
+    BufferRegistry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    B->Tid = R.NextTid++;
+    R.Buffers.push_back(B);
+    return B;
+  }();
+  return *Local;
+}
+
+void TraceCollector::record(TraceEvent Event) {
+  if (!enabled())
+    return;
+  Buffer &B = localBuffer();
+  Event.Tid = B.Tid;
+  B.Events.push_back(std::move(Event));
+}
+
+uint32_t TraceCollector::threadId() { return localBuffer().Tid; }
+
+std::vector<TraceEvent> TraceCollector::drain() {
+  std::vector<TraceEvent> Out;
+  BufferRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (auto &B : R.Buffers) {
+    Out.insert(Out.end(), std::make_move_iterator(B->Events.begin()),
+               std::make_move_iterator(B->Events.end()));
+    B->Events.clear();
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TsMicros < B.TsMicros;
+                   });
+  return Out;
+}
+
+void TraceCollector::reset() {
+  Enabled.store(false, std::memory_order_relaxed);
+  (void)drain();
+}
+
+//===----------------------------------------------------------------------===//
+// Recording helpers
+//===----------------------------------------------------------------------===//
+
+void obs::traceInstant(const char *Cat, std::string Name, std::string Args) {
+  TraceCollector &C = TraceCollector::instance();
+  if (!C.enabled())
+    return;
+  TraceEvent E;
+  E.Phase = 'i';
+  E.Cat = Cat;
+  E.Name = std::move(Name);
+  E.TsMicros = wallMicros();
+  E.Args = std::move(Args);
+  C.record(std::move(E));
+}
+
+TraceSpan::TraceSpan(const char *C, std::string N, std::string A) {
+  if (!traceEnabled())
+    return;
+  Armed = true;
+  Cat = C;
+  Name = std::move(N);
+  Args = std::move(A);
+  Start = wallMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Armed)
+    return;
+  TraceEvent E;
+  E.Phase = 'X';
+  E.Cat = Cat;
+  E.Name = std::move(Name);
+  E.TsMicros = Start;
+  E.DurMicros = wallMicros() - Start;
+  E.Args = std::move(Args);
+  TraceCollector::instance().record(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string obs::renderEventLine(const TraceEvent &E) {
+  // Always opens with `{"name"` — stampPid in assembleTraceJson relies on
+  // inserting the pid right after the opening brace.
+  char Head[64];
+  std::string Out = "{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+                    jsonEscape(E.Cat) + "\",\"ph\":\"";
+  Out += E.Phase;
+  Out += "\"";
+  std::snprintf(Head, sizeof(Head), ",\"ts\":%.3f", E.TsMicros);
+  Out += Head;
+  if (E.Phase == 'X') {
+    std::snprintf(Head, sizeof(Head), ",\"dur\":%.3f", E.DurMicros);
+    Out += Head;
+  } else if (E.Phase == 'i') {
+    Out += ",\"s\":\"t\""; // Thread-scoped instant.
+  }
+  std::snprintf(Head, sizeof(Head), ",\"tid\":%u", E.Tid);
+  Out += Head;
+  if (!E.Args.empty())
+    Out += ",\"args\":" + E.Args;
+  Out += "}";
+  return Out;
+}
+
+std::string obs::serializeFragment(const std::vector<TraceEvent> &Events) {
+  std::string Out;
+  for (const TraceEvent &E : Events) {
+    Out += renderEventLine(E);
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Stamps a pid into one renderEventLine() line: `{"name"...` becomes
+/// `{"pid":N,"name"...`.
+std::string stampPid(const std::string &Line, int Pid) {
+  if (Line.empty() || Line[0] != '{')
+    return Line;
+  return "{\"pid\":" + std::to_string(Pid) + "," + Line.substr(1);
+}
+
+} // namespace
+
+std::string obs::assembleTraceJson(const std::vector<TraceFragment> &Frags) {
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  auto emit = [&](const std::string &Obj) {
+    Out += First ? "\n" : ",\n";
+    Out += Obj;
+    First = false;
+  };
+  for (const TraceFragment &F : Frags) {
+    emit("{\"pid\":" + std::to_string(F.Pid) +
+         ",\"ph\":\"M\",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+         jsonEscape(F.ProcessName) + "\"}}");
+    size_t Pos = 0;
+    while (Pos < F.Events.size()) {
+      size_t Nl = F.Events.find('\n', Pos);
+      if (Nl == std::string::npos)
+        Nl = F.Events.size();
+      if (Nl > Pos)
+        emit(stampPid(F.Events.substr(Pos, Nl - Pos), F.Pid));
+      Pos = Nl + 1;
+    }
+  }
+  Out += "\n]}\n";
+  return Out;
+}

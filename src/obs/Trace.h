@@ -1,0 +1,138 @@
+//===- Trace.h - Chrome-trace-event span collector ----------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer (DESIGN.md §12): a
+/// process-wide collector of Chrome trace-event records ("X" complete spans
+/// and "i" instant events) that `marionc --trace=out.json` renders into a
+/// Perfetto-loadable file covering driver phases, every per-function
+/// pipeline pass, cache hits and misses, and simulator runs.
+///
+/// Recording is thread-buffered and append-only: each thread owns a
+/// buffer registered once under a mutex; record() itself touches only the
+/// calling thread's buffer, so -jN workers never contend and the pipeline's
+/// hot path stays wait-free. Disabled tracing costs one relaxed atomic
+/// load per would-be event.
+///
+/// Timestamps are absolute microseconds (system clock), so fragments
+/// recorded by forked shard workers line up with the supervisor's own spans
+/// on one Perfetto timeline without any cross-process clock handshake. A
+/// worker serializes its events with serializeFragment() — one pid-less
+/// JSON object per line, carried home in the `%TRACE` wire record — and the
+/// supervisor stamps each fragment with that shard's pid when assembling
+/// the final file (assembleTraceJson).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_OBS_TRACE_H
+#define MARION_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace obs {
+
+/// One trace record. Args, when present, is a pre-rendered JSON object
+/// (including braces) appended verbatim as the event's "args".
+struct TraceEvent {
+  char Phase = 'X';    ///< 'X' complete span, 'i' instant.
+  const char *Cat = ""; ///< Static category string ("phase", "pass", ...).
+  std::string Name;
+  double TsMicros = 0;  ///< Absolute microseconds (wallMicros()).
+  double DurMicros = 0; ///< Span duration; unused for instants.
+  uint32_t Tid = 0;     ///< Collector-assigned per-thread id.
+  std::string Args;
+};
+
+/// Absolute wall-clock microseconds (the trace timebase).
+double wallMicros();
+
+/// The process-wide collector. enable() arms it; record sites check
+/// enabled() first so untraced runs pay nothing.
+class TraceCollector {
+public:
+  static TraceCollector &instance();
+
+  void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Appends \p Event to the calling thread's buffer (no lock after the
+  /// thread's first event). Dropped silently when tracing is disabled.
+  void record(TraceEvent Event);
+
+  /// Stable small id of the calling thread (registration order).
+  uint32_t threadId();
+
+  /// Moves every thread's events out, sorted by timestamp. Buffers stay
+  /// registered, so threads keep recording into the next drain window —
+  /// which is how a shard worker emits one fragment per input file.
+  std::vector<TraceEvent> drain();
+
+  /// Drops all buffered events and resets enablement (tests).
+  void reset();
+
+  struct Buffer; ///< Per-thread event buffer (defined in Trace.cpp).
+
+private:
+  Buffer &localBuffer();
+
+  std::atomic<bool> Enabled{false};
+};
+
+/// True when the process-wide collector is armed.
+inline bool traceEnabled() { return TraceCollector::instance().enabled(); }
+
+/// Records an instant event ("i") at the current time.
+void traceInstant(const char *Cat, std::string Name, std::string Args = "");
+
+/// RAII span: records one complete ("X") event from construction to
+/// destruction. Cheap no-op when tracing is disabled.
+class TraceSpan {
+public:
+  TraceSpan(const char *Cat, std::string Name, std::string Args = "");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  bool Armed = false;
+  const char *Cat = "";
+  std::string Name;
+  std::string Args;
+  double Start = 0;
+};
+
+/// Renders one event as a single-line JSON object WITHOUT a "pid" field —
+/// the fragment format `%TRACE` carries and assembleTraceJson() stamps.
+std::string renderEventLine(const TraceEvent &Event);
+
+/// Serializes \p Events as newline-separated renderEventLine() lines.
+std::string serializeFragment(const std::vector<TraceEvent> &Events);
+
+/// One process's contribution to the merged trace: a fragment plus the pid
+/// and process_name metadata the supervisor assigns it.
+struct TraceFragment {
+  int Pid = 0;
+  std::string ProcessName;
+  std::string Events; ///< serializeFragment() text (may be empty).
+};
+
+/// Assembles the final Chrome trace JSON: every fragment's events stamped
+/// with its pid, plus process_name metadata records. The result is a
+/// complete `{"traceEvents":[...]}` document Perfetto loads directly.
+std::string assembleTraceJson(const std::vector<TraceFragment> &Fragments);
+
+/// Escapes \p S as the body of a JSON string literal (no quotes added).
+std::string jsonEscape(const std::string &S);
+
+} // namespace obs
+} // namespace marion
+
+#endif // MARION_OBS_TRACE_H

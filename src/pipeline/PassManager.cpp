@@ -2,6 +2,8 @@
 
 #include "pipeline/PassManager.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pipeline/FaultInjection.h"
 #include "support/Recovery.h"
 
@@ -58,6 +60,7 @@ static std::string functionNameOf(const FunctionState &FS) {
 }
 
 bool PassManager::run(FunctionState &FS) {
+  const bool Traced = obs::traceEnabled();
   for (size_t I = 0; I < Passes.size(); ++I) {
     FS.CacheHit = false;
     auto Start = std::chrono::steady_clock::now();
@@ -66,16 +69,29 @@ bool PassManager::run(FunctionState &FS) {
     // diagnostic instead of an abort, and the driver stubs out just this
     // function while the rest of the module keeps compiling.
     bool Ok;
-    try {
-      maybeInjectFault(Passes[I].Name);
-      Ok = Passes[I].Run(FS);
-    } catch (const CompileError &E) {
-      FS.Diags->error(E.location(),
-                      "internal error in pass '" + Passes[I].Name +
-                          "' compiling '" + functionNameOf(FS) +
-                          "': " + E.message() + " [" + E.checkSite() + "]");
-      Ok = false;
+    {
+      // Span name == pass name, so a trace shows exactly the declarative
+      // sequence per strategy; tid identifies the -jN worker.
+      obs::TraceSpan Span("pass", Traced ? Passes[I].Name : std::string(),
+                          Traced ? "{\"fn\":\"" +
+                                       obs::jsonEscape(functionNameOf(FS)) +
+                                       "\"}"
+                                 : std::string());
+      try {
+        maybeInjectFault(Passes[I].Name);
+        Ok = Passes[I].Run(FS);
+      } catch (const CompileError &E) {
+        FS.Diags->error(E.location(),
+                        "internal error in pass '" + Passes[I].Name +
+                            "' compiling '" + functionNameOf(FS) +
+                            "': " + E.message() + " [" + E.checkSite() + "]");
+        Ok = false;
+      }
     }
+    if (Traced && FS.CacheHit)
+      obs::traceInstant("cache", "cache-hit",
+                   "{\"tier\":\"selected-mir\",\"fn\":\"" +
+                       obs::jsonEscape(functionNameOf(FS)) + "\"}");
     auto End = std::chrono::steady_clock::now();
     PassStats &PS = Stats[I];
     double Micros =
@@ -133,6 +149,23 @@ void pipeline::mergePassStatsByName(std::vector<PassStats> &Into,
     Found->InstrsAfter += PS.InstrsAfter;
     Found->CachedRuns += PS.CachedRuns;
     Found->CachedMicros += PS.CachedMicros;
+  }
+}
+
+void pipeline::registerPassMetrics(obs::Registry &Reg,
+                                   const std::vector<PassStats> &Stats) {
+  for (const PassStats &PS : Stats) {
+    const std::string Base = "pass." + PS.Name;
+    Reg.add(Base + ".runs", static_cast<int64_t>(PS.Runs),
+            obs::Section::Timing);
+    Reg.setFloat(Base + ".micros", PS.Micros);
+    Reg.add(Base + ".instrs_after", static_cast<int64_t>(PS.InstrsAfter),
+            obs::Section::Timing);
+    if (PS.CachedRuns) {
+      Reg.add(Base + ".cached_runs", static_cast<int64_t>(PS.CachedRuns),
+              obs::Section::Timing);
+      Reg.setFloat(Base + ".cached_micros", PS.CachedMicros);
+    }
   }
 }
 

@@ -37,6 +37,9 @@ namespace marion {
 namespace cache {
 class CompileCache;
 } // namespace cache
+namespace obs {
+class Registry;
+} // namespace obs
 
 namespace pipeline {
 
@@ -130,6 +133,12 @@ private:
 /// behind the aggregate --time-passes report.
 void mergePassStatsByName(std::vector<PassStats> &Into,
                           const std::vector<PassStats> &From);
+
+/// Registers per-pass counters and timers as "pass.<name>.*" metrics in
+/// the --stats-json timing section (run/instr counts depend on cache
+/// warmth, so none of them belong in the deterministic section).
+void registerPassMetrics(obs::Registry &Reg,
+                         const std::vector<PassStats> &Stats);
 
 } // namespace pipeline
 } // namespace marion

@@ -5,6 +5,7 @@
 #include "cache/CacheKey.h"
 #include "cache/CompileCache.h"
 #include "cache/MIRCodec.h"
+#include "obs/Trace.h"
 #include "regalloc/Allocator.h"
 #include "sched/CodeDAG.h"
 #include "sched/ListScheduler.h"
@@ -90,6 +91,10 @@ Pass pipeline::createSelectPass() {
               // entry so the accounting reads as the miss it really was.
               FS.Cache->invalidate(Key);
             }
+            if (obs::traceEnabled())
+              obs::traceInstant("cache", "cache-miss",
+                                "{\"tier\":\"selected-mir\",\"fn\":\"" +
+                                    obs::jsonEscape(FS.ILFn->Name) + "\"}");
             if (!select::selectFunctionInto(*FS.ILFn, *FS.Target, *FS.MF,
                                             *FS.Diags, SO))
               return false;

@@ -47,6 +47,7 @@ struct ShardState {
   bool PendingRespawn = false;
   Clock::time_point RespawnAt;
   bool Settled = false;
+  double AttemptStartMicros = 0; ///< wallMicros() at launch (tracing).
 };
 
 std::string workerExe(const ShardOptions &Opts) {
@@ -106,8 +107,8 @@ std::string describe(const Attempt &A, double TimeoutSec) {
 
 pid_t spawnWorker(const std::string &Exe,
                   const std::vector<std::string> &Files, ShardState &S,
-                  const ShardOptions &Opts, const std::string &OutPath) {
-  const bool Retry = !S.Attempts.empty();
+                  const ShardOptions &Opts, const std::string &OutPath,
+                  bool Retry) {
   std::vector<std::string> Args;
   Args.push_back(Exe);
   for (size_t I = S.FirstFile; I < S.LastFile; ++I)
@@ -172,9 +173,13 @@ bool shard::runShardedCompile(const std::vector<std::string> &Files,
     std::string OutPath = std::string(TmpDir) + "/shard" +
                           std::to_string(S.Index) + ".attempt" +
                           std::to_string(S.Attempts.size()) + ".out";
+    // Retry-ness is decided before the attempt is recorded: the attempt
+    // list already holding entries means THIS launch is a re-spawn.
+    const bool Retry = !S.Attempts.empty();
     S.Attempts.push_back(Attempt{OutPath, false, 0, AttemptClass::Internal,
                                  {}});
-    S.Pid = spawnWorker(Exe, Files, S, Opts, OutPath);
+    S.AttemptStartMicros = obs::traceEnabled() ? obs::wallMicros() : 0;
+    S.Pid = spawnWorker(Exe, Files, S, Opts, OutPath, Retry);
     S.HasDeadline = Opts.TimeoutSec > 0;
     if (S.HasDeadline)
       S.Deadline = Clock::now() + std::chrono::microseconds(static_cast<long>(
@@ -192,6 +197,37 @@ bool shard::runShardedCompile(const std::vector<std::string> &Files,
     Attempt &A = S.Attempts.back();
     A.Class = classify(A);
     S.Pid = -1;
+    if (A.Class == AttemptClass::Crash)
+      ++Outcome.Crashes;
+    else if (A.Class == AttemptClass::Timeout)
+      ++Outcome.Timeouts;
+    if (obs::traceEnabled()) {
+      // Supervisor's view of the attempt: one span per worker lifetime,
+      // plus an instant when it ended abnormally — so retries and
+      // timeouts are visible on the merged timeline next to the worker's
+      // own (pid-stamped) spans.
+      const char *How = A.Class == AttemptClass::Ok ? "ok"
+                        : A.Class == AttemptClass::CompileFail
+                            ? "compile-fail"
+                        : A.Class == AttemptClass::Crash ? "crash"
+                        : A.Class == AttemptClass::Timeout ? "timeout"
+                                                          : "internal";
+      std::string Args = "{\"shard\":" + std::to_string(S.Index) +
+                         ",\"attempt\":" +
+                         std::to_string(S.Attempts.size() - 1) +
+                         ",\"outcome\":\"" + How + "\"}";
+      obs::TraceEvent E;
+      E.Phase = 'X';
+      E.Cat = "shard";
+      E.Name = "shard-attempt";
+      E.TsMicros = S.AttemptStartMicros;
+      E.DurMicros = obs::wallMicros() - S.AttemptStartMicros;
+      E.Args = Args;
+      obs::TraceCollector::instance().record(std::move(E));
+      if (A.Class != AttemptClass::Ok &&
+          A.Class != AttemptClass::CompileFail)
+        obs::traceInstant("shard", std::string("worker-") + How, Args);
+    }
     if (retryable(A.Class) && S.Attempts.size() <= Opts.Retries) {
       S.PendingRespawn = true;
       S.RespawnAt = Clock::now() + std::chrono::milliseconds(
@@ -253,6 +289,7 @@ bool shard::runShardedCompile(const std::vector<std::string> &Files,
   // salvaged); files with no complete record are reported failed, with the
   // function manifest from any partial record.
   for (const ShardState &S : Shards) {
+    std::string ShardTrace;
     for (size_t F = S.FirstFile; F < S.LastFile; ++F) {
       const int Local = static_cast<int>(F - S.FirstFile);
       const FileResult *Best = nullptr;
@@ -279,6 +316,17 @@ bool shard::runShardedCompile(const std::vector<std::string> &Files,
         Outcome.Select.LinearProbes += Best->Select.LinearProbes;
         pipeline::mergePassStatsByName(Outcome.Passes, Best->Passes);
         Outcome.BackendMillis += Best->BackendMillis;
+        Outcome.CacheSum.Hits += Best->Cache.Hits;
+        Outcome.CacheSum.Misses += Best->Cache.Misses;
+        Outcome.CacheSum.DiskHits += Best->Cache.DiskHits;
+        Outcome.CacheSum.Inserts += Best->Cache.Inserts;
+        Outcome.CacheSum.Evictions += Best->Cache.Evictions;
+        Outcome.CacheSum.BytesUsed =
+            std::max(Outcome.CacheSum.BytesUsed, Best->Cache.BytesUsed);
+        Outcome.Sim += Best->Sim;
+        Outcome.FailedFunctions +=
+            static_cast<unsigned>(Best->FailedFunctions.size());
+        ShardTrace += Best->TraceFragment;
         if (!Best->Ok) {
           ++Outcome.FailedFiles;
           Outcome.ExitCode =
@@ -296,16 +344,24 @@ bool shard::runShardedCompile(const std::vector<std::string> &Files,
                    : " before finishing this file") +
           " (after " + std::to_string(S.Attempts.size()) + " attempt" +
           (S.Attempts.size() == 1 ? "" : "s") + ")\n";
-      if (Partial)
+      if (Partial) {
         for (const std::string &Fn : Partial->Functions)
           Outcome.DiagText +=
               Path + ": note: function '" + Fn + "' not compiled\n";
+        Outcome.FailedFunctions +=
+            static_cast<unsigned>(Partial->Functions.size());
+        ShardTrace += Partial->TraceFragment;
+      }
       ++Outcome.FailedFiles;
       Outcome.ExitCode = worseExit(Outcome.ExitCode,
                                    Last.Class == AttemptClass::Timeout
                                        ? driver::ExitTimeout
                                        : driver::ExitInternal);
     }
+    if (!ShardTrace.empty())
+      Outcome.TraceFragments.push_back(obs::TraceFragment{
+          static_cast<int>(S.Index) + 1,
+          "marionc shard " + std::to_string(S.Index), std::move(ShardTrace)});
   }
 
   std::error_code EC;

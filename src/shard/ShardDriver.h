@@ -31,6 +31,7 @@
 #ifndef MARION_SHARD_SHARDDRIVER_H
 #define MARION_SHARD_SHARDDRIVER_H
 
+#include "obs/Trace.h"
 #include "shard/WireFormat.h"
 
 #include <string>
@@ -72,7 +73,20 @@ struct ShardOutcome {
   std::vector<pipeline::PassStats> Passes;
   double BackendMillis = 0; ///< Summed worker backend wall clock.
   unsigned FailedFiles = 0; ///< Files with no usable result or Ok = false.
+  /// Functions diagnosed as stubs, plus manifest functions lost to a
+  /// crashed/timed-out worker.
+  unsigned FailedFunctions = 0;
   unsigned Respawns = 0;    ///< Retry attempts actually launched.
+  unsigned Crashes = 0;     ///< Attempts that died on a signal.
+  unsigned Timeouts = 0;    ///< Attempts SIGKILLed at the deadline.
+  /// Summed per-file compile-cache counter deltas (%CACHE records).
+  cache::CompileCache::Snapshot CacheSum;
+  /// Summed simulator totals across salvaged files (%SIM records).
+  SimTotals Sim;
+  /// One trace fragment per shard that produced events (%TRACE records,
+  /// concatenated in salvage order), Pid = shard index + 1 — the
+  /// supervisor's own events go out under pid 0 via the collector.
+  std::vector<obs::TraceFragment> TraceFragments;
 };
 
 /// Compiles \p Files across worker processes per \p Opts. Returns false

@@ -47,6 +47,18 @@ void shard::writeRecordEnd(std::FILE *Out, const FileResult &R) {
     std::fprintf(Out, "%s %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 " %.17g\n",
                  PS.Name.c_str(), PS.Runs, PS.Micros, PS.InstrsAfter,
                  PS.CachedRuns, PS.CachedMicros);
+  std::fprintf(Out, "%%CACHE %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 " %" PRIu64 "\n",
+               R.Cache.Hits, R.Cache.Misses, R.Cache.DiskHits,
+               R.Cache.Inserts, R.Cache.Evictions, R.Cache.BytesUsed);
+  std::fprintf(Out, "%%SIM %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 " %" PRIu64 "\n",
+               R.Sim.Runs, R.Sim.Cycles, R.Sim.Instructions,
+               R.Sim.IssueCycles, R.Sim.Nops, R.Sim.NopCycles,
+               R.Sim.Stalls.Branch, R.Sim.Stalls.Interlock,
+               R.Sim.Stalls.Memory, R.Sim.Stalls.Resource);
+  writeBlob(Out, "TRACE", R.TraceFragment);
   std::fprintf(Out, "%%END %d\n", R.Index);
   std::fflush(Out);
 }
@@ -152,8 +164,43 @@ bool parseRecordBody(Cursor &C, FileResult &R) {
     PS.Name = Name;
     R.Passes.push_back(std::move(PS));
   }
+  // %CACHE / %SIM / %TRACE: ordered, each optional under truncation
+  // (DESIGN.md §12). A missing record just leaves the defaults.
+  if (!C.line(Line))
+    return false;
+  if (Line.rfind("%CACHE ", 0) == 0) {
+    if (std::sscanf(Line.c_str(),
+                    "%%CACHE %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                    " %" SCNu64 " %" SCNu64,
+                    &R.Cache.Hits, &R.Cache.Misses, &R.Cache.DiskHits,
+                    &R.Cache.Inserts, &R.Cache.Evictions,
+                    &R.Cache.BytesUsed) != 6)
+      return false;
+    if (!C.line(Line))
+      return false;
+  }
+  if (Line.rfind("%SIM ", 0) == 0) {
+    if (std::sscanf(Line.c_str(),
+                    "%%SIM %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                    " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                    " %" SCNu64 " %" SCNu64,
+                    &R.Sim.Runs, &R.Sim.Cycles, &R.Sim.Instructions,
+                    &R.Sim.IssueCycles, &R.Sim.Nops, &R.Sim.NopCycles,
+                    &R.Sim.Stalls.Branch, &R.Sim.Stalls.Interlock,
+                    &R.Sim.Stalls.Memory, &R.Sim.Stalls.Resource) != 10)
+      return false;
+    if (!C.line(Line))
+      return false;
+  }
+  if (Line.rfind("%TRACE ", 0) == 0) {
+    size_t N = std::strtoull(Line.c_str() + 7, nullptr, 10);
+    if (!C.blob(N, R.TraceFragment))
+      return false;
+    if (!C.line(Line))
+      return false;
+  }
   // %END
-  if (!C.line(Line) || Line.rfind("%END ", 0) != 0)
+  if (Line.rfind("%END ", 0) != 0)
     return false;
   R.Complete = true;
   return true;

@@ -14,7 +14,14 @@
 ///   %ASM <bytes> + raw payload           the file's assembly segment
 ///   %DIAG <bytes> + raw payload          the file's stderr segment
 ///   %STATS / %SELECT / %PASSES           deterministic counters + timers
+///   %CACHE <6 counters>                  compile-cache snapshot delta
+///   %SIM <runs> <9 counters>             simulator cycle/stall totals
+///   %TRACE <bytes> + raw payload         pid-less trace fragment lines
 ///   %END <local-index>                   record complete
+///
+/// %CACHE, %SIM and %TRACE (DESIGN.md §12) are ordered but each may be
+/// absent in a truncated stream; the parser treats everything after
+/// %PASSES as optional so a crash mid-record still salvages the blobs.
 ///
 /// The worker flushes after %FUNCS and after %END, so when it crashes or
 /// is killed mid-file the parent still knows (a) which files completed,
@@ -29,7 +36,9 @@
 #ifndef MARION_SHARD_WIREFORMAT_H
 #define MARION_SHARD_WIREFORMAT_H
 
+#include "cache/CompileCache.h"
 #include "pipeline/PassManager.h"
+#include "sim/Simulator.h"
 #include "strategy/Strategy.h"
 #include "target/TargetInfo.h"
 
@@ -39,6 +48,42 @@
 
 namespace marion {
 namespace shard {
+
+/// Per-file simulator cycle/stall totals (--sim-profile under --shards):
+/// the numeric part of a SimResult that survives the wire. The rendered
+/// report itself travels in DiagText, keeping shard output bit-identical
+/// to serial.
+struct SimTotals {
+  uint64_t Runs = 0; ///< Files simulated (compiled OK and had an entry).
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t IssueCycles = 0;
+  uint64_t Nops = 0;
+  uint64_t NopCycles = 0;
+  sim::StallBreakdown Stalls;
+
+  SimTotals &operator+=(const SimTotals &O) {
+    Runs += O.Runs;
+    Cycles += O.Cycles;
+    Instructions += O.Instructions;
+    IssueCycles += O.IssueCycles;
+    Nops += O.Nops;
+    NopCycles += O.NopCycles;
+    Stalls += O.Stalls;
+    return *this;
+  }
+
+  /// Folds one simulated run's results in.
+  void addRun(const sim::SimResult &R) {
+    ++Runs;
+    Cycles += R.Cycles;
+    Instructions += R.Instructions;
+    IssueCycles += R.IssueCycles;
+    Nops += R.Nops;
+    NopCycles += R.NopCycles;
+    Stalls += R.Stalls;
+  }
+};
 
 /// One input file's compilation outcome — produced identically by the
 /// serial loop (printed directly) and by a worker (framed through a result
@@ -57,6 +102,13 @@ struct FileResult {
   target::SelectionCounters::Snapshot Select;
   std::vector<pipeline::PassStats> Passes;
   double BackendMillis = 0;
+  /// Compile-cache counter delta attributable to this file (%CACHE).
+  cache::CompileCache::Snapshot Cache;
+  /// Simulator totals when the worker ran --sim-profile (%SIM).
+  SimTotals Sim;
+  /// Pid-less Chrome-trace event lines recorded while compiling this file
+  /// (%TRACE); the supervisor stamps the shard's pid when merging.
+  std::string TraceFragment;
 };
 
 /// Writes the %BEGIN/%FUNCS prologue for \p R (Path, Index, Functions) and

@@ -65,6 +65,7 @@ public:
     UnitReadyCycle.assign(Units.size(), 0);
     UnitWriter.assign(Units.size(), nullptr);
     UnitWriteIssue.assign(Units.size(), 0);
+    UnitMissDelayed.assign(Units.size(), 0);
     layoutGlobals();
   }
 
@@ -102,9 +103,13 @@ private:
   unsigned accessWidth(const TargetInstr &TI, const Stmt &S) const;
 
   // Timing.
-  void timeInstr(const MInstr &MI, const TargetInstr &TI, bool MemAccess,
-                 int64_t MemAddr, unsigned MemWidth);
+  void timeInstr(const Frame &F, const MInstr &MI, const TargetInstr &TI,
+                 bool MemAccess, int64_t MemAddr, unsigned MemWidth);
   void timeBranchTaken(const TargetInstr &TI);
+
+  // Stall-attribution helpers (--sim-profile detail labels).
+  const std::string &unitName(unsigned Unit);
+  std::string conflictingResource(const TargetInstr &TI, uint64_t At) const;
 
   const MModule &Mod;
   const TargetInfo &Target;
@@ -128,10 +133,16 @@ private:
   std::vector<uint64_t> UnitReadyCycle;
   std::vector<const MInstr *> UnitWriter; ///< Producing instruction.
   std::vector<uint64_t> UnitWriteIssue;   ///< Its issue cycle.
+  std::vector<uint8_t> UnitMissDelayed;  ///< Pending write was miss-delayed.
   std::map<int, uint64_t> TemporalReady; ///< temporal bank -> ready cycle.
   std::vector<ResourceSet> Busy; ///< Ring-free absolute resource timeline.
   uint64_t BusyBase = 0;
   uint64_t MemReadyCycle = 0;
+
+  // Stall attribution: issue cycle of the previous instruction; the gap
+  // [LastIssue+1, Issue-1] before each issue is the stall being attributed.
+  int64_t LastIssue = -1;
+  std::map<unsigned, std::string> UnitNames; ///< Lazy unit -> register name.
 
   // Cache.
   std::vector<int64_t> CacheTags;
@@ -488,14 +499,24 @@ void Machine::timeBranchTaken(const TargetInstr &TI) {
   CurrentCycle += Delay;
 }
 
-void Machine::timeInstr(const MInstr &MI, const TargetInstr &TI,
-                        bool MemAccess, int64_t MemAddr, unsigned MemWidth) {
+void Machine::timeInstr(const Frame &F, const MInstr &MI,
+                        const TargetInstr &TI, bool MemAccess,
+                        int64_t MemAddr, unsigned MemWidth) {
   if (!Opts.Timing)
     return;
 
+  // Entry cycle: the previous instruction's issue cycle, plus any taken-
+  // branch delay timeBranchTaken added. Cycles in [LastIssue+1, Entry-1]
+  // are therefore branch-delay stalls.
+  uint64_t Entry = CurrentCycle;
+
   // Earliest issue: in order, after operand readiness (aux latencies apply
-  // per consumer).
+  // per consumer). Track which operand binds the interlock and whether its
+  // pending write was cache-miss-delayed (that makes it a memory stall).
   uint64_t Issue = CurrentCycle;
+  unsigned BindUnit = ~0u;
+  int BindTemporal = -1;
+  bool BindMiss = false;
   InstrDefsUses DU = defsUses(MI, Target, ValueType::None);
   for (RegKey Key : DU.Uses) {
     if (isPseudoKey(Key))
@@ -511,16 +532,28 @@ void Machine::timeInstr(const MInstr &MI, const TargetInstr &TI,
                              static_cast<uint64_t>(std::max(
                                  1, Target.latencyBetween(*UnitWriter[Unit],
                                                           MI))));
-      Issue = std::max(Issue, Ready);
+      if (Ready > Issue) {
+        Issue = Ready;
+        BindUnit = Unit;
+        BindTemporal = -1;
+        BindMiss = UnitMissDelayed[Unit] != 0;
+      }
     }
   }
   for (int Bank : TI.TemporalReads) {
     auto It = TemporalReady.find(Bank);
-    if (It != TemporalReady.end())
-      Issue = std::max(Issue, It->second);
+    if (It != TemporalReady.end() && It->second > Issue) {
+      Issue = It->second;
+      BindUnit = ~0u;
+      BindTemporal = Bank;
+      BindMiss = false;
+    }
   }
+  uint64_t InterlockEnd = Issue; // Interlock stalls span [Entry, here).
+
   if (TI.ReadsMem || TI.WritesMem)
     Issue = std::max(Issue, MemReadyCycle);
+  uint64_t MemPortEnd = Issue; // Memory-port stalls span [InterlockEnd, here).
 
   // Structural hazards against in-flight instructions.
   auto Fits = [&](uint64_t At) {
@@ -534,8 +567,75 @@ void Machine::timeInstr(const MInstr &MI, const TargetInstr &TI,
     }
     return true;
   };
-  while (!Fits(Issue))
+  std::string ConflictRes;
+  while (!Fits(Issue)) {
+    if (Opts.Profile && ConflictRes.empty())
+      ConflictRes = conflictingResource(TI, Issue);
     ++Issue;
+  }
+
+  // Attribute this instruction's issue delay. Every cycle in the gap
+  // [LastIssue+1, Issue-1] is a stall cycle, carved into ordered segments:
+  // branch delay up to Entry, interlock up to InterlockEnd, memory port up
+  // to MemPortEnd, structural conflict up to Issue. The segment sums
+  // telescope across the run, so Stalls.total() == Cycles - IssueCycles.
+  if (static_cast<int64_t>(Issue) > LastIssue) {
+    ++Result.IssueCycles;
+    if (TI.Desc->Mnemonic == "nop")
+      ++Result.NopCycles;
+    uint64_t GapStart = static_cast<uint64_t>(LastIssue + 1);
+    uint64_t BranchEnd = std::max(GapStart, Entry);
+    uint64_t LockEnd = std::max(BranchEnd, InterlockEnd);
+    uint64_t PortEnd = std::max(LockEnd, MemPortEnd);
+    uint64_t BranchCycles = BranchEnd - GapStart;
+    uint64_t LockCycles = LockEnd - BranchEnd;
+    uint64_t PortCycles = PortEnd - LockEnd;
+    uint64_t ResCycles = Issue - PortEnd;
+
+    Result.Stalls.Branch += BranchCycles;
+    if (BindMiss)
+      Result.Stalls.Memory += LockCycles;
+    else
+      Result.Stalls.Interlock += LockCycles;
+    Result.Stalls.Memory += PortCycles;
+    Result.Stalls.Resource += ResCycles;
+
+    if (Opts.Profile &&
+        (BranchCycles | LockCycles | PortCycles | ResCycles)) {
+      StallSite &Site =
+          Result.StallSites[{F.Fn->Name, F.Block, F.Instr}];
+      if (BranchCycles) {
+        Site.Stalls.Branch += BranchCycles;
+        Site.Details["branch-delay"] += BranchCycles;
+      }
+      if (LockCycles) {
+        std::string What;
+        if (BindTemporal >= 0) {
+          What = "%";
+          What += Target.description().Banks[BindTemporal].Name;
+        } else {
+          What = unitName(BindUnit);
+        }
+        if (BindMiss) {
+          Site.Stalls.Memory += LockCycles;
+          Site.Details["miss:" + What] += LockCycles;
+        } else {
+          Site.Stalls.Interlock += LockCycles;
+          Site.Details["interlock:" + What] += LockCycles;
+        }
+      }
+      if (PortCycles) {
+        Site.Stalls.Memory += PortCycles;
+        Site.Details["mem-port"] += PortCycles;
+      }
+      if (ResCycles) {
+        Site.Stalls.Resource += ResCycles;
+        Site.Details["resource:" +
+                     (ConflictRes.empty() ? "?" : ConflictRes)] += ResCycles;
+      }
+    }
+    LastIssue = static_cast<int64_t>(Issue);
+  }
   for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
     uint64_t Abs = Issue + C;
     if (Abs < BusyBase)
@@ -560,6 +660,7 @@ void Machine::timeInstr(const MInstr &MI, const TargetInstr &TI,
   uint64_t Ready = Issue + Latency;
 
   // Cache model: a miss delays the result and holds the memory port.
+  bool MissDelayed = false;
   if (MemAccess && Opts.Cache.Enabled) {
     ++CacheCounters.Accesses;
     unsigned LineBytes = std::max(4u, Opts.Cache.LineBytes);
@@ -573,6 +674,7 @@ void Machine::timeInstr(const MInstr &MI, const TargetInstr &TI,
       CacheTags[Index] = Line;
       Ready += Opts.Cache.MissPenalty;
       MemReadyCycle = std::max(MemReadyCycle, Ready);
+      MissDelayed = true;
     }
     (void)MemWidth;
   }
@@ -585,12 +687,47 @@ void Machine::timeInstr(const MInstr &MI, const TargetInstr &TI,
       UnitReadyCycle[Unit] = Ready;
       UnitWriter[Unit] = &MI;
       UnitWriteIssue[Unit] = Issue;
+      UnitMissDelayed[Unit] = MissDelayed ? 1 : 0;
     }
   }
   for (int Bank : TI.TemporalWrites)
     TemporalReady[Bank] = Ready;
 
   CurrentCycle = Issue; // Later instructions may share this cycle.
+}
+
+const std::string &Machine::unitName(unsigned Unit) {
+  if (UnitNames.empty()) {
+    // First registered name wins, so a unit shared through %equiv reports
+    // under the first bank that covers it — deterministic by bank order.
+    const maril::MachineDescription &D = Target.description();
+    for (const maril::RegisterBank &Bank : D.Banks)
+      for (int R = Bank.Lo; R <= Bank.Hi; ++R) {
+        PhysReg Reg{Bank.Id, R};
+        for (unsigned U : Target.registers().unitsOf(Reg))
+          UnitNames.emplace(U, Target.regName(Reg));
+      }
+  }
+  static const std::string Unknown = "?";
+  auto It = UnitNames.find(Unit);
+  return It == UnitNames.end() ? Unknown : It->second;
+}
+
+std::string Machine::conflictingResource(const TargetInstr &TI,
+                                         uint64_t At) const {
+  for (size_t C = 0; C < TI.ResourceVec.size(); ++C) {
+    uint64_t Abs = At + C;
+    if (Abs < BusyBase)
+      continue;
+    size_t Index = static_cast<size_t>(Abs - BusyBase);
+    if (Index >= Busy.size() ||
+        !Busy[Index].intersects(TI.ResourceVec[C]))
+      continue;
+    for (const maril::ResourceDecl &R : Target.description().Resources)
+      if (Busy[Index].test(R.Index) && TI.ResourceVec[C].test(R.Index))
+        return "%" + R.Name;
+  }
+  return std::string();
 }
 
 bool Machine::step(Frame &F, std::vector<Frame> &Stack, bool &Finished) {
@@ -727,7 +864,7 @@ bool Machine::step(Frame &F, std::vector<Frame> &Stack, bool &Finished) {
       return false;
   }
 
-  timeInstr(MI, TI, MemAccess, MemAddr, MemWidth);
+  timeInstr(F, MI, TI, MemAccess, MemAddr, MemWidth);
 
   ++F.Instr;
 

@@ -39,6 +39,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace marion {
@@ -59,11 +60,47 @@ struct SimOptions {
   CacheConfig Cache;
   /// Model issue timing (cycles); off = functional-only (faster).
   bool Timing = true;
+  /// Keep a per-static-instruction stall map (SimResult::StallSites) for
+  /// --sim-profile reports. Aggregate stall totals are always collected
+  /// when Timing is on; only the per-site map costs extra.
+  bool Profile = false;
 };
 
 struct CacheStats {
   uint64_t Accesses = 0;
   uint64_t Misses = 0;
+};
+
+/// Stall cycles bucketed by cause. A "stall cycle" is a cycle in which no
+/// instruction issued; every one is attributed to exactly one bucket, so
+/// total() == Cycles - IssueCycles holds by construction (DESIGN.md §12).
+struct StallBreakdown {
+  uint64_t Branch = 0;    ///< Taken-branch/call/return delay cycles.
+  uint64_t Interlock = 0; ///< Register or temporal-latch operand interlock.
+  uint64_t Memory = 0;    ///< Cache-miss induced: delayed load result or
+                          ///< the memory port held by an earlier miss.
+  uint64_t Resource = 0;  ///< Structural conflict on a %resource.
+
+  uint64_t total() const { return Branch + Interlock + Memory + Resource; }
+  StallBreakdown &operator+=(const StallBreakdown &O) {
+    Branch += O.Branch;
+    Interlock += O.Interlock;
+    Memory += O.Memory;
+    Resource += O.Resource;
+    return *this;
+  }
+};
+
+/// Static instruction position: (function name, block id, instruction
+/// index within the block). The per-site stall map key.
+using StallSiteKey = std::tuple<std::string, int, size_t>;
+
+/// Stalls attributed to one static instruction, with human-readable
+/// detail labels ("interlock:r5", "resource:%alu", "mem-port",
+/// "miss:f2", "branch-delay") and the cycles charged to each.
+struct StallSite {
+  StallBreakdown Stalls;
+  std::map<std::string, uint64_t> Details;
 };
 
 struct SimResult {
@@ -75,6 +112,18 @@ struct SimResult {
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
   uint64_t Nops = 0;
+  /// Distinct cycles in which at least one instruction issued. The
+  /// remaining Cycles - IssueCycles cycles are the stalls, attributed
+  /// cause-by-cause in Stalls (Stalls.total() always reconciles).
+  uint64_t IssueCycles = 0;
+  /// Issue cycles opened by a nop — delay-slot/interlock padding the
+  /// scheduler emitted. Counted apart from Stalls: the machine did issue,
+  /// it just issued nothing useful.
+  uint64_t NopCycles = 0;
+  StallBreakdown Stalls;
+  /// Per-static-instruction attribution; populated only when
+  /// SimOptions::Profile is set.
+  std::map<StallSiteKey, StallSite> StallSites;
   CacheStats Cache;
   /// Execution count per (function name, block id) — the profiling data.
   std::map<std::pair<std::string, int>, uint64_t> BlockCounts;

@@ -1,0 +1,335 @@
+//===- obs_test.cpp - Observability layer end to end --------------------------==//
+//
+// The three contracts of DESIGN.md §12, driven through the installed
+// marionc binary and the simulator API:
+//
+//  * --trace output is well-formed Chrome trace JSON and its "pass" span
+//    names match the declarative pipeline sequence for each strategy;
+//  * --stats-json is bit-identical across serial, -j4 and warm-cache runs
+//    of one workload once the "timing" object is masked;
+//  * the simulator's stall attribution reconciles exactly with its cycle
+//    counts on hand-checked i860 kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ExitCodes.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "pipeline/Passes.h"
+#include "sim/Simulator.h"
+#include "strategy/Strategy.h"
+#include "support/Paths.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+using namespace marion;
+
+namespace {
+
+const char *kWorkloads[] = {
+    MARION_SOURCE_ROOT "/workloads/suite_poly.mc",
+    MARION_SOURCE_ROOT "/workloads/suite_queens.mc",
+};
+
+std::string scratchDir() {
+  char Template[] = "/tmp/marion-obs-test-XXXXXX";
+  const char *Dir = ::mkdtemp(Template);
+  EXPECT_NE(Dir, nullptr);
+  return Dir ? Dir : "/tmp";
+}
+
+std::string slurp(const std::string &Path) {
+  std::string Text, Error;
+  readFile(Path, Text, Error);
+  return Text;
+}
+
+int runMarionc(const std::vector<std::string> &Args) {
+  std::string Cmd = "'" MARION_MARIONC_PATH "'";
+  for (const std::string &A : Args)
+    Cmd += " '" + A + "'";
+  Cmd += " > /dev/null 2> /dev/null";
+  int Status = std::system(Cmd.c_str());
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// Splits \p Text into lines (without terminators).
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    Out.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Out;
+}
+
+/// Extracts the value of a `"key":"value"` string field from one event
+/// line; empty when absent.
+std::string field(const std::string &Line, const std::string &Key) {
+  std::string Needle = "\"" + Key + "\":\"";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return "";
+  size_t Start = At + Needle.size();
+  size_t End = Line.find('"', Start);
+  return End == std::string::npos ? "" : Line.substr(Start, End - Start);
+}
+
+/// True when python3 is runnable (used for strict JSON validation; the
+/// structural checks below run regardless).
+bool havePython() {
+  return std::system("python3 -c '' > /dev/null 2> /dev/null") == 0;
+}
+
+//===--------------------------------------------------------------------===//
+// Trace: well-formed JSON whose pass spans mirror the pipeline sequence.
+//===--------------------------------------------------------------------===//
+
+TEST(Obs, TraceSpansMatchPipelineSequence) {
+  for (strategy::StrategyKind Kind :
+       {strategy::StrategyKind::Postpass, strategy::StrategyKind::IPS,
+        strategy::StrategyKind::RASE}) {
+    std::string Dir = scratchDir();
+    std::string Trace = Dir + "/t.json";
+    int Exit = runMarionc({kWorkloads[0], "--machine", "r2000", "--strategy",
+                           strategy::strategyName(Kind), "--quiet",
+                           "--trace=" + Trace});
+    ASSERT_EQ(Exit, driver::ExitSuccess);
+    std::string Text = slurp(Trace);
+    ASSERT_FALSE(Text.empty());
+    EXPECT_EQ(Text.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(Text.find("]}"), std::string::npos);
+    if (havePython())
+      EXPECT_EQ(std::system(("python3 -m json.tool '" + Trace +
+                             "' > /dev/null 2> /dev/null")
+                                .c_str()),
+                0)
+          << "trace is not valid JSON: " << Trace;
+
+    // Every pass executed must appear as a span named exactly like the
+    // declarative sequence entry, and no pass span may carry a name
+    // outside the sequence.
+    std::set<std::string> Expected;
+    for (const pipeline::Pass &P : pipeline::fullPipeline(Kind))
+      Expected.insert(P.Name);
+    std::set<std::string> Seen;
+    bool SawParse = false, SawTargetBuild = false;
+    for (const std::string &L : lines(Text)) {
+      std::string Cat = field(L, "cat");
+      std::string Name = field(L, "name");
+      if (Cat == "pass")
+        Seen.insert(Name);
+      if (Cat == "phase" && Name == "parse")
+        SawParse = true;
+      if (Cat == "phase" && Name == "target-build")
+        SawTargetBuild = true;
+    }
+    EXPECT_EQ(Seen, Expected) << strategy::strategyName(Kind);
+    EXPECT_TRUE(SawParse);
+    EXPECT_TRUE(SawTargetBuild);
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
+}
+
+TEST(Obs, TraceRecordsCacheHitsAndMisses) {
+  std::string Dir = scratchDir();
+  std::vector<std::string> Base = {kWorkloads[0],
+                                   "--cache-dir=" + Dir + "/cache",
+                                   "--quiet"};
+  std::vector<std::string> Cold = Base;
+  Cold.push_back("--trace=" + Dir + "/cold.json");
+  ASSERT_EQ(runMarionc(Cold), driver::ExitSuccess);
+  std::vector<std::string> Warm = Base;
+  Warm.push_back("--trace=" + Dir + "/warm.json");
+  ASSERT_EQ(runMarionc(Warm), driver::ExitSuccess);
+
+  auto count = [](const std::string &Text, const std::string &Name) {
+    unsigned N = 0;
+    for (const std::string &L : lines(Text))
+      if (field(L, "cat") == "cache" && field(L, "name") == Name)
+        ++N;
+    return N;
+  };
+  std::string ColdText = slurp(Dir + "/cold.json");
+  std::string WarmText = slurp(Dir + "/warm.json");
+  EXPECT_GT(count(ColdText, "cache-miss"), 0u);
+  EXPECT_EQ(count(ColdText, "cache-hit"), 0u);
+  EXPECT_GT(count(WarmText, "cache-hit"), 0u);
+  EXPECT_EQ(count(WarmText, "cache-miss"), 0u);
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+//===--------------------------------------------------------------------===//
+// Stats: the "metrics" object (and headers) must not depend on execution
+// configuration; only "timing" may.
+//===--------------------------------------------------------------------===//
+
+/// Replaces the "timing" object's body with nothing, leaving everything
+/// else byte-for-byte intact. The exporter renders it as an indented
+/// block closed by a line holding exactly "  }".
+std::string maskTiming(const std::string &Text) {
+  size_t Start = Text.find("\"timing\": {");
+  if (Start == std::string::npos)
+    return Text;
+  size_t End = Text.find("\n  }", Start);
+  if (End == std::string::npos)
+    return Text;
+  return Text.substr(0, Start) + "\"timing\": {<masked>" + Text.substr(End);
+}
+
+TEST(Obs, StatsJsonDeterministicAcrossExecutionConfigs) {
+  std::string Dir = scratchDir();
+  std::vector<std::string> Base = {kWorkloads[0], kWorkloads[1], "--machine",
+                                   "i860", "--quiet"};
+
+  auto runWith = [&](const std::string &Tag,
+                     std::vector<std::string> Extra) -> std::string {
+    std::string Path = Dir + "/" + Tag + ".json";
+    std::vector<std::string> Args = Base;
+    Args.push_back("--stats-json=" + Path);
+    Args.insert(Args.end(), Extra.begin(), Extra.end());
+    EXPECT_EQ(runMarionc(Args), driver::ExitSuccess) << Tag;
+    std::string Text = slurp(Path);
+    EXPECT_FALSE(Text.empty()) << Tag;
+    if (havePython())
+      EXPECT_EQ(std::system(("python3 -m json.tool '" + Path +
+                             "' > /dev/null 2> /dev/null")
+                                .c_str()),
+                0)
+          << Tag;
+    return Text;
+  };
+
+  std::string Serial = runWith("serial", {});
+  std::string Parallel = runWith("parallel", {"-j4"});
+  runWith("cold", {"--cache-dir=" + Dir + "/cache"});
+  std::string Warm = runWith("warm", {"--cache-dir=" + Dir + "/cache"});
+
+  EXPECT_NE(Serial.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(Serial.find("\"flags_fingerprint\": \""), std::string::npos);
+  EXPECT_EQ(maskTiming(Serial), maskTiming(Parallel));
+  EXPECT_EQ(maskTiming(Serial), maskTiming(Warm));
+  // The mask must actually have removed the run-dependent part.
+  EXPECT_EQ(maskTiming(Serial).find("backend.wall_millis"),
+            std::string::npos);
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+//===--------------------------------------------------------------------===//
+// Stall attribution: every non-issue cycle is attributed to exactly one
+// cause, and the books balance against the simulator's cycle counts.
+//===--------------------------------------------------------------------===//
+
+/// Sums one site map's attributed cycles (and checks each site's detail
+/// rows sum to that site's bucketed total).
+uint64_t siteSum(const sim::SimResult &R) {
+  uint64_t Sum = 0;
+  for (const auto &[Key, Site] : R.StallSites) {
+    uint64_t Details = 0;
+    for (const auto &[What, Cycles] : Site.Details)
+      Details += Cycles;
+    EXPECT_EQ(Details, Site.Stalls.total());
+    Sum += Site.Stalls.total();
+  }
+  return Sum;
+}
+
+TEST(Obs, StallAttributionReconcilesOnI860Chain) {
+  // A pure integer dependence chain: the i860 can dual-issue only a
+  // core+fp pair, so every instruction issues on its own cycle —
+  // IssueCycles == Instructions and the attributed stalls must equal
+  // Cycles - Instructions exactly. The smul latency interlocks the chain
+  // and the final bri eats one taken-branch delay slot.
+  auto C = test::compile("int main() {"
+                         "  int a; int b; int c;"
+                         "  a = 3;"
+                         "  b = a * 5;"
+                         "  c = b * 7;"
+                         "  a = c * 2;"
+                         "  b = a + c;"
+                         "  return b;"
+                         "}",
+                         "i860");
+  ASSERT_TRUE(C);
+  sim::SimOptions Opts;
+  Opts.Profile = true;
+  sim::SimResult R = sim::runProgram(C->Module, *C->Target, "main", Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntResult, 315);
+  EXPECT_EQ(R.Nops, 0u);
+  EXPECT_EQ(R.IssueCycles, R.Instructions);
+  EXPECT_EQ(R.Stalls.total(), R.Cycles - R.Instructions);
+  EXPECT_EQ(R.Stalls.total(),
+            R.Stalls.Branch + R.Stalls.Interlock + R.Stalls.Memory +
+                R.Stalls.Resource);
+  EXPECT_GT(R.Stalls.Interlock, 0u);
+  EXPECT_GT(R.Stalls.Branch, 0u);
+  // The per-site map re-adds to the aggregate buckets exactly.
+  EXPECT_EQ(siteSum(R), R.Stalls.total());
+}
+
+TEST(Obs, StallAttributionHoldsUnderDualIssue) {
+  // A dependent fp-multiply chain interleaved with core instructions does
+  // dual-issue on the i860 (more instructions than issue cycles); the
+  // general ledger total() == Cycles - IssueCycles must still hold.
+  auto C = test::compile("double main() {"
+                         "  double a; double b; double c; double d;"
+                         "  a = 1.5;"
+                         "  b = a * 2.0;"
+                         "  c = b * 3.0;"
+                         "  d = c * 4.0;"
+                         "  return d + a;"
+                         "}",
+                         "i860");
+  ASSERT_TRUE(C);
+  sim::SimOptions Opts;
+  Opts.Profile = true;
+  sim::SimResult R = sim::runProgram(C->Module, *C->Target, "main", Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_DOUBLE_EQ(R.DoubleResult, 37.5);
+  EXPECT_GT(R.Instructions, R.IssueCycles); // Dual issue happened.
+  EXPECT_EQ(R.Stalls.total(), R.Cycles - R.IssueCycles);
+  EXPECT_EQ(siteSum(R), R.Stalls.total());
+}
+
+//===--------------------------------------------------------------------===//
+// Registry export shape.
+//===--------------------------------------------------------------------===//
+
+TEST(Obs, RegistrySortsKeysAndSeparatesSections) {
+  obs::Registry Reg;
+  Reg.setHeader("machine", "i860");
+  Reg.set("b.count", 2);
+  Reg.set("a.count", 1);
+  Reg.add("a.count", 4);
+  Reg.setFloat("wall.micros", 12.5);
+  std::string Json = Reg.exportJson("test");
+  size_t A = Json.find("\"a.count\": 5");
+  size_t B = Json.find("\"b.count\": 2");
+  size_t W = Json.find("\"wall.micros\": 12.500");
+  ASSERT_NE(A, std::string::npos) << Json;
+  ASSERT_NE(B, std::string::npos) << Json;
+  ASSERT_NE(W, std::string::npos) << Json;
+  EXPECT_LT(A, B);
+  EXPECT_LT(Json.find("\"metrics\""), Json.find("\"timing\""));
+  EXPECT_LT(B, Json.find("\"timing\"")); // Ints default to "metrics".
+  EXPECT_GT(W, Json.find("\"timing\"")); // Floats default to "timing".
+  EXPECT_EQ(obs::flagsFingerprint("x").size(), 16u);
+  EXPECT_NE(obs::flagsFingerprint("x"), obs::flagsFingerprint("y"));
+}
+
+} // namespace

@@ -12,8 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -227,6 +229,71 @@ TEST(Shard, ExitCodeContract) {
   EXPECT_NE(Inj.Err.find("emitted as a diagnosed stub"), std::string::npos)
       << Inj.Err;
   EXPECT_NE(Inj.Out.find("compilation failed"), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// Pass-time aggregation: --time-passes under --shards=N reports the same
+// pass rows as -jN in one process — names, run counts and instruction
+// columns identical, with the wall times forwarded over the wire.
+//===--------------------------------------------------------------------===//
+
+struct PassRow {
+  uint64_t Runs = 0;
+  uint64_t Instrs = 0;
+  double Millis = 0;
+};
+
+/// Parses the `# <pass> <runs> <time> <pct>% <instrs>` rows out of a
+/// --time-passes stderr dump, skipping the header, footer and other `#`
+/// report lines (whose second token is not a number).
+std::map<std::string, PassRow> parseTimePasses(const std::string &Err) {
+  std::map<std::string, PassRow> Rows;
+  size_t Pos = 0;
+  while (Pos < Err.size()) {
+    size_t Nl = Err.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Err.size();
+    std::string Line = Err.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    char Name[64];
+    unsigned long long Runs, Instrs;
+    double Ms, Pct;
+    if (std::sscanf(Line.c_str(), "# %63s %llu %lf %lf%% %llu", Name, &Runs,
+                    &Ms, &Pct, &Instrs) == 5)
+      Rows[Name] = PassRow{Runs, Instrs, Ms};
+  }
+  return Rows;
+}
+
+TEST(Shard, TimePassesAggregatesAcrossShards) {
+  std::vector<std::string> Base = workloadArgs();
+  Base.insert(Base.end(),
+              {"--machine", "i860", "--strategy", "ips", "--time-passes"});
+  RunResult Serial = runMarionc(Base);
+  ASSERT_EQ(Serial.Exit, driver::ExitSuccess) << Serial.Err;
+  std::vector<std::string> Sharded = Base;
+  Sharded.insert(Sharded.end(), {"--shards=2", "-j2"});
+  RunResult Shard = runMarionc(Sharded);
+  ASSERT_EQ(Shard.Exit, driver::ExitSuccess) << Shard.Err;
+
+  std::map<std::string, PassRow> S = parseTimePasses(Serial.Err);
+  std::map<std::string, PassRow> P = parseTimePasses(Shard.Err);
+  // The full ips pipeline must be present in both reports.
+  for (const char *Pass : {"glue", "select", "build-dag", "prepass-sched",
+                           "allocate", "frame-lower", "postpass-sched"}) {
+    ASSERT_TRUE(S.count(Pass)) << Pass << "\n" << Serial.Err;
+    ASSERT_TRUE(P.count(Pass)) << Pass << "\n" << Shard.Err;
+  }
+  // Deterministic columns agree row for row; wall times are forwarded
+  // (nonzero) but not comparable between runs.
+  ASSERT_EQ(S.size(), P.size());
+  for (const auto &[Name, Row] : S) {
+    ASSERT_TRUE(P.count(Name)) << Name;
+    EXPECT_EQ(Row.Runs, P[Name].Runs) << Name;
+    EXPECT_EQ(Row.Instrs, P[Name].Instrs) << Name;
+    EXPECT_GT(Row.Millis, 0.0) << Name;
+    EXPECT_GT(P[Name].Millis, 0.0) << Name;
+  }
 }
 
 } // namespace

@@ -22,7 +22,9 @@
 #include "obs/Trace.h"
 #include "pipeline/FaultInjection.h"
 #include "pipeline/Passes.h"
+#include "regalloc/Allocator.h"
 #include "shard/ShardDriver.h"
+#include "support/TaskPool.h"
 #include "sim/Simulator.h"
 #include "target/TableDump.h"
 
@@ -63,6 +65,11 @@ static void usage() {
       "counters\n"
       "  --linear                             linear pattern scan instead "
       "of bucketed dispatch\n"
+      "  --alloc-linear                       reference register allocator "
+      "(set-based, full\n"
+      "                                       rebuild each round); output "
+      "is bit-identical to\n"
+      "                                       the default fast path\n"
       "  -j<N>                                compile functions on N "
       "worker threads (-j = all cores)\n"
       "  --time-passes                        print the per-pass time and "
@@ -237,6 +244,8 @@ std::string semanticFlags(const driver::CompileOptions &Opts, bool Cycles) {
   S += strategy::strategyName(Opts.Strategy);
   if (!Opts.UseBuckets)
     S += "|linear";
+  if (Opts.Strat.Alloc.Linear)
+    S += "|alloc-linear";
   if (Cycles)
     S += "|cycles";
   for (const std::string &D : Opts.DumpAfter)
@@ -275,6 +284,12 @@ bool exportStatsJson(const std::string &Path,
   Reg.set("strategy.scheduled_instrs", Stats.ScheduledInstrs);
   Reg.set("strategy.dag_nodes", Stats.DagNodes);
   Reg.set("strategy.dag_edges", Stats.DagEdges);
+  // Allocator work counters are deterministic per allocator path: block
+  // counts depend only on the input and the spill rounds, never on -jN,
+  // stealing or cache temperature.
+  Reg.set("alloc.graph_blocks", Stats.AllocGraphBlocks);
+  Reg.set("alloc.incremental_blocks", Stats.AllocIncrementalBlocks);
+  Reg.set("alloc.spill_rounds", Stats.AllocatorRounds);
   if (Sim.Runs) {
     Reg.set("sim.runs", static_cast<int64_t>(Sim.Runs));
     Reg.set("sim.cycles", static_cast<int64_t>(Sim.Cycles));
@@ -314,6 +329,19 @@ bool exportStatsJson(const std::string &Path,
             obs::Section::Timing);
   }
   Reg.setFloat("backend.wall_millis", BackendMillis);
+  // Allocator hot-path timing and work-stealing counters. Process-wide, so
+  // a sharded parent reports only its own (empty) pool — each worker's
+  // numbers die with it, like every other timing metric here.
+  Reg.setFloat("alloc.graph_build_millis",
+               static_cast<double>(regalloc::allocTimingCounters()
+                                       .GraphBuildNanos.load()) /
+                   1e6);
+  support::TaskPool::Counters PC = support::TaskPool::instance().counters();
+  Reg.set("steal.jobs", static_cast<int64_t>(PC.Jobs), obs::Section::Timing);
+  Reg.set("steal.tasks", static_cast<int64_t>(PC.Tasks),
+          obs::Section::Timing);
+  Reg.set("steal.stolen", static_cast<int64_t>(PC.Stolen),
+          obs::Section::Timing);
   if (Sharded) {
     Reg.set("shard.shards", Shards, obs::Section::Timing);
     Reg.set("shard.respawns", Sharded->Respawns, obs::Section::Timing);
@@ -424,6 +452,8 @@ int realMain(int argc, char **argv) {
       SelectStats = true;
     } else if (Arg == "--linear") {
       Opts.UseBuckets = false;
+    } else if (Arg == "--alloc-linear") {
+      Opts.Strat.Alloc.Linear = true;
     } else if (Arg == "--time-passes") {
       TimePasses = true;
     } else if (Arg.rfind("--shards=", 0) == 0) {
@@ -539,6 +569,8 @@ int realMain(int argc, char **argv) {
       SO.WorkerArgs.push_back("--cycles");
     if (!Opts.UseBuckets)
       SO.WorkerArgs.push_back("--linear");
+    if (Opts.Strat.Alloc.Linear)
+      SO.WorkerArgs.push_back("--alloc-linear");
     for (const std::string &Name : Opts.DumpAfter)
       SO.WorkerArgs.push_back("--dump-after=" + Name);
     if (SimProfile)

@@ -6,6 +6,11 @@
 #                             catches races in the parallel pipeline's
 #                             per-function state and any UB in the tables),
 #                             then runs the fault matrix against that build
+#   scripts/check.sh --tsan   ThreadSanitizer build into build-tsan/, then
+#                             the full test suite plus a -j4 workload sweep
+#                             through marionc: races in the task pool, the
+#                             block-level fan-outs or the per-function
+#                             worker state show up here
 #   scripts/check.sh --cache  build, then run the workload suite twice
 #                             through marionc against one --cache-dir:
 #                             the second pass must be bit-identical to the
@@ -201,6 +206,12 @@ if [ "${1:-}" = "--asan" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+elif [ "${1:-}" = "--tsan" ]; then
+  BUILD=build-tsan
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 elif [ "${1:-}" = "--faults" ]; then
   cmake -B "$BUILD" -S .
   cmake --build "$BUILD" -j "$(nproc)" --target marionc
@@ -284,4 +295,28 @@ if [ "${1:-}" = "--asan" ]; then
   cd ..
   run_fault_matrix "$BUILD/examples/marionc"
   run_obs_check "$BUILD/examples/marionc"
+fi
+if [ "${1:-}" = "--tsan" ]; then
+  cd ..
+  # Drive the parallel paths hard under TSan: per-function workers plus the
+  # nested block-level stealing, and the serial reference for comparison.
+  MARIONC="$BUILD/examples/marionc"
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+  STATUS=0
+  for M in r2000 i860; do
+    for S in postpass ips rase; do
+      "$MARIONC" workloads/*.mc --machine "$M" --strategy "$S" \
+        >"$WORK/serial.$M.$S.out" 2>"$WORK/serial.$M.$S.err"
+      "$MARIONC" workloads/*.mc --machine "$M" --strategy "$S" -j4 \
+        >"$WORK/par.$M.$S.out" 2>"$WORK/par.$M.$S.err"
+      if ! cmp -s "$WORK/serial.$M.$S.out" "$WORK/par.$M.$S.out" ||
+        ! cmp -s "$WORK/serial.$M.$S.err" "$WORK/par.$M.$S.err"; then
+        echo "FAIL: -j4 output differs from serial ($M/$S)" >&2
+        STATUS=1
+      fi
+    done
+  done
+  [ "$STATUS" -eq 0 ] && echo "tsan -j4 sweep OK (bit-identical to serial)"
+  exit "$STATUS"
 fi

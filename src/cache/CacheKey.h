@@ -44,7 +44,7 @@ namespace cache {
 /// Bump on any change to the MIR wire format, the fingerprint derivation,
 /// or the meaning of any keyed option. Baked into every key digest and
 /// every serialized blob header.
-constexpr uint32_t kCacheSchemaVersion = 1;
+constexpr uint32_t kCacheSchemaVersion = 2;
 
 /// What a cached blob holds.
 enum class CacheStage : uint8_t {

@@ -126,6 +126,11 @@ cache::fingerprintStrategyOptions(strategy::StrategyKind Kind,
   H.u8(static_cast<uint8_t>(Kind));
   hashSchedOptions(H, Opts.Sched);
   H.u64(Opts.Alloc.MaxRounds);
+  // Linear selects the reference allocator — a semantic knob (stats like
+  // graph-block counts differ between paths), so it is keyed. The
+  // ParallelBlocks flags on Alloc/Sched are pure execution shape and are
+  // deliberately NOT hashed: -jN must hit the same cache entries.
+  H.u8(Opts.Alloc.Linear);
   // BlockSpillWeight is a per-function RASE hand-off, never a user knob at
   // compile start; it is always empty when keys are derived.
   H.u64(Opts.Alloc.BlockSpillWeight.size());

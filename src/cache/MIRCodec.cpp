@@ -282,6 +282,8 @@ void writeExtras(ByteWriter &W, const FinalExtras &Extras) {
   W.i64(S.ScheduledInstrs);
   W.i64(S.DagNodes);
   W.i64(S.DagEdges);
+  W.u32(S.AllocGraphBlocks);
+  W.u32(S.AllocIncrementalBlocks);
   W.u32(static_cast<uint32_t>(Extras.Diags.size()));
   for (const StoredDiagnostic &D : Extras.Diags) {
     W.u8(static_cast<uint8_t>(D.Kind));
@@ -293,11 +295,11 @@ void writeExtras(ByteWriter &W, const FinalExtras &Extras) {
 
 bool readExtras(ByteReader &R, FinalExtras &Extras) {
   strategy::StrategyStats &S = Extras.Stats;
-  uint32_t Passes, Spilled, Rounds;
+  uint32_t Passes, Spilled, Rounds, GraphBlocks, IncrBlocks;
   int64_t EstCycles, SchedInstrs, DagNodes, DagEdges;
   if (!R.u32(Passes) || !R.u32(Spilled) || !R.u32(Rounds) ||
       !R.i64(EstCycles) || !R.i64(SchedInstrs) || !R.i64(DagNodes) ||
-      !R.i64(DagEdges))
+      !R.i64(DagEdges) || !R.u32(GraphBlocks) || !R.u32(IncrBlocks))
     return false;
   S.SchedulerPasses = Passes;
   S.SpilledPseudos = Spilled;
@@ -306,6 +308,8 @@ bool readExtras(ByteReader &R, FinalExtras &Extras) {
   S.ScheduledInstrs = SchedInstrs;
   S.DagNodes = DagNodes;
   S.DagEdges = DagEdges;
+  S.AllocGraphBlocks = GraphBlocks;
+  S.AllocIncrementalBlocks = IncrBlocks;
 
   uint32_t NumDiags;
   if (!R.count(NumDiags, 13))

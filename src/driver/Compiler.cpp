@@ -9,6 +9,7 @@
 #include "obs/Trace.h"
 #include "pipeline/Passes.h"
 #include "select/Selector.h"
+#include "support/TaskPool.h"
 #include "target/FuncEscape.h"
 #include "target/TargetBuilder.h"
 
@@ -54,13 +55,14 @@ driver::loadTarget(const std::string &Machine, DiagnosticEngine &Diags) {
 
 namespace {
 
-/// Worker threads for \p FunctionCount functions under option \p Jobs
-/// (0 = one per hardware thread; never more workers than functions).
-unsigned effectiveJobs(unsigned Jobs, size_t FunctionCount) {
+/// Worker budget under option \p Jobs (0 = one per hardware thread).
+/// Deliberately NOT clamped to the function count: a module dominated by
+/// one large function still benefits from extra workers, which steal that
+/// function's block-level tasks through the shared task pool.
+unsigned effectiveJobs(unsigned Jobs) {
   if (Jobs == 0)
     Jobs = std::max(1u, std::thread::hardware_concurrency());
-  return static_cast<unsigned>(
-      std::min<size_t>(Jobs, std::max<size_t>(1, FunctionCount)));
+  return Jobs;
 }
 
 } // namespace
@@ -174,26 +176,28 @@ std::optional<Compilation> driver::compileModule(il::Module &Mod,
   auto Start = std::chrono::steady_clock::now();
 
   pipeline::PassManager Merged(Sequence, PO);
-  const unsigned Jobs = effectiveJobs(Opts.Jobs, N);
-  if (Jobs <= 1) {
+  const unsigned Jobs = effectiveJobs(Opts.Jobs);
+  // One shared job budget: the pool keeps Jobs-1 helpers, and both the
+  // function-level fan-out below and the per-block fan-outs nested inside
+  // passes (graph build, DAG builds, block scheduling) draw from them. A
+  // helper with no whole function to run steals block tasks instead.
+  support::TaskPool &Pool = support::TaskPool::instance();
+  Pool.configure(Jobs);
+  obs::installTaskPoolTracing();
+  for (pipeline::FunctionState &FS : States)
+    FS.ParallelBlocks = Jobs > 1;
+  if (Jobs <= 1 || !Pool.parallel()) {
     for (size_t I = 0; I < N; ++I)
       Ok[I] = compileOne(Merged, I) ? 1 : 0;
   } else {
-    // Each worker drains the shared index with its own PassManager; the
-    // per-worker timers are reduced into Merged after the join.
-    std::vector<pipeline::PassManager> Workers(Jobs,
-                                               pipeline::PassManager(Sequence,
-                                                                     PO));
-    std::atomic<size_t> Next{0};
-    std::vector<std::thread> Pool;
-    Pool.reserve(Jobs);
-    for (unsigned W = 0; W < Jobs; ++W)
-      Pool.emplace_back([&, W] {
-        for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
-          Ok[I] = compileOne(Workers[W], I) ? 1 : 0;
-      });
-    for (std::thread &T : Pool)
-      T.join();
+    // Each participant slot compiles through its own PassManager; the
+    // per-slot timers are reduced into Merged after the join.
+    std::vector<pipeline::PassManager> Workers(
+        Pool.slots(), pipeline::PassManager(Sequence, PO));
+    Pool.parallelFor(N, "fn", [&](size_t I) {
+      Ok[I] =
+          compileOne(Workers[support::TaskPool::currentSlot()], I) ? 1 : 0;
+    });
     for (const pipeline::PassManager &W : Workers)
       Merged.mergeStats(W);
   }

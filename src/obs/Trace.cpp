@@ -2,6 +2,8 @@
 
 #include "obs/Trace.h"
 
+#include "support/TaskPool.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -129,6 +131,50 @@ TraceSpan::~TraceSpan() {
   E.DurMicros = wallMicros() - Start;
   E.Args = std::move(Args);
   TraceCollector::instance().record(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Task-pool tracing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Open span state handed across the pool's C-function-pointer hooks.
+struct TaskSpanState {
+  const char *Tag;
+  size_t Index;
+  unsigned Slot;
+  bool Stolen;
+  double Start;
+};
+
+void *taskTraceBegin(const char *Tag, size_t Index, unsigned Slot,
+                     bool Stolen) {
+  if (!traceEnabled())
+    return nullptr;
+  return new TaskSpanState{Tag, Index, Slot, Stolen, wallMicros()};
+}
+
+void taskTraceEnd(void *Opaque) {
+  if (!Opaque)
+    return;
+  std::unique_ptr<TaskSpanState> S(static_cast<TaskSpanState *>(Opaque));
+  TraceEvent E;
+  E.Phase = 'X';
+  E.Cat = "task";
+  E.Name = S->Tag;
+  E.TsMicros = S->Start;
+  E.DurMicros = wallMicros() - S->Start;
+  E.Args = "{\"index\":" + std::to_string(S->Index) +
+           ",\"slot\":" + std::to_string(S->Slot) +
+           ",\"stolen\":" + (S->Stolen ? "true" : "false") + "}";
+  TraceCollector::instance().record(std::move(E));
+}
+
+} // namespace
+
+void obs::installTaskPoolTracing() {
+  support::TaskPool::instance().setTraceHooks(taskTraceBegin, taskTraceEnd);
 }
 
 //===----------------------------------------------------------------------===//

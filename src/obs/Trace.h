@@ -109,6 +109,14 @@ private:
   double Start = 0;
 };
 
+/// Installs per-task trace hooks on the process task pool
+/// (support/TaskPool.h): every stolen or local block-level task records a
+/// "task"-category span carrying its tag, index, slot and whether it was
+/// stolen. support cannot depend on obs, so the pool exposes raw function
+/// pointers and this is where they are bound. Idempotent; spans cost
+/// nothing while tracing is disabled.
+void installTaskPoolTracing();
+
 /// Renders one event as a single-line JSON object WITHOUT a "pid" field —
 /// the fragment format `%TRACE` carries and assembleTraceJson() stamps.
 std::string renderEventLine(const TraceEvent &Event);

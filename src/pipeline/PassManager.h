@@ -74,6 +74,11 @@ struct FunctionState {
   /// reads and resets it to attribute the run to the pass's cached bucket
   /// ("select(cached)" under --time-passes).
   bool CacheHit = false;
+  /// Fan independent per-block work (graph build, DAG builds, block
+  /// scheduling) out to the process task pool. Set by the driver when
+  /// compiling with -jN; pure execution shape — results are reduced in
+  /// block order, so output is bit-identical either way.
+  bool ParallelBlocks = false;
 };
 
 /// A named function-level pass. Passes read their knobs from the

@@ -12,6 +12,7 @@
 #include "select/GlueTransformer.h"
 #include "select/Selector.h"
 #include "strategy/FrameLowering.h"
+#include "support/TaskPool.h"
 
 #include <algorithm>
 
@@ -42,7 +43,9 @@ int minAllocableCount(const MFunction &Fn, const TargetInfo &Target) {
 }
 
 bool runScheduler(FunctionState &FS, const sched::SchedulerOptions &SO) {
-  if (!sched::scheduleFunction(*FS.MF, *FS.Target, *FS.Diags, SO))
+  sched::SchedulerOptions Shaped = SO;
+  Shaped.ParallelBlocks = FS.ParallelBlocks;
+  if (!sched::scheduleFunction(*FS.MF, *FS.Target, *FS.Diags, Shaped))
     return false;
   ++FS.Stats.SchedulerPasses;
   FS.Stats.ScheduledInstrs += FS.MF->instrCount();
@@ -54,6 +57,12 @@ sched::SchedulerOptions finalSchedOptions(const FunctionState &FS) {
   sched::SchedulerOptions SO = FS.Strat.Sched;
   SO.RegisterLimit = -1;
   return SO;
+}
+
+/// True when \p FS should fan per-block work out to the task pool.
+bool blockParallel(const FunctionState &FS) {
+  return FS.ParallelBlocks && support::TaskPool::instance().parallel() &&
+         FS.MF->Blocks.size() > 1;
 }
 
 } // namespace
@@ -105,12 +114,28 @@ Pass pipeline::createSelectPass() {
 
 Pass pipeline::createBuildDagPass() {
   return {"build-dag", [](FunctionState &FS) {
-            for (const MBlock &Block : FS.MF->Blocks) {
+            // Per-block DAG builds are independent reads of the selected
+            // function; counts are buffered per block and summed in block
+            // order, so the stats match the serial loop exactly.
+            const MFunction &Fn = *FS.MF;
+            std::vector<std::pair<long, long>> Counts(Fn.Blocks.size());
+            auto BuildOne = [&](size_t B) {
+              const MBlock &Block = Fn.Blocks[B];
               if (Block.Instrs.empty())
-                continue;
-              sched::CodeDAG Dag(*FS.MF, Block, *FS.Target);
-              FS.Stats.DagNodes += static_cast<long>(Dag.nodes().size());
-              FS.Stats.DagEdges += static_cast<long>(Dag.edges().size());
+                return;
+              sched::CodeDAG Dag(Fn, Block, *FS.Target);
+              Counts[B] = {static_cast<long>(Dag.nodes().size()),
+                           static_cast<long>(Dag.edges().size())};
+            };
+            if (blockParallel(FS))
+              support::TaskPool::instance().parallelFor(Fn.Blocks.size(),
+                                                        "dag.block", BuildOne);
+            else
+              for (size_t B = 0; B < Fn.Blocks.size(); ++B)
+                BuildOne(B);
+            for (auto [Nodes, Edges] : Counts) {
+              FS.Stats.DagNodes += Nodes;
+              FS.Stats.DagEdges += Edges;
             }
             return true;
           }};
@@ -135,15 +160,29 @@ Pass pipeline::createRaseProbePass() {
               Probe = std::max(2, Min / 2);
             }
             FS.BlockSpillWeight.assign(Fn.Blocks.size(), 1.0);
+            sched::SchedulerOptions Free = FS.Strat.Sched;
+            Free.RegisterLimit = -1;
+            sched::SchedulerOptions Tight = FS.Strat.Sched;
+            Tight.RegisterLimit = Probe;
+            // Both probe schedules per block are independent reads, so they
+            // fan out; the reduction below walks blocks in order and stops
+            // at the first deadlock, replicating the serial loop's stats
+            // and diagnostics exactly (later blocks' counts never land).
+            std::vector<std::pair<sched::BlockSchedule, sched::BlockSchedule>>
+                Probes(Fn.Blocks.size());
+            auto ProbeOne = [&](size_t B) {
+              Probes[B] = {
+                  sched::computeSchedule(Fn, Fn.Blocks[B], *FS.Target, Free),
+                  sched::computeSchedule(Fn, Fn.Blocks[B], *FS.Target, Tight)};
+            };
+            if (blockParallel(FS))
+              support::TaskPool::instance().parallelFor(
+                  Fn.Blocks.size(), "rase.block", ProbeOne);
+            else
+              for (size_t B = 0; B < Fn.Blocks.size(); ++B)
+                ProbeOne(B);
             for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
-              sched::SchedulerOptions Free = FS.Strat.Sched;
-              Free.RegisterLimit = -1;
-              sched::BlockSchedule Unlimited =
-                  sched::computeSchedule(Fn, Fn.Blocks[B], *FS.Target, Free);
-              sched::SchedulerOptions Tight = FS.Strat.Sched;
-              Tight.RegisterLimit = Probe;
-              sched::BlockSchedule Limited =
-                  sched::computeSchedule(Fn, Fn.Blocks[B], *FS.Target, Tight);
+              const auto &[Unlimited, Limited] = Probes[B];
               FS.Stats.SchedulerPasses += 2;
               FS.Stats.ScheduledInstrs += 2 * Fn.Blocks[B].Instrs.size();
               if (Unlimited.Deadlocked || Limited.Deadlocked) {
@@ -167,12 +206,15 @@ Pass pipeline::createAllocatePass() {
             regalloc::AllocatorOptions AO = FS.Strat.Alloc;
             if (!FS.BlockSpillWeight.empty())
               AO.BlockSpillWeight = FS.BlockSpillWeight;
+            AO.ParallelBlocks = FS.ParallelBlocks;
             regalloc::AllocationStats AS;
             if (!regalloc::allocateFunction(*FS.MF, *FS.Target, *FS.Diags, AO,
                                             &AS))
               return false;
             FS.Stats.SpilledPseudos += AS.SpilledPseudos;
             FS.Stats.AllocatorRounds += AS.Rounds;
+            FS.Stats.AllocGraphBlocks += AS.GraphBlocks;
+            FS.Stats.AllocIncrementalBlocks += AS.IncrementalBlocks;
             return true;
           }};
 }

@@ -1,18 +1,43 @@
-//===- Allocator.cpp ------------------------------------------------------==//
+//===- Allocator.cpp - Bit-matrix graph-coloring allocator -----------------==//
+//
+// The production allocator path. Three structural changes over the linear
+// reference path (LinearAllocator.cpp), each proven bit-identical by the
+// equivalence suite in tests/regalloc_test.cpp:
+//
+//  * the interference graph is a hybrid lower-triangular bit-matrix plus
+//    sorted adjacency vectors (InterferenceGraph.h) built in one pass from
+//    bitset liveness, instead of std::vector<std::set<int>>;
+//  * spill rounds extend the existing graph incrementally: CFG and liveness
+//    are computed once, spilled keys are erased from the live sets, and only
+//    the blocks the spill code actually touched are rescanned. Stale edges
+//    to spilled pseudos stay in the matrix — they are inert because coloring
+//    drops occurrence-free nodes up front (DESIGN.md §13);
+//  * coloring caches the per-bank allocation order once and accumulates
+//    forbidden units in a reused bitset, removing the per-candidate vector
+//    reconstruction that dominated the old profile.
+//
+// Per-block graph scans are independent, so when AllocatorOptions::
+// ParallelBlocks is set they fan out to the process task pool and are
+// reduced in block order — the graph is a pure edge set, so the result is
+// identical to the serial scan.
+//
+//===----------------------------------------------------------------------===//
 
 #include "regalloc/Allocator.h"
 
+#include "regalloc/AllocatorInternal.h"
+#include "regalloc/InterferenceGraph.h"
 #include "regalloc/Liveness.h"
 #include "support/Recovery.h"
+#include "support/TaskPool.h"
 #include "target/TargetInfo.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
-#include <set>
 
 using namespace marion;
 using namespace marion::regalloc;
@@ -20,137 +45,182 @@ using namespace marion::target;
 
 namespace {
 
-class AllocatorImpl {
+/// One block's contribution to the interference graph, buffered so the scan
+/// can run on any thread and be merged in block order on the caller.
+struct BlockScan {
+  std::vector<std::pair<int, int>> PseudoEdges; ///< pseudo <-> pseudo.
+  std::vector<std::pair<int, int>> UnitEdges;   ///< (pseudo, unit).
+  std::vector<int> Occ;                         ///< one entry per occurrence.
+};
+
+class FastAllocator {
 public:
-  AllocatorImpl(MFunction &Fn, const TargetInfo &Target,
+  FastAllocator(MFunction &Fn, const TargetInfo &Target,
                 DiagnosticEngine &Diags, const AllocatorOptions &Opts)
       : Fn(Fn), Target(Target), Diags(Diags), Opts(Opts) {}
 
   bool run(AllocationStats *Stats);
 
 private:
-  void buildInterference(const CFG &Cfg, const LivenessResult &Live);
-  void computeSpillCosts(const CFG &Cfg);
+  void scanBlock(size_t B, BlockScan &Out, int DebugPseudo) const;
+  void buildGraph(const std::vector<size_t> &Blocks, size_t MinOccPseudo);
+  void computeSpillCosts();
   bool colorGraph(std::vector<int> &SpillList);
-  bool insertSpillCode(const std::vector<int> &SpillList);
-  void rewriteOperands();
-  void collectCalleeSaved();
-
-  /// Ordered candidate registers for a bank: caller-saved first so values
-  /// not live across calls avoid save/restore cost.
-  std::vector<PhysReg> orderedAllocable(int Bank) const;
+  const std::vector<PhysReg> &allocOrder(int Bank);
 
   MFunction &Fn;
   const TargetInfo &Target;
   DiagnosticEngine &Diags;
   const AllocatorOptions &Opts;
 
-  // Per-round state.
-  std::vector<std::set<int>> Adj;             ///< pseudo -> pseudo edges.
-  std::vector<std::set<unsigned>> Precolored; ///< pseudo -> phys units.
+  CFG Cfg;             ///< Built once; spill code never adds branches.
+  LivenessResult Live; ///< Computed once, spilled keys erased per round.
+
+  InterferenceGraph G;
   std::vector<double> SpillCost;
-  std::vector<bool> NoSpill; ///< Spill-generated pseudos must color.
+  std::vector<bool> NoSpill;
   std::vector<unsigned> Occurrences;
   std::vector<PhysReg> Assignment;
+
+  /// Per-bank candidate order (regalloc::detail::orderedAllocable), computed once —
+  /// the old allocator rebuilt this vector for every simplify-scan probe.
+  std::vector<std::vector<PhysReg>> AllocOrderPerBank;
+  std::vector<bool> AllocOrderReady;
 
   AllocationStats Totals;
 };
 
-std::vector<PhysReg> AllocatorImpl::orderedAllocable(int Bank) const {
-  const RuntimeModel &Rt = Target.runtime();
-  std::vector<PhysReg> CallerSaved, CalleeSaved;
-  if (Bank < 0 || Bank >= static_cast<int>(Rt.AllocablePerBank.size()))
-    return {};
-  for (PhysReg Reg : Rt.AllocablePerBank[Bank]) {
-    // A register aliasing any callee-saved register costs a save.
-    bool Saved = false;
-    for (PhysReg CS : Rt.CalleeSaved)
-      if (Target.registers().alias(Reg, CS))
-        Saved = true;
-    (Saved ? CalleeSaved : CallerSaved).push_back(Reg);
+const std::vector<PhysReg> &FastAllocator::allocOrder(int Bank) {
+  size_t NumBanks = Target.description().Banks.size();
+  if (AllocOrderPerBank.size() < NumBanks) {
+    AllocOrderPerBank.resize(NumBanks);
+    AllocOrderReady.resize(NumBanks, false);
   }
-  CallerSaved.insert(CallerSaved.end(), CalleeSaved.begin(),
-                     CalleeSaved.end());
-  return CallerSaved;
+  if (Bank < 0 || static_cast<size_t>(Bank) >= NumBanks) {
+    static const std::vector<PhysReg> Empty;
+    return Empty;
+  }
+  if (!AllocOrderReady[Bank]) {
+    AllocOrderPerBank[Bank] = regalloc::detail::orderedAllocable(Target, Bank);
+    AllocOrderReady[Bank] = true;
+  }
+  return AllocOrderPerBank[Bank];
 }
 
-void AllocatorImpl::buildInterference(const CFG &Cfg,
-                                      const LivenessResult &Live) {
-  size_t NumPseudos = Fn.Pseudos.size();
-  Adj.assign(NumPseudos, {});
-  Precolored.assign(NumPseudos, {});
-  Occurrences.assign(NumPseudos, 0);
-  (void)Cfg;
+void FastAllocator::scanBlock(size_t B, BlockScan &Out,
+                              int DebugPseudo) const {
+  support::IndexSet Live_;
+  Live_.assign(Live.LiveOut[B]);
 
-  auto AddEdge = [&](LiveKey A, LiveKey B) {
-    if (A == B)
+  auto EmitEdge = [&Out](LiveKey A, LiveKey E) {
+    if (A == E)
       return;
-    if (isPseudoKey(A) && isPseudoKey(B)) {
-      Adj[pseudoOf(A)].insert(pseudoOf(B));
-      Adj[pseudoOf(B)].insert(pseudoOf(A));
-    } else if (isPseudoKey(A)) {
-      Precolored[pseudoOf(A)].insert(unitOf(B));
-    } else if (isPseudoKey(B)) {
-      Precolored[pseudoOf(B)].insert(unitOf(A));
-    }
+    if (isPseudoKey(A) && isPseudoKey(E))
+      Out.PseudoEdges.push_back({pseudoOf(A), pseudoOf(E)});
+    else if (isPseudoKey(A))
+      Out.UnitEdges.push_back({pseudoOf(A), static_cast<int>(unitOf(E))});
+    else if (isPseudoKey(E))
+      Out.UnitEdges.push_back({pseudoOf(E), static_cast<int>(unitOf(A))});
   };
+
+  const std::vector<MInstr> &Instrs = Fn.Blocks[B].Instrs;
+  for (size_t I = Instrs.size(); I-- > 0;) {
+    const MInstr &MI = Instrs[I];
+    if (DebugPseudo >= 0) {
+      for (const MOperand &Op : MI.Ops)
+        if (Op.K == MOperand::Kind::Pseudo && Op.PseudoId == DebugPseudo) {
+          std::string Msg = "pseudo trace: block " + std::to_string(B) +
+              " instr " + std::to_string(I) + " live={";
+          for (LiveKey L : Live_)
+            Msg += (isPseudoKey(L) ? "%" + std::to_string(pseudoOf(L))
+                                   : "u" + std::to_string(unitOf(L))) + ",";
+          Msg += "}\n";
+          std::fputs(Msg.c_str(), stderr);
+        }
+    }
+    const TargetInstr &TI = Target.instr(MI.InstrId);
+    InstrDefsUses DU = defsUses(MI, Target, Fn.ReturnType);
+
+    for (const MOperand &Op : MI.Ops)
+      if (Op.K == MOperand::Kind::Pseudo)
+        Out.Occ.push_back(Op.PseudoId);
+
+    // A register move does not make its source and destination interfere
+    // (Chaitin); all other defs interfere with live-out.
+    LiveKey MoveSrc = -1;
+    if (TI.IsMove && TI.Pat.Kind == PatternKind::Value &&
+        TI.Pat.Root.K == PatternNode::Kind::OperandRef) {
+      unsigned SrcIdx = TI.Pat.Root.OperandIndex;
+      if (SrcIdx >= 1 && SrcIdx <= MI.Ops.size()) {
+        std::vector<LiveKey> Keys;
+        keysOfOperand(MI.Ops[SrcIdx - 1], Target.registers(), Keys);
+        if (Keys.size() == 1)
+          MoveSrc = Keys[0];
+      }
+    }
+
+    for (LiveKey Def : DU.Defs) {
+      for (LiveKey L : Live_)
+        if (L != MoveSrc || Def != DU.Defs.front())
+          EmitEdge(Def, L);
+      for (LiveKey Other : DU.Defs)
+        EmitEdge(Def, Other);
+    }
+    for (LiveKey Def : DU.Defs)
+      Live_.erase(Def);
+    for (LiveKey Use : DU.Uses)
+      Live_.insert(Use);
+  }
+}
+
+void FastAllocator::buildGraph(const std::vector<size_t> &Blocks,
+                               size_t MinOccPseudo) {
+  auto Start = std::chrono::steady_clock::now();
+  size_t NumPseudos = Fn.Pseudos.size();
+  G.grow(NumPseudos);
+  Occurrences.resize(NumPseudos, 0);
 
   const char *DebugPseudoEnv = std::getenv("MARION_RA_TRACE_PSEUDO");
   int DebugPseudo = DebugPseudoEnv ? std::atoi(DebugPseudoEnv) : -1;
-  for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
-    std::set<LiveKey> Live_ = Live.LiveOut[B];
-    const std::vector<MInstr> &Instrs = Fn.Blocks[B].Instrs;
-    for (size_t I = Instrs.size(); I-- > 0;) {
-      const MInstr &MI = Instrs[I];
-      if (DebugPseudo >= 0) {
-        for (const MOperand &Op : MI.Ops)
-          if (Op.K == MOperand::Kind::Pseudo && Op.PseudoId == DebugPseudo) {
-            std::string Msg = "pseudo trace: block " + std::to_string(B) +
-                " instr " + std::to_string(I) + " live={";
-            for (LiveKey L : Live_)
-              Msg += (isPseudoKey(L) ? "%" + std::to_string(pseudoOf(L))
-                                     : "u" + std::to_string(unitOf(L))) + ",";
-            Msg += "}\n";
-            std::fputs(Msg.c_str(), stderr);
-          }
-      }
-      const TargetInstr &TI = Target.instr(MI.InstrId);
-      InstrDefsUses DU = defsUses(MI, Target, Fn.ReturnType);
 
-      for (const MOperand &Op : MI.Ops)
-        if (Op.K == MOperand::Kind::Pseudo)
-          ++Occurrences[Op.PseudoId];
-
-      // A register move does not make its source and destination
-      // interfere (Chaitin); all other defs interfere with live-out.
-      LiveKey MoveSrc = -1;
-      if (TI.IsMove && TI.Pat.Kind == PatternKind::Value &&
-          TI.Pat.Root.K == PatternNode::Kind::OperandRef) {
-        unsigned SrcIdx = TI.Pat.Root.OperandIndex;
-        if (SrcIdx >= 1 && SrcIdx <= MI.Ops.size()) {
-          std::vector<LiveKey> Keys;
-          keysOfOperand(MI.Ops[SrcIdx - 1], Target.registers(), Keys);
-          if (Keys.size() == 1)
-            MoveSrc = Keys[0];
-        }
-      }
-
-      for (LiveKey Def : DU.Defs) {
-        for (LiveKey L : Live_)
-          if (L != MoveSrc || Def != DU.Defs.front())
-            AddEdge(Def, L);
-        for (LiveKey Other : DU.Defs)
-          AddEdge(Def, Other);
-      }
-      for (LiveKey Def : DU.Defs)
-        Live_.erase(Def);
-      for (LiveKey Use : DU.Uses)
-        Live_.insert(Use);
-    }
+  std::vector<BlockScan> Scans(Blocks.size());
+  support::TaskPool &Pool = support::TaskPool::instance();
+  // The trace-pseudo debug stream must appear in block order, so tracing
+  // forces the serial scan.
+  if (Opts.ParallelBlocks && Pool.parallel() && Blocks.size() > 1 &&
+      DebugPseudo < 0) {
+    Pool.parallelFor(Blocks.size(), "alloc.graph", [&](size_t I) {
+      scanBlock(Blocks[I], Scans[I], -1);
+    });
+  } else {
+    for (size_t I = 0; I < Blocks.size(); ++I)
+      scanBlock(Blocks[I], Scans[I], DebugPseudo);
   }
+
+  // Reduce in block order. The graph is a pure edge set (matrix-deduped,
+  // adjacency re-sorted below), so the merge order cannot change it — kept
+  // deterministic anyway so intermediate states are reproducible.
+  for (const BlockScan &S : Scans) {
+    for (auto [A, E] : S.PseudoEdges)
+      G.addEdge(A, E);
+    for (auto [P, U] : S.UnitEdges)
+      G.addPrecolored(P, static_cast<unsigned>(U));
+    for (int P : S.Occ)
+      if (static_cast<size_t>(P) >= MinOccPseudo)
+        ++Occurrences[P];
+  }
+  G.sortAdjacency();
+
+  Totals.GraphBlocks += static_cast<unsigned>(Blocks.size());
+  double Micros = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  Totals.GraphBuildMicros += Micros;
+  allocTimingCounters().GraphBuildNanos.fetch_add(
+      static_cast<uint64_t>(Micros * 1000.0), std::memory_order_relaxed);
 }
 
-void AllocatorImpl::computeSpillCosts(const CFG &Cfg) {
+void FastAllocator::computeSpillCosts() {
   SpillCost.assign(Fn.Pseudos.size(), 0.0);
   for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
     double Freq = std::pow(10.0, std::min<unsigned>(Cfg.LoopDepth[B], 4));
@@ -163,11 +233,13 @@ void AllocatorImpl::computeSpillCosts(const CFG &Cfg) {
   }
 }
 
-bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
+bool FastAllocator::colorGraph(std::vector<int> &SpillList) {
   size_t NumPseudos = Fn.Pseudos.size();
   Assignment.assign(NumPseudos, PhysReg());
 
-  // Active = pseudos that occur in code and need a color.
+  // Active = pseudos that occur in code and need a color. Spilled pseudos
+  // from earlier rounds have zero occurrences, which is what keeps their
+  // stale matrix edges inert.
   std::vector<bool> Removed(NumPseudos, false);
   std::vector<int> Active;
   for (size_t P = 0; P < NumPseudos; ++P) {
@@ -180,13 +252,11 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
 
   std::vector<unsigned> Degree(NumPseudos, 0);
   for (int P : Active)
-    for (int Q : Adj[P])
+    for (int Q : G.adj(P))
       if (!Removed[Q])
         ++Degree[P];
 
-  auto ColorsOf = [&](int P) {
-    return orderedAllocable(Fn.Pseudos[P].Bank).size();
-  };
+  auto ColorsOf = [&](int P) { return allocOrder(Fn.Pseudos[P].Bank).size(); };
 
   // Simplify: push low-degree nodes; when stuck, push the cheapest spill
   // candidate optimistically (Briggs).
@@ -221,28 +291,31 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
     OnStack[Picked] = true;
     Stack.push_back(Picked);
     --RemainingCount;
-    for (int Q : Adj[Picked])
+    for (int Q : G.adj(Picked))
       if (!Removed[Q] && !OnStack[Q] && Degree[Q] > 0)
         --Degree[Q];
   }
 
   // Select: pop and assign the first register whose units avoid every
-  // assigned neighbor and precolored unit.
+  // assigned neighbor and precolored unit. Forbidden is a reused bitset —
+  // membership tests match the old std::set exactly.
   const RegisterFile &Regs = Target.registers();
+  support::IndexSet Forbidden(Regs.numUnits() + 1);
   while (!Stack.empty()) {
     int P = Stack.back();
     Stack.pop_back();
-    std::set<unsigned> Forbidden = Precolored[P];
-    for (int Q : Adj[P])
+    Forbidden.clear();
+    Forbidden.unionWith(G.precolored(P));
+    for (int Q : G.adj(P))
       if (Assignment[Q].isValid())
         for (unsigned Unit : Regs.unitsOf(Assignment[Q]))
-          Forbidden.insert(Unit);
+          Forbidden.insert(static_cast<int>(Unit));
 
     PhysReg Chosen;
-    for (PhysReg Candidate : orderedAllocable(Fn.Pseudos[P].Bank)) {
+    for (PhysReg Candidate : allocOrder(Fn.Pseudos[P].Bank)) {
       bool Ok = true;
       for (unsigned Unit : Regs.unitsOf(Candidate))
-        if (Forbidden.count(Unit))
+        if (Forbidden.count(static_cast<int>(Unit)))
           Ok = false;
       if (Ok) {
         Chosen = Candidate;
@@ -252,7 +325,7 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
     if (Chosen.isValid()) {
       Assignment[P] = Chosen;
     } else {
-      if (orderedAllocable(Fn.Pseudos[P].Bank).empty()) {
+      if (allocOrder(Fn.Pseudos[P].Bank).empty()) {
         Diags.error(SourceLocation(),
                     "register bank '" +
                         Target.description().Banks[Fn.Pseudos[P].Bank].Name +
@@ -262,9 +335,11 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
       if (NoSpill[P]) {
         // A spill temporary failed to color: evict the cheapest colorable
         // neighbor instead (its range will be split by the next round).
+        // Adjacency is sorted ascending, so the strict < keeps the same
+        // first-minimum victim the set-based reference picks.
         int Victim = -1;
         double Best = 0;
-        for (int Q : Adj[P]) {
+        for (int Q : G.adj(P)) {
           if (NoSpill[Q] || Occurrences[Q] == 0)
             continue;
           double Cost = SpillCost[Q];
@@ -274,17 +349,28 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
           }
         }
         if (Victim < 0) {
+          // Diagnostics list only live neighbors: stale edges to spilled
+          // pseudos are an implementation detail the reference path never
+          // sees, and these messages must match it byte-for-byte.
+          size_t LiveAdj = 0;
+          for (int Q : G.adj(P))
+            if (Occurrences[Q] > 0)
+              ++LiveAdj;
           std::string Units = " precoloredUnits={";
-          for (unsigned U : Precolored[P]) Units += std::to_string(U) + ",";
+          for (int U : G.precolored(P)) Units += std::to_string(U) + ",";
           Units += "} adjPseudos={";
-          for (int Q : Adj[P]) Units += std::to_string(Q) + "(" +
-              (NoSpill[Q] ? "nospill" : "ok") + "),";
+          for (int Q : G.adj(P)) {
+            if (Occurrences[Q] == 0)
+              continue;
+            Units += std::to_string(Q) + "(" +
+                (NoSpill[Q] ? "nospill" : "ok") + "),";
+          }
           Units += "}";
           std::string Detail = Units + " bank=" +
               Target.description().Banks[Fn.Pseudos[P].Bank].Name +
               " name=" + Fn.Pseudos[P].Name +
-              " precolored=" + std::to_string(Precolored[P].size()) +
-              " adj=" + std::to_string(Adj[P].size());
+              " precolored=" + std::to_string(G.precoloredCount(P)) +
+              " adj=" + std::to_string(LiveAdj);
           if (std::getenv("MARION_RA_DEBUG"))
             std::fputs(functionToString(Target, Fn).c_str(), stderr);
           Diags.error(SourceLocation(),
@@ -302,9 +388,11 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
             Fn.Pseudos[P].Name + ") bank=" +
             Target.description().Banks[Fn.Pseudos[P].Bank].Name +
             " precolored={";
-        for (unsigned U : Precolored[P]) Msg += std::to_string(U) + ",";
+        for (int U : G.precolored(P)) Msg += std::to_string(U) + ",";
         Msg += "} adj={";
-        for (int Q : Adj[P]) Msg += std::to_string(Q) + ",";
+        for (int Q : G.adj(P))
+          if (Occurrences[Q] > 0)
+            Msg += std::to_string(Q) + ",";
         Msg += "}\n";
         std::fputs(Msg.c_str(), stderr);
       }
@@ -314,232 +402,62 @@ bool AllocatorImpl::colorGraph(std::vector<int> &SpillList) {
   return true;
 }
 
-bool AllocatorImpl::insertSpillCode(const std::vector<int> &SpillList) {
-  std::map<int, int> SlotOffset;
-  for (int P : SpillList) {
-    const maril::RegisterBank &Bank =
-        Target.description().Banks[Fn.Pseudos[P].Bank];
-    unsigned Align = std::max(4u, Bank.SizeBytes);
-    Fn.FrameSize = (Fn.FrameSize + Align - 1) / Align * Align;
-    SlotOffset[P] = static_cast<int>(Fn.FrameSize);
-    Fn.FrameSize += Bank.SizeBytes;
-  }
-  Totals.SpilledPseudos += SpillList.size();
-
-  PhysReg Sp = Target.runtime().StackPointer;
-  auto BuildMemOps = [&](int InstrId, MOperand Value,
-                         int Offset) -> std::vector<MOperand> {
-    const TargetInstr &TI = Target.instr(InstrId);
-    std::vector<MOperand> Ops(TI.Desc->Operands.size());
-    // Shape verified by TargetInfo::findLoad/findStore: value register,
-    // base register, immediate displacement.
-    for (size_t I = 0; I < TI.Desc->Operands.size(); ++I) {
-      switch (TI.Desc->Operands[I].Kind) {
-      case maril::OperandKind::Imm:
-        Ops[I] = MOperand::imm(Offset);
-        break;
-      case maril::OperandKind::RegClass: {
-        const maril::RegisterBank *OpBank =
-            Target.description().findBank(TI.Desc->Operands[I].Name);
-        if (OpBank && OpBank->Id == Sp.Bank &&
-            static_cast<int>(I) != static_cast<int>(
-                (TI.Pat.Kind == PatternKind::Value ? TI.Pat.DestOperand
-                                                   : 0)) - 1 &&
-            !(TI.Pat.Kind == PatternKind::Store &&
-              TI.Pat.StoredValue.K == PatternNode::Kind::OperandRef &&
-              TI.Pat.StoredValue.OperandIndex == I + 1))
-          Ops[I] = MOperand::phys(Sp);
-        else
-          Ops[I] = Value;
-        break;
-      }
-      case maril::OperandKind::FixedReg: {
-        const maril::RegisterBank *OpBank =
-            Target.description().findBank(TI.Desc->Operands[I].Name);
-        Ops[I] = MOperand::phys(
-            PhysReg{OpBank ? OpBank->Id : -1, TI.Desc->Operands[I].FixedIndex});
-        break;
-      }
-      case maril::OperandKind::Label:
-        break;
-      }
-    }
-    return Ops;
-  };
-
-  for (MBlock &Block : Fn.Blocks) {
-    std::vector<MInstr> NewInstrs;
-    for (MInstr &MI : Block.Instrs) {
-      const TargetInstr &TI = Target.instr(MI.InstrId);
-      std::set<unsigned> DefSet(TI.DefOps.begin(), TI.DefOps.end());
-
-      // Half-register references to a spilled pseudo spill through the
-      // overlaid bank: the half value moves via the sub-bank's load/store
-      // at the half's slot offset (paper §3.4 *movd halves).
-      auto SubBankOf = [&](int Bank) -> int {
-        for (const maril::EquivDecl &Equiv : Target.description().Equivs)
-          if (Equiv.BankAId == Bank)
-            return Equiv.BankBId;
-        return -1;
-      };
-
-      // Loads before: one fresh pseudo per spilled use (per half for
-      // half-register uses).
-      std::map<std::pair<int, int>, int> LoadedAs; // (pseudo, subreg)
-      for (size_t OpIdx = 0; OpIdx < MI.Ops.size(); ++OpIdx) {
-        MOperand &Op = MI.Ops[OpIdx];
-        if (Op.K != MOperand::Kind::Pseudo || !SlotOffset.count(Op.PseudoId))
-          continue;
-        bool IsDef = DefSet.count(static_cast<unsigned>(OpIdx + 1));
-        if (IsDef)
-          continue;
-        int P = Op.PseudoId;
-        int Bank = Fn.Pseudos[P].Bank;
-        int Offset = SlotOffset[P];
-        if (Op.SubReg >= 0) {
-          int Sub = SubBankOf(Bank);
-          if (Sub >= 0) {
-            Bank = Sub;
-            Offset += Op.SubReg *
-                      static_cast<int>(
-                          Target.description().Banks[Sub].SizeBytes);
-          }
-        }
-        int Fresh;
-        auto Key = std::make_pair(P, Op.SubReg);
-        auto It = LoadedAs.find(Key);
-        if (It != LoadedAs.end()) {
-          Fresh = It->second;
-        } else {
-          Fresh = Fn.addPseudo(Bank, "sp" + std::to_string(P));
-          NoSpill.resize(Fn.Pseudos.size(), false);
-          NoSpill[Fresh] = true;
-          int LoadId = Target.findLoad(Bank);
-          if (LoadId < 0) {
-            Diags.error(SourceLocation(),
-                        "cannot spill: no load instruction for bank");
-            return false;
-          }
-          NewInstrs.push_back(MInstr(
-              LoadId, BuildMemOps(LoadId, MOperand::pseudo(Fresh), Offset)));
-          ++Totals.SpillLoads;
-          LoadedAs[Key] = Fresh;
-        }
-        Op.PseudoId = Fresh;
-        Op.SubReg = -1;
-      }
-
-      // Defs: write a fresh pseudo, store it after (per half for
-      // half-register defs).
-      std::vector<std::pair<int, int>> StoresAfter; // (pseudo, offset)
-      for (size_t OpIdx = 0; OpIdx < MI.Ops.size(); ++OpIdx) {
-        MOperand &Op = MI.Ops[OpIdx];
-        if (Op.K != MOperand::Kind::Pseudo || !SlotOffset.count(Op.PseudoId))
-          continue;
-        if (!DefSet.count(static_cast<unsigned>(OpIdx + 1)))
-          continue;
-        int P = Op.PseudoId;
-        int Bank = Fn.Pseudos[P].Bank;
-        int Offset = SlotOffset[P];
-        if (Op.SubReg >= 0) {
-          int Sub = SubBankOf(Bank);
-          if (Sub >= 0) {
-            Bank = Sub;
-            Offset += Op.SubReg *
-                      static_cast<int>(
-                          Target.description().Banks[Sub].SizeBytes);
-          }
-        }
-        int Fresh = Fn.addPseudo(Bank, "sd" + std::to_string(P));
-        NoSpill.resize(Fn.Pseudos.size(), false);
-        NoSpill[Fresh] = true;
-        Op.PseudoId = Fresh;
-        Op.SubReg = -1;
-        StoresAfter.push_back({Fresh, Offset});
-      }
-
-      NewInstrs.push_back(MI);
-      for (auto [Fresh, Offset] : StoresAfter) {
-        int Bank = Fn.Pseudos[Fresh].Bank;
-        int StoreId = Target.findStore(Bank);
-        if (StoreId < 0) {
-          Diags.error(SourceLocation(),
-                      "cannot spill: no store instruction for bank");
-          return false;
-        }
-        NewInstrs.push_back(MInstr(
-            StoreId,
-            BuildMemOps(StoreId, MOperand::pseudo(Fresh), Offset)));
-        ++Totals.SpillStores;
-      }
-    }
-    Block.Instrs = std::move(NewInstrs);
-  }
-  return true;
-}
-
-void AllocatorImpl::rewriteOperands() {
-  const RegisterFile &Regs = Target.registers();
-  for (MBlock &Block : Fn.Blocks)
-    for (MInstr &MI : Block.Instrs)
-      for (MOperand &Op : MI.Ops) {
-        if (Op.K != MOperand::Kind::Pseudo)
-          continue;
-        PhysReg Reg = Assignment[Op.PseudoId];
-        MARION_CHECK(Reg.isValid(),
-                     "pseudo %" + std::to_string(Op.PseudoId) +
-                         " left unassigned after coloring in '" + Fn.Name +
-                         "'");
-        if (Op.SubReg >= 0) {
-          auto Sub = Regs.subReg(Target.description(), Reg, Op.SubReg);
-          if (Sub) {
-            Op = MOperand::phys(*Sub);
-            continue;
-          }
-        }
-        int SubReg = Op.SubReg;
-        Op = MOperand::phys(Reg);
-        Op.SubReg = SubReg >= 0 ? SubReg : -1;
-      }
-}
-
-void AllocatorImpl::collectCalleeSaved() {
-  const RegisterFile &Regs = Target.registers();
-  std::set<PhysReg> Used;
-  for (PhysReg CS : Target.runtime().CalleeSaved) {
-    bool Touched = false;
-    for (size_t P = 0; P < Assignment.size(); ++P)
-      if (Assignment[P].isValid() && Occurrences[P] > 0 &&
-          Regs.alias(Assignment[P], CS))
-        Touched = true;
-    if (Touched)
-      Used.insert(CS);
-  }
-  Fn.UsedCalleeSaved.assign(Used.begin(), Used.end());
-}
-
-bool AllocatorImpl::run(AllocationStats *Stats) {
+bool FastAllocator::run(AllocationStats *Stats) {
   NoSpill.assign(Fn.Pseudos.size(), false);
+  // Spill code inserts loads/stores but never branches, so the CFG — and
+  // with it loop depths — is loop-invariant across spill rounds. Liveness
+  // is maintained incrementally: spilled keys are erased (their ranges
+  // vanish wholesale) and spill temporaries are block-local by construction,
+  // so no other block's live sets can change.
+  Cfg = CFG::build(Fn, Target);
+  Live = LivenessResult::compute(Fn, Target, Cfg);
+
+  std::vector<size_t> AllBlocks(Fn.Blocks.size());
+  for (size_t B = 0; B < AllBlocks.size(); ++B)
+    AllBlocks[B] = B;
+
+  G.init(Fn.Pseudos.size());
+  Occurrences.assign(Fn.Pseudos.size(), 0);
+  buildGraph(AllBlocks, 0);
+
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     ++Totals.Rounds;
-    CFG Cfg = CFG::build(Fn, Target);
-    LivenessResult Live = LivenessResult::compute(Fn, Target, Cfg);
-    buildInterference(Cfg, Live);
-    computeSpillCosts(Cfg);
+    computeSpillCosts();
 
     std::vector<int> SpillList;
     if (!colorGraph(SpillList))
       return false;
     if (SpillList.empty()) {
-      rewriteOperands();
-      collectCalleeSaved();
+      regalloc::detail::rewriteOperands(Fn, Target, Assignment);
+      regalloc::detail::collectCalleeSaved(Fn, Target, Assignment, Occurrences);
       Fn.IsAllocated = true;
       if (Stats)
         *Stats = Totals;
       return true;
     }
-    if (!insertSpillCode(SpillList))
+
+    size_t OldN = Fn.Pseudos.size();
+    std::vector<char> Touched;
+    if (!regalloc::detail::insertSpillCode(Fn, Target, Diags, SpillList, NoSpill,
+                                 Totals, &Touched))
       return false;
+
+    // Incremental rebuild: drop the spilled keys everywhere, then rescan
+    // exactly the touched blocks, counting occurrences only for the fresh
+    // spill temporaries (old pseudos' counts are unchanged by spilling).
+    for (int P : SpillList) {
+      Occurrences[P] = 0;
+      for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+        Live.LiveIn[B].erase(static_cast<int>(pseudoKey(P)));
+        Live.LiveOut[B].erase(static_cast<int>(pseudoKey(P)));
+      }
+    }
+    std::vector<size_t> TouchedBlocks;
+    for (size_t B = 0; B < Touched.size(); ++B)
+      if (Touched[B])
+        TouchedBlocks.push_back(B);
+    Totals.IncrementalBlocks += static_cast<unsigned>(TouchedBlocks.size());
+    buildGraph(TouchedBlocks, OldN);
   }
   Diags.error(SourceLocation(), "register allocation did not converge in '" +
                                     Fn.Name + "'");
@@ -548,10 +466,17 @@ bool AllocatorImpl::run(AllocationStats *Stats) {
 
 } // namespace
 
+AllocTimingCounters &regalloc::allocTimingCounters() {
+  static AllocTimingCounters Counters;
+  return Counters;
+}
+
 bool regalloc::allocateFunction(MFunction &Fn, const TargetInfo &Target,
                                 DiagnosticEngine &Diags,
                                 const AllocatorOptions &Opts,
                                 AllocationStats *Stats) {
-  AllocatorImpl Impl(Fn, Target, Diags, Opts);
+  if (Opts.Linear)
+    return regalloc::detail::allocateFunctionLinear(Fn, Target, Diags, Opts, Stats);
+  FastAllocator Impl(Fn, Target, Diags, Opts);
   return Impl.run(Stats);
 }

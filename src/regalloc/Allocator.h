@@ -22,6 +22,8 @@
 #include "target/MInstr.h"
 #include "target/TargetInfo.h"
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 namespace marion {
@@ -33,6 +35,16 @@ struct AllocatorOptions {
   std::vector<double> BlockSpillWeight;
   /// Safety bound on spill-and-retry rounds.
   unsigned MaxRounds = 16;
+  /// Use the original set-based, rebuild-every-round allocator — the
+  /// reference path the bit-matrix allocator is proven bit-identical
+  /// against (tests/regalloc_test.cpp equivalence suite, marionc
+  /// --alloc-linear). Part of the option fingerprint.
+  bool Linear = false;
+  /// Fan independent per-block graph construction out to the process task
+  /// pool (support/TaskPool.h). Pure execution shape: results are reduced
+  /// in block order, so output is bit-identical either way — and therefore
+  /// this flag is deliberately NOT part of the option fingerprint.
+  bool ParallelBlocks = false;
 };
 
 struct AllocationStats {
@@ -40,7 +52,27 @@ struct AllocationStats {
   unsigned SpilledPseudos = 0;
   unsigned SpillLoads = 0;
   unsigned SpillStores = 0;
+  /// Blocks scanned into the interference graph over all rounds. With
+  /// incremental rebuild this stays far below Rounds * |blocks|; the
+  /// linear reference path counts every block every round. Deterministic
+  /// for a given allocator path.
+  unsigned GraphBlocks = 0;
+  /// The subset of GraphBlocks that were touched-block rescans (rounds
+  /// after the first). Always 0 on the linear path.
+  unsigned IncrementalBlocks = 0;
+  /// Wall-clock spent building/extending the interference graph —
+  /// run-dependent, reported in the stats timing section only.
+  double GraphBuildMicros = 0;
 };
+
+/// Process-wide run-dependent allocator counters, for the --stats-json
+/// timing section (per-function stats are deterministic and cached; wall
+/// clocks must not ride along with them). Snapshot-and-subtract to meter a
+/// region; safe to read from any thread.
+struct AllocTimingCounters {
+  std::atomic<uint64_t> GraphBuildNanos{0};
+};
+AllocTimingCounters &allocTimingCounters();
 
 /// Assigns physical registers to every pseudo of \p Fn in place, inserting
 /// spill code as needed (frame grows). On success Fn.IsAllocated is true

@@ -1,0 +1,70 @@
+//===- AllocatorInternal.h - Shared allocator machinery --------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machinery shared by the bit-matrix allocator (Allocator.cpp) and the
+/// set-based linear reference allocator (LinearAllocator.cpp): register
+/// ordering, spill-code insertion, operand rewriting and callee-saved
+/// collection. Sharing these keeps the two paths' generated code
+/// bit-identical by construction — the equivalence suite then only has to
+/// prove the graph representations and coloring agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_REGALLOC_ALLOCATORINTERNAL_H
+#define MARION_REGALLOC_ALLOCATORINTERNAL_H
+
+#include "regalloc/Allocator.h"
+#include "support/Diagnostics.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <vector>
+
+namespace marion {
+namespace regalloc {
+namespace detail {
+
+/// Ordered candidate registers for a bank: caller-saved first so values
+/// not live across calls avoid save/restore cost.
+std::vector<target::PhysReg> orderedAllocable(const target::TargetInfo &Target,
+                                              int Bank);
+
+/// Inserts spill loads/stores for every pseudo in \p SpillList, growing the
+/// frame and minting NoSpill temporaries. Increments SpilledPseudos /
+/// SpillLoads / SpillStores in \p Totals. When \p TouchedBlocks is non-null
+/// it is sized to the block count and marks exactly the blocks whose
+/// instruction stream changed — the incremental-rebuild working set.
+bool insertSpillCode(target::MFunction &Fn, const target::TargetInfo &Target,
+                     DiagnosticEngine &Diags,
+                     const std::vector<int> &SpillList,
+                     std::vector<bool> &NoSpill, AllocationStats &Totals,
+                     std::vector<char> *TouchedBlocks);
+
+/// Replaces every pseudo operand with its assigned physical register,
+/// resolving half-register selectors through the register file.
+void rewriteOperands(target::MFunction &Fn, const target::TargetInfo &Target,
+                     const std::vector<target::PhysReg> &Assignment);
+
+/// Records which callee-saved registers the assignment touches.
+void collectCalleeSaved(target::MFunction &Fn,
+                        const target::TargetInfo &Target,
+                        const std::vector<target::PhysReg> &Assignment,
+                        const std::vector<unsigned> &Occurrences);
+
+/// The set-based reference allocator (LinearAllocator.cpp), selected by
+/// AllocatorOptions::Linear.
+bool allocateFunctionLinear(target::MFunction &Fn,
+                            const target::TargetInfo &Target,
+                            DiagnosticEngine &Diags,
+                            const AllocatorOptions &Opts,
+                            AllocationStats *Stats);
+
+} // namespace detail
+} // namespace regalloc
+} // namespace marion
+
+#endif // MARION_REGALLOC_ALLOCATORINTERNAL_H

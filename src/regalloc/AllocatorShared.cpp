@@ -1,0 +1,290 @@
+//===- AllocatorShared.cpp - Machinery shared by both allocator paths ------==//
+
+#include "regalloc/AllocatorInternal.h"
+
+#include "support/Recovery.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+
+using namespace marion;
+using namespace marion::regalloc;
+using namespace marion::target;
+
+std::vector<PhysReg> regalloc::detail::orderedAllocable(const TargetInfo &Target,
+                                              int Bank) {
+  const RuntimeModel &Rt = Target.runtime();
+  std::vector<PhysReg> CallerSaved, CalleeSaved;
+  if (Bank < 0 || Bank >= static_cast<int>(Rt.AllocablePerBank.size()))
+    return {};
+  for (PhysReg Reg : Rt.AllocablePerBank[Bank]) {
+    // A register aliasing any callee-saved register costs a save.
+    bool Saved = false;
+    for (PhysReg CS : Rt.CalleeSaved)
+      if (Target.registers().alias(Reg, CS))
+        Saved = true;
+    (Saved ? CalleeSaved : CallerSaved).push_back(Reg);
+  }
+  CallerSaved.insert(CallerSaved.end(), CalleeSaved.begin(),
+                     CalleeSaved.end());
+  return CallerSaved;
+}
+
+bool regalloc::detail::insertSpillCode(MFunction &Fn, const TargetInfo &Target,
+                             DiagnosticEngine &Diags,
+                             const std::vector<int> &SpillList,
+                             std::vector<bool> &NoSpill,
+                             AllocationStats &Totals,
+                             std::vector<char> *TouchedBlocks) {
+  // Pseudo ids are dense, so the slot map is a plain vector (-1 = not
+  // spilled) instead of the former std::map — probed once per operand.
+  std::vector<int> SlotOffset(Fn.Pseudos.size(), -1);
+  for (int P : SpillList) {
+    const maril::RegisterBank &Bank =
+        Target.description().Banks[Fn.Pseudos[P].Bank];
+    unsigned Align = std::max(4u, Bank.SizeBytes);
+    Fn.FrameSize = (Fn.FrameSize + Align - 1) / Align * Align;
+    SlotOffset[P] = static_cast<int>(Fn.FrameSize);
+    Fn.FrameSize += Bank.SizeBytes;
+  }
+  Totals.SpilledPseudos += SpillList.size();
+  if (TouchedBlocks)
+    TouchedBlocks->assign(Fn.Blocks.size(), 0);
+
+  PhysReg Sp = Target.runtime().StackPointer;
+  auto BuildMemOps = [&](int InstrId, MOperand Value,
+                         int Offset) -> std::vector<MOperand> {
+    const TargetInstr &TI = Target.instr(InstrId);
+    std::vector<MOperand> Ops(TI.Desc->Operands.size());
+    // Shape verified by TargetInfo::findLoad/findStore: value register,
+    // base register, immediate displacement.
+    for (size_t I = 0; I < TI.Desc->Operands.size(); ++I) {
+      switch (TI.Desc->Operands[I].Kind) {
+      case maril::OperandKind::Imm:
+        Ops[I] = MOperand::imm(Offset);
+        break;
+      case maril::OperandKind::RegClass: {
+        const maril::RegisterBank *OpBank =
+            Target.description().findBank(TI.Desc->Operands[I].Name);
+        if (OpBank && OpBank->Id == Sp.Bank &&
+            static_cast<int>(I) != static_cast<int>(
+                (TI.Pat.Kind == PatternKind::Value ? TI.Pat.DestOperand
+                                                   : 0)) - 1 &&
+            !(TI.Pat.Kind == PatternKind::Store &&
+              TI.Pat.StoredValue.K == PatternNode::Kind::OperandRef &&
+              TI.Pat.StoredValue.OperandIndex == I + 1))
+          Ops[I] = MOperand::phys(Sp);
+        else
+          Ops[I] = Value;
+        break;
+      }
+      case maril::OperandKind::FixedReg: {
+        const maril::RegisterBank *OpBank =
+            Target.description().findBank(TI.Desc->Operands[I].Name);
+        Ops[I] = MOperand::phys(
+            PhysReg{OpBank ? OpBank->Id : -1, TI.Desc->Operands[I].FixedIndex});
+        break;
+      }
+      case maril::OperandKind::Label:
+        break;
+      }
+    }
+    return Ops;
+  };
+
+  // Half-register references to a spilled pseudo spill through the
+  // overlaid bank: the half value moves via the sub-bank's load/store
+  // at the half's slot offset (paper §3.4 *movd halves).
+  auto SubBankOf = [&](int Bank) -> int {
+    for (const maril::EquivDecl &Equiv : Target.description().Equivs)
+      if (Equiv.BankAId == Bank)
+        return Equiv.BankBId;
+    return -1;
+  };
+
+  auto IsSpilled = [&](const MOperand &Op) {
+    return Op.K == MOperand::Kind::Pseudo &&
+           static_cast<size_t>(Op.PseudoId) < SlotOffset.size() &&
+           SlotOffset[Op.PseudoId] >= 0;
+  };
+
+  for (size_t BI = 0; BI < Fn.Blocks.size(); ++BI) {
+    MBlock &Block = Fn.Blocks[BI];
+    // Untouched blocks (no reference to any spilled pseudo) keep their
+    // instruction vector as-is — this is both the fast path and the
+    // incremental-rebuild invariant: only blocks flagged here can change
+    // any liveness or interference fact.
+    bool Touches = false;
+    for (const MInstr &MI : Block.Instrs) {
+      for (const MOperand &Op : MI.Ops)
+        if (IsSpilled(Op)) {
+          Touches = true;
+          break;
+        }
+      if (Touches)
+        break;
+    }
+    if (!Touches)
+      continue;
+    if (TouchedBlocks)
+      (*TouchedBlocks)[BI] = 1;
+
+    std::vector<MInstr> NewInstrs;
+    NewInstrs.reserve(Block.Instrs.size());
+    for (MInstr &MI : Block.Instrs) {
+      const TargetInstr &TI = Target.instr(MI.InstrId);
+      // Operand counts are tiny, so the def-operand set is a word-wide
+      // bitmask over 1-based operand indices (not the former std::set).
+      uint64_t DefMask = 0;
+      for (unsigned D : TI.DefOps)
+        if (D < 64)
+          DefMask |= uint64_t(1) << D;
+      auto IsDefOp = [&](size_t OpIdx) {
+        return OpIdx + 1 < 64 && (DefMask >> (OpIdx + 1)) & 1u;
+      };
+
+      // Loads before: one fresh pseudo per spilled use (per half for
+      // half-register uses). Few spilled uses per instruction, so the
+      // (pseudo, subreg) -> fresh map is a linear-scanned flat vector.
+      struct Loaded {
+        int Pseudo;
+        int SubReg;
+        int Fresh;
+      };
+      std::vector<Loaded> LoadedAs;
+      for (size_t OpIdx = 0; OpIdx < MI.Ops.size(); ++OpIdx) {
+        MOperand &Op = MI.Ops[OpIdx];
+        if (!IsSpilled(Op))
+          continue;
+        if (IsDefOp(OpIdx))
+          continue;
+        int P = Op.PseudoId;
+        int Bank = Fn.Pseudos[P].Bank;
+        int Offset = SlotOffset[P];
+        if (Op.SubReg >= 0) {
+          int Sub = SubBankOf(Bank);
+          if (Sub >= 0) {
+            Bank = Sub;
+            Offset += Op.SubReg *
+                      static_cast<int>(
+                          Target.description().Banks[Sub].SizeBytes);
+          }
+        }
+        int Fresh = -1;
+        for (const Loaded &L : LoadedAs)
+          if (L.Pseudo == P && L.SubReg == Op.SubReg) {
+            Fresh = L.Fresh;
+            break;
+          }
+        if (Fresh < 0) {
+          Fresh = Fn.addPseudo(Bank, "sp" + std::to_string(P));
+          NoSpill.resize(Fn.Pseudos.size(), false);
+          NoSpill[Fresh] = true;
+          int LoadId = Target.findLoad(Bank);
+          if (LoadId < 0) {
+            Diags.error(SourceLocation(),
+                        "cannot spill: no load instruction for bank");
+            return false;
+          }
+          NewInstrs.push_back(MInstr(
+              LoadId, BuildMemOps(LoadId, MOperand::pseudo(Fresh), Offset)));
+          ++Totals.SpillLoads;
+          LoadedAs.push_back({P, Op.SubReg, Fresh});
+        }
+        Op.PseudoId = Fresh;
+        Op.SubReg = -1;
+      }
+
+      // Defs: write a fresh pseudo, store it after (per half for
+      // half-register defs).
+      std::vector<std::pair<int, int>> StoresAfter; // (pseudo, offset)
+      for (size_t OpIdx = 0; OpIdx < MI.Ops.size(); ++OpIdx) {
+        MOperand &Op = MI.Ops[OpIdx];
+        if (!IsSpilled(Op))
+          continue;
+        if (!IsDefOp(OpIdx))
+          continue;
+        int P = Op.PseudoId;
+        int Bank = Fn.Pseudos[P].Bank;
+        int Offset = SlotOffset[P];
+        if (Op.SubReg >= 0) {
+          int Sub = SubBankOf(Bank);
+          if (Sub >= 0) {
+            Bank = Sub;
+            Offset += Op.SubReg *
+                      static_cast<int>(
+                          Target.description().Banks[Sub].SizeBytes);
+          }
+        }
+        int Fresh = Fn.addPseudo(Bank, "sd" + std::to_string(P));
+        NoSpill.resize(Fn.Pseudos.size(), false);
+        NoSpill[Fresh] = true;
+        Op.PseudoId = Fresh;
+        Op.SubReg = -1;
+        StoresAfter.push_back({Fresh, Offset});
+      }
+
+      NewInstrs.push_back(MI);
+      for (auto [Fresh, Offset] : StoresAfter) {
+        int Bank = Fn.Pseudos[Fresh].Bank;
+        int StoreId = Target.findStore(Bank);
+        if (StoreId < 0) {
+          Diags.error(SourceLocation(),
+                      "cannot spill: no store instruction for bank");
+          return false;
+        }
+        NewInstrs.push_back(MInstr(
+            StoreId,
+            BuildMemOps(StoreId, MOperand::pseudo(Fresh), Offset)));
+        ++Totals.SpillStores;
+      }
+    }
+    Block.Instrs = std::move(NewInstrs);
+  }
+  return true;
+}
+
+void regalloc::detail::rewriteOperands(MFunction &Fn, const TargetInfo &Target,
+                             const std::vector<PhysReg> &Assignment) {
+  const RegisterFile &Regs = Target.registers();
+  for (MBlock &Block : Fn.Blocks)
+    for (MInstr &MI : Block.Instrs)
+      for (MOperand &Op : MI.Ops) {
+        if (Op.K != MOperand::Kind::Pseudo)
+          continue;
+        PhysReg Reg = Assignment[Op.PseudoId];
+        MARION_CHECK(Reg.isValid(),
+                     "pseudo %" + std::to_string(Op.PseudoId) +
+                         " left unassigned after coloring in '" + Fn.Name +
+                         "'");
+        if (Op.SubReg >= 0) {
+          auto Sub = Regs.subReg(Target.description(), Reg, Op.SubReg);
+          if (Sub) {
+            Op = MOperand::phys(*Sub);
+            continue;
+          }
+        }
+        int SubReg = Op.SubReg;
+        Op = MOperand::phys(Reg);
+        Op.SubReg = SubReg >= 0 ? SubReg : -1;
+      }
+}
+
+void regalloc::detail::collectCalleeSaved(MFunction &Fn, const TargetInfo &Target,
+                                const std::vector<PhysReg> &Assignment,
+                                const std::vector<unsigned> &Occurrences) {
+  const RegisterFile &Regs = Target.registers();
+  std::set<PhysReg> Used;
+  for (PhysReg CS : Target.runtime().CalleeSaved) {
+    bool Touched = false;
+    for (size_t P = 0; P < Assignment.size(); ++P)
+      if (Assignment[P].isValid() && Occurrences[P] > 0 &&
+          Regs.alias(Assignment[P], CS))
+        Touched = true;
+    if (Touched)
+      Used.insert(CS);
+  }
+  Fn.UsedCalleeSaved.assign(Used.begin(), Used.end());
+}

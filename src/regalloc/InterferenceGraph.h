@@ -1,0 +1,127 @@
+//===- InterferenceGraph.h - Hybrid bit-matrix interference graph ----*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocator's interference graph as a hybrid of two representations
+/// sized for its two access patterns:
+///
+///  * a dense lower-triangular bit-matrix answers "do P and Q interfere?"
+///    in one bit test and deduplicates edge insertion — the hot operation
+///    while scanning liveness;
+///  * per-node adjacency vectors, sorted ascending after construction,
+///    serve neighbor iteration (degree bookkeeping, forbidden-unit
+///    accumulation, spill-victim search). Ascending order matches the
+///    std::set-based graph this replaces, so every first-minimum tie-break
+///    in coloring is preserved bit-for-bit.
+///
+/// The triangular layout is append-friendly: the bit index of a pair
+/// depends only on the pair, so grow() extends the matrix for spill-round
+/// pseudos without relocating any existing edge. Spilled pseudos keep
+/// stale edges — they are inert because coloring removes occurrence-free
+/// nodes up front (DESIGN.md §13 gives the incremental-rebuild invariant).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_REGALLOC_INTERFERENCEGRAPH_H
+#define MARION_REGALLOC_INTERFERENCEGRAPH_H
+
+#include "support/BitVec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace marion {
+namespace regalloc {
+
+class InterferenceGraph {
+public:
+  /// Starts a fresh graph over \p NumPseudos nodes.
+  void init(size_t NumPseudos) {
+    N = NumPseudos;
+    Matrix.assign(wordsFor(triBits(N)), 0);
+    AdjVec.assign(N, {});
+    PrecoloredUnits.assign(N, support::IndexSet());
+  }
+
+  /// Extends the node set to \p NewNumPseudos, keeping every existing edge
+  /// (triangular bit indices are stable under growth).
+  void grow(size_t NewNumPseudos) {
+    if (NewNumPseudos <= N) {
+      N = std::max(N, NewNumPseudos);
+      return;
+    }
+    N = NewNumPseudos;
+    Matrix.resize(wordsFor(triBits(N)), 0);
+    AdjVec.resize(N);
+    PrecoloredUnits.resize(N);
+  }
+
+  size_t size() const { return N; }
+
+  bool interfere(int A, int B) const {
+    if (A == B)
+      return false;
+    size_t Bit = triIndex(A, B);
+    return (Matrix[Bit >> 6] >> (Bit & 63)) & 1u;
+  }
+
+  /// Adds the edge {A, B}; duplicate insertions are absorbed by the
+  /// bit-matrix so adjacency vectors stay duplicate-free.
+  void addEdge(int A, int B) {
+    if (A == B)
+      return;
+    size_t Bit = triIndex(A, B);
+    uint64_t Mask = uint64_t(1) << (Bit & 63);
+    if (Matrix[Bit >> 6] & Mask)
+      return;
+    Matrix[Bit >> 6] |= Mask;
+    AdjVec[A].push_back(B);
+    AdjVec[B].push_back(A);
+  }
+
+  void addPrecolored(int P, unsigned Unit) {
+    PrecoloredUnits[P].insert(static_cast<int>(Unit));
+  }
+
+  /// Neighbors of \p P. Only sorted ascending after sortAdjacency().
+  const std::vector<int> &adj(int P) const { return AdjVec[P]; }
+
+  /// Physical units \p P interferes with (iterates ascending).
+  const support::IndexSet &precolored(int P) const {
+    return PrecoloredUnits[P];
+  }
+  size_t precoloredCount(int P) const { return PrecoloredUnits[P].size(); }
+
+  /// Restores the ascending neighbor order coloring depends on; call once
+  /// after every construction or incremental extension pass.
+  void sortAdjacency() {
+    for (std::vector<int> &A : AdjVec)
+      std::sort(A.begin(), A.end());
+  }
+
+private:
+  static size_t wordsFor(size_t Bits) { return (Bits + 63) / 64 + 1; }
+  static size_t triBits(size_t Nodes) {
+    return Nodes < 2 ? 0 : Nodes * (Nodes - 1) / 2;
+  }
+  /// Bit index of the unordered pair {A, B}, A != B.
+  static size_t triIndex(int A, int B) {
+    size_t Hi = static_cast<size_t>(A > B ? A : B);
+    size_t Lo = static_cast<size_t>(A > B ? B : A);
+    return Hi * (Hi - 1) / 2 + Lo;
+  }
+
+  size_t N = 0;
+  std::vector<uint64_t> Matrix;
+  std::vector<std::vector<int>> AdjVec;
+  std::vector<support::IndexSet> PrecoloredUnits;
+};
+
+} // namespace regalloc
+} // namespace marion
+
+#endif // MARION_REGALLOC_INTERFERENCEGRAPH_H

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 using namespace marion;
 using namespace marion::regalloc;
@@ -99,12 +100,19 @@ LivenessResult LivenessResult::compute(const MFunction &Fn,
                                        const TargetInfo &Target,
                                        const CFG &Cfg) {
   size_t N = Fn.Blocks.size();
+  // Keys interleave pseudos and units (DefUse.h), so the universe spans
+  // both; preallocating keeps the fixpoint below allocation-free.
+  size_t KeyUniverse =
+      2 * std::max<size_t>(Fn.Pseudos.size(),
+                           Target.registers().numUnits()) +
+      2;
   LivenessResult Live;
-  Live.LiveIn.resize(N);
-  Live.LiveOut.resize(N);
+  Live.LiveIn.assign(N, LiveKeySet(KeyUniverse));
+  Live.LiveOut.assign(N, LiveKeySet(KeyUniverse));
 
   // Per-block gen (upward-exposed uses) and kill (defs).
-  std::vector<std::set<LiveKey>> Gen(N), Kill(N);
+  std::vector<LiveKeySet> Gen(N, LiveKeySet(KeyUniverse));
+  std::vector<LiveKeySet> Kill(N, LiveKeySet(KeyUniverse));
   for (size_t B = 0; B < N; ++B) {
     for (const MInstr &MI : Fn.Blocks[B].Instrs) {
       InstrDefsUses DU = defsUses(MI, Target, Fn.ReturnType);
@@ -116,20 +124,22 @@ LivenessResult LivenessResult::compute(const MFunction &Fn,
     }
   }
 
+  // Backward fixpoint as word loops: Out = ∪ In(succ); In = Gen ∪
+  // (Out − Kill).
+  LiveKeySet Out(KeyUniverse), In(KeyUniverse);
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (size_t BI = N; BI-- > 0;) {
-      std::set<LiveKey> Out;
+      Out.clear();
       for (int S : Cfg.Succs[BI])
-        Out.insert(Live.LiveIn[S].begin(), Live.LiveIn[S].end());
-      std::set<LiveKey> In = Gen[BI];
-      for (LiveKey Key : Out)
-        if (!Kill[BI].count(Key))
-          In.insert(Key);
+        Out.unionWith(Live.LiveIn[S]);
+      In.clear();
+      In.unionWith(Gen[BI]);
+      In.unionWithAndNot(Out, Kill[BI]);
       if (Out != Live.LiveOut[BI] || In != Live.LiveIn[BI]) {
-        Live.LiveOut[BI] = std::move(Out);
-        Live.LiveIn[BI] = std::move(In);
+        Live.LiveOut[BI].assign(Out);
+        Live.LiveIn[BI].assign(In);
         Changed = true;
       }
     }

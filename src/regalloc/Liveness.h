@@ -15,12 +15,12 @@
 #ifndef MARION_REGALLOC_LIVENESS_H
 #define MARION_REGALLOC_LIVENESS_H
 
+#include "support/BitVec.h"
 #include "target/DefUse.h"
 #include "target/MInstr.h"
 #include "target/TargetInfo.h"
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 namespace marion {
@@ -48,10 +48,15 @@ struct CFG {
                    const target::TargetInfo &Target);
 };
 
+/// A set of dataflow keys, bit-packed over the dense key space (pseudo
+/// keys interleave with unit keys — DefUse.h). Iterates ascending, like
+/// the std::set it replaced, so downstream tie-breaks are unchanged.
+using LiveKeySet = support::IndexSet;
+
 /// Live-in / live-out sets per block.
 struct LivenessResult {
-  std::vector<std::set<LiveKey>> LiveIn;
-  std::vector<std::set<LiveKey>> LiveOut;
+  std::vector<LiveKeySet> LiveIn;
+  std::vector<LiveKeySet> LiveOut;
 
   static LivenessResult compute(const target::MFunction &Fn,
                                 const target::TargetInfo &Target,

@@ -2,6 +2,7 @@
 
 #include "sched/ListScheduler.h"
 
+#include "support/TaskPool.h"
 #include "target/DefUse.h"
 
 #include <algorithm>
@@ -526,15 +527,30 @@ void sched::applySchedule(MBlock &Block, const BlockSchedule &Sched,
 bool sched::scheduleFunction(MFunction &Fn, const TargetInfo &Target,
                              DiagnosticEngine &Diags,
                              const SchedulerOptions &Opts) {
-  for (MBlock &Block : Fn.Blocks) {
-    BlockSchedule Sched = computeSchedule(Fn, Block, Target, Opts);
-    if (Sched.Deadlocked) {
+  // computeSchedule reads only the block and whole-function constants
+  // (IsAllocated, ReturnType, Name), never other blocks' applied state, so
+  // all schedules can be precomputed independently. Application then runs
+  // serially in block order, stopping at the first deadlock exactly like
+  // the serial loop would — same rewrites, same diagnostic, bit-identical.
+  support::TaskPool &Pool = support::TaskPool::instance();
+  std::vector<BlockSchedule> Scheds(Fn.Blocks.size());
+  if (Opts.ParallelBlocks && Pool.parallel() && Fn.Blocks.size() > 1) {
+    Pool.parallelFor(Fn.Blocks.size(), "sched.block", [&](size_t B) {
+      Scheds[B] = computeSchedule(Fn, Fn.Blocks[B], Target, Opts);
+    });
+  } else {
+    for (size_t B = 0; B < Fn.Blocks.size(); ++B)
+      Scheds[B] = computeSchedule(Fn, Fn.Blocks[B], Target, Opts);
+  }
+  for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+    MBlock &Block = Fn.Blocks[B];
+    if (Scheds[B].Deadlocked) {
       Diags.error(SourceLocation(),
                   "scheduler deadlocked in block '" + Block.Label + "' of '" +
                       Fn.Name + "' (temporal protection failed)");
       return false;
     }
-    applySchedule(Block, Sched, Target, Fn.ReturnType);
+    applySchedule(Block, Scheds[B], Target, Fn.ReturnType);
   }
   return true;
 }

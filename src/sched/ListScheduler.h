@@ -62,6 +62,12 @@ struct SchedulerOptions {
   /// for correctness of Marion-selected code (pseudo reuse), exposed for
   /// DAG-shape experiments.
   bool AntiEdges = true;
+  /// Precompute per-block schedules on the process task pool
+  /// (support/TaskPool.h), then apply them serially in block order. Blocks
+  /// schedule independently, so the result is bit-identical to the serial
+  /// loop; as pure execution shape this flag is deliberately NOT part of
+  /// the option fingerprint (cache/Fingerprint.cpp).
+  bool ParallelBlocks = false;
 };
 
 /// A computed schedule for one block.

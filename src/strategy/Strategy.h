@@ -65,6 +65,13 @@ struct StrategyStats {
   /// Code DAG shape after selection (the build-dag pipeline pass).
   long DagNodes = 0;
   long DagEdges = 0;
+  /// Blocks the allocator scanned into its interference graph, and the
+  /// subset that were incremental-rebuild rescans after spill rounds
+  /// (Allocator.h). Deterministic per allocator path — the bit-matrix and
+  /// linear paths legitimately disagree here, which is why the equivalence
+  /// suite compares selected fields rather than whole-struct equality.
+  unsigned AllocGraphBlocks = 0;
+  unsigned AllocIncrementalBlocks = 0;
 
   /// Every field is a sum, so per-function stats reduced after a parallel
   /// compile joins equal the serial accumulation exactly.
@@ -76,6 +83,8 @@ struct StrategyStats {
     ScheduledInstrs += O.ScheduledInstrs;
     DagNodes += O.DagNodes;
     DagEdges += O.DagEdges;
+    AllocGraphBlocks += O.AllocGraphBlocks;
+    AllocIncrementalBlocks += O.AllocIncrementalBlocks;
     return *this;
   }
   bool operator==(const StrategyStats &O) const = default;

@@ -1,0 +1,183 @@
+//===- BitVec.h - Dense index sets over machine words ---------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IndexSet: a set of small non-negative integers stored one bit per
+/// element. The allocator's hot loops (liveness fixpoints, live-set walks,
+/// forbidden-unit accumulation) are all sets over dense key spaces — pseudo
+/// ids, register units, dataflow keys — where a word-packed representation
+/// turns per-element tree operations into single-instruction bit tests and
+/// whole-set operations into short word loops.
+///
+/// Iteration yields elements in ascending order, exactly like the std::set
+/// containers this type replaces — the allocator's tie-breaking ("first
+/// minimum wins") depends on that order, so it is part of the contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_BITVEC_H
+#define MARION_SUPPORT_BITVEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace marion {
+namespace support {
+
+class IndexSet {
+public:
+  IndexSet() = default;
+  /// Preallocates room for elements in [0, UniverseBits). The set still
+  /// grows on demand past that; preallocation just keeps the fixpoint loops
+  /// allocation-free.
+  explicit IndexSet(size_t UniverseBits) { W.resize(wordsFor(UniverseBits)); }
+
+  void reserveUniverse(size_t Bits) {
+    if (W.size() < wordsFor(Bits))
+      W.resize(wordsFor(Bits));
+  }
+
+  /// std::set-compatible membership probe (0 or 1).
+  size_t count(int I) const {
+    size_t Word = static_cast<size_t>(I) >> 6;
+    if (Word >= W.size())
+      return 0;
+    return (W[Word] >> (static_cast<size_t>(I) & 63)) & 1u;
+  }
+
+  void insert(int I) {
+    size_t Word = static_cast<size_t>(I) >> 6;
+    if (Word >= W.size())
+      W.resize(Word + 1, 0);
+    W[Word] |= uint64_t(1) << (static_cast<size_t>(I) & 63);
+  }
+
+  void erase(int I) {
+    size_t Word = static_cast<size_t>(I) >> 6;
+    if (Word < W.size())
+      W[Word] &= ~(uint64_t(1) << (static_cast<size_t>(I) & 63));
+  }
+
+  /// Empties the set, keeping capacity.
+  void clear() {
+    for (uint64_t &Word : W)
+      Word = 0;
+  }
+
+  bool empty() const {
+    for (uint64_t Word : W)
+      if (Word)
+        return false;
+    return true;
+  }
+
+  size_t size() const {
+    size_t N = 0;
+    for (uint64_t Word : W)
+      N += static_cast<size_t>(__builtin_popcountll(Word));
+    return N;
+  }
+
+  /// Equality treats absent trailing words as zero, so two sets with the
+  /// same members but different capacities compare equal.
+  bool operator==(const IndexSet &O) const {
+    const IndexSet &A = W.size() <= O.W.size() ? *this : O;
+    const IndexSet &B = W.size() <= O.W.size() ? O : *this;
+    size_t I = 0;
+    for (; I < A.W.size(); ++I)
+      if (A.W[I] != B.W[I])
+        return false;
+    for (; I < B.W.size(); ++I)
+      if (B.W[I])
+        return false;
+    return true;
+  }
+  bool operator!=(const IndexSet &O) const { return !(*this == O); }
+
+  /// this |= O. Returns true when any bit was added.
+  bool unionWith(const IndexSet &O) {
+    if (W.size() < O.W.size())
+      W.resize(O.W.size(), 0);
+    bool Changed = false;
+    for (size_t I = 0; I < O.W.size(); ++I) {
+      uint64_t Next = W[I] | O.W[I];
+      Changed = Changed || Next != W[I];
+      W[I] = Next;
+    }
+    return Changed;
+  }
+
+  /// this |= (A & ~B) — the liveness transfer In |= Out & ~Kill as one
+  /// word loop.
+  void unionWithAndNot(const IndexSet &A, const IndexSet &B) {
+    if (W.size() < A.W.size())
+      W.resize(A.W.size(), 0);
+    for (size_t I = 0; I < A.W.size(); ++I) {
+      uint64_t Mask = I < B.W.size() ? ~B.W[I] : ~uint64_t(0);
+      W[I] |= A.W[I] & Mask;
+    }
+  }
+
+  /// Becomes a copy of \p O (word memcpy; no tree rebuild).
+  void assign(const IndexSet &O) { W = O.W; }
+
+  /// Ascending-order iteration.
+  class const_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = int;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const int *;
+    using reference = int;
+
+    const_iterator(const std::vector<uint64_t> *Words, size_t WordIdx)
+        : Words(Words), WordIdx(WordIdx) {
+      if (Words && WordIdx < Words->size()) {
+        Cur = (*Words)[WordIdx];
+        advance();
+      }
+    }
+    int operator*() const {
+      return static_cast<int>(WordIdx * 64 +
+                              static_cast<size_t>(__builtin_ctzll(Cur)));
+    }
+    const_iterator &operator++() {
+      Cur &= Cur - 1; // Drop lowest set bit.
+      advance();
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const {
+      return WordIdx == O.WordIdx && Cur == O.Cur;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+
+  private:
+    void advance() {
+      while (Cur == 0 && WordIdx + 1 < Words->size())
+        Cur = (*Words)[++WordIdx];
+      if (Cur == 0)
+        WordIdx = Words->size(); // End position.
+    }
+    const std::vector<uint64_t> *Words = nullptr;
+    size_t WordIdx = 0;
+    uint64_t Cur = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(&W, 0); }
+  const_iterator end() const { return const_iterator(&W, W.size()); }
+
+private:
+  static size_t wordsFor(size_t Bits) { return (Bits + 63) / 64; }
+
+  std::vector<uint64_t> W;
+};
+
+} // namespace support
+} // namespace marion
+
+#endif // MARION_SUPPORT_BITVEC_H

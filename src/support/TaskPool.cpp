@@ -1,0 +1,224 @@
+//===- TaskPool.cpp -------------------------------------------------------==//
+
+#include "support/TaskPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <time.h>
+
+namespace marion {
+namespace support {
+
+namespace {
+
+thread_local unsigned tl_Slot = 0;
+/// Exclusive-time accounting: the frame of the task currently executing on
+/// this thread accumulates the full elapsed CPU time of nested tasks here,
+/// so a parent's busy time never double-counts a child's.
+thread_local double *tl_ChildCpuMicros = nullptr;
+
+double threadCpuMicros() {
+  timespec Ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts) != 0)
+    return 0;
+  return static_cast<double>(Ts.tv_sec) * 1e6 +
+         static_cast<double>(Ts.tv_nsec) * 1e-3;
+}
+
+} // namespace
+
+struct TaskPool::Impl {
+  struct Job {
+    const std::function<void(size_t)> *Body = nullptr;
+    const char *Tag = "";
+    size_t N = 0;
+    size_t Next = 0; ///< Next unclaimed index.
+    size_t Done = 0; ///< Completed indices.
+    std::thread::id Owner;
+    std::condition_variable DoneCv;
+  };
+
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;
+  std::vector<Job *> Jobs;      ///< Active jobs, oldest first.
+  std::vector<std::thread> Helpers;
+  bool Shutdown = false;
+
+  uint64_t JobCount = 0;
+  uint64_t TaskCount = 0;
+  uint64_t StolenCount = 0;
+  std::vector<double> SlotBusy; ///< Exclusive CPU µs per slot.
+
+  TraceBeginFn TraceBegin = nullptr;
+  TraceEndFn TraceEnd = nullptr;
+
+  /// Runs one claimed task outside the lock and books it back in. Returns
+  /// with the lock re-held.
+  void runTask(std::unique_lock<std::mutex> &Lock, Job &J, size_t Index,
+               bool Stolen) {
+    TraceBeginFn Begin = TraceBegin;
+    TraceEndFn End = TraceEnd;
+    Lock.unlock();
+    unsigned Slot = tl_Slot;
+    void *Span = Begin ? Begin(J.Tag, Index, Slot, Stolen) : nullptr;
+    double Child = 0;
+    double *Parent = tl_ChildCpuMicros;
+    tl_ChildCpuMicros = &Child;
+    double Start = threadCpuMicros();
+    (*J.Body)(Index);
+    double Elapsed = threadCpuMicros() - Start;
+    tl_ChildCpuMicros = Parent;
+    if (Parent)
+      *Parent += Elapsed;
+    if (End && Span)
+      End(Span);
+    // On a single core the OS will happily let one runnable thread drain
+    // every task before the other wakes; yielding between tasks lets the
+    // peer claim its share, which is what the steal counters and the
+    // work/span balance measure. On multi-core hosts the yield is a cheap
+    // no-op syscall.
+    if (!Helpers.empty())
+      std::this_thread::yield();
+    Lock.lock();
+    double Self = Elapsed - Child;
+    if (Slot < SlotBusy.size())
+      SlotBusy[Slot] += Self > 0 ? Self : 0;
+    ++TaskCount;
+    if (Stolen)
+      ++StolenCount;
+    if (++J.Done == J.N)
+      J.DoneCv.notify_all();
+  }
+
+  /// First active job with unclaimed work, or null.
+  Job *claimable() {
+    for (Job *J : Jobs)
+      if (J->Next < J->N)
+        return J;
+    return nullptr;
+  }
+
+  void helperLoop(unsigned Slot) {
+    tl_Slot = Slot;
+    std::unique_lock<std::mutex> Lock(Mu);
+    while (true) {
+      Job *J = claimable();
+      if (!J) {
+        if (Shutdown)
+          return;
+        WorkCv.wait(Lock);
+        continue;
+      }
+      size_t Index = J->Next++;
+      runTask(Lock, *J, Index, /*Stolen=*/J->Owner != std::this_thread::get_id());
+    }
+  }
+
+  void stopHelpers(std::unique_lock<std::mutex> &Lock) {
+    Shutdown = true;
+    WorkCv.notify_all();
+    std::vector<std::thread> Old;
+    Old.swap(Helpers);
+    Lock.unlock();
+    for (std::thread &T : Old)
+      T.join();
+    Lock.lock();
+    Shutdown = false;
+  }
+};
+
+TaskPool::TaskPool() : P(new Impl) { P->SlotBusy.assign(1, 0.0); }
+
+TaskPool::~TaskPool() {
+  {
+    std::unique_lock<std::mutex> Lock(P->Mu);
+    P->stopHelpers(Lock);
+  }
+  delete P;
+}
+
+TaskPool &TaskPool::instance() {
+  static TaskPool Pool;
+  return Pool;
+}
+
+void TaskPool::configure(unsigned Jobs) {
+  unsigned Want = Jobs > 1 ? Jobs - 1 : 0;
+  std::unique_lock<std::mutex> Lock(P->Mu);
+  if (P->Helpers.size() == Want)
+    return;
+  if (!P->Jobs.empty())
+    return; // Never reshape the pool under in-flight work.
+  P->stopHelpers(Lock);
+  if (P->SlotBusy.size() < Want + 1)
+    P->SlotBusy.resize(Want + 1, 0.0);
+  for (unsigned H = 0; H < Want; ++H)
+    P->Helpers.emplace_back([this, H] { P->helperLoop(H + 1); });
+}
+
+unsigned TaskPool::slots() const {
+  std::lock_guard<std::mutex> Lock(P->Mu);
+  return static_cast<unsigned>(P->Helpers.size()) + 1;
+}
+
+bool TaskPool::parallel() const {
+  std::lock_guard<std::mutex> Lock(P->Mu);
+  return !P->Helpers.empty();
+}
+
+unsigned TaskPool::currentSlot() { return tl_Slot; }
+
+void TaskPool::parallelFor(size_t N, const char *Tag,
+                           const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  std::unique_lock<std::mutex> Lock(P->Mu);
+  if (P->Helpers.empty() || N == 1) {
+    // Inline fast path: no helpers to steal (or nothing to share).
+    Lock.unlock();
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  Impl::Job J;
+  J.Body = &Body;
+  J.Tag = Tag;
+  J.N = N;
+  J.Owner = std::this_thread::get_id();
+  P->Jobs.push_back(&J);
+  ++P->JobCount;
+  P->WorkCv.notify_all();
+  // The submitter drains its own job; helpers steal concurrently.
+  while (J.Next < J.N) {
+    size_t Index = J.Next++;
+    P->runTask(Lock, J, Index, /*Stolen=*/false);
+  }
+  while (J.Done < J.N)
+    J.DoneCv.wait(Lock);
+  for (size_t I = 0; I < P->Jobs.size(); ++I)
+    if (P->Jobs[I] == &J) {
+      P->Jobs.erase(P->Jobs.begin() + I);
+      break;
+    }
+}
+
+TaskPool::Counters TaskPool::counters() const {
+  std::lock_guard<std::mutex> Lock(P->Mu);
+  Counters C;
+  C.Jobs = P->JobCount;
+  C.Tasks = P->TaskCount;
+  C.Stolen = P->StolenCount;
+  C.SlotBusyMicros = P->SlotBusy;
+  return C;
+}
+
+void TaskPool::setTraceHooks(TraceBeginFn Begin, TraceEndFn End) {
+  std::lock_guard<std::mutex> Lock(P->Mu);
+  P->TraceBegin = Begin;
+  P->TraceEnd = End;
+}
+
+} // namespace support
+} // namespace marion

@@ -1,0 +1,103 @@
+//===- TaskPool.h - Block-level work-stealing task pool -------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small process-wide task pool for fanning out independent per-block
+/// work (interference graph construction, DAG builds, block scheduling)
+/// under the driver's per-function workers. One shared job budget: the
+/// driver configures the pool with the -jN value, the pool keeps N-1 helper
+/// threads, and every parallelFor — at function level or nested inside a
+/// function task at block level — draws from the same helpers. A helper
+/// idle because one dominant function serializes the module steals that
+/// function's block tasks instead.
+///
+/// Design constraints, in order:
+///  * Determinism: parallelFor only distributes index execution; callers
+///    reduce results in index order, so output is bit-identical to a serial
+///    loop. The pool itself never reorders anything observable.
+///  * Simplicity under TSan: all job state lives under one mutex. Tasks run
+///    outside the lock; claim/complete bookkeeping happens inside it.
+///  * Nesting without deadlock: a thread that opens a nested parallelFor
+///    drains its own job and only sleeps when every remaining task of that
+///    job is already claimed by another thread — which is actively running
+///    it, so progress is guaranteed.
+///
+/// Accounting: per-task exclusive CPU time (CLOCK_THREAD_CPUTIME_ID, nested
+/// task time subtracted) is summed per participant slot. The benches derive
+/// the work/span load-balance speedup from these sums — the meaningful
+/// scaling number on single-core CI hosts where wall-clock speedup is
+/// physically impossible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SUPPORT_TASKPOOL_H
+#define MARION_SUPPORT_TASKPOOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace marion {
+namespace support {
+
+class TaskPool {
+public:
+  /// The process-wide pool (one job budget per process).
+  static TaskPool &instance();
+
+  /// Sets the shared job budget: \p Jobs total workers, i.e. Jobs-1 helper
+  /// threads beside the calling threads. Ignored while jobs are in flight.
+  /// Jobs <= 1 stops all helpers (parallelFor then runs inline).
+  void configure(unsigned Jobs);
+
+  /// Total participant slots (helpers + 1 for the calling thread).
+  unsigned slots() const;
+
+  /// True when helper threads exist, i.e. parallelFor can actually steal.
+  bool parallel() const;
+
+  /// Slot index of the calling thread: helpers occupy 1..slots()-1, every
+  /// other thread (the driver's caller) reports 0.
+  static unsigned currentSlot();
+
+  /// Runs Body(0..N-1), each index exactly once, on the caller and any idle
+  /// helpers; returns after all N completed. Safe to call from inside a
+  /// task (nested jobs share the same helpers). Bodies must not throw.
+  /// \p Tag labels the per-task trace spans.
+  void parallelFor(size_t N, const char *Tag,
+                   const std::function<void(size_t)> &Body);
+
+  /// Monotonic counters; snapshot and subtract to meter a region.
+  struct Counters {
+    uint64_t Jobs = 0;   ///< parallelFor calls that reached the helpers.
+    uint64_t Tasks = 0;  ///< Tasks executed through the pool.
+    uint64_t Stolen = 0; ///< Tasks executed by a thread that did not submit.
+    /// Exclusive per-slot CPU microseconds spent inside tasks.
+    std::vector<double> SlotBusyMicros;
+  };
+  Counters counters() const;
+
+  /// Observer hooks for per-task trace spans. The observability layer
+  /// installs these (support cannot depend on obs); Begin returns an opaque
+  /// span finished by End. Either may be null.
+  using TraceBeginFn = void *(*)(const char *Tag, size_t Index,
+                                 unsigned Slot, bool Stolen);
+  using TraceEndFn = void (*)(void *Span);
+  void setTraceHooks(TraceBeginFn Begin, TraceEndFn End);
+
+  ~TaskPool();
+
+private:
+  TaskPool();
+  struct Impl;
+  Impl *P;
+};
+
+} // namespace support
+} // namespace marion
+
+#endif // MARION_SUPPORT_TASKPOOL_H

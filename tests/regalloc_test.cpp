@@ -189,6 +189,152 @@ TEST(Allocator, RaseBlockWeightsShiftSpills) {
   ASSERT_TRUE(allocateFunction(Mod.Functions[0], *Target, Diags, Opts));
 }
 
+//===--------------------------------------------------------------------===//
+// Fast vs reference allocator equivalence. The bit-matrix allocator with
+// incremental graph rebuild must be observationally identical to the kept
+// set-based reference (--alloc-linear): same assembly byte for byte, same
+// diagnostics, same allocation outcome — only the graph-work counters may
+// differ, because doing less rebuild work is the whole point.
+//===--------------------------------------------------------------------===//
+
+struct AllocCombo {
+  const char *Machine;
+  strategy::StrategyKind Strategy;
+};
+
+std::vector<AllocCombo> allocCombos() {
+  std::vector<AllocCombo> Out;
+  for (const char *Machine : {"toyp", "r2000", "m88000", "i860"})
+    for (strategy::StrategyKind Kind :
+         {strategy::StrategyKind::Postpass, strategy::StrategyKind::IPS,
+          strategy::StrategyKind::RASE})
+      Out.push_back({Machine, Kind});
+  return Out;
+}
+
+std::string allocComboName(const ::testing::TestParamInfo<AllocCombo> &Info) {
+  return std::string(Info.param.Machine) + "_" +
+         strategy::strategyName(Info.param.Strategy);
+}
+
+class AllocEquivalence : public ::testing::TestWithParam<AllocCombo> {};
+
+TEST_P(AllocEquivalence, WorkloadsBitIdenticalToLinearReference) {
+  AllocCombo C = GetParam();
+  for (const char *File : {"livermore.mc", "suite_matmul.mc",
+                           "suite_queens.mc", "suite_poly.mc"}) {
+    driver::CompileOptions Fast;
+    Fast.Machine = C.Machine;
+    Fast.Strategy = C.Strategy;
+    driver::CompileOptions Linear = Fast;
+    Linear.Strat.Alloc.Linear = true;
+
+    DiagnosticEngine FastDiags, LinearDiags;
+    auto F = driver::compileFile(File, Fast, FastDiags);
+    auto L = driver::compileFile(File, Linear, LinearDiags);
+    EXPECT_EQ(bool(F), bool(L)) << File << " on " << C.Machine;
+    EXPECT_EQ(FastDiags.str(), LinearDiags.str())
+        << File << " on " << C.Machine;
+    if (!F || !L)
+      continue;
+    EXPECT_EQ(F->assembly(/*ShowCycles=*/true), L->assembly(true))
+        << File << " on " << C.Machine << "/"
+        << strategy::strategyName(C.Strategy);
+    // Whole-struct stats equality would be wrong here: the reference
+    // re-scans every block every round while the fast path re-scans only
+    // blocks spill code touched, so the graph-work counters legitimately
+    // differ. Compare the fields that define the allocation result.
+    EXPECT_EQ(F->Stats.SpilledPseudos, L->Stats.SpilledPseudos) << File;
+    EXPECT_EQ(F->Stats.AllocatorRounds, L->Stats.AllocatorRounds) << File;
+    EXPECT_EQ(F->Stats.EstimatedCycles, L->Stats.EstimatedCycles) << File;
+    EXPECT_EQ(F->Stats.ScheduledInstrs, L->Stats.ScheduledInstrs) << File;
+    // The incremental rebuild can only ever scan fewer blocks than the
+    // full-rebuild reference; with no spills it does none at all.
+    EXPECT_LE(F->Stats.AllocGraphBlocks, L->Stats.AllocGraphBlocks) << File;
+    if (F->Stats.SpilledPseudos == 0)
+      EXPECT_EQ(F->Stats.AllocIncrementalBlocks, 0u) << File;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, AllocEquivalence,
+                         ::testing::ValuesIn(allocCombos()), allocComboName);
+
+/// A function juggling \p Vars sums that are all live at once, split across
+/// several blocks so spill code touches only some of them. On TOYP (five
+/// allocable integer registers) this forces spill rounds until the graph
+/// colors.
+std::string pressureSource(int Vars) {
+  std::string Body;
+  for (int I = 0; I < Vars; ++I)
+    Body += "int v" + std::to_string(I) + "; v" + std::to_string(I) +
+            " = a + " + std::to_string(I) + ";";
+  // A branch in the middle keeps the values live across block boundaries
+  // and gives the incremental rebuild untouched blocks to skip.
+  Body += "if (a > 0) { v0 = v0 + 1; }";
+  Body += "int s; s = 0;";
+  for (int I = 0; I < Vars; ++I)
+    Body += "s = s + v" + std::to_string(I) + ";";
+  Body += "return s;";
+  return "int f(int a) { " + Body + " }"
+         "int main() { return f(3); }";
+}
+
+TEST(AllocEquivalence2, HighPressureMultiRoundSpillsMatchReference) {
+  const int Vars = 24;
+  const std::string Src = pressureSource(Vars);
+  driver::CompileOptions Fast;
+  Fast.Machine = "toyp";
+  driver::CompileOptions Linear = Fast;
+  Linear.Strat.Alloc.Linear = true;
+
+  DiagnosticEngine FastDiags, LinearDiags;
+  auto F = driver::compileSource(Src, "press", Fast, FastDiags);
+  auto L = driver::compileSource(Src, "press", Linear, LinearDiags);
+  ASSERT_TRUE(F) << FastDiags.str();
+  ASSERT_TRUE(L) << LinearDiags.str();
+  ASSERT_TRUE(F->FailedFunctions.empty()) << FastDiags.str();
+
+  // The point of the workload: more than one spill round, through both
+  // paths identically, with incremental rebuilds that skip blocks.
+  EXPECT_GE(F->Stats.AllocatorRounds, 3u);
+  EXPECT_GE(F->Stats.SpilledPseudos, 2u);
+  EXPECT_EQ(F->Stats.AllocatorRounds, L->Stats.AllocatorRounds);
+  EXPECT_EQ(F->Stats.SpilledPseudos, L->Stats.SpilledPseudos);
+  EXPECT_GT(F->Stats.AllocIncrementalBlocks, 0u);
+  EXPECT_LT(F->Stats.AllocGraphBlocks, L->Stats.AllocGraphBlocks);
+  EXPECT_EQ(F->assembly(true), L->assembly(true));
+
+  // And the spilled code still computes the right answer on both paths.
+  int64_t Expected = 1; // the branch bumps v0
+  for (int I = 0; I < Vars; ++I)
+    Expected += 3 + I;
+  sim::SimResult FR = sim::runProgram(F->Module, *F->Target);
+  sim::SimResult LR = sim::runProgram(L->Module, *L->Target);
+  ASSERT_TRUE(FR.Ok) << FR.Error;
+  ASSERT_TRUE(LR.Ok) << LR.Error;
+  EXPECT_EQ(FR.IntResult, Expected);
+  EXPECT_EQ(LR.IntResult, Expected);
+}
+
+TEST(AllocEquivalence2, BlockParallelAllocationBitIdentical) {
+  // The block-level fan-out inside one function (graph build under -jN)
+  // must not perturb the result: same assembly, same stats, including the
+  // new allocator work counters.
+  const std::string Src = pressureSource(24);
+  driver::CompileOptions Serial;
+  Serial.Machine = "toyp";
+  driver::CompileOptions Par = Serial;
+  Par.Jobs = 4;
+  DiagnosticEngine SD, PD;
+  auto S = driver::compileSource(Src, "press", Serial, SD);
+  auto P = driver::compileSource(Src, "press", Par, PD);
+  ASSERT_TRUE(S) << SD.str();
+  ASSERT_TRUE(P) << PD.str();
+  EXPECT_EQ(SD.str(), PD.str());
+  EXPECT_EQ(S->assembly(true), P->assembly(true));
+  EXPECT_TRUE(S->Stats == P->Stats);
+}
+
 TEST(Allocator, SubRegisterHalvesResolve) {
   MModule Mod = selected(
       "double f(double a) { double b; b = a; return b; }", "toyp");

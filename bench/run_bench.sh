@@ -7,10 +7,14 @@
 #                                  dispatch, -jN scaling, cache sweep
 #   BENCH_schedule_quality.json  - per machine x strategy simulated
 #                                  cycles with stall attribution totals
+#   BENCH_service.json           - resident mariond vs process-per-compile
+#                                  p50/p99 latency and requests/sec, with
+#                                  a >=5x warm-p50 speedup gate
 set -eu
 cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target table3_compile_time \
-  schedule_quality >/dev/null
+  schedule_quality service_bench >/dev/null
 build/bench/table3_compile_time
 build/bench/schedule_quality
+build/bench/service_bench

@@ -1,0 +1,242 @@
+//===- service_bench.cpp - Resident daemon vs process-per-compile -------------==//
+//
+// The DESIGN.md §14 question: what does staying resident buy? Measures the
+// same single-file compile two ways — cold (fork/exec a fresh marionc per
+// request, the classic driver model: process startup, target-table build,
+// cold caches every time) and warm (one resident mariond serving framed
+// requests over its Unix socket) — plus a multi-client throughput run, and
+// writes p50/p99 latencies and requests/sec to BENCH_service.json through
+// the shared obs::Registry exporter.
+//
+// Gate: the warm resident p50 must be at least 5x faster than the cold
+// process-per-compile p50, or the bench exits nonzero.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "service/Client.h"
+#include "service/CompileService.h"
+#include "support/Paths.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace marion;
+
+namespace {
+
+constexpr int kColdRuns = 25;
+constexpr int kWarmRuns = 200;
+constexpr int kThroughputThreads = 4;
+constexpr int kThroughputPerThread = 50;
+constexpr double kRequiredSpeedup = 5.0;
+
+double nowMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// One cold compile: a fresh marionc process, output discarded.
+double coldCompileMillis(const std::string &File) {
+  std::string Cmd = "'" MARION_MARIONC_PATH "' '" + File +
+                    "' --machine r2000 --quiet > /dev/null 2>&1";
+  double Start = nowMillis();
+  int Status = std::system(Cmd.c_str());
+  double Elapsed = nowMillis() - Start;
+  if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+    std::fprintf(stderr, "cold compile failed (status %d)\n", Status);
+    std::exit(1);
+  }
+  return Elapsed;
+}
+
+struct Daemon {
+  std::string Socket;
+  pid_t Pid = -1;
+
+  bool start() {
+    char Template[] = "/tmp/marion-service-bench-XXXXXX";
+    const char *Dir = ::mkdtemp(Template);
+    if (!Dir)
+      return false;
+    Socket = std::string(Dir) + "/d.sock";
+    Pid = ::fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      std::freopen("/dev/null", "w", stderr); // Quiet readiness chatter.
+      std::string Listen = "--listen=" + Socket;
+      ::execl(MARION_MARIOND_PATH, MARION_MARIOND_PATH, Listen.c_str(),
+              static_cast<char *>(nullptr));
+      std::_Exit(127);
+    }
+    for (int I = 0; I < 250 && ::access(Socket.c_str(), F_OK) != 0; ++I)
+      ::usleep(20 * 1000);
+    return ::access(Socket.c_str(), F_OK) == 0;
+  }
+
+  void stop() {
+    if (Pid < 0)
+      return;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    Pid = -1;
+  }
+};
+
+shard::CompileRequestFrame makeFrame(const std::string &Path,
+                                     const std::string &Source, int Index) {
+  service::CompileRequest Req;
+  Req.Path = Path;
+  Req.Source = Source;
+  Req.Index = Index;
+  return service::frameFromRequest(Req);
+}
+
+} // namespace
+
+int main() {
+  const std::string File = "suite_matmul.mc";
+  std::string Source, Error;
+  if (!readFile(workloadDir() + "/" + File, Source, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("== Compile service: resident daemon vs process-per-compile "
+              "==\n\n");
+
+  // Cold: a fresh process per compile (one unmeasured warmup for the OS
+  // page cache).
+  (void)coldCompileMillis(File);
+  std::vector<double> Cold;
+  for (int I = 0; I < kColdRuns; ++I)
+    Cold.push_back(coldCompileMillis(File));
+
+  Daemon D;
+  if (!D.start()) {
+    std::fprintf(stderr, "could not start mariond\n");
+    return 1;
+  }
+
+  // Warm: one resident daemon, framed requests over the socket. The first
+  // request pays the parse+compile; the cache keeps later ones resident.
+  std::vector<double> Warm;
+  for (int I = 0; I < kWarmRuns + 1; ++I) {
+    shard::FileResult R;
+    double Start = nowMillis();
+    if (!service::remoteCompile(D.Socket, makeFrame(File, Source, I), R,
+                                Error)) {
+      std::fprintf(stderr, "remote compile failed: %s\n", Error.c_str());
+      D.stop();
+      return 1;
+    }
+    double Elapsed = nowMillis() - Start;
+    if (!R.Ok) {
+      std::fprintf(stderr, "remote compile diagnosed:\n%s", R.DiagText.c_str());
+      D.stop();
+      return 1;
+    }
+    if (I > 0) // Warmup excluded.
+      Warm.push_back(Elapsed);
+  }
+
+  // Throughput: concurrent mixed clients hammering one daemon.
+  double ThroughStart = nowMillis();
+  std::vector<std::thread> Threads;
+  std::vector<int> Failures(kThroughputThreads, 0);
+  for (int T = 0; T < kThroughputThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < kThroughputPerThread; ++I) {
+        shard::FileResult R;
+        std::string E;
+        if (!service::remoteCompile(D.Socket,
+                                    makeFrame(File, Source,
+                                              T * kThroughputPerThread + I),
+                                    R, E) ||
+            !R.Ok)
+          ++Failures[T];
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double ThroughMillis = nowMillis() - ThroughStart;
+  D.stop();
+  for (int F : Failures)
+    if (F) {
+      std::fprintf(stderr, "throughput run had failures\n");
+      return 1;
+    }
+
+  const double ColdP50 = percentile(Cold, 0.50);
+  const double ColdP99 = percentile(Cold, 0.99);
+  const double WarmP50 = percentile(Warm, 0.50);
+  const double WarmP99 = percentile(Warm, 0.99);
+  const int ThroughputRequests = kThroughputThreads * kThroughputPerThread;
+  const double RequestsPerSec = ThroughputRequests * 1000.0 / ThroughMillis;
+  const double Speedup = WarmP50 > 0 ? ColdP50 / WarmP50 : 0;
+
+  std::printf("%-28s %10s %10s\n", "mode", "p50 (ms)", "p99 (ms)");
+  std::printf("%-28s %10.3f %10.3f\n", "cold (process/compile)", ColdP50,
+              ColdP99);
+  std::printf("%-28s %10.3f %10.3f\n", "warm (resident daemon)", WarmP50,
+              WarmP99);
+  std::printf("\nwarm p50 speedup: %.1fx (gate: >= %.1fx)\n", Speedup,
+              kRequiredSpeedup);
+  std::printf("throughput: %d requests, %d clients, %.0f req/s\n",
+              ThroughputRequests, kThroughputThreads, RequestsPerSec);
+
+  obs::Registry Reg;
+  Reg.setHeader("machine", "r2000");
+  Reg.setHeader("strategy", "postpass");
+  Reg.setHeader("flags_fingerprint", obs::flagsFingerprint("service_bench"));
+  Reg.set("cold.runs", kColdRuns);
+  Reg.set("warm.runs", kWarmRuns);
+  Reg.set("throughput.requests", ThroughputRequests);
+  Reg.set("throughput.clients", kThroughputThreads);
+  Reg.setFloat("cold.p50_millis", ColdP50);
+  Reg.setFloat("cold.p99_millis", ColdP99);
+  Reg.setFloat("warm.p50_millis", WarmP50);
+  Reg.setFloat("warm.p99_millis", WarmP99);
+  Reg.setFloat("warm.p50_speedup", Speedup);
+  Reg.setFloat("throughput.requests_per_sec", RequestsPerSec);
+
+  const char *JsonPath = "BENCH_service.json";
+  if (std::FILE *F = std::fopen(JsonPath, "w")) {
+    std::string Json = Reg.exportJson("service_bench");
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", JsonPath);
+    return 1;
+  }
+
+  if (Speedup < kRequiredSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: warm p50 speedup %.1fx below the %.1fx gate\n",
+                 Speedup, kRequiredSpeedup);
+    return 1;
+  }
+  return 0;
+}

@@ -6,26 +6,32 @@
 // a simulated run) out. Accepts one or many input files; with --shards=N a
 // multi-file workload is partitioned across fault-isolated child marionc
 // processes and the results are merged in source order, bit-identical to a
-// serial run when nothing fails (DESIGN.md §11).
+// serial run when nothing fails (DESIGN.md §11). With --remote=<sock> each
+// file is compiled by a resident mariond daemon instead, with output again
+// bit-identical to a local run (DESIGN.md §14).
+//
+// Every path — serial, shard worker, remote fallback — compiles through
+// the same service::CompileService core; this file is argument parsing,
+// printing and aggregation.
 //
 //   marionc file.mc... [--machine M] [--strategy S] [--run [entry]]
-//           [--cycles] [--cache] [--cache-dir D] [--shards N] [...]
+//           [--cycles] [--cache] [--cache-dir D] [--shards N]
+//           [--remote SOCK] [...]
 //
 //===----------------------------------------------------------------------===//
 
 #include "cache/CompileCache.h"
 #include "driver/Compiler.h"
 #include "driver/ExitCodes.h"
-#include "frontend/Frontend.h"
-#include "obs/Metrics.h"
-#include "obs/StallReport.h"
 #include "obs/Trace.h"
 #include "pipeline/FaultInjection.h"
 #include "pipeline/Passes.h"
-#include "regalloc/Allocator.h"
+#include "service/Client.h"
+#include "service/CompileService.h"
+#include "service/StatsExport.h"
 #include "shard/ShardDriver.h"
-#include "support/TaskPool.h"
 #include "sim/Simulator.h"
+#include "support/Paths.h"
 #include "target/TableDump.h"
 
 #include <cstdio>
@@ -80,6 +86,11 @@ static void usage() {
       "across N fault-isolated\n"
       "                                       child processes; output is "
       "merged in source order\n"
+      "  --remote=<socket>                    compile via a resident "
+      "mariond daemon listening on\n"
+      "                                       the given Unix socket; output "
+      "is bit-identical to a\n"
+      "                                       local run\n"
       "  --timeout=<sec>                      per-shard-worker wall-clock "
       "limit (default 120, 0 = off)\n"
       "  --retries=<N>                        re-spawn a crashed/hung/"
@@ -110,104 +121,12 @@ static void usage() {
       "  1  diagnosed compile failure (affected functions emitted as "
       "stubs)\n"
       "  2  usage error\n"
-      "  3  internal error or shard worker crash\n"
+      "  3  internal error, shard worker crash, or remote transport "
+      "failure\n"
       "  4  shard worker timeout\n");
 }
 
 namespace {
-
-/// Per-file work beyond the compile proper, threaded through both the
-/// serial loop and the worker mode.
-struct FileJobOptions {
-  bool Cycles = false;
-  bool SimProfile = false; ///< Simulate + stall-attribute after compiling.
-  bool SimCache = false;   ///< Simulator data-cache model for the above.
-  bool TraceWire = false;  ///< Drain a per-file %TRACE fragment (workers).
-};
-
-/// Compiles one input file end to end, capturing exactly what the process
-/// would print: the serial loop prints the result directly and the worker
-/// mode frames the very same struct through the wire format — which is
-/// what makes --shards output bit-identical to a serial run. The
-/// --sim-profile report rides in DiagText for the same reason.
-shard::FileResult compileOneFile(const std::string &Path, int Index,
-                                 const driver::CompileOptions &Opts,
-                                 const FileJobOptions &JO, std::FILE *WireOut,
-                                 std::optional<driver::Compilation> *Keep) {
-  shard::FileResult R;
-  R.Path = Path;
-  R.Index = Index;
-  R.Started = true;
-  cache::CompileCache::Snapshot CacheBefore;
-  if (Opts.Cache)
-    CacheBefore = Opts.Cache->snapshot();
-  {
-    obs::TraceSpan FileSpan("file",
-                            obs::traceEnabled() ? Path : std::string());
-    DiagnosticEngine Diags;
-    std::unique_ptr<il::Module> Mod;
-    {
-      obs::TraceSpan Parse("phase", "parse",
-                           obs::traceEnabled()
-                               ? "{\"file\":\"" + obs::jsonEscape(Path) + "\"}"
-                               : std::string());
-      Mod = frontend::compileFile(Path, Diags);
-    }
-    if (Mod)
-      for (const auto &Fn : Mod->Functions)
-        R.Functions.push_back(Fn->Name);
-    // The manifest is flushed before the backend runs, so a crashed worker
-    // still tells the parent exactly which functions were lost.
-    if (WireOut)
-      shard::writeRecordBegin(WireOut, R);
-    if (!Mod) {
-      R.DiagText = Diags.str();
-    } else if (auto C = driver::compileModule(*Mod, Opts, Diags)) {
-      R.DiagText = Diags.str() + C->Dumps;
-      R.FailedFunctions = C->FailedFunctions;
-      R.Ok = C->allCompiled() && !Diags.hasErrors();
-      R.Assembly = C->assembly(JO.Cycles);
-      R.Stats = C->Stats;
-      R.Select = C->Select;
-      R.Passes = C->Passes;
-      R.BackendMillis = C->BackendMillis;
-      if (JO.SimProfile && R.Ok && C->Module.findFunction("main")) {
-        sim::SimOptions SimOpts;
-        SimOpts.Profile = true;
-        SimOpts.Cache.Enabled = JO.SimCache;
-        obs::TraceSpan SimSpan("sim", "simulate",
-                               obs::traceEnabled()
-                                   ? "{\"file\":\"" + obs::jsonEscape(Path) +
-                                         "\"}"
-                                   : std::string());
-        sim::SimResult SR =
-            sim::runProgram(C->Module, *C->Target, "main", SimOpts);
-        if (SR.Ok) {
-          R.Sim.addRun(SR);
-          R.DiagText +=
-              obs::renderStallReport(C->Module, *C->Target, SR, Path);
-        } else {
-          R.DiagText += "# sim profile: " + Path + ": " + SR.Error + "\n";
-        }
-      }
-      if (Keep)
-        *Keep = std::move(*C);
-    } else {
-      R.DiagText = Diags.str();
-    }
-  }
-  if (Opts.Cache)
-    R.Cache = Opts.Cache->snapshot() - CacheBefore;
-  // A worker ships its events home per file, so a later crash loses only
-  // the file it died in; the serial path drains once at exit instead.
-  if (JO.TraceWire)
-    R.TraceFragment =
-        obs::serializeFragment(obs::TraceCollector::instance().drain());
-  R.Complete = true;
-  if (WireOut)
-    shard::writeRecordEnd(WireOut, R);
-  return R;
-}
 
 bool writeTextFile(const std::string &Path, const std::string &Text) {
   std::FILE *F = std::fopen(Path.c_str(), "wb");
@@ -222,7 +141,7 @@ bool writeTextFile(const std::string &Path, const std::string &Text) {
 
 /// Drains this process's collector (pid 0, the supervisor/serial driver)
 /// and writes the merged Chrome trace; \p WorkerFragments carry each
-/// shard's events under pid = shard index + 1.
+/// shard's (or the daemon's) events under pid = index + 1.
 bool writeTraceFile(const std::string &Path,
                     std::vector<obs::TraceFragment> WorkerFragments) {
   std::vector<obs::TraceFragment> All;
@@ -232,123 +151,6 @@ bool writeTraceFile(const std::string &Path,
   for (obs::TraceFragment &F : WorkerFragments)
     All.push_back(std::move(F));
   return writeTextFile(Path, obs::assembleTraceJson(All));
-}
-
-/// The canonical option string behind the stats "flags_fingerprint"
-/// header: only options that change generated code. Execution shape
-/// (-j/--shards/--cache) is deliberately excluded — the export must be
-/// bit-identical across serial, -jN and warm-cache runs of one workload.
-std::string semanticFlags(const driver::CompileOptions &Opts, bool Cycles) {
-  std::string S = Opts.Machine;
-  S += '|';
-  S += strategy::strategyName(Opts.Strategy);
-  if (!Opts.UseBuckets)
-    S += "|linear";
-  if (Opts.Strat.Alloc.Linear)
-    S += "|alloc-linear";
-  if (Cycles)
-    S += "|cycles";
-  for (const std::string &D : Opts.DumpAfter)
-    S += "|dump:" + D;
-  return S;
-}
-
-/// Populates and writes the --stats-json document (DESIGN.md §12). One
-/// function serves the serial and sharded paths so the schema cannot
-/// drift between them. \p CacheSnap and \p Sharded are optional inputs.
-bool exportStatsJson(const std::string &Path,
-                     const driver::CompileOptions &Opts, bool Cycles,
-                     size_t FilesTotal, unsigned FilesFailed,
-                     unsigned FunctionsFailed,
-                     const strategy::StrategyStats &Stats,
-                     const shard::SimTotals &Sim,
-                     const target::SelectionCounters::Snapshot &Select,
-                     const std::vector<pipeline::PassStats> &Passes,
-                     const cache::CompileCache::Snapshot *CacheSnap,
-                     double BackendMillis,
-                     const shard::ShardOutcome *Sharded, unsigned Shards) {
-  obs::Registry Reg;
-  Reg.setHeader("machine", Opts.Machine);
-  Reg.setHeader("strategy", strategy::strategyName(Opts.Strategy));
-  Reg.setHeader("flags_fingerprint",
-                obs::flagsFingerprint(semanticFlags(Opts, Cycles)));
-
-  // Deterministic results (the "metrics" object).
-  Reg.set("files.total", static_cast<int64_t>(FilesTotal));
-  Reg.set("files.failed", FilesFailed);
-  Reg.set("functions.failed", FunctionsFailed);
-  Reg.set("strategy.scheduler_passes", Stats.SchedulerPasses);
-  Reg.set("strategy.spilled_pseudos", Stats.SpilledPseudos);
-  Reg.set("strategy.allocator_rounds", Stats.AllocatorRounds);
-  Reg.set("strategy.estimated_cycles", Stats.EstimatedCycles);
-  Reg.set("strategy.scheduled_instrs", Stats.ScheduledInstrs);
-  Reg.set("strategy.dag_nodes", Stats.DagNodes);
-  Reg.set("strategy.dag_edges", Stats.DagEdges);
-  // Allocator work counters are deterministic per allocator path: block
-  // counts depend only on the input and the spill rounds, never on -jN,
-  // stealing or cache temperature.
-  Reg.set("alloc.graph_blocks", Stats.AllocGraphBlocks);
-  Reg.set("alloc.incremental_blocks", Stats.AllocIncrementalBlocks);
-  Reg.set("alloc.spill_rounds", Stats.AllocatorRounds);
-  if (Sim.Runs) {
-    Reg.set("sim.runs", static_cast<int64_t>(Sim.Runs));
-    Reg.set("sim.cycles", static_cast<int64_t>(Sim.Cycles));
-    Reg.set("sim.instructions", static_cast<int64_t>(Sim.Instructions));
-    Reg.set("sim.issue_cycles", static_cast<int64_t>(Sim.IssueCycles));
-    Reg.set("sim.nops", static_cast<int64_t>(Sim.Nops));
-    Reg.set("sim.nop_cycles", static_cast<int64_t>(Sim.NopCycles));
-    Reg.set("stall.branch", static_cast<int64_t>(Sim.Stalls.Branch));
-    Reg.set("stall.interlock", static_cast<int64_t>(Sim.Stalls.Interlock));
-    Reg.set("stall.memory", static_cast<int64_t>(Sim.Stalls.Memory));
-    Reg.set("stall.resource", static_cast<int64_t>(Sim.Stalls.Resource));
-    Reg.set("stall.total", static_cast<int64_t>(Sim.Stalls.total()));
-  }
-
-  // Execution-configuration-dependent counters (the "timing" object).
-  Reg.set("select.nodes_matched", static_cast<int64_t>(Select.NodesMatched),
-          obs::Section::Timing);
-  Reg.set("select.patterns_probed",
-          static_cast<int64_t>(Select.PatternsProbed), obs::Section::Timing);
-  Reg.set("select.bucket_probes", static_cast<int64_t>(Select.BucketProbes),
-          obs::Section::Timing);
-  Reg.set("select.linear_probes", static_cast<int64_t>(Select.LinearProbes),
-          obs::Section::Timing);
-  pipeline::registerPassMetrics(Reg, Passes);
-  if (CacheSnap) {
-    Reg.set("cache.hits", static_cast<int64_t>(CacheSnap->Hits),
-            obs::Section::Timing);
-    Reg.set("cache.misses", static_cast<int64_t>(CacheSnap->Misses),
-            obs::Section::Timing);
-    Reg.set("cache.disk_hits", static_cast<int64_t>(CacheSnap->DiskHits),
-            obs::Section::Timing);
-    Reg.set("cache.inserts", static_cast<int64_t>(CacheSnap->Inserts),
-            obs::Section::Timing);
-    Reg.set("cache.evictions", static_cast<int64_t>(CacheSnap->Evictions),
-            obs::Section::Timing);
-    Reg.set("cache.bytes_used", static_cast<int64_t>(CacheSnap->BytesUsed),
-            obs::Section::Timing);
-  }
-  Reg.setFloat("backend.wall_millis", BackendMillis);
-  // Allocator hot-path timing and work-stealing counters. Process-wide, so
-  // a sharded parent reports only its own (empty) pool — each worker's
-  // numbers die with it, like every other timing metric here.
-  Reg.setFloat("alloc.graph_build_millis",
-               static_cast<double>(regalloc::allocTimingCounters()
-                                       .GraphBuildNanos.load()) /
-                   1e6);
-  support::TaskPool::Counters PC = support::TaskPool::instance().counters();
-  Reg.set("steal.jobs", static_cast<int64_t>(PC.Jobs), obs::Section::Timing);
-  Reg.set("steal.tasks", static_cast<int64_t>(PC.Tasks),
-          obs::Section::Timing);
-  Reg.set("steal.stolen", static_cast<int64_t>(PC.Stolen),
-          obs::Section::Timing);
-  if (Sharded) {
-    Reg.set("shard.shards", Shards, obs::Section::Timing);
-    Reg.set("shard.respawns", Sharded->Respawns, obs::Section::Timing);
-    Reg.set("shard.crashes", Sharded->Crashes, obs::Section::Timing);
-    Reg.set("shard.timeouts", Sharded->Timeouts, obs::Section::Timing);
-  }
-  return writeTextFile(Path, Reg.exportJson());
 }
 
 void printTimePasses(const std::vector<pipeline::PassStats> &Passes,
@@ -402,7 +204,7 @@ int realMain(int argc, char **argv) {
   unsigned Shards = 0;
   double TimeoutSec = 120.0;
   unsigned Retries = 1, BackoffMs = 100;
-  std::string WorkerOut, FaultText;
+  std::string WorkerOut, FaultText, Remote;
   std::optional<pipeline::FaultSpec> Fault;
   bool SimProfile = false, TraceWire = false;
   std::string TracePath, StatsPath;
@@ -461,6 +263,12 @@ int realMain(int argc, char **argv) {
           std::atoi(Arg.c_str() + std::strlen("--shards=")));
       if (Shards == 0) {
         std::fprintf(stderr, "bad --shards value '%s'\n", Arg.c_str());
+        return driver::ExitUsage;
+      }
+    } else if (Arg.rfind("--remote=", 0) == 0) {
+      Remote = Arg.substr(std::strlen("--remote="));
+      if (Remote.empty()) {
+        std::fprintf(stderr, "bad --remote value '%s'\n", Arg.c_str());
         return driver::ExitUsage;
       }
     } else if (Arg.rfind("--timeout=", 0) == 0) {
@@ -543,10 +351,86 @@ int realMain(int argc, char **argv) {
     usage();
     return driver::ExitUsage;
   }
-  if (Run && (Files.size() > 1 || Shards > 0)) {
-    std::fprintf(stderr,
-                 "--run requires a single input file and no --shards\n");
+  if (Run && (Files.size() > 1 || Shards > 0 || !Remote.empty())) {
+    std::fprintf(stderr, "--run requires a single input file and no "
+                         "--shards/--remote\n");
     return driver::ExitUsage;
+  }
+  if (!Remote.empty() && (Shards > 0 || !WorkerOut.empty())) {
+    std::fprintf(stderr, "--remote is incompatible with --shards and "
+                         "--worker-out\n");
+    return driver::ExitUsage;
+  }
+
+  /// The flag-independent request skeleton every path below builds on.
+  auto baseRequest = [&](const std::string &Path, int Index) {
+    service::CompileRequest Req;
+    Req.Path = Path;
+    Req.Index = Index;
+    Req.Opts = Opts;
+    Req.Cycles = Cycles;
+    Req.SimProfile = SimProfile;
+    Req.SimCache = SimCache;
+    return Req;
+  };
+
+  //===--- Remote client: ship each file to a resident mariond. -----------===//
+  if (!Remote.empty()) {
+    service::RunTotals Totals;
+    cache::CompileCache::Snapshot CacheSum;
+    std::vector<obs::TraceFragment> Fragments;
+    // Inputs the client itself cannot read fall back to a local compile so
+    // the "cannot read" diagnostic is bit-identical to a local run.
+    std::unique_ptr<service::CompileService> LocalFallback;
+    int Exit = driver::ExitSuccess;
+    for (size_t I = 0; I < Files.size(); ++I) {
+      service::CompileRequest Req = baseRequest(Files[I], static_cast<int>(I));
+      shard::FileResult R;
+      std::string Source, ReadError;
+      if (readFile(Files[I], Source, ReadError) ||
+          readFile(workloadDir() + "/" + Files[I], Source, ReadError)) {
+        Req.Source = std::move(Source);
+        Req.WantTraceFragment = !TracePath.empty();
+        std::string Error;
+        if (!service::remoteCompile(Remote, service::frameFromRequest(Req), R,
+                                    Error)) {
+          std::fprintf(stderr, "marionc: remote: %s\n", Error.c_str());
+          return driver::ExitInternal;
+        }
+      } else {
+        if (!LocalFallback)
+          LocalFallback = std::make_unique<service::CompileService>(
+              service::CompileService::Config());
+        R = LocalFallback->compile(Req);
+      }
+      if (!R.Ok) {
+        Exit = worseExit(Exit, driver::ExitCompileFail);
+      }
+      std::fprintf(stderr, "%s", R.DiagText.c_str());
+      if (!Quiet)
+        std::printf("%s", R.Assembly.c_str());
+      Totals.add(R);
+      CacheSum.Hits += R.Cache.Hits;
+      CacheSum.Misses += R.Cache.Misses;
+      CacheSum.DiskHits += R.Cache.DiskHits;
+      CacheSum.Inserts += R.Cache.Inserts;
+      CacheSum.Evictions += R.Cache.Evictions;
+      CacheSum.BytesUsed = R.Cache.BytesUsed;
+      if (!R.TraceFragment.empty())
+        Fragments.push_back(obs::TraceFragment{static_cast<int>(I) + 1,
+                                               "mariond",
+                                               std::move(R.TraceFragment)});
+    }
+    if (TimePasses)
+      printTimePasses(Totals.Passes, Totals.BackendMillis);
+    if (SelectStats)
+      printSelectStats(Totals.Select, 0);
+    if (!TracePath.empty())
+      writeTraceFile(TracePath, std::move(Fragments));
+    if (!StatsPath.empty())
+      service::exportStatsJson(StatsPath, Opts, Cycles, Totals,
+                               UseCompileCache ? &CacheSum : nullptr, nullptr);
+    return Exit;
   }
 
   //===--- Sharded parent: partition, spawn, supervise, merge. ------------===//
@@ -604,13 +488,17 @@ int realMain(int argc, char **argv) {
     // crashed run still leaves a valid (partial) trace and stats file.
     if (!TracePath.empty())
       writeTraceFile(TracePath, std::move(Outcome.TraceFragments));
-    if (!StatsPath.empty())
-      exportStatsJson(StatsPath, Opts, Cycles, Files.size(),
-                      Outcome.FailedFiles, Outcome.FailedFunctions,
-                      Outcome.Stats, Outcome.Sim, Outcome.Select,
-                      Outcome.Passes,
-                      UseCompileCache ? &Outcome.CacheSum : nullptr,
-                      Outcome.BackendMillis, &Outcome, Shards);
+    if (!StatsPath.empty()) {
+      service::ShardTimings ST;
+      ST.Shards = Shards;
+      ST.Respawns = Outcome.Respawns;
+      ST.Crashes = Outcome.Crashes;
+      ST.Timeouts = Outcome.Timeouts;
+      service::exportStatsJson(
+          StatsPath, Opts, Cycles,
+          service::RunTotals::fromShardOutcome(Outcome, Files.size()),
+          UseCompileCache ? &Outcome.CacheSum : nullptr, &ST);
+    }
     return Outcome.ExitCode;
   }
 
@@ -618,13 +506,10 @@ int realMain(int argc, char **argv) {
   if (Fault)
     pipeline::armFaultInjector(*Fault, CacheDir);
 
-  std::unique_ptr<cache::CompileCache> CompileCache;
-  if (UseCompileCache) {
-    cache::CacheConfig Config;
-    Config.Dir = CacheDir;
-    CompileCache = std::make_unique<cache::CompileCache>(Config);
-    Opts.Cache = CompileCache.get();
-  }
+  service::CompileService::Config SC;
+  SC.UseCache = UseCompileCache;
+  SC.CacheDir = CacheDir;
+  service::CompileService Svc(SC);
 
   std::FILE *WireOut = nullptr;
   if (!WorkerOut.empty()) {
@@ -636,42 +521,30 @@ int realMain(int argc, char **argv) {
     }
   }
 
-  FileJobOptions JO;
-  JO.Cycles = Cycles;
-  JO.SimProfile = SimProfile;
-  JO.SimCache = SimCache;
-  JO.TraceWire = TraceWire;
-
   int Exit = driver::ExitSuccess;
-  strategy::StrategyStats AggStats;
-  target::SelectionCounters::Snapshot AggSelect;
-  std::vector<pipeline::PassStats> AggPasses;
-  shard::SimTotals AggSim;
-  unsigned FailedFiles = 0, FailedFuncs = 0;
-  double AggBackendMillis = 0, TargetBuildMicros = 0;
+  service::RunTotals Totals;
+  double TargetBuildMicros = 0;
   std::optional<driver::Compilation> RunCompilation;
   for (size_t I = 0; I < Files.size(); ++I) {
-    shard::FileResult R =
-        compileOneFile(Files[I], static_cast<int>(I), Opts, JO, WireOut,
-                       Run ? &RunCompilation : nullptr);
-    if (!R.Ok) {
+    service::CompileRequest Req = baseRequest(Files[I], static_cast<int>(I));
+    // A worker ships its events home per file, so a later crash loses only
+    // the file it died in; the serial path drains once at exit instead.
+    Req.WantTraceFragment = TraceWire;
+    if (WireOut)
+      Req.OnManifest = [WireOut](const shard::FileResult &R) {
+        shard::writeRecordBegin(WireOut, R);
+      };
+    shard::FileResult R = Svc.compile(Req, Run ? &RunCompilation : nullptr);
+    if (WireOut)
+      shard::writeRecordEnd(WireOut, R);
+    if (!R.Ok)
       Exit = worseExit(Exit, driver::ExitCompileFail);
-      ++FailedFiles;
-    }
     if (!WireOut) {
       std::fprintf(stderr, "%s", R.DiagText.c_str());
       if (!Quiet)
         std::printf("%s", R.Assembly.c_str());
     }
-    AggStats += R.Stats;
-    AggSelect.NodesMatched += R.Select.NodesMatched;
-    AggSelect.PatternsProbed += R.Select.PatternsProbed;
-    AggSelect.BucketProbes += R.Select.BucketProbes;
-    AggSelect.LinearProbes += R.Select.LinearProbes;
-    pipeline::mergePassStatsByName(AggPasses, R.Passes);
-    AggSim += R.Sim;
-    FailedFuncs += static_cast<unsigned>(R.FailedFunctions.size());
-    AggBackendMillis += R.BackendMillis;
+    Totals.add(R);
   }
   if (WireOut) {
     std::fclose(WireOut);
@@ -679,29 +552,27 @@ int realMain(int argc, char **argv) {
   }
 
   if (TimePasses)
-    printTimePasses(AggPasses, AggBackendMillis);
-  if (CacheStats && CompileCache)
+    printTimePasses(Totals.Passes, Totals.BackendMillis);
+  if (CacheStats && Svc.cache())
     std::fprintf(stderr, "# compile-cache: %s\n",
-                 cache::formatSnapshot(CompileCache->snapshot()).c_str());
+                 cache::formatSnapshot(Svc.cache()->snapshot()).c_str());
   if (SelectStats) {
     // The target is built once per process; report the build cost through
     // a fresh load (served from the driver's target cache).
     DiagnosticEngine TDiags;
     if (auto Target = driver::loadTarget(Opts.Machine, TDiags))
       TargetBuildMicros = Target->buildMicros();
-    printSelectStats(AggSelect, TargetBuildMicros);
+    printSelectStats(Totals.Select, TargetBuildMicros);
   }
 
   if (!TracePath.empty())
     writeTraceFile(TracePath, {});
   if (!StatsPath.empty()) {
     cache::CompileCache::Snapshot Snap;
-    if (CompileCache)
-      Snap = CompileCache->snapshot();
-    exportStatsJson(StatsPath, Opts, Cycles, Files.size(), FailedFiles,
-                    FailedFuncs, AggStats, AggSim, AggSelect, AggPasses,
-                    CompileCache ? &Snap : nullptr, AggBackendMillis, nullptr,
-                    0);
+    if (Svc.cache())
+      Snap = Svc.cache()->snapshot();
+    service::exportStatsJson(StatsPath, Opts, Cycles, Totals,
+                             Svc.cache() ? &Snap : nullptr, nullptr);
   }
 
   if (Run && Exit == driver::ExitSuccess) {

@@ -1,0 +1,122 @@
+//===- mariond.cpp - The Marion compile daemon ---------------------------------==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+// A resident compile server (DESIGN.md §14): one process that keeps the
+// per-machine code-generator tables and the compile cache warm and serves
+// compile requests from `marionc --remote=<sock>` clients over a Unix
+// domain socket. Responses are bit-identical to local marionc compiles.
+//
+//   mariond --listen=<socket> [--workers=N] [--no-cache] [--cache-dir=D]
+//           [--inject-fault=<spec>]
+//
+// SIGTERM/SIGINT finish in-flight requests, unlink the socket and exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ExitCodes.h"
+#include "pipeline/FaultInjection.h"
+#include "service/Server.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace marion;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mariond --listen=<socket> [options]\n"
+      "  --listen=<socket>       Unix socket path to serve on (required)\n"
+      "  --workers=<N>           concurrent request handlers (default 4)\n"
+      "  --no-cache              disable the resident compile cache\n"
+      "  --cache-dir=<dir>       persistent compile-cache directory\n"
+      "  --inject-fault=<pass>:<kind>[:<nth>]\n"
+      "                          deterministic in-daemon fault injection\n"
+      "                          (testing); kinds: error, crash, hang,\n"
+      "                          corrupt-cache\n"
+      "exit codes: 0 clean shutdown, 2 usage error, 3 startup failure\n");
+}
+
+namespace {
+
+volatile std::sig_atomic_t ShutdownRequested = 0;
+
+void onSignal(int) { ShutdownRequested = 1; }
+
+} // namespace
+
+int main(int argc, char **argv) {
+  service::ServerConfig Config;
+  Config.Service.UseCache = true;
+  // All bundled machines are table-warmed at startup: the first request per
+  // machine should already find its TargetInfo resident.
+  Config.Service.WarmMachines = {"toyp", "r2000", "m88000", "i860"};
+  std::string FaultText;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--listen=", 0) == 0) {
+      Config.SocketPath = Arg.substr(std::strlen("--listen="));
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      Config.Workers = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--workers=")));
+      if (Config.Workers == 0) {
+        std::fprintf(stderr, "bad --workers value '%s'\n", Arg.c_str());
+        return driver::ExitUsage;
+      }
+    } else if (Arg == "--no-cache") {
+      Config.Service.UseCache = false;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Config.Service.CacheDir = Arg.substr(std::strlen("--cache-dir="));
+      Config.Service.UseCache = true;
+    } else if (Arg.rfind("--inject-fault=", 0) == 0) {
+      FaultText = Arg.substr(std::strlen("--inject-fault="));
+      std::string Error;
+      auto Fault = pipeline::parseFaultSpec(FaultText, Error);
+      if (!Fault) {
+        std::fprintf(stderr, "bad --inject-fault spec '%s': %s\n",
+                     FaultText.c_str(), Error.c_str());
+        return driver::ExitUsage;
+      }
+      pipeline::armFaultInjector(*Fault, Config.Service.CacheDir);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return driver::ExitSuccess;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return driver::ExitUsage;
+    }
+  }
+  if (Config.SocketPath.empty()) {
+    usage();
+    return driver::ExitUsage;
+  }
+
+  service::Server Server(Config);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "mariond: %s\n", Error.c_str());
+    return driver::ExitInternal;
+  }
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  // Scripts treat this line (and the socket file's existence) as readiness.
+  std::fprintf(stderr, "mariond: listening on %s (%u workers, cache %s)\n",
+               Config.SocketPath.c_str(), Config.Workers,
+               Config.Service.UseCache ? "on" : "off");
+
+  while (!ShutdownRequested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Server.stop();
+  std::fprintf(stderr, "mariond: served %llu requests, bye\n",
+               static_cast<unsigned long long>(Server.requestsServed()));
+  return driver::ExitSuccess;
+}

@@ -22,6 +22,14 @@
 #                             stats-exported shard compile (clean and
 #                             fault-injected) and validate both JSON
 #                             artifacts (DESIGN.md §12).
+#   scripts/check.sh --service build marionc and mariond, start the
+#                             daemon on a temp socket, and verify that
+#                             `marionc --remote` is bit-identical to a
+#                             local compile across every machine x
+#                             strategy pair, that an in-daemon injected
+#                             fault only costs the one request, and that
+#                             SIGTERM shuts down cleanly and removes the
+#                             socket (DESIGN.md §14).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -199,6 +207,128 @@ workloads/suite_poly.mc workloads/suite_queens.mc"
   return "$STATUS"
 }
 
+# Resident compile service (DESIGN.md §14) for the marionc at $1 and
+# mariond at $2: the daemon must serve remote compiles bit-identical to
+# local ones for every machine x strategy pair, survive an injected
+# fault with only the one request diagnosed, and leave no socket behind
+# after SIGTERM.
+run_service_check() {
+  MARIONC=$1
+  MARIOND=$2
+  SWORK=$(mktemp -d)
+  STATUS=0
+  SOCK="$SWORK/d.sock"
+
+  "$MARIOND" --listen="$SOCK" >"$SWORK/daemon.out" 2>"$SWORK/daemon.err" &
+  DPID=$!
+  TRIES=0
+  while [ ! -S "$SOCK" ] && [ "$TRIES" -lt 250 ]; do
+    sleep 0.02
+    TRIES=$((TRIES + 1))
+  done
+  if [ ! -S "$SOCK" ]; then
+    echo "FAIL: mariond never created $SOCK" >&2
+    cat "$SWORK/daemon.err" >&2
+    kill "$DPID" 2>/dev/null || true
+    rm -rf "$SWORK"
+    return 1
+  fi
+
+  # Remote must be bit-identical to local: stdout, stderr, exit code.
+  # The sweep includes livermore on toyp, a diagnosed compile failure,
+  # so the failure path is held to the same identity bar.
+  for M in toyp r2000 m88000 i860; do
+    for S in postpass ips rase; do
+      for F in workloads/livermore.mc workloads/suite_matmul.mc; do
+        N="$M.$S.$(basename "$F" .mc)"
+        set +e
+        "$MARIONC" "$F" --machine "$M" --strategy "$S" --cycles \
+          >"$SWORK/local.$N.out" 2>"$SWORK/local.$N.err"
+        LOCAL=$?
+        "$MARIONC" "$F" --machine "$M" --strategy "$S" --cycles \
+          --remote="$SOCK" >"$SWORK/remote.$N.out" 2>"$SWORK/remote.$N.err"
+        REMOTE=$?
+        set -e
+        if [ "$LOCAL" -ne "$REMOTE" ] ||
+          ! cmp -s "$SWORK/local.$N.out" "$SWORK/remote.$N.out" ||
+          ! cmp -s "$SWORK/local.$N.err" "$SWORK/remote.$N.err"; then
+          echo "FAIL: remote differs from local ($N)" >&2
+          STATUS=1
+        fi
+      done
+    done
+  done
+  [ "$STATUS" -eq 0 ] && echo "ok: remote bit-identical to local" \
+    "(4 machines x 3 strategies, incl. diagnosed failures)"
+
+  # A half-open garbage connection must not take the daemon down.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.connect(sys.argv[1])
+s.sendall(b'%REQUEST not a frame\n')
+s.shutdown(socket.SHUT_WR)
+s.recv(65536)
+s.close()" "$SOCK" || true
+    set +e
+    "$MARIONC" workloads/suite_matmul.mc --remote="$SOCK" --quiet \
+      >/dev/null 2>"$SWORK/after-garbage.err"
+    GOT=$?
+    set -e
+    if [ "$GOT" -ne 0 ]; then
+      echo "FAIL: daemon did not survive a malformed frame" >&2
+      cat "$SWORK/after-garbage.err" >&2
+      STATUS=1
+    else
+      echo "ok: daemon survives a malformed frame"
+    fi
+  fi
+  kill -TERM "$DPID"
+  wait "$DPID" || {
+    echo "FAIL: mariond did not exit cleanly on SIGTERM" >&2
+    STATUS=1
+  }
+  if [ -e "$SOCK" ]; then
+    echo "FAIL: mariond left its socket behind after SIGTERM" >&2
+    STATUS=1
+  else
+    echo "ok: SIGTERM shutdown removed the socket"
+  fi
+
+  # An injected fault inside the daemon diagnoses one request and leaves
+  # the service healthy for the next.
+  "$MARIOND" --listen="$SOCK" --inject-fault=postpass-sched:error \
+    >/dev/null 2>&1 &
+  DPID=$!
+  TRIES=0
+  while [ ! -S "$SOCK" ] && [ "$TRIES" -lt 250 ]; do
+    sleep 0.02
+    TRIES=$((TRIES + 1))
+  done
+  set +e
+  "$MARIONC" workloads/suite_matmul.mc --remote="$SOCK" --quiet \
+    >/dev/null 2>"$SWORK/fault.err"
+  FIRST=$?
+  "$MARIONC" workloads/suite_matmul.mc --remote="$SOCK" --quiet \
+    >/dev/null 2>&1
+  SECOND=$?
+  set -e
+  if [ "$FIRST" -ne 1 ] || [ "$SECOND" -ne 0 ]; then
+    echo "FAIL: in-daemon fault: want exits 1 then 0, got" \
+      "$FIRST then $SECOND" >&2
+    STATUS=1
+  else
+    echo "ok: in-daemon injected fault costs one request, then recovers"
+  fi
+  kill -TERM "$DPID" 2>/dev/null || true
+  wait "$DPID" 2>/dev/null || true
+
+  [ "$STATUS" -eq 0 ] && echo "service check OK"
+  rm -rf "$SWORK"
+  return "$STATUS"
+}
+
 BUILD=build
 if [ "${1:-}" = "--asan" ]; then
   BUILD=build-asan
@@ -221,6 +351,11 @@ elif [ "${1:-}" = "--obs" ]; then
   cmake -B "$BUILD" -S .
   cmake --build "$BUILD" -j "$(nproc)" --target marionc
   run_obs_check "$BUILD/examples/marionc"
+  exit $?
+elif [ "${1:-}" = "--service" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target marionc mariond
+  run_service_check "$BUILD/examples/marionc" "$BUILD/examples/mariond"
   exit $?
 elif [ "${1:-}" = "--cache" ]; then
   cmake -B "$BUILD" -S .
@@ -318,5 +453,9 @@ if [ "${1:-}" = "--tsan" ]; then
     done
   done
   [ "$STATUS" -eq 0 ] && echo "tsan -j4 sweep OK (bit-identical to serial)"
+  # The daemon's worker pool and per-request obs scoping are the other
+  # concurrency hot spots: run the full service check under TSan too.
+  run_service_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" ||
+    STATUS=1
   exit "$STATUS"
 fi

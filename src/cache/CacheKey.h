@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace marion {
 namespace cache {
@@ -93,6 +94,20 @@ uint64_t fingerprintStrategyOptions(strategy::StrategyKind Kind,
 CacheKey selectedMirKey(const il::Function &Fn,
                         const target::TargetInfo &Target,
                         const select::SelectorOptions &SelOpts);
+
+/// The canonical "semantic flags" string: exactly the options that change
+/// generated code, in a fixed order — behind the --stats-json
+/// "flags_fingerprint" header and the request frames `marionc --remote`
+/// sends to mariond. Execution shape (-j/--shards/--cache/--remote) is
+/// deliberately excluded: an export must be bit-identical across serial,
+/// -jN, warm-cache, sharded and remote runs of one workload. It lives next
+/// to the cache keys so the client, the daemon and the shard workers
+/// cannot drift on what counts as "semantic".
+std::string semanticFlagString(const std::string &Machine,
+                               strategy::StrategyKind Kind,
+                               const strategy::StrategyOptions &StratOpts,
+                               bool UseBuckets, bool Cycles,
+                               const std::vector<std::string> &DumpAfter);
 
 /// Key for the final-MIR tier. \p Fn must be in the state the pipeline will
 /// consume (pre-glue: the glue pass is part of what the key covers, via the

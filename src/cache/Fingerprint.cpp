@@ -176,6 +176,24 @@ CacheKey cache::selectedMirKey(const il::Function &Fn,
   return Key;
 }
 
+std::string cache::semanticFlagString(
+    const std::string &Machine, strategy::StrategyKind Kind,
+    const strategy::StrategyOptions &StratOpts, bool UseBuckets, bool Cycles,
+    const std::vector<std::string> &DumpAfter) {
+  std::string S = Machine;
+  S += '|';
+  S += strategy::strategyName(Kind);
+  if (!UseBuckets)
+    S += "|linear";
+  if (StratOpts.Alloc.Linear)
+    S += "|alloc-linear";
+  if (Cycles)
+    S += "|cycles";
+  for (const std::string &D : DumpAfter)
+    S += "|dump:" + D;
+  return S;
+}
+
 CacheKey cache::finalMirKey(const il::Function &Fn,
                             const target::TargetInfo &Target,
                             const select::SelectorOptions &SelOpts,

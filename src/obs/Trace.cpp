@@ -94,6 +94,51 @@ void TraceCollector::reset() {
 }
 
 //===----------------------------------------------------------------------===//
+// Per-request trace ownership
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Serializes fragment-collecting requests: the collector's buffers are
+/// process-wide, so only one request may own a drain window at a time.
+std::mutex &requestTraceMutex() {
+  static std::mutex M;
+  return M;
+}
+
+} // namespace
+
+TraceRequestScope::TraceRequestScope(bool W) : Want(W) {
+  if (!Want)
+    return;
+  requestTraceMutex().lock();
+  TraceCollector &C = TraceCollector::instance();
+  WasEnabled = C.enabled();
+  // Stale events recorded outside any request window (daemon startup,
+  // inter-request gaps) belong to no request: drop them.
+  (void)C.drain();
+  C.enable();
+}
+
+std::string TraceRequestScope::fragment() {
+  release();
+  return Frag;
+}
+
+void TraceRequestScope::release() {
+  if (!Want || Released)
+    return;
+  Released = true;
+  TraceCollector &C = TraceCollector::instance();
+  Frag = serializeFragment(C.drain());
+  if (!WasEnabled)
+    C.disable();
+  requestTraceMutex().unlock();
+}
+
+TraceRequestScope::~TraceRequestScope() { release(); }
+
+//===----------------------------------------------------------------------===//
 // Recording helpers
 //===----------------------------------------------------------------------===//
 

@@ -60,6 +60,7 @@ public:
   static TraceCollector &instance();
 
   void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  void disable() { Enabled.store(false, std::memory_order_relaxed); }
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
   /// Appends \p Event to the calling thread's buffer (no lock after the
@@ -107,6 +108,50 @@ private:
   std::string Name;
   std::string Args;
   double Start = 0;
+};
+
+/// Per-request ownership of the process-wide trace collector (DESIGN.md
+/// §14). The collector is a process singleton, so two requests that each
+/// want their own %TRACE fragment must not interleave drains — a resident
+/// CompileService serves many compile requests from one process, where the
+/// old drain-at-exit discipline would bleed one request's spans into the
+/// next. A scope constructed with \p Want = true:
+///
+///   * serializes against every other fragment-collecting request under a
+///     global mutex (untraced requests keep running fully concurrent and
+///     record nothing while the collector is otherwise disabled),
+///   * discards stale events recorded since the previous drain window,
+///   * arms the collector for the request's duration, restoring the prior
+///     enablement on release, and
+///   * hands back exactly this request's events via fragment().
+///
+/// With \p Want = false the scope is a complete no-op: a plain
+/// `marionc --trace` run keeps its accumulate-then-write-at-exit behavior.
+/// Spans recorded by concurrently running untraced requests while a traced
+/// window is open may appear in that window's fragment; per-request
+/// isolation is exact whenever traced requests are the only ones running
+/// (and always for sequential requests, which is what --stats-json
+/// determinism needs).
+class TraceRequestScope {
+public:
+  explicit TraceRequestScope(bool Want);
+  ~TraceRequestScope();
+
+  TraceRequestScope(const TraceRequestScope &) = delete;
+  TraceRequestScope &operator=(const TraceRequestScope &) = delete;
+
+  /// Drains this request's events as a serialized pid-less fragment and
+  /// releases the collector. Empty when the scope was constructed with
+  /// Want = false. Idempotent; the destructor releases if never called.
+  std::string fragment();
+
+private:
+  void release();
+
+  bool Want = false;
+  bool WasEnabled = false;
+  bool Released = false;
+  std::string Frag;
 };
 
 /// Installs per-task trace hooks on the process task pool

@@ -1,0 +1,99 @@
+//===- Client.cpp ---------------------------------------------------------==//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace marion;
+using namespace marion::service;
+
+namespace {
+
+void ignoreSigpipeOnce() {
+  static const int Once = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)Once;
+}
+
+bool writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool service::remoteCompile(const std::string &SocketPath,
+                            const shard::CompileRequestFrame &Frame,
+                            shard::FileResult &Result, std::string &Error) {
+  ignoreSigpipeOnce();
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + SocketPath + "' is empty or too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect " + SocketPath + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (!writeAll(Fd, shard::serializeRequestFrame(Frame))) {
+    Error = "send: " + std::string(std::strerror(errno));
+    ::close(Fd);
+    return false;
+  }
+  // Half-close tells the daemon the frame is complete; the response then
+  // streams back on the same connection until the daemon closes it.
+  ::shutdown(Fd, SHUT_WR);
+
+  std::string Text;
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Text.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    break;
+  }
+  ::close(Fd);
+
+  std::vector<shard::FileResult> Records = shard::parseWorkerOutput(Text);
+  if (Records.empty() || !Records.front().Started) {
+    Error = "empty or unparseable response from " + SocketPath;
+    return false;
+  }
+  Result = std::move(Records.front());
+  if (!Result.Complete) {
+    Error = "truncated response from " + SocketPath;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,37 @@
+//===- Client.h - marionc --remote's daemon client ---------------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin-client half of DESIGN.md §14: one function that ships a
+/// compile request frame to a mariond socket and brings back the framed
+/// result record. `marionc --remote=<sock>` is this plus the same
+/// print-and-aggregate loop the local serial path uses — which is what
+/// makes remote output bit-identical to a local compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SERVICE_CLIENT_H
+#define MARION_SERVICE_CLIENT_H
+
+#include "shard/WireFormat.h"
+
+#include <string>
+
+namespace marion {
+namespace service {
+
+/// Sends \p Frame to the daemon at \p SocketPath and parses the response
+/// into \p Result. Returns false and fills \p Error only on transport
+/// failures (no daemon, connection reset, empty/unparseable response);
+/// compile failures come back as a normal Result with Ok = false.
+bool remoteCompile(const std::string &SocketPath,
+                   const shard::CompileRequestFrame &Frame,
+                   shard::FileResult &Result, std::string &Error);
+
+} // namespace service
+} // namespace marion
+
+#endif // MARION_SERVICE_CLIENT_H

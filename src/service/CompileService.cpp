@@ -1,0 +1,224 @@
+//===- CompileService.cpp -------------------------------------------------==//
+
+#include "service/CompileService.h"
+
+#include "cache/CacheKey.h"
+#include "cache/CompileCache.h"
+#include "frontend/Frontend.h"
+#include "obs/StallReport.h"
+#include "obs/Trace.h"
+#include "pipeline/Passes.h"
+#include "regalloc/Allocator.h"
+#include "sim/Simulator.h"
+#include "support/TaskPool.h"
+
+using namespace marion;
+using namespace marion::service;
+
+//===----------------------------------------------------------------------===//
+// Request <-> wire frame
+//===----------------------------------------------------------------------===//
+
+bool service::requestFromFrame(const shard::CompileRequestFrame &Frame,
+                               CompileRequest &Req, std::string &Error) {
+  Req.Path = Frame.Path;
+  Req.Source = Frame.Source;
+  Req.Index = Frame.Index;
+  Req.Opts.Machine = Frame.Machine;
+  auto Kind = strategy::strategyFromName(Frame.Strategy);
+  if (!Kind) {
+    Error = "unknown strategy '" + Frame.Strategy + "'";
+    return false;
+  }
+  Req.Opts.Strategy = *Kind;
+  for (const std::string &F : Frame.Flags) {
+    if (F == "cycles") {
+      Req.Cycles = true;
+    } else if (F == "linear") {
+      Req.Opts.UseBuckets = false;
+    } else if (F == "alloc-linear") {
+      Req.Opts.Strat.Alloc.Linear = true;
+    } else if (F == "sim-profile") {
+      Req.SimProfile = true;
+    } else if (F == "sim-cache") {
+      Req.SimCache = true;
+    } else if (F == "trace") {
+      Req.WantTraceFragment = true;
+    } else if (F.rfind("dump:", 0) == 0) {
+      std::string Name = F.substr(5);
+      bool Known = Name == "all";
+      for (const std::string &P : pipeline::registeredPassNames())
+        Known = Known || P == Name;
+      if (!Known) {
+        Error = "unknown pass '" + Name + "' in dump flag";
+        return false;
+      }
+      Req.Opts.DumpAfter.push_back(Name);
+    } else {
+      Error = "unknown request flag '" + F + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+shard::CompileRequestFrame service::frameFromRequest(const CompileRequest &Req) {
+  shard::CompileRequestFrame Frame;
+  Frame.Index = Req.Index;
+  Frame.Path = Req.Path;
+  Frame.Machine = Req.Opts.Machine;
+  Frame.Strategy = strategy::strategyName(Req.Opts.Strategy);
+  if (Req.Cycles)
+    Frame.Flags.push_back("cycles");
+  if (!Req.Opts.UseBuckets)
+    Frame.Flags.push_back("linear");
+  if (Req.Opts.Strat.Alloc.Linear)
+    Frame.Flags.push_back("alloc-linear");
+  if (Req.SimProfile)
+    Frame.Flags.push_back("sim-profile");
+  if (Req.SimCache)
+    Frame.Flags.push_back("sim-cache");
+  if (Req.WantTraceFragment)
+    Frame.Flags.push_back("trace");
+  for (const std::string &D : Req.Opts.DumpAfter)
+    Frame.Flags.push_back("dump:" + D);
+  if (Req.Source)
+    Frame.Source = *Req.Source;
+  return Frame;
+}
+
+//===----------------------------------------------------------------------===//
+// The service proper
+//===----------------------------------------------------------------------===//
+
+CompileService::CompileService(const Config &C) {
+  if (C.UseCache || !C.CacheDir.empty()) {
+    cache::CacheConfig CC;
+    CC.Dir = C.CacheDir;
+    Cache = std::make_unique<cache::CompileCache>(CC);
+  }
+  // Warm the target tables: a resident service should never make its first
+  // client pay the per-machine table build. loadTarget caches internally,
+  // so this is idempotent and shared with every later request.
+  for (const std::string &M : C.WarmMachines) {
+    DiagnosticEngine Diags;
+    (void)driver::loadTarget(M, Diags);
+  }
+}
+
+CompileService::~CompileService() = default;
+
+namespace {
+
+/// Parses the request's translation unit, reproducing frontend::compileFile
+/// byte for byte when the source arrived by value: same diagnostics prefix
+/// (the display path), same module name (path basename, extension
+/// stripped) — which is what keeps remote diagnostics bit-identical to a
+/// local compile of the same file.
+std::unique_ptr<il::Module> parseRequest(const CompileRequest &Req,
+                                         DiagnosticEngine &Diags) {
+  obs::TraceSpan Span("phase", "parse",
+                      obs::traceEnabled()
+                          ? "{\"file\":\"" + obs::jsonEscape(Req.Path) + "\"}"
+                          : std::string());
+  if (!Req.Source)
+    return frontend::compileFile(Req.Path, Diags);
+  Diags.setFile(Req.Path);
+  std::string Name = Req.Path;
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  size_t Dot = Name.find_last_of('.');
+  if (Dot != std::string::npos)
+    Name = Name.substr(0, Dot);
+  return frontend::compileSource(*Req.Source, Name, Diags);
+}
+
+} // namespace
+
+CompileResult CompileService::compile(const CompileRequest &Req,
+                                      std::optional<driver::Compilation> *Keep) {
+  CompileResult R;
+  R.Path = Req.Path;
+  R.Index = Req.Index;
+  R.Started = true;
+  Served.fetch_add(1, std::memory_order_relaxed);
+
+  driver::CompileOptions Opts = Req.Opts;
+  Opts.Cache = Cache.get();
+
+  // Per-request observability scope (DESIGN.md §14): trace ownership plus
+  // snapshot-and-subtract over the process-global monotonic counters, so
+  // sequential requests never bleed into each other's exports.
+  obs::TraceRequestScope TraceScope(Req.WantTraceFragment);
+  const uint64_t AllocBefore =
+      regalloc::allocTimingCounters().GraphBuildNanos.load();
+  const support::TaskPool::Counters PoolBefore =
+      support::TaskPool::instance().counters();
+  cache::CompileCache::Snapshot CacheBefore;
+  if (Cache)
+    CacheBefore = Cache->snapshot();
+
+  {
+    obs::TraceSpan FileSpan("file",
+                            obs::traceEnabled() ? Req.Path : std::string());
+    DiagnosticEngine Diags;
+    std::unique_ptr<il::Module> Mod = parseRequest(Req, Diags);
+    if (Mod)
+      for (const auto &Fn : Mod->Functions)
+        R.Functions.push_back(Fn->Name);
+    // The manifest hook fires before the backend runs, so a shard worker's
+    // crash (or a daemon client watching the stream) still names exactly
+    // the functions in flight.
+    if (Req.OnManifest)
+      Req.OnManifest(R);
+    if (!Mod) {
+      R.DiagText = Diags.str();
+    } else if (auto C = driver::compileModule(*Mod, Opts, Diags)) {
+      R.DiagText = Diags.str() + C->Dumps;
+      R.FailedFunctions = C->FailedFunctions;
+      R.Ok = C->allCompiled() && !Diags.hasErrors();
+      R.Assembly = C->assembly(Req.Cycles);
+      R.Stats = C->Stats;
+      R.Select = C->Select;
+      R.Passes = C->Passes;
+      R.BackendMillis = C->BackendMillis;
+      if (Req.SimProfile && R.Ok && C->Module.findFunction("main")) {
+        sim::SimOptions SimOpts;
+        SimOpts.Profile = true;
+        SimOpts.Cache.Enabled = Req.SimCache;
+        obs::TraceSpan SimSpan("sim", "simulate",
+                               obs::traceEnabled()
+                                   ? "{\"file\":\"" +
+                                         obs::jsonEscape(Req.Path) + "\"}"
+                                   : std::string());
+        sim::SimResult SR =
+            sim::runProgram(C->Module, *C->Target, "main", SimOpts);
+        if (SR.Ok) {
+          R.Sim.addRun(SR);
+          R.DiagText +=
+              obs::renderStallReport(C->Module, *C->Target, SR, Req.Path);
+        } else {
+          R.DiagText += "# sim profile: " + Req.Path + ": " + SR.Error + "\n";
+        }
+      }
+      if (Keep)
+        *Keep = std::move(*C);
+    } else {
+      R.DiagText = Diags.str();
+    }
+  }
+
+  if (Cache)
+    R.Cache = Cache->snapshot() - CacheBefore;
+  R.Obs.AllocGraphNanos = static_cast<double>(
+      regalloc::allocTimingCounters().GraphBuildNanos.load() - AllocBefore);
+  const support::TaskPool::Counters PoolAfter =
+      support::TaskPool::instance().counters();
+  R.Obs.PoolJobs = PoolAfter.Jobs - PoolBefore.Jobs;
+  R.Obs.PoolTasks = PoolAfter.Tasks - PoolBefore.Tasks;
+  R.Obs.PoolStolen = PoolAfter.Stolen - PoolBefore.Stolen;
+  R.TraceFragment = TraceScope.fragment();
+  R.Complete = true;
+  return R;
+}

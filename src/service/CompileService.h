@@ -1,0 +1,137 @@
+//===- CompileService.h - Resident, re-entrant compile core ------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident compile core (DESIGN.md §14): "compile one file" as a
+/// first-class, re-entrant operation shared by every entry point — the
+/// serial `marionc` loop, the `--worker-out` shard worker, the `mariond`
+/// daemon and (indirectly) the `marionc --remote` thin client. One
+/// CompileService owns everything worth keeping warm across requests:
+///
+///   * the per-machine TargetInfo tables (driver::loadTarget's resident
+///     cache — built once, immutable, shared by every request),
+///   * the two compile-cache tiers (selected MIR and final MIR, optionally
+///     disk-backed) from DESIGN.md §10,
+///   * the process task pool budget (-jN) from DESIGN.md §13.
+///
+/// compile() is safe for concurrent callers: all per-request state lives in
+/// the CompileRequest/CompileResult pair, metrics are charged per request
+/// through obs-scope deltas (shard::ObsDelta, obs::TraceRequestScope), and
+/// the resident structures are internally synchronized. Two sequential
+/// requests in one process produce --stats-json exports that do not bleed
+/// counters into each other — the scoping satellite of DESIGN.md §14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SERVICE_COMPILESERVICE_H
+#define MARION_SERVICE_COMPILESERVICE_H
+
+#include "driver/Compiler.h"
+#include "shard/WireFormat.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace marion {
+namespace service {
+
+/// Everything one compile request depends on. Flag-independent: the same
+/// struct is built from marionc's command line, from a shard worker's
+/// forwarded arguments, and from a parsed wire-frame in mariond.
+struct CompileRequest {
+  /// Display path: the diagnostics prefix and (basename) the module name.
+  /// When Source is unset, also the file read, absolute or
+  /// workloadDir()-relative.
+  std::string Path;
+  /// MC source text carried by value (remote requests); when set, Path is
+  /// never opened.
+  std::optional<std::string> Source;
+  /// Caller-local index, echoed into CompileResult::Index for wire framing.
+  int Index = 0;
+  /// Machine, strategy and every semantic knob (cache::semanticFlagString
+  /// covers exactly these). CompileOptions::Cache is overwritten by the
+  /// service with its own resident cache; CompileOptions::Jobs is the
+  /// per-request pipeline fan-out.
+  driver::CompileOptions Opts;
+  bool Cycles = false;      ///< Annotate assembly with issue cycles.
+  bool SimProfile = false;  ///< Simulate + stall-attribute after compiling.
+  bool SimCache = false;    ///< Simulator data-cache model for the above.
+  /// Collect this request's trace spans into CompileResult::TraceFragment
+  /// (shard workers' --trace-wire, remote "trace" flag). Fragment-
+  /// collecting requests serialize; see obs::TraceRequestScope.
+  bool WantTraceFragment = false;
+  /// Invoked right after the front end parsed, before the backend runs,
+  /// with the manifest-only result (Path, Index, Functions, Started). The
+  /// shard worker flushes its %BEGIN/%FUNCS prologue here so a later crash
+  /// still names the lost functions; mariond streams the same prologue to
+  /// its client. Null for plain local compiles.
+  std::function<void(const shard::FileResult &)> OnManifest;
+};
+
+/// The result of one request: exactly what a serial marionc would print
+/// (DiagText to stderr, Assembly to stdout) plus every counter the stats
+/// export and the wire format carry. Identical to the shard worker's
+/// framed record by construction — it IS that record.
+using CompileResult = shard::FileResult;
+
+/// Converts a parsed wire-frame into a CompileRequest. Returns false and
+/// fills \p Error on an unknown machine-independent field (bad strategy
+/// name, unknown flag token, unregistered dump pass).
+bool requestFromFrame(const shard::CompileRequestFrame &Frame,
+                      CompileRequest &Req, std::string &Error);
+
+/// Renders \p Req as the wire-frame a remote client sends. The inverse of
+/// requestFromFrame for every field the frame carries.
+shard::CompileRequestFrame frameFromRequest(const CompileRequest &Req);
+
+/// The resident service. Construct once, compile many.
+class CompileService {
+public:
+  struct Config {
+    /// Enable the two compile-cache tiers (DESIGN.md §10). The daemon
+    /// turns this on by default — resident cache hits across requests are
+    /// the point of staying resident.
+    bool UseCache = false;
+    /// Optional on-disk cache tier (implies UseCache).
+    std::string CacheDir;
+    /// Machines whose TargetInfo tables are built eagerly at construction
+    /// (e.g. all four bundled machines in mariond), so the first request
+    /// per machine doesn't pay the table build. Unknown names are skipped.
+    std::vector<std::string> WarmMachines;
+  };
+
+  explicit CompileService(const Config &C);
+  ~CompileService();
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Compiles one request end to end. Re-entrant: any number of threads
+  /// may call concurrently. \p Keep, when non-null, receives the finished
+  /// Compilation (for marionc --run).
+  CompileResult compile(const CompileRequest &Req,
+                        std::optional<driver::Compilation> *Keep = nullptr);
+
+  /// The resident compile cache, or null when caching is disabled.
+  cache::CompileCache *cache() { return Cache.get(); }
+
+  /// Requests served since construction (daemon-lifetime counter).
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::unique_ptr<cache::CompileCache> Cache;
+  std::atomic<uint64_t> Served{0};
+};
+
+} // namespace service
+} // namespace marion
+
+#endif // MARION_SERVICE_COMPILESERVICE_H

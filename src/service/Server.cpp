@@ -1,0 +1,193 @@
+//===- Server.cpp ---------------------------------------------------------==//
+
+#include "service/Server.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace marion;
+using namespace marion::service;
+
+namespace {
+
+/// A write to a client that vanished mid-response must come back as an
+/// error return, not a process-killing signal — for the daemon and for
+/// any test hosting a Server in-process.
+void ignoreSigpipeOnce() {
+  static const int Once = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)Once;
+}
+
+/// Reads \p Fd to EOF (the client half-closes after its frame).
+std::string readAll(int Fd) {
+  std::string Out;
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && (errno == EINTR || errno == EAGAIN))
+      continue;
+    break;
+  }
+  return Out;
+}
+
+} // namespace
+
+Server::Server(const ServerConfig &C) : Config(C), Svc(C.Service) {
+  if (Config.Workers == 0)
+    Config.Workers = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string &Error) {
+  ignoreSigpipeOnce();
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Config.SocketPath.empty() ||
+      Config.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Config.SocketPath + "' is empty or too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Config.SocketPath.c_str(),
+              Config.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // Replace a stale socket file from a previous (crashed) daemon; a live
+  // daemon would still hold the bind, making the race visible as EADDRINUSE.
+  ::unlink(Config.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error = "bind " + Config.SocketPath + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Error = "listen: " + std::string(std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Config.SocketPath.c_str());
+    return false;
+  }
+
+  Running = true;
+  Stopping.store(false);
+  for (unsigned I = 0; I < Config.Workers; ++I)
+    Handlers.emplace_back([this] { handlerLoop(); });
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // stop() closed the listen fd (EBADF/EINVAL) or something is badly
+      // wrong; either way the daemon stops taking connections.
+      break;
+    }
+    if (Stopping.load()) {
+      ::close(Fd);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      Pending.push_back(Fd);
+    }
+    QueueCV.notify_one();
+  }
+}
+
+void Server::handlerLoop() {
+  for (;;) {
+    int Fd;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock,
+                   [this] { return Stopping.load() || !Pending.empty(); });
+      // Drain queued connections even while stopping: every client that
+      // got through accept() gets an answer.
+      if (Pending.empty())
+        return;
+      Fd = Pending.front();
+      Pending.pop_front();
+    }
+    handleConnection(Fd);
+  }
+}
+
+void Server::handleConnection(int Fd) {
+  std::string Text = readAll(Fd);
+  // The response is framed through stdio; fdopen takes ownership of Fd.
+  std::FILE *Out = ::fdopen(Fd, "wb");
+  if (!Out) {
+    ::close(Fd);
+    return;
+  }
+
+  shard::CompileRequestFrame Frame;
+  CompileRequest Req;
+  std::string Error;
+  bool Parsed = shard::parseRequestFrame(Text, Frame, Error) &&
+                requestFromFrame(Frame, Req, Error);
+  if (!Parsed) {
+    // A malformed or truncated frame (or an unknown flag/strategy) gets a
+    // diagnosed error record; the daemon itself never goes down for it.
+    shard::FileResult R;
+    R.Path = Frame.Path.empty() ? "<request>" : Frame.Path;
+    R.Index = Frame.Index;
+    R.Started = true;
+    R.Complete = true;
+    R.DiagText = "mariond: bad request: " + Error + "\n";
+    shard::writeRecordBegin(Out, R);
+    shard::writeRecordEnd(Out, R);
+    std::fclose(Out);
+    return;
+  }
+
+  Req.OnManifest = [Out](const shard::FileResult &R) {
+    shard::writeRecordBegin(Out, R);
+  };
+  shard::FileResult R = Svc.compile(Req);
+  shard::writeRecordEnd(Out, R);
+  std::fclose(Out);
+}
+
+void Server::stop() {
+  if (!Running)
+    return;
+  Stopping.store(true);
+  // Closing the listen fd pops the acceptor out of accept().
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  QueueCV.notify_all();
+  for (std::thread &T : Handlers)
+    if (T.joinable())
+      T.join();
+  Handlers.clear();
+  ListenFd = -1;
+  ::unlink(Config.SocketPath.c_str());
+  Running = false;
+}

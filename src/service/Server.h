@@ -1,0 +1,97 @@
+//===- Server.h - mariond's Unix-socket compile server -----------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon half of DESIGN.md §14: a Unix-domain stream-socket server
+/// wrapping one resident CompileService. Protocol: one compile request per
+/// connection. The client writes a request frame
+/// (shard::serializeRequestFrame) and half-closes; the server compiles and
+/// streams back one framed result record (the same %BEGIN..%END framing
+/// shard workers use), then closes. The %BEGIN/%FUNCS prologue is flushed
+/// as soon as the front end parsed, so a client watching the stream knows
+/// which functions are in flight before the backend finishes.
+///
+/// Concurrency: an accept thread feeds connected sockets to a fixed pool
+/// of handler threads; excess connections queue in the listen backlog and
+/// the fd queue. Malformed or truncated frames are answered with a
+/// diagnosed error record — a broken client never takes the daemon down,
+/// and neither does a client that disconnects mid-response (SIGPIPE is
+/// ignored process-wide once a Server starts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SERVICE_SERVER_H
+#define MARION_SERVICE_SERVER_H
+
+#include "service/CompileService.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace marion {
+namespace service {
+
+struct ServerConfig {
+  /// Filesystem path of the listening socket. Must fit sockaddr_un
+  /// (~100 bytes); created on start(), unlinked on stop(). A stale file
+  /// at this path is replaced.
+  std::string SocketPath;
+  /// Handler threads — the daemon's request concurrency.
+  unsigned Workers = 4;
+  /// The resident service's configuration. mariond defaults to caching on
+  /// and all bundled machines warmed.
+  CompileService::Config Service;
+};
+
+/// The daemon server. start() binds and spawns threads; stop() drains and
+/// unlinks the socket. Destruction stops implicitly.
+class Server {
+public:
+  explicit Server(const ServerConfig &C);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens and spawns the accept/handler threads. Returns false
+  /// and fills \p Error on socket failures.
+  bool start(std::string &Error);
+
+  /// Stops accepting, finishes queued and in-flight requests, joins all
+  /// threads and unlinks the socket file. Idempotent; safe to call from a
+  /// signal-watching thread.
+  void stop();
+
+  /// The resident service (valid for the Server's lifetime).
+  CompileService &service() { return Svc; }
+
+  /// Requests served since start (daemon-lifetime counter).
+  uint64_t requestsServed() const { return Svc.requestsServed(); }
+
+private:
+  void acceptLoop();
+  void handlerLoop();
+  void handleConnection(int Fd);
+
+  ServerConfig Config;
+  CompileService Svc;
+  int ListenFd = -1;
+  bool Running = false;
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+  std::vector<std::thread> Handlers;
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<int> Pending; ///< Accepted fds awaiting a handler.
+};
+
+} // namespace service
+} // namespace marion
+
+#endif // MARION_SERVICE_SERVER_H

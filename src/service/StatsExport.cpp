@@ -1,0 +1,148 @@
+//===- StatsExport.cpp ----------------------------------------------------==//
+
+#include "service/StatsExport.h"
+
+#include "cache/CacheKey.h"
+#include "obs/Metrics.h"
+#include "pipeline/PassManager.h"
+
+#include <cstdio>
+
+using namespace marion;
+using namespace marion::service;
+
+void RunTotals::add(const shard::FileResult &R) {
+  ++FilesTotal;
+  if (!R.Ok)
+    ++FilesFailed;
+  FunctionsFailed += static_cast<unsigned>(R.FailedFunctions.size());
+  Stats += R.Stats;
+  Select.NodesMatched += R.Select.NodesMatched;
+  Select.PatternsProbed += R.Select.PatternsProbed;
+  Select.BucketProbes += R.Select.BucketProbes;
+  Select.LinearProbes += R.Select.LinearProbes;
+  pipeline::mergePassStatsByName(Passes, R.Passes);
+  Sim += R.Sim;
+  BackendMillis += R.BackendMillis;
+  Obs += R.Obs;
+}
+
+RunTotals RunTotals::fromShardOutcome(const shard::ShardOutcome &Outcome,
+                                      size_t Files) {
+  RunTotals T;
+  T.FilesTotal = Files;
+  T.FilesFailed = Outcome.FailedFiles;
+  T.FunctionsFailed = Outcome.FailedFunctions;
+  T.Stats = Outcome.Stats;
+  T.Sim = Outcome.Sim;
+  T.Select = Outcome.Select;
+  T.Passes = Outcome.Passes;
+  T.BackendMillis = Outcome.BackendMillis;
+  T.Obs = Outcome.Obs;
+  return T;
+}
+
+namespace {
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+bool service::exportStatsJson(const std::string &Path,
+                              const driver::CompileOptions &Opts, bool Cycles,
+                              const RunTotals &T,
+                              const cache::CompileCache::Snapshot *CacheSnap,
+                              const ShardTimings *Sharded) {
+  obs::Registry Reg;
+  Reg.setHeader("machine", Opts.Machine);
+  Reg.setHeader("strategy", strategy::strategyName(Opts.Strategy));
+  Reg.setHeader("flags_fingerprint",
+                obs::flagsFingerprint(cache::semanticFlagString(
+                    Opts.Machine, Opts.Strategy, Opts.Strat, Opts.UseBuckets,
+                    Cycles, Opts.DumpAfter)));
+
+  // Deterministic results (the "metrics" object).
+  Reg.set("files.total", static_cast<int64_t>(T.FilesTotal));
+  Reg.set("files.failed", T.FilesFailed);
+  Reg.set("functions.failed", T.FunctionsFailed);
+  Reg.set("strategy.scheduler_passes", T.Stats.SchedulerPasses);
+  Reg.set("strategy.spilled_pseudos", T.Stats.SpilledPseudos);
+  Reg.set("strategy.allocator_rounds", T.Stats.AllocatorRounds);
+  Reg.set("strategy.estimated_cycles", T.Stats.EstimatedCycles);
+  Reg.set("strategy.scheduled_instrs", T.Stats.ScheduledInstrs);
+  Reg.set("strategy.dag_nodes", T.Stats.DagNodes);
+  Reg.set("strategy.dag_edges", T.Stats.DagEdges);
+  // Allocator work counters are deterministic per allocator path: block
+  // counts depend only on the input and the spill rounds, never on -jN,
+  // stealing or cache temperature.
+  Reg.set("alloc.graph_blocks", T.Stats.AllocGraphBlocks);
+  Reg.set("alloc.incremental_blocks", T.Stats.AllocIncrementalBlocks);
+  Reg.set("alloc.spill_rounds", T.Stats.AllocatorRounds);
+  if (T.Sim.Runs) {
+    Reg.set("sim.runs", static_cast<int64_t>(T.Sim.Runs));
+    Reg.set("sim.cycles", static_cast<int64_t>(T.Sim.Cycles));
+    Reg.set("sim.instructions", static_cast<int64_t>(T.Sim.Instructions));
+    Reg.set("sim.issue_cycles", static_cast<int64_t>(T.Sim.IssueCycles));
+    Reg.set("sim.nops", static_cast<int64_t>(T.Sim.Nops));
+    Reg.set("sim.nop_cycles", static_cast<int64_t>(T.Sim.NopCycles));
+    Reg.set("stall.branch", static_cast<int64_t>(T.Sim.Stalls.Branch));
+    Reg.set("stall.interlock", static_cast<int64_t>(T.Sim.Stalls.Interlock));
+    Reg.set("stall.memory", static_cast<int64_t>(T.Sim.Stalls.Memory));
+    Reg.set("stall.resource", static_cast<int64_t>(T.Sim.Stalls.Resource));
+    Reg.set("stall.total", static_cast<int64_t>(T.Sim.Stalls.total()));
+  }
+
+  // Execution-configuration-dependent counters (the "timing" object).
+  Reg.set("select.nodes_matched",
+          static_cast<int64_t>(T.Select.NodesMatched), obs::Section::Timing);
+  Reg.set("select.patterns_probed",
+          static_cast<int64_t>(T.Select.PatternsProbed),
+          obs::Section::Timing);
+  Reg.set("select.bucket_probes",
+          static_cast<int64_t>(T.Select.BucketProbes), obs::Section::Timing);
+  Reg.set("select.linear_probes",
+          static_cast<int64_t>(T.Select.LinearProbes), obs::Section::Timing);
+  pipeline::registerPassMetrics(Reg, T.Passes);
+  if (CacheSnap) {
+    Reg.set("cache.hits", static_cast<int64_t>(CacheSnap->Hits),
+            obs::Section::Timing);
+    Reg.set("cache.misses", static_cast<int64_t>(CacheSnap->Misses),
+            obs::Section::Timing);
+    Reg.set("cache.disk_hits", static_cast<int64_t>(CacheSnap->DiskHits),
+            obs::Section::Timing);
+    Reg.set("cache.inserts", static_cast<int64_t>(CacheSnap->Inserts),
+            obs::Section::Timing);
+    Reg.set("cache.evictions", static_cast<int64_t>(CacheSnap->Evictions),
+            obs::Section::Timing);
+    Reg.set("cache.bytes_used", static_cast<int64_t>(CacheSnap->BytesUsed),
+            obs::Section::Timing);
+  }
+  Reg.setFloat("backend.wall_millis", T.BackendMillis);
+  // Allocator hot-path timing and work-stealing counters, charged per
+  // request: the run's own deltas, whoever else shares the process-wide
+  // pool. A sharded parent reports its workers' summed pool activity
+  // (%OBS records), not its own idle supervisor pool.
+  Reg.setFloat("alloc.graph_build_millis", T.Obs.AllocGraphNanos / 1e6);
+  Reg.set("steal.jobs", static_cast<int64_t>(T.Obs.PoolJobs),
+          obs::Section::Timing);
+  Reg.set("steal.tasks", static_cast<int64_t>(T.Obs.PoolTasks),
+          obs::Section::Timing);
+  Reg.set("steal.stolen", static_cast<int64_t>(T.Obs.PoolStolen),
+          obs::Section::Timing);
+  if (Sharded) {
+    Reg.set("shard.shards", Sharded->Shards, obs::Section::Timing);
+    Reg.set("shard.respawns", Sharded->Respawns, obs::Section::Timing);
+    Reg.set("shard.crashes", Sharded->Crashes, obs::Section::Timing);
+    Reg.set("shard.timeouts", Sharded->Timeouts, obs::Section::Timing);
+  }
+  return writeTextFile(Path, Reg.exportJson());
+}

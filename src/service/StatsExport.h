@@ -1,0 +1,74 @@
+//===- StatsExport.h - Aggregated run totals and --stats-json ----*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-level aggregation over CompileResults and the --stats-json exporter
+/// (DESIGN.md §12), shared by the serial marionc loop, the shard parent and
+/// mariond so the schema cannot drift between entry points.
+///
+/// Every counter here is charged per request through the obs-scope deltas
+/// the service records (shard::ObsDelta), never read from process-global
+/// absolutes — which is what lets two exports from one resident process
+/// not bleed into each other, and lets a sharded parent report its
+/// workers' pool activity instead of its own idle pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_SERVICE_STATSEXPORT_H
+#define MARION_SERVICE_STATSEXPORT_H
+
+#include "driver/Compiler.h"
+#include "shard/ShardDriver.h"
+
+#include <string>
+
+namespace marion {
+namespace service {
+
+/// Aggregated totals of one run (one or many compile requests). add() is
+/// exactly the serial loop's accumulation; fromShardOutcome() adopts the
+/// shard parent's already-merged totals. Both feed exportStatsJson.
+struct RunTotals {
+  size_t FilesTotal = 0;
+  unsigned FilesFailed = 0;
+  unsigned FunctionsFailed = 0;
+  strategy::StrategyStats Stats;
+  shard::SimTotals Sim;
+  target::SelectionCounters::Snapshot Select;
+  std::vector<pipeline::PassStats> Passes;
+  double BackendMillis = 0;
+  shard::ObsDelta Obs;
+
+  /// Folds one request's result in.
+  void add(const shard::FileResult &R);
+
+  /// Adopts a shard parent's merged outcome for \p FilesTotal inputs.
+  static RunTotals fromShardOutcome(const shard::ShardOutcome &Outcome,
+                                    size_t FilesTotal);
+};
+
+/// Shard supervision counters, rendered into the "timing" section when the
+/// run was sharded.
+struct ShardTimings {
+  unsigned Shards = 0;
+  unsigned Respawns = 0;
+  unsigned Crashes = 0;
+  unsigned Timeouts = 0;
+};
+
+/// Writes the schema-versioned --stats-json document for one run.
+/// \p CacheSnap, when non-null, contributes the cache counter rows;
+/// \p Sharded, when non-null, the shard supervision rows.
+bool exportStatsJson(const std::string &Path,
+                     const driver::CompileOptions &Opts, bool Cycles,
+                     const RunTotals &Totals,
+                     const cache::CompileCache::Snapshot *CacheSnap,
+                     const ShardTimings *Sharded);
+
+} // namespace service
+} // namespace marion
+
+#endif // MARION_SERVICE_STATSEXPORT_H

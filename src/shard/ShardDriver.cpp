@@ -316,6 +316,7 @@ bool shard::runShardedCompile(const std::vector<std::string> &Files,
         Outcome.Select.LinearProbes += Best->Select.LinearProbes;
         pipeline::mergePassStatsByName(Outcome.Passes, Best->Passes);
         Outcome.BackendMillis += Best->BackendMillis;
+        Outcome.Obs += Best->Obs;
         Outcome.CacheSum.Hits += Best->Cache.Hits;
         Outcome.CacheSum.Misses += Best->Cache.Misses;
         Outcome.CacheSum.DiskHits += Best->Cache.DiskHits;

@@ -79,6 +79,9 @@ struct ShardOutcome {
   unsigned Respawns = 0;    ///< Retry attempts actually launched.
   unsigned Crashes = 0;     ///< Attempts that died on a signal.
   unsigned Timeouts = 0;    ///< Attempts SIGKILLed at the deadline.
+  /// Summed per-file allocator/pool observability deltas (%OBS records) —
+  /// the workers' own pool activity, not the supervisor's empty pool.
+  ObsDelta Obs;
   /// Summed per-file compile-cache counter deltas (%CACHE records).
   cache::CompileCache::Snapshot CacheSum;
   /// Summed simulator totals across salvaged files (%SIM records).

@@ -33,10 +33,11 @@ void shard::writeRecordEnd(std::FILE *Out, const FileResult &R) {
     std::fprintf(Out, "%s\n", Name.c_str());
   writeBlob(Out, "ASM", R.Assembly);
   writeBlob(Out, "DIAG", R.DiagText);
-  std::fprintf(Out, "%%STATS %u %u %u %ld %ld %ld %ld %.17g\n",
+  std::fprintf(Out, "%%STATS %u %u %u %ld %ld %ld %ld %u %u %.17g\n",
                R.Stats.SchedulerPasses, R.Stats.SpilledPseudos,
                R.Stats.AllocatorRounds, R.Stats.EstimatedCycles,
                R.Stats.ScheduledInstrs, R.Stats.DagNodes, R.Stats.DagEdges,
+               R.Stats.AllocGraphBlocks, R.Stats.AllocIncrementalBlocks,
                R.BackendMillis);
   std::fprintf(Out, "%%SELECT %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
                     "\n",
@@ -47,6 +48,9 @@ void shard::writeRecordEnd(std::FILE *Out, const FileResult &R) {
     std::fprintf(Out, "%s %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 " %.17g\n",
                  PS.Name.c_str(), PS.Runs, PS.Micros, PS.InstrsAfter,
                  PS.CachedRuns, PS.CachedMicros);
+  std::fprintf(Out, "%%OBS %.17g %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+               R.Obs.AllocGraphNanos, R.Obs.PoolJobs, R.Obs.PoolTasks,
+               R.Obs.PoolStolen);
   std::fprintf(Out, "%%CACHE %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
                     " %" PRIu64 " %" PRIu64 "\n",
                R.Cache.Hits, R.Cache.Misses, R.Cache.DiskHits,
@@ -134,11 +138,12 @@ bool parseRecordBody(Cursor &C, FileResult &R) {
   }
   // %STATS
   if (!C.line(Line) ||
-      std::sscanf(Line.c_str(), "%%STATS %u %u %u %ld %ld %ld %ld %lg",
+      std::sscanf(Line.c_str(), "%%STATS %u %u %u %ld %ld %ld %ld %u %u %lg",
                   &R.Stats.SchedulerPasses, &R.Stats.SpilledPseudos,
                   &R.Stats.AllocatorRounds, &R.Stats.EstimatedCycles,
                   &R.Stats.ScheduledInstrs, &R.Stats.DagNodes,
-                  &R.Stats.DagEdges, &R.BackendMillis) != 8)
+                  &R.Stats.DagEdges, &R.Stats.AllocGraphBlocks,
+                  &R.Stats.AllocIncrementalBlocks, &R.BackendMillis) != 10)
     return false;
   // %SELECT
   if (!C.line(Line) ||
@@ -164,10 +169,19 @@ bool parseRecordBody(Cursor &C, FileResult &R) {
     PS.Name = Name;
     R.Passes.push_back(std::move(PS));
   }
-  // %CACHE / %SIM / %TRACE: ordered, each optional under truncation
+  // %OBS / %CACHE / %SIM / %TRACE: ordered, each optional under truncation
   // (DESIGN.md §12). A missing record just leaves the defaults.
   if (!C.line(Line))
     return false;
+  if (Line.rfind("%OBS ", 0) == 0) {
+    if (std::sscanf(Line.c_str(),
+                    "%%OBS %lg %" SCNu64 " %" SCNu64 " %" SCNu64,
+                    &R.Obs.AllocGraphNanos, &R.Obs.PoolJobs, &R.Obs.PoolTasks,
+                    &R.Obs.PoolStolen) != 4)
+      return false;
+    if (!C.line(Line))
+      return false;
+  }
   if (Line.rfind("%CACHE ", 0) == 0) {
     if (std::sscanf(Line.c_str(),
                     "%%CACHE %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
@@ -207,6 +221,72 @@ bool parseRecordBody(Cursor &C, FileResult &R) {
 }
 
 } // namespace
+
+bool CompileRequestFrame::hasFlag(const std::string &F) const {
+  for (const std::string &Flag : Flags)
+    if (Flag == F)
+      return true;
+  return false;
+}
+
+std::string shard::serializeRequestFrame(const CompileRequestFrame &Req) {
+  std::string Out = "%REQUEST " + std::to_string(Req.Index) + " " + Req.Path +
+                    "\n";
+  Out += "%MACHINE " + Req.Machine + "\n";
+  Out += "%STRATEGY " + Req.Strategy + "\n";
+  Out += "%FLAGS " + std::to_string(Req.Flags.size()) + "\n";
+  for (const std::string &F : Req.Flags)
+    Out += F + "\n";
+  Out += "%SOURCE " + std::to_string(Req.Source.size()) + "\n";
+  Out += Req.Source;
+  Out += "\n%ENDREQ\n";
+  return Out;
+}
+
+bool shard::parseRequestFrame(const std::string &Text,
+                              CompileRequestFrame &Req, std::string &Error) {
+  Cursor C{Text};
+  std::string Line;
+  auto fail = [&](const char *What) {
+    Error = What;
+    return false;
+  };
+  if (!C.line(Line) || Line.rfind("%REQUEST ", 0) != 0)
+    return fail("missing %REQUEST header");
+  {
+    char *End = nullptr;
+    Req.Index = static_cast<int>(std::strtol(Line.c_str() + 9, &End, 10));
+    if (!End || *End != ' ')
+      return fail("malformed %REQUEST header");
+    Req.Path = End + 1;
+    if (Req.Path.empty())
+      return fail("empty request path");
+  }
+  if (!C.line(Line) || Line.rfind("%MACHINE ", 0) != 0)
+    return fail("missing %MACHINE");
+  Req.Machine = Line.substr(std::strlen("%MACHINE "));
+  if (!C.line(Line) || Line.rfind("%STRATEGY ", 0) != 0)
+    return fail("missing %STRATEGY");
+  Req.Strategy = Line.substr(std::strlen("%STRATEGY "));
+  if (!C.line(Line) || Line.rfind("%FLAGS ", 0) != 0)
+    return fail("missing %FLAGS");
+  size_t NFlags = std::strtoull(Line.c_str() + 7, nullptr, 10);
+  if (NFlags > 1024)
+    return fail("implausible %FLAGS count");
+  for (size_t I = 0; I < NFlags; ++I) {
+    if (!C.line(Line))
+      return fail("truncated flag list");
+    Req.Flags.push_back(Line);
+  }
+  if (!C.line(Line) || Line.rfind("%SOURCE ", 0) != 0)
+    return fail("missing %SOURCE");
+  size_t N = std::strtoull(Line.c_str() + 8, nullptr, 10);
+  if (!C.blob(N, Req.Source))
+    return fail("truncated source payload");
+  if (!C.line(Line) || Line != "%ENDREQ")
+    return fail("missing %ENDREQ trailer");
+  return true;
+}
 
 std::vector<FileResult> shard::parseWorkerOutput(const std::string &Text) {
   std::vector<FileResult> Out;

@@ -5,8 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The framed, crash-tolerant result stream a shard worker writes and the
-/// parent driver parses (DESIGN.md §11). One record per input file:
+/// The framed, crash-tolerant compile protocol (DESIGN.md §11, §14). The
+/// result side is the stream a shard worker writes and the parent driver
+/// parses — and, since the CompileService refactor, also the response
+/// `mariond` streams back to a `marionc --remote` client. One record per
+/// compile request / input file:
 ///
 ///   %BEGIN <local-index> <path>          after the front end parsed
 ///   %FUNCS <n>  +  n name lines          the function manifest
@@ -14,14 +17,30 @@
 ///   %ASM <bytes> + raw payload           the file's assembly segment
 ///   %DIAG <bytes> + raw payload          the file's stderr segment
 ///   %STATS / %SELECT / %PASSES           deterministic counters + timers
+///   %OBS <4 counters>                    per-request alloc/pool deltas
 ///   %CACHE <6 counters>                  compile-cache snapshot delta
 ///   %SIM <runs> <9 counters>             simulator cycle/stall totals
 ///   %TRACE <bytes> + raw payload         pid-less trace fragment lines
 ///   %END <local-index>                   record complete
 ///
-/// %CACHE, %SIM and %TRACE (DESIGN.md §12) are ordered but each may be
-/// absent in a truncated stream; the parser treats everything after
+/// %OBS, %CACHE, %SIM and %TRACE (DESIGN.md §12) are ordered but each may
+/// be absent in a truncated stream; the parser treats everything after
 /// %PASSES as optional so a crash mid-record still salvages the blobs.
+///
+/// The request side is the frame a remote client sends to `mariond`:
+///
+///   %REQUEST <index> <path>              display path (diagnostic prefix)
+///   %MACHINE <name>                      target machine
+///   %STRATEGY <name>                     code generation strategy
+///   %FLAGS <n>  +  n token lines         semantic/request flags (cycles,
+///                                        linear, alloc-linear, sim-profile,
+///                                        sim-cache, trace, dump:<pass>)
+///   %SOURCE <bytes> + raw payload        the MC source text
+///   %ENDREQ                              frame complete
+///
+/// The source travels by value, so the daemon never depends on the
+/// client's working directory, and the length prefix keeps arbitrary
+/// source bytes unambiguous on the stream.
 ///
 /// The worker flushes after %FUNCS and after %END, so when it crashes or
 /// is killed mid-file the parent still knows (a) which files completed,
@@ -85,9 +104,31 @@ struct SimTotals {
   }
 };
 
+/// Per-request observability deltas (DESIGN.md §14): process-global
+/// monotonic counters (allocator graph-build time, task-pool work-stealing
+/// counters) snapshotted around one compile request, so two requests in one
+/// process never bleed into each other's --stats-json and a sharded or
+/// remote run can report its workers' pool activity instead of the
+/// supervisor's empty one.
+struct ObsDelta {
+  double AllocGraphNanos = 0; ///< Allocator interference-graph build time.
+  uint64_t PoolJobs = 0;      ///< parallelFor calls that reached helpers.
+  uint64_t PoolTasks = 0;     ///< Tasks executed through the pool.
+  uint64_t PoolStolen = 0;    ///< Tasks run by a thread that didn't submit.
+
+  ObsDelta &operator+=(const ObsDelta &O) {
+    AllocGraphNanos += O.AllocGraphNanos;
+    PoolJobs += O.PoolJobs;
+    PoolTasks += O.PoolTasks;
+    PoolStolen += O.PoolStolen;
+    return *this;
+  }
+};
+
 /// One input file's compilation outcome — produced identically by the
-/// serial loop (printed directly) and by a worker (framed through a result
-/// file), which is what makes shard-vs-serial output bit-identical.
+/// serial loop (printed directly), by a shard worker (framed through a
+/// result file) and by mariond (framed over the client socket), which is
+/// what makes shard- and remote-vs-serial output bit-identical.
 struct FileResult {
   std::string Path;
   int Index = -1; ///< Worker-local index (parent maps to global order).
@@ -102,6 +143,8 @@ struct FileResult {
   target::SelectionCounters::Snapshot Select;
   std::vector<pipeline::PassStats> Passes;
   double BackendMillis = 0;
+  /// Per-request allocator/pool counter deltas (%OBS).
+  ObsDelta Obs;
   /// Compile-cache counter delta attributable to this file (%CACHE).
   cache::CompileCache::Snapshot Cache;
   /// Simulator totals when the worker ran --sim-profile (%SIM).
@@ -123,6 +166,33 @@ void writeRecordEnd(std::FILE *Out, const FileResult &R);
 /// file the worker died in) comes back with Started = true, Complete =
 /// false, and whatever manifest was flushed.
 std::vector<FileResult> parseWorkerOutput(const std::string &Text);
+
+/// One compile request as sent over a mariond socket: everything the
+/// service needs to reproduce a local `marionc` compile of one file,
+/// including the source text itself (see the file comment for the frame
+/// grammar).
+struct CompileRequestFrame {
+  int Index = 0;       ///< Client-local index, echoed in the response.
+  std::string Path;    ///< Display path: diagnostic prefix + module name.
+  std::string Machine = "r2000";
+  std::string Strategy = "postpass";
+  /// Flag tokens, in the client's order: "cycles", "linear",
+  /// "alloc-linear", "sim-profile", "sim-cache", "trace", "dump:<pass>".
+  std::vector<std::string> Flags;
+  std::string Source;  ///< MC source bytes, carried verbatim.
+
+  bool hasFlag(const std::string &F) const;
+};
+
+/// Renders \p Req as a request frame (the bytes a client writes before
+/// shutting down its write side).
+std::string serializeRequestFrame(const CompileRequestFrame &Req);
+
+/// Parses one request frame. Returns false and fills \p Error on any
+/// malformed, truncated or trailing-garbage input — the daemon answers
+/// such frames with a diagnosed error record instead of dying.
+bool parseRequestFrame(const std::string &Text, CompileRequestFrame &Req,
+                       std::string &Error);
 
 } // namespace shard
 } // namespace marion

@@ -1,0 +1,462 @@
+//===- service_test.cpp - Resident compile service end to end ---------------==//
+//
+// Drives the CompileService core in-process and the installed mariond
+// binary (MARION_MARIOND_PATH) as a real daemon: request-frame round-trip
+// and rejection, remote-vs-local bit-identity across machines and
+// strategies, concurrent mixed clients, per-request stats scoping,
+// malformed-frame and mid-request-disconnect survival, in-daemon fault
+// injection, and clean SIGTERM shutdown (DESIGN.md §14).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ExitCodes.h"
+#include "service/Client.h"
+#include "service/CompileService.h"
+#include "support/Paths.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace marion;
+
+namespace {
+
+const char *kWorkloads[] = {
+    MARION_SOURCE_ROOT "/workloads/livermore.mc",
+    MARION_SOURCE_ROOT "/workloads/suite_matmul.mc",
+    MARION_SOURCE_ROOT "/workloads/suite_poly.mc",
+    MARION_SOURCE_ROOT "/workloads/suite_queens.mc",
+};
+
+struct RunResult {
+  int Exit = -1;
+  std::string Out, Err;
+};
+
+std::string scratchDir() {
+  char Template[] = "/tmp/marion-service-test-XXXXXX";
+  const char *Dir = ::mkdtemp(Template);
+  EXPECT_NE(Dir, nullptr);
+  return Dir ? Dir : "/tmp";
+}
+
+std::string slurp(const std::string &Path) {
+  std::string Text, Error;
+  readFile(Path, Text, Error);
+  return Text;
+}
+
+RunResult runMarionc(const std::vector<std::string> &Args) {
+  std::string Dir = scratchDir();
+  std::string Cmd = "'" MARION_MARIONC_PATH "'";
+  for (const std::string &A : Args)
+    Cmd += " '" + A + "'";
+  Cmd += " > '" + Dir + "/out' 2> '" + Dir + "/err'";
+  int Status = std::system(Cmd.c_str());
+  RunResult R;
+  if (WIFEXITED(Status))
+    R.Exit = WEXITSTATUS(Status);
+  else if (WIFSIGNALED(Status))
+    R.Exit = 128 + WTERMSIG(Status);
+  R.Out = slurp(Dir + "/out");
+  R.Err = slurp(Dir + "/err");
+  std::system(("rm -rf '" + Dir + "'").c_str());
+  return R;
+}
+
+/// A mariond child process bound to a scratch-directory socket. The
+/// destructor SIGTERMs and reaps it, asserting a clean exit.
+struct Daemon {
+  std::string Dir;
+  std::string Socket;
+  pid_t Pid = -1;
+
+  explicit Daemon(std::vector<std::string> ExtraArgs = {}) {
+    Dir = scratchDir();
+    Socket = Dir + "/d.sock";
+    std::vector<std::string> Args = {MARION_MARIOND_PATH,
+                                     "--listen=" + Socket};
+    for (std::string &A : ExtraArgs)
+      Args.push_back(std::move(A));
+    Pid = ::fork();
+    EXPECT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Quiet the child's readiness chatter; tests assert on the socket.
+      std::freopen((Dir + "/daemon.err").c_str(), "w", stderr);
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(Argv[0], Argv.data());
+      std::_Exit(127);
+    }
+    // Readiness: the socket file exists once bind() succeeded.
+    for (int I = 0; I < 200 && !ready(); ++I)
+      ::usleep(20 * 1000);
+    EXPECT_TRUE(ready()) << slurp(Dir + "/daemon.err");
+  }
+
+  bool ready() const { return ::access(Socket.c_str(), F_OK) == 0; }
+
+  /// SIGTERM + reap; returns the daemon's exit code (-1 on signal death).
+  int stop() {
+    if (Pid < 0)
+      return -1;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    Pid = -1;
+    return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  }
+
+  ~Daemon() {
+    if (Pid >= 0)
+      EXPECT_EQ(stop(), driver::ExitSuccess);
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
+};
+
+/// Raw client: connects and writes \p Bytes, optionally half-closing, then
+/// reads the daemon's response to EOF. For protocol-abuse tests that the
+/// real client would never produce.
+std::string rawExchange(const std::string &Socket, const std::string &Bytes,
+                        bool HalfClose) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Socket.c_str(), Socket.size() + 1);
+  EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  EXPECT_EQ(::write(Fd, Bytes.data(), Bytes.size()),
+            static_cast<ssize_t>(Bytes.size()));
+  if (!HalfClose) {
+    // Abrupt mid-request disconnect: the daemon sees EOF on a truncated
+    // frame with no one left to answer.
+    ::close(Fd);
+    return "";
+  }
+  ::shutdown(Fd, SHUT_WR);
+  std::string Text;
+  char Buf[4096];
+  for (ssize_t N; (N = ::read(Fd, Buf, sizeof(Buf))) > 0;)
+    Text.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  return Text;
+}
+
+service::CompileRequest makeRequest(const std::string &Path,
+                                    const std::string &Machine,
+                                    const std::string &Strategy) {
+  service::CompileRequest Req;
+  Req.Path = Path;
+  Req.Opts.Machine = Machine;
+  Req.Opts.Strategy = *strategy::strategyFromName(Strategy);
+  return Req;
+}
+
+//===--------------------------------------------------------------------===//
+// Request frame round-trip and rejection.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceFrame, RoundTripsEveryField) {
+  service::CompileRequest Req = makeRequest("dir/file.mc", "i860", "rase");
+  Req.Index = 7;
+  Req.Cycles = true;
+  Req.SimProfile = true;
+  Req.SimCache = true;
+  Req.WantTraceFragment = true;
+  Req.Opts.UseBuckets = false;
+  Req.Opts.Strat.Alloc.Linear = true;
+  Req.Opts.DumpAfter = {"select", "postpass-sched"};
+  Req.Source = "int main() { return 42; }\n%weird \0 bytes"; // embedded NUL
+  // std::string literal constructor stops at the NUL; extend explicitly.
+  Req.Source->append(1, '\0');
+  Req.Source->append("%END fake trailer\n");
+
+  shard::CompileRequestFrame Frame = service::frameFromRequest(Req);
+  std::string Wire = shard::serializeRequestFrame(Frame);
+
+  shard::CompileRequestFrame Back;
+  std::string Error;
+  ASSERT_TRUE(shard::parseRequestFrame(Wire, Back, Error)) << Error;
+  EXPECT_EQ(Back.Index, 7);
+  EXPECT_EQ(Back.Path, "dir/file.mc");
+  EXPECT_EQ(Back.Machine, "i860");
+  EXPECT_EQ(Back.Strategy, "rase");
+  EXPECT_EQ(Back.Source, *Req.Source);
+  EXPECT_TRUE(Back.hasFlag("cycles"));
+  EXPECT_TRUE(Back.hasFlag("trace"));
+
+  service::CompileRequest Round;
+  ASSERT_TRUE(service::requestFromFrame(Back, Round, Error)) << Error;
+  EXPECT_EQ(Round.Opts.Machine, "i860");
+  EXPECT_EQ(Round.Opts.Strategy, Req.Opts.Strategy);
+  EXPECT_FALSE(Round.Opts.UseBuckets);
+  EXPECT_TRUE(Round.Opts.Strat.Alloc.Linear);
+  EXPECT_TRUE(Round.Cycles);
+  EXPECT_TRUE(Round.SimProfile);
+  EXPECT_TRUE(Round.SimCache);
+  EXPECT_TRUE(Round.WantTraceFragment);
+  EXPECT_EQ(Round.Opts.DumpAfter, Req.Opts.DumpAfter);
+}
+
+TEST(ServiceFrame, RejectsMalformedInput) {
+  shard::CompileRequestFrame Frame;
+  std::string Error;
+  EXPECT_FALSE(shard::parseRequestFrame("", Frame, Error));
+  EXPECT_FALSE(shard::parseRequestFrame("not a frame\n", Frame, Error));
+
+  // Truncation anywhere must fail, never crash or accept.
+  service::CompileRequest Req = makeRequest("f.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 1; }\n";
+  std::string Wire =
+      shard::serializeRequestFrame(service::frameFromRequest(Req));
+  for (size_t Cut = 0; Cut < Wire.size(); Cut += 7)
+    EXPECT_FALSE(shard::parseRequestFrame(Wire.substr(0, Cut), Frame, Error))
+        << "cut at " << Cut;
+
+  // Unknown strategy / flag / dump pass are rejected at conversion.
+  shard::CompileRequestFrame Bad;
+  Bad.Source = "int main() { return 1; }\n";
+  Bad.Strategy = "nope";
+  service::CompileRequest Out;
+  EXPECT_FALSE(service::requestFromFrame(Bad, Out, Error));
+  EXPECT_NE(Error.find("strategy"), std::string::npos);
+  Bad.Strategy = "postpass";
+  Bad.Flags = {"warp-speed"};
+  EXPECT_FALSE(service::requestFromFrame(Bad, Out, Error));
+  Bad.Flags = {"dump:nope"};
+  EXPECT_FALSE(service::requestFromFrame(Bad, Out, Error));
+}
+
+//===--------------------------------------------------------------------===//
+// Remote vs local: byte identity across machines and strategies.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, MatchesLocalAcrossMachinesAndStrategies) {
+  Daemon D;
+  for (const char *Machine : {"toyp", "r2000", "m88000", "i860"})
+    for (const char *Strategy : {"postpass", "ips", "rase"}) {
+      std::vector<std::string> Base = {std::begin(kWorkloads),
+                                       std::end(kWorkloads)};
+      Base.insert(Base.end(),
+                  {"--machine", Machine, "--strategy", Strategy, "--cycles"});
+      RunResult Local = runMarionc(Base);
+      std::vector<std::string> RemoteArgs = Base;
+      RemoteArgs.push_back("--remote=" + D.Socket);
+      RunResult Remote = runMarionc(RemoteArgs);
+      std::string Label = std::string(Machine) + "/" + Strategy;
+      EXPECT_EQ(Local.Exit, Remote.Exit) << Label;
+      EXPECT_EQ(Local.Out, Remote.Out) << Label;
+      EXPECT_EQ(Local.Err, Remote.Err) << Label;
+    }
+}
+
+TEST(ServiceRemote, UnreadableInputMatchesLocalDiagnostics) {
+  Daemon D;
+  std::vector<std::string> Base = {"no/such/file.mc"};
+  RunResult Local = runMarionc(Base);
+  std::vector<std::string> RemoteArgs = Base;
+  RemoteArgs.push_back("--remote=" + D.Socket);
+  RunResult Remote = runMarionc(RemoteArgs);
+  EXPECT_EQ(Local.Exit, driver::ExitCompileFail);
+  EXPECT_EQ(Local.Exit, Remote.Exit);
+  EXPECT_EQ(Local.Out, Remote.Out);
+  EXPECT_EQ(Local.Err, Remote.Err);
+}
+
+//===--------------------------------------------------------------------===//
+// Stats scoping: per-request deltas, not process-lifetime absolutes.
+//===--------------------------------------------------------------------===//
+
+/// Replaces the "timing" object's body, leaving everything else intact
+/// (same shape as tests/obs_test.cpp).
+std::string maskTiming(const std::string &Text) {
+  size_t Start = Text.find("\"timing\": {");
+  if (Start == std::string::npos)
+    return Text;
+  size_t End = Text.find("\n  }", Start);
+  if (End == std::string::npos)
+    return Text;
+  return Text.substr(0, Start) + "\"timing\": {<masked>" + Text.substr(End);
+}
+
+TEST(ServiceRemote, StatsJsonMetricsMatchLocal) {
+  Daemon D;
+  std::string Dir = scratchDir();
+  std::vector<std::string> Base = {kWorkloads[0], kWorkloads[1], "--machine",
+                                   "i860", "--quiet"};
+  std::vector<std::string> LocalArgs = Base;
+  LocalArgs.push_back("--stats-json=" + Dir + "/local.json");
+  EXPECT_EQ(runMarionc(LocalArgs).Exit, driver::ExitSuccess);
+  std::vector<std::string> RemoteArgs = Base;
+  RemoteArgs.push_back("--stats-json=" + Dir + "/remote.json");
+  RemoteArgs.push_back("--remote=" + D.Socket);
+  EXPECT_EQ(runMarionc(RemoteArgs).Exit, driver::ExitSuccess);
+  std::string Local = slurp(Dir + "/local.json");
+  std::string Remote = slurp(Dir + "/remote.json");
+  EXPECT_FALSE(Local.empty());
+  EXPECT_EQ(maskTiming(Local), maskTiming(Remote));
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+TEST(ServiceCore, SequentialRequestsDoNotBleedCounters) {
+  // One resident service, same compile twice with -j2: the second request's
+  // per-request pool/allocator deltas must equal the first's, not include
+  // them. (Before per-request scoping, the absolutes doubled.)
+  service::CompileService Svc((service::CompileService::Config()));
+  service::CompileRequest Req = makeRequest(kWorkloads[1], "r2000", "postpass");
+  Req.Opts.Jobs = 2;
+  shard::FileResult First = Svc.compile(Req);
+  shard::FileResult Second = Svc.compile(Req);
+  ASSERT_TRUE(First.Ok);
+  ASSERT_TRUE(Second.Ok);
+  EXPECT_EQ(First.Obs.PoolJobs, Second.Obs.PoolJobs);
+  EXPECT_EQ(First.Obs.PoolTasks, Second.Obs.PoolTasks);
+  EXPECT_GT(Second.Obs.PoolTasks, 0u) << "-j2 should route through the pool";
+  EXPECT_GT(Second.Obs.AllocGraphNanos, 0.0);
+}
+
+//===--------------------------------------------------------------------===//
+// Concurrency: mixed clients against one daemon.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, ConcurrentMixedClientsAllMatchLocal) {
+  Daemon D;
+  struct Job {
+    const char *File;
+    const char *Machine;
+    const char *Strategy;
+  };
+  std::vector<Job> Jobs;
+  const char *Machines[] = {"toyp", "r2000", "m88000", "i860"};
+  const char *Strategies[] = {"postpass", "ips", "rase"};
+  for (int I = 0; I < 12; ++I)
+    Jobs.push_back(
+        {kWorkloads[I % 4], Machines[I % 4], Strategies[I % 3]});
+
+  // Expected outputs from a private local service (no cache, serial).
+  std::vector<shard::FileResult> Expected(Jobs.size());
+  service::CompileService Local((service::CompileService::Config()));
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Expected[I] =
+        Local.compile(makeRequest(Jobs[I].File, Jobs[I].Machine,
+                                  Jobs[I].Strategy));
+
+  std::vector<shard::FileResult> Got(Jobs.size());
+  std::vector<std::string> Errors(Jobs.size());
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Threads.emplace_back([&, I] {
+      service::CompileRequest Req =
+          makeRequest(Jobs[I].File, Jobs[I].Machine, Jobs[I].Strategy);
+      std::string Source, ReadError;
+      ASSERT_TRUE(readFile(Req.Path, Source, ReadError)) << ReadError;
+      Req.Source = std::move(Source);
+      Req.Index = static_cast<int>(I);
+      if (!service::remoteCompile(D.Socket, service::frameFromRequest(Req),
+                                  Got[I], Errors[I]))
+        ADD_FAILURE() << "job " << I << ": " << Errors[I];
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_EQ(Got[I].Index, static_cast<int>(I));
+    EXPECT_EQ(Got[I].Ok, Expected[I].Ok) << I;
+    EXPECT_EQ(Got[I].Assembly, Expected[I].Assembly) << I;
+    EXPECT_EQ(Got[I].DiagText, Expected[I].DiagText) << I;
+    EXPECT_EQ(Got[I].Functions, Expected[I].Functions) << I;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Abuse: malformed frames and mid-request disconnects never kill the
+// daemon.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, SurvivesMalformedAndTruncatedFrames) {
+  Daemon D;
+  // Garbage gets a diagnosed error record back.
+  std::string Response = rawExchange(D.Socket, "hello, daemon\n", true);
+  EXPECT_NE(Response.find("bad request"), std::string::npos) << Response;
+
+  // A client that vanishes mid-frame gets no answer; the daemon moves on.
+  rawExchange(D.Socket, "%REQUEST 0 half.mc\n%MACHINE r2000\n", false);
+  // An empty connection (immediate half-close) is just a malformed frame.
+  Response = rawExchange(D.Socket, "", true);
+  EXPECT_NE(Response.find("bad request"), std::string::npos);
+
+  // The daemon still serves real work afterwards.
+  service::CompileRequest Req = makeRequest("w.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 40 + 2; }\n";
+  shard::FileResult R;
+  std::string Error;
+  ASSERT_TRUE(
+      service::remoteCompile(D.Socket, service::frameFromRequest(Req), R,
+                             Error))
+      << Error;
+  EXPECT_TRUE(R.Ok) << R.DiagText;
+  EXPECT_NE(R.Assembly.find("main"), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// In-daemon fault injection: armed once, fires once, daemon survives.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, InjectedFaultFailsOneRequestThenRecovers) {
+  Daemon D({"--inject-fault=postpass-sched:error"});
+  service::CompileRequest Req = makeRequest("w.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 7; }\n";
+  shard::FileResult R;
+  std::string Error;
+  ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                     service::frameFromRequest(Req), R,
+                                     Error))
+      << Error;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.DiagText.find("error"), std::string::npos) << R.DiagText;
+
+  // The injector fires exactly once; the daemon keeps serving.
+  ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                     service::frameFromRequest(Req), R,
+                                     Error))
+      << Error;
+  EXPECT_TRUE(R.Ok) << R.DiagText;
+}
+
+//===--------------------------------------------------------------------===//
+// Shutdown: SIGTERM exits 0 and unlinks the socket.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, SigtermShutsDownCleanlyAndRemovesSocket) {
+  Daemon D;
+  std::string Socket = D.Socket;
+  // Serve one request first so shutdown covers a warmed daemon.
+  service::CompileRequest Req = makeRequest("w.mc", "toyp", "postpass");
+  Req.Source = "int main() { return 1; }\n";
+  shard::FileResult R;
+  std::string Error;
+  ASSERT_TRUE(service::remoteCompile(Socket, service::frameFromRequest(Req),
+                                     R, Error))
+      << Error;
+  EXPECT_EQ(D.stop(), driver::ExitSuccess);
+  EXPECT_NE(::access(Socket.c_str(), F_OK), 0)
+      << "socket file must be unlinked on shutdown";
+}
+
+} // namespace

@@ -11,12 +11,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dagio/Corpus.h"
 #include "driver/Compiler.h"
 #include "obs/Metrics.h"
 #include "sim/Simulator.h"
+#include "support/Paths.h"
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 using namespace marion;
 
@@ -136,6 +139,53 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // Corpus section (DESIGN.md §15): re-schedule the committed .mdag
+  // corpus standalone across the variant sweep, record per-machine ×
+  // per-variant schedule-length and stall totals, and gate on those
+  // totals matching the in-process frontend → glue → select →
+  // computeSchedule reference bit for bit.
+  std::printf("== Corpus: frontend-free re-schedule of workloads/dags ==\n\n");
+  dagio::TargetResolver Resolver = [](const std::string &Machine) {
+    DiagnosticEngine Diags;
+    return driver::loadTarget(Machine, Diags);
+  };
+  const std::vector<dagio::SchedVariant> Variants = dagio::standardVariants();
+  dagio::CorpusResult Corpus = dagio::runCorpus(
+      workloadDir() + "/dags", Variants, Resolver, nullptr, {});
+  for (const std::string &D : Corpus.Diags)
+    std::fprintf(stderr, "corpus: %s\n", D.c_str());
+  if (Corpus.Loaded == 0 || Corpus.Rejected != 0) {
+    std::fprintf(stderr, "corpus gate: %lld DAGs loaded, %lld rejected "
+                         "(re-dump with marionc --dump-dags)\n",
+                 static_cast<long long>(Corpus.Loaded),
+                 static_cast<long long>(Corpus.Rejected));
+    return 1;
+  }
+  std::vector<std::string> Sources;
+  for (const char *File : Suite)
+    Sources.push_back(workloadDir() + "/" + File);
+  dagio::CorpusResult Ref = dagio::inProcessCorpus(
+      Sources, {"toyp", "r2000", "m88000", "i860"}, Variants, Resolver);
+  if (!(Ref.Totals == Corpus.Totals) || Ref.Loaded != Corpus.Loaded) {
+    std::fprintf(stderr,
+                 "corpus gate: re-scheduled totals diverge from the "
+                 "in-process reference (corpus %lld DAGs, in-process %lld)\n",
+                 static_cast<long long>(Corpus.Loaded),
+                 static_cast<long long>(Ref.Loaded));
+    return 1;
+  }
+  std::printf("%-8s %-12s %8s %10s %8s\n", "target", "variant", "dags",
+              "cycles", "stall");
+  for (const auto &[Key, C] : Corpus.Totals)
+    std::printf("%-8s %-12s %8lld %10lld %8lld\n", Key.first.c_str(),
+                Key.second.c_str(), static_cast<long long>(C.Dags),
+                static_cast<long long>(C.Cycles),
+                static_cast<long long>(C.StallCycles));
+  std::printf("\ncorpus gate: OK — %lld DAGs re-scheduled bit-identically "
+              "to the in-process path\n\n",
+              static_cast<long long>(Corpus.Loaded));
+  dagio::registerCorpusTotals(Reg, Corpus);
 
   const char *JsonPath = "BENCH_schedule_quality.json";
   if (std::FILE *F = std::fopen(JsonPath, "w")) {

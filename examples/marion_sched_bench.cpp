@@ -1,0 +1,256 @@
+//===- marion_sched_bench.cpp - Frontend-free corpus re-scheduler ---------==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+// The standalone half of the schedule-DAG interchange subsystem (DESIGN.md
+// §15): loads a directory of .mdag dumps produced by `marionc --dump-dags`
+// and re-schedules every DAG across machines × scheduler variants without
+// running the frontend, emitting corpus totals (and per-DAG rows on
+// request) as the same schema-versioned stats JSON marionc exports. A
+// second mode merges many per-shard/per-run stats exports into one corpus
+// summary. With --check-inprocess it recompiles the given MC sources
+// in-process and gates on the re-scheduled totals matching bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dagio/Corpus.h"
+#include "driver/Compiler.h"
+#include "support/Paths.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace marion;
+
+namespace {
+
+constexpr int ExitOk = 0;
+constexpr int ExitCheckFailed = 1;
+constexpr int ExitUsage = 2;
+constexpr int ExitIO = 3;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: marion-sched-bench <dump-dir> [options]\n"
+      "       marion-sched-bench --merge <out.json> <in.json>...\n"
+      "\n"
+      "Re-schedules every .mdag in <dump-dir> (see marionc --dump-dags)\n"
+      "across machines x scheduler variants, no frontend required.\n"
+      "\n"
+      "  --machine=<name>          only DAGs dumped for this machine "
+      "(repeatable)\n"
+      "  --variant=<name>          scheduler variant to sweep (repeatable;\n"
+      "                            default: postpass ips-prepass rase-tight\n"
+      "                            source-order)\n"
+      "  --stats-json=<file>       export corpus totals as schema-versioned "
+      "JSON\n"
+      "  --per-dag                 add per-DAG rows (nodes, edges, critical\n"
+      "                            path, per-variant cycles) to the export\n"
+      "  --no-verify               skip the rebuilt-CodeDAG integrity "
+      "cross-check\n"
+      "  --check-inprocess <src>.. gate: recompile the MC sources in-process\n"
+      "                            and require identical totals\n"
+      "  --quiet                   suppress the per-cell summary table\n"
+      "\n"
+      "exit: 0 ok, 1 check failure, 2 usage, 3 I/O error\n");
+}
+
+std::string flagValue(const std::string &Arg, const char *Flag) {
+  return Arg.substr(std::strlen(Flag));
+}
+
+void printTotals(const dagio::CorpusResult &R) {
+  std::printf("%-10s %-12s %8s %10s %8s %8s %6s\n", "machine", "variant",
+              "dags", "cycles", "stall", "issue", "dead");
+  for (const auto &[Key, Cell] : R.Totals)
+    std::printf("%-10s %-12s %8lld %10lld %8lld %8lld %6lld\n",
+                Key.first.c_str(), Key.second.c_str(),
+                static_cast<long long>(Cell.Dags),
+                static_cast<long long>(Cell.Cycles),
+                static_cast<long long>(Cell.StallCycles),
+                static_cast<long long>(Cell.IssueCycles),
+                static_cast<long long>(Cell.Deadlocked));
+  std::printf("%lld DAGs loaded (%lld nodes, %lld edges), %lld rejected\n",
+              static_cast<long long>(R.Loaded),
+              static_cast<long long>(R.Nodes),
+              static_cast<long long>(R.Edges),
+              static_cast<long long>(R.Rejected));
+}
+
+bool writeText(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  const bool Ok =
+      std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  return !(std::fclose(F) != 0 || !Ok);
+}
+
+int runMerge(const std::vector<std::string> &Args) {
+  if (Args.size() < 2) {
+    usage();
+    return ExitUsage;
+  }
+  const std::string OutPath = Args[0];
+  std::vector<std::string> Inputs(Args.begin() + 1, Args.end());
+  obs::Registry Reg;
+  std::string Error;
+  if (!dagio::mergeStatsExports(Inputs, Reg, Error)) {
+    std::fprintf(stderr, "marion-sched-bench: merge: %s\n", Error.c_str());
+    return ExitIO;
+  }
+  if (!writeText(OutPath, Reg.exportJson("marion-sched-bench"))) {
+    std::fprintf(stderr, "marion-sched-bench: cannot write '%s'\n",
+                 OutPath.c_str());
+    return ExitIO;
+  }
+  std::printf("merged %zu stats exports into %s\n", Inputs.size(),
+              OutPath.c_str());
+  return ExitOk;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  if (!Args.empty() && Args[0] == "--merge")
+    return runMerge({Args.begin() + 1, Args.end()});
+
+  std::string Dir;
+  std::vector<std::string> Machines, VariantNames, CheckSources;
+  std::string StatsPath;
+  bool PerDag = false, Verify = true, Quiet = false;
+  bool InCheckList = false;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return ExitOk;
+    } else if (Arg.rfind("--machine=", 0) == 0) {
+      Machines.push_back(flagValue(Arg, "--machine="));
+      InCheckList = false;
+    } else if (Arg.rfind("--variant=", 0) == 0) {
+      VariantNames.push_back(flagValue(Arg, "--variant="));
+      InCheckList = false;
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      StatsPath = flagValue(Arg, "--stats-json=");
+      InCheckList = false;
+    } else if (Arg == "--per-dag") {
+      PerDag = true;
+      InCheckList = false;
+    } else if (Arg == "--no-verify") {
+      Verify = false;
+      InCheckList = false;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+      InCheckList = false;
+    } else if (Arg == "--check-inprocess") {
+      InCheckList = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "marion-sched-bench: unknown option '%s'\n",
+                   Arg.c_str());
+      usage();
+      return ExitUsage;
+    } else if (InCheckList) {
+      CheckSources.push_back(Arg);
+    } else if (Dir.empty()) {
+      Dir = Arg;
+    } else {
+      std::fprintf(stderr, "marion-sched-bench: extra argument '%s'\n",
+                   Arg.c_str());
+      usage();
+      return ExitUsage;
+    }
+  }
+  if (Dir.empty()) {
+    usage();
+    return ExitUsage;
+  }
+
+  std::vector<dagio::SchedVariant> Variants;
+  std::string Error;
+  if (VariantNames.empty()) {
+    Variants = dagio::standardVariants();
+  } else if (!dagio::variantsByName(VariantNames, Variants, Error)) {
+    std::fprintf(stderr, "marion-sched-bench: %s\n", Error.c_str());
+    return ExitUsage;
+  }
+
+  // Target loads route through the driver's per-name cache; load failures
+  // reject the affected DAGs rather than aborting the sweep.
+  dagio::TargetResolver Resolver = [](const std::string &Machine) {
+    DiagnosticEngine Diags;
+    return driver::loadTarget(Machine, Diags);
+  };
+
+  dagio::CorpusOptions Opts;
+  Opts.Machines = Machines;
+  Opts.Verify = Verify;
+  Opts.PerDagRows = PerDag;
+  obs::Registry Reg;
+  dagio::CorpusResult R = dagio::runCorpus(Dir, Variants, Resolver, &Reg, Opts);
+  for (const std::string &D : R.Diags)
+    std::fprintf(stderr, "marion-sched-bench: %s\n", D.c_str());
+  if (R.Loaded == 0 && R.Rejected == 0) {
+    std::fprintf(stderr, "marion-sched-bench: no .mdag files under '%s'\n",
+                 Dir.c_str());
+    return ExitIO;
+  }
+  if (!Quiet)
+    printTotals(R);
+
+  if (!StatsPath.empty()) {
+    Reg.setHeader("corpus_dir", Dir);
+    if (!writeText(StatsPath, Reg.exportJson("marion-sched-bench"))) {
+      std::fprintf(stderr, "marion-sched-bench: cannot write '%s'\n",
+                   StatsPath.c_str());
+      return ExitIO;
+    }
+  }
+
+  int Exit = R.Rejected == 0 ? ExitOk : ExitCheckFailed;
+  if (!CheckSources.empty()) {
+    std::vector<std::string> CheckMachines = Machines;
+    if (CheckMachines.empty()) {
+      // Recompile for exactly the machines present in the corpus.
+      std::vector<std::string> Seen;
+      for (const auto &[Key, Cell] : R.Totals)
+        if (Seen.empty() || Seen.back() != Key.first)
+          Seen.push_back(Key.first); // Totals is sorted by machine.
+      CheckMachines = Seen;
+    }
+    dagio::CorpusResult Ref =
+        dagio::inProcessCorpus(CheckSources, CheckMachines, Variants, Resolver);
+    for (const std::string &D : Ref.Diags)
+      std::fprintf(stderr, "marion-sched-bench: in-process: %s\n", D.c_str());
+    if (Ref.Totals == R.Totals && Ref.Loaded == R.Loaded) {
+      std::printf("check-inprocess: OK — %lld DAGs, totals bit-identical\n",
+                  static_cast<long long>(R.Loaded));
+    } else {
+      std::fprintf(stderr,
+                   "check-inprocess: MISMATCH (corpus %lld DAGs, in-process "
+                   "%lld DAGs)\n",
+                   static_cast<long long>(R.Loaded),
+                   static_cast<long long>(Ref.Loaded));
+      for (const auto &[Key, Cell] : Ref.Totals) {
+        auto It = R.Totals.find(Key);
+        if (It == R.Totals.end())
+          std::fprintf(stderr, "  %s/%s: missing from corpus\n",
+                       Key.first.c_str(), Key.second.c_str());
+        else if (!(It->second == Cell))
+          std::fprintf(stderr,
+                       "  %s/%s: corpus cycles=%lld stall=%lld vs in-process "
+                       "cycles=%lld stall=%lld\n",
+                       Key.first.c_str(), Key.second.c_str(),
+                       static_cast<long long>(It->second.Cycles),
+                       static_cast<long long>(It->second.StallCycles),
+                       static_cast<long long>(Cell.Cycles),
+                       static_cast<long long>(Cell.StallCycles));
+      }
+      Exit = ExitCheckFailed;
+    }
+  }
+  return Exit;
+}

@@ -82,6 +82,10 @@ static void usage() {
       "counter breakdown\n"
       "  --dump-after=<pass|all>              dump each function after the "
       "named pass (repeatable)\n"
+      "  --dump-dags=<dir>                    write one .mdag schedule-DAG "
+      "interchange file per\n"
+      "                                       block (re-schedulable by "
+      "marion-sched-bench)\n"
       "  --shards=<N>                         partition the input files "
       "across N fault-isolated\n"
       "                                       child processes; output is "
@@ -231,6 +235,12 @@ int realMain(int argc, char **argv) {
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
       CacheDir = Arg.substr(std::strlen("--cache-dir="));
       UseCompileCache = true;
+    } else if (Arg.rfind("--dump-dags=", 0) == 0) {
+      Opts.DumpDags = Arg.substr(std::strlen("--dump-dags="));
+      if (Opts.DumpDags.empty()) {
+        std::fprintf(stderr, "--dump-dags needs a directory\n");
+        return driver::ExitUsage;
+      }
     } else if (Arg == "--cache-stats") {
       CacheStats = true;
       UseCompileCache = true;
@@ -457,6 +467,11 @@ int realMain(int argc, char **argv) {
       SO.WorkerArgs.push_back("--alloc-linear");
     for (const std::string &Name : Opts.DumpAfter)
       SO.WorkerArgs.push_back("--dump-after=" + Name);
+    // Dump file names are deterministic and distinct per block, and writes
+    // are atomic-rename, so shard workers (and retries, hence before the
+    // RetryArgs copy) can all dump into the one directory safely.
+    if (!Opts.DumpDags.empty())
+      SO.WorkerArgs.push_back("--dump-dags=" + Opts.DumpDags);
     if (SimProfile)
       SO.WorkerArgs.push_back("--sim-profile");
     if (SimCache)

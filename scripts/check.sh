@@ -22,6 +22,13 @@
 #                             stats-exported shard compile (clean and
 #                             fault-injected) and validate both JSON
 #                             artifacts (DESIGN.md §12).
+#   scripts/check.sh --dags   build marionc and marion-sched-bench, dump
+#                             the workload suite as .mdag files (serial
+#                             and --shards=2 must agree byte for byte),
+#                             re-schedule the corpus standalone with the
+#                             in-process bit-identity gate, and merge +
+#                             json.tool-validate split stats exports
+#                             (DESIGN.md §15).
 #   scripts/check.sh --service build marionc and mariond, start the
 #                             daemon on a temp socket, and verify that
 #                             `marionc --remote` is bit-identical to a
@@ -329,6 +336,85 @@ s.close()" "$SOCK" || true
   return "$STATUS"
 }
 
+# Schedule-DAG interchange check for the marionc at $1 and the
+# marion-sched-bench at $2 (DESIGN.md §15): dump the workload suite for the
+# four paper machines, require --shards=2 dumps byte-identical to serial,
+# re-schedule the corpus standalone with the in-process bit-identity gate,
+# and merge two per-machine stats exports into one validated summary.
+run_dags_check() {
+  MARIONC=$1
+  SCHEDBENCH=$2
+  DWORK=$(mktemp -d)
+  STATUS=0
+  SWEEP="workloads/livermore.mc workloads/suite_matmul.mc \
+workloads/suite_poly.mc workloads/suite_queens.mc"
+
+  # Dump the full corpus. TOYP rejects livermore (no integer divide) and
+  # m88000 rejects suite_poly's main by design, so those runs exit 1 —
+  # the selectable functions still dump, which is what the gate re-checks.
+  for M in toyp r2000 m88000 i860; do
+    # shellcheck disable=SC2086
+    "$MARIONC" $SWEEP --machine "$M" --dump-dags="$DWORK/dags" \
+      >/dev/null 2>/dev/null || true
+  done
+  N=$(ls "$DWORK/dags" | wc -l)
+  if [ "$N" -lt 200 ]; then
+    echo "FAIL: dags: expected >= 200 dumped DAGs, got $N" >&2
+    STATUS=1
+  fi
+
+  # Sharded dumps must be byte-identical to serial ones.
+  # shellcheck disable=SC2086
+  "$MARIONC" $SWEEP --machine r2000 --dump-dags="$DWORK/serial" >/dev/null
+  # shellcheck disable=SC2086
+  "$MARIONC" $SWEEP --machine r2000 --dump-dags="$DWORK/sharded" --shards=2 \
+    >/dev/null
+  if ! diff -r "$DWORK/serial" "$DWORK/sharded" >/dev/null; then
+    echo "FAIL: dags: --shards=2 dump differs from serial" >&2
+    STATUS=1
+  else
+    echo "ok: --shards=2 dump byte-identical to serial"
+  fi
+
+  # Standalone re-schedule of the corpus, gated on the in-process numbers.
+  # shellcheck disable=SC2086
+  if "$SCHEDBENCH" "$DWORK/dags" --quiet \
+    --stats-json="$DWORK/corpus.json" --check-inprocess $SWEEP; then
+    echo "ok: standalone re-schedule matches the in-process path"
+  else
+    echo "FAIL: dags: standalone re-schedule diverged (see above)" >&2
+    STATUS=1
+  fi
+  python3 -m json.tool "$DWORK/corpus.json" >/dev/null ||
+    { echo "FAIL: dags: corpus.json is not valid JSON" >&2; STATUS=1; }
+
+  # Per-machine exports merged into one summary must validate and carry
+  # the summed DAG count.
+  "$SCHEDBENCH" "$DWORK/dags" --machine=r2000 --quiet \
+    --stats-json="$DWORK/r2000.json" >/dev/null
+  "$SCHEDBENCH" "$DWORK/dags" --machine=i860 --quiet \
+    --stats-json="$DWORK/i860.json" >/dev/null
+  "$SCHEDBENCH" --merge "$DWORK/merged.json" \
+    "$DWORK/r2000.json" "$DWORK/i860.json" >/dev/null
+  python3 -m json.tool "$DWORK/merged.json" >/dev/null ||
+    { echo "FAIL: dags: merged.json is not valid JSON" >&2; STATUS=1; }
+  WANT=$(python3 -c "import json;print(
+    json.load(open('$DWORK/r2000.json'))['metrics']['corpus.dags'] +
+    json.load(open('$DWORK/i860.json'))['metrics']['corpus.dags'])")
+  GOT=$(python3 -c "import json;print(
+    json.load(open('$DWORK/merged.json'))['metrics']['corpus.dags'])")
+  if [ "$WANT" != "$GOT" ]; then
+    echo "FAIL: dags: merged corpus.dags $GOT != sum of inputs $WANT" >&2
+    STATUS=1
+  else
+    echo "ok: merged stats sum per-machine exports ($GOT DAGs)"
+  fi
+
+  [ "$STATUS" -eq 0 ] && echo "dags check OK"
+  rm -rf "$DWORK"
+  return "$STATUS"
+}
+
 BUILD=build
 if [ "${1:-}" = "--asan" ]; then
   BUILD=build-asan
@@ -351,6 +437,11 @@ elif [ "${1:-}" = "--obs" ]; then
   cmake -B "$BUILD" -S .
   cmake --build "$BUILD" -j "$(nproc)" --target marionc
   run_obs_check "$BUILD/examples/marionc"
+  exit $?
+elif [ "${1:-}" = "--dags" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target marionc marion-sched-bench
+  run_dags_check "$BUILD/examples/marionc" "$BUILD/examples/marion-sched-bench"
   exit $?
 elif [ "${1:-}" = "--service" ]; then
   cmake -B "$BUILD" -S .
@@ -430,6 +521,7 @@ if [ "${1:-}" = "--asan" ]; then
   cd ..
   run_fault_matrix "$BUILD/examples/marionc"
   run_obs_check "$BUILD/examples/marionc"
+  run_dags_check "$BUILD/examples/marionc" "$BUILD/examples/marion-sched-bench"
 fi
 if [ "${1:-}" = "--tsan" ]; then
   cd ..
@@ -457,5 +549,9 @@ if [ "${1:-}" = "--tsan" ]; then
   # concurrency hot spots: run the full service check under TSan too.
   run_service_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" ||
     STATUS=1
+  # Parallel per-block dump writes (the --dump-dags hook runs inside the
+  # block-level fan-out) are exactly what TSan should see.
+  run_dags_check "$BUILD/examples/marionc" \
+    "$BUILD/examples/marion-sched-bench" || STATUS=1
   exit "$STATUS"
 fi

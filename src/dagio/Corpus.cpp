@@ -1,0 +1,508 @@
+//===- Corpus.cpp ---------------------------------------------------------==//
+
+#include "dagio/Corpus.h"
+
+#include "frontend/Frontend.h"
+#include "select/GlueTransformer.h"
+#include "select/Selector.h"
+#include "support/Paths.h"
+#include "target/FuncEscape.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+using namespace marion;
+using namespace marion::dagio;
+using namespace marion::target;
+
+//===----------------------------------------------------------------------===//
+// Variants
+//===----------------------------------------------------------------------===//
+
+std::vector<SchedVariant> dagio::standardVariants() {
+  std::vector<SchedVariant> Out;
+  {
+    // The unlimited schedule: postpass / IPS-final / RASE-final settings.
+    SchedVariant V;
+    V.Name = "postpass";
+    V.Opts.RegisterLimit = -1;
+    Out.push_back(V);
+  }
+  {
+    // The IPS first pass: per-bank Goodman-Hsu pressure limiting.
+    SchedVariant V;
+    V.Name = "ips-prepass";
+    V.Opts.BankPressure = true;
+    Out.push_back(V);
+  }
+  {
+    // The RASE tight probe: register limit max(2, min-allocable/2),
+    // derived per DAG exactly as pipeline::createRaseProbePass does.
+    SchedVariant V;
+    V.Name = "rase-tight";
+    V.RaseTightLimit = true;
+    Out.push_back(V);
+  }
+  {
+    // Ablation baseline: original code-thread order as the priority.
+    SchedVariant V;
+    V.Name = "source-order";
+    V.Opts.Priority = sched::SchedulerOptions::Heuristic::SourceOrder;
+    Out.push_back(V);
+  }
+  return Out;
+}
+
+bool dagio::variantsByName(const std::vector<std::string> &Names,
+                           std::vector<SchedVariant> &Out,
+                           std::string &Error) {
+  Out.clear();
+  std::vector<SchedVariant> All = standardVariants();
+  for (const std::string &Name : Names) {
+    bool Found = false;
+    for (const SchedVariant &V : All)
+      if (V.Name == Name) {
+        Out.push_back(V);
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      Error = "unknown scheduler variant '" + Name + "'; known:";
+      for (const SchedVariant &V : All)
+        Error += " " + V.Name;
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduling one DAG
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Smallest allocable register count over the banks the function uses —
+/// kept in lockstep with the identical helper in pipeline/Passes.cpp so the
+/// "rase-tight" variant derives the same probe limit as the rase-probe pass.
+int minAllocableCount(const MFunction &Fn, const TargetInfo &Target) {
+  int Min = -1;
+  std::vector<bool> BankUsed(Target.description().Banks.size(), false);
+  for (const PseudoInfo &P : Fn.Pseudos)
+    if (P.Bank >= 0 && P.Bank < static_cast<int>(BankUsed.size()))
+      BankUsed[P.Bank] = true;
+  const RuntimeModel &Rt = Target.runtime();
+  for (size_t B = 0; B < BankUsed.size(); ++B) {
+    if (!BankUsed[B] || B >= Rt.AllocablePerBank.size())
+      continue;
+    int Count = static_cast<int>(Rt.AllocablePerBank[B].size());
+    if (Count == 0)
+      continue;
+    Min = Min < 0 ? Count : std::min(Min, Count);
+  }
+  return Min;
+}
+
+sched::SchedulerOptions variantOptions(const SchedVariant &V,
+                                       const MFunction &Fn,
+                                       const TargetInfo &Target) {
+  sched::SchedulerOptions SO = V.Opts;
+  if (V.RaseTightLimit) {
+    int Min = minAllocableCount(Fn, Target);
+    SO.RegisterLimit = std::max(2, Min / 2);
+  }
+  return SO;
+}
+
+/// Schedules one block and folds the result into \p Cell. Stall cycles are
+/// the static analogue of the simulator's attribution: schedule length minus
+/// the distinct cycles that issue an original instruction — delay-slot nops
+/// plus interlock/resource wait cycles.
+void scheduleInto(const MFunction &Fn, const MBlock &Block,
+                  const TargetInfo &Target, const sched::SchedulerOptions &SO,
+                  VariantTotals &Cell) {
+  sched::BlockSchedule S = sched::computeSchedule(Fn, Block, Target, SO);
+  ++Cell.Dags;
+  if (S.Deadlocked) {
+    ++Cell.Deadlocked;
+    return;
+  }
+  std::set<int> Issue(S.Cycle.begin(), S.Cycle.end());
+  const int64_t IssueCycles = static_cast<int64_t>(Issue.size());
+  Cell.Cycles += S.EstimatedCycles;
+  Cell.IssueCycles += IssueCycles;
+  Cell.StallCycles += std::max<int64_t>(0, S.EstimatedCycles - IssueCycles);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Standalone corpus sweep
+//===----------------------------------------------------------------------===//
+
+CorpusResult dagio::runCorpus(const std::string &Dir,
+                              const std::vector<SchedVariant> &Variants,
+                              const TargetResolver &Resolver,
+                              obs::Registry *Reg, const CorpusOptions &Opts) {
+  CorpusResult R;
+  std::vector<std::string> Names;
+  std::string Error;
+  if (!listDagFiles(Dir, Names, Error)) {
+    R.Diags.push_back(Error);
+    return R;
+  }
+  auto Reject = [&](const std::string &File, const std::string &Why) {
+    ++R.Rejected;
+    R.Diags.push_back(File + ": " + Why);
+  };
+  for (const std::string &Name : Names) {
+    const std::string Path = Dir + "/" + Name;
+    std::string Text, ReadError;
+    if (!readFile(Path, Text, ReadError)) {
+      Reject(Name, ReadError);
+      continue;
+    }
+    DagFile F;
+    if (!parseDag(Text, F, Error)) {
+      Reject(Name, Error);
+      continue;
+    }
+    if (!Opts.Machines.empty() &&
+        std::find(Opts.Machines.begin(), Opts.Machines.end(), F.Machine) ==
+            Opts.Machines.end())
+      continue; // Filtered, not rejected.
+    std::shared_ptr<const TargetInfo> Target = Resolver(F.Machine);
+    if (!Target) {
+      Reject(Name, "cannot load machine '" + F.Machine + "'");
+      continue;
+    }
+    if (!fingerprintMatches(F, *Target)) {
+      Reject(Name, "stale dump: machine '" + F.Machine +
+                       "' tables changed since this DAG was dumped "
+                       "(fingerprint mismatch); re-dump with --dump-dags");
+      continue;
+    }
+    if (Opts.Verify && !verifyDag(F, *Target, Error)) {
+      Reject(Name, "failed integrity check: " + Error);
+      continue;
+    }
+
+    MFunction Fn = reconstructFunction(F);
+    const MBlock &Block = Fn.Blocks[0];
+    ++R.Loaded;
+    R.Nodes += static_cast<int64_t>(F.Instrs.size());
+    R.Edges += static_cast<int64_t>(F.Edges.size());
+    const std::string Stem = Name.substr(0, Name.size() - 5);
+    if (Reg && Opts.PerDagRows) {
+      Reg->set("dag." + Stem + ".nodes",
+               static_cast<int64_t>(F.Instrs.size()));
+      Reg->set("dag." + Stem + ".edges", static_cast<int64_t>(F.Edges.size()));
+      Reg->set("dag." + Stem + ".critical_path", F.CriticalPath);
+    }
+    for (const SchedVariant &V : Variants) {
+      VariantTotals &Cell = R.Totals[{F.Machine, V.Name}];
+      const VariantTotals Before = Cell;
+      scheduleInto(Fn, Block, *Target, variantOptions(V, Fn, *Target), Cell);
+      if (Reg && Opts.PerDagRows) {
+        Reg->set("dag." + Stem + ".sched." + V.Name + ".cycles",
+                 Cell.Cycles - Before.Cycles);
+        Reg->set("dag." + Stem + ".sched." + V.Name + ".stall_cycles",
+                 Cell.StallCycles - Before.StallCycles);
+      }
+    }
+  }
+  if (Reg)
+    registerCorpusTotals(*Reg, R);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// In-process reference sweep
+//===----------------------------------------------------------------------===//
+
+CorpusResult dagio::inProcessCorpus(const std::vector<std::string> &Sources,
+                                    const std::vector<std::string> &Machines,
+                                    const std::vector<SchedVariant> &Variants,
+                                    const TargetResolver &Resolver) {
+  CorpusResult R;
+  registerStandardEscapes();
+  for (const std::string &Machine : Machines) {
+    std::shared_ptr<const TargetInfo> Target = Resolver(Machine);
+    if (!Target) {
+      ++R.Rejected;
+      R.Diags.push_back("cannot load machine '" + Machine + "'");
+      continue;
+    }
+    for (const std::string &Source : Sources) {
+      // Glue transforms are target-specific and mutate the IL, so each
+      // machine parses its own copy — exactly what separate driver
+      // compiles do.
+      DiagnosticEngine Diags;
+      std::unique_ptr<il::Module> Mod = frontend::compileFile(Source, Diags);
+      if (!Mod) {
+        ++R.Rejected;
+        R.Diags.push_back(Source + ": " + Diags.str());
+        continue;
+      }
+      for (const auto &ILFn : Mod->Functions) {
+        // Mirror the pipeline's selection configuration: the glue pass
+        // first, then selection with RunGlue off and bucketed dispatch.
+        select::applyGlueTransforms(*ILFn, *Target);
+        select::SelectorOptions SO;
+        SO.RunGlue = false;
+        MFunction MF;
+        DiagnosticEngine FnDiags;
+        if (!select::selectFunctionInto(*ILFn, *Target, MF, FnDiags, SO))
+          continue; // No dump exists for functions that fail selection.
+        for (const MBlock &Block : MF.Blocks) {
+          if (Block.Instrs.empty())
+            continue; // build-dag (and the dumper) skip empty blocks.
+          ++R.Loaded;
+          sched::CodeDAG Dag(MF, Block, *Target);
+          R.Nodes += static_cast<int64_t>(Dag.nodes().size());
+          R.Edges += static_cast<int64_t>(Dag.edges().size());
+          for (const SchedVariant &V : Variants)
+            scheduleInto(MF, Block, *Target,
+                         variantOptions(V, MF, *Target),
+                         R.Totals[{Machine, V.Name}]);
+        }
+      }
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry rows
+//===----------------------------------------------------------------------===//
+
+void dagio::registerCorpusTotals(obs::Registry &Reg, const CorpusResult &R) {
+  Reg.set("corpus.dags", R.Loaded);
+  Reg.set("corpus.rejected", R.Rejected);
+  Reg.set("corpus.nodes", R.Nodes);
+  Reg.set("corpus.edges", R.Edges);
+  for (const auto &[Key, Cell] : R.Totals) {
+    const std::string P = "corpus." + Key.first + "." + Key.second;
+    Reg.set(P + ".dags", Cell.Dags);
+    Reg.set(P + ".schedule_cycles", Cell.Cycles);
+    Reg.set(P + ".stall_cycles", Cell.StallCycles);
+    Reg.set(P + ".issue_cycles", Cell.IssueCycles);
+    Reg.set(P + ".deadlocked", Cell.Deadlocked);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stats merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Undoes obs::jsonEscape for the escapes the exporter can produce.
+bool jsonUnescape(const std::string &S, std::string &Out) {
+  Out.clear();
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\') {
+      Out.push_back(S[I]);
+      continue;
+    }
+    if (++I >= S.size())
+      return false;
+    switch (S[I]) {
+    case '"':
+      Out.push_back('"');
+      break;
+    case '\\':
+      Out.push_back('\\');
+      break;
+    case 'n':
+      Out.push_back('\n');
+      break;
+    case 't':
+      Out.push_back('\t');
+      break;
+    case 'r':
+      Out.push_back('\r');
+      break;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Strict decimal parse of a whole token (mirrors the .mdag parser's rule).
+bool parseInt64(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  size_t I = S[0] == '-' ? 1 : 0;
+  if (I == S.size())
+    return false;
+  int64_t V = 0;
+  for (; I < S.size(); ++I) {
+    if (S[I] < '0' || S[I] > '9')
+      return false;
+    if (V > (INT64_MAX - (S[I] - '0')) / 10)
+      return false; // Overflow.
+    V = V * 10 + (S[I] - '0');
+  }
+  Out = S[0] == '-' ? -V : V;
+  return true;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+/// Parses `"key": rest` into key + rest; false when the line is not a
+/// quoted-key line.
+bool splitKeyLine(const std::string &Line, std::string &Key,
+                  std::string &Rest) {
+  if (Line.size() < 4 || Line[0] != '"')
+    return false;
+  size_t End = 1;
+  while (End < Line.size() && Line[End] != '"') {
+    if (Line[End] == '\\')
+      ++End;
+    ++End;
+  }
+  if (End >= Line.size())
+    return false;
+  std::string Escaped = Line.substr(1, End - 1);
+  if (!jsonUnescape(Escaped, Key))
+    return false;
+  size_t Colon = Line.find(':', End);
+  if (Colon == std::string::npos)
+    return false;
+  Rest = trim(Line.substr(Colon + 1));
+  if (!Rest.empty() && Rest.back() == ',')
+    Rest = trim(Rest.substr(0, Rest.size() - 1));
+  return true;
+}
+
+} // namespace
+
+bool dagio::mergeStatsExports(const std::vector<std::string> &Paths,
+                              obs::Registry &Out, std::string &Error) {
+  if (Paths.empty()) {
+    Error = "no inputs to merge";
+    return false;
+  }
+  std::map<std::string, int64_t> Ints[2];
+  std::map<std::string, double> Floats[2];
+  std::map<std::string, std::string> Headers;
+  std::set<std::string> DroppedHeaders;
+  bool FirstFile = true;
+
+  for (const std::string &Path : Paths) {
+    std::string Text;
+    if (!readFile(Path, Text, Error))
+      return false;
+    // Section: -1 top level, 0 metrics, 1 timing.
+    int Section = -1;
+    bool SawSchema = false;
+    size_t Pos = 0;
+    int LineNo = 0;
+    while (Pos < Text.size()) {
+      size_t NL = Text.find('\n', Pos);
+      std::string Line = trim(Text.substr(
+          Pos, NL == std::string::npos ? std::string::npos : NL - Pos));
+      Pos = NL == std::string::npos ? Text.size() : NL + 1;
+      ++LineNo;
+      if (Line.empty() || Line == "{")
+        continue;
+      if (Line == "}" || Line == "},") {
+        Section = -1;
+        continue;
+      }
+      std::string Key, Rest;
+      if (!splitKeyLine(Line, Key, Rest)) {
+        Error = Path + ": line " + std::to_string(LineNo) +
+                ": not a stats-export line: '" + Line + "'";
+        return false;
+      }
+      if (Section == -1 && (Key == "metrics" || Key == "timing")) {
+        if (Rest == "{}" || Rest == "{},")
+          continue; // Empty section, rendered inline.
+        Section = Key == "metrics" ? 0 : 1;
+        continue;
+      }
+      if (Section == -1) {
+        if (Key == "schema_version") {
+          int64_t V;
+          if (!parseInt64(Rest, V) || V != obs::kStatsSchemaVersion) {
+            Error = Path + ": schema_version " + Rest + " (this merge "
+                    "understands " +
+                    std::to_string(obs::kStatsSchemaVersion) + ")";
+            return false;
+          }
+          SawSchema = true;
+          continue;
+        }
+        // A header string: keep it only while every input agrees on it.
+        std::string Value;
+        if (Rest.size() < 2 || Rest.front() != '"' || Rest.back() != '"' ||
+            !jsonUnescape(Rest.substr(1, Rest.size() - 2), Value)) {
+          Error = Path + ": line " + std::to_string(LineNo) +
+                  ": bad header value for '" + Key + "'";
+          return false;
+        }
+        if (Key == "tool" || DroppedHeaders.count(Key))
+          continue;
+        auto It = Headers.find(Key);
+        if (It == Headers.end()) {
+          if (FirstFile)
+            Headers[Key] = Value;
+          else
+            DroppedHeaders.insert(Key);
+        } else if (It->second != Value) {
+          Headers.erase(It);
+          DroppedHeaders.insert(Key);
+        }
+        continue;
+      }
+      // A metric line inside "metrics" or "timing".
+      if (Rest.find('.') != std::string::npos) {
+        // The exporter renders floats as %.3f.
+        char *End = nullptr;
+        double V = std::strtod(Rest.c_str(), &End);
+        if (!End || *End != '\0') {
+          Error = Path + ": line " + std::to_string(LineNo) +
+                  ": bad float value '" + Rest + "'";
+          return false;
+        }
+        Floats[Section][Key] += V;
+      } else {
+        int64_t V;
+        if (!parseInt64(Rest, V)) {
+          Error = Path + ": line " + std::to_string(LineNo) +
+                  ": bad integer value '" + Rest + "'";
+          return false;
+        }
+        Ints[Section][Key] += V;
+      }
+    }
+    if (!SawSchema) {
+      Error = Path + ": no schema_version header (not a stats export?)";
+      return false;
+    }
+    FirstFile = false;
+  }
+
+  for (const auto &[Key, Value] : Headers)
+    Out.setHeader(Key, Value);
+  Out.setHeader("merged_inputs", std::to_string(Paths.size()));
+  for (int S = 0; S < 2; ++S) {
+    const obs::Section Sec = S == 0 ? obs::Section::Metrics
+                                    : obs::Section::Timing;
+    for (const auto &[Key, Value] : Ints[S])
+      Out.set(Key, Value, Sec);
+    for (const auto &[Key, Value] : Floats[S])
+      Out.setFloat(Key, Value, Sec);
+  }
+  return true;
+}

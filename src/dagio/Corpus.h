@@ -1,0 +1,140 @@
+//===- Corpus.h - Bulk re-scheduling over a .mdag corpus ----------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus half of the schedule-DAG interchange subsystem (DESIGN.md
+/// §15): load every .mdag under a directory and re-schedule each DAG across
+/// scheduler variants without the frontend, totalling schedule lengths and
+/// static stall cycles per machine × variant into the schema-versioned
+/// obs::Registry; plus the in-process reference path (frontend → glue →
+/// select → computeSchedule over the same sources) the bit-identity gate
+/// compares against, and a merge that folds many per-shard/per-run stats
+/// exports into one corpus summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_DAGIO_CORPUS_H
+#define MARION_DAGIO_CORPUS_H
+
+#include "dagio/DagIO.h"
+#include "obs/Metrics.h"
+#include "sched/ListScheduler.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace dagio {
+
+/// Resolves a machine name to its (shared, immutable) target tables. The
+/// corpus code takes this as a callback so the library does not depend on
+/// the driver; callers pass a wrapper over driver::loadTarget.
+using TargetResolver =
+    std::function<std::shared_ptr<const target::TargetInfo>(
+        const std::string &Machine)>;
+
+/// One scheduler configuration the corpus is swept under. The standard set
+/// mirrors the pipeline's per-strategy scheduler settings: the unlimited
+/// final/postpass schedule, the IPS bank-pressure prepass, the RASE tight
+/// probe (register limit max(2, min-allocable/2), derived per DAG), and the
+/// source-order ablation baseline.
+struct SchedVariant {
+  std::string Name;
+  sched::SchedulerOptions Opts;
+  /// Derive Opts.RegisterLimit per DAG the way the rase-probe pass does.
+  bool RaseTightLimit = false;
+};
+
+/// The standard variant sweep, in report order.
+std::vector<SchedVariant> standardVariants();
+
+/// The named subset of standardVariants(); empty result + false on an
+/// unknown name.
+bool variantsByName(const std::vector<std::string> &Names,
+                    std::vector<SchedVariant> &Out, std::string &Error);
+
+/// Totals for one machine × variant cell.
+struct VariantTotals {
+  int64_t Dags = 0;
+  int64_t Cycles = 0;      ///< Sum of per-block schedule lengths.
+  int64_t StallCycles = 0; ///< Cycles issuing no original instruction
+                           ///< (delay-slot nops + interlock/resource waits).
+  int64_t IssueCycles = 0; ///< Distinct cycles that issue an instruction.
+  int64_t Deadlocked = 0;  ///< Blocks the scheduler could not complete.
+
+  friend bool operator==(const VariantTotals &A, const VariantTotals &B) {
+    return A.Dags == B.Dags && A.Cycles == B.Cycles &&
+           A.StallCycles == B.StallCycles && A.IssueCycles == B.IssueCycles &&
+           A.Deadlocked == B.Deadlocked;
+  }
+};
+
+/// Result of a corpus sweep (standalone re-schedule or in-process).
+struct CorpusResult {
+  /// (machine, variant name) -> totals.
+  std::map<std::pair<std::string, std::string>, VariantTotals> Totals;
+  int64_t Loaded = 0;   ///< DAGs scheduled.
+  int64_t Rejected = 0; ///< Files skipped (parse error / stale fingerprint /
+                        ///< failed verification / unloadable machine).
+  int64_t Nodes = 0;    ///< Total DAG nodes over loaded files.
+  int64_t Edges = 0;    ///< Total DAG edges over loaded files.
+  /// One diagnostic per rejected file ("file: why").
+  std::vector<std::string> Diags;
+};
+
+struct CorpusOptions {
+  /// Only load DAGs dumped for these machines (empty = all).
+  std::vector<std::string> Machines;
+  /// Cross-check every loaded DAG against a freshly rebuilt CodeDAG
+  /// (edges + critical path) before scheduling it.
+  bool Verify = true;
+  /// Emit per-DAG rows ("dag.<file>.{nodes,edges,critical_path}" and
+  /// "dag.<file>.sched.<variant>.cycles") in addition to corpus totals.
+  bool PerDagRows = false;
+};
+
+/// Loads and re-schedules every .mdag in \p Dir. When \p Reg is non-null,
+/// corpus totals (and per-DAG rows when requested) are recorded under
+/// deterministic "corpus.*" / "dag.*" metric keys.
+CorpusResult runCorpus(const std::string &Dir,
+                       const std::vector<SchedVariant> &Variants,
+                       const TargetResolver &Resolver, obs::Registry *Reg,
+                       const CorpusOptions &Opts);
+
+/// The in-process reference: compiles each MC source through frontend →
+/// glue → select (exactly the pipeline's selection configuration), then
+/// computeSchedule over every non-empty block — the same numbers a
+/// `--dump-dags` dump of these sources re-schedules to. Functions that fail
+/// selection are skipped, mirroring the dump side (build-dag never runs for
+/// them). Paths resolve like the driver: absolute, cwd-relative, or
+/// workloadDir()-relative.
+CorpusResult inProcessCorpus(const std::vector<std::string> &Sources,
+                             const std::vector<std::string> &Machines,
+                             const std::vector<SchedVariant> &Variants,
+                             const TargetResolver &Resolver);
+
+/// Renders the per-cell totals of \p R into \p Reg under
+/// "corpus.<machine>.<variant>.*" plus the corpus-wide "corpus.dags",
+/// "corpus.rejected", "corpus.nodes", "corpus.edges" keys (all in the
+/// deterministic metrics section).
+void registerCorpusTotals(obs::Registry &Reg, const CorpusResult &R);
+
+/// Folds many Registry JSON exports (the exporter's own one-key-per-line
+/// format) into \p Out: integer metrics sum, float metrics sum, headers
+/// shared by every input survive, and a "merged_inputs" header counts the
+/// inputs. Returns false with \p Error on unreadable input, schema-version
+/// mismatch, or a line the exporter could not have produced.
+bool mergeStatsExports(const std::vector<std::string> &Paths,
+                       obs::Registry &Out, std::string &Error);
+
+} // namespace dagio
+} // namespace marion
+
+#endif // MARION_DAGIO_CORPUS_H

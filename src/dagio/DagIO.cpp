@@ -1,0 +1,706 @@
+//===- DagIO.cpp ----------------------------------------------------------==//
+
+#include "dagio/DagIO.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+using namespace marion;
+using namespace marion::dagio;
+using namespace marion::target;
+
+//===----------------------------------------------------------------------===//
+// Escaping and small lexical helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isSafeChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '$' || C == '-';
+}
+
+/// Percent-escapes bytes outside the safe set (and '%' itself) so names
+/// tokenize on spaces and survive round-trips byte-exactly.
+std::string escapeName(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (isSafeChar(C)) {
+      Out.push_back(C);
+    } else {
+      char Buf[4];
+      std::snprintf(Buf, sizeof(Buf), "%%%02x",
+                    static_cast<unsigned>(static_cast<unsigned char>(C)));
+      Out += Buf;
+    }
+  }
+  return Out;
+}
+
+bool hexVal(char C, int &V) {
+  if (C >= '0' && C <= '9') {
+    V = C - '0';
+    return true;
+  }
+  if (C >= 'a' && C <= 'f') {
+    V = C - 'a' + 10;
+    return true;
+  }
+  if (C >= 'A' && C <= 'F') {
+    V = C - 'A' + 10;
+    return true;
+  }
+  return false;
+}
+
+bool unescapeName(const std::string &S, std::string &Out) {
+  Out.clear();
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '%') {
+      Out.push_back(S[I]);
+      continue;
+    }
+    int Hi, Lo;
+    if (I + 2 >= S.size() || !hexVal(S[I + 1], Hi) || !hexVal(S[I + 2], Lo))
+      return false;
+    Out.push_back(static_cast<char>(Hi * 16 + Lo));
+    I += 2;
+  }
+  return true;
+}
+
+/// Strict decimal parse of a whole token (optional leading '-').
+bool parseInt64(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  size_t I = S[0] == '-' ? 1 : 0;
+  if (I == S.size())
+    return false;
+  int64_t V = 0;
+  for (; I < S.size(); ++I) {
+    if (S[I] < '0' || S[I] > '9')
+      return false;
+    if (V > (INT64_MAX - (S[I] - '0')) / 10)
+      return false; // Overflow.
+    V = V * 10 + (S[I] - '0');
+  }
+  Out = S[0] == '-' ? -V : V;
+  return true;
+}
+
+bool parseIntRange(const std::string &S, int Lo, int Hi, int &Out) {
+  int64_t V;
+  if (!parseInt64(S, V) || V < Lo || V > Hi)
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
+std::vector<std::string> splitWords(const std::string &Line) {
+  std::vector<std::string> Out;
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && Line[I] == ' ')
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && Line[I] != ' ')
+      ++I;
+    if (I > Start)
+      Out.push_back(Line.substr(Start, I - Start));
+  }
+  return Out;
+}
+
+std::string fingerprintHex(uint64_t FP) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(FP));
+  return Buf;
+}
+
+bool parseHex64(const std::string &S, uint64_t &Out) {
+  if (S.size() != 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    int D;
+    if (!hexVal(C, D))
+      return false;
+    V = (V << 4) | static_cast<uint64_t>(D);
+  }
+  Out = V;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Operand tokens
+//===----------------------------------------------------------------------===//
+
+std::string operandToken(const MOperand &Op) {
+  switch (Op.K) {
+  case MOperand::Kind::None:
+    return "_";
+  case MOperand::Kind::Phys: {
+    std::string T = "P" + std::to_string(Op.Phys.Bank) + ":" +
+                    std::to_string(Op.Phys.Index);
+    if (Op.SubReg >= 0)
+      T += ":s" + std::to_string(Op.SubReg);
+    return T;
+  }
+  case MOperand::Kind::Pseudo: {
+    std::string T = "V" + std::to_string(Op.PseudoId);
+    if (Op.SubReg >= 0)
+      T += ":s" + std::to_string(Op.SubReg);
+    return T;
+  }
+  case MOperand::Kind::Imm:
+    return "#" + std::to_string(Op.Imm);
+  case MOperand::Kind::Symbol:
+    return "@" + escapeName(Op.Sym) + ":" + std::to_string(Op.Offset);
+  case MOperand::Kind::Label:
+    return "L" + std::to_string(Op.BlockId);
+  }
+  return "_";
+}
+
+/// Splits "a:b:c" into parts. Empty parts are preserved (and rejected by the
+/// numeric parses downstream).
+std::vector<std::string> splitColons(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (true) {
+    size_t Colon = S.find(':', Pos);
+    if (Colon == std::string::npos) {
+      Out.push_back(S.substr(Pos));
+      return Out;
+    }
+    Out.push_back(S.substr(Pos, Colon - Pos));
+    Pos = Colon + 1;
+  }
+}
+
+constexpr int kMaxIndex = 1 << 24; ///< Sanity cap on every parsed index.
+
+bool parseOperandToken(const std::string &Tok, size_t NumPseudos,
+                       MOperand &Op, std::string &Why) {
+  Op = MOperand();
+  if (Tok == "_")
+    return true;
+  if (Tok.size() < 2) {
+    Why = "operand token too short";
+    return false;
+  }
+  const std::string Body = Tok.substr(1);
+  switch (Tok[0]) {
+  case 'P': {
+    std::vector<std::string> Parts = splitColons(Body);
+    if (Parts.size() < 2 || Parts.size() > 3) {
+      Why = "bad phys operand '" + Tok + "'";
+      return false;
+    }
+    Op.K = MOperand::Kind::Phys;
+    if (!parseIntRange(Parts[0], 0, kMaxIndex, Op.Phys.Bank) ||
+        !parseIntRange(Parts[1], -kMaxIndex, kMaxIndex, Op.Phys.Index)) {
+      Why = "bad phys operand '" + Tok + "'";
+      return false;
+    }
+    if (Parts.size() == 3) {
+      if (Parts[2].size() < 2 || Parts[2][0] != 's' ||
+          !parseIntRange(Parts[2].substr(1), 0, kMaxIndex, Op.SubReg)) {
+        Why = "bad subreg in '" + Tok + "'";
+        return false;
+      }
+    }
+    return true;
+  }
+  case 'V': {
+    std::vector<std::string> Parts = splitColons(Body);
+    if (Parts.size() < 1 || Parts.size() > 2) {
+      Why = "bad pseudo operand '" + Tok + "'";
+      return false;
+    }
+    Op.K = MOperand::Kind::Pseudo;
+    if (!parseIntRange(Parts[0], 0, kMaxIndex, Op.PseudoId) ||
+        Op.PseudoId >= static_cast<int>(NumPseudos)) {
+      Why = "pseudo id out of range in '" + Tok + "'";
+      return false;
+    }
+    if (Parts.size() == 2) {
+      if (Parts[1].size() < 2 || Parts[1][0] != 's' ||
+          !parseIntRange(Parts[1].substr(1), 0, kMaxIndex, Op.SubReg)) {
+        Why = "bad subreg in '" + Tok + "'";
+        return false;
+      }
+    }
+    return true;
+  }
+  case '#':
+    Op.K = MOperand::Kind::Imm;
+    if (!parseInt64(Body, Op.Imm)) {
+      Why = "bad immediate '" + Tok + "'";
+      return false;
+    }
+    return true;
+  case '@': {
+    size_t Colon = Body.rfind(':');
+    if (Colon == std::string::npos) {
+      Why = "symbol operand missing offset '" + Tok + "'";
+      return false;
+    }
+    Op.K = MOperand::Kind::Symbol;
+    if (!unescapeName(Body.substr(0, Colon), Op.Sym) || Op.Sym.empty() ||
+        !parseInt64(Body.substr(Colon + 1), Op.Offset)) {
+      Why = "bad symbol operand '" + Tok + "'";
+      return false;
+    }
+    return true;
+  }
+  case 'L':
+    Op.K = MOperand::Kind::Label;
+    if (!parseIntRange(Body, 0, kMaxIndex, Op.BlockId)) {
+      Why = "bad label operand '" + Tok + "'";
+      return false;
+    }
+    return true;
+  default:
+    Why = "unknown operand token '" + Tok + "'";
+    return false;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string dagio::serializeDag(const MFunction &Fn, const MBlock &Block,
+                                const TargetInfo &Target,
+                                const std::string &ModuleName) {
+  std::string Out;
+  Out.reserve(256 + Block.Instrs.size() * 48);
+  Out += "%MDAG " + std::to_string(kDagFormatVersion) + "\n";
+  Out += "%MACHINE " + escapeName(Target.name()) + " " +
+         fingerprintHex(Target.fingerprint()) + "\n";
+  Out += "%MODULE " + escapeName(ModuleName) + "\n";
+  Out += "%FUNCTION " + escapeName(Fn.Name) + " " +
+         std::to_string(static_cast<int>(Fn.ReturnType)) + " " +
+         (Fn.IsAllocated ? "1" : "0") + "\n";
+  Out += "%BLOCK " + std::to_string(Block.Id) + " " + escapeName(Block.Label) +
+         "\n";
+
+  Out += "%PSEUDOS " + std::to_string(Fn.Pseudos.size()) + "\n";
+  for (const PseudoInfo &P : Fn.Pseudos)
+    Out += "p " + std::to_string(P.Bank) + " " + std::to_string(P.TempId) +
+           " " + escapeName(P.Name) + "\n";
+
+  Out += "%INSTRS " + std::to_string(Block.Instrs.size()) + "\n";
+  for (const MInstr &MI : Block.Instrs) {
+    Out += "i " + std::to_string(MI.InstrId) + " " +
+           escapeName(Target.instr(MI.InstrId).mnemonic()) + " " +
+           std::to_string(MI.Ops.size());
+    for (const MOperand &Op : MI.Ops)
+      Out += " " + operandToken(Op);
+    if (!MI.ImplicitUses.empty()) {
+      Out += " ;";
+      for (const PhysReg &Reg : MI.ImplicitUses)
+        Out += " " + std::to_string(Reg.Bank) + ":" +
+               std::to_string(Reg.Index);
+    }
+    Out += "\n";
+  }
+
+  // The dependence DAG, rebuilt fresh with default options (all edge types,
+  // no protection prepass) — exactly what the build-dag pass constructs.
+  // Node/edge order is the deterministic build order (insertion order over
+  // the code thread; int-keyed containers only), so equal inputs serialize
+  // to equal bytes.
+  sched::CodeDAG Dag(Fn, Block, Target);
+  Out += "%EDGES " + std::to_string(Dag.edges().size()) + "\n";
+  for (const sched::DagEdge &E : Dag.edges()) {
+    Out += "e " + std::to_string(E.From) + " " + std::to_string(E.To) + " " +
+           std::to_string(E.Latency) + " " + std::to_string(E.Type);
+    if (E.Temporal)
+      Out += " T" + std::to_string(E.Clock);
+    Out += "\n";
+  }
+
+  sched::CodeDAG Prioritized(Fn, Block, Target);
+  Prioritized.computePriorities();
+  int Crit = 0;
+  for (const sched::DagNode &N : Prioritized.nodes())
+    Crit = std::max(Crit, N.Priority);
+  Out += "%CRITPATH " + std::to_string(Crit) + "\n";
+  Out += "%END\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Line-oriented cursor over the document with positioned errors.
+struct Cursor {
+  const std::string &Text;
+  size_t Pos = 0;
+  int LineNo = 0;
+  std::string Line;
+
+  explicit Cursor(const std::string &Text) : Text(Text) {}
+
+  bool next() {
+    if (Pos >= Text.size())
+      return false;
+    size_t NL = Text.find('\n', Pos);
+    if (NL == std::string::npos) {
+      Line = Text.substr(Pos);
+      Pos = Text.size();
+    } else {
+      Line = Text.substr(Pos, NL - Pos);
+      Pos = NL + 1;
+    }
+    ++LineNo;
+    return true;
+  }
+};
+
+bool fail(const Cursor &C, const std::string &Why, std::string &Error) {
+  Error = "line " + std::to_string(C.LineNo) + ": " + Why;
+  return false;
+}
+
+/// Reads the next line and checks it opens with \p Keyword; returns the
+/// remaining words.
+bool expectDirective(Cursor &C, const char *Keyword,
+                     std::vector<std::string> &Words, std::string &Error) {
+  if (!C.next())
+    return fail(C, std::string("truncated file: expected ") + Keyword, Error);
+  Words = splitWords(C.Line);
+  if (Words.empty() || Words[0] != Keyword)
+    return fail(C, std::string("expected ") + Keyword + ", got '" + C.Line +
+                       "'",
+                Error);
+  Words.erase(Words.begin());
+  return true;
+}
+
+bool parseCount(const Cursor &C, const std::vector<std::string> &Words,
+                const char *What, int &N, std::string &Error) {
+  if (Words.size() != 1 || !parseIntRange(Words[0], 0, kMaxIndex, N))
+    return fail(C, std::string("bad ") + What + " count", Error);
+  return true;
+}
+
+} // namespace
+
+bool dagio::parseDag(const std::string &Text, DagFile &Out,
+                     std::string &Error) {
+  Out = DagFile();
+  Cursor C(Text);
+  std::vector<std::string> W;
+
+  if (!expectDirective(C, "%MDAG", W, Error))
+    return false;
+  if (W.size() != 1 || !parseIntRange(W[0], 0, kMaxIndex, Out.Version))
+    return fail(C, "bad version", Error);
+  if (Out.Version != kDagFormatVersion)
+    return fail(C,
+                "unsupported format version " + std::to_string(Out.Version) +
+                    " (this reader understands " +
+                    std::to_string(kDagFormatVersion) + ")",
+                Error);
+
+  if (!expectDirective(C, "%MACHINE", W, Error))
+    return false;
+  if (W.size() != 2 || !unescapeName(W[0], Out.Machine) ||
+      Out.Machine.empty() || !parseHex64(W[1], Out.Fingerprint))
+    return fail(C, "bad %MACHINE line (want: name 16-hex-fingerprint)", Error);
+
+  if (!expectDirective(C, "%MODULE", W, Error))
+    return false;
+  if (W.size() != 1 || !unescapeName(W[0], Out.Module) || Out.Module.empty())
+    return fail(C, "bad %MODULE line", Error);
+
+  if (!expectDirective(C, "%FUNCTION", W, Error))
+    return false;
+  int Ret = 0, Alloc = 0;
+  if (W.size() != 3 || !unescapeName(W[0], Out.Function) ||
+      Out.Function.empty() || !parseIntRange(W[1], 0, 3, Ret) ||
+      !parseIntRange(W[2], 0, 1, Alloc))
+    return fail(C, "bad %FUNCTION line (want: name ret-type allocated)",
+                Error);
+  Out.ReturnType = static_cast<ValueType>(Ret);
+  Out.IsAllocated = Alloc != 0;
+
+  if (!expectDirective(C, "%BLOCK", W, Error))
+    return false;
+  if (W.size() < 1 || W.size() > 2 ||
+      !parseIntRange(W[0], 0, kMaxIndex, Out.BlockId) ||
+      (W.size() == 2 && !unescapeName(W[1], Out.BlockLabel)))
+    return fail(C, "bad %BLOCK line", Error);
+
+  int N = 0;
+  if (!expectDirective(C, "%PSEUDOS", W, Error) ||
+      !parseCount(C, W, "pseudo", N, Error))
+    return false;
+  for (int I = 0; I < N; ++I) {
+    if (!C.next())
+      return fail(C, "truncated pseudo table", Error);
+    W = splitWords(C.Line);
+    PseudoInfo P;
+    if (W.size() < 3 || W.size() > 4 || W[0] != "p" ||
+        !parseIntRange(W[1], -1, kMaxIndex, P.Bank) ||
+        !parseIntRange(W[2], -1, kMaxIndex, P.TempId) ||
+        (W.size() == 4 && !unescapeName(W[3], P.Name)))
+      return fail(C, "bad pseudo record", Error);
+    Out.Pseudos.push_back(std::move(P));
+  }
+
+  if (!expectDirective(C, "%INSTRS", W, Error) ||
+      !parseCount(C, W, "instruction", N, Error))
+    return false;
+  for (int I = 0; I < N; ++I) {
+    if (!C.next())
+      return fail(C, "truncated instruction list", Error);
+    W = splitWords(C.Line);
+    MInstr MI;
+    int NumOps = 0;
+    std::string Mnemonic;
+    if (W.size() < 4 || W[0] != "i" ||
+        !parseIntRange(W[1], 0, kMaxIndex, MI.InstrId) ||
+        !unescapeName(W[2], Mnemonic) ||
+        !parseIntRange(W[3], 0, kMaxIndex, NumOps))
+      return fail(C, "bad instruction record", Error);
+    size_t Field = 4;
+    for (int Op = 0; Op < NumOps; ++Op) {
+      if (Field >= W.size())
+        return fail(C, "instruction has fewer operands than declared", Error);
+      MOperand Parsed;
+      std::string Why;
+      if (!parseOperandToken(W[Field], Out.Pseudos.size(), Parsed, Why))
+        return fail(C, Why, Error);
+      MI.Ops.push_back(std::move(Parsed));
+      ++Field;
+    }
+    if (Field < W.size()) {
+      if (W[Field] != ";")
+        return fail(C, "trailing junk after operands (expected ';')", Error);
+      ++Field;
+      for (; Field < W.size(); ++Field) {
+        std::vector<std::string> Parts = splitColons(W[Field]);
+        PhysReg Reg;
+        if (Parts.size() != 2 ||
+            !parseIntRange(Parts[0], 0, kMaxIndex, Reg.Bank) ||
+            !parseIntRange(Parts[1], -kMaxIndex, kMaxIndex, Reg.Index))
+          return fail(C, "bad implicit-use register '" + W[Field] + "'",
+                      Error);
+        MI.ImplicitUses.push_back(Reg);
+      }
+    }
+    Out.Instrs.push_back(std::move(MI));
+  }
+
+  if (!expectDirective(C, "%EDGES", W, Error) ||
+      !parseCount(C, W, "edge", N, Error))
+    return false;
+  const int NumNodes = static_cast<int>(Out.Instrs.size());
+  for (int I = 0; I < N; ++I) {
+    if (!C.next())
+      return fail(C, "truncated edge list", Error);
+    W = splitWords(C.Line);
+    sched::DagEdge E;
+    if (W.size() < 5 || W.size() > 6 || W[0] != "e" ||
+        !parseIntRange(W[1], 0, kMaxIndex, E.From) ||
+        !parseIntRange(W[2], 0, kMaxIndex, E.To) ||
+        !parseIntRange(W[3], 0, kMaxIndex, E.Latency) ||
+        !parseIntRange(W[4], 1, 3, E.Type))
+      return fail(C, "bad edge record", Error);
+    if (E.From >= NumNodes || E.To >= NumNodes || E.From == E.To)
+      return fail(C,
+                  "edge node out of range (" + std::to_string(E.From) +
+                      " -> " + std::to_string(E.To) + " of " +
+                      std::to_string(NumNodes) + " nodes)",
+                  Error);
+    if (W.size() == 6) {
+      if (W[5].size() < 2 || W[5][0] != 'T' ||
+          !parseIntRange(W[5].substr(1), 0, kMaxIndex, E.Clock))
+        return fail(C, "bad temporal tag '" + W[5] + "'", Error);
+      E.Temporal = true;
+    }
+    Out.Edges.push_back(E);
+  }
+
+  if (!expectDirective(C, "%CRITPATH", W, Error))
+    return false;
+  if (W.size() != 1 || !parseIntRange(W[0], 0, kMaxIndex, Out.CriticalPath))
+    return fail(C, "bad %CRITPATH line", Error);
+
+  if (!expectDirective(C, "%END", W, Error))
+    return false;
+  if (!W.empty())
+    return fail(C, "trailing junk on %END", Error);
+  while (C.next())
+    if (!splitWords(C.Line).empty())
+      return fail(C, "content after %END", Error);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Reconstruction and verification
+//===----------------------------------------------------------------------===//
+
+bool dagio::fingerprintMatches(const DagFile &F, const TargetInfo &Target) {
+  return F.Machine == Target.name() && F.Fingerprint == Target.fingerprint();
+}
+
+MFunction dagio::reconstructFunction(const DagFile &F) {
+  MFunction Fn;
+  Fn.Name = F.Function;
+  Fn.ReturnType = F.ReturnType;
+  Fn.IsAllocated = F.IsAllocated;
+  Fn.Pseudos = F.Pseudos;
+  MBlock Block;
+  Block.Id = F.BlockId;
+  Block.Label = F.BlockLabel;
+  Block.Instrs = F.Instrs;
+  Fn.Blocks.push_back(std::move(Block));
+  return Fn;
+}
+
+bool dagio::verifyDag(const DagFile &F, const TargetInfo &Target,
+                      std::string &Error) {
+  const int NumInstrs = static_cast<int>(Target.instructions().size());
+  for (size_t I = 0; I < F.Instrs.size(); ++I) {
+    const MInstr &MI = F.Instrs[I];
+    if (MI.InstrId < 0 || MI.InstrId >= NumInstrs) {
+      Error = "instruction " + std::to_string(I) + ": id " +
+              std::to_string(MI.InstrId) + " out of range for machine '" +
+              Target.name() + "' (" + std::to_string(NumInstrs) + " instrs)";
+      return false;
+    }
+  }
+
+  MFunction Fn = reconstructFunction(F);
+  sched::CodeDAG Dag(Fn, Fn.Blocks[0], Target);
+  const std::vector<sched::DagEdge> &Built = Dag.edges();
+  if (Built.size() != F.Edges.size()) {
+    Error = "rebuilt DAG has " + std::to_string(Built.size()) +
+            " edges, dump has " + std::to_string(F.Edges.size());
+    return false;
+  }
+  for (size_t I = 0; I < Built.size(); ++I) {
+    const sched::DagEdge &A = Built[I];
+    const sched::DagEdge &B = F.Edges[I];
+    if (A.From != B.From || A.To != B.To || A.Latency != B.Latency ||
+        A.Type != B.Type || A.Temporal != B.Temporal ||
+        (A.Temporal && A.Clock != B.Clock)) {
+      Error = "edge " + std::to_string(I) + " differs from the rebuilt DAG (" +
+              std::to_string(B.From) + "->" + std::to_string(B.To) +
+              " vs rebuilt " + std::to_string(A.From) + "->" +
+              std::to_string(A.To) + ")";
+      return false;
+    }
+  }
+
+  Dag.computePriorities();
+  int Crit = 0;
+  for (const sched::DagNode &Node : Dag.nodes())
+    Crit = std::max(Crit, Node.Priority);
+  if (Crit != F.CriticalPath) {
+    Error = "critical path mismatch: dump says " +
+            std::to_string(F.CriticalPath) + ", rebuilt DAG says " +
+            std::to_string(Crit);
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Filesystem helpers
+//===----------------------------------------------------------------------===//
+
+std::string dagio::dagFileName(const std::string &Machine,
+                               const std::string &Module,
+                               const std::string &Function, int BlockId) {
+  char Block[16];
+  std::snprintf(Block, sizeof(Block), "b%03d", BlockId);
+  return escapeName(Machine) + "." + escapeName(Module) + "." +
+         escapeName(Function) + "." + Block + ".mdag";
+}
+
+bool dagio::ensureDir(const std::string &Dir, std::string &Error) {
+  if (Dir.empty()) {
+    Error = "empty directory name";
+    return false;
+  }
+  // mkdir -p: create each prefix, tolerating ones that already exist.
+  for (size_t I = 1; I <= Dir.size(); ++I) {
+    if (I != Dir.size() && Dir[I] != '/')
+      continue;
+    std::string Prefix = Dir.substr(0, I);
+    if (Prefix.empty() || Prefix == "/")
+      continue;
+    if (mkdir(Prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      Error = "cannot create directory '" + Prefix + "': " +
+              std::strerror(errno);
+      return false;
+    }
+  }
+  struct stat St;
+  if (stat(Dir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode)) {
+    Error = "'" + Dir + "' is not a directory";
+    return false;
+  }
+  return true;
+}
+
+bool dagio::writeFileAtomic(const std::string &Path, const std::string &Text,
+                            std::string &Error) {
+  std::string Tmp = Path + ".tmp." + std::to_string(getpid());
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    Error = "cannot write '" + Tmp + "': " + std::strerror(errno);
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    Error = "short write to '" + Tmp + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = "cannot rename '" + Tmp + "' to '" + Path + "': " +
+            std::strerror(errno);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool dagio::listDagFiles(const std::string &Dir,
+                         std::vector<std::string> &Names, std::string &Error) {
+  Names.clear();
+  DIR *D = opendir(Dir.c_str());
+  if (!D) {
+    Error = "cannot open directory '" + Dir + "': " + std::strerror(errno);
+    return false;
+  }
+  while (struct dirent *Ent = readdir(D)) {
+    std::string Name = Ent->d_name;
+    if (Name.size() > 5 && Name.rfind(".mdag") == Name.size() - 5)
+      Names.push_back(Name);
+  }
+  closedir(D);
+  std::sort(Names.begin(), Names.end());
+  return true;
+}

@@ -1,0 +1,140 @@
+//===- DagIO.h - Schedule-DAG interchange format (.mdag) ----------*- C++ -*-==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedule-DAG interchange format (DESIGN.md §15): a stable, versioned,
+/// human-readable text serialization of one post-selection basic block and
+/// everything the list scheduler reads when re-scheduling it — the enclosing
+/// function's pseudo-register table, return type and allocation state, the
+/// block's instructions in code-thread order with exact operand round-trip,
+/// and the typed dependence edges of the CodeDAG built over them. A `.mdag`
+/// file is self-contained: `marion-sched-bench` re-schedules it bit-identically
+/// to the in-process build-dag → sched path without the frontend.
+///
+/// The header pins the machine by name *and* `TargetInfo::fingerprint()`, so
+/// a dump taken against edited machine tables is rejected as stale rather
+/// than silently re-scheduled against different latencies.
+///
+/// Grammar (one record per line, fields space-separated; names are
+/// percent-escaped; see DESIGN.md §15 for the full rules):
+///
+///   %MDAG 1
+///   %MACHINE <name> <16-hex-fingerprint>
+///   %MODULE <name>
+///   %FUNCTION <name> <return-type 0..3> <allocated 0|1>
+///   %BLOCK <id> <label>
+///   %PSEUDOS <n>        then n lines  p <bank> <tempid> <name>
+///   %INSTRS <n>         then n lines  i <instr-id> <mnemonic> <nops> <op>...
+///                                       [; <bank>:<idx>...]   (implicit uses)
+///   %EDGES <n>          then n lines  e <from> <to> <latency> <type> [T<clk>]
+///   %CRITPATH <cycles>
+///   %END
+///
+/// Operand tokens: `_` none · `P<bank>:<idx>[:s<sub>]` phys ·
+/// `V<id>[:s<sub>]` pseudo · `#<imm>` immediate · `@<sym>:<offset>` symbol ·
+/// `L<block-id>` label.
+///
+/// The parser is bounds-checked end to end: every count is cross-checked
+/// against the lines actually present, every node/pseudo/bank index is range
+/// checked, and any violation produces a diagnostic ("line N: ...") instead
+/// of a crash — malformed corpora are data, not trusted input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARION_DAGIO_DAGIO_H
+#define MARION_DAGIO_DAGIO_H
+
+#include "sched/CodeDAG.h"
+#include "target/MInstr.h"
+#include "target/TargetInfo.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marion {
+namespace dagio {
+
+/// Format version written by serializeDag; parseDag rejects others.
+constexpr int kDagFormatVersion = 1;
+
+/// One parsed (or to-be-written) .mdag document.
+struct DagFile {
+  int Version = kDagFormatVersion;
+  std::string Machine;
+  uint64_t Fingerprint = 0;
+  std::string Module;
+  std::string Function;
+  ValueType ReturnType = ValueType::None;
+  bool IsAllocated = false;
+  int BlockId = -1;
+  std::string BlockLabel;
+  std::vector<target::PseudoInfo> Pseudos;
+  std::vector<target::MInstr> Instrs;
+  /// The dependence edges of the default-options CodeDAG over Instrs, in
+  /// build order. Redundant with Instrs (the scheduler rebuilds its own
+  /// DAG), carried for frontend-free analysis and as an integrity
+  /// cross-check (verifyDag).
+  std::vector<sched::DagEdge> Edges;
+  /// Critical path: max node priority of the dumped DAG (computePriorities).
+  int CriticalPath = 0;
+};
+
+/// Serializes \p Block of \p Fn (selected, pre-allocation machine code)
+/// against \p Target into the .mdag text form. Deterministic: equal inputs
+/// produce equal bytes (the CodeDAG build is pointer-independent; see
+/// sched/CodeDAG.cpp).
+std::string serializeDag(const target::MFunction &Fn,
+                         const target::MBlock &Block,
+                         const target::TargetInfo &Target,
+                         const std::string &ModuleName);
+
+/// Parses .mdag text. Returns false and sets \p Error ("line N: ...") on any
+/// malformed, truncated or out-of-range input; never throws or crashes.
+bool parseDag(const std::string &Text, DagFile &Out, std::string &Error);
+
+/// True when \p Target is the machine \p F was dumped against: same name and
+/// same table fingerprint. A false return means the dump is stale.
+bool fingerprintMatches(const DagFile &F, const target::TargetInfo &Target);
+
+/// Rebuilds the single-block MFunction the scheduler consumes:
+/// Fn.Blocks[0] holds the instructions, and Pseudos/ReturnType/IsAllocated/
+/// Name are exactly as dumped — everything computeSchedule reads.
+target::MFunction reconstructFunction(const DagFile &F);
+
+/// Deep integrity check against a (fingerprint-matching) target: instruction
+/// ids in range with matching mnemonics, and the CodeDAG rebuilt from the
+/// instruction stream equal to the dumped edge list and critical path.
+/// Returns false and sets \p Error on the first mismatch.
+bool verifyDag(const DagFile &F, const target::TargetInfo &Target,
+               std::string &Error);
+
+/// The canonical dump file name: <machine>.<module>.<fn>.b<NNN>.mdag with
+/// module/function names escaped to filename-safe characters. Deterministic,
+/// and distinct per block — which is what makes --shards=N dumps (shards
+/// partition whole files/modules) byte-identical to a serial dump.
+std::string dagFileName(const std::string &Machine, const std::string &Module,
+                        const std::string &Function, int BlockId);
+
+/// Creates \p Dir (and parents). Returns false with \p Error on failure.
+bool ensureDir(const std::string &Dir, std::string &Error);
+
+/// Writes \p Text to \p Path via a temp file + atomic rename, so concurrent
+/// writers (shard retries re-dumping the same block) never leave a torn
+/// file. Returns false with \p Error on failure.
+bool writeFileAtomic(const std::string &Path, const std::string &Text,
+                     std::string &Error);
+
+/// Lists the .mdag files directly under \p Dir, sorted by name (the
+/// deterministic corpus order). Returns false with \p Error when the
+/// directory cannot be read.
+bool listDagFiles(const std::string &Dir, std::vector<std::string> &Names,
+                  std::string &Error);
+
+} // namespace dagio
+} // namespace marion
+
+#endif // MARION_DAGIO_DAGIO_H

@@ -5,6 +5,7 @@
 #include "cache/CacheKey.h"
 #include "cache/CompileCache.h"
 #include "cache/MIRCodec.h"
+#include "dagio/DagIO.h"
 #include "frontend/Frontend.h"
 #include "obs/Trace.h"
 #include "pipeline/Passes.h"
@@ -101,6 +102,15 @@ std::optional<Compilation> driver::compileModule(il::Module &Mod,
     FS.Strat = Opts.Strat;
     FS.Select.UseBuckets = Opts.UseBuckets;
     FS.Cache = Opts.Cache;
+    FS.DumpDagDir = Opts.DumpDags;
+    FS.ModuleName = Mod.Name;
+  }
+  if (!Opts.DumpDags.empty()) {
+    std::string DirError;
+    if (!dagio::ensureDir(Opts.DumpDags, DirError)) {
+      Diags.error({}, "--dump-dags: " + DirError);
+      return std::nullopt;
+    }
   }
 
   pipeline::PipelineOptions PO;
@@ -114,7 +124,10 @@ std::optional<Compilation> driver::compileModule(il::Module &Mod,
   // installed. The key is derived from the pre-glue IL, before any pass
   // mutates it. Disabled under --dump-after: skipped passes would change
   // the dump transcript.
-  const bool UseFinalTier = Opts.Cache && Opts.DumpAfter.empty();
+  // (Also disabled under --dump-dags: a final-tier hit skips build-dag,
+  // which would silently skip the dump emission.)
+  const bool UseFinalTier =
+      Opts.Cache && Opts.DumpAfter.empty() && Opts.DumpDags.empty();
   auto compileOne = [&](pipeline::PassManager &PM, size_t I) -> bool {
     pipeline::FunctionState &FS = States[I];
     if (!UseFinalTier)

@@ -48,6 +48,11 @@ struct CompileOptions {
   /// Compilation::Dumps ("all" = after every pass); see
   /// pipeline::registeredPassNames().
   std::vector<std::string> DumpAfter;
+  /// When non-empty, the build-dag pass dumps one .mdag schedule-DAG
+  /// interchange file per non-empty block into this directory (created on
+  /// demand); marion-sched-bench re-schedules such dumps without the
+  /// frontend. See DESIGN.md §15.
+  std::string DumpDags;
   /// The compile cache (DESIGN.md §10), or null for no caching. Two tiers
   /// are consulted: the select pass reuses strategy-independent selected
   /// MIR, and the driver reuses whole finished functions when the strategy

@@ -66,6 +66,11 @@ struct FunctionState {
   std::vector<double> BlockSpillWeight;
   /// Rendered --dump-after output, merged by the driver in source order.
   std::string Dumps;
+  /// When non-empty, the build-dag pass writes one .mdag interchange file
+  /// per non-empty block into this directory (driver --dump-dags).
+  std::string DumpDagDir;
+  /// Source module name, used in .mdag headers and file names.
+  std::string ModuleName;
   /// The compile cache (DESIGN.md §10), or null when caching is off. The
   /// select pass consults it; the store is internally synchronized, so
   /// sharing one pointer across -jN workers is safe.

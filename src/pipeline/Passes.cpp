@@ -5,6 +5,7 @@
 #include "cache/CacheKey.h"
 #include "cache/CompileCache.h"
 #include "cache/MIRCodec.h"
+#include "dagio/DagIO.h"
 #include "obs/Trace.h"
 #include "regalloc/Allocator.h"
 #include "sched/CodeDAG.h"
@@ -119,6 +120,11 @@ Pass pipeline::createBuildDagPass() {
             // order, so the stats match the serial loop exactly.
             const MFunction &Fn = *FS.MF;
             std::vector<std::pair<long, long>> Counts(Fn.Blocks.size());
+            // --dump-dags: one .mdag interchange file per non-empty block.
+            // Write failures are buffered per block and reported after the
+            // join — the DiagnosticEngine is not touched from pool workers.
+            std::vector<std::string> DumpErrors(
+                FS.DumpDagDir.empty() ? 0 : Fn.Blocks.size());
             auto BuildOne = [&](size_t B) {
               const MBlock &Block = Fn.Blocks[B];
               if (Block.Instrs.empty())
@@ -126,6 +132,15 @@ Pass pipeline::createBuildDagPass() {
               sched::CodeDAG Dag(Fn, Block, *FS.Target);
               Counts[B] = {static_cast<long>(Dag.nodes().size()),
                            static_cast<long>(Dag.edges().size())};
+              if (FS.DumpDagDir.empty())
+                return;
+              const std::string Text = dagio::serializeDag(
+                  Fn, Block, *FS.Target, FS.ModuleName);
+              const std::string Path =
+                  FS.DumpDagDir + "/" +
+                  dagio::dagFileName(FS.Target->name(), FS.ModuleName,
+                                     Fn.Name, Block.Id);
+              dagio::writeFileAtomic(Path, Text, DumpErrors[B]);
             };
             if (blockParallel(FS))
               support::TaskPool::instance().parallelFor(Fn.Blocks.size(),
@@ -137,7 +152,11 @@ Pass pipeline::createBuildDagPass() {
               FS.Stats.DagNodes += Nodes;
               FS.Stats.DagEdges += Edges;
             }
-            return true;
+            for (const std::string &E : DumpErrors)
+              if (!E.empty())
+                FS.Diags->error({}, "--dump-dags: " + E);
+            return std::all_of(DumpErrors.begin(), DumpErrors.end(),
+                               [](const std::string &E) { return E.empty(); });
           }};
 }
 

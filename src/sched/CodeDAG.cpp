@@ -1,4 +1,15 @@
 //===- CodeDAG.cpp --------------------------------------------------------==//
+//
+// Determinism audit (the .mdag dumper depends on this — see dagio/DagIO.h):
+// the DAG build is fully pointer-independent, the same discipline as the
+// target-table fingerprinter. Nodes are indexed by code-thread position;
+// edges append in instruction-scan order and are deduplicated through a
+// std::map keyed on (From, To) index pairs (never on addresses), with
+// last-def/last-use tracking likewise in ordered maps keyed by register
+// identity. Iterating nodes() and edges() therefore yields the same
+// sequence on every run and platform, so two compiles of one source dump
+// byte-identical .mdag files (tests/dagio_test.cpp asserts this).
+//===----------------------------------------------------------------------===//
 
 #include "sched/CodeDAG.h"
 

@@ -54,6 +54,13 @@ bool service::requestFromFrame(const shard::CompileRequestFrame &Frame,
         return false;
       }
       Req.Opts.DumpAfter.push_back(Name);
+    } else if (F.rfind("dump-dags:", 0) == 0) {
+      std::string Dir = F.substr(10);
+      if (Dir.empty()) {
+        Error = "empty directory in dump-dags flag";
+        return false;
+      }
+      Req.Opts.DumpDags = Dir;
     } else {
       Error = "unknown request flag '" + F + "'";
       return false;
@@ -82,6 +89,8 @@ shard::CompileRequestFrame service::frameFromRequest(const CompileRequest &Req) 
     Frame.Flags.push_back("trace");
   for (const std::string &D : Req.Opts.DumpAfter)
     Frame.Flags.push_back("dump:" + D);
+  if (!Req.Opts.DumpDags.empty())
+    Frame.Flags.push_back("dump-dags:" + Req.Opts.DumpDags);
   if (Req.Source)
     Frame.Source = *Req.Source;
   return Frame;

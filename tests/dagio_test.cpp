@@ -1,0 +1,416 @@
+//===- dagio_test.cpp - Schedule-DAG interchange subsystem ------------------==//
+//
+// The .mdag interchange format end to end (DESIGN.md §15): serialize →
+// parse → reconstruct round-trips bit-identically, two compiles of one
+// source dump byte-identical files (the CodeDAG determinism audit),
+// frontend-free re-scheduling matches the in-process build-dag→sched path
+// over the four paper machines × three strategy variants, malformed and
+// stale inputs are diagnosed rather than fatal, --shards=N dumps equal the
+// serial dump byte for byte, and stats-export merging sums per-shard runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dagio/Corpus.h"
+#include "dagio/DagIO.h"
+#include "frontend/Frontend.h"
+#include "select/GlueTransformer.h"
+#include "select/Selector.h"
+#include "service/CompileService.h"
+#include "support/Paths.h"
+#include "target/FuncEscape.h"
+
+#include "TestUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+using namespace marion;
+
+namespace {
+
+const char *kWorkloads[] = {
+    MARION_SOURCE_ROOT "/workloads/livermore.mc",
+    MARION_SOURCE_ROOT "/workloads/suite_matmul.mc",
+    MARION_SOURCE_ROOT "/workloads/suite_poly.mc",
+    MARION_SOURCE_ROOT "/workloads/suite_queens.mc",
+};
+const char *kMachines[] = {"toyp", "r2000", "m88000", "i860"};
+
+std::vector<std::string> workloadArgs() {
+  return {std::begin(kWorkloads), std::end(kWorkloads)};
+}
+
+std::string scratchDir() {
+  char Template[] = "/tmp/marion-dagio-test-XXXXXX";
+  const char *Dir = ::mkdtemp(Template);
+  EXPECT_NE(Dir, nullptr);
+  return Dir ? Dir : "/tmp";
+}
+
+void removeDir(const std::string &Dir) {
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+/// Selects every function of \p Path for \p Target the way the pipeline
+/// does (glue, then bucketed selection); functions that fail selection are
+/// skipped, mirroring the dumper.
+std::vector<target::MFunction>
+selectAll(const std::string &Path,
+          const std::shared_ptr<const target::TargetInfo> &Target) {
+  target::registerStandardEscapes();
+  std::vector<target::MFunction> Out;
+  DiagnosticEngine Diags;
+  auto Mod = frontend::compileFile(Path, Diags);
+  EXPECT_TRUE(Mod) << Diags.str();
+  if (!Mod)
+    return Out;
+  for (const auto &Fn : Mod->Functions) {
+    select::applyGlueTransforms(*Fn, *Target);
+    select::SelectorOptions SO;
+    SO.RunGlue = false;
+    target::MFunction MF;
+    DiagnosticEngine FnDiags;
+    if (select::selectFunctionInto(*Fn, *Target, MF, FnDiags, SO))
+      Out.push_back(std::move(MF));
+  }
+  return Out;
+}
+
+dagio::TargetResolver resolver() {
+  return [](const std::string &Machine) {
+    DiagnosticEngine Diags;
+    return driver::loadTarget(Machine, Diags);
+  };
+}
+
+/// The "3 strategies" sweep: postpass final, IPS prepass, RASE tight probe.
+std::vector<dagio::SchedVariant> threeStrategies() {
+  std::vector<dagio::SchedVariant> V;
+  std::string Error;
+  EXPECT_TRUE(dagio::variantsByName({"postpass", "ips-prepass", "rase-tight"},
+                                    V, Error))
+      << Error;
+  return V;
+}
+
+/// Serializes every non-empty block of every selectable function of
+/// \p Path for \p Machine, keyed by canonical dump file name.
+std::map<std::string, std::string> dumpAll(const std::string &Path,
+                                           const std::string &Machine) {
+  auto Target = test::machine(Machine);
+  std::map<std::string, std::string> Out;
+  for (const target::MFunction &Fn : selectAll(Path, Target))
+    for (const target::MBlock &Block : Fn.Blocks) {
+      if (Block.Instrs.empty())
+        continue;
+      Out[dagio::dagFileName(Machine, "m", Fn.Name, Block.Id)] =
+          dagio::serializeDag(Fn, Block, *Target, "m");
+    }
+  return Out;
+}
+
+std::string firstDag(const std::string &Machine) {
+  auto All = dumpAll(kWorkloads[1], Machine); // suite_matmul: selects on all.
+  EXPECT_FALSE(All.empty());
+  return All.empty() ? std::string() : All.begin()->second;
+}
+
+int runTool(const std::string &Exe, const std::vector<std::string> &Args,
+            std::string *OutText = nullptr) {
+  std::string Dir = scratchDir();
+  std::string Cmd = "'" + Exe + "'";
+  for (const std::string &A : Args)
+    Cmd += " '" + A + "'";
+  Cmd += " > '" + Dir + "/out' 2>&1";
+  int Status = std::system(Cmd.c_str());
+  if (OutText) {
+    std::string Error;
+    readFile(Dir + "/out", *OutText, Error);
+  }
+  removeDir(Dir);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+//===--------------------------------------------------------------------===//
+// Round trip and determinism
+//===--------------------------------------------------------------------===//
+
+TEST(DagIO, RoundTripBitIdentity) {
+  // parse(serialize(x)) reconstructs a function whose re-serialization is
+  // byte-identical, for every block of every workload × machine that
+  // selects.
+  for (const char *Machine : kMachines) {
+    auto Target = test::machine(Machine);
+    for (const char *W : kWorkloads)
+      for (const auto &[Name, Text] : dumpAll(W, Machine)) {
+        dagio::DagFile F;
+        std::string Error;
+        ASSERT_TRUE(dagio::parseDag(Text, F, Error)) << Name << ": " << Error;
+        EXPECT_TRUE(dagio::fingerprintMatches(F, *Target)) << Name;
+        EXPECT_TRUE(dagio::verifyDag(F, *Target, Error)) << Name << ": "
+                                                         << Error;
+        target::MFunction Fn = dagio::reconstructFunction(F);
+        ASSERT_EQ(Fn.Blocks.size(), 1u);
+        EXPECT_EQ(dagio::serializeDag(Fn, Fn.Blocks[0], *Target, F.Module),
+                  Text)
+            << Name;
+      }
+  }
+}
+
+TEST(DagIO, TwoCompilesDumpByteIdenticalFiles) {
+  // The CodeDAG determinism audit's regression: a fresh frontend parse and
+  // selection of the same source serializes every DAG to the same bytes.
+  for (const char *Machine : {"r2000", "i860"}) {
+    auto First = dumpAll(kWorkloads[0], Machine);
+    auto Second = dumpAll(kWorkloads[0], Machine);
+    EXPECT_EQ(First, Second) << Machine;
+    EXPECT_FALSE(First.empty());
+  }
+}
+
+TEST(DagIO, FileNameEscapesUnsafeCharacters) {
+  EXPECT_EQ(dagio::dagFileName("r2000", "mod", "fn", 7),
+            "r2000.mod.fn.b007.mdag");
+  const std::string Escaped = dagio::dagFileName("m", "a/b", "f n", 0);
+  EXPECT_EQ(Escaped.find('/'), std::string::npos);
+  EXPECT_EQ(Escaped.find(' '), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// Frontend-free re-scheduling equals the in-process path
+//===--------------------------------------------------------------------===//
+
+TEST(DagIO, ReScheduleMatchesInProcess) {
+  // Dump through the driver (--dump-dags wiring included), reload through
+  // runCorpus, and require totals bit-identical to the in-process frontend
+  // → glue → select → computeSchedule reference: 4 machines × 3 strategy
+  // variants over all workloads.
+  std::string Dir = scratchDir();
+  for (const char *Machine : kMachines)
+    for (const char *W : kWorkloads) {
+      DiagnosticEngine Diags;
+      driver::CompileOptions Opts;
+      Opts.Machine = Machine;
+      Opts.DumpDags = Dir;
+      // Failed functions (toyp/livermore, m88000/suite_poly) dump nothing;
+      // the in-process reference skips them symmetrically.
+      driver::compileFile(W, Opts, Diags);
+    }
+
+  const std::vector<dagio::SchedVariant> Variants = threeStrategies();
+  dagio::CorpusResult Corpus =
+      dagio::runCorpus(Dir, Variants, resolver(), nullptr, {});
+  removeDir(Dir);
+  for (const std::string &D : Corpus.Diags)
+    ADD_FAILURE() << D;
+  EXPECT_GE(Corpus.Loaded, 200) << "acceptance floor: >= 200 DAGs";
+  EXPECT_EQ(Corpus.Rejected, 0);
+
+  dagio::CorpusResult Ref = dagio::inProcessCorpus(
+      workloadArgs(), {std::begin(kMachines), std::end(kMachines)}, Variants,
+      resolver());
+  EXPECT_EQ(Corpus.Loaded, Ref.Loaded);
+  EXPECT_EQ(Corpus.Nodes, Ref.Nodes);
+  EXPECT_EQ(Corpus.Edges, Ref.Edges);
+  ASSERT_EQ(Corpus.Totals.size(), Ref.Totals.size());
+  for (const auto &[Key, Cell] : Ref.Totals) {
+    auto It = Corpus.Totals.find(Key);
+    ASSERT_NE(It, Corpus.Totals.end()) << Key.first << "/" << Key.second;
+    EXPECT_TRUE(It->second == Cell)
+        << Key.first << "/" << Key.second << ": corpus cycles "
+        << It->second.Cycles << " vs in-process " << Cell.Cycles;
+  }
+}
+
+TEST(DagIO, CommittedCorpusStillMatchesItsMachines) {
+  // The committed starter corpus under workloads/dags must stay loadable
+  // and verified against the current machine tables; a table edit that
+  // changes fingerprints shows up here as rejections (re-dump to fix).
+  dagio::CorpusResult R =
+      dagio::runCorpus(MARION_SOURCE_ROOT "/workloads/dags",
+                       dagio::standardVariants(), resolver(), nullptr, {});
+  for (const std::string &D : R.Diags)
+    ADD_FAILURE() << D;
+  EXPECT_GE(R.Loaded, 200);
+  EXPECT_EQ(R.Rejected, 0);
+}
+
+//===--------------------------------------------------------------------===//
+// Malformed input is diagnosed, never fatal
+//===--------------------------------------------------------------------===//
+
+TEST(DagIO, MalformedInputsDiagnosed) {
+  const std::string Good = firstDag("r2000");
+  ASSERT_FALSE(Good.empty());
+  dagio::DagFile F;
+  std::string Error;
+  ASSERT_TRUE(dagio::parseDag(Good, F, Error)) << Error;
+
+  const std::pair<const char *, std::string> Cases[] = {
+      {"empty input", ""},
+      {"wrong magic", "%MDAZ 1\n"},
+      {"future version", "%MDAG 999\n" + Good.substr(Good.find('\n') + 1)},
+      {"truncated mid-table", Good.substr(0, Good.size() / 2)},
+      {"missing %END", Good.substr(0, Good.rfind("%END"))},
+      {"trailing junk", Good + "extra\n"},
+  };
+  for (const auto &[Why, Text] : Cases) {
+    dagio::DagFile Out;
+    std::string E;
+    EXPECT_FALSE(dagio::parseDag(Text, Out, E)) << Why;
+    EXPECT_FALSE(E.empty()) << Why;
+  }
+
+  // Out-of-range indices: an edge pointing past the node count.
+  std::string Bad = Good;
+  size_t EdgePos = Bad.find("\ne ");
+  ASSERT_NE(EdgePos, std::string::npos);
+  Bad.replace(EdgePos, 3, "\ne 99999 ");
+  EXPECT_FALSE(dagio::parseDag(Bad, F, Error));
+  EXPECT_NE(Error.find("line"), std::string::npos) << Error;
+
+  // Count/line mismatch.
+  std::string Short = Good;
+  size_t N = Short.find("%EDGES ");
+  ASSERT_NE(N, std::string::npos);
+  Short.replace(N, 8, "%EDGES 9");
+  EXPECT_FALSE(dagio::parseDag(Short, F, Error));
+}
+
+TEST(DagIO, StaleFingerprintRejected) {
+  const std::string Good = firstDag("r2000");
+  dagio::DagFile F;
+  std::string Error;
+  ASSERT_TRUE(dagio::parseDag(Good, F, Error)) << Error;
+
+  auto R2000 = test::machine("r2000");
+  auto I860 = test::machine("i860");
+  EXPECT_TRUE(dagio::fingerprintMatches(F, *R2000));
+  EXPECT_FALSE(dagio::fingerprintMatches(F, *I860));
+
+  // A flipped fingerprint digit parses fine but is stale for its own
+  // machine — and runCorpus rejects (not crashes on) such a file.
+  std::string Stale = Good;
+  size_t Pos = Stale.find("%MACHINE r2000 ");
+  ASSERT_NE(Pos, std::string::npos);
+  Pos += std::strlen("%MACHINE r2000 ");
+  Stale[Pos] = Stale[Pos] == '0' ? '1' : '0';
+  ASSERT_TRUE(dagio::parseDag(Stale, F, Error)) << Error;
+  EXPECT_FALSE(dagio::fingerprintMatches(F, *R2000));
+
+  std::string Dir = scratchDir();
+  ASSERT_TRUE(dagio::writeFileAtomic(Dir + "/stale.mdag", Stale, Error))
+      << Error;
+  ASSERT_TRUE(dagio::writeFileAtomic(Dir + "/junk.mdag", "not a dag\n", Error))
+      << Error;
+  dagio::CorpusResult R = dagio::runCorpus(Dir, dagio::standardVariants(),
+                                           resolver(), nullptr, {});
+  removeDir(Dir);
+  EXPECT_EQ(R.Loaded, 0);
+  EXPECT_EQ(R.Rejected, 2);
+  ASSERT_EQ(R.Diags.size(), 2u);
+  bool SawStale = false;
+  for (const std::string &D : R.Diags)
+    SawStale = SawStale || D.find("stale") != std::string::npos;
+  EXPECT_TRUE(SawStale);
+}
+
+//===--------------------------------------------------------------------===//
+// Shard dumps, service frames, stats merge
+//===--------------------------------------------------------------------===//
+
+TEST(DagIO, ShardDumpEqualsSerialDump) {
+  // --shards=2 partitions files across child processes; deterministic
+  // per-block file names + atomic writes make the dump directory
+  // byte-identical to a serial run's.
+  std::string Serial = scratchDir(), Sharded = scratchDir();
+  std::vector<std::string> Base = workloadArgs();
+  Base.insert(Base.end(), {"--machine", "r2000"});
+
+  std::vector<std::string> A = Base;
+  A.push_back("--dump-dags=" + Serial);
+  EXPECT_EQ(runTool(MARION_MARIONC_PATH, A), 0);
+  std::vector<std::string> B = Base;
+  B.push_back("--dump-dags=" + Sharded);
+  B.push_back("--shards=2");
+  EXPECT_EQ(runTool(MARION_MARIONC_PATH, B), 0);
+
+  std::vector<std::string> NamesA, NamesB;
+  std::string Error;
+  ASSERT_TRUE(dagio::listDagFiles(Serial, NamesA, Error)) << Error;
+  ASSERT_TRUE(dagio::listDagFiles(Sharded, NamesB, Error)) << Error;
+  EXPECT_FALSE(NamesA.empty());
+  ASSERT_EQ(NamesA, NamesB);
+  for (const std::string &Name : NamesA) {
+    std::string TextA, TextB;
+    ASSERT_TRUE(readFile(Serial + "/" + Name, TextA, Error)) << Error;
+    ASSERT_TRUE(readFile(Sharded + "/" + Name, TextB, Error)) << Error;
+    EXPECT_EQ(TextA, TextB) << Name;
+  }
+  removeDir(Serial);
+  removeDir(Sharded);
+}
+
+TEST(DagIO, ServiceFrameCarriesDumpDags) {
+  service::CompileRequest Req;
+  Req.Opts.Machine = "r2000";
+  Req.Opts.DumpDags = "/tmp/somewhere";
+  shard::CompileRequestFrame Frame = service::frameFromRequest(Req);
+  service::CompileRequest Back;
+  std::string Error;
+  ASSERT_TRUE(service::requestFromFrame(Frame, Back, Error)) << Error;
+  EXPECT_EQ(Back.Opts.DumpDags, "/tmp/somewhere");
+
+  shard::CompileRequestFrame BadFrame = Frame;
+  BadFrame.Flags.clear();
+  BadFrame.Flags.push_back("dump-dags:");
+  EXPECT_FALSE(service::requestFromFrame(BadFrame, Back, Error));
+}
+
+TEST(DagIO, MergeStatsExportsSums) {
+  std::string Dir = scratchDir();
+  std::string Error;
+  obs::Registry A, B;
+  A.setHeader("machine", "r2000");
+  A.set("corpus.dags", 3);
+  A.setFloat("wall_ms", 1.5, obs::Section::Timing);
+  B.setHeader("machine", "i860"); // Disagrees: dropped from the merge.
+  B.set("corpus.dags", 4);
+  B.setFloat("wall_ms", 2.25, obs::Section::Timing);
+  ASSERT_TRUE(dagio::writeFileAtomic(Dir + "/a.json",
+                                     A.exportJson("marion-sched-bench"),
+                                     Error))
+      << Error;
+  ASSERT_TRUE(dagio::writeFileAtomic(Dir + "/b.json",
+                                     B.exportJson("marion-sched-bench"),
+                                     Error))
+      << Error;
+
+  obs::Registry Merged;
+  ASSERT_TRUE(dagio::mergeStatsExports({Dir + "/a.json", Dir + "/b.json"},
+                                       Merged, Error))
+      << Error;
+  const std::string Json = Merged.exportJson("marion-sched-bench");
+  EXPECT_NE(Json.find("\"corpus.dags\": 7"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"wall_ms\": 3.750"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"merged_inputs\": \"2\""), std::string::npos) << Json;
+  EXPECT_EQ(Json.find("\"machine\""), std::string::npos) << Json;
+
+  // Non-export input is an error, not a crash.
+  ASSERT_TRUE(
+      dagio::writeFileAtomic(Dir + "/bad.json", "{\"nope\": []}\n", Error))
+      << Error;
+  obs::Registry M2;
+  EXPECT_FALSE(dagio::mergeStatsExports({Dir + "/bad.json"}, M2, Error));
+  EXPECT_FALSE(dagio::mergeStatsExports({Dir + "/missing.json"}, M2, Error));
+  removeDir(Dir);
+}
+
+} // namespace

@@ -9,12 +9,16 @@
 #                                  cycles with stall attribution totals
 #   BENCH_service.json           - resident mariond vs process-per-compile
 #                                  p50/p99 latency and requests/sec, with
-#                                  a >=5x warm-p50 speedup gate
+#                                  a >=5x warm-p50 speedup gate; then
+#                                  service_load merges in the load.* sweep
+#                                  (tail latency, throughput, reject rate
+#                                  under oversubscription and overload)
 set -eu
 cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target table3_compile_time \
-  schedule_quality service_bench >/dev/null
+  schedule_quality service_bench service_load >/dev/null
 build/bench/table3_compile_time
 build/bench/schedule_quality
 build/bench/service_bench
+build/bench/service_load

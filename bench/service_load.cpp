@@ -1,0 +1,404 @@
+//===- service_load.cpp - mariond under sustained multi-client load ----------==//
+//
+// The DESIGN.md §16 question: does the hardened daemon degrade by contract?
+// Sweeps client count (including 4x oversubscription of the worker pool),
+// machine mix and request size against a warm mariond, with every client
+// multiplexing requests over one persistent connection, and records the
+// tail (p50/p99/p999), throughput and reject rate per scenario into
+// BENCH_service.json (merged with service_bench's keys when present).
+//
+// Gates, all fatal:
+//   - no handler starvation: every request in every scenario is answered
+//     with a complete record (no hangs, no transport errors);
+//   - bounded tail: the 4x-oversubscribed p99 stays within a generous
+//     constant of the uncontended p50 (catches queueing collapse);
+//   - rejects only above the admission bound: scenarios whose concurrency
+//     fits the bound see zero %BUSY, and the deliberately overloaded
+//     scenario (tiny bound, no cache) sees at least one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dagio/Corpus.h"
+#include "obs/Metrics.h"
+#include "service/Client.h"
+#include "service/CompileService.h"
+#include "support/Paths.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace marion;
+
+namespace {
+
+constexpr unsigned kWorkers = 4;
+
+double nowMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+struct Daemon {
+  std::string Dir;
+  std::string Socket;
+  pid_t Pid = -1;
+
+  bool start(const std::vector<std::string> &ExtraArgs) {
+    char Template[] = "/tmp/marion-service-load-XXXXXX";
+    const char *D = ::mkdtemp(Template);
+    if (!D)
+      return false;
+    Dir = D;
+    Socket = Dir + "/d.sock";
+    Pid = ::fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      std::freopen("/dev/null", "w", stderr); // Quiet readiness chatter.
+      std::vector<std::string> Args = {MARION_MARIOND_PATH,
+                                       "--listen=" + Socket};
+      Args.insert(Args.end(), ExtraArgs.begin(), ExtraArgs.end());
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(Argv[0], Argv.data());
+      std::_Exit(127);
+    }
+    for (int I = 0; I < 250 && ::access(Socket.c_str(), F_OK) != 0; ++I)
+      ::usleep(20 * 1000);
+    return ::access(Socket.c_str(), F_OK) == 0;
+  }
+
+  void stop() {
+    if (Pid < 0)
+      return;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    Pid = -1;
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
+};
+
+struct Workload {
+  std::string Path; ///< Display path (also picks the request size).
+  std::string Source;
+};
+
+/// One load scenario: \p Clients closed-loop client threads, each sending
+/// \p PerClient requests over one persistent connection, round-robining
+/// over \p Files x \p Machines.
+struct Scenario {
+  const char *Name;
+  unsigned Clients;
+  unsigned PerClient;
+  std::vector<const Workload *> Files;
+  std::vector<std::string> Machines;
+};
+
+struct ScenarioResult {
+  std::vector<double> LatMillis; ///< Answered (non-busy) request latencies.
+  uint64_t Requests = 0;
+  uint64_t Ok = 0;
+  uint64_t Busy = 0;
+  uint64_t TransportErrors = 0;
+  uint64_t Incomplete = 0;
+  double WallMillis = 0;
+};
+
+ScenarioResult runScenario(const std::string &Socket, const Scenario &S) {
+  ScenarioResult Total;
+  std::vector<ScenarioResult> Per(S.Clients);
+  std::vector<std::thread> Threads;
+  double Start = nowMillis();
+  for (unsigned C = 0; C < S.Clients; ++C)
+    Threads.emplace_back([&, C] {
+      ScenarioResult &R = Per[C];
+      service::DaemonClient Client(Socket);
+      for (unsigned I = 0; I < S.PerClient; ++I) {
+        unsigned Pick = C + I;
+        const Workload &W = *S.Files[Pick % S.Files.size()];
+        service::CompileRequest Req;
+        Req.Path = W.Path;
+        Req.Source = W.Source;
+        Req.Index = static_cast<int>(C * S.PerClient + I);
+        Req.Opts.Machine = S.Machines[Pick % S.Machines.size()];
+        shard::FileResult Out;
+        std::string Error;
+        double T0 = nowMillis();
+        ++R.Requests;
+        if (!Client.compile(service::frameFromRequest(Req), Out, Error)) {
+          ++R.TransportErrors;
+          continue;
+        }
+        if (!Out.Complete) {
+          ++R.Incomplete;
+          continue;
+        }
+        if (Out.Busy) {
+          ++R.Busy; // Answered by contract; not a latency sample.
+          continue;
+        }
+        if (Out.Ok) {
+          ++R.Ok;
+          R.LatMillis.push_back(nowMillis() - T0);
+        } else {
+          ++R.Incomplete; // A diagnosed failure is unexpected here.
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Total.WallMillis = nowMillis() - Start;
+  for (ScenarioResult &R : Per) {
+    Total.Requests += R.Requests;
+    Total.Ok += R.Ok;
+    Total.Busy += R.Busy;
+    Total.TransportErrors += R.TransportErrors;
+    Total.Incomplete += R.Incomplete;
+    Total.LatMillis.insert(Total.LatMillis.end(), R.LatMillis.begin(),
+                           R.LatMillis.end());
+  }
+  return Total;
+}
+
+void exportScenario(obs::Registry &Reg, const char *Name,
+                    const ScenarioResult &R) {
+  std::string P = std::string("load.") + Name + ".";
+  Reg.set(P + "requests", static_cast<int64_t>(R.Requests));
+  Reg.set(P + "ok", static_cast<int64_t>(R.Ok));
+  Reg.set(P + "busy", static_cast<int64_t>(R.Busy));
+  Reg.setFloat(P + "p50_millis", percentile(R.LatMillis, 0.50));
+  Reg.setFloat(P + "p99_millis", percentile(R.LatMillis, 0.99));
+  Reg.setFloat(P + "p999_millis", percentile(R.LatMillis, 0.999));
+  Reg.setFloat(P + "requests_per_sec",
+               R.WallMillis > 0 ? R.Requests * 1000.0 / R.WallMillis : 0);
+  Reg.setFloat(P + "reject_rate",
+               R.Requests ? static_cast<double>(R.Busy) / R.Requests : 0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  std::string JsonPath = "BENCH_service.json";
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--quick")
+      Quick = true;
+    else if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(std::strlen("--json="));
+    else {
+      std::fprintf(stderr,
+                   "usage: service_load [--quick] [--json=<path>]\n");
+      return 2;
+    }
+  }
+
+  // suite_queens is the one bundled workload every machine compiles, so
+  // the machine-mix sweep can pair it with any target; livermore (the big
+  // request) sticks to the machines that accept it.
+  Workload Small{"suite_queens.mc", ""}, Large{"livermore.mc", ""};
+  std::string Error;
+  if (!readFile(workloadDir() + "/" + Small.Path, Small.Source, Error) ||
+      !readFile(workloadDir() + "/" + Large.Path, Large.Source, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  const unsigned N = Quick ? 8 : 40;
+  const std::vector<std::string> AllMachines = {"toyp", "r2000", "m88000",
+                                                "i860"};
+  // Client count x machine mix x request size. The warm daemon (default
+  // admission bound: 64 + 4 workers) absorbs everything below the bound;
+  // the oversub scenario runs 4x the worker pool.
+  // The mixed sweep's round-robin pairs files and machines by one index,
+  // so with 2 files and 4 machines the (file, machine) pairs are
+  // (small, toyp), (large, r2000), (small, m88000), (large, i860) — all
+  // combinations every machine accepts.
+  const Scenario Sweep[] = {
+      {"steady_small", kWorkers, N, {&Small}, {"r2000"}},
+      {"steady_large", kWorkers, std::max(N / 4, 4u), {&Large}, {"r2000"}},
+      {"mixed_oversub", 4 * kWorkers, N, {&Small, &Large}, AllMachines},
+  };
+
+  std::printf("== Compile service under load (%s sweep) ==\n\n",
+              Quick ? "quick" : "full");
+
+  Daemon Warm;
+  if (!Warm.start({"--workers=" + std::to_string(kWorkers)})) {
+    std::fprintf(stderr, "could not start mariond\n");
+    return 1;
+  }
+  // Warm the caches so the sweep measures the service, not the first
+  // compile of each (file, machine) pair.
+  {
+    service::DaemonClient Client(Warm.Socket);
+    // The mixed sweep's four (file, machine) pairs, plus the two r2000
+    // pairs the steady scenarios hammer.
+    const Workload *Files[] = {&Small, &Large, &Small, &Large, &Small,
+                               &Large};
+    const std::string Machines[] = {"toyp",  "r2000", "m88000",
+                                    "i860",  "r2000", "r2000"};
+    for (int I = 0; I < 6; ++I) {
+      service::CompileRequest Req;
+      const Workload &W = *Files[I];
+      Req.Path = W.Path;
+      Req.Source = W.Source;
+      Req.Index = I;
+      Req.Opts.Machine = Machines[I];
+      shard::FileResult Out;
+      if (!Client.compile(service::frameFromRequest(Req), Out, Error) ||
+          !Out.Ok) {
+        std::fprintf(stderr, "warmup compile failed: %s\n",
+                     Out.DiagText.empty() ? Error.c_str()
+                                          : Out.DiagText.c_str());
+        Warm.stop();
+        return 1;
+      }
+    }
+  }
+
+  obs::Registry Reg;
+  Reg.setHeader("machine", "r2000");
+  Reg.setHeader("strategy", "postpass");
+  Reg.setHeader("flags_fingerprint", obs::flagsFingerprint("service_bench"));
+  int GateFailures = 0;
+  double SteadyP50 = 0, OversubP99 = 0;
+
+  std::printf("%-16s %8s %8s %8s %10s %10s %10s %10s\n", "scenario",
+              "clients", "reqs", "busy", "p50 (ms)", "p99 (ms)", "p999 (ms)",
+              "req/s");
+  for (const Scenario &S : Sweep) {
+    ScenarioResult R = runScenario(Warm.Socket, S);
+    double P50 = percentile(R.LatMillis, 0.50);
+    double P99 = percentile(R.LatMillis, 0.99);
+    std::printf("%-16s %8u %8llu %8llu %10.3f %10.3f %10.3f %10.0f\n",
+                S.Name, S.Clients, static_cast<unsigned long long>(R.Requests),
+                static_cast<unsigned long long>(R.Busy), P50, P99,
+                percentile(R.LatMillis, 0.999),
+                R.WallMillis > 0 ? R.Requests * 1000.0 / R.WallMillis : 0);
+    exportScenario(Reg, S.Name, R);
+    if (std::strcmp(S.Name, "steady_small") == 0)
+      SteadyP50 = P50;
+    if (std::strcmp(S.Name, "mixed_oversub") == 0)
+      OversubP99 = P99;
+    // Gate: no starvation — every request answered with a complete record.
+    if (R.TransportErrors || R.Incomplete || R.Ok + R.Busy != R.Requests) {
+      std::fprintf(stderr,
+                   "FAIL: %s: %llu transport errors, %llu incomplete "
+                   "(every request must be answered)\n",
+                   S.Name, static_cast<unsigned long long>(R.TransportErrors),
+                   static_cast<unsigned long long>(R.Incomplete));
+      ++GateFailures;
+    }
+    // Gate: below the admission bound, nothing is rejected.
+    if (R.Busy != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s: %llu %%BUSY below the admission bound\n",
+                   S.Name, static_cast<unsigned long long>(R.Busy));
+      ++GateFailures;
+    }
+  }
+  Warm.stop();
+
+  // Gate: oversubscribing 4x must queue, not collapse. The constant is
+  // deliberately loose — it catches hangs and unbounded queueing, not
+  // scheduler jitter.
+  const double TailBound = 100.0 * std::max(SteadyP50, 1.0);
+  std::printf("\noversub p99 %.3f ms (gate: <= %.0f ms = 100x steady p50)\n",
+              OversubP99, TailBound);
+  if (OversubP99 > TailBound) {
+    std::fprintf(stderr, "FAIL: oversubscribed p99 unbounded\n");
+    ++GateFailures;
+  }
+
+  // Overload by construction: two uncached workers, a one-deep queue and
+  // 12 closed-loop clients pushing real (large) compiles. The daemon must
+  // answer the excess with %BUSY — never hang it, never drop it.
+  {
+    Daemon Tiny;
+    if (!Tiny.start({"--workers=2", "--max-queue=1", "--no-cache"})) {
+      std::fprintf(stderr, "could not start overload mariond\n");
+      return 1;
+    }
+    Scenario Overload{"overload", 12, std::max(N / 4, 4u), {&Large},
+                      {"r2000"}};
+    ScenarioResult R = runScenario(Tiny.Socket, Overload);
+    Tiny.stop();
+    std::printf("overload: %llu requests, %llu served, %llu %%BUSY "
+                "(reject rate %.2f)\n",
+                static_cast<unsigned long long>(R.Requests),
+                static_cast<unsigned long long>(R.Ok),
+                static_cast<unsigned long long>(R.Busy),
+                R.Requests ? static_cast<double>(R.Busy) / R.Requests : 0);
+    exportScenario(Reg, Overload.Name, R);
+    if (R.TransportErrors || R.Incomplete || R.Ok + R.Busy != R.Requests) {
+      std::fprintf(stderr, "FAIL: overload: unanswered requests\n");
+      ++GateFailures;
+    }
+    if (R.Busy == 0) {
+      std::fprintf(stderr,
+                   "FAIL: overload: no %%BUSY despite a saturated bound\n");
+      ++GateFailures;
+    }
+    if (R.Ok == 0) {
+      std::fprintf(stderr, "FAIL: overload: backpressure starved the pool\n");
+      ++GateFailures;
+    }
+  }
+
+  // Merge with service_bench's keys when its export is already there, so
+  // one BENCH_service.json carries both the latency and the load story.
+  if (::access(JsonPath.c_str(), F_OK) == 0) {
+    std::string TmpPath = JsonPath + ".load.tmp";
+    if (std::FILE *F = std::fopen(TmpPath.c_str(), "w")) {
+      std::string Json = Reg.exportJson("service_bench");
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+    }
+    obs::Registry Merged;
+    if (dagio::mergeStatsExports({JsonPath, TmpPath}, Merged, Error)) {
+      Reg = std::move(Merged);
+    } else {
+      std::fprintf(stderr, "warning: cannot merge %s (%s); overwriting\n",
+                   JsonPath.c_str(), Error.c_str());
+    }
+    std::remove(TmpPath.c_str());
+  }
+  if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+    std::string Json = Reg.exportJson("service_bench");
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", JsonPath.c_str());
+    return 1;
+  }
+
+  if (GateFailures) {
+    std::fprintf(stderr, "FAIL: %d load gate(s) failed\n", GateFailures);
+    return 1;
+  }
+  return 0;
+}

@@ -92,9 +92,23 @@ static void usage() {
       "merged in source order\n"
       "  --remote=<socket>                    compile via a resident "
       "mariond daemon listening on\n"
-      "                                       the given Unix socket; output "
-      "is bit-identical to a\n"
-      "                                       local run\n"
+      "                                       the given Unix socket; all "
+      "files multiplex over one\n"
+      "                                       connection; output is "
+      "bit-identical to a local run\n"
+      "  --deadline=<sec>                     per-request deadline sent "
+      "with each remote request\n"
+      "                                       (daemon enforces the stricter "
+      "of this and its own\n"
+      "                                       --request-timeout; timeout = "
+      "exit 4)\n"
+      "  --remote-retries=<N>                 total connect/%%BUSY attempts "
+      "per request (default 1 =\n"
+      "                                       no retry); backoff doubles, "
+      "honoring the daemon's\n"
+      "                                       retry-after hint\n"
+      "  --remote-backoff-ms=<N>              first retry backoff "
+      "(default 50)\n"
       "  --timeout=<sec>                      per-shard-worker wall-clock "
       "limit (default 120, 0 = off)\n"
       "  --retries=<N>                        re-spawn a crashed/hung/"
@@ -127,7 +141,8 @@ static void usage() {
       "  2  usage error\n"
       "  3  internal error, shard worker crash, or remote transport "
       "failure\n"
-      "  4  shard worker timeout\n");
+      "     (including %%BUSY rejection with retries exhausted)\n"
+      "  4  shard worker timeout or remote request deadline exceeded\n");
 }
 
 namespace {
@@ -208,6 +223,8 @@ int realMain(int argc, char **argv) {
   unsigned Shards = 0;
   double TimeoutSec = 120.0;
   unsigned Retries = 1, BackoffMs = 100;
+  double DeadlineSec = 0;
+  unsigned RemoteRetries = 1, RemoteBackoffMs = 50;
   std::string WorkerOut, FaultText, Remote;
   std::optional<pipeline::FaultSpec> Fault;
   bool SimProfile = false, TraceWire = false;
@@ -283,6 +300,20 @@ int realMain(int argc, char **argv) {
       }
     } else if (Arg.rfind("--timeout=", 0) == 0) {
       TimeoutSec = std::atof(Arg.c_str() + std::strlen("--timeout="));
+    } else if (Arg.rfind("--deadline=", 0) == 0) {
+      DeadlineSec = std::atof(Arg.c_str() + std::strlen("--deadline="));
+      if (DeadlineSec <= 0) {
+        std::fprintf(stderr, "bad --deadline value '%s'\n", Arg.c_str());
+        return driver::ExitUsage;
+      }
+    } else if (Arg.rfind("--remote-retries=", 0) == 0) {
+      RemoteRetries = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--remote-retries=")));
+      if (RemoteRetries == 0)
+        RemoteRetries = 1;
+    } else if (Arg.rfind("--remote-backoff-ms=", 0) == 0) {
+      RemoteBackoffMs = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--remote-backoff-ms=")));
     } else if (Arg.rfind("--retries=", 0) == 0) {
       Retries = static_cast<unsigned>(
           std::atoi(Arg.c_str() + std::strlen("--retries=")));
@@ -384,7 +415,7 @@ int realMain(int argc, char **argv) {
     return Req;
   };
 
-  //===--- Remote client: ship each file to a resident mariond. -----------===//
+  //===--- Remote client: multiplex the file list over one connection. ----===//
   if (!Remote.empty()) {
     service::RunTotals Totals;
     cache::CompileCache::Snapshot CacheSum;
@@ -392,6 +423,12 @@ int realMain(int argc, char **argv) {
     // Inputs the client itself cannot read fall back to a local compile so
     // the "cannot read" diagnostic is bit-identical to a local run.
     std::unique_ptr<service::CompileService> LocalFallback;
+    service::RetryPolicy Retry;
+    Retry.Attempts = RemoteRetries;
+    Retry.BackoffMillis = RemoteBackoffMs;
+    // One persistent connection for the whole batch (protocol v2): every
+    // request frame goes out on it and responses come back in order.
+    service::DaemonClient Client(Remote, Retry);
     int Exit = driver::ExitSuccess;
     for (size_t I = 0; I < Files.size(); ++I) {
       service::CompileRequest Req = baseRequest(Files[I], static_cast<int>(I));
@@ -401,12 +438,23 @@ int realMain(int argc, char **argv) {
           readFile(workloadDir() + "/" + Files[I], Source, ReadError)) {
         Req.Source = std::move(Source);
         Req.WantTraceFragment = !TracePath.empty();
+        Req.DeadlineMillis = static_cast<uint64_t>(DeadlineSec * 1000.0);
         std::string Error;
-        if (!service::remoteCompile(Remote, service::frameFromRequest(Req), R,
-                                    Error)) {
+        if (!Client.compile(service::frameFromRequest(Req), R, Error)) {
           std::fprintf(stderr, "marionc: remote: %s\n", Error.c_str());
           return driver::ExitInternal;
         }
+        if (R.Busy) {
+          // Admission rejection with retries exhausted: a transport-level
+          // outcome, not a compile failure — nothing was compiled.
+          std::fprintf(stderr,
+                       "marionc: remote: %s busy (retry after %u ms), "
+                       "%u attempt(s) exhausted\n",
+                       Remote.c_str(), R.RetryAfterMillis, RemoteRetries);
+          return driver::ExitInternal;
+        }
+        if (R.TimedOut)
+          Exit = worseExit(Exit, driver::ExitTimeout);
       } else {
         if (!LocalFallback)
           LocalFallback = std::make_unique<service::CompileService>(

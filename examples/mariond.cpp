@@ -7,14 +7,17 @@
 // compile requests from `marionc --remote=<sock>` clients over a Unix
 // domain socket. Responses are bit-identical to local marionc compiles.
 //
-//   mariond --listen=<socket> [--workers=N] [--no-cache] [--cache-dir=D]
-//           [--inject-fault=<spec>]
+//   mariond --listen=<socket> [--workers=N] [--max-queue=N]
+//           [--max-inflight=N] [--request-timeout=SEC] [--no-cache]
+//           [--cache-dir=D] [--stats-json=FILE] [--inject-fault=<spec>]
 //
-// SIGTERM/SIGINT finish in-flight requests, unlink the socket and exit 0.
+// SIGTERM/SIGINT drain: in-flight and queued requests finish, new frames
+// are answered %BUSY, then the socket is unlinked and the daemon exits 0.
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/ExitCodes.h"
+#include "obs/Metrics.h"
 #include "pipeline/FaultInjection.h"
 #include "service/Server.h"
 
@@ -34,8 +37,19 @@ static void usage() {
       "usage: mariond --listen=<socket> [options]\n"
       "  --listen=<socket>       Unix socket path to serve on (required)\n"
       "  --workers=<N>           concurrent request handlers (default 4)\n"
+      "  --max-queue=<N>         admitted requests held waiting for a\n"
+      "                          worker (default 64); frames above\n"
+      "                          max-queue + max-inflight are answered\n"
+      "                          with %%BUSY immediately\n"
+      "  --max-inflight=<N>      concurrent compiles (default = workers)\n"
+      "  --request-timeout=<sec> per-request wall-clock budget, measured\n"
+      "                          from admission (default 0 = none); also\n"
+      "                          bounds a partial request frame's idle\n"
+      "                          time (slow-loris guard)\n"
       "  --no-cache              disable the resident compile cache\n"
       "  --cache-dir=<dir>       persistent compile-cache directory\n"
+      "  --stats-json=<file>     export service load counters as JSON on\n"
+      "                          shutdown\n"
       "  --inject-fault=<pass>:<kind>[:<nth>]\n"
       "                          deterministic in-daemon fault injection\n"
       "                          (testing); kinds: error, crash, hang,\n"
@@ -57,7 +71,7 @@ int main(int argc, char **argv) {
   // All bundled machines are table-warmed at startup: the first request per
   // machine should already find its TargetInfo resident.
   Config.Service.WarmMachines = {"toyp", "r2000", "m88000", "i860"};
-  std::string FaultText;
+  std::string FaultText, StatsPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -70,6 +84,17 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "bad --workers value '%s'\n", Arg.c_str());
         return driver::ExitUsage;
       }
+    } else if (Arg.rfind("--max-queue=", 0) == 0) {
+      Config.MaxQueue = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--max-queue=")));
+    } else if (Arg.rfind("--max-inflight=", 0) == 0) {
+      Config.MaxInflight = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--max-inflight=")));
+    } else if (Arg.rfind("--request-timeout=", 0) == 0) {
+      Config.RequestTimeoutSec = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--request-timeout=")));
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      StatsPath = Arg.substr(std::strlen("--stats-json="));
     } else if (Arg == "--no-cache") {
       Config.Service.UseCache = false;
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
@@ -108,15 +133,39 @@ int main(int argc, char **argv) {
   std::signal(SIGTERM, onSignal);
   std::signal(SIGINT, onSignal);
   // Scripts treat this line (and the socket file's existence) as readiness.
-  std::fprintf(stderr, "mariond: listening on %s (%u workers, cache %s)\n",
-               Config.SocketPath.c_str(), Config.Workers,
+  std::fprintf(stderr,
+               "mariond: listening on %s (%u workers, queue %u, "
+               "timeout %us, cache %s)\n",
+               Config.SocketPath.c_str(), Config.Workers, Config.MaxQueue,
+               Config.RequestTimeoutSec,
                Config.Service.UseCache ? "on" : "off");
 
   while (!ShutdownRequested)
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   Server.stop();
-  std::fprintf(stderr, "mariond: served %llu requests, bye\n",
-               static_cast<unsigned long long>(Server.requestsServed()));
+  service::Server::Counters Ctr = Server.counters();
+  if (!StatsPath.empty()) {
+    obs::Registry Reg;
+    Reg.setHeader("socket", Config.SocketPath);
+    Server.registerMetrics(Reg);
+    std::FILE *F = std::fopen(StatsPath.c_str(), "wb");
+    if (F) {
+      std::string Json = Reg.exportJson("mariond");
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "mariond: cannot write --stats-json file '%s'\n",
+                   StatsPath.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "mariond: served %llu requests (%llu admitted, %llu busy, "
+               "%llu timed out, %llu abandoned), bye\n",
+               static_cast<unsigned long long>(Server.requestsServed()),
+               static_cast<unsigned long long>(Ctr.Admitted),
+               static_cast<unsigned long long>(Ctr.Rejected),
+               static_cast<unsigned long long>(Ctr.TimedOut),
+               static_cast<unsigned long long>(Ctr.Abandoned));
   return driver::ExitSuccess;
 }

@@ -37,6 +37,15 @@
 #                             fault only costs the one request, and that
 #                             SIGTERM shuts down cleanly and removes the
 #                             socket (DESIGN.md §14).
+#   scripts/check.sh --load   build marionc, mariond and service_load,
+#                             run the short load sweep with its gates
+#                             (no starvation, bounded oversubscribed
+#                             tail, rejects only above the admission
+#                             bound), validate the exported load.* JSON
+#                             fields, then drive the deterministic
+#                             overload matrix (%BUSY exit-3, retry
+#                             recovery, deadline exit-4) and a
+#                             SIGTERM-under-load drain (DESIGN.md §16).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -336,6 +345,171 @@ s.close()" "$SOCK" || true
   return "$STATUS"
 }
 
+# Load, overload and drain matrix (DESIGN.md §16) for the marionc at $1,
+# the mariond at $2 and the service_load harness at $3: the short sweep
+# must pass its own gates and export the load.* schema; a saturated
+# one-worker daemon must answer %BUSY immediately (exit 3), recover via
+# client retries (exit 0) and honor a client deadline on a hung compile
+# (exit 4); SIGTERM under load must answer every admitted request, exit 0
+# and remove the socket.
+run_load_check() {
+  MARIONC=$1
+  MARIOND=$2
+  LOADBENCH=$3
+  LWORK=$(mktemp -d)
+  STATUS=0
+
+  # Short sweep with the harness's own gates, exported to a scratch file.
+  if "$LOADBENCH" --quick --json="$LWORK/load.json" \
+    >"$LWORK/load.out" 2>"$LWORK/load.err"; then
+    echo "ok: service_load quick sweep passed its gates"
+  else
+    echo "FAIL: service_load quick sweep failed" >&2
+    cat "$LWORK/load.err" >&2
+    STATUS=1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$LWORK/load.json" >/dev/null 2>&1 ||
+      { echo "FAIL: load.json is not valid JSON" >&2; STATUS=1; }
+  fi
+  for KEY in load.steady_small.p50_millis load.steady_large.p99_millis \
+    load.mixed_oversub.p999_millis load.mixed_oversub.requests_per_sec \
+    load.overload.reject_rate load.overload.busy; do
+    grep -q "\"$KEY\"" "$LWORK/load.json" || {
+      echo "FAIL: load.json is missing $KEY" >&2
+      STATUS=1
+    }
+  done
+
+  # Deterministic overload: one worker, zero queue, and a first request
+  # that hangs until the 1s request timeout abandons it.
+  SOCK="$LWORK/o.sock"
+  "$MARIOND" --listen="$SOCK" --workers=1 --max-queue=0 \
+    --request-timeout=1 --inject-fault=postpass-sched:hang \
+    >/dev/null 2>"$LWORK/odaemon.err" &
+  DPID=$!
+  TRIES=0
+  while [ ! -S "$SOCK" ] && [ "$TRIES" -lt 250 ]; do
+    sleep 0.02
+    TRIES=$((TRIES + 1))
+  done
+  set +e
+  "$MARIONC" workloads/suite_matmul.mc --remote="$SOCK" --quiet \
+    >/dev/null 2>"$LWORK/hung.err" &
+  CPID=$!
+  sleep 0.3
+  # The single slot is held: no retries means an immediate %BUSY, exit 3.
+  "$MARIONC" workloads/suite_queens.mc --remote="$SOCK" --quiet \
+    >/dev/null 2>"$LWORK/busy.err"
+  BUSY=$?
+  # With retries the request lands once the hung compile is abandoned.
+  "$MARIONC" workloads/suite_queens.mc --remote="$SOCK" --quiet \
+    --remote-retries=60 --remote-backoff-ms=200 >/dev/null 2>&1
+  RETRY=$?
+  wait "$CPID"
+  HUNG=$?
+  set -e
+  if [ "$BUSY" -ne 3 ] || ! grep -q busy "$LWORK/busy.err"; then
+    echo "FAIL: saturated daemon: want immediate %BUSY exit 3, got $BUSY" >&2
+    STATUS=1
+  elif [ "$RETRY" -ne 0 ]; then
+    echo "FAIL: %BUSY retries never landed (exit $RETRY)" >&2
+    STATUS=1
+  elif [ "$HUNG" -ne 4 ] || ! grep -q deadline "$LWORK/hung.err"; then
+    echo "FAIL: hung request: want diagnosed exit 4, got $HUNG" >&2
+    STATUS=1
+  else
+    echo "ok: overload answers %BUSY (3), retries recover (0)," \
+      "hung request times out (4)"
+  fi
+  kill -TERM "$DPID" 2>/dev/null || true
+  wait "$DPID" 2>/dev/null || true
+
+  # A client --deadline alone (no daemon timeout) bounds a hung compile.
+  SOCK="$LWORK/d.sock"
+  "$MARIOND" --listen="$SOCK" --inject-fault=postpass-sched:hang \
+    >/dev/null 2>&1 &
+  DPID=$!
+  TRIES=0
+  while [ ! -S "$SOCK" ] && [ "$TRIES" -lt 250 ]; do
+    sleep 0.02
+    TRIES=$((TRIES + 1))
+  done
+  set +e
+  "$MARIONC" workloads/suite_matmul.mc --remote="$SOCK" --deadline=1 \
+    --quiet >/dev/null 2>&1
+  DEADLINE=$?
+  "$MARIONC" workloads/suite_matmul.mc --remote="$SOCK" --quiet \
+    >/dev/null 2>&1
+  AFTER=$?
+  set -e
+  if [ "$DEADLINE" -ne 4 ] || [ "$AFTER" -ne 0 ]; then
+    echo "FAIL: client deadline: want exits 4 then 0, got" \
+      "$DEADLINE then $AFTER" >&2
+    STATUS=1
+  else
+    echo "ok: client --deadline times out a hung compile, daemon recovers"
+  fi
+  kill -TERM "$DPID" 2>/dev/null || true
+  wait "$DPID" 2>/dev/null || true
+
+  # SIGTERM under load: every admitted request is answered, the daemon
+  # exits 0 and the socket is gone.
+  SOCK="$LWORK/s.sock"
+  "$MARIOND" --listen="$SOCK" --workers=2 >/dev/null 2>&1 &
+  DPID=$!
+  TRIES=0
+  while [ ! -S "$SOCK" ] && [ "$TRIES" -lt 250 ]; do
+    sleep 0.02
+    TRIES=$((TRIES + 1))
+  done
+  CPIDS=""
+  N=0
+  for F in workloads/livermore.mc workloads/suite_matmul.mc \
+    workloads/suite_poly.mc workloads/suite_queens.mc; do
+    "$MARIONC" workloads/livermore.mc workloads/suite_matmul.mc \
+      workloads/suite_poly.mc workloads/suite_queens.mc "$F" \
+      --remote="$SOCK" --quiet >/dev/null 2>"$LWORK/drain.$N.err" &
+    CPIDS="$CPIDS $!"
+    N=$((N + 1))
+  done
+  sleep 0.1
+  kill -TERM "$DPID"
+  set +e
+  wait "$DPID"
+  DEXIT=$?
+  # Clients must all terminate: admitted requests answered (exit 0), and
+  # anything the drain refused answered by contract (%BUSY / EOF, exit 3)
+  # — never hung, never crashed.
+  DRAINFAIL=0
+  N=0
+  for P in $CPIDS; do
+    wait "$P"
+    CEXIT=$?
+    if [ "$CEXIT" -ne 0 ] && [ "$CEXIT" -ne 3 ]; then
+      echo "FAIL: drain client $N exited $CEXIT" >&2
+      cat "$LWORK/drain.$N.err" >&2
+      DRAINFAIL=1
+    fi
+    N=$((N + 1))
+  done
+  set -e
+  if [ "$DEXIT" -ne 0 ] || [ "$DRAINFAIL" -ne 0 ]; then
+    echo "FAIL: SIGTERM under load: daemon exit $DEXIT," \
+      "client failures: $DRAINFAIL" >&2
+    STATUS=1
+  elif [ -e "$SOCK" ]; then
+    echo "FAIL: drain left the socket behind" >&2
+    STATUS=1
+  else
+    echo "ok: SIGTERM under load drains, answers by contract, exits clean"
+  fi
+
+  [ "$STATUS" -eq 0 ] && echo "load check OK"
+  rm -rf "$LWORK"
+  return "$STATUS"
+}
+
 # Schedule-DAG interchange check for the marionc at $1 and the
 # marion-sched-bench at $2 (DESIGN.md §15): dump the workload suite for the
 # four paper machines, require --shards=2 dumps byte-identical to serial,
@@ -448,6 +622,12 @@ elif [ "${1:-}" = "--service" ]; then
   cmake --build "$BUILD" -j "$(nproc)" --target marionc mariond
   run_service_check "$BUILD/examples/marionc" "$BUILD/examples/mariond"
   exit $?
+elif [ "${1:-}" = "--load" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target marionc mariond service_load
+  run_load_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" \
+    "$BUILD/bench/service_load"
+  exit $?
 elif [ "${1:-}" = "--cache" ]; then
   cmake -B "$BUILD" -S .
   cmake --build "$BUILD" -j "$(nproc)" --target marionc
@@ -546,9 +726,13 @@ if [ "${1:-}" = "--tsan" ]; then
   done
   [ "$STATUS" -eq 0 ] && echo "tsan -j4 sweep OK (bit-identical to serial)"
   # The daemon's worker pool and per-request obs scoping are the other
-  # concurrency hot spots: run the full service check under TSan too.
+  # concurrency hot spots: run the full service check under TSan too,
+  # plus the load matrix (admission, deadlines, abandonment, drain) —
+  # the paths where the IO thread, workers and deadline monitor interleave.
   run_service_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" ||
     STATUS=1
+  run_load_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" \
+    "$BUILD/bench/service_load" || STATUS=1
   # Parallel per-block dump writes (the --dump-dags hook runs inside the
   # block-level fan-out) are exactly what TSan should see.
   run_dags_check "$BUILD/examples/marionc" \

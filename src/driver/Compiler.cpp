@@ -102,6 +102,7 @@ std::optional<Compilation> driver::compileModule(il::Module &Mod,
     FS.Strat = Opts.Strat;
     FS.Select.UseBuckets = Opts.UseBuckets;
     FS.Cache = Opts.Cache;
+    FS.Cancel = Opts.Cancel;
     FS.DumpDagDir = Opts.DumpDags;
     FS.ModuleName = Mod.Name;
   }
@@ -130,6 +131,14 @@ std::optional<Compilation> driver::compileModule(il::Module &Mod,
       Opts.Cache && Opts.DumpAfter.empty() && Opts.DumpDags.empty();
   auto compileOne = [&](pipeline::PassManager &PM, size_t I) -> bool {
     pipeline::FunctionState &FS = States[I];
+    // Once cancelled, remaining functions fail fast — even ones a cache
+    // hit could have satisfied — so the whole module drains in bounded
+    // time and the deadline diagnostic names every skipped function.
+    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed)) {
+      FS.Diags->error({}, "request deadline exceeded compiling '" +
+                              FS.ILFn->Name + "' (skipped)");
+      return false;
+    }
     if (!UseFinalTier)
       return PM.run(FS);
     const bool Traced = obs::traceEnabled();

@@ -60,6 +60,12 @@ struct CompileOptions {
   /// passes would change the dump transcript). The store is internally
   /// synchronized; one cache may serve many compilations and -jN workers.
   cache::CompileCache *Cache = nullptr;
+  /// Cooperative cancellation flag (null = never cancelled), threaded to
+  /// every FunctionState so the pipeline stops at the next pass boundary
+  /// once it flips. Execution control only: it never affects cache keys,
+  /// and cancelled functions are diagnosed as stubs, never cached. Set by
+  /// mariond's deadline monitor (DESIGN.md §16).
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// A finished compilation: the target model plus generated code.

@@ -62,6 +62,15 @@ static std::string functionNameOf(const FunctionState &FS) {
 bool PassManager::run(FunctionState &FS) {
   const bool Traced = obs::traceEnabled();
   for (size_t I = 0; I < Passes.size(); ++I) {
+    // Cooperative cancellation point: the deadline monitor flips the flag
+    // and the compile stops before the next pass starts, failing through
+    // the same diagnosed path as a CompileError.
+    if (FS.Cancel && FS.Cancel->load(std::memory_order_relaxed)) {
+      FS.Diags->error({}, "request deadline exceeded compiling '" +
+                              functionNameOf(FS) + "' (cancelled before '" +
+                              Passes[I].Name + "')");
+      return false;
+    }
     FS.CacheHit = false;
     auto Start = std::chrono::steady_clock::now();
     // The pass boundary is the recovery point: a MARION_CHECK violation

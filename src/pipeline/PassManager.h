@@ -28,6 +28,7 @@
 #include "target/MInstr.h"
 #include "target/TargetInfo.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -84,6 +85,13 @@ struct FunctionState {
   /// compiling with -jN; pure execution shape — results are reduced in
   /// block order, so output is bit-identical either way.
   bool ParallelBlocks = false;
+  /// Cooperative cancellation flag (null = never cancelled). Checked by
+  /// the PassManager at every pass boundary — the same recovery point as
+  /// CompileError — so a deadline-cancelled request fails with a
+  /// diagnosed stub instead of running its remaining passes. Purely an
+  /// execution-control input: it never feeds cache fingerprints, and a
+  /// cancelled function's result is never cached.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// A named function-level pass. Passes read their knobs from the

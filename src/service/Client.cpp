@@ -3,10 +3,12 @@
 #include "service/Client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace marion;
@@ -36,64 +38,138 @@ bool writeAll(int Fd, const std::string &Data) {
   return true;
 }
 
-} // namespace
-
-bool service::remoteCompile(const std::string &SocketPath,
-                            const shard::CompileRequestFrame &Frame,
-                            shard::FileResult &Result, std::string &Error) {
-  ignoreSigpipeOnce();
-
-  sockaddr_un Addr;
+bool fillSockaddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string &Error) {
   std::memset(&Addr, 0, sizeof(Addr));
   Addr.sun_family = AF_UNIX;
-  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Error = "socket path '" + SocketPath + "' is empty or too long";
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Path + "' is empty or too long";
     return false;
   }
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
 
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0) {
-    Error = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    Error = "connect " + SocketPath + ": " + std::strerror(errno);
+/// True for the connect() errnos that a retry can plausibly fix: the
+/// daemon is restarting, its backlog is momentarily full, or the kernel
+/// asked us to try again.
+bool connectRetryable(int Err) {
+  return Err == ECONNREFUSED || Err == EAGAIN || Err == EWOULDBLOCK ||
+         Err == ECONNRESET || Err == EINTR;
+}
+
+} // namespace
+
+DaemonClient::DaemonClient(std::string Path, RetryPolicy R)
+    : SocketPath(std::move(Path)), Retry(R) {
+  if (Retry.Attempts == 0)
+    Retry.Attempts = 1;
+}
+
+DaemonClient::~DaemonClient() { close(); }
+
+void DaemonClient::close() {
+  if (Fd >= 0)
     ::close(Fd);
+  Fd = -1;
+  InBuf.clear();
+}
+
+bool DaemonClient::connect(std::string &Error) {
+  if (Fd >= 0)
+    return true;
+  ignoreSigpipeOnce();
+  sockaddr_un Addr;
+  if (!fillSockaddr(SocketPath, Addr, Error))
     return false;
+
+  unsigned Backoff = Retry.BackoffMillis;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (NewFd < 0) {
+      Error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0) {
+      Fd = NewFd;
+      InBuf.clear();
+      return true;
+    }
+    int Err = errno;
+    ::close(NewFd);
+    if (!connectRetryable(Err) || Attempt >= Retry.Attempts) {
+      Error = "connect " + SocketPath + ": " + std::strerror(Err);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min(Backoff, Retry.MaxBackoffMillis)));
+    Backoff = std::min(Backoff * 2, Retry.MaxBackoffMillis);
   }
-  if (!writeAll(Fd, shard::serializeRequestFrame(Frame))) {
+}
+
+bool DaemonClient::sendAndReceive(const shard::CompileRequestFrame &Frame,
+                                  shard::FileResult &Result,
+                                  std::string &Error) {
+  if (!connect(Error))
+    return false;
+  shard::CompileRequestFrame F = Frame;
+  F.Proto = shard::kWireProtoVersion; // Multiplexing client: announce v2.
+  if (!writeAll(Fd, shard::serializeRequestFrame(F))) {
     Error = "send: " + std::string(std::strerror(errno));
-    ::close(Fd);
+    close();
     return false;
   }
-  // Half-close tells the daemon the frame is complete; the response then
-  // streams back on the same connection until the daemon closes it.
-  ::shutdown(Fd, SHUT_WR);
-
-  std::string Text;
+  // Read until one complete record (this request's — responses come back
+  // in request order, and we keep exactly one in flight).
   char Buf[64 * 1024];
   for (;;) {
+    size_t Consumed = 0;
+    if (shard::extractResultRecord(InBuf, Consumed, Result)) {
+      InBuf.erase(0, Consumed);
+      return true;
+    }
     ssize_t N = ::read(Fd, Buf, sizeof(Buf));
     if (N > 0) {
-      Text.append(Buf, static_cast<size_t>(N));
+      InBuf.append(Buf, static_cast<size_t>(N));
       continue;
     }
     if (N < 0 && errno == EINTR)
       continue;
-    break;
+    // EOF (or error) with no complete record: the daemon abandoned the
+    // connection or died. Surface whatever partial parse says.
+    std::vector<shard::FileResult> Partial = shard::parseWorkerOutput(InBuf);
+    close();
+    if (!Partial.empty() && Partial.front().Complete) {
+      Result = std::move(Partial.front());
+      return true;
+    }
+    Error = (InBuf.empty() ? "connection closed by " : "truncated response from ") +
+            SocketPath;
+    return false;
   }
-  ::close(Fd);
+}
 
-  std::vector<shard::FileResult> Records = shard::parseWorkerOutput(Text);
-  if (Records.empty() || !Records.front().Started) {
-    Error = "empty or unparseable response from " + SocketPath;
-    return false;
+bool DaemonClient::compile(const shard::CompileRequestFrame &Frame,
+                           shard::FileResult &Result, std::string &Error) {
+  unsigned Backoff = Retry.BackoffMillis;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    if (!sendAndReceive(Frame, Result, Error))
+      return false;
+    if (!Result.Busy || Attempt >= Retry.Attempts)
+      return true; // Success, compile failure, or %BUSY with retries spent.
+    // Admission rejection: back off (at least the daemon's hint) and
+    // resend. The connection stays up — %BUSY is a complete response.
+    unsigned Delay = std::max(Backoff, Result.RetryAfterMillis);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min(Delay, Retry.MaxBackoffMillis)));
+    Backoff = std::min(Backoff * 2, Retry.MaxBackoffMillis);
   }
-  Result = std::move(Records.front());
-  if (!Result.Complete) {
-    Error = "truncated response from " + SocketPath;
-    return false;
-  }
-  return true;
+}
+
+bool service::remoteCompile(const std::string &SocketPath,
+                            const shard::CompileRequestFrame &Frame,
+                            shard::FileResult &Result, std::string &Error) {
+  DaemonClient Client(SocketPath);
+  return Client.compile(Frame, Result, Error);
 }

@@ -5,11 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The thin-client half of DESIGN.md §14: one function that ships a
-/// compile request frame to a mariond socket and brings back the framed
-/// result record. `marionc --remote=<sock>` is this plus the same
-/// print-and-aggregate loop the local serial path uses — which is what
-/// makes remote output bit-identical to a local compile.
+/// The thin-client half of DESIGN.md §14/§16: DaemonClient keeps one
+/// connection to a mariond socket and multiplexes any number of compile
+/// requests over it (protocol v2) — `marionc --remote=<sock>` batches its
+/// whole file list through one connection, plus the same print-and-
+/// aggregate loop the local serial path uses, which is what makes remote
+/// output bit-identical to a local compile.
+///
+/// RetryPolicy covers the two transient failure shapes a loaded daemon
+/// shows: connect refusal (daemon restarting, backlog full) and %BUSY
+/// admission rejection. Both back off exponentially, honoring the daemon's
+/// retry-after hint, up to a flag-capped attempt count; anything else is a
+/// transport failure (exit-code-3 contract).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,10 +30,60 @@
 namespace marion {
 namespace service {
 
-/// Sends \p Frame to the daemon at \p SocketPath and parses the response
-/// into \p Result. Returns false and fills \p Error only on transport
-/// failures (no daemon, connection reset, empty/unparseable response);
-/// compile failures come back as a normal Result with Ok = false.
+/// Bounded exponential backoff for transient failures.
+struct RetryPolicy {
+  /// Total attempts (first try included). 1 = no retries.
+  unsigned Attempts = 1;
+  /// First backoff; doubles per retry. A %BUSY record's retry-after hint
+  /// overrides the computed delay when larger.
+  unsigned BackoffMillis = 50;
+  /// Cap on any single backoff sleep.
+  unsigned MaxBackoffMillis = 2000;
+};
+
+/// A persistent connection to one mariond. compile() may be called any
+/// number of times; requests are answered in order over the same socket.
+/// Not thread-safe — one DaemonClient per thread.
+class DaemonClient {
+public:
+  explicit DaemonClient(std::string SocketPath, RetryPolicy Retry = {});
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient &) = delete;
+  DaemonClient &operator=(const DaemonClient &) = delete;
+
+  /// Connects (retrying per the policy on ECONNREFUSED/EAGAIN). Called
+  /// implicitly by compile(); explicit use just surfaces errors earlier.
+  bool connect(std::string &Error);
+
+  /// Sends \p Frame and reads the matched response record. Returns false
+  /// and fills \p Error only on transport failures (no daemon, reset,
+  /// truncated response); compile failures, %BUSY exhaustion and timeouts
+  /// come back as a normal Result (Ok/Busy/TimedOut flags). A %BUSY
+  /// answer is retried per the policy — over a fresh request frame, so
+  /// the daemon sees each attempt at its then-current load — and only
+  /// surfaced once attempts are exhausted.
+  bool compile(const shard::CompileRequestFrame &Frame,
+               shard::FileResult &Result, std::string &Error);
+
+  /// Drops the connection (reconnects lazily on the next compile()).
+  void close();
+
+  bool connected() const { return Fd >= 0; }
+
+private:
+  bool sendAndReceive(const shard::CompileRequestFrame &Frame,
+                      shard::FileResult &Result, std::string &Error);
+
+  std::string SocketPath;
+  RetryPolicy Retry;
+  int Fd = -1;
+  std::string InBuf; ///< Response bytes not yet consumed by a record.
+};
+
+/// One-shot wrapper (v1 dialect semantics): connect, send \p Frame, read
+/// the single response record, close. Returns false and fills \p Error on
+/// transport failures; compile failures come back as Ok = false.
 bool remoteCompile(const std::string &SocketPath,
                    const shard::CompileRequestFrame &Frame,
                    shard::FileResult &Result, std::string &Error);

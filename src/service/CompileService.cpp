@@ -24,6 +24,7 @@ bool service::requestFromFrame(const shard::CompileRequestFrame &Frame,
   Req.Path = Frame.Path;
   Req.Source = Frame.Source;
   Req.Index = Frame.Index;
+  Req.DeadlineMillis = Frame.DeadlineMillis;
   Req.Opts.Machine = Frame.Machine;
   auto Kind = strategy::strategyFromName(Frame.Strategy);
   if (!Kind) {
@@ -73,6 +74,9 @@ shard::CompileRequestFrame service::frameFromRequest(const CompileRequest &Req) 
   shard::CompileRequestFrame Frame;
   Frame.Index = Req.Index;
   Frame.Path = Req.Path;
+  Frame.DeadlineMillis = Req.DeadlineMillis;
+  if (Frame.DeadlineMillis > 0)
+    Frame.Proto = shard::kWireProtoVersion;
   Frame.Machine = Req.Opts.Machine;
   Frame.Strategy = strategy::strategyName(Req.Opts.Strategy);
   if (Req.Cycles)
@@ -228,6 +232,12 @@ CompileResult CompileService::compile(const CompileRequest &Req,
   R.Obs.PoolTasks = PoolAfter.Tasks - PoolBefore.Tasks;
   R.Obs.PoolStolen = PoolAfter.Stolen - PoolBefore.Stolen;
   R.TraceFragment = TraceScope.fragment();
+  // A failed request whose cancel flag fired reports the "timeout" status:
+  // the deadline diagnostics are already in DiagText, and the client maps
+  // the status to the exit-code-4 contract.
+  if (!R.Ok && Req.Opts.Cancel &&
+      Req.Opts.Cancel->load(std::memory_order_relaxed))
+    R.TimedOut = true;
   R.Complete = true;
   return R;
 }

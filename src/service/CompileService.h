@@ -66,6 +66,11 @@ struct CompileRequest {
   /// (shard workers' --trace-wire, remote "trace" flag). Fragment-
   /// collecting requests serialize; see obs::TraceRequestScope.
   bool WantTraceFragment = false;
+  /// Client-supplied deadline budget in milliseconds (0 = none), carried
+  /// through the wire frame. The daemon enforces min(this, its own
+  /// --request-timeout) via Opts.Cancel; the service itself only
+  /// transports it.
+  uint64_t DeadlineMillis = 0;
   /// Invoked right after the front end parsed, before the backend runs,
   /// with the manifest-only result (Path, Index, Functions, Started). The
   /// shard worker flushes its %BEGIN/%FUNCS prologue here so a later crash

@@ -2,15 +2,25 @@
 
 #include "service/Server.h"
 
+#include "obs/Metrics.h"
+
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 using namespace marion;
 using namespace marion::service;
+
+using Clock = std::chrono::steady_clock;
 
 namespace {
 
@@ -25,28 +35,104 @@ void ignoreSigpipeOnce() {
   (void)Once;
 }
 
-/// Reads \p Fd to EOF (the client half-closes after its frame).
-std::string readAll(int Fd) {
-  std::string Out;
-  char Buf[64 * 1024];
-  for (;;) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+/// Blocking full write (bounded by the fd's SO_SNDTIMEO). On failure the
+/// socket is shut down so the client sees EOF instead of a half-record it
+/// would wait on forever.
+bool writeAllFd(int Fd, const std::string &Text) {
+  size_t Off = 0;
+  while (Off < Text.size()) {
+    ssize_t N = ::write(Fd, Text.data() + Off, Text.size() - Off);
     if (N > 0) {
-      Out.append(Buf, static_cast<size_t>(N));
+      Off += static_cast<size_t>(N);
       continue;
     }
-    if (N < 0 && (errno == EINTR || errno == EAGAIN))
+    if (N < 0 && errno == EINTR)
       continue;
-    break;
+    // EPIPE, SO_SNDTIMEO expiry (EAGAIN), EBADF, ...
+    ::shutdown(Fd, SHUT_RDWR);
+    return false;
   }
-  return Out;
+  return true;
+}
+
+bool fillSockaddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string &Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Path + "' is empty or too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
 }
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// Per-connection / per-request state
+//===----------------------------------------------------------------------===//
+
+/// One client connection. Owned by the IO thread (buffer, parse state,
+/// lifecycle); workers share only the fd and its write mutex.
+struct Server::Conn {
+  int Fd = -1;
+  std::string InBuf;       ///< Unparsed request bytes (IO thread only).
+  std::mutex WriteMutex;   ///< Serializes all response writes to Fd.
+  /// Set when the deadline monitor abandoned a compile on this connection:
+  /// the fd is shutdown() but intentionally never closed, so a worker
+  /// thread stuck inside a compile can never write into an unrelated
+  /// connection that reused the descriptor number. Bounded leak, one fd
+  /// per pathological event.
+  std::atomic<bool> Poisoned{false};
+  bool ReadClosed = false; ///< Client half-closed (v1) or disconnected.
+  Clock::time_point LastRead{};
+  std::shared_ptr<Job> Active; ///< The one in-flight request (FIFO order).
+
+  ~Conn() {
+    if (Fd >= 0 && !Poisoned.load())
+      ::close(Fd);
+  }
+};
+
+/// One admitted request's shared state between the IO thread (admission,
+/// deadline monitor) and the worker compiling it.
+struct Server::Job {
+  CompileRequest Req;
+  std::shared_ptr<Conn> C;
+  int Index = 0;
+  std::string Path;
+  /// Cooperative cancel flag, wired into Req.Opts.Cancel: the pipeline
+  /// checks it at every pass boundary.
+  std::atomic<bool> Cancel{false};
+  /// Completion ownership: exchanged by whichever of {finishing worker,
+  /// abandoning monitor} gets there first; the loser does nothing.
+  std::atomic<bool> Settled{false};
+  /// The monitor took over (under C->WriteMutex): the worker must not
+  /// write anything further on the connection.
+  std::atomic<bool> Abandoned{false};
+  /// Response fully written; the IO thread may advance the connection.
+  std::atomic<bool> Done{false};
+  bool BeganWrite = false;             ///< %BEGIN sent (C->WriteMutex).
+  std::vector<std::string> Functions;  ///< Manifest copy (C->WriteMutex).
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};        ///< Valid when HasDeadline.
+  bool CancelFired = false;            ///< Monitor bookkeeping (IO thread).
+  /// Worker slot compiling it, or ~0u while queued (QueueMutex).
+  unsigned Slot = ~0u;
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
 Server::Server(const ServerConfig &C) : Config(C), Svc(C.Service) {
   if (Config.Workers == 0)
     Config.Workers = 1;
+  EffInflight = Config.MaxInflight == 0
+                    ? Config.Workers
+                    : std::min(Config.MaxInflight, Config.Workers);
+  AdmissionBound = Config.MaxQueue + EffInflight;
 }
 
 Server::~Server() { stop(); }
@@ -55,24 +141,38 @@ bool Server::start(std::string &Error) {
   ignoreSigpipeOnce();
 
   sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (Config.SocketPath.empty() ||
-      Config.SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Error = "socket path '" + Config.SocketPath + "' is empty or too long";
+  if (!fillSockaddr(Config.SocketPath, Addr, Error))
     return false;
+
+  // Stale-socket replacement: only take over the path when no live daemon
+  // answers on it. A successful probe connect means stealing the path
+  // would silently orphan a running daemon — refuse instead.
+  struct stat St;
+  if (::lstat(Config.SocketPath.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      Error = "path " + Config.SocketPath + " exists and is not a socket";
+      return false;
+    }
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Probe >= 0) {
+      int RC = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr));
+      ::close(Probe);
+      if (RC == 0) {
+        Error = "a live daemon is already serving " + Config.SocketPath +
+                "; refusing to replace it";
+        return false;
+      }
+    }
+    // Nothing answered: a previous daemon crashed without unlinking.
+    ::unlink(Config.SocketPath.c_str());
   }
-  std::memcpy(Addr.sun_path, Config.SocketPath.c_str(),
-              Config.SocketPath.size() + 1);
 
   ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (ListenFd < 0) {
     Error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
-  // Replace a stale socket file from a previous (crashed) daemon; a live
-  // daemon would still hold the bind, making the race visible as EADDRINUSE.
-  ::unlink(Config.SocketPath.c_str());
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0) {
     Error = "bind " + Config.SocketPath + ": " + std::strerror(errno);
@@ -80,7 +180,13 @@ bool Server::start(std::string &Error) {
     ListenFd = -1;
     return false;
   }
-  if (::listen(ListenFd, 64) < 0) {
+  // The kernel backlog mirrors the admission bound (with headroom for
+  // connection churn) instead of a magic constant: connections beyond it
+  // fail fast at connect() rather than queueing invisibly.
+  int Backlog = static_cast<int>(
+      std::min<unsigned>(std::max(16u, AdmissionBound * 2), 1024));
+  ::fcntl(ListenFd, F_SETFL, O_NONBLOCK); // Accept bursts without blocking.
+  if (::listen(ListenFd, Backlog) < 0) {
     Error = "listen: " + std::string(std::strerror(errno));
     ::close(ListenFd);
     ListenFd = -1;
@@ -88,106 +194,502 @@ bool Server::start(std::string &Error) {
     return false;
   }
 
+  int Pipe[2];
+  if (::pipe(Pipe) < 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Config.SocketPath.c_str());
+    return false;
+  }
+  WakeRead = Pipe[0];
+  WakeWrite = Pipe[1];
+  ::fcntl(WakeRead, F_SETFL, O_NONBLOCK);
+  ::fcntl(WakeWrite, F_SETFL, O_NONBLOCK);
+
   Running = true;
   Stopping.store(false);
+  SlotGen.clear();
   for (unsigned I = 0; I < Config.Workers; ++I)
-    Handlers.emplace_back([this] { handlerLoop(); });
-  Acceptor = std::thread([this] { acceptLoop(); });
+    SlotGen.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  for (unsigned I = 0; I < Config.Workers; ++I)
+    Handlers.emplace_back([this, I] { workerLoop(I, 0); });
+  Io = std::thread([this] { ioLoop(); });
   return true;
-}
-
-void Server::acceptLoop() {
-  for (;;) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0) {
-      if (errno == EINTR)
-        continue;
-      // stop() closed the listen fd (EBADF/EINVAL) or something is badly
-      // wrong; either way the daemon stops taking connections.
-      break;
-    }
-    if (Stopping.load()) {
-      ::close(Fd);
-      break;
-    }
-    {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      Pending.push_back(Fd);
-    }
-    QueueCV.notify_one();
-  }
-}
-
-void Server::handlerLoop() {
-  for (;;) {
-    int Fd;
-    {
-      std::unique_lock<std::mutex> Lock(QueueMutex);
-      QueueCV.wait(Lock,
-                   [this] { return Stopping.load() || !Pending.empty(); });
-      // Drain queued connections even while stopping: every client that
-      // got through accept() gets an answer.
-      if (Pending.empty())
-        return;
-      Fd = Pending.front();
-      Pending.pop_front();
-    }
-    handleConnection(Fd);
-  }
-}
-
-void Server::handleConnection(int Fd) {
-  std::string Text = readAll(Fd);
-  // The response is framed through stdio; fdopen takes ownership of Fd.
-  std::FILE *Out = ::fdopen(Fd, "wb");
-  if (!Out) {
-    ::close(Fd);
-    return;
-  }
-
-  shard::CompileRequestFrame Frame;
-  CompileRequest Req;
-  std::string Error;
-  bool Parsed = shard::parseRequestFrame(Text, Frame, Error) &&
-                requestFromFrame(Frame, Req, Error);
-  if (!Parsed) {
-    // A malformed or truncated frame (or an unknown flag/strategy) gets a
-    // diagnosed error record; the daemon itself never goes down for it.
-    shard::FileResult R;
-    R.Path = Frame.Path.empty() ? "<request>" : Frame.Path;
-    R.Index = Frame.Index;
-    R.Started = true;
-    R.Complete = true;
-    R.DiagText = "mariond: bad request: " + Error + "\n";
-    shard::writeRecordBegin(Out, R);
-    shard::writeRecordEnd(Out, R);
-    std::fclose(Out);
-    return;
-  }
-
-  Req.OnManifest = [Out](const shard::FileResult &R) {
-    shard::writeRecordBegin(Out, R);
-  };
-  shard::FileResult R = Svc.compile(Req);
-  shard::writeRecordEnd(Out, R);
-  std::fclose(Out);
 }
 
 void Server::stop() {
   if (!Running)
     return;
   Stopping.store(true);
-  // Closing the listen fd pops the acceptor out of accept().
-  ::shutdown(ListenFd, SHUT_RDWR);
-  ::close(ListenFd);
-  if (Acceptor.joinable())
-    Acceptor.join();
+  wakeIo();
+  if (Io.joinable())
+    Io.join(); // Exits once the queue and in-flight compiles drained.
   QueueCV.notify_all();
   for (std::thread &T : Handlers)
     if (T.joinable())
       T.join();
   Handlers.clear();
-  ListenFd = -1;
+  SlotGen.clear();
+  if (WakeRead >= 0)
+    ::close(WakeRead);
+  if (WakeWrite >= 0)
+    ::close(WakeWrite);
+  WakeRead = WakeWrite = -1;
   ::unlink(Config.SocketPath.c_str());
   Running = false;
+}
+
+void Server::wakeIo() {
+  if (WakeWrite >= 0) {
+    char B = 1;
+    (void)!::write(WakeWrite, &B, 1);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Worker threads
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop(unsigned Slot, uint64_t Gen) {
+  for (;;) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock, [this] {
+        return Stopping.load() || (!Queue.empty() && Inflight < EffInflight);
+      });
+      // Drain queued requests even while stopping: every admitted request
+      // gets an answer. Exit only once the queue is empty.
+      if (Queue.empty())
+        return;
+      J = Queue.front();
+      Queue.pop_front();
+      ++Inflight;
+      J->Slot = Slot;
+    }
+
+    Job *JP = J.get(); // The lambda must not own J (cycle through Req).
+    J->Req.OnManifest = [JP](const shard::FileResult &R) {
+      std::lock_guard<std::mutex> Lock(JP->C->WriteMutex);
+      JP->Functions = R.Functions;
+      if (JP->Abandoned.load() || JP->C->Poisoned.load())
+        return;
+      if (writeAllFd(JP->C->Fd, shard::serializeRecordBegin(R)))
+        JP->BeganWrite = true;
+    };
+
+    shard::FileResult R = Svc.compile(J->Req);
+
+    if (!J->Settled.exchange(true)) {
+      {
+        std::lock_guard<std::mutex> Lock(J->C->WriteMutex);
+        if (!J->Abandoned.load() && !J->C->Poisoned.load()) {
+          std::string Text;
+          if (!J->BeganWrite)
+            Text += shard::serializeRecordBegin(R);
+          Text += shard::serializeRecordEnd(R);
+          (void)writeAllFd(J->C->Fd, Text);
+        }
+      }
+      if (R.TimedOut)
+        CtrTimedOut.fetch_add(1, std::memory_order_relaxed);
+      J->Done.store(true);
+      {
+        std::lock_guard<std::mutex> Lock(QueueMutex);
+        --Inflight;
+      }
+      QueueCV.notify_all();
+      wakeIo();
+    }
+    // else: the deadline monitor abandoned this request — it already wrote
+    // the timeout record, fixed the accounting and replaced this slot.
+
+    if (SlotGen[Slot]->load() != Gen)
+      return; // This thread was abandoned and replaced; bow out.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// IO thread: accept, buffer, frame extraction, admission, deadlines
+//===----------------------------------------------------------------------===//
+
+void Server::answerErrorRecord(const std::shared_ptr<Conn> &C, int Index,
+                               const std::string &Path,
+                               const std::string &Message) {
+  shard::FileResult R;
+  R.Path = Path.empty() ? "<request>" : Path;
+  R.Index = Index;
+  R.Started = true;
+  R.Complete = true;
+  R.DiagText = "mariond: bad request: " + Message + "\n";
+  std::lock_guard<std::mutex> Lock(C->WriteMutex);
+  if (C->Poisoned.load())
+    return;
+  (void)writeAllFd(C->Fd, shard::serializeRecordBegin(R) +
+                              shard::serializeRecordEnd(R));
+}
+
+void Server::closeConn(int Fd) {
+  auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  // Poisoned fds stay allocated (see Conn::Poisoned); dropping the map
+  // reference is enough — the Conn lives on via the stuck job's pointer.
+  Conns.erase(It);
+}
+
+/// Extracts and dispatches as many complete frames as the connection's
+/// buffer holds, stopping at one in-flight request per connection (which
+/// is what keeps responses in request order without reordering buffers).
+void Server::processConnBuffer(const std::shared_ptr<Conn> &C) {
+  while (!C->Active && !C->InBuf.empty()) {
+    shard::CompileRequestFrame Frame;
+    std::string PErr;
+    size_t Consumed = 0;
+    shard::FrameParse P =
+        shard::parseRequestFramePrefix(C->InBuf, Consumed, Frame, PErr);
+    if (P == shard::FrameParse::NeedMore) {
+      if (C->ReadClosed) {
+        // Half-closed with a dangling partial frame: diagnose and drop.
+        CtrMalformed.fetch_add(1, std::memory_order_relaxed);
+        answerErrorRecord(C, Frame.Index, Frame.Path,
+                          "truncated request frame");
+        closeConn(C->Fd);
+      }
+      return;
+    }
+    if (P == shard::FrameParse::Malformed) {
+      // The stream is unparseable from here on: answer and hang up.
+      CtrMalformed.fetch_add(1, std::memory_order_relaxed);
+      answerErrorRecord(C, Frame.Index, Frame.Path, PErr);
+      closeConn(C->Fd);
+      return;
+    }
+    C->InBuf.erase(0, Consumed);
+
+    CompileRequest Req;
+    std::string CErr;
+    if (!requestFromFrame(Frame, Req, CErr)) {
+      // Well-formed frame, bad content (unknown strategy/flag): answer an
+      // error record but keep serving the connection.
+      CtrMalformed.fetch_add(1, std::memory_order_relaxed);
+      answerErrorRecord(C, Frame.Index, Frame.Path, CErr);
+      continue;
+    }
+
+    // Admission: bounded, immediate backpressure. Draining counts as full.
+    bool Admit;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      Admit = !Stopping.load() && Queue.size() + Inflight < AdmissionBound;
+      if (Admit) {
+        auto J = std::make_shared<Job>();
+        J->Req = std::move(Req);
+        J->C = C;
+        J->Index = Frame.Index;
+        J->Path = Frame.Path;
+        J->Req.Opts.Cancel = &J->Cancel;
+        // The effective budget is the stricter of the client's %DEADLINE
+        // and the daemon's --request-timeout, measured from admission so
+        // queue time counts against it.
+        uint64_t BudgetMs = J->Req.DeadlineMillis;
+        if (Config.RequestTimeoutSec > 0) {
+          uint64_t Cap = static_cast<uint64_t>(Config.RequestTimeoutSec) * 1000;
+          BudgetMs = BudgetMs == 0 ? Cap : std::min(BudgetMs, Cap);
+        }
+        if (BudgetMs > 0) {
+          J->HasDeadline = true;
+          J->Deadline = Clock::now() + std::chrono::milliseconds(BudgetMs);
+        }
+        C->Active = J;
+        ActiveJobs.push_back(J);
+        Queue.push_back(J);
+        CtrAdmitted.fetch_add(1, std::memory_order_relaxed);
+        uint64_t Depth = Queue.size();
+        if (Depth > CtrMaxDepth.load(std::memory_order_relaxed))
+          CtrMaxDepth.store(Depth, std::memory_order_relaxed);
+      }
+    }
+    if (Admit) {
+      QueueCV.notify_one();
+      return; // One in flight per connection; resume when it completes.
+    }
+    CtrRejected.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(C->WriteMutex);
+    if (!C->Poisoned.load())
+      (void)writeAllFd(C->Fd, shard::serializeBusyRecord(
+                                  Frame.Index, Config.RetryAfterMillis));
+  }
+  if (!C->Active && C->InBuf.empty() && C->ReadClosed)
+    closeConn(C->Fd);
+}
+
+/// Deadline-monitor takeover of a compile that did not reach a pass
+/// boundary within the grace period: write the timeout record, poison the
+/// connection and replace the stuck worker thread.
+void Server::abandonJob(const std::shared_ptr<Job> &J) {
+  if (J->Settled.exchange(true))
+    return; // The worker finished in the meantime; nothing to take over.
+  {
+    std::lock_guard<std::mutex> Lock(J->C->WriteMutex);
+    J->Abandoned.store(true);
+    shard::FileResult R;
+    R.Path = J->Path;
+    R.Index = J->Index;
+    R.Started = true;
+    R.Complete = true;
+    R.TimedOut = true;
+    R.Functions = J->Functions;
+    R.DiagText =
+        "mariond: request deadline exceeded; compile abandoned (the worker "
+        "did not reach a pass boundary within the grace period)\n";
+    std::string Text;
+    if (!J->BeganWrite)
+      Text += shard::serializeRecordBegin(R);
+    Text += shard::serializeRecordEnd(R);
+    (void)writeAllFd(J->C->Fd, Text);
+    J->C->Poisoned.store(true);
+  }
+  // EOF the client; the fd stays allocated (never reused) deliberately.
+  ::shutdown(J->C->Fd, SHUT_RDWR);
+  CtrTimedOut.fetch_add(1, std::memory_order_relaxed);
+  CtrAbandoned.fetch_add(1, std::memory_order_relaxed);
+
+  unsigned Slot = J->Slot;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    --Inflight; // The stuck thread no longer counts against the bound.
+    SlotGen[Slot]->fetch_add(1);
+  }
+  // Replace the slot: the old thread keeps running detached until (if
+  // ever) the hung pass returns, notices Settled/the bumped generation,
+  // and exits without touching the connection.
+  Handlers[Slot].detach();
+  uint64_t NewGen = SlotGen[Slot]->load();
+  Handlers[Slot] = std::thread([this, Slot, NewGen] {
+    workerLoop(Slot, NewGen);
+  });
+  QueueCV.notify_all();
+  J->Done.store(true);
+  closeConn(J->C->Fd); // Drop the map reference to the poisoned conn.
+}
+
+void Server::ioLoop() {
+  const Clock::duration Grace =
+      std::chrono::milliseconds(Config.AbandonGraceMillis);
+  const bool HaveReadTimeout = Config.RequestTimeoutSec > 0;
+  const Clock::duration ReadTimeout =
+      std::chrono::seconds(Config.RequestTimeoutSec);
+
+  for (;;) {
+    // Advance connections whose in-flight request completed, then try to
+    // dispatch the next buffered frame on them.
+    for (auto It = Conns.begin(); It != Conns.end();) {
+      auto C = It->second;
+      ++It; // processConnBuffer/closeConn may erase C.
+      if (C->Active && C->Active->Done.load()) {
+        C->Active.reset();
+        if (C->Poisoned.load()) {
+          closeConn(C->Fd);
+          continue;
+        }
+        processConnBuffer(C);
+      }
+    }
+    ActiveJobs.erase(
+        std::remove_if(ActiveJobs.begin(), ActiveJobs.end(),
+                       [](const std::shared_ptr<Job> &J) {
+                         return J->Done.load();
+                       }),
+        ActiveJobs.end());
+
+    // Deadline monitor: cooperative cancel at the deadline, abandonment a
+    // grace period later if the compile still hasn't surfaced. Queued (not
+    // yet running) requests only need the flag — the worker that pops them
+    // fails fast at its first cancel check.
+    Clock::time_point Now = Clock::now();
+    Clock::time_point NextEvent = Now + std::chrono::seconds(3600);
+    for (const std::shared_ptr<Job> &J : ActiveJobs) {
+      if (!J->HasDeadline || J->Done.load())
+        continue;
+      if (!J->CancelFired) {
+        if (Now >= J->Deadline) {
+          J->Cancel.store(true);
+          J->CancelFired = true;
+        } else {
+          NextEvent = std::min(NextEvent, J->Deadline);
+          continue;
+        }
+      }
+      bool Running;
+      {
+        std::lock_guard<std::mutex> Lock(QueueMutex);
+        Running = J->Slot != ~0u;
+      }
+      if (!Running)
+        continue; // Still queued; the cancel flag is enough.
+      if (Now >= J->Deadline + Grace)
+        abandonJob(J);
+      else
+        NextEvent = std::min(NextEvent, J->Deadline + Grace);
+    }
+
+    // Slow-loris guard: a partial frame idle past the request timeout is
+    // answered and dropped (headers-then-silence must not hold state).
+    if (HaveReadTimeout) {
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        auto C = It->second;
+        ++It;
+        if (C->Active || C->InBuf.empty())
+          continue;
+        if (Now - C->LastRead >= ReadTimeout) {
+          CtrMalformed.fetch_add(1, std::memory_order_relaxed);
+          answerErrorRecord(C, 0, "",
+                            "request frame timed out (slow client)");
+          closeConn(C->Fd);
+        } else {
+          NextEvent = std::min(NextEvent, C->LastRead + ReadTimeout);
+        }
+      }
+    }
+
+    // Drain complete?
+    if (Stopping.load()) {
+      if (ListenFd >= 0) {
+        ::close(ListenFd);
+        ListenFd = -1;
+      }
+      bool Drained;
+      {
+        std::lock_guard<std::mutex> Lock(QueueMutex);
+        Drained = Queue.empty() && Inflight == 0;
+      }
+      if (Drained) {
+        Conns.clear(); // Closes every non-poisoned fd.
+        ActiveJobs.clear();
+        return;
+      }
+    }
+
+    // Poll: listen fd, wake pipe, every connection.
+    std::vector<pollfd> PFds;
+    PFds.push_back({WakeRead, POLLIN, 0});
+    if (ListenFd >= 0)
+      PFds.push_back({ListenFd, POLLIN, 0});
+    size_t ConnsAt = PFds.size();
+    std::vector<int> ConnFds;
+    for (const auto &KV : Conns) {
+      PFds.push_back({KV.first, POLLIN, 0});
+      ConnFds.push_back(KV.first);
+    }
+
+    auto Millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      NextEvent - Clock::now())
+                      .count();
+    int Timeout = static_cast<int>(std::min<long long>(
+        std::max<long long>(Millis, 10), Stopping.load() ? 100 : 1000));
+    int NReady = ::poll(PFds.data(), PFds.size(), Timeout);
+    if (NReady < 0 && errno != EINTR)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    // Wake pipe: drain it (workers ping after each completion).
+    if (PFds[0].revents & POLLIN) {
+      char Buf[256];
+      while (::read(WakeRead, Buf, sizeof(Buf)) > 0)
+        ;
+    }
+
+    // New connections.
+    if (ListenFd >= 0 && ConnsAt > 1 && (PFds[1].revents & POLLIN)) {
+      for (;;) {
+        int Fd = ::accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          break;
+        // A response write blocked forever by a never-reading client
+        // would pin a worker; bound it so the write fails instead.
+        timeval SendTimeout;
+        SendTimeout.tv_sec =
+            Config.RequestTimeoutSec > 0
+                ? std::max<long>(Config.RequestTimeoutSec, 5)
+                : 60;
+        SendTimeout.tv_usec = 0;
+        // Blocking fd: workers write responses with plain write() bounded
+        // by this timeout; the IO thread reads with MSG_DONTWAIT.
+        ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+                     sizeof(SendTimeout));
+        auto C = std::make_shared<Conn>();
+        C->Fd = Fd;
+        C->LastRead = Clock::now();
+        Conns[Fd] = C;
+        CtrAccepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Connection reads.
+    for (size_t I = ConnsAt; I < PFds.size(); ++I) {
+      if (!(PFds[I].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      auto It = Conns.find(ConnFds[I - ConnsAt]);
+      if (It == Conns.end())
+        continue;
+      auto C = It->second;
+      char Buf[64 * 1024];
+      for (;;) {
+        ssize_t N = ::recv(C->Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+        if (N > 0) {
+          C->InBuf.append(Buf, static_cast<size_t>(N));
+          C->LastRead = Clock::now();
+          // Backstop against a hostile unbounded stream: the frame parser
+          // caps %SOURCE at 256 MiB, so anything larger here is garbage.
+          if (C->InBuf.size() > (300u << 20)) {
+            CtrMalformed.fetch_add(1, std::memory_order_relaxed);
+            answerErrorRecord(C, 0, "", "request stream too large");
+            closeConn(C->Fd);
+            break;
+          }
+          continue;
+        }
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+          break;
+        // EOF or hard error: stop reading; pending responses still go out.
+        C->ReadClosed = true;
+        break;
+      }
+      if (Conns.count(C->Fd))
+        processConnBuffer(C);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Counters
+//===----------------------------------------------------------------------===//
+
+Server::Counters Server::counters() const {
+  Counters Ctr;
+  Ctr.Accepted = CtrAccepted.load(std::memory_order_relaxed);
+  Ctr.Admitted = CtrAdmitted.load(std::memory_order_relaxed);
+  Ctr.Rejected = CtrRejected.load(std::memory_order_relaxed);
+  Ctr.TimedOut = CtrTimedOut.load(std::memory_order_relaxed);
+  Ctr.Abandoned = CtrAbandoned.load(std::memory_order_relaxed);
+  Ctr.Malformed = CtrMalformed.load(std::memory_order_relaxed);
+  Ctr.MaxQueueDepth = CtrMaxDepth.load(std::memory_order_relaxed);
+  return Ctr;
+}
+
+void Server::registerMetrics(obs::Registry &Reg) const {
+  Counters Ctr = counters();
+  auto S = obs::Section::Timing; // All traffic-dependent.
+  Reg.set("service.conns_accepted", static_cast<int64_t>(Ctr.Accepted), S);
+  Reg.set("service.admitted", static_cast<int64_t>(Ctr.Admitted), S);
+  Reg.set("service.rejected", static_cast<int64_t>(Ctr.Rejected), S);
+  Reg.set("service.timedout", static_cast<int64_t>(Ctr.TimedOut), S);
+  Reg.set("service.abandoned", static_cast<int64_t>(Ctr.Abandoned), S);
+  Reg.set("service.malformed", static_cast<int64_t>(Ctr.Malformed), S);
+  Reg.set("service.max_queue_depth",
+          static_cast<int64_t>(Ctr.MaxQueueDepth), S);
+  Reg.set("service.served", static_cast<int64_t>(requestsServed()), S);
 }

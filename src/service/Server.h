@@ -5,21 +5,39 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The daemon half of DESIGN.md §14: a Unix-domain stream-socket server
-/// wrapping one resident CompileService. Protocol: one compile request per
-/// connection. The client writes a request frame
-/// (shard::serializeRequestFrame) and half-closes; the server compiles and
-/// streams back one framed result record (the same %BEGIN..%END framing
-/// shard workers use), then closes. The %BEGIN/%FUNCS prologue is flushed
-/// as soon as the front end parsed, so a client watching the stream knows
-/// which functions are in flight before the backend finishes.
+/// The daemon half of DESIGN.md §14/§16: a Unix-domain stream-socket server
+/// wrapping one resident CompileService. Protocol v2 multiplexes: a client
+/// sends any number of request frames over one connection and receives one
+/// matched, tagged %BEGIN..%END record per frame, in request order. The v1
+/// one-shot dialect (one frame, half-close, read to EOF) stays accepted —
+/// frames are parsed incrementally, so the half-close is simply the last
+/// frame boundary.
 ///
-/// Concurrency: an accept thread feeds connected sockets to a fixed pool
-/// of handler threads; excess connections queue in the listen backlog and
-/// the fd queue. Malformed or truncated frames are answered with a
-/// diagnosed error record — a broken client never takes the daemon down,
-/// and neither does a client that disconnects mid-response (SIGPIPE is
-/// ignored process-wide once a Server starts).
+/// Concurrency (DESIGN.md §16): one IO thread owns accept(), every
+/// connection's read buffer, frame extraction, admission and the deadline
+/// monitor; a fixed pool of worker threads pops admitted requests from a
+/// bounded queue and writes responses straight to the connection fd. The
+/// admission bound is MaxQueue + MaxInflight; frames above it are answered
+/// immediately with a %BUSY record carrying a retry-after hint, so overload
+/// degrades by contract instead of by silent queueing.
+///
+/// Deadlines: each request's budget is min(client %DEADLINE, the daemon's
+/// --request-timeout), measured from admission. At the deadline the monitor
+/// flips the request's cooperative cancel flag (the pipeline stops at the
+/// next pass boundary and the request is answered with a diagnosed
+/// "timeout" record). A compile that does not reach a pass boundary within
+/// a further grace period is abandoned: the monitor writes the timeout
+/// record itself, poisons the connection (shutdown, fd kept allocated so a
+/// stuck writer can never scribble on a reused descriptor) and replaces the
+/// worker thread, so a hung request never pins a handler. The same timeout
+/// bounds a slow-loris client: a partial frame idle past it is answered
+/// with a diagnosed error record and the connection closed.
+///
+/// Malformed or truncated frames are answered with a diagnosed error
+/// record — a broken client never takes the daemon down, and neither does
+/// a client that disconnects mid-response (SIGPIPE is ignored process-wide
+/// once a Server starts). stop() drains: in-flight and queued requests
+/// finish, new frames are answered %BUSY, then the socket is unlinked.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,20 +48,42 @@
 
 #include <condition_variable>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace marion {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace service {
 
 struct ServerConfig {
   /// Filesystem path of the listening socket. Must fit sockaddr_un
-  /// (~100 bytes); created on start(), unlinked on stop(). A stale file
-  /// at this path is replaced.
+  /// (~100 bytes); created on start(), unlinked on stop(). A stale socket
+  /// file is replaced only after a probe connect confirms no live daemon
+  /// answers on it.
   std::string SocketPath;
-  /// Handler threads — the daemon's request concurrency.
+  /// Handler threads — the daemon's compile concurrency.
   unsigned Workers = 4;
+  /// Admitted-but-not-started requests the daemon will hold. The admission
+  /// bound is MaxQueue + effective MaxInflight; frames arriving above it
+  /// are answered immediately with %BUSY.
+  unsigned MaxQueue = 64;
+  /// Concurrent compiles (0 or > Workers clamps to Workers).
+  unsigned MaxInflight = 0;
+  /// Per-request wall-clock budget in seconds (0 = none), measured from
+  /// admission; also bounds how long a partial request frame may idle
+  /// (slow-loris guard). A client %DEADLINE below this wins.
+  unsigned RequestTimeoutSec = 0;
+  /// Backoff hint carried in %BUSY rejection records.
+  unsigned RetryAfterMillis = 50;
+  /// Grace between the cooperative cancel (pass-boundary) and abandoning
+  /// the worker thread outright.
+  unsigned AbandonGraceMillis = 1000;
   /// The resident service's configuration. mariond defaults to caching on
   /// and all bundled machines warmed.
   CompileService::Config Service;
@@ -53,19 +93,31 @@ struct ServerConfig {
 /// unlinks the socket. Destruction stops implicitly.
 class Server {
 public:
+  /// Daemon-lifetime load counters (exported via registerMetrics).
+  struct Counters {
+    uint64_t Accepted = 0;      ///< Connections accepted.
+    uint64_t Admitted = 0;      ///< Requests admitted (queued/dispatched).
+    uint64_t Rejected = 0;      ///< Frames answered with %BUSY.
+    uint64_t TimedOut = 0;      ///< Requests answered with timeout status.
+    uint64_t Abandoned = 0;     ///< Stuck compiles whose thread was replaced.
+    uint64_t Malformed = 0;     ///< Frames answered with an error record.
+    uint64_t MaxQueueDepth = 0; ///< High-water mark of the admission queue.
+  };
+
   explicit Server(const ServerConfig &C);
   ~Server();
 
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Binds, listens and spawns the accept/handler threads. Returns false
-  /// and fills \p Error on socket failures.
+  /// Binds, listens and spawns the IO/worker threads. Returns false and
+  /// fills \p Error on socket failures — including a live daemon already
+  /// answering on SocketPath.
   bool start(std::string &Error);
 
-  /// Stops accepting, finishes queued and in-flight requests, joins all
-  /// threads and unlinks the socket file. Idempotent; safe to call from a
-  /// signal-watching thread.
+  /// Stops accepting, finishes queued and in-flight requests (answering
+  /// new frames with %BUSY meanwhile), joins all threads and unlinks the
+  /// socket file. Idempotent; safe to call from a signal-watching thread.
   void stop();
 
   /// The resident service (valid for the Server's lifetime).
@@ -74,21 +126,49 @@ public:
   /// Requests served since start (daemon-lifetime counter).
   uint64_t requestsServed() const { return Svc.requestsServed(); }
 
+  /// Snapshot of the load counters.
+  Counters counters() const;
+
+  /// Exports the load counters as "service.*" keys (Timing section — all
+  /// of them depend on traffic, none are deterministic).
+  void registerMetrics(obs::Registry &Reg) const;
+
 private:
-  void acceptLoop();
-  void handlerLoop();
-  void handleConnection(int Fd);
+  struct Conn;
+  struct Job;
+
+  void ioLoop();
+  void workerLoop(unsigned Slot, uint64_t Gen);
+  void processConnBuffer(const std::shared_ptr<Conn> &C);
+  void answerErrorRecord(const std::shared_ptr<Conn> &C, int Index,
+                         const std::string &Path, const std::string &Message);
+  void abandonJob(const std::shared_ptr<Job> &J);
+  void closeConn(int Fd);
+  void wakeIo();
 
   ServerConfig Config;
   CompileService Svc;
   int ListenFd = -1;
+  int WakeRead = -1, WakeWrite = -1;
+  unsigned EffInflight = 1;   ///< Clamped MaxInflight.
+  unsigned AdmissionBound = 1;
   bool Running = false;
   std::atomic<bool> Stopping{false};
-  std::thread Acceptor;
+  std::thread Io;
   std::vector<std::thread> Handlers;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> SlotGen;
   std::mutex QueueMutex;
   std::condition_variable QueueCV;
-  std::deque<int> Pending; ///< Accepted fds awaiting a handler.
+  std::deque<std::shared_ptr<Job>> Queue; ///< Admitted, awaiting a worker.
+  unsigned Inflight = 0;                  ///< Compiles running (QueueMutex).
+
+  // IO-thread-private connection and in-flight-job state (no locking: only
+  // ioLoop touches these after start()).
+  std::map<int, std::shared_ptr<Conn>> Conns;
+  std::vector<std::shared_ptr<Job>> ActiveJobs;
+
+  std::atomic<uint64_t> CtrAccepted{0}, CtrAdmitted{0}, CtrRejected{0},
+      CtrTimedOut{0}, CtrAbandoned{0}, CtrMalformed{0}, CtrMaxDepth{0};
 };
 
 } // namespace service

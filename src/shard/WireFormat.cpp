@@ -2,7 +2,10 @@
 
 #include "shard/WireFormat.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstdarg>
+#include <cstdlib>
 #include <cstring>
 
 using namespace marion;
@@ -10,60 +13,100 @@ using namespace marion::shard;
 
 namespace {
 
-void writeBlob(std::FILE *Out, const char *Tag, const std::string &Blob) {
-  std::fprintf(Out, "%%%s %zu\n", Tag, Blob.size());
-  std::fwrite(Blob.data(), 1, Blob.size(), Out);
-  std::fputc('\n', Out);
+void appendBlob(std::string &Out, const char *Tag, const std::string &Blob) {
+  Out += "%";
+  Out += Tag;
+  Out += " " + std::to_string(Blob.size()) + "\n";
+  Out += Blob;
+  Out += "\n";
+}
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, std::min(static_cast<size_t>(N), sizeof(Buf) - 1));
 }
 
 } // namespace
 
-void shard::writeRecordBegin(std::FILE *Out, const FileResult &R) {
-  std::fprintf(Out, "%%BEGIN %d %s\n", R.Index, R.Path.c_str());
-  std::fprintf(Out, "%%FUNCS %zu\n", R.Functions.size());
+std::string shard::serializeRecordBegin(const FileResult &R) {
+  std::string Out;
+  appendf(Out, "%%BEGIN %d ", R.Index);
+  Out += R.Path + "\n";
+  appendf(Out, "%%FUNCS %zu\n", R.Functions.size());
   for (const std::string &Name : R.Functions)
-    std::fprintf(Out, "%s\n", Name.c_str());
+    Out += Name + "\n";
+  return Out;
+}
+
+std::string shard::serializeRecordEnd(const FileResult &R) {
+  std::string Out;
+  // "timeout" (v2) still means "not ok", but lets the client map the
+  // failure to the documented exit-code-4 contract.
+  appendf(Out, "%%RESULT %s %zu\n",
+          R.TimedOut ? "timeout" : (R.Ok ? "ok" : "fail"),
+          R.FailedFunctions.size());
+  for (const std::string &Name : R.FailedFunctions)
+    Out += Name + "\n";
+  appendBlob(Out, "ASM", R.Assembly);
+  appendBlob(Out, "DIAG", R.DiagText);
+  appendf(Out, "%%STATS %u %u %u %ld %ld %ld %ld %u %u %.17g\n",
+          R.Stats.SchedulerPasses, R.Stats.SpilledPseudos,
+          R.Stats.AllocatorRounds, R.Stats.EstimatedCycles,
+          R.Stats.ScheduledInstrs, R.Stats.DagNodes, R.Stats.DagEdges,
+          R.Stats.AllocGraphBlocks, R.Stats.AllocIncrementalBlocks,
+          R.BackendMillis);
+  appendf(Out, "%%SELECT %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+          R.Select.NodesMatched, R.Select.PatternsProbed, R.Select.BucketProbes,
+          R.Select.LinearProbes);
+  appendf(Out, "%%PASSES %zu\n", R.Passes.size());
+  for (const pipeline::PassStats &PS : R.Passes) {
+    Out += PS.Name;
+    appendf(Out, " %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 " %.17g\n",
+            PS.Runs, PS.Micros, PS.InstrsAfter, PS.CachedRuns,
+            PS.CachedMicros);
+  }
+  appendf(Out, "%%OBS %.17g %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+          R.Obs.AllocGraphNanos, R.Obs.PoolJobs, R.Obs.PoolTasks,
+          R.Obs.PoolStolen);
+  appendf(Out,
+          "%%CACHE %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+          " %" PRIu64 "\n",
+          R.Cache.Hits, R.Cache.Misses, R.Cache.DiskHits, R.Cache.Inserts,
+          R.Cache.Evictions, R.Cache.BytesUsed);
+  appendf(Out,
+          "%%SIM %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+          " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+          R.Sim.Runs, R.Sim.Cycles, R.Sim.Instructions, R.Sim.IssueCycles,
+          R.Sim.Nops, R.Sim.NopCycles, R.Sim.Stalls.Branch,
+          R.Sim.Stalls.Interlock, R.Sim.Stalls.Memory, R.Sim.Stalls.Resource);
+  appendBlob(Out, "TRACE", R.TraceFragment);
+  appendf(Out, "%%END %d\n", R.Index);
+  return Out;
+}
+
+std::string shard::serializeBusyRecord(int Index, uint32_t RetryAfterMillis) {
+  std::string Out;
+  appendf(Out, "%%BUSY %d %u\n", Index, RetryAfterMillis);
+  return Out;
+}
+
+void shard::writeRecordBegin(std::FILE *Out, const FileResult &R) {
+  std::string Text = serializeRecordBegin(R);
+  std::fwrite(Text.data(), 1, Text.size(), Out);
   std::fflush(Out);
 }
 
 void shard::writeRecordEnd(std::FILE *Out, const FileResult &R) {
-  std::fprintf(Out, "%%RESULT %s %zu\n", R.Ok ? "ok" : "fail",
-               R.FailedFunctions.size());
-  for (const std::string &Name : R.FailedFunctions)
-    std::fprintf(Out, "%s\n", Name.c_str());
-  writeBlob(Out, "ASM", R.Assembly);
-  writeBlob(Out, "DIAG", R.DiagText);
-  std::fprintf(Out, "%%STATS %u %u %u %ld %ld %ld %ld %u %u %.17g\n",
-               R.Stats.SchedulerPasses, R.Stats.SpilledPseudos,
-               R.Stats.AllocatorRounds, R.Stats.EstimatedCycles,
-               R.Stats.ScheduledInstrs, R.Stats.DagNodes, R.Stats.DagEdges,
-               R.Stats.AllocGraphBlocks, R.Stats.AllocIncrementalBlocks,
-               R.BackendMillis);
-  std::fprintf(Out, "%%SELECT %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                    "\n",
-               R.Select.NodesMatched, R.Select.PatternsProbed,
-               R.Select.BucketProbes, R.Select.LinearProbes);
-  std::fprintf(Out, "%%PASSES %zu\n", R.Passes.size());
-  for (const pipeline::PassStats &PS : R.Passes)
-    std::fprintf(Out, "%s %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 " %.17g\n",
-                 PS.Name.c_str(), PS.Runs, PS.Micros, PS.InstrsAfter,
-                 PS.CachedRuns, PS.CachedMicros);
-  std::fprintf(Out, "%%OBS %.17g %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
-               R.Obs.AllocGraphNanos, R.Obs.PoolJobs, R.Obs.PoolTasks,
-               R.Obs.PoolStolen);
-  std::fprintf(Out, "%%CACHE %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                    " %" PRIu64 " %" PRIu64 "\n",
-               R.Cache.Hits, R.Cache.Misses, R.Cache.DiskHits,
-               R.Cache.Inserts, R.Cache.Evictions, R.Cache.BytesUsed);
-  std::fprintf(Out, "%%SIM %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                    " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                    " %" PRIu64 " %" PRIu64 "\n",
-               R.Sim.Runs, R.Sim.Cycles, R.Sim.Instructions,
-               R.Sim.IssueCycles, R.Sim.Nops, R.Sim.NopCycles,
-               R.Sim.Stalls.Branch, R.Sim.Stalls.Interlock,
-               R.Sim.Stalls.Memory, R.Sim.Stalls.Resource);
-  writeBlob(Out, "TRACE", R.TraceFragment);
-  std::fprintf(Out, "%%END %d\n", R.Index);
+  std::string Text = serializeRecordEnd(R);
+  std::fwrite(Text.data(), 1, Text.size(), Out);
   std::fflush(Out);
 }
 
@@ -119,6 +162,7 @@ bool parseRecordBody(Cursor &C, FileResult &R) {
     if (std::sscanf(Line.c_str(), "%%RESULT %7s %zu", Status, &NFailed) != 2)
       return false;
     R.Ok = std::strcmp(Status, "ok") == 0;
+    R.TimedOut = std::strcmp(Status, "timeout") == 0;
     for (size_t I = 0; I < NFailed; ++I) {
       if (!C.line(Line))
         return false;
@@ -230,10 +274,14 @@ bool CompileRequestFrame::hasFlag(const std::string &F) const {
 }
 
 std::string shard::serializeRequestFrame(const CompileRequestFrame &Req) {
-  std::string Out = "%REQUEST " + std::to_string(Req.Index) + " " + Req.Path +
-                    "\n";
+  std::string Out;
+  if (Req.Proto >= 2)
+    Out += "%PROTO " + std::to_string(Req.Proto) + "\n";
+  Out += "%REQUEST " + std::to_string(Req.Index) + " " + Req.Path + "\n";
   Out += "%MACHINE " + Req.Machine + "\n";
   Out += "%STRATEGY " + Req.Strategy + "\n";
+  if (Req.DeadlineMillis > 0)
+    Out += "%DEADLINE " + std::to_string(Req.DeadlineMillis) + "\n";
   Out += "%FLAGS " + std::to_string(Req.Flags.size()) + "\n";
   for (const std::string &F : Req.Flags)
     Out += F + "\n";
@@ -243,50 +291,124 @@ std::string shard::serializeRequestFrame(const CompileRequestFrame &Req) {
   return Out;
 }
 
-bool shard::parseRequestFrame(const std::string &Text,
-                              CompileRequestFrame &Req, std::string &Error) {
-  Cursor C{Text};
+FrameParse shard::parseRequestFramePrefix(const std::string &Buf,
+                                          size_t &Consumed,
+                                          CompileRequestFrame &Req,
+                                          std::string &Error) {
+  // Reset: the caller retries with a longer buffer after NeedMore, and
+  // Flags/Source must not accumulate across attempts.
+  Req = CompileRequestFrame();
+  Cursor C{Buf};
   std::string Line;
-  auto fail = [&](const char *What) {
+  auto malformed = [&](const char *What) {
     Error = What;
-    return false;
+    return FrameParse::Malformed;
   };
-  if (!C.line(Line) || Line.rfind("%REQUEST ", 0) != 0)
-    return fail("missing %REQUEST header");
+  // A missing newline is a valid-prefix stall: the client is still
+  // writing (or has stalled — the daemon's read timeout handles that).
+  if (!C.line(Line))
+    return FrameParse::NeedMore;
+  if (Line.rfind("%PROTO ", 0) == 0) {
+    Req.Proto = static_cast<int>(std::strtol(Line.c_str() + 7, nullptr, 10));
+    if (Req.Proto < 1)
+      return malformed("malformed %PROTO version");
+    if (!C.line(Line))
+      return FrameParse::NeedMore;
+  }
+  if (Line.rfind("%REQUEST ", 0) != 0)
+    return malformed("missing %REQUEST header");
   {
     char *End = nullptr;
     Req.Index = static_cast<int>(std::strtol(Line.c_str() + 9, &End, 10));
     if (!End || *End != ' ')
-      return fail("malformed %REQUEST header");
+      return malformed("malformed %REQUEST header");
     Req.Path = End + 1;
     if (Req.Path.empty())
-      return fail("empty request path");
+      return malformed("empty request path");
   }
-  if (!C.line(Line) || Line.rfind("%MACHINE ", 0) != 0)
-    return fail("missing %MACHINE");
+  if (!C.line(Line))
+    return FrameParse::NeedMore;
+  if (Line.rfind("%MACHINE ", 0) != 0)
+    return malformed("missing %MACHINE");
   Req.Machine = Line.substr(std::strlen("%MACHINE "));
-  if (!C.line(Line) || Line.rfind("%STRATEGY ", 0) != 0)
-    return fail("missing %STRATEGY");
+  if (!C.line(Line))
+    return FrameParse::NeedMore;
+  if (Line.rfind("%STRATEGY ", 0) != 0)
+    return malformed("missing %STRATEGY");
   Req.Strategy = Line.substr(std::strlen("%STRATEGY "));
-  if (!C.line(Line) || Line.rfind("%FLAGS ", 0) != 0)
-    return fail("missing %FLAGS");
+  if (!C.line(Line))
+    return FrameParse::NeedMore;
+  if (Line.rfind("%DEADLINE ", 0) == 0) {
+    Req.DeadlineMillis = std::strtoull(Line.c_str() + 10, nullptr, 10);
+    if (!C.line(Line))
+      return FrameParse::NeedMore;
+  }
+  if (Line.rfind("%FLAGS ", 0) != 0)
+    return malformed("missing %FLAGS");
   size_t NFlags = std::strtoull(Line.c_str() + 7, nullptr, 10);
   if (NFlags > 1024)
-    return fail("implausible %FLAGS count");
+    return malformed("implausible %FLAGS count");
   for (size_t I = 0; I < NFlags; ++I) {
     if (!C.line(Line))
-      return fail("truncated flag list");
+      return FrameParse::NeedMore;
     Req.Flags.push_back(Line);
   }
-  if (!C.line(Line) || Line.rfind("%SOURCE ", 0) != 0)
-    return fail("missing %SOURCE");
+  if (!C.line(Line))
+    return FrameParse::NeedMore;
+  if (Line.rfind("%SOURCE ", 0) != 0)
+    return malformed("missing %SOURCE");
   size_t N = std::strtoull(Line.c_str() + 8, nullptr, 10);
+  // Cap the declared payload so a hostile length can't make the daemon
+  // buffer without bound waiting for bytes that will never come.
+  if (N > (256u << 20))
+    return malformed("implausible %SOURCE size");
   if (!C.blob(N, Req.Source))
-    return fail("truncated source payload");
-  if (!C.line(Line) || Line != "%ENDREQ")
-    return fail("missing %ENDREQ trailer");
+    return FrameParse::NeedMore;
+  if (!C.line(Line))
+    return FrameParse::NeedMore;
+  if (Line != "%ENDREQ")
+    return malformed("missing %ENDREQ trailer");
+  Consumed = C.Pos;
+  return FrameParse::Complete;
+}
+
+bool shard::parseRequestFrame(const std::string &Text,
+                              CompileRequestFrame &Req, std::string &Error) {
+  size_t Consumed = 0;
+  switch (parseRequestFramePrefix(Text, Consumed, Req, Error)) {
+  case FrameParse::Complete:
+    if (Consumed != Text.size()) {
+      Error = "trailing bytes after %ENDREQ";
+      return false;
+    }
+    return true;
+  case FrameParse::NeedMore:
+    Error = "truncated request frame";
+    return false;
+  case FrameParse::Malformed:
+    break;
+  }
+  return false;
+}
+
+namespace {
+
+/// Parses a "%BUSY <index> <retry-ms>" line into \p R. Returns false when
+/// the line is malformed (the caller skips it as stray output).
+bool parseBusyLine(const std::string &Line, FileResult &R) {
+  int Index = 0;
+  unsigned Retry = 0;
+  if (std::sscanf(Line.c_str(), "%%BUSY %d %u", &Index, &Retry) != 2)
+    return false;
+  R = FileResult();
+  R.Index = Index;
+  R.Busy = true;
+  R.RetryAfterMillis = Retry;
+  R.Complete = true; // One-line record: it is all there.
   return true;
 }
+
+} // namespace
 
 std::vector<FileResult> shard::parseWorkerOutput(const std::string &Text) {
   std::vector<FileResult> Out;
@@ -295,6 +417,12 @@ std::vector<FileResult> shard::parseWorkerOutput(const std::string &Text) {
   while (!C.atEnd()) {
     if (!C.line(Line))
       break;
+    if (Line.rfind("%BUSY ", 0) == 0) {
+      FileResult R;
+      if (parseBusyLine(Line, R))
+        Out.push_back(std::move(R));
+      continue;
+    }
     if (Line.rfind("%BEGIN ", 0) != 0)
       continue; // Resynchronize past stray output.
     FileResult R;
@@ -307,4 +435,45 @@ std::vector<FileResult> shard::parseWorkerOutput(const std::string &Text) {
     Out.push_back(std::move(R));
   }
   return Out;
+}
+
+bool shard::extractResultRecord(const std::string &Buf, size_t &Consumed,
+                                FileResult &R) {
+  size_t Start = 0;
+  for (;;) {
+    if (Buf.compare(Start, 6, "%BUSY ") == 0) {
+      size_t Nl = Buf.find('\n', Start);
+      if (Nl == std::string::npos)
+        return false; // Line still arriving.
+      if (parseBusyLine(Buf.substr(Start, Nl - Start), R)) {
+        Consumed = Nl + 1;
+        return true;
+      }
+      Start = Nl + 1; // Malformed %BUSY: skip as stray output.
+      continue;
+    }
+    if (Buf.compare(Start, 7, "%BEGIN ") == 0)
+      break;
+    // Skip one stray line — but only once its newline arrived, so a
+    // partial "%BEG" tail is never misjudged as stray.
+    size_t Nl = Buf.find('\n', Start);
+    if (Nl == std::string::npos)
+      return false;
+    Start = Nl + 1;
+  }
+  Cursor C{Buf};
+  C.Pos = Start;
+  std::string Line;
+  if (!C.line(Line))
+    return false; // %BEGIN header line still arriving.
+  R = FileResult();
+  char *End = nullptr;
+  R.Index = static_cast<int>(std::strtol(Line.c_str() + 7, &End, 10));
+  if (End && *End == ' ')
+    R.Path = End + 1;
+  R.Started = true;
+  if (!parseRecordBody(C, R))
+    return false; // Body truncated: wait for more bytes.
+  Consumed = C.Pos;
+  return true;
 }

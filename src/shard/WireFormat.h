@@ -29,9 +29,11 @@
 ///
 /// The request side is the frame a remote client sends to `mariond`:
 ///
+///   %PROTO <version>                     protocol dialect (v2; optional)
 ///   %REQUEST <index> <path>              display path (diagnostic prefix)
 ///   %MACHINE <name>                      target machine
 ///   %STRATEGY <name>                     code generation strategy
+///   %DEADLINE <millis>                   client budget (v2; optional)
 ///   %FLAGS <n>  +  n token lines         semantic/request flags (cycles,
 ///                                        linear, alloc-linear, sim-profile,
 ///                                        sim-cache, trace, dump:<pass>)
@@ -41,6 +43,17 @@
 /// The source travels by value, so the daemon never depends on the
 /// client's working directory, and the length prefix keeps arbitrary
 /// source bytes unambiguous on the stream.
+///
+/// Protocol v2 (DESIGN.md §16) multiplexes requests: a client may send any
+/// number of frames over one connection, without half-closing, and receives
+/// one matched response record per frame (tagged by the echoed index), in
+/// request order. The v1 one-shot dialect — one frame, half-close, read to
+/// EOF — stays accepted: the daemon parses frames incrementally, so the
+/// half-close is simply the last frame boundary. Two response forms are v2
+/// additions: a `%BUSY <index> <retry-after-ms>` record, emitted instead of
+/// %BEGIN when the daemon's admission queue is full (or it is draining),
+/// and a "timeout" status token on %RESULT for requests cancelled by the
+/// per-request deadline (the client maps it to the exit-code-4 contract).
 ///
 /// The worker flushes after %FUNCS and after %END, so when it crashes or
 /// is killed mid-file the parent still knows (a) which files completed,
@@ -67,6 +80,12 @@
 
 namespace marion {
 namespace shard {
+
+/// Wire protocol dialect this build speaks. v1 is the PR-7 one-shot
+/// half-close dialect; v2 adds request multiplexing, the %DEADLINE field,
+/// %BUSY rejection records and the "timeout" result status. The daemon
+/// accepts both; clients announce v2 with a %PROTO line.
+constexpr int kWireProtoVersion = 2;
 
 /// Per-file simulator cycle/stall totals (--sim-profile under --shards):
 /// the numeric part of a SimResult that survives the wire. The rendered
@@ -135,6 +154,13 @@ struct FileResult {
   bool Started = false;  ///< %BEGIN seen (front end ran).
   bool Complete = false; ///< %END seen (record is trustworthy).
   bool Ok = false;
+  /// %BUSY record (v2): the daemon rejected the request at admission; no
+  /// compile ran. RetryAfterMillis is the daemon's backoff hint.
+  bool Busy = false;
+  uint32_t RetryAfterMillis = 0;
+  /// %RESULT carried the "timeout" status (v2): the request's deadline
+  /// expired and the compile was cancelled. Maps to exit code 4.
+  bool TimedOut = false;
   std::vector<std::string> Functions;       ///< Manifest from the front end.
   std::vector<std::string> FailedFunctions; ///< Diagnosed stubs.
   std::string Assembly;
@@ -161,21 +187,46 @@ void writeRecordBegin(std::FILE *Out, const FileResult &R);
 /// Writes the rest of \p R's record (%RESULT through %END) and flushes.
 void writeRecordEnd(std::FILE *Out, const FileResult &R);
 
+/// String forms of the two record halves, for writers that frame onto a
+/// raw fd (the daemon's handler and deadline monitor) instead of stdio.
+std::string serializeRecordBegin(const FileResult &R);
+std::string serializeRecordEnd(const FileResult &R);
+
+/// Renders a one-line %BUSY rejection record for request \p Index with a
+/// \p RetryAfterMillis backoff hint.
+std::string serializeBusyRecord(int Index, uint32_t RetryAfterMillis);
+
 /// Parses a worker output stream. Tolerates truncation anywhere: complete
 /// records come back with Complete = true; a trailing partial record (the
 /// file the worker died in) comes back with Started = true, Complete =
-/// false, and whatever manifest was flushed.
+/// false, and whatever manifest was flushed. %BUSY lines become records
+/// with Busy = true.
 std::vector<FileResult> parseWorkerOutput(const std::string &Text);
+
+/// Incremental response reader (v2 clients): tries to extract exactly one
+/// complete record (%BEGIN..%END or %BUSY) from the front of \p Buf.
+/// Returns true and sets \p Consumed to the bytes to discard when a record
+/// was parsed; returns false when the buffer holds no complete record yet
+/// (read more, then retry). Stray bytes before the first record marker are
+/// skipped only once a marker follows them, so a partial marker is never
+/// misjudged.
+bool extractResultRecord(const std::string &Buf, size_t &Consumed,
+                         FileResult &R);
 
 /// One compile request as sent over a mariond socket: everything the
 /// service needs to reproduce a local `marionc` compile of one file,
 /// including the source text itself (see the file comment for the frame
 /// grammar).
 struct CompileRequestFrame {
+  /// Dialect the client announced (%PROTO line); 1 when absent.
+  int Proto = 1;
   int Index = 0;       ///< Client-local index, echoed in the response.
   std::string Path;    ///< Display path: diagnostic prefix + module name.
   std::string Machine = "r2000";
   std::string Strategy = "postpass";
+  /// Client-supplied deadline budget in milliseconds (0 = none). The
+  /// daemon enforces min(this, its own --request-timeout).
+  uint64_t DeadlineMillis = 0;
   /// Flag tokens, in the client's order: "cycles", "linear",
   /// "alloc-linear", "sim-profile", "sim-cache", "trace", "dump:<pass>".
   std::vector<std::string> Flags;
@@ -185,7 +236,8 @@ struct CompileRequestFrame {
 };
 
 /// Renders \p Req as a request frame (the bytes a client writes before
-/// shutting down its write side).
+/// shutting down its write side). %PROTO and %DEADLINE lines appear only
+/// when Proto >= 2 / DeadlineMillis > 0, so v1 frames stay byte-stable.
 std::string serializeRequestFrame(const CompileRequestFrame &Req);
 
 /// Parses one request frame. Returns false and fills \p Error on any
@@ -193,6 +245,15 @@ std::string serializeRequestFrame(const CompileRequestFrame &Req);
 /// such frames with a diagnosed error record instead of dying.
 bool parseRequestFrame(const std::string &Text, CompileRequestFrame &Req,
                        std::string &Error);
+
+/// Incremental request parse over a growing connection buffer. NeedMore
+/// means the bytes so far are a valid frame prefix — read more and retry;
+/// Complete sets \p Consumed to the frame's length; Malformed fills
+/// \p Error (the connection is answered with a diagnosed record).
+enum class FrameParse { Complete, NeedMore, Malformed };
+FrameParse parseRequestFramePrefix(const std::string &Buf, size_t &Consumed,
+                                   CompileRequestFrame &Req,
+                                   std::string &Error);
 
 } // namespace shard
 } // namespace marion

@@ -12,10 +12,13 @@
 #include "driver/ExitCodes.h"
 #include "service/Client.h"
 #include "service/CompileService.h"
+#include "service/Server.h"
 #include "support/Paths.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -397,9 +400,14 @@ TEST(ServiceRemote, SurvivesMalformedAndTruncatedFrames) {
 
   // A client that vanishes mid-frame gets no answer; the daemon moves on.
   rawExchange(D.Socket, "%REQUEST 0 half.mc\n%MACHINE r2000\n", false);
-  // An empty connection (immediate half-close) is just a malformed frame.
+  // An empty connection (immediate half-close) is tolerated silently —
+  // that's the shape of a liveness probe, not a malformed frame.
   Response = rawExchange(D.Socket, "", true);
-  EXPECT_NE(Response.find("bad request"), std::string::npos);
+  EXPECT_EQ(Response, "");
+  // A half-closed truncated frame, by contrast, is diagnosed.
+  Response =
+      rawExchange(D.Socket, "%REQUEST 0 half.mc\n%MACHINE r2000\n", true);
+  EXPECT_NE(Response.find("truncated"), std::string::npos) << Response;
 
   // The daemon still serves real work afterwards.
   service::CompileRequest Req = makeRequest("w.mc", "r2000", "postpass");
@@ -457,6 +465,417 @@ TEST(ServiceRemote, SigtermShutsDownCleanlyAndRemovesSocket) {
   EXPECT_EQ(D.stop(), driver::ExitSuccess);
   EXPECT_NE(::access(Socket.c_str(), F_OK), 0)
       << "socket file must be unlinked on shutdown";
+}
+
+//===--------------------------------------------------------------------===//
+// Protocol v2 framing: %PROTO/%DEADLINE fields, %BUSY records and the
+// incremental parsers both sides of the multiplexed dialect rely on.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceFrame, ProtoAndDeadlineRoundTrip) {
+  service::CompileRequest Req = makeRequest("f.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 1; }\n";
+  Req.DeadlineMillis = 1500;
+  shard::CompileRequestFrame Frame = service::frameFromRequest(Req);
+  EXPECT_EQ(Frame.Proto, shard::kWireProtoVersion);
+  std::string Wire = shard::serializeRequestFrame(Frame);
+  EXPECT_NE(Wire.find("%PROTO 2\n"), std::string::npos) << Wire;
+  EXPECT_NE(Wire.find("%DEADLINE 1500\n"), std::string::npos) << Wire;
+
+  shard::CompileRequestFrame Back;
+  std::string Error;
+  ASSERT_TRUE(shard::parseRequestFrame(Wire, Back, Error)) << Error;
+  EXPECT_EQ(Back.Proto, shard::kWireProtoVersion);
+  EXPECT_EQ(Back.DeadlineMillis, 1500u);
+
+  // No deadline -> a v1-dialect frame, byte-stable: no v2 lines at all.
+  Req.DeadlineMillis = 0;
+  std::string V1 =
+      shard::serializeRequestFrame(service::frameFromRequest(Req));
+  EXPECT_EQ(V1.find("%PROTO"), std::string::npos);
+  EXPECT_EQ(V1.find("%DEADLINE"), std::string::npos);
+  ASSERT_TRUE(shard::parseRequestFrame(V1, Back, Error)) << Error;
+  EXPECT_EQ(Back.Proto, 1);
+  EXPECT_EQ(Back.DeadlineMillis, 0u);
+}
+
+TEST(ServiceFrame, BusyRecordRoundTripsThroughBothParsers) {
+  std::string Busy = shard::serializeBusyRecord(3, 75);
+  shard::FileResult R;
+  size_t Consumed = 0;
+  ASSERT_TRUE(shard::extractResultRecord(Busy, Consumed, R));
+  EXPECT_EQ(Consumed, Busy.size());
+  EXPECT_TRUE(R.Busy);
+  EXPECT_TRUE(R.Complete);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Index, 3);
+  EXPECT_EQ(R.RetryAfterMillis, 75u);
+
+  // The batch parser (v1 EOF path) sees the same record.
+  std::vector<shard::FileResult> Batch = shard::parseWorkerOutput(Busy);
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_TRUE(Batch[0].Busy);
+  EXPECT_EQ(Batch[0].RetryAfterMillis, 75u);
+}
+
+TEST(ServiceFrame, ExtractResultRecordIsIncrementalAndOrdered) {
+  shard::FileResult A;
+  A.Index = 4;
+  A.Path = "a.mc";
+  A.Ok = true;
+  A.Complete = true;
+  A.Functions = {"f", "g"};
+  A.Assembly = "asm with\n%BEG look-alike\n";
+  A.DiagText = "warn\n";
+  std::string Wire =
+      shard::serializeRecordBegin(A) + shard::serializeRecordEnd(A);
+  std::string Busy = shard::serializeBusyRecord(5, 10);
+  std::string Stream = Wire + Busy;
+
+  // Byte-by-byte: no record until A's final newline, then A, then (after
+  // the %BUSY line completes) the rejection record — order preserved.
+  shard::FileResult Out;
+  size_t Consumed = 0;
+  for (size_t N = 0; N < Wire.size(); ++N)
+    EXPECT_FALSE(
+        shard::extractResultRecord(Stream.substr(0, N), Consumed, Out))
+        << "premature record at prefix length " << N;
+  std::string Buf = Stream;
+  ASSERT_TRUE(shard::extractResultRecord(Buf, Consumed, Out));
+  EXPECT_EQ(Consumed, Wire.size());
+  EXPECT_EQ(Out.Index, 4);
+  EXPECT_TRUE(Out.Ok);
+  EXPECT_FALSE(Out.TimedOut);
+  EXPECT_EQ(Out.Assembly, A.Assembly);
+  EXPECT_EQ(Out.Functions, A.Functions);
+  Buf.erase(0, Consumed);
+  ASSERT_TRUE(shard::extractResultRecord(Buf, Consumed, Out));
+  EXPECT_EQ(Consumed, Busy.size());
+  EXPECT_TRUE(Out.Busy);
+  EXPECT_EQ(Out.Index, 5);
+}
+
+TEST(ServiceFrame, TimeoutStatusRoundTrips) {
+  shard::FileResult R;
+  R.Index = 0;
+  R.Path = "t.mc";
+  R.TimedOut = true;
+  R.DiagText = "deadline exceeded\n";
+  std::string Wire =
+      shard::serializeRecordBegin(R) + shard::serializeRecordEnd(R);
+  EXPECT_NE(Wire.find("%RESULT timeout"), std::string::npos) << Wire;
+  shard::FileResult Out;
+  size_t Consumed = 0;
+  ASSERT_TRUE(shard::extractResultRecord(Wire, Consumed, Out));
+  EXPECT_TRUE(Out.TimedOut);
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_TRUE(Out.Complete);
+}
+
+TEST(ServiceFrame, RequestPrefixParsesIncrementally) {
+  service::CompileRequest Req = makeRequest("f.mc", "i860", "ips");
+  Req.Cycles = true;
+  Req.Source = "int main() { return 3; }\n";
+  Req.DeadlineMillis = 250;
+  std::string Wire =
+      shard::serializeRequestFrame(service::frameFromRequest(Req));
+
+  // Every proper prefix is NeedMore (a valid frame prefix, never
+  // Malformed); the full frame is Complete with the exact length.
+  shard::CompileRequestFrame Out;
+  std::string Error;
+  size_t Consumed = 0;
+  for (size_t N = 0; N < Wire.size(); ++N)
+    EXPECT_EQ(shard::parseRequestFramePrefix(Wire.substr(0, N), Consumed, Out,
+                                             Error),
+              shard::FrameParse::NeedMore)
+        << "prefix length " << N << ": " << Error;
+  // Two frames back to back: the first parse consumes exactly one.
+  std::string Two = Wire + Wire;
+  ASSERT_EQ(shard::parseRequestFramePrefix(Two, Consumed, Out, Error),
+            shard::FrameParse::Complete)
+      << Error;
+  EXPECT_EQ(Consumed, Wire.size());
+  EXPECT_EQ(Out.Machine, "i860");
+  EXPECT_EQ(Out.DeadlineMillis, 250u);
+  EXPECT_TRUE(Out.hasFlag("cycles"));
+
+  EXPECT_EQ(shard::parseRequestFramePrefix("%WRONG 0 x\n", Consumed, Out,
+                                           Error),
+            shard::FrameParse::Malformed);
+}
+
+//===--------------------------------------------------------------------===//
+// Cooperative cancellation: a cancelled request compiles nothing, is
+// diagnosed, reports timeout status, and never pollutes the cache.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceCore, PreCancelledRequestReportsTimeout) {
+  service::CompileService::Config Cfg;
+  Cfg.UseCache = true;
+  service::CompileService Svc(Cfg);
+  service::CompileRequest Req = makeRequest(kWorkloads[1], "r2000", "postpass");
+  std::atomic<bool> Cancel{true};
+  Req.Opts.Cancel = &Cancel;
+  shard::FileResult R = Svc.compile(Req);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_NE(R.DiagText.find("deadline"), std::string::npos) << R.DiagText;
+
+  // The cancelled run must not have cached anything: the same request
+  // without the flag compiles for real and matches an uncancelled service.
+  Req.Opts.Cancel = nullptr;
+  shard::FileResult Clean = Svc.compile(Req);
+  ASSERT_TRUE(Clean.Ok) << Clean.DiagText;
+  service::CompileService Fresh(Cfg);
+  shard::FileResult Want =
+      Fresh.compile(makeRequest(kWorkloads[1], "r2000", "postpass"));
+  EXPECT_EQ(Clean.Assembly, Want.Assembly);
+}
+
+//===--------------------------------------------------------------------===//
+// Multiplexing: one connection, many requests, responses matched in order
+// and bit-identical to local compiles.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, MultiplexedConnectionMatchesLocalAcrossMachines) {
+  Daemon D;
+  service::CompileService Local((service::CompileService::Config()));
+  service::DaemonClient Client(D.Socket);
+  int Index = 0;
+  for (const char *Machine : {"toyp", "r2000", "m88000", "i860"})
+    for (const char *Strategy : {"postpass", "ips", "rase"}) {
+      service::CompileRequest Req =
+          makeRequest(kWorkloads[Index % 4], Machine, Strategy);
+      std::string Source, ReadError;
+      ASSERT_TRUE(readFile(Req.Path, Source, ReadError)) << ReadError;
+      Req.Source = Source;
+      Req.Index = Index++;
+      shard::FileResult Want = Local.compile(Req);
+
+      shard::FileResult Got;
+      std::string Error;
+      ASSERT_TRUE(
+          Client.compile(service::frameFromRequest(Req), Got, Error))
+          << Machine << "/" << Strategy << ": " << Error;
+      ASSERT_TRUE(Client.connected())
+          << "client must keep the one connection across requests";
+      std::string Label = std::string(Machine) + "/" + Strategy;
+      EXPECT_EQ(Got.Index, Req.Index) << Label;
+      EXPECT_EQ(Got.Ok, Want.Ok) << Label;
+      EXPECT_EQ(Got.Assembly, Want.Assembly) << Label;
+      EXPECT_EQ(Got.DiagText, Want.DiagText) << Label;
+      EXPECT_EQ(Got.Functions, Want.Functions) << Label;
+    }
+}
+
+//===--------------------------------------------------------------------===//
+// Backpressure: a full admission queue answers %BUSY immediately — it
+// never hangs the client — and retries land once capacity frees up.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, QueueFullAnswersBusyImmediatelyThenRetrySucceeds) {
+  // Deterministic overload: one worker, zero queue (admission bound 1),
+  // and a first request that hangs in the scheduler until the 1s deadline
+  // abandons it.
+  Daemon D({"--workers=1", "--max-queue=0", "--request-timeout=1",
+            "--inject-fault=postpass-sched:hang"});
+  std::thread Hung([&] {
+    service::CompileRequest Req = makeRequest("hang.mc", "r2000", "postpass");
+    Req.Source = "int main() { return 0; }\n";
+    shard::FileResult R;
+    std::string Error;
+    ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                       service::frameFromRequest(Req), R,
+                                       Error))
+        << Error;
+    EXPECT_TRUE(R.TimedOut) << R.DiagText;
+    EXPECT_FALSE(R.Ok);
+    EXPECT_NE(R.DiagText.find("deadline"), std::string::npos) << R.DiagText;
+  });
+  ::usleep(300 * 1000); // Let the hung request occupy the only slot.
+
+  service::CompileRequest Req = makeRequest("busy.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 1; }\n";
+
+  // No retries: %BUSY comes back as a complete record, fast.
+  auto T0 = std::chrono::steady_clock::now();
+  shard::FileResult R;
+  std::string Error;
+  service::DaemonClient OneShot(D.Socket);
+  ASSERT_TRUE(OneShot.compile(service::frameFromRequest(Req), R, Error))
+      << Error;
+  double Millis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  EXPECT_TRUE(R.Busy);
+  EXPECT_TRUE(R.Complete);
+  EXPECT_GT(R.RetryAfterMillis, 0u);
+  EXPECT_LT(Millis, 1000.0) << "%BUSY must be immediate, not queued";
+
+  // With retries: the request lands once the hung compile is abandoned.
+  service::RetryPolicy Retry;
+  Retry.Attempts = 50;
+  Retry.BackoffMillis = 100;
+  service::DaemonClient Patient(D.Socket, Retry);
+  ASSERT_TRUE(Patient.compile(service::frameFromRequest(Req), R, Error))
+      << Error;
+  EXPECT_FALSE(R.Busy);
+  EXPECT_TRUE(R.Ok) << R.DiagText;
+  Hung.join();
+}
+
+//===--------------------------------------------------------------------===//
+// Deadlines: a client-supplied %DEADLINE is enforced server-side, maps to
+// marionc's exit-code-4 contract, and the daemon keeps serving after
+// abandoning the stuck worker.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, ClientDeadlineTimesOutHungRequestExitFour) {
+  // No daemon-side --request-timeout: the client's --deadline alone must
+  // bound the hung compile.
+  Daemon D({"--inject-fault=postpass-sched:hang"});
+  RunResult R = runMarionc({kWorkloads[1], "--machine", "r2000", "--quiet",
+                            "--remote=" + D.Socket, "--deadline=1"});
+  EXPECT_EQ(R.Exit, driver::ExitTimeout) << R.Err;
+  EXPECT_NE(R.Err.find("deadline"), std::string::npos) << R.Err;
+
+  // The stuck worker was replaced: the same daemon serves the next
+  // request (the hang fault fires only once).
+  RunResult After = runMarionc({kWorkloads[1], "--machine", "r2000",
+                                "--quiet", "--remote=" + D.Socket});
+  EXPECT_EQ(After.Exit, driver::ExitSuccess) << After.Err;
+}
+
+//===--------------------------------------------------------------------===//
+// Slow loris: a partial frame idling past the request timeout is answered
+// with a diagnosed record and the connection closed — it cannot hold a
+// parse buffer open forever.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, SlowLorisPartialFrameIsTimedOutAndDiagnosed) {
+  Daemon D({"--request-timeout=1"});
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, D.Socket.c_str(), D.Socket.size() + 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  const char Partial[] = "%REQUEST 0 loris.mc\n%MACHINE r2000\n";
+  ASSERT_EQ(::write(Fd, Partial, sizeof(Partial) - 1),
+            static_cast<ssize_t>(sizeof(Partial) - 1));
+  // Keep the write side open and just wait: the daemon must answer and
+  // close on its own within the timeout (plus polling slack).
+  std::string Response;
+  char Buf[4096];
+  for (ssize_t N; (N = ::read(Fd, Buf, sizeof(Buf))) > 0;)
+    Response.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  EXPECT_NE(Response.find("timed out"), std::string::npos) << Response;
+
+  // And the daemon is still serving.
+  service::CompileRequest Req = makeRequest("after.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 2; }\n";
+  shard::FileResult R;
+  std::string Error;
+  ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                     service::frameFromRequest(Req), R,
+                                     Error))
+      << Error;
+  EXPECT_TRUE(R.Ok) << R.DiagText;
+}
+
+//===--------------------------------------------------------------------===//
+// Drain: SIGTERM under load answers every admitted request before exiting.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceRemote, DrainUnderLoadAnswersEveryAdmittedRequest) {
+  Daemon D({"--workers=2"});
+  const int NClients = 6;
+  std::vector<shard::FileResult> Got(NClients);
+  std::vector<std::string> Errors(NClients);
+  std::vector<bool> TransportOk(NClients, false);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NClients; ++I)
+    Threads.emplace_back([&, I] {
+      service::CompileRequest Req =
+          makeRequest(kWorkloads[I % 4], "r2000", I % 2 ? "ips" : "postpass");
+      std::string Source, ReadError;
+      ASSERT_TRUE(readFile(Req.Path, Source, ReadError)) << ReadError;
+      Req.Source = std::move(Source);
+      Req.Index = I;
+      service::DaemonClient Client(D.Socket);
+      TransportOk[I] =
+          Client.compile(service::frameFromRequest(Req), Got[I], Errors[I]);
+    });
+  // All six frames are in (connections accepted, requests admitted to the
+  // 2-worker pool) well within this; then pull the rug.
+  ::usleep(300 * 1000);
+  EXPECT_EQ(D.stop(), driver::ExitSuccess);
+  for (std::thread &T : Threads)
+    T.join();
+  for (int I = 0; I < NClients; ++I) {
+    ASSERT_TRUE(TransportOk[I]) << "client " << I << ": " << Errors[I];
+    EXPECT_TRUE(Got[I].Complete) << I;
+    // Admitted requests finish; anything the drain refused says %BUSY —
+    // nothing is silently dropped or left hanging.
+    EXPECT_TRUE(Got[I].Ok || Got[I].Busy) << I << ": " << Got[I].DiagText;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Socket-file stewardship: a stale socket file is replaced, a live
+// daemon's never is.
+//===--------------------------------------------------------------------===//
+
+TEST(ServiceDaemon, RefusesToReplaceLiveDaemonButReplacesStaleSocket) {
+  Daemon D;
+  // A second server on the same path must refuse: the probe connect finds
+  // a live daemon.
+  service::ServerConfig Cfg;
+  Cfg.SocketPath = D.Socket;
+  Cfg.Workers = 1;
+  {
+    service::Server Second(Cfg);
+    std::string Error;
+    EXPECT_FALSE(Second.start(Error));
+    EXPECT_NE(Error.find("refusing"), std::string::npos) << Error;
+  }
+  // The incumbent is unharmed.
+  service::CompileRequest Req = makeRequest("w.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 5; }\n";
+  shard::FileResult R;
+  std::string Error;
+  ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                     service::frameFromRequest(Req), R,
+                                     Error))
+      << Error;
+  EXPECT_TRUE(R.Ok);
+
+  // A stale socket file (bound once, owner long dead) is silently
+  // replaced: probe connect is refused, so start() unlinks and rebinds.
+  std::string Dir = scratchDir();
+  std::string Stale = Dir + "/stale.sock";
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Stale.c_str(), Stale.size() + 1);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  ::close(Fd); // No listener left: the file is stale.
+
+  Cfg.SocketPath = Stale;
+  service::Server Replacement(Cfg);
+  ASSERT_TRUE(Replacement.start(Error)) << Error;
+  ASSERT_TRUE(service::remoteCompile(Stale, service::frameFromRequest(Req),
+                                     R, Error))
+      << Error;
+  EXPECT_TRUE(R.Ok);
+  Replacement.stop();
+  std::system(("rm -rf '" + Dir + "'").c_str());
 }
 
 } // namespace

@@ -118,6 +118,7 @@ struct Scenario {
 
 struct ScenarioResult {
   std::vector<double> LatMillis; ///< Answered (non-busy) request latencies.
+  obs::Histogram Hist;           ///< The same samples, in microseconds.
   uint64_t Requests = 0;
   uint64_t Ok = 0;
   uint64_t Busy = 0;
@@ -161,7 +162,9 @@ ScenarioResult runScenario(const std::string &Socket, const Scenario &S) {
         }
         if (Out.Ok) {
           ++R.Ok;
-          R.LatMillis.push_back(nowMillis() - T0);
+          double Lat = nowMillis() - T0;
+          R.LatMillis.push_back(Lat);
+          R.Hist.record(static_cast<uint64_t>(Lat * 1000.0));
         } else {
           ++R.Incomplete; // A diagnosed failure is unexpected here.
         }
@@ -178,8 +181,42 @@ ScenarioResult runScenario(const std::string &Socket, const Scenario &S) {
     Total.Incomplete += R.Incomplete;
     Total.LatMillis.insert(Total.LatMillis.end(), R.LatMillis.begin(),
                            R.LatMillis.end());
+    Total.Hist.merge(R.Hist);
   }
   return Total;
+}
+
+/// Gate helper: the histogram's percentile bucket must be the same bucket
+/// (or an immediate neighbor, absorbing the double->micros cast at a
+/// bucket edge) as the ground-truth full-sort sample at the histogram's
+/// rank convention. Both sides see identical samples, so any wider gap
+/// means the bucketing or the cumulative scan is wrong.
+bool histogramAgrees(const ScenarioResult &R, double P) {
+  if (R.LatMillis.empty())
+    return true;
+  std::vector<double> Sorted = R.LatMillis;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Rank = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  unsigned Want =
+      obs::Histogram::bucketIndex(static_cast<uint64_t>(Sorted[Rank] * 1000.0));
+  unsigned Got = R.Hist.percentileBucket(P);
+  return (Want > Got ? Want - Got : Got - Want) <= 1;
+}
+
+/// Applies the histogram-vs-full-sort agreement gate at p50 and p99.
+/// Returns the number of failures (also reported to stderr).
+int checkHistogramGates(const char *Name, const ScenarioResult &R) {
+  int Failures = 0;
+  for (double P : {0.50, 0.99}) {
+    if (histogramAgrees(R, P))
+      continue;
+    std::fprintf(stderr,
+                 "FAIL: %s: histogram p%d disagrees with the full-sort "
+                 "percentile by more than one bucket\n",
+                 Name, static_cast<int>(P * 100));
+    ++Failures;
+  }
+  return Failures;
 }
 
 void exportScenario(obs::Registry &Reg, const char *Name,
@@ -191,6 +228,14 @@ void exportScenario(obs::Registry &Reg, const char *Name,
   Reg.setFloat(P + "p50_millis", percentile(R.LatMillis, 0.50));
   Reg.setFloat(P + "p99_millis", percentile(R.LatMillis, 0.99));
   Reg.setFloat(P + "p999_millis", percentile(R.LatMillis, 0.999));
+  // The same percentiles read from the log-bucket histogram (upper bucket
+  // bound, <= 25% wide) — the representation mariond itself exports, gated
+  // below to agree with the full sort within one bucket.
+  Reg.setFloat(P + "hist_p50_millis",
+               static_cast<double>(R.Hist.percentileUpper(0.50)) / 1000.0);
+  Reg.setFloat(P + "hist_p99_millis",
+               static_cast<double>(R.Hist.percentileUpper(0.99)) / 1000.0);
+  R.Hist.exportInto(Reg, P + "latency");
   Reg.setFloat(P + "requests_per_sec",
                R.WallMillis > 0 ? R.Requests * 1000.0 / R.WallMillis : 0);
   Reg.setFloat(P + "reject_rate",
@@ -319,6 +364,8 @@ int main(int argc, char **argv) {
                    S.Name, static_cast<unsigned long long>(R.Busy));
       ++GateFailures;
     }
+    // Gate: histogram percentiles track the full sort within one bucket.
+    GateFailures += checkHistogramGates(S.Name, R);
   }
   Warm.stop();
 
@@ -366,6 +413,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "FAIL: overload: backpressure starved the pool\n");
       ++GateFailures;
     }
+    GateFailures += checkHistogramGates(Overload.Name, R);
   }
 
   // Merge with service_bench's keys when its export is already there, so

@@ -109,6 +109,12 @@ static void usage() {
       "                                       retry-after hint\n"
       "  --remote-backoff-ms=<N>              first retry backoff "
       "(default 50)\n"
+      "  --admin=<stats|health|drain>         poll a live daemon's admin "
+      "channel and print the\n"
+      "                                       JSON payload (socket from "
+      "--remote= or a single\n"
+      "                                       positional argument); drain "
+      "asks it to shut down\n"
       "  --timeout=<sec>                      per-shard-worker wall-clock "
       "limit (default 120, 0 = off)\n"
       "  --retries=<N>                        re-spawn a crashed/hung/"
@@ -225,7 +231,7 @@ int realMain(int argc, char **argv) {
   unsigned Retries = 1, BackoffMs = 100;
   double DeadlineSec = 0;
   unsigned RemoteRetries = 1, RemoteBackoffMs = 50;
-  std::string WorkerOut, FaultText, Remote;
+  std::string WorkerOut, FaultText, Remote, AdminVerb;
   std::optional<pipeline::FaultSpec> Fault;
   bool SimProfile = false, TraceWire = false;
   std::string TracePath, StatsPath;
@@ -296,6 +302,12 @@ int realMain(int argc, char **argv) {
       Remote = Arg.substr(std::strlen("--remote="));
       if (Remote.empty()) {
         std::fprintf(stderr, "bad --remote value '%s'\n", Arg.c_str());
+        return driver::ExitUsage;
+      }
+    } else if (Arg.rfind("--admin=", 0) == 0) {
+      AdminVerb = Arg.substr(std::strlen("--admin="));
+      if (AdminVerb.empty()) {
+        std::fprintf(stderr, "bad --admin value '%s'\n", Arg.c_str());
         return driver::ExitUsage;
       }
     } else if (Arg.rfind("--timeout=", 0) == 0) {
@@ -377,6 +389,25 @@ int realMain(int argc, char **argv) {
   if (!TracePath.empty() || TraceWire)
     obs::TraceCollector::instance().enable();
 
+  //===--- Admin mode: one verb against a live daemon, print, exit. -------===//
+  if (!AdminVerb.empty()) {
+    std::string Sock = Remote;
+    if (Sock.empty() && Files.size() == 1)
+      Sock = Files[0];
+    if (Sock.empty()) {
+      std::fprintf(stderr, "--admin needs a socket: --remote=<sock> or one "
+                           "positional argument\n");
+      return driver::ExitUsage;
+    }
+    std::string Payload, Error;
+    if (!service::adminRequest(Sock, AdminVerb, Payload, Error)) {
+      std::fprintf(stderr, "marionc: admin: %s\n", Error.c_str());
+      return driver::ExitInternal;
+    }
+    std::printf("%s", Payload.c_str());
+    return driver::ExitSuccess;
+  }
+
   DiagnosticEngine Diags;
   if (Tables) {
     auto Target = driver::loadTarget(Opts.Machine, Diags);
@@ -439,8 +470,23 @@ int realMain(int argc, char **argv) {
         Req.Source = std::move(Source);
         Req.WantTraceFragment = !TracePath.empty();
         Req.DeadlineMillis = static_cast<uint64_t>(DeadlineSec * 1000.0);
+        // Mint the correlation id here (not in DaemonClient) so the
+        // client-side request span below carries the same reqid the
+        // daemon's queue span and the worker's pass spans do.
+        Req.ReqId = service::mintRequestId();
         std::string Error;
-        if (!Client.compile(service::frameFromRequest(Req), R, Error)) {
+        bool SendOk;
+        {
+          obs::TraceSpan ReqSpan(
+              "client", "request",
+              obs::traceEnabled()
+                  ? "{\"file\": \"" + obs::jsonEscape(Files[I]) +
+                        "\", \"reqid\": \"" + obs::jsonEscape(Req.ReqId) +
+                        "\"}"
+                  : std::string());
+          SendOk = Client.compile(service::frameFromRequest(Req), R, Error);
+        }
+        if (!SendOk) {
           std::fprintf(stderr, "marionc: remote: %s\n", Error.c_str());
           return driver::ExitInternal;
         }

@@ -9,10 +9,13 @@
 //
 //   mariond --listen=<socket> [--workers=N] [--max-queue=N]
 //           [--max-inflight=N] [--request-timeout=SEC] [--no-cache]
-//           [--cache-dir=D] [--stats-json=FILE] [--inject-fault=<spec>]
+//           [--cache-dir=D] [--stats-json=FILE] [--access-log=FILE]
+//           [--access-log-max-bytes=N] [--inject-fault=<spec>]
 //
-// SIGTERM/SIGINT drain: in-flight and queued requests finish, new frames
-// are answered %BUSY, then the socket is unlinked and the daemon exits 0.
+// SIGTERM/SIGINT (or a client's `%ADMIN drain`) drain: in-flight and
+// queued requests finish, new frames are answered %BUSY, then the socket
+// is unlinked and the daemon exits 0. Live introspection: `marionc
+// --admin=stats|health|drain <socket>` (DESIGN.md §17).
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,8 +51,13 @@ static void usage() {
       "                          time (slow-loris guard)\n"
       "  --no-cache              disable the resident compile cache\n"
       "  --cache-dir=<dir>       persistent compile-cache directory\n"
-      "  --stats-json=<file>     export service load counters as JSON on\n"
-      "                          shutdown\n"
+      "  --stats-json=<file>     export service load counters and latency\n"
+      "                          histograms as JSON on shutdown\n"
+      "  --access-log=<file>     append one JSON line per request (reqid,\n"
+      "                          machine, strategy, latency, status)\n"
+      "  --access-log-max-bytes=<N>\n"
+      "                          rotate the access log to <file>.1 when it\n"
+      "                          would exceed N bytes (default 16 MiB)\n"
       "  --inject-fault=<pass>:<kind>[:<nth>]\n"
       "                          deterministic in-daemon fault injection\n"
       "                          (testing); kinds: error, crash, hang,\n"
@@ -95,6 +103,16 @@ int main(int argc, char **argv) {
           std::atoi(Arg.c_str() + std::strlen("--request-timeout=")));
     } else if (Arg.rfind("--stats-json=", 0) == 0) {
       StatsPath = Arg.substr(std::strlen("--stats-json="));
+    } else if (Arg.rfind("--access-log=", 0) == 0) {
+      Config.AccessLogPath = Arg.substr(std::strlen("--access-log="));
+    } else if (Arg.rfind("--access-log-max-bytes=", 0) == 0) {
+      Config.AccessLogMaxBytes = std::strtoull(
+          Arg.c_str() + std::strlen("--access-log-max-bytes="), nullptr, 10);
+      if (Config.AccessLogMaxBytes == 0) {
+        std::fprintf(stderr, "bad --access-log-max-bytes value '%s'\n",
+                     Arg.c_str());
+        return driver::ExitUsage;
+      }
     } else if (Arg == "--no-cache") {
       Config.Service.UseCache = false;
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
@@ -140,7 +158,10 @@ int main(int argc, char **argv) {
                Config.RequestTimeoutSec,
                Config.Service.UseCache ? "on" : "off");
 
-  while (!ShutdownRequested)
+  // An `%ADMIN drain` request sets drainRequested() — the IO thread cannot
+  // call stop() itself (stop() joins it), so it is polled here exactly
+  // like a termination signal.
+  while (!ShutdownRequested && !Server.drainRequested())
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   Server.stop();

@@ -1,0 +1,249 @@
+//===- mariontop.cpp - Live mariond dashboard ----------------------------==//
+//
+// Part of the Marion reproduction of Bradlee, Henry & Eggers, PLDI 1991.
+//
+// A top(1)-style viewer for a running mariond (DESIGN.md §17): polls the
+// admin channel (`%ADMIN stats`) on an interval, rebuilds the exported
+// latency histograms with obs::Histogram::bucketIndexFromSuffix, and
+// renders a refreshing table of throughput (served deltas between polls),
+// reject rate, p50/p99 end-to-end latency, queue/inflight health, and the
+// per-machine request mix. Read-only: it never submits compile requests.
+//
+//   mariontop [--interval-ms=N] [--iterations=N] [--no-clear] <socket>
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ExitCodes.h"
+#include "obs/Metrics.h"
+#include "service/Client.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace marion;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mariontop [options] <socket>\n"
+      "  --interval-ms=<N>   poll period in milliseconds (default 1000)\n"
+      "  --iterations=<N>    exit after N polls (default 0 = run forever)\n"
+      "  --no-clear          append frames instead of clearing the screen\n"
+      "exit codes: 0 done, 2 usage error, 3 daemon unreachable\n");
+}
+
+namespace {
+
+/// One parsed admin-stats snapshot: the flat integer key space plus the
+/// string headers. The export is the deterministic one-key-per-line
+/// Registry format, so a line parser is enough — no JSON library needed.
+struct Snapshot {
+  std::map<std::string, int64_t> Ints;
+  std::map<std::string, std::string> Headers;
+
+  int64_t get(const std::string &Key) const {
+    auto It = Ints.find(Key);
+    return It == Ints.end() ? 0 : It->second;
+  }
+};
+
+Snapshot parseSnapshot(const std::string &Json) {
+  Snapshot S;
+  size_t Pos = 0;
+  while (Pos < Json.size()) {
+    size_t Eol = Json.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Json.size();
+    std::string Line = Json.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    size_t K0 = Line.find('"');
+    if (K0 == std::string::npos)
+      continue;
+    size_t K1 = Line.find('"', K0 + 1);
+    if (K1 == std::string::npos)
+      continue;
+    std::string Key = Line.substr(K0 + 1, K1 - K0 - 1);
+    size_t Colon = Line.find(':', K1);
+    if (Colon == std::string::npos)
+      continue;
+    size_t V0 = Line.find_first_not_of(" \t", Colon + 1);
+    if (V0 == std::string::npos)
+      continue;
+    if (Line[V0] == '"') {
+      size_t V1 = Line.find('"', V0 + 1);
+      if (V1 != std::string::npos)
+        S.Headers[Key] = Line.substr(V0 + 1, V1 - V0 - 1);
+    } else if (Line[V0] == '-' || (Line[V0] >= '0' && Line[V0] <= '9')) {
+      S.Ints[Key] = std::strtoll(Line.c_str() + V0, nullptr, 10);
+    }
+  }
+  return S;
+}
+
+/// Rebuilds the histogram exported under `<Prefix>.` from a snapshot's
+/// integer keys (the poller half of obs::Histogram's export contract).
+obs::Histogram rebuildHistogram(const Snapshot &S, const std::string &Prefix) {
+  obs::Histogram H;
+  const std::string Dot = Prefix + ".";
+  for (auto It = S.Ints.lower_bound(Dot); It != S.Ints.end(); ++It) {
+    if (It->first.compare(0, Dot.size(), Dot) != 0)
+      break;
+    std::string Suffix = It->first.substr(Dot.size());
+    unsigned Idx = 0;
+    if (Suffix == "sum")
+      H.addSum(static_cast<uint64_t>(It->second));
+    else if (obs::Histogram::bucketIndexFromSuffix(Suffix, Idx))
+      H.addBucketCount(Idx, static_cast<uint64_t>(It->second));
+    // ".count" is implied by the bucket sums; ignore it.
+  }
+  return H;
+}
+
+double millis(uint64_t Micros) { return static_cast<double>(Micros) / 1000.0; }
+
+void renderFrame(const Snapshot &S, const Snapshot &Prev, bool HavePrev,
+                 double IntervalSec, unsigned Frame) {
+  auto Hdr = [&](const char *Key) {
+    auto It = S.Headers.find(Key);
+    return It == S.Headers.end() ? std::string("-") : It->second;
+  };
+  obs::Histogram E2E = rebuildHistogram(S, "latency.e2e");
+  obs::Histogram Queue = rebuildHistogram(S, "latency.queue");
+
+  int64_t Served = S.get("service.served");
+  int64_t Admitted = S.get("service.admitted");
+  int64_t Rejected = S.get("service.rejected");
+  double Throughput =
+      HavePrev && IntervalSec > 0
+          ? static_cast<double>(Served - Prev.get("service.served")) /
+                IntervalSec
+          : 0.0;
+  int64_t Offered = Admitted + Rejected;
+  double RejectPct =
+      Offered > 0 ? 100.0 * static_cast<double>(Rejected) /
+                        static_cast<double>(Offered)
+                  : 0.0;
+
+  std::printf("mariontop - %s  up %.1fs  frame %u%s\n", Hdr("socket").c_str(),
+              static_cast<double>(S.get("health.uptime_micros")) / 1e6, Frame,
+              S.get("health.draining") ? "  [DRAINING]" : "");
+  std::printf("workers %lld  inflight %lld  queue %lld  conns %lld  "
+              "generations %lld\n",
+              static_cast<long long>(S.get("health.workers")),
+              static_cast<long long>(S.get("health.inflight")),
+              static_cast<long long>(S.get("health.queue_depth")),
+              static_cast<long long>(S.get("health.conns")),
+              static_cast<long long>(S.get("health.worker_generations")));
+  std::printf("served %lld (%.1f/s)  admitted %lld  busy %lld (%.1f%%)  "
+              "timeout %lld  abandoned %lld  malformed %lld\n",
+              static_cast<long long>(Served), Throughput,
+              static_cast<long long>(Admitted),
+              static_cast<long long>(Rejected), RejectPct,
+              static_cast<long long>(S.get("service.timedout")),
+              static_cast<long long>(S.get("service.abandoned")),
+              static_cast<long long>(S.get("service.malformed")));
+  std::printf("latency (ms)      count      p50      p90      p99\n");
+  std::printf("  e2e        %10llu %8.1f %8.1f %8.1f\n",
+              static_cast<unsigned long long>(E2E.count()),
+              millis(E2E.percentileUpper(0.50)),
+              millis(E2E.percentileUpper(0.90)),
+              millis(E2E.percentileUpper(0.99)));
+  std::printf("  queue-wait %10llu %8.1f %8.1f %8.1f\n",
+              static_cast<unsigned long long>(Queue.count()),
+              millis(Queue.percentileUpper(0.50)),
+              millis(Queue.percentileUpper(0.90)),
+              millis(Queue.percentileUpper(0.99)));
+
+  // Per-machine request mix: service.machine.<m>.requests.
+  const std::string MachPrefix = "service.machine.";
+  bool First = true;
+  for (auto It = S.Ints.lower_bound(MachPrefix); It != S.Ints.end(); ++It) {
+    if (It->first.compare(0, MachPrefix.size(), MachPrefix) != 0)
+      break;
+    std::string Rest = It->first.substr(MachPrefix.size());
+    size_t Dot = Rest.rfind(".requests");
+    if (Dot == std::string::npos || Dot + 9 != Rest.size())
+      continue;
+    std::string Machine = Rest.substr(0, Dot);
+    double Pct = Admitted > 0 ? 100.0 * static_cast<double>(It->second) /
+                                    static_cast<double>(Admitted)
+                              : 0.0;
+    if (First)
+      std::printf("machine mix:\n");
+    First = false;
+    std::printf("  %-10s %10lld  %5.1f%%\n", Machine.c_str(),
+                static_cast<long long>(It->second), Pct);
+  }
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned IntervalMs = 1000;
+  uint64_t Iterations = 0;
+  bool NoClear = false;
+  std::string Socket;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--interval-ms=", 0) == 0) {
+      IntervalMs = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("--interval-ms=")));
+      if (IntervalMs == 0) {
+        std::fprintf(stderr, "bad --interval-ms value '%s'\n", Arg.c_str());
+        return driver::ExitUsage;
+      }
+    } else if (Arg.rfind("--iterations=", 0) == 0) {
+      Iterations = std::strtoull(
+          Arg.c_str() + std::strlen("--iterations="), nullptr, 10);
+    } else if (Arg == "--no-clear") {
+      NoClear = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return driver::ExitSuccess;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return driver::ExitUsage;
+    } else if (Socket.empty()) {
+      Socket = Arg;
+    } else {
+      usage();
+      return driver::ExitUsage;
+    }
+  }
+  if (Socket.empty()) {
+    usage();
+    return driver::ExitUsage;
+  }
+
+  Snapshot Prev;
+  bool HavePrev = false;
+  for (uint64_t Frame = 1; Iterations == 0 || Frame <= Iterations; ++Frame) {
+    std::string Payload, Error;
+    if (!service::adminRequest(Socket, "stats", Payload, Error)) {
+      std::fprintf(stderr, "mariontop: %s\n", Error.c_str());
+      return driver::ExitInternal;
+    }
+    Snapshot S = parseSnapshot(Payload);
+    if (!NoClear)
+      std::printf("\x1b[2J\x1b[H");
+    renderFrame(S, Prev, HavePrev,
+                static_cast<double>(IntervalMs) / 1000.0,
+                static_cast<unsigned>(Frame));
+    Prev = std::move(S);
+    HavePrev = true;
+    if (Iterations != 0 && Frame == Iterations)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+  return driver::ExitSuccess;
+}

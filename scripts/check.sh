@@ -46,6 +46,17 @@
 #                             overload matrix (%BUSY exit-3, retry
 #                             recovery, deadline exit-4) and a
 #                             SIGTERM-under-load drain (DESIGN.md §16).
+#   scripts/check.sh --admin  build marionc, mariond and mariontop, start
+#                             a loaded daemon and poll it live: two
+#                             `marionc --admin=stats` snapshots must be
+#                             valid JSON with monotonic service.*
+#                             counters, the access log must hold one
+#                             schema-1 line per request, one %REQID must
+#                             thread from the client trace through the
+#                             daemon's queue and pass spans in a merged
+#                             trace, mariontop must render from the admin
+#                             channel, and `--admin=drain` must stop the
+#                             daemon cleanly (DESIGN.md §17).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -510,6 +521,150 @@ run_load_check() {
   return "$STATUS"
 }
 
+# Live observability surface (DESIGN.md §17) for the marionc at $1, the
+# mariond at $2 and the mariontop at $3: admin-channel stats against a
+# daemon that has served real load (valid JSON, monotonic counters, live
+# histograms), the per-request access log schema, end-to-end %REQID trace
+# correlation, the mariontop renderer, and the drain verb.
+run_admin_check() {
+  MARIONC=$1
+  MARIOND=$2
+  MARIONTOP=$3
+  AWORK=$(mktemp -d)
+  STATUS=0
+  SOCK="$AWORK/d.sock"
+  ALOG="$AWORK/access.log"
+
+  "$MARIOND" --listen="$SOCK" --workers=2 --access-log="$ALOG" \
+    >/dev/null 2>"$AWORK/daemon.err" &
+  DPID=$!
+  TRIES=0
+  while [ ! -S "$SOCK" ] && [ "$TRIES" -lt 250 ]; do
+    sleep 0.02
+    TRIES=$((TRIES + 1))
+  done
+  if [ ! -S "$SOCK" ]; then
+    echo "FAIL: admin: mariond never created $SOCK" >&2
+    cat "$AWORK/daemon.err" >&2
+    kill "$DPID" 2>/dev/null || true
+    rm -rf "$AWORK"
+    return 1
+  fi
+
+  # Put real load through the daemon, then poll mid-life: the first
+  # snapshot must already carry served requests and latency histograms.
+  "$MARIONC" workloads/suite_matmul.mc workloads/suite_poly.mc \
+    --machine r2000 --remote="$SOCK" --quiet >/dev/null 2>&1
+  "$MARIONC" workloads/suite_queens.mc --machine i860 --remote="$SOCK" \
+    --quiet >/dev/null 2>&1
+  "$MARIONC" --admin=stats "$SOCK" >"$AWORK/stats1.json" 2>&1 || {
+    echo "FAIL: admin: --admin=stats failed" >&2
+    STATUS=1
+  }
+  "$MARIONC" workloads/suite_matmul.mc --machine m88000 --remote="$SOCK" \
+    --quiet >/dev/null 2>&1
+  "$MARIONC" --admin=stats "$SOCK" >"$AWORK/stats2.json" 2>&1 || {
+    echo "FAIL: admin: second --admin=stats failed" >&2
+    STATUS=1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    for F in stats1.json stats2.json; do
+      python3 -m json.tool "$AWORK/$F" >/dev/null 2>&1 || {
+        echo "FAIL: admin: $F is not valid JSON" >&2
+        STATUS=1
+      }
+    done
+    # Monotonic counters across the two polls, histograms tracking served.
+    python3 - "$AWORK/stats1.json" "$AWORK/stats2.json" <<'EOF' || STATUS=1
+import json, sys
+a = json.load(open(sys.argv[1]))["timing"]
+b = json.load(open(sys.argv[2]))["timing"]
+assert a["service.served"] >= 3, a["service.served"]
+assert b["service.served"] >= a["service.served"] + 1
+assert b["health.uptime_micros"] > a["health.uptime_micros"]
+for snap in (a, b):
+    assert snap["latency.e2e.count"] == snap["service.served"]
+    assert snap["latency.queue.count"] == snap["service.served"]
+    assert snap["latency.e2e.sum"] > 0
+assert b["service.machine.m88000.requests"] >= 1
+print("ok: admin stats are valid, monotonic and histogram-backed")
+EOF
+    # Access log: one schema-1 JSON line per request with the lifecycle
+    # fields, every status "ok" for this clean sweep.
+    python3 - "$ALOG" <<'EOF' || STATUS=1
+import json, sys
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+assert len(lines) >= 4, len(lines)
+for l in lines:
+    e = json.loads(l)
+    assert e["schema"] == 1
+    assert e["reqid"] != "-"
+    for k in ("machine", "strategy", "queue_micros", "compile_micros",
+              "total_micros", "cache_hits", "status"):
+        assert k in e, k
+    assert e["status"] == "ok", e
+print("ok: access log holds %d schema-1 request lines" % len(lines))
+EOF
+  fi
+
+  # mariontop renders two frames from the same channel.
+  if "$MARIONTOP" --iterations=2 --interval-ms=100 --no-clear "$SOCK" \
+    >"$AWORK/top.out" 2>"$AWORK/top.err"; then
+    grep -q "served" "$AWORK/top.out" && grep -q "e2e" "$AWORK/top.out" || {
+      echo "FAIL: admin: mariontop output missing table rows" >&2
+      STATUS=1
+    }
+  else
+    echo "FAIL: admin: mariontop exited non-zero" >&2
+    cat "$AWORK/top.err" >&2
+    STATUS=1
+  fi
+
+  # One reqid, followable from the client's request span through the
+  # daemon's queue span to the worker's pass spans: the merged trace must
+  # carry it under at least two distinct pids.
+  "$MARIONC" workloads/suite_queens.mc --machine r2000 --remote="$SOCK" \
+    --trace="$AWORK/trace.json" --quiet >/dev/null 2>&1
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$AWORK/trace.json" <<'EOF' || STATUS=1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+req = [e for e in evs if e.get("name") == "request"]
+assert req, "no client request span"
+rid = req[0]["args"]["reqid"]
+tagged = [e for e in evs if e.get("args", {}).get("reqid") == rid]
+pids = {e["pid"] for e in tagged}
+assert len(pids) >= 2, "reqid %s only in pids %s" % (rid, pids)
+assert any(e.get("name") == "queue" for e in tagged), "no queue span"
+assert any(e.get("cat") == "file" for e in tagged), "no file span"
+print("ok: reqid %s spans client and daemon (pids %s)" %
+      (rid, sorted(pids)))
+EOF
+  fi
+
+  # Drain: the daemon exits 0 on its own and unlinks the socket.
+  "$MARIONC" --admin=drain "$SOCK" >/dev/null 2>&1 || {
+    echo "FAIL: admin: --admin=drain failed" >&2
+    STATUS=1
+  }
+  if wait "$DPID"; then
+    if [ -e "$SOCK" ]; then
+      echo "FAIL: admin: drain left the socket behind" >&2
+      STATUS=1
+    else
+      echo "ok: --admin=drain stopped the daemon cleanly"
+    fi
+  else
+    echo "FAIL: admin: daemon did not exit 0 after drain" >&2
+    STATUS=1
+  fi
+
+  [ "$STATUS" -eq 0 ] && echo "admin check OK"
+  rm -rf "$AWORK"
+  return "$STATUS"
+}
+
 # Schedule-DAG interchange check for the marionc at $1 and the
 # marion-sched-bench at $2 (DESIGN.md §15): dump the workload suite for the
 # four paper machines, require --shards=2 dumps byte-identical to serial,
@@ -628,6 +783,12 @@ elif [ "${1:-}" = "--load" ]; then
   run_load_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" \
     "$BUILD/bench/service_load"
   exit $?
+elif [ "${1:-}" = "--admin" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target marionc mariond mariontop
+  run_admin_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" \
+    "$BUILD/examples/mariontop"
+  exit $?
 elif [ "${1:-}" = "--cache" ]; then
   cmake -B "$BUILD" -S .
   cmake --build "$BUILD" -j "$(nproc)" --target marionc
@@ -733,6 +894,10 @@ if [ "${1:-}" = "--tsan" ]; then
     STATUS=1
   run_load_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" \
     "$BUILD/bench/service_load" || STATUS=1
+  # The admin channel shares the IO thread with frame parsing and reads
+  # histogram state the workers write — poll it under TSan too.
+  run_admin_check "$BUILD/examples/marionc" "$BUILD/examples/mariond" \
+    "$BUILD/examples/mariontop" || STATUS=1
   # Parallel per-block dump writes (the --dump-dags hook runs inside the
   # block-level fan-out) are exactly what TSan should see.
   run_dags_check "$BUILD/examples/marionc" \

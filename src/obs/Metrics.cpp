@@ -69,6 +69,89 @@ std::string Registry::exportJson(const std::string &Tool) const {
   return Out;
 }
 
+unsigned Histogram::bucketIndex(uint64_t V) {
+  if (V < 4)
+    return static_cast<unsigned>(V);
+  // Octave = floor(log2(V)) >= 2; sub-bucket = the two bits below the MSB.
+  unsigned Octave = 63 - static_cast<unsigned>(__builtin_clzll(V));
+  unsigned Sub = static_cast<unsigned>((V >> (Octave - 2)) & 3);
+  return 4 + (Octave - 2) * 4 + Sub;
+}
+
+uint64_t Histogram::bucketLower(unsigned Idx) {
+  if (Idx < 4)
+    return Idx;
+  unsigned Octave = 2 + (Idx - 4) / 4;
+  unsigned Sub = (Idx - 4) % 4;
+  return static_cast<uint64_t>(4 + Sub) << (Octave - 2);
+}
+
+uint64_t Histogram::bucketUpper(unsigned Idx) {
+  if (Idx + 1 >= kBucketCount)
+    return ~0ull;
+  return bucketLower(Idx + 1) - 1;
+}
+
+void Histogram::addBucketCount(unsigned Idx, uint64_t Delta) {
+  if (Idx >= kBucketCount)
+    return;
+  Buckets[Idx] += Delta;
+  N += Delta;
+}
+
+void Histogram::merge(const Histogram &Other) {
+  for (unsigned I = 0; I < kBucketCount; ++I)
+    Buckets[I] += Other.Buckets[I];
+  N += Other.N;
+  Sum += Other.Sum;
+}
+
+unsigned Histogram::percentileBucket(double P) const {
+  if (N == 0)
+    return 0;
+  if (P < 0)
+    P = 0;
+  if (P > 1)
+    P = 1;
+  uint64_t Rank = static_cast<uint64_t>(P * static_cast<double>(N - 1));
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I < kBucketCount; ++I) {
+    Seen += Buckets[I];
+    if (Seen > Rank)
+      return I;
+  }
+  return kBucketCount - 1;
+}
+
+void Histogram::exportInto(Registry &Reg, const std::string &Prefix,
+                           Section S) const {
+  Reg.set(Prefix + ".count", static_cast<int64_t>(N), S);
+  Reg.set(Prefix + ".sum", static_cast<int64_t>(Sum), S);
+  char Buf[8];
+  for (unsigned I = 0; I < kBucketCount; ++I) {
+    if (!Buckets[I])
+      continue;
+    std::snprintf(Buf, sizeof(Buf), ".b%03u", I);
+    Reg.set(Prefix + Buf, static_cast<int64_t>(Buckets[I]), S);
+  }
+}
+
+bool Histogram::bucketIndexFromSuffix(const std::string &Suffix,
+                                      unsigned &Idx) {
+  if (Suffix.size() != 4 || Suffix[0] != 'b')
+    return false;
+  unsigned V = 0;
+  for (unsigned I = 1; I < 4; ++I) {
+    if (Suffix[I] < '0' || Suffix[I] > '9')
+      return false;
+    V = V * 10 + static_cast<unsigned>(Suffix[I] - '0');
+  }
+  if (V >= kBucketCount)
+    return false;
+  Idx = V;
+  return true;
+}
+
 std::string obs::flagsFingerprint(const std::string &Flags) {
   Fnv1a H;
   H.str(Flags);

@@ -31,6 +31,7 @@
 #ifndef MARION_OBS_METRICS_H
 #define MARION_OBS_METRICS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -93,6 +94,77 @@ private:
 /// "flags_fingerprint" header that keys stats files to the exact option
 /// set that produced them.
 std::string flagsFingerprint(const std::string &Flags);
+
+/// A fixed log-spaced-bucket histogram for latency-style uint64 samples
+/// (microseconds by convention).
+///
+/// Bucket scheme: values 0..3 get exact buckets 0..3; above that each
+/// power-of-two octave is split into 4 sub-buckets keyed by the two bits
+/// below the most significant bit, so every bucket's width is at most 25%
+/// of its lower bound. 252 buckets cover the full uint64 range, the layout
+/// never changes at runtime, and bucket counts are order-independent sums —
+/// which makes exports deterministic under sample reordering and mergeable
+/// by plain per-key addition (`dagio::mergeStatsExports`).
+///
+/// Export shape under a `<prefix>` (all integer keys, empty buckets
+/// skipped): `<prefix>.count`, `<prefix>.sum`, `<prefix>.b<NNN>` with NNN
+/// the zero-padded bucket index. `fromExportKey` reverses the bucket keys
+/// so pollers (mariontop) can rebuild a Histogram from an export snapshot.
+///
+/// Not internally synchronized; guard concurrent `record` externally.
+class Histogram {
+public:
+  static constexpr unsigned kBucketCount = 252;
+
+  /// Bucket index holding value \p V.
+  static unsigned bucketIndex(uint64_t V);
+  /// Smallest value mapping to bucket \p Idx.
+  static uint64_t bucketLower(unsigned Idx);
+  /// Largest value mapping to bucket \p Idx.
+  static uint64_t bucketUpper(unsigned Idx);
+
+  void record(uint64_t V) {
+    ++Buckets[bucketIndex(V)];
+    ++N;
+    Sum += V;
+  }
+
+  /// Adds \p Delta samples directly into bucket \p Idx — the rebuild path
+  /// for pollers parsing an export (sum is approximated by the bucket
+  /// lower bound unless the export's `.sum` is applied via addSum).
+  void addBucketCount(unsigned Idx, uint64_t Delta);
+  void addSum(uint64_t Delta) { Sum += Delta; }
+
+  void merge(const Histogram &Other);
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Sum; }
+  bool empty() const { return N == 0; }
+
+  /// Index of the bucket containing the \p P-th percentile sample
+  /// (0 < P <= 1); 0 for an empty histogram.
+  unsigned percentileBucket(double P) const;
+  /// Upper bound of the percentile bucket — the conventional "pNN" value.
+  uint64_t percentileUpper(double P) const {
+    return empty() ? 0 : bucketUpper(percentileBucket(P));
+  }
+
+  /// Registers the histogram under \p Prefix in \p Reg (see class comment
+  /// for the key shape). Always emits `.count` and `.sum`; bucket keys
+  /// only for non-empty buckets.
+  void exportInto(Registry &Reg, const std::string &Prefix,
+                  Section S = Section::Timing) const;
+
+  /// If \p Key is `<prefix>.b<NNN>` for this scheme, strips the prefix
+  /// match done by the caller and parses NNN. Returns true and sets
+  /// \p Idx when \p Suffix (the part after `<prefix>.`) is a bucket key.
+  static bool bucketIndexFromSuffix(const std::string &Suffix, unsigned &Idx);
+
+private:
+  std::array<uint64_t, kBucketCount> Buckets{};
+  uint64_t N = 0;
+  uint64_t Sum = 0;
+};
 
 } // namespace obs
 } // namespace marion

@@ -2,6 +2,7 @@
 
 #include "service/Client.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -152,9 +153,12 @@ bool DaemonClient::sendAndReceive(const shard::CompileRequestFrame &Frame,
 
 bool DaemonClient::compile(const shard::CompileRequestFrame &Frame,
                            shard::FileResult &Result, std::string &Error) {
+  shard::CompileRequestFrame F = Frame;
+  if (F.ReqId.empty())
+    F.ReqId = mintRequestId();
   unsigned Backoff = Retry.BackoffMillis;
   for (unsigned Attempt = 1;; ++Attempt) {
-    if (!sendAndReceive(Frame, Result, Error))
+    if (!sendAndReceive(F, Result, Error))
       return false;
     if (!Result.Busy || Attempt >= Retry.Attempts)
       return true; // Success, compile failure, or %BUSY with retries spent.
@@ -167,9 +171,63 @@ bool DaemonClient::compile(const shard::CompileRequestFrame &Frame,
   }
 }
 
+bool DaemonClient::admin(const std::string &Verb, std::string &Payload,
+                         std::string &Error) {
+  if (!connect(Error))
+    return false;
+  if (!writeAll(Fd, shard::serializeAdminRequest(Verb))) {
+    Error = "send: " + std::string(std::strerror(errno));
+    close();
+    return false;
+  }
+  char Buf[64 * 1024];
+  for (;;) {
+    size_t Consumed = 0;
+    bool Ok = false;
+    switch (shard::extractAdminResponse(InBuf, Consumed, Ok, Payload)) {
+    case shard::FrameParse::Complete:
+      InBuf.erase(0, Consumed);
+      if (!Ok) {
+        Error = "mariond: " + Payload;
+        Payload.clear();
+      }
+      return Ok;
+    case shard::FrameParse::Malformed:
+      Error = "malformed admin response from " + SocketPath;
+      close();
+      return false;
+    case shard::FrameParse::NeedMore:
+      break;
+    }
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      InBuf.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Error = "connection closed by " + SocketPath + " mid-admin-response";
+    close();
+    return false;
+  }
+}
+
 bool service::remoteCompile(const std::string &SocketPath,
                             const shard::CompileRequestFrame &Frame,
                             shard::FileResult &Result, std::string &Error) {
   DaemonClient Client(SocketPath);
   return Client.compile(Frame, Result, Error);
+}
+
+std::string service::mintRequestId() {
+  static std::atomic<uint64_t> Serial{0};
+  return "c" + std::to_string(::getpid()) + "-" +
+         std::to_string(Serial.fetch_add(1) + 1);
+}
+
+bool service::adminRequest(const std::string &SocketPath,
+                           const std::string &Verb, std::string &Payload,
+                           std::string &Error) {
+  DaemonClient Client(SocketPath);
+  return Client.admin(Verb, Payload, Error);
 }

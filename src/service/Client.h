@@ -62,9 +62,18 @@ public:
   /// come back as a normal Result (Ok/Busy/TimedOut flags). A %BUSY
   /// answer is retried per the policy — over a fresh request frame, so
   /// the daemon sees each attempt at its then-current load — and only
-  /// surfaced once attempts are exhausted.
+  /// surfaced once attempts are exhausted. A frame with an empty ReqId
+  /// gets a client-minted correlation id (mintRequestId), echoed back in
+  /// Result.ReqId.
   bool compile(const shard::CompileRequestFrame &Frame,
                shard::FileResult &Result, std::string &Error);
+
+  /// Sends one `%ADMIN <verb>` request (stats | health | drain) and reads
+  /// the response. Returns true with the daemon's payload (a stats-export
+  /// JSON document) on %ADMINOK; false with \p Error set on %ADMINERR or
+  /// any transport failure.
+  bool admin(const std::string &Verb, std::string &Payload,
+             std::string &Error);
 
   /// Drops the connection (reconnects lazily on the next compile()).
   void close();
@@ -87,6 +96,16 @@ private:
 bool remoteCompile(const std::string &SocketPath,
                    const shard::CompileRequestFrame &Frame,
                    shard::FileResult &Result, std::string &Error);
+
+/// Mints a process-unique request correlation id ("c<pid>-<n>"). Clients
+/// stamp it into the frame's ReqId *and* their own trace spans, which is
+/// what lets one id be followed from the client timeline through the
+/// daemon's queue span to the worker's pass spans in a merged trace.
+std::string mintRequestId();
+
+/// One-shot admin request against \p SocketPath (see DaemonClient::admin).
+bool adminRequest(const std::string &SocketPath, const std::string &Verb,
+                  std::string &Payload, std::string &Error);
 
 } // namespace service
 } // namespace marion

@@ -25,6 +25,7 @@ bool service::requestFromFrame(const shard::CompileRequestFrame &Frame,
   Req.Source = Frame.Source;
   Req.Index = Frame.Index;
   Req.DeadlineMillis = Frame.DeadlineMillis;
+  Req.ReqId = Frame.ReqId;
   Req.Opts.Machine = Frame.Machine;
   auto Kind = strategy::strategyFromName(Frame.Strategy);
   if (!Kind) {
@@ -75,7 +76,8 @@ shard::CompileRequestFrame service::frameFromRequest(const CompileRequest &Req) 
   Frame.Index = Req.Index;
   Frame.Path = Req.Path;
   Frame.DeadlineMillis = Req.DeadlineMillis;
-  if (Frame.DeadlineMillis > 0)
+  Frame.ReqId = Req.ReqId;
+  if (Frame.DeadlineMillis > 0 || !Frame.ReqId.empty())
     Frame.Proto = shard::kWireProtoVersion;
   Frame.Machine = Req.Opts.Machine;
   Frame.Strategy = strategy::strategyName(Req.Opts.Strategy);
@@ -154,6 +156,9 @@ CompileResult CompileService::compile(const CompileRequest &Req,
   CompileResult R;
   R.Path = Req.Path;
   R.Index = Req.Index;
+  // Echoed before OnManifest fires, so the streamed %BEGIN prologue
+  // already carries the correlation id.
+  R.ReqId = Req.ReqId;
   R.Started = true;
   Served.fetch_add(1, std::memory_order_relaxed);
 
@@ -173,8 +178,13 @@ CompileResult CompileService::compile(const CompileRequest &Req,
     CacheBefore = Cache->snapshot();
 
   {
-    obs::TraceSpan FileSpan("file",
-                            obs::traceEnabled() ? Req.Path : std::string());
+    // The reqid rides in the span args, so every pass span nested under
+    // this one is attributable to the request in a merged trace.
+    obs::TraceSpan FileSpan(
+        "file", obs::traceEnabled() ? Req.Path : std::string(),
+        obs::traceEnabled() && !Req.ReqId.empty()
+            ? "{\"reqid\": \"" + obs::jsonEscape(Req.ReqId) + "\"}"
+            : std::string());
     DiagnosticEngine Diags;
     std::unique_ptr<il::Module> Mod = parseRequest(Req, Diags);
     if (Mod)

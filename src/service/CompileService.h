@@ -71,6 +71,11 @@ struct CompileRequest {
   /// --request-timeout) via Opts.Cancel; the service itself only
   /// transports it.
   uint64_t DeadlineMillis = 0;
+  /// Correlation id (DESIGN.md §17): minted by the client (or the daemon
+  /// for v1 clients), echoed into CompileResult::ReqId, stamped into this
+  /// request's trace-span args, and written to the access log — one id
+  /// follows the request from client send to final reply.
+  std::string ReqId;
   /// Invoked right after the front end parsed, before the backend runs,
   /// with the manifest-only result (Path, Index, Functions, Started). The
   /// shard worker flushes its %BEGIN/%FUNCS prologue here so a later crash

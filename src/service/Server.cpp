@@ -3,11 +3,13 @@
 #include "service/Server.h"
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fcntl.h>
 #include <poll.h>
@@ -120,7 +122,27 @@ struct Server::Job {
   bool CancelFired = false;            ///< Monitor bookkeeping (IO thread).
   /// Worker slot compiling it, or ~0u while queued (QueueMutex).
   unsigned Slot = ~0u;
+  /// Admission timestamps (set by the IO thread before the queue push,
+  /// read by the worker after the pop — the queue mutex orders them):
+  /// steady clock for latency math, wall clock for the trace timebase.
+  Clock::time_point AdmitTime{};
+  double AdmitWallMicros = 0;
+  /// Request identity copied from the frame for access logging (the
+  /// monitor and the worker both log without reparsing Opts).
+  std::string Machine, Strategy;
 };
+
+namespace {
+
+uint64_t elapsedMicros(Clock::time_point From, Clock::time_point To) {
+  if (To <= From)
+    return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(To - From)
+          .count());
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Lifecycle
@@ -207,8 +229,30 @@ bool Server::start(std::string &Error) {
   ::fcntl(WakeRead, F_SETFL, O_NONBLOCK);
   ::fcntl(WakeWrite, F_SETFL, O_NONBLOCK);
 
+  if (!Config.AccessLogPath.empty()) {
+    LogFd = ::open(Config.AccessLogPath.c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (LogFd < 0) {
+      Error = "open access log " + Config.AccessLogPath + ": " +
+              std::strerror(errno);
+      ::close(ListenFd);
+      ListenFd = -1;
+      ::close(WakeRead);
+      ::close(WakeWrite);
+      WakeRead = WakeWrite = -1;
+      ::unlink(Config.SocketPath.c_str());
+      return false;
+    }
+    struct stat LogSt;
+    LogBytes = ::fstat(LogFd, &LogSt) == 0
+                   ? static_cast<uint64_t>(LogSt.st_size)
+                   : 0;
+  }
+
   Running = true;
   Stopping.store(false);
+  DrainRequested.store(false);
+  StartTime = Clock::now();
   SlotGen.clear();
   for (unsigned I = 0; I < Config.Workers; ++I)
     SlotGen.push_back(std::make_unique<std::atomic<uint64_t>>(0));
@@ -236,8 +280,55 @@ void Server::stop() {
   if (WakeWrite >= 0)
     ::close(WakeWrite);
   WakeRead = WakeWrite = -1;
+  {
+    std::lock_guard<std::mutex> Lock(LogMutex);
+    if (LogFd >= 0)
+      ::close(LogFd);
+    LogFd = -1;
+  }
   ::unlink(Config.SocketPath.c_str());
   Running = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Access log (DESIGN.md §17)
+//===----------------------------------------------------------------------===//
+
+void Server::logAccess(const std::string &ReqId, const std::string &Machine,
+                       const std::string &Strategy, uint64_t QueueMicros,
+                       uint64_t CompileMicros, uint64_t TotalMicros,
+                       uint64_t CacheHits, const char *Status) {
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  if (LogFd < 0)
+    return;
+  std::string Line = "{\"schema\": 1";
+  Line += ", \"reqid\": \"" + obs::jsonEscape(ReqId.empty() ? "-" : ReqId);
+  Line += "\", \"machine\": \"" +
+          obs::jsonEscape(Machine.empty() ? "-" : Machine);
+  Line += "\", \"strategy\": \"" +
+          obs::jsonEscape(Strategy.empty() ? "-" : Strategy);
+  Line += "\", \"queue_micros\": " + std::to_string(QueueMicros);
+  Line += ", \"compile_micros\": " + std::to_string(CompileMicros);
+  Line += ", \"total_micros\": " + std::to_string(TotalMicros);
+  Line += ", \"cache_hits\": " + std::to_string(CacheHits);
+  Line += ", \"status\": \"";
+  Line += Status;
+  Line += "\"}\n";
+  // Size-bounded rotation: one generation (<path>.1) is kept, so the log
+  // can never grow past ~2 × AccessLogMaxBytes on disk.
+  if (LogBytes > 0 && LogBytes + Line.size() > Config.AccessLogMaxBytes) {
+    ::close(LogFd);
+    std::string Rotated = Config.AccessLogPath + ".1";
+    ::rename(Config.AccessLogPath.c_str(), Rotated.c_str());
+    LogFd = ::open(Config.AccessLogPath.c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND, 0644);
+    LogBytes = 0;
+    if (LogFd < 0)
+      return; // Reopen failed: logging disabled from here on.
+  }
+  ssize_t N = ::write(LogFd, Line.data(), Line.size());
+  if (N > 0)
+    LogBytes += static_cast<uint64_t>(N);
 }
 
 void Server::wakeIo() {
@@ -268,6 +359,8 @@ void Server::workerLoop(unsigned Slot, uint64_t Gen) {
       ++Inflight;
       J->Slot = Slot;
     }
+    Clock::time_point DispatchTime = Clock::now();
+    double DispatchWallMicros = obs::wallMicros();
 
     Job *JP = J.get(); // The lambda must not own J (cycle through Req).
     J->Req.OnManifest = [JP](const shard::FileResult &R) {
@@ -282,6 +375,37 @@ void Server::workerLoop(unsigned Slot, uint64_t Gen) {
     shard::FileResult R = Svc.compile(J->Req);
 
     if (!J->Settled.exchange(true)) {
+      Clock::time_point Finish = Clock::now();
+      uint64_t QueueUs = elapsedMicros(J->AdmitTime, DispatchTime);
+      uint64_t CompileUs = elapsedMicros(DispatchTime, Finish);
+      uint64_t TotalUs = elapsedMicros(J->AdmitTime, Finish);
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        HistQueue.record(QueueUs);
+        HistCompile.record(CompileUs);
+        HistE2E.record(TotalUs);
+        for (const pipeline::PassStats &PS : R.Passes)
+          if (PS.Micros >= 0)
+            HistPass[PS.Name].record(static_cast<uint64_t>(PS.Micros));
+      }
+      // The queue wait happened before the request's trace scope opened;
+      // stitch it into the fragment as a synthetic span so the client's
+      // merged timeline shows admission → queue → passes for this reqid.
+      if (J->Req.WantTraceFragment) {
+        obs::TraceEvent E;
+        E.Phase = 'X';
+        E.Cat = "service";
+        E.Name = "queue";
+        E.TsMicros = J->AdmitWallMicros;
+        E.DurMicros = DispatchWallMicros - J->AdmitWallMicros;
+        E.Tid = 0;
+        if (!J->Req.ReqId.empty())
+          E.Args = "{\"reqid\": \"" + obs::jsonEscape(J->Req.ReqId) + "\"}";
+        std::string Line = obs::renderEventLine(E);
+        R.TraceFragment = R.TraceFragment.empty()
+                              ? Line
+                              : Line + "\n" + R.TraceFragment;
+      }
       {
         std::lock_guard<std::mutex> Lock(J->C->WriteMutex);
         if (!J->Abandoned.load() && !J->C->Poisoned.load()) {
@@ -294,6 +418,9 @@ void Server::workerLoop(unsigned Slot, uint64_t Gen) {
       }
       if (R.TimedOut)
         CtrTimedOut.fetch_add(1, std::memory_order_relaxed);
+      logAccess(J->Req.ReqId, J->Machine, J->Strategy, QueueUs, CompileUs,
+                TotalUs, R.Cache.Hits,
+                R.TimedOut ? "timeout" : (R.Ok ? "ok" : "fail"));
       J->Done.store(true);
       {
         std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -323,11 +450,64 @@ void Server::answerErrorRecord(const std::shared_ptr<Conn> &C, int Index,
   R.Started = true;
   R.Complete = true;
   R.DiagText = "mariond: bad request: " + Message + "\n";
+  logAccess("", "", "", 0, 0, 0, 0, "error");
   std::lock_guard<std::mutex> Lock(C->WriteMutex);
   if (C->Poisoned.load())
     return;
   (void)writeAllFd(C->Fd, shard::serializeRecordBegin(R) +
                               shard::serializeRecordEnd(R));
+}
+
+void Server::handleAdmin(const std::shared_ptr<Conn> &C,
+                         const std::string &Verb) {
+  bool Ok = true;
+  std::string Payload;
+  if (Verb == "stats") {
+    Payload = adminSnapshotJson(/*HealthOnly=*/false);
+  } else if (Verb == "health") {
+    Payload = adminSnapshotJson(/*HealthOnly=*/true);
+  } else if (Verb == "drain") {
+    // Flag first so the ack snapshot already reports draining; the
+    // embedding daemon polls drainRequested() and calls stop() from its
+    // own thread (stop() joins this one).
+    DrainRequested.store(true, std::memory_order_relaxed);
+    Payload = adminSnapshotJson(/*HealthOnly=*/true);
+  } else {
+    Ok = false;
+    Payload = "unknown admin verb '" + Verb + "' (stats|health|drain)";
+  }
+  std::lock_guard<std::mutex> Lock(C->WriteMutex);
+  if (!C->Poisoned.load())
+    (void)writeAllFd(C->Fd, shard::serializeAdminResponse(Ok, Payload));
+}
+
+std::string Server::adminSnapshotJson(bool HealthOnly) {
+  obs::Registry Reg;
+  Reg.setHeader("socket", Config.SocketPath);
+  Reg.setHeader("admin", HealthOnly ? "health" : "stats");
+  auto S = obs::Section::Timing;
+  Reg.set("health.uptime_micros",
+          static_cast<int64_t>(elapsedMicros(StartTime, Clock::now())), S);
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Reg.set("health.queue_depth", static_cast<int64_t>(Queue.size()), S);
+    Reg.set("health.inflight", static_cast<int64_t>(Inflight), S);
+  }
+  Reg.set("health.workers", static_cast<int64_t>(Config.Workers), S);
+  uint64_t Gens = 0;
+  for (const auto &G : SlotGen)
+    Gens += G->load();
+  Reg.set("health.worker_generations", static_cast<int64_t>(Gens), S);
+  Reg.set("health.conns", static_cast<int64_t>(Conns.size()), S);
+  Reg.set("health.draining",
+          Stopping.load() || DrainRequested.load(std::memory_order_relaxed)
+              ? 1
+              : 0,
+          S);
+  Reg.set("service.served", static_cast<int64_t>(requestsServed()), S);
+  if (!HealthOnly)
+    registerMetrics(Reg);
+  return Reg.exportJson("mariond");
 }
 
 void Server::closeConn(int Fd) {
@@ -344,6 +524,31 @@ void Server::closeConn(int Fd) {
 /// is what keeps responses in request order without reordering buffers).
 void Server::processConnBuffer(const std::shared_ptr<Conn> &C) {
   while (!C->Active && !C->InBuf.empty()) {
+    // Admin requests (one line) are answered right here on the IO thread:
+    // they must never queue behind compiles. A buffer that merely begins
+    // with a prefix of "%ADMIN " falls through to the frame parser, which
+    // reports NeedMore until the line completes.
+    if (C->InBuf.compare(0, 7, "%ADMIN ") == 0) {
+      std::string Verb;
+      size_t AdminConsumed = 0;
+      shard::FrameParse AP =
+          shard::extractAdminRequest(C->InBuf, AdminConsumed, Verb);
+      if (AP == shard::FrameParse::NeedMore) {
+        if (C->ReadClosed)
+          closeConn(C->Fd);
+        return;
+      }
+      if (AP == shard::FrameParse::Malformed) {
+        CtrMalformed.fetch_add(1, std::memory_order_relaxed);
+        answerErrorRecord(C, 0, "", "malformed %ADMIN request");
+        closeConn(C->Fd);
+        return;
+      }
+      C->InBuf.erase(0, AdminConsumed);
+      handleAdmin(C, Verb);
+      continue;
+    }
+
     shard::CompileRequestFrame Frame;
     std::string PErr;
     size_t Consumed = 0;
@@ -378,6 +583,13 @@ void Server::processConnBuffer(const std::shared_ptr<Conn> &C) {
       continue;
     }
 
+    // v1 clients (and any caller that skipped %REQID) still get a
+    // correlation id: the daemon mints one at admission, so every queued
+    // request is traceable and access-loggable.
+    if (Req.ReqId.empty())
+      Req.ReqId = "d" + std::to_string(::getpid()) + "-" +
+                  std::to_string(ReqSerial.fetch_add(1) + 1);
+
     // Admission: bounded, immediate backpressure. Draining counts as full.
     bool Admit;
     {
@@ -389,6 +601,10 @@ void Server::processConnBuffer(const std::shared_ptr<Conn> &C) {
         J->C = C;
         J->Index = Frame.Index;
         J->Path = Frame.Path;
+        J->Machine = Frame.Machine;
+        J->Strategy = Frame.Strategy;
+        J->AdmitTime = Clock::now();
+        J->AdmitWallMicros = obs::wallMicros();
         J->Req.Opts.Cancel = &J->Cancel;
         // The effective budget is the stricter of the client's %DEADLINE
         // and the daemon's --request-timeout, measured from admission so
@@ -412,14 +628,21 @@ void Server::processConnBuffer(const std::shared_ptr<Conn> &C) {
       }
     }
     if (Admit) {
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++MachineRequests[Frame.Machine];
+      }
       QueueCV.notify_one();
       return; // One in flight per connection; resume when it completes.
     }
     CtrRejected.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> Lock(C->WriteMutex);
-    if (!C->Poisoned.load())
-      (void)writeAllFd(C->Fd, shard::serializeBusyRecord(
-                                  Frame.Index, Config.RetryAfterMillis));
+    logAccess(Frame.ReqId, Frame.Machine, Frame.Strategy, 0, 0, 0, 0, "busy");
+    {
+      std::lock_guard<std::mutex> Lock(C->WriteMutex);
+      if (!C->Poisoned.load())
+        (void)writeAllFd(C->Fd, shard::serializeBusyRecord(
+                                    Frame.Index, Config.RetryAfterMillis));
+    }
   }
   if (!C->Active && C->InBuf.empty() && C->ReadClosed)
     closeConn(C->Fd);
@@ -455,6 +678,13 @@ void Server::abandonJob(const std::shared_ptr<Job> &J) {
   ::shutdown(J->C->Fd, SHUT_RDWR);
   CtrTimedOut.fetch_add(1, std::memory_order_relaxed);
   CtrAbandoned.fetch_add(1, std::memory_order_relaxed);
+  uint64_t TotalUs = elapsedMicros(J->AdmitTime, Clock::now());
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    HistE2E.record(TotalUs);
+  }
+  logAccess(J->Req.ReqId, J->Machine, J->Strategy, 0, 0, TotalUs, 0,
+            "timeout");
 
   unsigned Slot = J->Slot;
   {
@@ -692,4 +922,13 @@ void Server::registerMetrics(obs::Registry &Reg) const {
   Reg.set("service.max_queue_depth",
           static_cast<int64_t>(Ctr.MaxQueueDepth), S);
   Reg.set("service.served", static_cast<int64_t>(requestsServed()), S);
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  HistQueue.exportInto(Reg, "latency.queue", S);
+  HistCompile.exportInto(Reg, "latency.compile", S);
+  HistE2E.exportInto(Reg, "latency.e2e", S);
+  for (const auto &[Name, H] : HistPass)
+    H.exportInto(Reg, "latency.pass." + Name, S);
+  for (const auto &[Machine, N] : MachineRequests)
+    Reg.set("service.machine." + Machine + ".requests",
+            static_cast<int64_t>(N), S);
 }

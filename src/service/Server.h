@@ -44,8 +44,11 @@
 #ifndef MARION_SERVICE_SERVER_H
 #define MARION_SERVICE_SERVER_H
 
+#include "obs/Metrics.h"
 #include "service/CompileService.h"
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -55,10 +58,6 @@
 #include <vector>
 
 namespace marion {
-namespace obs {
-class Registry;
-} // namespace obs
-
 namespace service {
 
 struct ServerConfig {
@@ -84,6 +83,12 @@ struct ServerConfig {
   /// Grace between the cooperative cancel (pass-boundary) and abandoning
   /// the worker thread outright.
   unsigned AbandonGraceMillis = 1000;
+  /// When non-empty, append one schema-versioned JSON line per request
+  /// (reqid, machine, strategy, queue/compile/total micros, cache hits,
+  /// status) to this file. Rotated (renamed to <path>.1) when it exceeds
+  /// AccessLogMaxBytes.
+  std::string AccessLogPath;
+  uint64_t AccessLogMaxBytes = 16ull << 20;
   /// The resident service's configuration. mariond defaults to caching on
   /// and all bundled machines warmed.
   CompileService::Config Service;
@@ -129,9 +134,19 @@ public:
   /// Snapshot of the load counters.
   Counters counters() const;
 
-  /// Exports the load counters as "service.*" keys (Timing section — all
-  /// of them depend on traffic, none are deterministic).
+  /// Exports the load counters as "service.*" keys plus the request
+  /// latency histograms ("latency.queue/compile/e2e", per-pass
+  /// "latency.pass.<name>") and the per-machine request mix
+  /// ("service.machine.<name>.requests"). All Timing section — they depend
+  /// on traffic, none are deterministic.
   void registerMetrics(obs::Registry &Reg) const;
+
+  /// Set by an `%ADMIN drain` request: the embedding daemon's main loop
+  /// polls this like a termination signal and calls stop(). (The IO thread
+  /// cannot call stop() itself — stop() joins it.)
+  bool drainRequested() const {
+    return DrainRequested.load(std::memory_order_relaxed);
+  }
 
 private:
   struct Conn;
@@ -145,6 +160,16 @@ private:
   void abandonJob(const std::shared_ptr<Job> &J);
   void closeConn(int Fd);
   void wakeIo();
+  void handleAdmin(const std::shared_ptr<Conn> &C, const std::string &Verb);
+  /// Renders the admin snapshot (health keys; full stats unless
+  /// \p HealthOnly) as a stats-export JSON document. IO thread only — it
+  /// reads IO-thread-private connection state.
+  std::string adminSnapshotJson(bool HealthOnly);
+  /// Appends one access-log line (no-op unless --access-log was given).
+  void logAccess(const std::string &ReqId, const std::string &Machine,
+                 const std::string &Strategy, uint64_t QueueMicros,
+                 uint64_t CompileMicros, uint64_t TotalMicros,
+                 uint64_t CacheHits, const char *Status);
 
   ServerConfig Config;
   CompileService Svc;
@@ -169,6 +194,20 @@ private:
 
   std::atomic<uint64_t> CtrAccepted{0}, CtrAdmitted{0}, CtrRejected{0},
       CtrTimedOut{0}, CtrAbandoned{0}, CtrMalformed{0}, CtrMaxDepth{0};
+
+  // Observability (DESIGN.md §17).
+  std::chrono::steady_clock::time_point StartTime{};
+  std::atomic<bool> DrainRequested{false};
+  std::atomic<uint64_t> ReqSerial{0}; ///< Daemon-minted reqid suffixes.
+  mutable std::mutex StatsMutex;      ///< Guards the histograms + mix map.
+  obs::Histogram HistQueue;           ///< Queue-wait per request (µs).
+  obs::Histogram HistCompile;         ///< Compile wall per request (µs).
+  obs::Histogram HistE2E;             ///< Admission→response per request (µs).
+  std::map<std::string, obs::Histogram> HistPass; ///< Per-pass wall (µs).
+  std::map<std::string, uint64_t> MachineRequests; ///< Admitted, by machine.
+  std::mutex LogMutex;                ///< Guards the access-log fd.
+  int LogFd = -1;
+  uint64_t LogBytes = 0;
 };
 
 } // namespace service

@@ -40,6 +40,8 @@ std::string shard::serializeRecordBegin(const FileResult &R) {
   std::string Out;
   appendf(Out, "%%BEGIN %d ", R.Index);
   Out += R.Path + "\n";
+  if (!R.ReqId.empty())
+    Out += "%REQID " + R.ReqId + "\n";
   appendf(Out, "%%FUNCS %zu\n", R.Functions.size());
   for (const std::string &Name : R.Functions)
     Out += Name + "\n";
@@ -144,8 +146,16 @@ struct Cursor {
 
 bool parseRecordBody(Cursor &C, FileResult &R) {
   std::string Line;
+  if (!C.line(Line))
+    return false;
+  // %REQID (optional correlation id echoed from the request frame)
+  if (Line.rfind("%REQID ", 0) == 0) {
+    R.ReqId = Line.substr(7);
+    if (!C.line(Line))
+      return false;
+  }
   // %FUNCS
-  if (!C.line(Line) || Line.rfind("%FUNCS ", 0) != 0)
+  if (Line.rfind("%FUNCS ", 0) != 0)
     return false;
   size_t NFuncs = std::strtoull(Line.c_str() + 7, nullptr, 10);
   for (size_t I = 0; I < NFuncs; ++I) {
@@ -282,6 +292,8 @@ std::string shard::serializeRequestFrame(const CompileRequestFrame &Req) {
   Out += "%STRATEGY " + Req.Strategy + "\n";
   if (Req.DeadlineMillis > 0)
     Out += "%DEADLINE " + std::to_string(Req.DeadlineMillis) + "\n";
+  if (!Req.ReqId.empty())
+    Out += "%REQID " + Req.ReqId + "\n";
   Out += "%FLAGS " + std::to_string(Req.Flags.size()) + "\n";
   for (const std::string &F : Req.Flags)
     Out += F + "\n";
@@ -340,6 +352,13 @@ FrameParse shard::parseRequestFramePrefix(const std::string &Buf,
     return FrameParse::NeedMore;
   if (Line.rfind("%DEADLINE ", 0) == 0) {
     Req.DeadlineMillis = std::strtoull(Line.c_str() + 10, nullptr, 10);
+    if (!C.line(Line))
+      return FrameParse::NeedMore;
+  }
+  if (Line.rfind("%REQID ", 0) == 0) {
+    Req.ReqId = Line.substr(7);
+    if (Req.ReqId.empty() || Req.ReqId.size() > 128)
+      return malformed("malformed %REQID");
     if (!C.line(Line))
       return FrameParse::NeedMore;
   }
@@ -435,6 +454,63 @@ std::vector<FileResult> shard::parseWorkerOutput(const std::string &Text) {
     Out.push_back(std::move(R));
   }
   return Out;
+}
+
+std::string shard::serializeAdminRequest(const std::string &Verb) {
+  return "%ADMIN " + Verb + "\n";
+}
+
+std::string shard::serializeAdminResponse(bool Ok, const std::string &Payload) {
+  std::string Out = Ok ? "%ADMINOK " : "%ADMINERR ";
+  Out += std::to_string(Payload.size()) + "\n";
+  Out += Payload;
+  Out += "\n";
+  return Out;
+}
+
+FrameParse shard::extractAdminRequest(const std::string &Buf, size_t &Consumed,
+                                      std::string &Verb) {
+  size_t Nl = Buf.find('\n');
+  if (Nl == std::string::npos)
+    return Buf.size() > 256 ? FrameParse::Malformed : FrameParse::NeedMore;
+  std::string Line = Buf.substr(0, Nl);
+  if (Line.rfind("%ADMIN ", 0) != 0)
+    return FrameParse::Malformed;
+  Verb = Line.substr(7);
+  if (Verb.empty() || Verb.size() > 64)
+    return FrameParse::Malformed;
+  Consumed = Nl + 1;
+  return FrameParse::Complete;
+}
+
+FrameParse shard::extractAdminResponse(const std::string &Buf,
+                                       size_t &Consumed, bool &Ok,
+                                       std::string &Payload) {
+  size_t Nl = Buf.find('\n');
+  if (Nl == std::string::npos)
+    return Buf.size() > 256 ? FrameParse::Malformed : FrameParse::NeedMore;
+  std::string Line = Buf.substr(0, Nl);
+  size_t NumPos;
+  if (Line.rfind("%ADMINOK ", 0) == 0) {
+    Ok = true;
+    NumPos = 9;
+  } else if (Line.rfind("%ADMINERR ", 0) == 0) {
+    Ok = false;
+    NumPos = 10;
+  } else {
+    return FrameParse::Malformed;
+  }
+  const char *NumBegin = Line.c_str() + NumPos;
+  char *NumEnd = nullptr;
+  size_t N = std::strtoull(NumBegin, &NumEnd, 10);
+  if (NumEnd == NumBegin || *NumEnd != '\0' || N > (64u << 20))
+    return FrameParse::Malformed;
+  size_t Body = Nl + 1;
+  if (Body + N + 1 > Buf.size())
+    return FrameParse::NeedMore;
+  Payload = Buf.substr(Body, N);
+  Consumed = Body + N + 1;
+  return FrameParse::Complete;
 }
 
 bool shard::extractResultRecord(const std::string &Buf, size_t &Consumed,

@@ -34,11 +34,28 @@
 ///   %MACHINE <name>                      target machine
 ///   %STRATEGY <name>                     code generation strategy
 ///   %DEADLINE <millis>                   client budget (v2; optional)
+///   %REQID <id>                          request correlation id (optional;
+///                                        daemon mints one when absent)
 ///   %FLAGS <n>  +  n token lines         semantic/request flags (cycles,
 ///                                        linear, alloc-linear, sim-profile,
 ///                                        sim-cache, trace, dump:<pass>)
 ///   %SOURCE <bytes> + raw payload        the MC source text
 ///   %ENDREQ                              frame complete
+///
+/// The response record echoes the correlation id as a `%REQID <id>` line
+/// directly after %BEGIN (absent when the request carried none and the
+/// daemon didn't mint one — i.e. non-daemon shard workers).
+///
+/// Besides compile frames, a v2 connection may carry one-line admin
+/// requests (DESIGN.md §17), handled by the daemon's IO thread without
+/// queueing behind compiles:
+///
+///   %ADMIN <verb>                        stats | health | drain
+///
+/// answered by exactly one length-prefixed response:
+///
+///   %ADMINOK <bytes>\n<payload>\n        payload = stats-export JSON
+///   %ADMINERR <bytes>\n<message>\n       unknown verb / refused
 ///
 /// The source travels by value, so the daemon never depends on the
 /// client's working directory, and the length prefix keeps arbitrary
@@ -178,6 +195,9 @@ struct FileResult {
   /// Pid-less Chrome-trace event lines recorded while compiling this file
   /// (%TRACE); the supervisor stamps the shard's pid when merging.
   std::string TraceFragment;
+  /// Correlation id echoed from the request frame (%REQID line after
+  /// %BEGIN); empty when the producer had none.
+  std::string ReqId;
 };
 
 /// Writes the %BEGIN/%FUNCS prologue for \p R (Path, Index, Functions) and
@@ -227,6 +247,11 @@ struct CompileRequestFrame {
   /// Client-supplied deadline budget in milliseconds (0 = none). The
   /// daemon enforces min(this, its own --request-timeout).
   uint64_t DeadlineMillis = 0;
+  /// Correlation id (%REQID line; optional). DaemonClient mints one per
+  /// frame when the caller left it empty; the daemon mints one for v1
+  /// clients, so every admitted request has an id by the time it is
+  /// queued, traced, access-logged and echoed in the response.
+  std::string ReqId;
   /// Flag tokens, in the client's order: "cycles", "linear",
   /// "alloc-linear", "sim-profile", "sim-cache", "trace", "dump:<pass>".
   std::vector<std::string> Flags;
@@ -254,6 +279,29 @@ enum class FrameParse { Complete, NeedMore, Malformed };
 FrameParse parseRequestFramePrefix(const std::string &Buf, size_t &Consumed,
                                    CompileRequestFrame &Req,
                                    std::string &Error);
+
+/// Renders a one-line admin request: `%ADMIN <verb>\n`.
+std::string serializeAdminRequest(const std::string &Verb);
+
+/// Renders an admin response: `%ADMINOK <bytes>\n<payload>\n` on success,
+/// `%ADMINERR <bytes>\n<payload>\n` otherwise (payload = error message).
+std::string serializeAdminResponse(bool Ok, const std::string &Payload);
+
+/// Incremental admin-request extraction: when \p Buf begins with a
+/// complete `%ADMIN <verb>` line, sets \p Verb / \p Consumed and returns
+/// Complete. NeedMore when the line hasn't fully arrived; Malformed when
+/// the buffer starts with "%ADMIN" but the line is not a valid admin
+/// request. Callers check the "%ADMIN" prefix first to distinguish admin
+/// lines from compile frames.
+FrameParse extractAdminRequest(const std::string &Buf, size_t &Consumed,
+                               std::string &Verb);
+
+/// Incremental admin-response extraction from the front of \p Buf.
+/// Complete sets \p Ok (ADMINOK vs ADMINERR), \p Payload and \p Consumed;
+/// NeedMore means read more and retry; Malformed means the stream is not
+/// an admin response at all.
+FrameParse extractAdminResponse(const std::string &Buf, size_t &Consumed,
+                                bool &Ok, std::string &Payload);
 
 } // namespace shard
 } // namespace marion

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dagio/Corpus.h"
 #include "driver/ExitCodes.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -330,6 +331,149 @@ TEST(Obs, RegistrySortsKeysAndSeparatesSections) {
   EXPECT_GT(W, Json.find("\"timing\"")); // Floats default to "timing".
   EXPECT_EQ(obs::flagsFingerprint("x").size(), 16u);
   EXPECT_NE(obs::flagsFingerprint("x"), obs::flagsFingerprint("y"));
+}
+
+//===--------------------------------------------------------------------===//
+// Latency histograms (DESIGN.md §17): the fixed log-bucket scheme, export
+// determinism under sample reordering, and mergeability through the same
+// per-key addition that merges every other stats counter.
+//===--------------------------------------------------------------------===//
+
+TEST(Obs, HistogramBucketSchemeInvertsAndBoundsWidth) {
+  // The exact small buckets.
+  for (uint64_t V = 0; V < 4; ++V)
+    EXPECT_EQ(obs::Histogram::bucketIndex(V), V);
+  // Every bucket's bounds map back to the bucket, bounds are ordered and
+  // adjacent buckets tile the axis with no gap or overlap.
+  for (unsigned I = 0; I < obs::Histogram::kBucketCount; ++I) {
+    uint64_t Lo = obs::Histogram::bucketLower(I);
+    uint64_t Hi = obs::Histogram::bucketUpper(I);
+    EXPECT_LE(Lo, Hi) << I;
+    EXPECT_EQ(obs::Histogram::bucketIndex(Lo), I);
+    EXPECT_EQ(obs::Histogram::bucketIndex(Hi), I);
+    if (I + 1 < obs::Histogram::kBucketCount)
+      EXPECT_EQ(Hi + 1, obs::Histogram::bucketLower(I + 1)) << I;
+    // Relative resolution: no bucket is wider than 25% of its lower bound
+    // (the property that makes the histogram percentile a faithful stand-in
+    // for the full sort).
+    if (I >= 4)
+      EXPECT_LE(4 * (Hi - Lo + 1), Lo) << I;
+  }
+  // The whole uint64 axis is covered.
+  EXPECT_LT(obs::Histogram::bucketIndex(~0ull), obs::Histogram::kBucketCount);
+  EXPECT_EQ(obs::Histogram::bucketUpper(obs::Histogram::kBucketCount - 1),
+            ~0ull);
+}
+
+TEST(Obs, HistogramExportDeterministicAcrossInsertionOrders) {
+  const uint64_t Samples[] = {0, 1, 3, 4, 7, 100, 100, 2500, 77777, 1u << 20};
+  obs::Histogram Fwd, Rev;
+  for (uint64_t V : Samples)
+    Fwd.record(V);
+  for (size_t I = sizeof(Samples) / sizeof(Samples[0]); I-- > 0;)
+    Rev.record(Samples[I]);
+  obs::Registry A, B;
+  Fwd.exportInto(A, "lat");
+  Rev.exportInto(B, "lat");
+  EXPECT_EQ(A.exportJson("t"), B.exportJson("t"));
+  EXPECT_EQ(Fwd.count(), 10u);
+  EXPECT_EQ(Fwd.sum(), Rev.sum());
+  EXPECT_EQ(Fwd.percentileUpper(0.50), Rev.percentileUpper(0.50));
+  EXPECT_EQ(Fwd.percentileUpper(0.99), Rev.percentileUpper(0.99));
+  // The export names only non-empty buckets, always count and sum.
+  std::string Json = A.exportJson("t");
+  EXPECT_NE(Json.find("\"lat.count\": 10"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"lat.sum\":"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"lat.b000\": 1"), std::string::npos) << Json;
+  EXPECT_EQ(Json.find("\"lat.b002\""), std::string::npos)
+      << "empty bucket must be skipped: " << Json;
+}
+
+TEST(Obs, HistogramMergesThroughStatsExportMerge) {
+  obs::Histogram H1, H2;
+  for (uint64_t V : {5u, 9u, 130u, 130u, 4096u})
+    H1.record(V);
+  for (uint64_t V : {0u, 130u, 900u, 1u << 30})
+    H2.record(V);
+
+  // The ground truth: in-memory merge.
+  obs::Histogram Direct = H1;
+  Direct.merge(H2);
+  obs::Registry WantReg;
+  WantReg.setHeader("machine", "r2000");
+  WantReg.setHeader("merged_inputs", "2"); // Stamped by mergeStatsExports.
+  Direct.exportInto(WantReg, "lat");
+
+  // The file path: two independent exports merged by per-key addition.
+  std::string Dir = scratchDir();
+  auto writeExport = [&](const obs::Histogram &H, const std::string &Path) {
+    obs::Registry Reg;
+    Reg.setHeader("machine", "r2000");
+    H.exportInto(Reg, "lat");
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::string Json = Reg.exportJson("t");
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+  };
+  writeExport(H1, Dir + "/h1.json");
+  writeExport(H2, Dir + "/h2.json");
+  obs::Registry Merged;
+  std::string Error;
+  ASSERT_TRUE(dagio::mergeStatsExports({Dir + "/h1.json", Dir + "/h2.json"},
+                                       Merged, Error))
+      << Error;
+  EXPECT_EQ(Merged.exportJson("t"), WantReg.exportJson("t"));
+
+  // And a poller can rebuild the merged histogram from the merged keys
+  // (count/sum/percentiles all survive the round trip).
+  EXPECT_EQ(Direct.count(), H1.count() + H2.count());
+  EXPECT_EQ(Direct.sum(), H1.sum() + H2.sum());
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+TEST(Obs, HistogramEmptyAndSingleBucketEdges) {
+  obs::Histogram Empty;
+  EXPECT_TRUE(Empty.empty());
+  EXPECT_EQ(Empty.percentileBucket(0.5), 0u);
+  EXPECT_EQ(Empty.percentileUpper(0.99), 0u);
+  obs::Registry Reg;
+  Empty.exportInto(Reg, "lat");
+  std::string Json = Reg.exportJson("t");
+  EXPECT_NE(Json.find("\"lat.count\": 0"), std::string::npos) << Json;
+  EXPECT_EQ(Json.find("\"lat.b"), std::string::npos) << Json;
+
+  // All mass in one bucket: every percentile names that bucket.
+  obs::Histogram One;
+  for (int I = 0; I < 1000; ++I)
+    One.record(70); // Bucket of 70 = [64, 80).
+  unsigned B = obs::Histogram::bucketIndex(70);
+  EXPECT_EQ(One.percentileBucket(0.01), B);
+  EXPECT_EQ(One.percentileBucket(0.50), B);
+  EXPECT_EQ(One.percentileBucket(1.00), B);
+  EXPECT_EQ(One.percentileUpper(0.99), obs::Histogram::bucketUpper(B));
+}
+
+TEST(Obs, HistogramBucketSuffixParsesExportKeysOnly) {
+  unsigned Idx = 999;
+  EXPECT_TRUE(obs::Histogram::bucketIndexFromSuffix("b000", Idx));
+  EXPECT_EQ(Idx, 0u);
+  EXPECT_TRUE(obs::Histogram::bucketIndexFromSuffix("b251", Idx));
+  EXPECT_EQ(Idx, 251u);
+  EXPECT_FALSE(obs::Histogram::bucketIndexFromSuffix("count", Idx));
+  EXPECT_FALSE(obs::Histogram::bucketIndexFromSuffix("sum", Idx));
+  EXPECT_FALSE(obs::Histogram::bucketIndexFromSuffix("b12", Idx));
+  EXPECT_FALSE(obs::Histogram::bucketIndexFromSuffix("b999", Idx));
+  EXPECT_FALSE(obs::Histogram::bucketIndexFromSuffix("bxyz", Idx));
+  EXPECT_FALSE(obs::Histogram::bucketIndexFromSuffix("", Idx));
+
+  // Round trip: every bucket's export key parses back to its index.
+  for (unsigned I = 0; I < obs::Histogram::kBucketCount; ++I) {
+    char Key[8];
+    std::snprintf(Key, sizeof(Key), "b%03u", I);
+    ASSERT_TRUE(obs::Histogram::bucketIndexFromSuffix(Key, Idx)) << Key;
+    EXPECT_EQ(Idx, I);
+  }
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -876,6 +877,291 @@ TEST(ServiceDaemon, RefusesToReplaceLiveDaemonButReplacesStaleSocket) {
   EXPECT_TRUE(R.Ok);
   Replacement.stop();
   std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+//===--------------------------------------------------------------------===//
+// Observability (DESIGN.md §17): %REQID correlation, the %ADMIN channel,
+// the access log, and the drain-path stats exports.
+//===--------------------------------------------------------------------===//
+
+/// Reads the integer value of `"Key": N` from a stats export; -1 if the
+/// key is absent.
+int64_t statValue(const std::string &Json, const std::string &Key) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t At = Json.find(Needle);
+  if (At == std::string::npos)
+    return -1;
+  return std::strtoll(Json.c_str() + At + Needle.size(), nullptr, 10);
+}
+
+TEST(ServiceFrame, ReqIdRoundTripsInFrameAndRecord) {
+  // Request direction: %REQID rides in the v2 frame and parses back.
+  service::CompileRequest Req = makeRequest("f.mc", "r2000", "postpass");
+  Req.Source = "int main() { return 1; }\n";
+  Req.ReqId = "c123-9";
+  shard::CompileRequestFrame Frame = service::frameFromRequest(Req);
+  EXPECT_EQ(Frame.Proto, shard::kWireProtoVersion);
+  std::string Wire = shard::serializeRequestFrame(Frame);
+  EXPECT_NE(Wire.find("%REQID c123-9\n"), std::string::npos) << Wire;
+  shard::CompileRequestFrame Back;
+  std::string Error;
+  ASSERT_TRUE(shard::parseRequestFrame(Wire, Back, Error)) << Error;
+  EXPECT_EQ(Back.ReqId, "c123-9");
+  service::CompileRequest Round;
+  ASSERT_TRUE(service::requestFromFrame(Back, Round, Error)) << Error;
+  EXPECT_EQ(Round.ReqId, "c123-9");
+
+  // No reqid, no deadline -> the v1 frame is byte-stable (no %REQID line).
+  Req.ReqId.clear();
+  std::string V1 = shard::serializeRequestFrame(service::frameFromRequest(Req));
+  EXPECT_EQ(V1.find("%REQID"), std::string::npos);
+
+  // Response direction: the id is echoed right after %BEGIN and survives
+  // the incremental record reader.
+  shard::FileResult R;
+  R.Index = 2;
+  R.Path = "f.mc";
+  R.Ok = true;
+  R.Complete = true;
+  R.ReqId = "d77-4";
+  std::string Record =
+      shard::serializeRecordBegin(R) + shard::serializeRecordEnd(R);
+  EXPECT_NE(Record.find("%REQID d77-4\n"), std::string::npos) << Record;
+  shard::FileResult Out;
+  size_t Consumed = 0;
+  ASSERT_TRUE(shard::extractResultRecord(Record, Consumed, Out));
+  EXPECT_EQ(Consumed, Record.size());
+  EXPECT_EQ(Out.ReqId, "d77-4");
+
+  // And a reqid-less record has no %REQID line at all.
+  R.ReqId.clear();
+  EXPECT_EQ(shard::serializeRecordBegin(R).find("%REQID"), std::string::npos);
+}
+
+TEST(ServiceFrame, AdminFramingIsIncrementalAndRejectsGarbage) {
+  // Request side.
+  std::string Line = shard::serializeAdminRequest("stats");
+  EXPECT_EQ(Line, "%ADMIN stats\n");
+  std::string Verb;
+  size_t Consumed = 0;
+  for (size_t N = 0; N < Line.size(); ++N)
+    EXPECT_EQ(shard::extractAdminRequest(Line.substr(0, N), Consumed, Verb),
+              shard::FrameParse::NeedMore)
+        << N;
+  ASSERT_EQ(shard::extractAdminRequest(Line, Consumed, Verb),
+            shard::FrameParse::Complete);
+  EXPECT_EQ(Consumed, Line.size());
+  EXPECT_EQ(Verb, "stats");
+  EXPECT_EQ(shard::extractAdminRequest("%ADMIN \n", Consumed, Verb),
+            shard::FrameParse::Malformed);
+
+  // Response side: OK and ERR frames, byte-by-byte.
+  for (bool Ok : {true, false}) {
+    std::string Payload = Ok ? "{\n  \"x\": 1\n}\n" : "unknown admin verb";
+    std::string Resp = shard::serializeAdminResponse(Ok, Payload);
+    bool GotOk = !Ok;
+    std::string GotPayload;
+    for (size_t N = 0; N < Resp.size(); ++N)
+      EXPECT_EQ(shard::extractAdminResponse(Resp.substr(0, N), Consumed,
+                                            GotOk, GotPayload),
+                shard::FrameParse::NeedMore)
+          << N;
+    ASSERT_EQ(shard::extractAdminResponse(Resp, Consumed, GotOk, GotPayload),
+              shard::FrameParse::Complete);
+    EXPECT_EQ(Consumed, Resp.size());
+    EXPECT_EQ(GotOk, Ok);
+    EXPECT_EQ(GotPayload, Payload);
+  }
+  bool Ok = false;
+  std::string Payload;
+  EXPECT_EQ(shard::extractAdminResponse("%BEGIN 0 f.mc\n", Consumed, Ok,
+                                        Payload),
+            shard::FrameParse::Malformed);
+  EXPECT_EQ(shard::extractAdminResponse("%ADMINOK nope\n", Consumed, Ok,
+                                        Payload),
+            shard::FrameParse::Malformed);
+}
+
+TEST(ServiceRemote, AdminStatsAreLiveAndMonotonic) {
+  Daemon D({"--workers=2"});
+  auto compileOne = [&](const char *Machine) {
+    service::CompileRequest Req = makeRequest("w.mc", Machine, "postpass");
+    Req.Source = "int main() { return 3; }\n";
+    shard::FileResult R;
+    std::string Error;
+    ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                       service::frameFromRequest(Req), R,
+                                       Error))
+        << Error;
+    EXPECT_TRUE(R.Ok) << R.DiagText;
+    // The daemon echoes the client-minted id in the response record.
+    EXPECT_FALSE(R.ReqId.empty());
+  };
+  compileOne("r2000");
+
+  std::string First, Error;
+  ASSERT_TRUE(service::adminRequest(D.Socket, "stats", First, Error)) << Error;
+  EXPECT_NE(First.find("\"schema_version\": 1"), std::string::npos) << First;
+  EXPECT_GE(statValue(First, "service.served"), 1);
+  EXPECT_EQ(statValue(First, "latency.e2e.count"),
+            statValue(First, "service.served"));
+  EXPECT_GE(statValue(First, "service.machine.r2000.requests"), 1);
+  EXPECT_GE(statValue(First, "health.workers"), 2);
+
+  compileOne("i860");
+  std::string Second;
+  ASSERT_TRUE(service::adminRequest(D.Socket, "stats", Second, Error))
+      << Error;
+  EXPECT_GE(statValue(Second, "service.served"),
+            statValue(First, "service.served") + 1);
+  EXPECT_GE(statValue(Second, "service.machine.i860.requests"), 1);
+  EXPECT_GE(statValue(Second, "health.uptime_micros"),
+            statValue(First, "health.uptime_micros"));
+
+  // health is the stats subset without the latency/counter dump; an
+  // unknown verb is an %ADMINERR, not a dropped connection.
+  std::string Health;
+  ASSERT_TRUE(service::adminRequest(D.Socket, "health", Health, Error))
+      << Error;
+  EXPECT_GE(statValue(Health, "health.queue_depth"), 0);
+  EXPECT_EQ(Health.find("latency.e2e"), std::string::npos) << Health;
+  std::string Bogus;
+  EXPECT_FALSE(service::adminRequest(D.Socket, "nonsense", Bogus, Error));
+  EXPECT_NE(Error.find("unknown admin verb"), std::string::npos) << Error;
+}
+
+TEST(ServiceRemote, AdminDrainExitsDaemonCleanly) {
+  Daemon D;
+  std::string Ack, Error;
+  ASSERT_TRUE(service::adminRequest(D.Socket, "drain", Ack, Error)) << Error;
+  EXPECT_EQ(statValue(Ack, "health.draining"), 1) << Ack;
+  // The daemon polls drainRequested() and exits 0 on its own — no signal.
+  int Status = 0;
+  ASSERT_EQ(::waitpid(D.Pid, &Status, 0), D.Pid);
+  D.Pid = -1;
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), driver::ExitSuccess);
+  EXPECT_NE(::access(D.Socket.c_str(), F_OK), 0)
+      << "socket file must be unlinked after drain";
+}
+
+TEST(ServiceRemote, AccessLogOneSchemaLinePerRequestWithRotation) {
+  std::string Dir = scratchDir();
+  std::string Log = Dir + "/access.log";
+  {
+    // Rotation bound of ~2 lines: the third request must rotate to .1.
+    Daemon D({"--access-log=" + Log, "--access-log-max-bytes=400"});
+    for (int I = 0; I < 3; ++I) {
+      service::CompileRequest Req = makeRequest("w.mc", "r2000", "postpass");
+      Req.Source = "int main() { return 4; }\n";
+      Req.Index = I;
+      shard::FileResult R;
+      std::string Error;
+      ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                         service::frameFromRequest(Req), R,
+                                         Error))
+          << Error;
+      EXPECT_TRUE(R.Ok);
+    }
+    EXPECT_EQ(D.stop(), driver::ExitSuccess);
+  }
+  std::string Text = slurp(Log) + slurp(Log + ".1");
+  EXPECT_EQ(::access((Log + ".1").c_str(), F_OK), 0)
+      << "log must have rotated within 400 bytes";
+  // One line per request, each schema-versioned with the lifecycle fields.
+  size_t Lines = 0;
+  size_t Pos = 0;
+  while ((Pos = Text.find('\n', Pos)) != std::string::npos) {
+    ++Lines;
+    ++Pos;
+  }
+  EXPECT_EQ(Lines, 3u) << Text;
+  for (const char *Field :
+       {"{\"schema\": 1, \"reqid\": \"", "\"machine\": \"r2000\"",
+        "\"strategy\": \"postpass\"", "\"queue_micros\": ",
+        "\"compile_micros\": ", "\"total_micros\": ",
+        "\"status\": \"ok\""})
+    EXPECT_NE(Text.find(Field), std::string::npos)
+        << "missing " << Field << " in: " << Text;
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+TEST(ServiceRemote, ReqIdThreadsClientTraceThroughDaemonSpans) {
+  std::string Dir = scratchDir();
+  std::string Trace = Dir + "/trace.json";
+  {
+    Daemon D;
+    RunResult R = runMarionc({kWorkloads[3], "--machine", "r2000", "--quiet",
+                              "--remote=" + D.Socket, "--trace=" + Trace});
+    EXPECT_EQ(R.Exit, driver::ExitSuccess) << R.Err;
+  }
+  std::string Text = slurp(Trace);
+  ASSERT_FALSE(Text.empty());
+
+  // Pull the minted reqid out of the client-side "request" span's args.
+  size_t ReqSpan = Text.find("\"name\":\"request\"");
+  ASSERT_NE(ReqSpan, std::string::npos) << Text;
+  size_t Tag = Text.find("\"reqid\": \"", ReqSpan);
+  ASSERT_NE(Tag, std::string::npos);
+  size_t IdStart = Tag + std::strlen("\"reqid\": \"");
+  std::string Id = Text.substr(IdStart, Text.find('"', IdStart) - IdStart);
+  ASSERT_FALSE(Id.empty());
+
+  // The same id appears in the daemon's synthetic queue span and in the
+  // worker's file span — and across at least two distinct pids, i.e. the
+  // client process and the daemon's merged fragment.
+  std::set<std::string> Pids;
+  size_t Pos = 0;
+  bool InQueueSpan = false, InFileSpan = false;
+  while ((Pos = Text.find(Id, Pos)) != std::string::npos) {
+    size_t LineStart = Text.rfind('\n', Pos);
+    LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+    size_t LineEnd = Text.find('\n', Pos);
+    std::string Line = Text.substr(LineStart, LineEnd - LineStart);
+    size_t PidAt = Line.find("\"pid\":");
+    if (PidAt != std::string::npos)
+      Pids.insert(Line.substr(PidAt + 6, Line.find(',', PidAt) - PidAt - 6));
+    InQueueSpan |= Line.find("\"name\":\"queue\"") != std::string::npos;
+    InFileSpan |= Line.find("\"cat\":\"file\"") != std::string::npos;
+    Pos = LineEnd == std::string::npos ? Text.size() : LineEnd;
+  }
+  EXPECT_GE(Pids.size(), 2u)
+      << "reqid must span client and daemon pids: " << Text;
+  EXPECT_TRUE(InQueueSpan) << "no queue span tagged " << Id << ": " << Text;
+  EXPECT_TRUE(InFileSpan) << "no file span tagged " << Id << ": " << Text;
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+TEST(ServiceRemote, StatsJsonCarriesServiceCountersOnBothDrainSignals) {
+  for (int Sig : {SIGTERM, SIGINT}) {
+    std::string Dir = scratchDir();
+    std::string Stats = Dir + "/stats.json";
+    Daemon D({"--stats-json=" + Stats});
+    service::CompileRequest Req = makeRequest("w.mc", "m88000", "postpass");
+    Req.Source = "int main() { return 6; }\n";
+    shard::FileResult R;
+    std::string Error;
+    ASSERT_TRUE(service::remoteCompile(D.Socket,
+                                       service::frameFromRequest(Req), R,
+                                       Error))
+        << Error;
+    ASSERT_TRUE(R.Ok);
+    ::kill(D.Pid, Sig);
+    int Status = 0;
+    ASSERT_EQ(::waitpid(D.Pid, &Status, 0), D.Pid);
+    D.Pid = -1;
+    ASSERT_TRUE(WIFEXITED(Status)) << Sig;
+    EXPECT_EQ(WEXITSTATUS(Status), driver::ExitSuccess) << Sig;
+
+    std::string Json = slurp(Stats);
+    EXPECT_EQ(statValue(Json, "service.served"), 1) << Sig << ": " << Json;
+    EXPECT_EQ(statValue(Json, "service.admitted"), 1) << Sig;
+    EXPECT_EQ(statValue(Json, "service.rejected"), 0) << Sig;
+    EXPECT_EQ(statValue(Json, "latency.e2e.count"), 1) << Sig;
+    EXPECT_GT(statValue(Json, "latency.e2e.sum"), 0) << Sig;
+    EXPECT_EQ(statValue(Json, "service.machine.m88000.requests"), 1) << Sig;
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
 }
 
 } // namespace
